@@ -1,0 +1,128 @@
+"""Benchmarks for the ablation suite (design choices the paper calls out).
+
+One benchmark per ablation; each asserts its headline claim and prints its
+table once.
+"""
+
+from conftest import print_once
+
+from repro.experiments import ablations
+
+
+def test_array_init_bus_writes(benchmark):
+    """Section 5: RB pays ~2 bus writes per initialized element, RWB 1."""
+    result = benchmark(ablations.ablate_array_init)
+    print_once("ablate-array-init", result.render())
+    per_element = {row[0]: row[1] for row in result.rows}
+    assert per_element["rb"] > 1.7
+    assert per_element["rwb"] == 1.0
+
+
+def test_local_promotion_threshold(benchmark):
+    """Footnote 6's k: aggressive claiming helps streams, hurts sharing."""
+    result = benchmark(ablations.ablate_promotion_threshold, ks=(1, 2, 3))
+    print_once("ablate-k", result.render())
+    by_k = {row[0]: row for row in result.rows}
+    assert by_k[1][1] < by_k[2][1]      # fewer array-init bus writes
+    assert by_k[1][4] > by_k[2][4]      # more cyclic invalidations
+
+
+def test_first_write_reset_policy(benchmark):
+    """Strict vs lenient F demotion: both consistent, different traffic."""
+    result = benchmark(ablations.ablate_first_write_reset)
+    print_once("ablate-f-reset", result.render())
+    assert len(result.rows) == 2
+
+
+def test_read_broadcast_value(benchmark):
+    """Data broadcast vs event-only: write-once > RB > RWB reads/item."""
+    result = benchmark(ablations.ablate_read_broadcast)
+    print_once("ablate-read-broadcast", result.render())
+    reads = {row[0]: row[1] for row in result.rows}
+    assert reads["write-once"] > reads["rb"] > reads["rwb"]
+
+
+def test_ts_vs_tts_traffic(benchmark):
+    """Section 6: TS traffic grows with hold time; TTS is flat."""
+    result = benchmark(ablations.ablate_ts_vs_tts, critical_cycles=(10, 100))
+    print_once("ablate-ts-tts", result.render())
+
+    def pick(crit, protocol, primitive):
+        for row in result.rows:
+            if row[:3] == [crit, protocol, primitive]:
+                return row[3]
+        raise AssertionError("row missing")
+
+    assert pick(100, "rb", "TS") > 2 * pick(10, "rb", "TS")
+    assert pick(100, "rb", "TTS") == pick(10, "rb", "TTS")
+
+
+def test_arbiter_policies(benchmark):
+    """Correctness is arbitration-agnostic; completion times comparable."""
+    result = benchmark(ablations.ablate_arbiter_policies)
+    print_once("ablate-arbiters", result.render())
+    cycles = [row[1] for row in result.rows]
+    assert max(cycles) < 5 * min(cycles)
+
+
+def test_protocol_shootout(benchmark):
+    """RWB generates the least traffic on the shared-heavy mix."""
+    result = benchmark(ablations.protocol_shootout, processors=4,
+                       refs_per_pe=300)
+    print_once("ablate-shootout", result.render())
+    traffic = {row[0]: row[1] for row in result.rows}
+    assert traffic["rwb"] == min(traffic.values())
+
+
+def test_faa_vs_lock(benchmark):
+    """One locked RMW per update beats lock/read/add/store/release."""
+    result = benchmark(ablations.ablate_faa_vs_lock)
+    print_once("ablate-faa", result.render())
+    assert all(row[4] for row in result.rows)  # no increment lost
+    by_key = {(row[0], row[1]): row[2] for row in result.rows}
+    for protocol in ("rb", "rwb"):
+        assert by_key[(protocol, "faa")] < by_key[(protocol, "lock")] / 2
+
+
+def test_lock_granularity(benchmark):
+    """Coarse locks multiply NACKs, not completion time (footnote 7)."""
+    result = benchmark(ablations.ablate_lock_granularity)
+    print_once("ablate-granularity", result.render())
+    nacks = {row[0]: row[3] for row in result.rows}
+    assert nacks["all"] > nacks["word"]
+
+
+def test_reliability_replication(benchmark):
+    """Section 8: RWB's replication survives every single-copy fault."""
+    result = benchmark(ablations.ablate_reliability)
+    print_once("ablate-reliability", result.render())
+    coverage = {row[0]: row[1] for row in result.rows}
+    assert coverage["rwb"] == "100%"
+    assert coverage["rb"] != "100%"
+
+
+def test_competitive_update(benchmark):
+    """Self-invalidation caps wasted updates; active readers unaffected."""
+    result = benchmark(ablations.ablate_competitive_update)
+    print_once("ablate-competitive", result.render())
+    by_protocol = {row[0]: row for row in result.rows}
+    assert by_protocol["rwb"][1] == 20           # idle copy fed everything
+    assert by_protocol["rwb-competitive (limit 2)"][1] <= 2
+    assert by_protocol["rwb-competitive (limit 2)"][2] == 20
+
+
+def test_ticket_vs_tts(benchmark):
+    """One locked RMW per acquisition vs the TTS thundering herd."""
+    result = benchmark(ablations.ablate_ticket_vs_tts)
+    print_once("ablate-ticket", result.render())
+    rmws = {(row[0], row[1]): row[4] for row in result.rows}
+    for protocol in ("rb", "rwb"):
+        assert rmws[(protocol, "ticket")] <= rmws[(protocol, "TTS")]
+
+
+def test_set_size(benchmark):
+    """Associativity removes the conflict share of Table 1-1's misses."""
+    result = benchmark(ablations.ablate_set_size)
+    print_once("ablate-set-size", result.render())
+    miss = {row[0]: row[1] for row in result.rows}
+    assert miss[4] <= miss[1]

@@ -1,0 +1,28 @@
+"""Benchmarks for the Section 8 extension studies."""
+
+from conftest import print_once
+
+from repro.experiments import extensions
+
+
+def test_hierarchy_extension(benchmark):
+    """Two-level clusters: traffic split + cross-cluster lock exclusivity."""
+    study = benchmark(extensions.hierarchy_study)
+    print_once("ext-hierarchy", study.render())
+    assert study.ok, study.failures
+
+
+def test_reliability_extension(benchmark):
+    """Replication coverage: RWB survives every single-copy fault."""
+    study = benchmark(extensions.reliability_study)
+    print_once("ext-reliability", study.render())
+    assert study.ok, study.failures
+    coverage = {row[0]: row[1] for row in study.rows}
+    assert coverage["rwb"] == "100%"
+
+
+def test_systolic_and_faa_extension(benchmark):
+    """Pipeline hand-offs cheapest under RWB; F&A counter exact."""
+    study = benchmark(extensions.systolic_study)
+    print_once("ext-systolic", study.render())
+    assert study.ok, study.failures

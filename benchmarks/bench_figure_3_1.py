@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3-1 (RB transition diagram) and verify it
+against the published edges."""
+
+from conftest import print_once
+
+from repro.experiments import figure_3_1
+
+
+def test_figure_3_1(benchmark):
+    result = benchmark(figure_3_1.run)
+    print_once("figure-3-1", figure_3_1.render(result))
+    assert result.matches_paper, result.mismatches
+    assert len(result.entries) == 12

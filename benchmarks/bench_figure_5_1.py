@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 5-1 (RWB transition diagram) and verify it
+against the published edges."""
+
+from conftest import print_once
+
+from repro.experiments import figure_5_1
+
+
+def test_figure_5_1(benchmark):
+    result = benchmark(figure_5_1.run)
+    print_once("figure-5-1", figure_5_1.render(result))
+    assert result.matches_paper, result.mismatches
+    assert len(result.entries) == 20

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6-1 (test-and-set under RB).
+
+Checks the row-for-row state trace and that spinning on a held lock
+generates bus traffic (the hot spot the figure illustrates).
+"""
+
+from conftest import print_once
+
+from repro.experiments import figure_6_1
+
+
+def test_figure_6_1(benchmark):
+    result = benchmark(figure_6_1.run)
+    print_once("figure-6-1", figure_6_1.render(result))
+    assert result.matches_paper, result.mismatches
+    assert result.spin_bus_transactions > 0

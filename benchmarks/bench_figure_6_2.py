@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 6-2 (test-and-test-and-set under RB).
+
+Checks the row trace including the "A Bus Read to S" hand-off row, and
+that steady-state spins cost exactly zero bus transactions.
+"""
+
+from conftest import print_once
+
+from repro.experiments import figure_6_2
+
+
+def test_figure_6_2(benchmark):
+    result = benchmark(figure_6_2.run)
+    print_once("figure-6-2", figure_6_2.render(result))
+    assert result.matches_paper, result.mismatches
+    assert result.steady_spin_bus_transactions == 0
+    assert result.refill_bus_transactions > 0

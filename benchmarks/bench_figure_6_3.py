@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 6-3 (test-and-test-and-set under RWB).
+
+Checks the R(1) F(1) R(1) lock-acquisition row, that spins never touch the
+bus (no refill round at all under write-broadcast), and the substantial
+minimization of invalidations relative to RB.
+"""
+
+from conftest import print_once
+
+from repro.experiments import figure_6_2, figure_6_3
+
+
+def test_figure_6_3(benchmark):
+    result = benchmark(figure_6_3.run)
+    print_once("figure-6-3", figure_6_3.render(result))
+    assert result.matches_paper, result.mismatches
+    assert result.spin_bus_transactions == 0
+
+
+def test_figure_6_3_invalidation_minimization(benchmark):
+    """Compared to the RB scenario, RWB invalidates almost never."""
+
+    def both():
+        return figure_6_2.run(), figure_6_3.run()
+
+    rb_result, rwb_result = benchmark(both)
+    rb_invalidations = sum(
+        1
+        for row in rb_result.rows
+        for cell in row.cache_states
+        if cell == "I(-)"
+    )
+    rwb_invalidations = rwb_result.invalidations
+    assert rwb_invalidations <= 2
+    assert rb_invalidations > rwb_invalidations

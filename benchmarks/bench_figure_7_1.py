@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 7-1 / Section 7 (shared-bus bandwidth).
+
+Checks the 12.8-MACS worked example, the dual-bus halving, the 32-256
+processor feasibility claim, and — via simulation — that the measured
+single-bus utilization saturates while an interleaved pair relieves it.
+"""
+
+from conftest import print_once
+
+from repro.experiments import figure_7_1
+
+
+def test_figure_7_1_analytic(benchmark):
+    result = benchmark(figure_7_1.run, simulate=False)
+    assert result.matches_paper, result.mismatches
+    assert result.example_sbb == 12.8
+    assert result.feasible_range_ok
+
+
+def test_figure_7_1_simulated(benchmark):
+    result = benchmark(
+        figure_7_1.run, sim_widths=(2, 4, 8, 16), refs_per_pe=250
+    )
+    print_once("figure-7-1", figure_7_1.render(result))
+    assert result.matches_paper, result.mismatches
+    assert result.knee_single_bus is not None
+    single = {p.processors: p for p in result.simulated if p.num_buses == 1}
+    dual = {p.processors: p for p in result.simulated if p.num_buses == 2}
+    for width in (4, 8, 16):
+        assert dual[width].throughput > single[width].throughput

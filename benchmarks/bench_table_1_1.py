@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 1-1 (Cm* emulated cache results).
+
+Asserts the table's structure (falling read-miss column, constant
+local-write and shared columns) and that every cell lands within a few
+points of the published values.
+"""
+
+from conftest import print_once
+
+from repro.experiments import table_1_1
+from repro.experiments.table_1_1 import CACHE_SIZES, PAPER_CELLS
+from repro.workloads.cmstar import APP_PDE, APP_QSORT
+
+NUM_REFS = 40_000
+
+
+def test_table_1_1(benchmark):
+    result = benchmark(table_1_1.run, num_refs=NUM_REFS)
+    print_once("table-1-1", table_1_1.render(result))
+    assert result.ok, result.shape_violations
+    for app in (APP_QSORT, APP_PDE):
+        for size in CACHE_SIZES:
+            cell = result.cells[(app.name, size)]
+            paper_read_miss = PAPER_CELLS[app.name][size][0]
+            assert abs(cell.read_miss.percent - paper_read_miss) < 4.0

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures via
+pytest-benchmark, asserts the paper's qualitative claim on the result, and
+prints the rendered artifact once (under ``-s``) so a benchmark run leaves
+the full reproduction report in its output.
+"""
+
+_printed: set[str] = set()
+
+
+def print_once(key: str, text: str) -> None:
+    """Print *text* once per session (benchmarks re-run their bodies)."""
+    if key not in _printed:
+        _printed.add(key)
+        print(f"\n{text}\n")

@@ -1,0 +1,67 @@
+"""Memory reliability through cache replication (Section 8, direction 2).
+
+The paper closes by pointing at "the exploitation of replicated values in
+the various caches to improve the reliability of the memory".  This demo
+populates replicas with a write-then-read-shared pattern, corrupts single
+copies (main memory, then individual cache lines), and shows the
+scavenger reconstructing the truth — and where each protocol's
+replication runs out.
+
+Run:  python examples/fault_recovery.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.reliability import FaultInjector, run_recoverability, scavenge
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+
+
+def walkthrough() -> None:
+    print("== Walkthrough: one corrupted word, step by step (RWB) ==")
+    machine = ScriptedMachine(
+        MachineConfig(num_pes=4, protocol="rwb", cache_lines=8,
+                      memory_size=32)
+    )
+    machine.write(0, 5, 1234)
+    for pe in (1, 2, 3):
+        machine.read(pe, 5)
+    print("after write + 3 readers:",
+          [cache.snapshot(5) for cache in machine.caches],
+          "mem =", machine.memory.peek(5))
+
+    injector = FaultInjector(machine.machine)
+    fault = injector.corrupt_memory(5)
+    print(f"corrupted memory: {fault.original} -> {fault.corrupted}")
+
+    outcome = scavenge(machine.machine, 5)
+    print(f"scavenged: {outcome.recovered_value} from {outcome.replicas} "
+          f"replicas (dirty holder used: {outcome.dirty_copy_used})")
+    print("memory repaired to", machine.memory.peek(5))
+    print()
+
+
+def coverage_comparison() -> None:
+    print("== Single-fault coverage per protocol ==")
+    rows = []
+    for protocol in ("write-through", "write-once", "rb", "rwb",
+                     "rwb-competitive"):
+        result = run_recoverability(protocol)
+        rows.append([
+            protocol,
+            f"{result.coverage:.0%}",
+            f"{result.mean_replicas:.1f}",
+            result.faults,
+        ])
+    print(render_table(
+        ["Protocol", "Coverage", "Replicas/word", "Faults injected"], rows
+    ))
+    print("\nAfter a fresh write, invalidation schemes hold ~2 copies (the "
+          "writer and memory) — a 1-vs-1 vote the blind scavenger can "
+          "lose.  RWB's write-broadcast keeps every reader's copy current, "
+          "so any single corruption is outvoted: the paper's 'higher "
+          "probability that some cache contains a correct copy'.")
+
+
+if __name__ == "__main__":
+    walkthrough()
+    coverage_comparison()

@@ -1,0 +1,87 @@
+"""Hierarchical clusters: the paper's Section 8 research direction, built.
+
+Two-level machine: write-through L1s on per-cluster local buses, cluster
+adapters whose L2s snoop the global bus with the RB scheme, global lock
+pass-through for cross-cluster test-and-set.  The demo shows the scaling
+argument — cluster-private traffic stays off the global bus — and proves
+cross-cluster mutual exclusion with a shared TTS lock.
+
+Run:  python examples/hierarchical_clusters.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.common.types import AccessType, MemRef
+from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
+from repro.sync.locks import build_lock_program
+
+
+def traffic_split_demo() -> None:
+    print("== Traffic split: cluster-private working sets ==")
+    rows = []
+    for num_clusters, pes in ((1, 4), (2, 2), (4, 1)):
+        config = HierarchicalConfig(
+            num_clusters=num_clusters, pes_per_cluster=pes,
+            l1_lines=8, l2_lines=32, l2_protocol="rb", memory_size=512,
+        )
+        machine = HierarchicalMachine(config)
+        streams = []
+        for pe in range(config.total_pes):
+            cluster = pe // pes
+            base = cluster * 32
+            stream = []
+            for i in range(30):
+                stream.append(MemRef(pe, AccessType.WRITE, base + i % 6, i + 1))
+                stream.append(MemRef(pe, AccessType.READ, base + i % 6))
+            streams.append(stream)
+        machine.load_traces(streams)
+        cycles = machine.run(max_cycles=2_000_000)
+        rows.append([
+            f"{num_clusters}x{pes}",
+            cycles,
+            machine.local_traffic(),
+            machine.global_traffic(),
+            f"{machine.local_traffic() / max(1, machine.global_traffic()):.1f}x",
+        ])
+    print(render_table(
+        ["Clusters x PEs", "Cycles", "Local bus txns", "Global bus txns",
+         "Local/global"],
+        rows,
+    ))
+    print("Local buses carry the working-set traffic in parallel — the "
+          "same work finishes in roughly half the cycles with two local "
+          "buses — while the global bus sees only each cluster's cold "
+          "fetches.\n")
+
+
+def cross_cluster_lock_demo() -> None:
+    print("== Cross-cluster TTS lock (global RMW pass-through) ==")
+    config = HierarchicalConfig(
+        num_clusters=2, pes_per_cluster=2, l1_lines=8, l2_lines=16,
+        l2_protocol="rwb", memory_size=128,
+    )
+    machine = HierarchicalMachine(config)
+    program = build_lock_program(lock_address=0, rounds=5, use_tts=True,
+                                 critical_cycles=10)
+    machine.load_programs([program] * 4)
+    cycles = machine.run(max_cycles=3_000_000)
+    successes = sum(
+        l1.stats.get("cache.ts_success")
+        for cluster in machine.clusters
+        for l1 in cluster.l1s
+    )
+    filtered = sum(
+        cluster.adapter.stats.get("adapter.filtered_invalidations")
+        for cluster in machine.clusters
+    )
+    print(f"4 PEs in 2 clusters, 5 acquisitions each: {successes} "
+          f"exclusive acquisitions in {cycles} cycles")
+    print(f"global bus transactions : {machine.global_traffic()}")
+    print(f"local bus transactions  : {machine.local_traffic()}")
+    print(f"filter invalidations    : {filtered} (global events pushed "
+          "into cluster L1s)")
+    print(f"final lock value        : {machine.latest_value(0)} (0 = released)")
+
+
+if __name__ == "__main__":
+    traffic_split_demo()
+    cross_cluster_lock_demo()

@@ -1,0 +1,74 @@
+"""Spin-lock hot spots: test-and-set vs test-and-test-and-set (Section 6).
+
+Sweeps critical-section length and contender count, printing bus traffic
+per lock acquisition for both primitives under both of the paper's
+schemes.  The paper's claim appears as a flat TTS column next to a TS
+column that grows linearly with hold time.
+
+Run:  python examples/spinlock_contention.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.workloads.locks import run_lock_contention
+
+
+def sweep_hold_time() -> None:
+    print("== Bus transactions per acquisition vs critical-section length ==")
+    rows = []
+    for critical in (10, 50, 100, 200):
+        row = [critical]
+        for protocol in ("rb", "rwb"):
+            for use_tts in (False, True):
+                result = run_lock_contention(
+                    protocol, num_pes=4, rounds_per_pe=10,
+                    use_tts=use_tts, critical_cycles=critical,
+                )
+                row.append(round(result.transactions_per_acquisition, 1))
+        rows.append(row)
+    print(
+        render_table(
+            headers=["Critical cycles", "RB/TS", "RB/TTS", "RWB/TS", "RWB/TTS"],
+            rows=rows,
+        )
+    )
+    print("TS columns grow with hold time; TTS columns are flat.\n")
+
+
+def sweep_contenders() -> None:
+    print("== Traffic per acquisition vs contenders (critical = 100) ==")
+    rows = []
+    for num_pes in (2, 4, 8):
+        row = [num_pes]
+        for protocol, use_tts in (("rb", False), ("rb", True),
+                                  ("rwb", True)):
+            result = run_lock_contention(
+                protocol, num_pes=num_pes, rounds_per_pe=8,
+                use_tts=use_tts, critical_cycles=100,
+            )
+            row.append(round(result.transactions_per_acquisition, 1))
+        rows.append(row)
+    print(
+        render_table(
+            headers=["Contenders", "RB/TS", "RB/TTS", "RWB/TTS"], rows=rows
+        )
+    )
+    print("More spinners make TS worse; TTS stays near the hand-off cost.\n")
+
+
+def invalidation_story() -> None:
+    print("== Invalidations: RB invalidates spinners, RWB broadcasts ==")
+    rows = []
+    for protocol in ("rb", "rwb"):
+        result = run_lock_contention(
+            protocol, num_pes=4, rounds_per_pe=10, use_tts=True,
+            critical_cycles=50,
+        )
+        rows.append([protocol, result.invalidations, result.bus_transactions])
+    print(render_table(headers=["Protocol", "Invalidations", "Bus txns"],
+                       rows=rows))
+
+
+if __name__ == "__main__":
+    sweep_hold_time()
+    sweep_contenders()
+    invalidation_story()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools predates wheel-free PEP 660 editable installs
+(pip then falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

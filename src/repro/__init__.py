@@ -1,0 +1,68 @@
+"""repro: reproduction of Rudolph & Segall (1984).
+
+Dynamic decentralized cache schemes (RB / RWB), test-and-test-and-set
+synchronization, and shared-bus bandwidth analysis for shared-memory
+shared-bus MIMD multiprocessors — as a cycle-level simulator, a formal
+(model-checked) consistency verifier, and a benchmark harness regenerating
+every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Machine, MachineConfig
+    from repro.sync import build_lock_program
+
+    config = MachineConfig(num_pes=4, protocol="rwb")
+    machine = Machine(config)
+    machine.load_programs(
+        [build_lock_program(lock_address=0, rounds=10, use_tts=True)] * 4
+    )
+    machine.run()
+    print(machine.stats.bag("bus").as_dict())
+"""
+
+from repro.common.types import AccessType, Address, DataClass, MemRef, Word
+from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
+from repro.protocols import (
+    LineState,
+    RBProtocol,
+    RWBCompetitiveProtocol,
+    RWBProtocol,
+    WriteOnceProtocol,
+    WriteThroughInvalidateProtocol,
+    available_protocols,
+    make_protocol,
+)
+from repro.system import (
+    ConfigurationTracer,
+    Machine,
+    MachineConfig,
+    ScriptedMachine,
+)
+from repro.verify import check_protocol, run_random_consistency_trial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "Address",
+    "ConfigurationTracer",
+    "DataClass",
+    "HierarchicalConfig",
+    "HierarchicalMachine",
+    "LineState",
+    "Machine",
+    "MachineConfig",
+    "MemRef",
+    "RBProtocol",
+    "RWBCompetitiveProtocol",
+    "RWBProtocol",
+    "ScriptedMachine",
+    "Word",
+    "WriteOnceProtocol",
+    "WriteThroughInvalidateProtocol",
+    "__version__",
+    "available_protocols",
+    "check_protocol",
+    "make_protocol",
+    "run_random_consistency_trial",
+]

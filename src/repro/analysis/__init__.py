@@ -1,0 +1,42 @@
+"""Analysis helpers: the Section 7 bandwidth model and table rendering.
+
+* :mod:`repro.analysis.bandwidth` — the analytic shared-bus-bandwidth
+  model (SBB >= m*x/h), its inversions, and simulation-backed utilization
+  sweeps with saturation detection.
+* :mod:`repro.analysis.tables` — fixed-width table rendering in the
+  paper's visual style, used by every experiment report.
+"""
+
+from repro.analysis.bandwidth import (
+    UtilizationPoint,
+    find_saturation_knee,
+    max_processors,
+    measure_utilization,
+    per_bus_demand_macs,
+    required_bandwidth_macs,
+    saturation_sweep_workload,
+)
+from repro.analysis.report import (
+    bus_report,
+    cache_report,
+    machine_report,
+    pe_report,
+)
+from repro.analysis.tables import render_table
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "UtilizationPoint",
+    "bus_report",
+    "cache_report",
+    "find_saturation_knee",
+    "machine_report",
+    "max_processors",
+    "measure_utilization",
+    "pe_report",
+    "per_bus_demand_macs",
+    "render_table",
+    "render_timeline",
+    "required_bandwidth_macs",
+    "saturation_sweep_workload",
+]

@@ -1,0 +1,206 @@
+"""The Section 7 shared-bus bandwidth model, analytic and simulated.
+
+Analytic side — the paper's formula with its notation:
+
+* ``x`` — accesses per second per processor, in Million Accesses per
+  Second (MACS);
+* ``1/h`` — the cache miss ratio;
+* ``m`` — processors on the shared bus;
+* the shared bus bandwidth must satisfy ``SBB >= m * x * (1/h)``.
+
+The worked example (1/h = 10%, m = 128, x = 1 MACS) gives SBB = 12.8 MACS.
+The multiple-bus extension divides traffic by interleaving, so each of
+``b`` buses needs about ``SBB / b``.
+
+Simulated side — drive real machines with the synthetic workload at
+increasing processor counts and measure actual bus utilization, locating
+the saturation knee the formula predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.synthetic import SyntheticWorkload, generate_synthetic_streams
+
+
+def required_bandwidth_macs(
+    processors: int, access_rate_macs: float, miss_ratio: float
+) -> float:
+    """The paper's SBB lower bound: ``m * x * (1/h)`` in MACS.
+
+    Args:
+        processors: ``m``.
+        access_rate_macs: ``x``.
+        miss_ratio: ``1/h`` as a fraction (0.10 for the worked example).
+    """
+    _check_rates(processors, access_rate_macs, miss_ratio)
+    return processors * access_rate_macs * miss_ratio
+
+
+def max_processors(
+    bus_bandwidth_macs: float, access_rate_macs: float, miss_ratio: float
+) -> int:
+    """Largest ``m`` a bus of the given bandwidth supports unsaturated."""
+    _check_rates(1, access_rate_macs, miss_ratio)
+    if bus_bandwidth_macs <= 0:
+        raise ConfigurationError("bus bandwidth must be positive")
+    per_processor = access_rate_macs * miss_ratio
+    if per_processor == 0:
+        raise ConfigurationError("per-processor demand is zero")
+    return int(bus_bandwidth_macs / per_processor)
+
+
+def per_bus_demand_macs(
+    processors: int,
+    access_rate_macs: float,
+    miss_ratio: float,
+    num_buses: int,
+) -> float:
+    """Per-bank demand under the Figure 7-1 interleaved split.
+
+    "Each part of the divided cache will generate, on average, half of the
+    traffic" — generalized to ``1/num_buses``.
+    """
+    if num_buses < 1:
+        raise ConfigurationError(f"need >= 1 bus, got {num_buses}")
+    return required_bandwidth_macs(processors, access_rate_macs, miss_ratio) / num_buses
+
+
+def _check_rates(processors: int, access_rate: float, miss_ratio: float) -> None:
+    if processors < 1:
+        raise ConfigurationError(f"need >= 1 processor, got {processors}")
+    if access_rate < 0:
+        raise ConfigurationError(f"access rate must be >= 0, got {access_rate}")
+    if not 0 <= miss_ratio <= 1:
+        raise ConfigurationError(f"miss ratio {miss_ratio} not in [0, 1]")
+
+
+# ---------------------------------------------------------------------- #
+# simulation-backed utilization                                           #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationPoint:
+    """One measured point of the utilization sweep.
+
+    Attributes:
+        processors: machine width.
+        num_buses: fabric width.
+        utilization: mean busy fraction of the physical buses.
+        cycles: run length in bus cycles.
+        instructions: total PE instructions completed.
+        throughput: instructions per bus cycle — flattens at saturation.
+    """
+
+    processors: int
+    num_buses: int
+    utilization: float
+    cycles: int
+    instructions: int
+
+    @property
+    def throughput(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+def saturation_sweep_workload() -> SyntheticWorkload:
+    """The default workload shape for utilization sweeps.
+
+    Tuned for a high hit ratio (footprints comfortably inside a 256-line
+    cache, tight loop locality, modest shared traffic) so that per-PE bus
+    demand is a small fraction of references and the saturation knee
+    appears at a processor count the formula predicts, rather than at 1.
+    """
+    return SyntheticWorkload(
+        shared_words=32,
+        code_words=300,
+        local_words=150,
+        p_code=0.6,
+        p_local=0.32,
+        p_shared=0.08,
+        p_shared_write=0.25,
+        p_shared_repeat=0.7,
+        code_skew=1.2,
+        local_skew=1.0,
+    )
+
+
+def measure_utilization(
+    protocol: str,
+    processors: int,
+    num_buses: int = 1,
+    refs_per_pe: int = 400,
+    workload: SyntheticWorkload | None = None,
+    cache_lines: int = 256,
+    seed: int = 0,
+) -> UtilizationPoint:
+    """Run the synthetic workload at a given width and measure the bus.
+
+    Args:
+        protocol: protocol registry name.
+        processors: PEs to simulate.
+        num_buses: interleaved-fabric width.
+        refs_per_pe: workload length per PE.
+        workload: workload shape; :func:`saturation_sweep_workload` is
+            used if omitted (``num_pes``/``refs_per_pe``/``seed`` fields
+            are overridden either way).
+        cache_lines: per-cache frames.
+        seed: workload seed.
+    """
+    base = workload or saturation_sweep_workload()
+    shaped = SyntheticWorkload(
+        num_pes=processors,
+        refs_per_pe=refs_per_pe,
+        shared_words=base.shared_words,
+        code_words=base.code_words,
+        local_words=base.local_words,
+        p_code=base.p_code,
+        p_local=base.p_local,
+        p_shared=base.p_shared,
+        p_local_write=base.p_local_write,
+        p_shared_write=base.p_shared_write,
+        p_shared_repeat=base.p_shared_repeat,
+        code_skew=base.code_skew,
+        local_skew=base.local_skew,
+        seed=seed,
+    )
+    streams = generate_synthetic_streams(shaped)
+    config = MachineConfig(
+        num_pes=processors,
+        protocol=protocol,
+        cache_lines=cache_lines,
+        num_buses=num_buses,
+        memory_size=shaped.memory_words + 64,
+        seed=seed,
+    )
+    machine = Machine(config)
+    machine.load_traces(streams)
+    cycles = machine.run(max_cycles=refs_per_pe * processors * 1000)
+    instructions = machine.stats.total("pe.instructions", "pe")
+    return UtilizationPoint(
+        processors=processors,
+        num_buses=num_buses,
+        utilization=machine.bus_utilization,
+        cycles=cycles,
+        instructions=instructions,
+    )
+
+
+def find_saturation_knee(
+    points: list[UtilizationPoint], threshold: float = 0.9
+) -> int | None:
+    """Smallest processor count whose utilization crosses *threshold*.
+
+    Returns ``None`` if no sweep point saturates.
+    """
+    if not 0 < threshold <= 1:
+        raise ConfigurationError(f"threshold {threshold} not in (0, 1]")
+    saturated = [p.processors for p in points if p.utilization >= threshold]
+    return min(saturated) if saturated else None

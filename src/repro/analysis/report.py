@@ -1,0 +1,89 @@
+"""Whole-machine performance reports.
+
+Renders a run's statistics the way an architecture paper would tabulate
+them: per-cache hit ratios with the compulsory/replacement/coherence miss
+breakdown, the bus operation mix with utilization, and per-PE instruction
+and stall counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.common.stats import RatioStat
+from repro.system.machine import Machine
+
+
+def cache_report(machine: Machine) -> str:
+    """Per-cache reference breakdown with 3C-style miss classification."""
+    headers = [
+        "Cache", "Reads", "Hit %", "Miss comp.", "Miss repl.", "Miss coh.",
+        "Writes", "Silent %", "Invalidations", "Absorbed",
+    ]
+    rows = []
+    for cache in machine.caches:
+        stats = cache.stats
+        reads = stats.get("cache.reads")
+        writes = stats.get("cache.writes")
+        hit = RatioStat(stats.get("cache.read_hits"), reads)
+        silent = RatioStat(stats.get("cache.write_local_hits"), writes)
+        rows.append([
+            cache.name,
+            reads,
+            f"{hit.percent:.1f}",
+            stats.get("cache.read_miss_compulsory"),
+            stats.get("cache.read_miss_replacement"),
+            stats.get("cache.read_miss_coherence"),
+            writes,
+            f"{silent.percent:.1f}",
+            stats.get("cache.invalidations"),
+            stats.get("cache.absorbed_reads") + stats.get("cache.absorbed_writes"),
+        ])
+    return render_table(headers, rows, title="Cache behaviour")
+
+
+def bus_report(machine: Machine) -> str:
+    """Bus operation mix and utilization."""
+    bus = machine.stats.bag("bus")
+    rows = [
+        ["bus reads (BR)", bus.get("bus.op.read")],
+        ["bus writes (BW)", bus.get("bus.op.write")],
+        ["bus invalidates (BI)", bus.get("bus.op.invalidate")],
+        ["read-with-lock (BRL)", bus.get("bus.op.read_lock")],
+        ["write-with-unlock (BWU)", bus.get("bus.op.write_unlock")],
+        ["unlocks (BUL)", bus.get("bus.op.unlock")],
+        ["write-backs (subset)", bus.get("bus.writebacks")],
+        ["interrupted reads", bus.get("bus.interrupted_reads")],
+        ["NACKs", bus.get("bus.nacks")],
+        ["utilization", f"{machine.bus_utilization:.1%}"],
+    ]
+    return render_table(["Bus metric", "Value"], rows, title="Bus activity")
+
+
+def pe_report(machine: Machine) -> str:
+    """Per-PE instruction and stall accounting."""
+    headers = ["PE", "Instructions", "Loads", "Stores", "TS", "Stall cycles"]
+    rows = []
+    for driver in machine.drivers:
+        stats = driver.stats
+        rows.append([
+            f"pe{driver.pe_id}",
+            stats.get("pe.instructions"),
+            stats.get("pe.loads"),
+            stats.get("pe.stores"),
+            stats.get("pe.ts"),
+            stats.get("pe.stall_cycles"),
+        ])
+    return render_table(headers, rows, title="Processing elements")
+
+
+def machine_report(machine: Machine) -> str:
+    """The full three-section report for one finished run."""
+    header = (
+        f"Machine report: {machine.config.num_pes} PEs, protocol "
+        f"{machine.config.protocol}, {machine.config.cache_lines}-line "
+        f"caches, {machine.bus.bus_count} bus(es), cycle {machine.cycle}"
+    )
+    sections = [header, cache_report(machine), bus_report(machine)]
+    if machine.drivers:
+        sections.append(pe_report(machine))
+    return "\n\n".join(sections)

@@ -1,0 +1,67 @@
+"""Fixed-width ASCII table rendering for experiment reports.
+
+Every experiment's ``render()`` produces tables in the paper's visual
+style: a title, a rule, column headers, and right-aligned numeric cells.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    min_width: int = 6,
+) -> str:
+    """Render *rows* under *headers* as a monospace table.
+
+    Args:
+        headers: column titles.
+        rows: row cells; each row must match the header count.  Cells are
+            stringified; floats render with two decimals.
+        title: optional caption line above the table.
+        min_width: minimum column width.
+
+    Returns:
+        The table as a newline-joined string (no trailing newline).
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    formatted_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} columns"
+            )
+        formatted_rows.append([_format_cell(cell) for cell in row])
+
+    widths = [max(min_width, len(header)) for header in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted_rows:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,87 @@
+"""ASCII timelines of bus activity.
+
+Renders a recorded bus log (``MachineConfig(record_bus_log=True)``) as one
+lane per originating client, one column per bus cycle — the visual the
+paper's Figure 6-x tables imply, but for arbitrary runs.  Useful for
+eyeballing hand-off patterns, interrupt/retry pairs and burst shapes.
+
+Legend: ``r`` bus read, ``w`` bus write, ``W`` write-back, ``L`` read-with-
+lock, ``U`` write-with-unlock, ``u`` unlock, ``i`` invalidate, ``!``
+prefix marks a transaction that killed (interrupted) a bus read.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp, CompletedTransaction
+from repro.common.errors import ConfigurationError
+
+_GLYPHS = {
+    BusOp.READ: "r",
+    BusOp.WRITE: "w",
+    BusOp.READ_LOCK: "L",
+    BusOp.WRITE_UNLOCK: "U",
+    BusOp.UNLOCK: "u",
+    BusOp.INVALIDATE: "i",
+}
+
+
+def render_timeline(
+    log: list[CompletedTransaction],
+    address: int | None = None,
+    width: int = 72,
+    client_names: dict[int, str] | None = None,
+) -> str:
+    """Render *log* as per-client lanes over bus cycles.
+
+    Args:
+        log: completed transactions, as recorded by the machine.
+        address: restrict to one word (``None`` = all addresses).
+        width: maximum cycles per row block; longer runs wrap.
+        client_names: optional client id -> label map (defaults to
+            ``c<id>``).
+
+    Returns:
+        The rendered timeline (empty-log message if nothing matched).
+    """
+    if width < 8:
+        raise ConfigurationError(f"width must be >= 8, got {width}")
+    selected = [
+        done for done in log
+        if address is None or done.transaction.address == address
+    ]
+    if not selected:
+        return "(no bus transactions recorded)"
+
+    first = min(done.cycle for done in selected)
+    last = max(done.cycle for done in selected)
+    clients = sorted({done.transaction.originator for done in selected})
+    names = client_names or {}
+    labels = {client: names.get(client, f"c{client}") for client in clients}
+    label_width = max(len(label) for label in labels.values()) + 1
+
+    cells: dict[tuple[int, int], str] = {}
+    for done in selected:
+        glyph = _GLYPHS[done.transaction.op]
+        if done.transaction.is_writeback:
+            glyph = "W"
+        if done.interrupted_request is not None:
+            glyph = "!" if glyph == "W" else glyph
+        cells[(done.transaction.originator, done.cycle)] = glyph
+
+    blocks: list[str] = []
+    start = first
+    while start <= last:
+        end = min(start + width - 1, last)
+        lines = [f"cycles {start}..{end}" +
+                 (f" (address {address})" if address is not None else "")]
+        for client in clients:
+            row = "".join(
+                cells.get((client, cycle), ".")
+                for cycle in range(start, end + 1)
+            )
+            lines.append(f"{labels[client]:>{label_width}} |{row}|")
+        blocks.append("\n".join(lines))
+        start = end + 1
+    legend = ("legend: r=read w=write W=write-back !=interrupt-supply "
+              "L=read-lock U=write-unlock u=unlock i=invalidate .=idle")
+    return "\n\n".join(blocks) + "\n" + legend

@@ -1,0 +1,44 @@
+"""The logically-single shared bus of the paper (Section 2, assumptions 1-6).
+
+The bus is the machine's critical resource: it serializes all global memory
+activity, lets every cache "listen" to every transaction (snooping), and —
+crucially for the RB/RWB schemes — lets a cache *interrupt* an in-flight bus
+read and replace it with a write-back of its own, after which the original
+read is retried (Section 3, state L behaviour).
+
+Contents:
+
+* :mod:`repro.bus.transaction` — bus operation types and transaction records.
+* :mod:`repro.bus.arbiter` — bus arbitration policies (assumption 2).
+* :mod:`repro.bus.interfaces` — the client (cache) and network interfaces.
+* :mod:`repro.bus.bus` — the cycle-driven :class:`SharedBus`.
+* :mod:`repro.bus.multibus` — the address-interleaved multiple-bus extension
+  of Section 7 / Figure 7-1.
+"""
+
+from repro.bus.arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    RandomArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+from repro.bus.bus import SharedBus
+from repro.bus.interfaces import BusClient, BusNetwork
+from repro.bus.multibus import InterleavedMultiBus
+from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
+
+__all__ = [
+    "Arbiter",
+    "BusClient",
+    "BusNetwork",
+    "BusOp",
+    "BusTransaction",
+    "CompletedTransaction",
+    "FixedPriorityArbiter",
+    "InterleavedMultiBus",
+    "RandomArbiter",
+    "RoundRobinArbiter",
+    "SharedBus",
+    "make_arbiter",
+]

@@ -1,0 +1,107 @@
+"""Bus arbitration policies (Section 2, assumption 2).
+
+The paper only assumes "a bus arbitrator that allocates access to the bus";
+it does not fix a policy.  We provide the three classical ones and default
+to round-robin, which is fair and is what makes the lock-handoff traces of
+Section 6 deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+
+
+class Arbiter(abc.ABC):
+    """Chooses which requesting client is granted the bus each cycle."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def grant(self, requesters: Sequence[int]) -> int:
+        """Return the client id granted the bus.
+
+        Args:
+            requesters: non-empty, strictly increasing client ids with a
+                pending transaction this cycle.
+        """
+
+    def _check(self, requesters: Sequence[int]) -> None:
+        if not requesters:
+            raise ConfigurationError("arbiter called with no requesters")
+
+
+class RoundRobinArbiter(Arbiter):
+    """Fair rotation: the granted client becomes lowest priority next cycle."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last_granted = -1
+
+    def grant(self, requesters: Sequence[int]) -> int:
+        self._check(requesters)
+        for client in requesters:
+            if client > self._last_granted:
+                self._last_granted = client
+                return client
+        self._last_granted = requesters[0]
+        return requesters[0]
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Always grants the lowest client id; simple but starvation-prone.
+
+    Useful in tests (deterministic) and as the unfair extreme in the
+    arbitration ablation bench.
+    """
+
+    name = "fixed-priority"
+
+    def grant(self, requesters: Sequence[int]) -> int:
+        self._check(requesters)
+        return min(requesters)
+
+
+class RandomArbiter(Arbiter):
+    """Grants a uniformly random requester; statistically fair."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = DeterministicRng(seed)
+
+    def grant(self, requesters: Sequence[int]) -> int:
+        self._check(requesters)
+        return self._rng.choose(list(requesters))
+
+
+_ARBITERS = {
+    RoundRobinArbiter.name: RoundRobinArbiter,
+    FixedPriorityArbiter.name: FixedPriorityArbiter,
+    RandomArbiter.name: RandomArbiter,
+}
+
+
+def make_arbiter(name: str, seed: int = 0) -> Arbiter:
+    """Build an arbiter by policy name.
+
+    Args:
+        name: one of ``"round-robin"``, ``"fixed-priority"``, ``"random"``.
+        seed: used only by the random policy.
+    """
+    if name not in _ARBITERS:
+        raise ConfigurationError(
+            f"unknown arbiter {name!r}; choose from {sorted(_ARBITERS)}"
+        )
+    if name == RandomArbiter.name:
+        return RandomArbiter(seed)
+    return _ARBITERS[name]()
+
+
+def arbiter_names() -> list[str]:
+    """The registered arbitration policy names."""
+    return sorted(_ARBITERS)

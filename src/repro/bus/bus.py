@@ -1,0 +1,263 @@
+"""The cycle-driven snooping shared bus.
+
+Each call to :meth:`SharedBus.step` models one bus cycle (Section 2,
+assumption 5 guarantees every cache can snoop and react within the cycle):
+
+1. The arbiter grants one queued transaction.
+2. Write-like and lock transactions are refused (NACKed, stay queued) while
+   another client holds the memory lock — "any bus writes before the unlock
+   will fail".
+3. Snooping caches get a chance to *interrupt* a read-like transaction
+   (assumption 6).  A cache holding the line in state L kills the read,
+   substitutes a write-back of its dirty value, and the killed read is
+   retried on a later cycle exactly as the paper describes.
+4. Otherwise the transaction executes against memory, every other client
+   observes it (address, activity and data — assumption 4), and the
+   originator receives its completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.bus.arbiter import Arbiter, RoundRobinArbiter
+from repro.bus.interfaces import BusClient, BusNetwork
+from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
+from repro.common.errors import BusError
+from repro.common.stats import CounterBag
+from repro.common.types import Word
+from repro.memory.main_memory import MainMemory
+
+
+class SharedBus(BusNetwork):
+    """A single logically-shared bus connecting caches, I/O and memory.
+
+    Args:
+        memory: the main memory this bus fronts.  With the multi-bus
+            extension several buses share one memory object and partition
+            the address space between them.
+        arbiter: arbitration policy; defaults to fair round-robin.
+        name: label used in statistics groups.
+    """
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        arbiter: Arbiter | None = None,
+        name: str = "bus0",
+    ) -> None:
+        self.memory = memory
+        self.arbiter = arbiter or RoundRobinArbiter()
+        self.name = name
+        self.stats = CounterBag()
+        self.cycle = 0
+        self._clients: dict[int, BusClient] = {}
+        self._queues: dict[int, deque[BusTransaction]] = {}
+        self._next_client_id = 0
+
+    # ------------------------------------------------------------------ #
+    # BusNetwork interface                                                #
+    # ------------------------------------------------------------------ #
+
+    def attach(self, client: BusClient) -> int:
+        """Register *client*; assigns and returns its client id.
+
+        A client already holding an id (because it was attached to another
+        bus of a multi-bus fabric first) keeps it.
+        """
+        if client.client_id >= 0:
+            client_id = client.client_id
+            if client_id in self._clients and self._clients[client_id] is not client:
+                raise BusError(f"client id {client_id} already taken on {self.name}")
+        else:
+            client_id = self._next_client_id
+            client.client_id = client_id
+        self._next_client_id = max(self._next_client_id, client_id + 1)
+        self._clients[client_id] = client
+        self._queues.setdefault(client_id, deque())
+        return client_id
+
+    def request(self, txn: BusTransaction) -> None:
+        """Queue *txn* behind the originator's earlier requests."""
+        if txn.originator not in self._clients:
+            raise BusError(
+                f"transaction from unattached client {txn.originator}: {txn}"
+            )
+        self._queues[txn.originator].append(txn)
+        self.stats.add("bus.requests")
+
+    def cancel(
+        self, client_id: int, predicate: Callable[[BusTransaction], bool]
+    ) -> int:
+        if client_id not in self._queues:
+            return 0
+        queue = self._queues[client_id]
+        kept = [txn for txn in queue if not predicate(txn)]
+        cancelled = len(queue) - len(kept)
+        queue.clear()
+        queue.extend(kept)
+        if cancelled:
+            self.stats.add("bus.cancelled", cancelled)
+        return cancelled
+
+    def has_pending(self) -> bool:
+        return any(self._queues.values())
+
+    @property
+    def bus_count(self) -> int:
+        return 1
+
+    def step_all(self) -> list[CompletedTransaction]:
+        done = self.step()
+        return [done] if done is not None else []
+
+    # ------------------------------------------------------------------ #
+    # one bus cycle                                                       #
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> CompletedTransaction | None:
+        """Advance one bus cycle; returns what completed, if anything."""
+        self.cycle += 1
+        self.stats.add("bus.cycles")
+        requesters = sorted(
+            client_id for client_id, queue in self._queues.items() if queue
+        )
+        if not requesters:
+            self.stats.add("bus.idle_cycles")
+            return None
+
+        txn = None
+        remaining = list(requesters)
+        while remaining:
+            granted_id = self.arbiter.grant(remaining)
+            if granted_id not in self._queues or not self._queues[granted_id]:
+                raise BusError(
+                    f"arbiter granted client {granted_id} which has no request"
+                )
+            candidate = self._queues[granted_id][0]
+            if candidate.op.needs_lock_check and self.memory.is_locked_against(
+                candidate.address, candidate.originator
+            ):
+                # Memory refuses mid read-modify-write; the bus re-grants
+                # among the other requesters within the same cycle, so a
+                # starvation-prone arbiter cannot livelock the unlock.
+                self.stats.add("bus.nacks")
+                remaining.remove(granted_id)
+                continue
+            if not self.memory.prepare(candidate):
+                # The slave is not ready (a cluster adapter fetching over
+                # the global bus); retry this transaction later.
+                self.stats.add("bus.nacks")
+                remaining.remove(granted_id)
+                continue
+            txn = candidate
+            break
+        if txn is None:
+            # Every requester is blocked behind the memory lock.
+            self.stats.add("bus.busy_cycles")
+            return None
+
+        interrupter = self._find_interrupter(txn)
+        if interrupter is not None:
+            completed = self._run_interrupt_writeback(txn, interrupter)
+        else:
+            self._queues[granted_id].popleft()
+            completed = self._execute(txn)
+
+        self.stats.add("bus.busy_cycles")
+        self.stats.add(f"bus.op.{completed.transaction.op.name.lower()}")
+        if completed.transaction.is_writeback:
+            self.stats.add("bus.writebacks")
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _find_interrupter(self, txn: BusTransaction) -> BusClient | None:
+        if not txn.op.is_read_like:
+            return None
+        interrupters = [
+            client
+            for client_id, client in sorted(self._clients.items())
+            if client_id != txn.originator and client.snoop_wants_interrupt(txn)
+        ]
+        if len(interrupters) > 1:
+            ids = [client.client_id for client in interrupters]
+            raise BusError(
+                f"multiple caches want to interrupt {txn}: {ids} — "
+                "the single-Local invariant is broken"
+            )
+        return interrupters[0] if interrupters else None
+
+    def _run_interrupt_writeback(
+        self, txn: BusTransaction, interrupter: BusClient
+    ) -> CompletedTransaction:
+        """Kill *txn* this cycle and run the interrupter's write-back instead.
+
+        The killed transaction stays at the head of its originator's queue
+        and will be retried on a subsequent cycle ("the interrupted bus
+        read will be retried on the next cycle", Section 3).
+        """
+        writeback = interrupter.make_interrupt_writeback(txn)
+        if not writeback.op.is_write_like:
+            raise BusError(
+                f"interrupt substitute must be write-like, got {writeback}"
+            )
+        self.stats.add("bus.interrupted_reads")
+        self.memory.write(writeback.address, writeback.value)
+        self._broadcast(writeback, writeback.value)
+        interrupter.transaction_complete(writeback, writeback.value)
+        return CompletedTransaction(
+            transaction=writeback,
+            value=writeback.value,
+            cycle=self.cycle,
+            interrupted_request=txn,
+        )
+
+    def _execute(self, txn: BusTransaction) -> CompletedTransaction:
+        if txn.op is BusOp.READ:
+            value = self.memory.read(txn.address)
+        elif txn.op is BusOp.READ_LOCK:
+            value = self.memory.read_lock(txn.address, txn.originator)
+        elif txn.op is BusOp.WRITE:
+            self.memory.write(txn.address, txn.value)
+            value = txn.value
+        elif txn.op is BusOp.WRITE_UNLOCK:
+            self.memory.write_unlock(txn.address, txn.value, txn.originator)
+            value = txn.value
+        elif txn.op is BusOp.UNLOCK:
+            self.memory.unlock(txn.address, txn.originator)
+            value = 0
+        elif txn.op is BusOp.INVALIDATE:
+            value = 0
+        else:  # pragma: no cover - enum is closed
+            raise BusError(f"unhandled bus op {txn.op}")
+
+        self._broadcast(txn, value)
+        originator = self._clients[txn.originator]
+        originator.transaction_complete(txn, value)
+        return CompletedTransaction(transaction=txn, value=value, cycle=self.cycle)
+
+    def _broadcast(self, txn: BusTransaction, value: Word) -> None:
+        """Every client except the originator snoops the completed cycle."""
+        for client_id, client in sorted(self._clients.items()):
+            if client_id != txn.originator:
+                client.observe_transaction(txn, value)
+
+    # ------------------------------------------------------------------ #
+    # reporting helpers                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed cycles the bus carried (or refused) traffic."""
+        if self.cycle == 0:
+            return 0.0
+        return self.stats.get("bus.busy_cycles") / self.cycle
+
+    def queue_depth(self, client_id: int) -> int:
+        """Number of transactions *client_id* has waiting."""
+        queue = self._queues.get(client_id)
+        return len(queue) if queue else 0

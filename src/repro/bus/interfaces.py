@@ -1,0 +1,98 @@
+"""Interfaces between caches and the bus fabric.
+
+A cache attaches to the bus as a :class:`BusClient`; the single bus and the
+interleaved multi-bus both present the same :class:`BusNetwork` face to the
+caches, so the rest of the system is agnostic to the Section 7 extension.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.bus.transaction import BusTransaction, CompletedTransaction
+from repro.common.types import Word
+
+
+class BusClient(abc.ABC):
+    """Anything that snoops the bus and can originate transactions.
+
+    The callbacks mirror the paper's assumptions 4-6: a client sees every
+    transaction (address, activity and data), and a client holding the
+    latest value can interrupt a read-like transaction and substitute a
+    write-back of its own.
+    """
+
+    #: Unique id on the bus; assigned when the client is attached.
+    client_id: int = -1
+
+    @abc.abstractmethod
+    def snoop_wants_interrupt(self, txn: BusTransaction) -> bool:
+        """Must this client kill the granted read-like transaction?
+
+        Under RB/RWB only a cache holding the line in state L answers yes
+        (it holds a value newer than memory's).
+        """
+
+    @abc.abstractmethod
+    def make_interrupt_writeback(self, txn: BusTransaction) -> BusTransaction:
+        """Build the write-back that replaces the killed transaction.
+
+        Called only after :meth:`snoop_wants_interrupt` returned ``True``
+        for *txn*.  The client must also apply its own state change here
+        (L becomes R under RB/RWB: the value is about to be shared).
+        """
+
+    @abc.abstractmethod
+    def observe_transaction(self, txn: BusTransaction, value: Word) -> None:
+        """Snoop a completed transaction originated by *another* client.
+
+        ``value`` is the word that crossed the bus: the data returned for a
+        read-like transaction, or the data stored by a write-like one
+        (meaningless for ``INVALIDATE``/``UNLOCK``).
+        """
+
+    @abc.abstractmethod
+    def transaction_complete(self, txn: BusTransaction, value: Word) -> None:
+        """This client's own transaction was granted and completed."""
+
+
+class BusNetwork(abc.ABC):
+    """The face the caches (and the machine loop) see.
+
+    Implemented by :class:`repro.bus.bus.SharedBus` (one bus) and
+    :class:`repro.bus.multibus.InterleavedMultiBus` (Section 7).
+    """
+
+    @abc.abstractmethod
+    def attach(self, client: BusClient) -> int:
+        """Register a client; returns its assigned client id."""
+
+    @abc.abstractmethod
+    def request(self, txn: BusTransaction) -> None:
+        """Queue a transaction from its originator."""
+
+    @abc.abstractmethod
+    def cancel(self, client_id: int, predicate: Callable[[BusTransaction], bool]) -> int:
+        """Drop queued (not yet granted) transactions matching *predicate*.
+
+        Returns the number of cancelled transactions.  Used when a pending
+        read is satisfied early by absorbing another cache's read-broadcast.
+        """
+
+    @abc.abstractmethod
+    def step_all(self) -> list[CompletedTransaction]:
+        """Advance every physical bus by one cycle.
+
+        Returns the transactions completed this cycle (at most one per
+        physical bus).
+        """
+
+    @abc.abstractmethod
+    def has_pending(self) -> bool:
+        """Whether any transaction is queued anywhere in the fabric."""
+
+    @property
+    @abc.abstractmethod
+    def bus_count(self) -> int:
+        """Number of physical buses in the fabric."""

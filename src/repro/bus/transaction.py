@@ -1,0 +1,127 @@
+"""Bus operation types and transaction records.
+
+The paper's schemes need exactly four externally visible bus actions — bus
+read, bus write, the RWB bus-invalidate signal, and the locked
+read-modify-write pair used by test-and-set (Section 3: "read with lock" /
+"write with unlock").  ``UNLOCK`` releases a lock acquired by ``READ_LOCK``
+without writing, which is how a *failed* test-and-set ends its bus cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Address, Word, validate_address
+
+
+class BusOp(enum.Enum):
+    """The bus transaction types visible to snooping caches."""
+
+    #: Fetch a word from memory; the returned data is visible to (and, under
+    #: RB/RWB, absorbed by) every snooping cache — the paper's
+    #: read-broadcast.
+    READ = "BR"
+    #: Store a word to memory (write-through); snoopers observe address and,
+    #: under RWB, also the data.
+    WRITE = "BW"
+    #: RWB-only: announce that the originator now considers the line local.
+    #: Carries no data (the paper implements it as a reserved data word).
+    INVALIDATE = "BI"
+    #: First half of an atomic read-modify-write: read the word and lock it
+    #: against other writers until the matching unlock.
+    READ_LOCK = "BRL"
+    #: Second half of a *successful* read-modify-write: store and release.
+    WRITE_UNLOCK = "BWU"
+    #: Second half of a *failed* read-modify-write: release without storing.
+    UNLOCK = "BUL"
+
+    @property
+    def is_read_like(self) -> bool:
+        """Transactions that return data and may be interrupted by an L/D holder."""
+        return self in (BusOp.READ, BusOp.READ_LOCK)
+
+    @property
+    def is_write_like(self) -> bool:
+        """Transactions that deposit a new value into memory."""
+        return self in (BusOp.WRITE, BusOp.WRITE_UNLOCK)
+
+    @property
+    def needs_lock_check(self) -> bool:
+        """Transactions refused while another PE holds the memory lock.
+
+        The paper: "Any bus writes before the unlock will fail" (Section 3).
+        A competing ``READ_LOCK`` must also wait, or atomicity is lost — and
+        so must RWB's ``INVALIDATE``, which is a write in disguise: it
+        installs a new value in the originator's cache (F -> L promotion)
+        without touching memory, so letting one through mid
+        read-modify-write would hide a newer value from the locked reader.
+        """
+        return self in (
+            BusOp.WRITE,
+            BusOp.WRITE_UNLOCK,
+            BusOp.READ_LOCK,
+            BusOp.INVALIDATE,
+        )
+
+
+_txn_serial = itertools.count()
+
+
+@dataclass(slots=True)
+class BusTransaction:
+    """One request queued at (and eventually granted by) the bus.
+
+    Attributes:
+        op: the transaction type.
+        address: target word address.
+        value: the word carried by write-like transactions.
+        originator: bus-client id of the requesting cache.
+        is_writeback: ``True`` for replacement write-backs and for the
+            write-backs generated when an L-state cache interrupts a bus
+            read; distinguished only for statistics.
+        serial: monotonically increasing issue id (diagnostics and stable
+            ordering in tests).
+    """
+
+    op: BusOp
+    address: Address
+    originator: int
+    value: Word = 0
+    is_writeback: bool = False
+    serial: int = field(default_factory=lambda: next(_txn_serial))
+
+    def __post_init__(self) -> None:
+        validate_address(self.address)
+        if self.originator < 0:
+            raise ConfigurationError(
+                f"originator must be a client id >= 0, got {self.originator}"
+            )
+
+    def __str__(self) -> str:
+        data = f"={self.value}" if self.op.is_write_like else ""
+        wb = " (wb)" if self.is_writeback else ""
+        return f"{self.op.value}[{self.address}]{data} by c{self.originator}{wb}"
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedTransaction:
+    """What actually happened on the bus during one cycle.
+
+    ``interrupted_request`` is set when an L-state cache killed a bus read
+    this cycle; the executed transaction is then the substituted write-back
+    and the killed read remains queued for retry (Section 3, modifier 2).
+    """
+
+    transaction: BusTransaction
+    value: Word
+    cycle: int
+    interrupted_request: BusTransaction | None = None
+
+    def __str__(self) -> str:
+        base = f"cycle {self.cycle}: {self.transaction} -> {self.value}"
+        if self.interrupted_request is not None:
+            base += f" (interrupted {self.interrupted_request})"
+        return base

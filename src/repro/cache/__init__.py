@@ -1,0 +1,37 @@
+"""Private per-PE snooping caches.
+
+Each processing element performs *all* of its accesses through one of these
+(Section 2): the CPU port serves reads, writes and test-and-set; the snoop
+port watches every bus cycle and reacts per the configured coherence
+protocol.  The cache is protocol-agnostic — all transition decisions come
+from a :class:`repro.protocols.CoherenceProtocol`.
+
+The paper assumes a direct-mapped cache with a one-word block (assumption
+7); that is the default geometry.  A set-associative placement with
+pluggable replacement is provided as an extension for the geometry
+ablations.
+"""
+
+from repro.cache.cache import SnoopingCache
+from repro.cache.line import CacheLine
+from repro.cache.mapping import DirectMapped, PlacementPolicy, SetAssociative
+from repro.cache.replacement import (
+    FifoReplacement,
+    LruReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+
+__all__ = [
+    "CacheLine",
+    "DirectMapped",
+    "FifoReplacement",
+    "LruReplacement",
+    "PlacementPolicy",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "SetAssociative",
+    "SnoopingCache",
+    "make_replacement",
+]

@@ -1,0 +1,644 @@
+"""The snooping cache: CPU port + snoop port + miss/eviction machinery.
+
+This class is the stateful half of a cache scheme; all *decisions* come
+from the configured :class:`~repro.protocols.CoherenceProtocol`.  It
+implements, faithfully to Sections 3 and 5:
+
+* write-through generation and miss handling on the CPU port;
+* broadcast absorption on the snoop port (a queued demand read is even
+  cancelled early when another cache's read — or, under RWB, write —
+  broadcast delivers the value first);
+* the interrupt-and-supply behaviour of a Local line, including cancelling
+  a now-redundant queued write-back when the interrupt already flushed the
+  value;
+* replacement write-backs ("only those overwritten items that are tagged
+  local need to be written back", Section 3);
+* the two-phase read-with-lock / write-with-unlock realization of
+  test-and-set (Section 6), which deliberately bypasses the cached value.
+
+Exactly one CPU operation may be outstanding at a time (the PE blocks on
+its cache, assumption 5's timing discipline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bus.interfaces import BusClient, BusNetwork
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.line import CacheLine
+from repro.cache.mapping import PlacementPolicy
+from repro.cache.replacement import LruReplacement, ReplacementPolicy
+from repro.common.errors import CacheError
+from repro.common.stats import CounterBag
+from repro.common.types import Address, Word
+from repro.protocols.base import CoherenceProtocol, CpuReaction
+from repro.protocols.states import LineState
+
+#: Completion callback: receives the read value (reads), the written value
+#: (writes) or the *old* value (test-and-set, where old == 0 means success).
+CpuCallback = Callable[[Word], None]
+
+
+class _Kind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    TS = "ts"
+    FAA = "faa"
+
+
+class _WritebackPurpose(enum.Enum):
+    #: Flush a dirty line before a test-and-set on the same address; the
+    #: line survives, demoted to the post-supply state.
+    FLUSH = "flush"
+    #: Evict a dirty victim; afterwards the frame is re-installed for the
+    #: pending miss and the demand transaction is issued.
+    EVICT = "evict"
+
+
+@dataclass(slots=True)
+class _PendingWriteback:
+    purpose: _WritebackPurpose
+    frame: int
+    address: Address
+
+
+@dataclass(slots=True)
+class _PendingOp:
+    kind: _Kind
+    address: Address
+    callback: CpuCallback
+    value: Word = 0
+    reaction: CpuReaction | None = None
+    #: Test-and-set phase: 1 = read-with-lock outstanding, 2 = unlock
+    #: (with or without write) outstanding.
+    ts_phase: int = 0
+    ts_old_value: Word = 0
+    #: Set while an eviction/flush write-back must complete before the
+    #: demand transaction can be issued.
+    awaiting_writeback: bool = False
+    #: Serial of the issued demand transaction (for cancellation matching).
+    demand_serial: int | None = None
+
+
+class SnoopingCache(BusClient):
+    """One PE's private cache.
+
+    Args:
+        protocol: the coherence scheme driving all state transitions.
+        placement: cache geometry (direct-mapped by default elsewhere).
+        replacement: victim chooser for set-associative geometries.
+        name: label for statistics and trace tables.
+    """
+
+    def __init__(
+        self,
+        protocol: CoherenceProtocol,
+        placement: PlacementPolicy,
+        replacement: ReplacementPolicy | None = None,
+        name: str = "cache",
+    ) -> None:
+        self.protocol = protocol
+        self.placement = placement
+        self.replacement = replacement or LruReplacement()
+        self.name = name
+        self.stats = CounterBag()
+        self.client_id = -1
+        self._bus: BusNetwork | None = None
+        self._lines = [CacheLine() for _ in range(placement.num_frames)]
+        self._stamp = 0
+        self._pending: _PendingOp | None = None
+        self._writebacks: dict[int, _PendingWriteback] = {}
+        #: Addresses ever installed, for compulsory/replacement/coherence
+        #: miss classification.
+        self._ever_cached: set[Address] = set()
+        #: Serial of the bus transaction that completed the most recent
+        #: CPU operation (None for local hits).  Lets higher layers (the
+        #: hierarchical consistency recorder) map a completed operation
+        #: back to its bus transaction.
+        self.last_completed_serial: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # wiring and introspection                                            #
+    # ------------------------------------------------------------------ #
+
+    def connect(self, bus: BusNetwork) -> None:
+        """Attach this cache to the bus fabric."""
+        self._bus = bus
+        bus.attach(self)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a CPU operation is outstanding (the PE must wait)."""
+        return self._pending is not None
+
+    def line_for(self, address: Address) -> CacheLine | None:
+        """The installed line for *address*, if any (read-only inspection)."""
+        found = self._lookup(address)
+        return found[1] if found else None
+
+    def snapshot(self, address: Address) -> str:
+        """``State(value)`` rendering for the Figure 6-x trace tables."""
+        line = self.line_for(address)
+        if line is None:
+            return f"{LineState.NOT_PRESENT}(-)"
+        return line.describe()
+
+    def state_of(self, address: Address) -> LineState:
+        """Protocol state of *address* in this cache (NP when absent)."""
+        line = self.line_for(address)
+        return line.state if line else LineState.NOT_PRESENT
+
+    # ------------------------------------------------------------------ #
+    # CPU port                                                            #
+    # ------------------------------------------------------------------ #
+
+    def cpu_read(self, address: Address, callback: CpuCallback) -> bool:
+        """Issue a CPU read.
+
+        Returns ``True`` (and invokes *callback* synchronously) on a local
+        hit; otherwise queues bus work and returns ``False`` — *callback*
+        fires when the data arrives.
+        """
+        self._require_idle()
+        self.stats.add("cache.reads")
+        found = self._lookup(address)
+        state, meta = self._state_meta(found)
+        reaction = self.protocol.on_cpu_read(state, meta)
+        if reaction.is_local_hit:
+            if found is None:
+                raise CacheError(f"{self.name}: protocol hit on an absent line")
+            _, line = found
+            self._touch(line)
+            self._apply_cpu(line, reaction, None)
+            self.stats.add("cache.read_hits")
+            self.last_completed_serial = None
+            callback(line.value)
+            return True
+        self.stats.add("cache.read_misses")
+        self.stats.add(f"cache.read_miss_{self._classify_miss(address, found)}")
+        self._pending = _PendingOp(
+            kind=_Kind.READ, address=address, callback=callback, reaction=reaction
+        )
+        self._start_miss()
+        return False
+
+    def cpu_write(self, address: Address, value: Word, callback: CpuCallback) -> bool:
+        """Issue a CPU write of *value*; same completion contract as reads."""
+        self._require_idle()
+        self.stats.add("cache.writes")
+        found = self._lookup(address)
+        state, meta = self._state_meta(found)
+        reaction = self.protocol.on_cpu_write(state, meta)
+        if reaction.is_local_hit:
+            if found is None:
+                raise CacheError(f"{self.name}: protocol hit on an absent line")
+            _, line = found
+            self._touch(line)
+            self._apply_cpu(line, reaction, value)
+            self.stats.add("cache.write_local_hits")
+            self.last_completed_serial = None
+            callback(value)
+            return True
+        self.stats.add("cache.write_bus")
+        self._pending = _PendingOp(
+            kind=_Kind.WRITE,
+            address=address,
+            callback=callback,
+            value=value,
+            reaction=reaction,
+        )
+        self._start_miss()
+        return False
+
+    def cpu_test_and_set(
+        self, address: Address, new_value: Word, callback: CpuCallback
+    ) -> bool:
+        """Issue an atomic test-and-set (returns old value via *callback*).
+
+        Semantics (Section 6): ``if V != 0 then nil else V := new_value``;
+        the callback receives the old value, so 0 means the set happened.
+        Always generates a read-with-lock bus operation — "the initial read
+        with lock does not reference the value in the cache".
+
+        Always returns ``False``: a test-and-set can never complete locally.
+        """
+        self._require_idle()
+        self.stats.add("cache.ts_attempts")
+        self._pending = _PendingOp(
+            kind=_Kind.TS, address=address, callback=callback, value=new_value
+        )
+        found = self._lookup(address)
+        if found is not None and self.protocol.needs_writeback(found[1].state):
+            # Memory must hold our dirty value before the locked read, or
+            # the read-modify-write would operate on a stale word.
+            self._queue_writeback(found[0], found[1], _WritebackPurpose.FLUSH)
+            self._pending.awaiting_writeback = True
+            return False
+        self._start_miss()
+        return False
+
+    def cpu_fetch_and_add(
+        self, address: Address, delta: Word, callback: CpuCallback
+    ) -> bool:
+        """Issue an atomic fetch-and-add (returns old value via *callback*).
+
+        An extension primitive (after the NYU Ultracomputer's F&A, which
+        the paper's lineage compares against): the same locked bus
+        read-modify-write as test-and-set, but the store always happens —
+        ``mem[address] += delta``, old value returned.
+
+        Always returns ``False``: the operation can never complete locally.
+        """
+        self._require_idle()
+        self.stats.add("cache.faa_attempts")
+        self._pending = _PendingOp(
+            kind=_Kind.FAA, address=address, callback=callback, value=delta
+        )
+        found = self._lookup(address)
+        if found is not None and self.protocol.needs_writeback(found[1].state):
+            self._queue_writeback(found[0], found[1], _WritebackPurpose.FLUSH)
+            self._pending.awaiting_writeback = True
+            return False
+        self._start_miss()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # miss machinery                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _start_miss(self) -> None:
+        """Make a frame available for the pending address, then issue."""
+        pending = self._expect_pending()
+        if self._lookup(pending.address) is None:
+            if not self._ensure_frame(pending.address):
+                pending.awaiting_writeback = True
+                return
+        self._issue_demand()
+
+    def _ensure_frame(self, address: Address) -> bool:
+        """Install *address* into its set; returns ``False`` while a dirty
+        victim's write-back must complete first."""
+        frames = self.placement.frames_for(address)
+        for frame in frames:
+            if not self._lines[frame].occupied:
+                self._install(frame, address)
+                return True
+        candidates = [(frame, self._lines[frame]) for frame in frames]
+        if len(candidates) == 1:
+            victim_frame = candidates[0][0]
+        else:
+            victim_frame = self.replacement.choose_victim(candidates)
+        victim = self._lines[victim_frame]
+        self.stats.add("cache.evictions")
+        if self.protocol.needs_writeback(victim.state):
+            self._queue_writeback(victim_frame, victim, _WritebackPurpose.EVICT)
+            return False
+        victim.release()
+        self._install(victim_frame, address)
+        return True
+
+    def _install(self, frame: int, address: Address) -> None:
+        self._stamp += 1
+        self._lines[frame].install(address, self._stamp)
+        self._ever_cached.add(address)
+
+    def _classify_miss(
+        self, address: Address, found: tuple[int, CacheLine] | None
+    ) -> str:
+        """Compulsory / replacement / coherence miss classification.
+
+        A present-but-Invalid line was invalidated by foreign bus traffic
+        (coherence); a previously-cached but evicted address is a
+        replacement (capacity/conflict) miss; a never-seen address is
+        compulsory.
+        """
+        if found is not None:
+            return "coherence"
+        if address in self._ever_cached:
+            return "replacement"
+        return "compulsory"
+
+    def _issue_demand(self) -> None:
+        pending = self._expect_pending()
+        pending.awaiting_writeback = False
+        if pending.kind in (_Kind.TS, _Kind.FAA):
+            pending.ts_phase = 1
+            txn = BusTransaction(
+                op=BusOp.READ_LOCK, address=pending.address, originator=self.client_id
+            )
+        else:
+            reaction = pending.reaction
+            if reaction is None or reaction.bus_op is None:
+                raise CacheError(f"{self.name}: demand issue without a bus op")
+            txn = BusTransaction(
+                op=reaction.bus_op,
+                address=pending.address,
+                originator=self.client_id,
+                value=pending.value if reaction.bus_op.is_write_like else 0,
+            )
+        pending.demand_serial = txn.serial
+        self._request(txn)
+
+    def _queue_writeback(
+        self, frame: int, line: CacheLine, purpose: _WritebackPurpose
+    ) -> None:
+        if line.address is None:
+            raise CacheError(f"{self.name}: write-back of an empty frame")
+        txn = BusTransaction(
+            op=BusOp.WRITE,
+            address=line.address,
+            originator=self.client_id,
+            value=line.value,
+            is_writeback=True,
+        )
+        self._writebacks[txn.serial] = _PendingWriteback(
+            purpose=purpose, frame=frame, address=line.address
+        )
+        self.stats.add("cache.writebacks")
+        self._request(txn)
+
+    # ------------------------------------------------------------------ #
+    # BusClient: snoop side                                               #
+    # ------------------------------------------------------------------ #
+
+    def snoop_wants_interrupt(self, txn: BusTransaction) -> bool:
+        if not txn.op.is_read_like:
+            return False
+        found = self._lookup(txn.address)
+        if found is None:
+            return False
+        return self.protocol.interrupts_bus_read(found[1].state)
+
+    def make_interrupt_writeback(self, txn: BusTransaction) -> BusTransaction:
+        found = self._lookup(txn.address)
+        if found is None:
+            raise CacheError(f"{self.name}: asked to supply a line it lacks")
+        _, line = found
+        supply = BusTransaction(
+            op=BusOp.WRITE,
+            address=txn.address,
+            originator=self.client_id,
+            value=line.value,
+            is_writeback=True,
+        )
+        line.state = self.protocol.state_after_supplying(line.state)
+        line.meta = 0
+        self.stats.add("cache.supplies")
+        # Any queued write-back of this address is now redundant: the
+        # interrupt itself is flushing the value to memory.
+        self._cancel_redundant_writebacks(txn.address)
+        return supply
+
+    def observe_transaction(self, txn: BusTransaction, value: Word) -> None:
+        if txn.op is BusOp.UNLOCK:
+            return
+        found = self._lookup(txn.address)
+        if found is None:
+            return
+        _, line = found
+        before = line.state
+        reaction = self.protocol.on_snoop(line.state, line.meta, txn.op)
+        line.state = reaction.next_state
+        line.meta = reaction.next_meta
+        if reaction.absorb_value:
+            line.value = value
+            if txn.op.is_read_like:
+                self.stats.add("cache.absorbed_reads")
+            else:
+                self.stats.add("cache.absorbed_writes")
+        if before.readable_locally and line.state is LineState.INVALID:
+            self.stats.add("cache.invalidations")
+            line.invalidated_by_snoop = True
+        if not self.protocol.needs_writeback(line.state):
+            # If this snoop demoted a dirty line (foreign bus write absorbed
+            # or invalidated it, or a BI superseded it), any write-back we
+            # have queued for the address carries a value that is no longer
+            # the latest; flushing it now would clobber newer data.
+            self._cancel_redundant_writebacks(txn.address)
+        self._maybe_complete_read_early(txn.address)
+
+    def _maybe_complete_read_early(self, address: Address) -> None:
+        """A broadcast just delivered data; a queued demand read for the
+        same address is satisfied without its own bus cycle."""
+        pending = self._pending
+        if (
+            pending is None
+            or pending.kind is not _Kind.READ
+            or pending.address != address
+            or pending.awaiting_writeback
+            or pending.demand_serial is None
+        ):
+            return
+        found = self._lookup(address)
+        if found is None or not found[1].state.readable_locally:
+            return
+        serial = pending.demand_serial
+        cancelled = self._bus_fabric().cancel(
+            self.client_id, lambda queued: queued.serial == serial
+        )
+        if cancelled == 0:
+            return
+        self.stats.add("cache.early_read_completions")
+        line = found[1]
+        self._touch(line)
+        self._pending = None
+        self.last_completed_serial = None
+        pending.callback(line.value)
+
+    # ------------------------------------------------------------------ #
+    # BusClient: completions                                              #
+    # ------------------------------------------------------------------ #
+
+    def transaction_complete(self, txn: BusTransaction, value: Word) -> None:
+        if txn.is_writeback:
+            self._writeback_complete(txn)
+            return
+        pending = self._expect_pending()
+        if pending.demand_serial != txn.serial:
+            raise CacheError(
+                f"{self.name}: completion for unexpected transaction {txn}"
+            )
+        self.last_completed_serial = txn.serial
+        if pending.kind in (_Kind.TS, _Kind.FAA):
+            self._ts_phase_complete(pending, txn, value)
+            return
+        found = self._lookup(pending.address)
+        if found is None:
+            raise CacheError(
+                f"{self.name}: pending line for {pending.address} vanished"
+            )
+        _, line = found
+        self._touch(line)
+        reaction = pending.reaction
+        if reaction is None:
+            raise CacheError(f"{self.name}: pending op without reaction")
+        if pending.kind is _Kind.READ:
+            self._apply_cpu(line, reaction, None)
+            line.value = value
+            self._pending = None
+            pending.callback(value)
+            return
+        # CPU write path (includes RWB's BI-carried promotion to Local).
+        if txn.op is BusOp.READ and not reaction.writes_value:
+            # Fill-before-write policy (Goodman with fetch_on_write_miss):
+            # the line is now valid; retry the write against it.
+            self._apply_cpu(line, reaction, None)
+            line.value = value
+            retry = self.protocol.on_cpu_write(line.state, line.meta)
+            if retry.is_local_hit:
+                self._apply_cpu(line, retry, pending.value)
+                self._pending = None
+                pending.callback(pending.value)
+                return
+            pending.reaction = retry
+            self._issue_demand()
+            return
+        self._apply_cpu(line, reaction, pending.value if reaction.writes_value else None)
+        self._pending = None
+        pending.callback(pending.value)
+
+    def _ts_phase_complete(
+        self, pending: _PendingOp, txn: BusTransaction, value: Word
+    ) -> None:
+        found = self._lookup(pending.address)
+        if found is None:
+            raise CacheError(f"{self.name}: test-and-set line vanished")
+        _, line = found
+        self._touch(line)
+        if pending.ts_phase == 1:
+            if txn.op is not BusOp.READ_LOCK:
+                raise CacheError(f"{self.name}: expected read-lock, got {txn}")
+            pending.ts_old_value = value
+            line.value = value
+            line.state, line.meta = self.protocol.state_after_ts_fail()
+            pending.ts_phase = 2
+            if pending.kind is _Kind.FAA:
+                # Fetch-and-add always stores old + delta.
+                follow_up = BusTransaction(
+                    op=BusOp.WRITE_UNLOCK,
+                    address=pending.address,
+                    originator=self.client_id,
+                    value=value + pending.value,
+                )
+            elif value == 0:
+                follow_up = BusTransaction(
+                    op=BusOp.WRITE_UNLOCK,
+                    address=pending.address,
+                    originator=self.client_id,
+                    value=pending.value,
+                )
+            else:
+                follow_up = BusTransaction(
+                    op=BusOp.UNLOCK,
+                    address=pending.address,
+                    originator=self.client_id,
+                )
+            pending.demand_serial = follow_up.serial
+            self._request(follow_up)
+            return
+        if txn.op is BusOp.WRITE_UNLOCK:
+            line.state, line.meta = self.protocol.state_after_ts_success()
+            line.value = txn.value
+            if pending.kind is _Kind.TS:
+                self.stats.add("cache.ts_success")
+        else:
+            self.stats.add("cache.ts_fail")
+        self._pending = None
+        pending.callback(pending.ts_old_value)
+
+    def _writeback_complete(self, txn: BusTransaction) -> None:
+        record = self._writebacks.pop(txn.serial, None)
+        if record is None:
+            # The write-back generated by an interrupt-supply; the state
+            # change already happened in make_interrupt_writeback.
+            return
+        self._resolve_writeback(record, flushed_by_interrupt=False)
+
+    def _cancel_redundant_writebacks(self, address: Address) -> None:
+        serials = [
+            serial
+            for serial, record in self._writebacks.items()
+            if record.address == address
+        ]
+        for serial in serials:
+            cancelled = self._bus_fabric().cancel(
+                self.client_id, lambda queued: queued.serial == serial
+            )
+            if cancelled:
+                record = self._writebacks.pop(serial)
+                self._resolve_writeback(record, flushed_by_interrupt=True)
+
+    def _resolve_writeback(
+        self, record: _PendingWriteback, flushed_by_interrupt: bool
+    ) -> None:
+        line = self._lines[record.frame]
+        if record.purpose is _WritebackPurpose.FLUSH:
+            if (
+                not flushed_by_interrupt
+                and line.matches(record.address)
+                and self.protocol.needs_writeback(line.state)
+            ):
+                line.state = self.protocol.state_after_supplying(line.state)
+                line.meta = 0
+            if self._pending is not None and self._pending.awaiting_writeback:
+                self._issue_demand()
+            return
+        # EVICT: drop the victim, install the missing line, issue demand.
+        line.release()
+        pending = self._expect_pending()
+        self._install(record.frame, pending.address)
+        self._issue_demand()
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _apply_cpu(
+        self, line: CacheLine, reaction: CpuReaction, value: Word | None
+    ) -> None:
+        line.state = reaction.next_state
+        line.meta = reaction.next_meta
+        if reaction.writes_value and value is not None:
+            line.value = value
+
+    def _lookup(self, address: Address) -> tuple[int, CacheLine] | None:
+        for frame in self.placement.frames_for(address):
+            line = self._lines[frame]
+            if line.occupied and line.matches(address):
+                return frame, line
+        return None
+
+    def _state_meta(
+        self, found: tuple[int, CacheLine] | None
+    ) -> tuple[LineState, int]:
+        if found is None:
+            return LineState.NOT_PRESENT, 0
+        return found[1].state, found[1].meta
+
+    def _touch(self, line: CacheLine) -> None:
+        self._stamp += 1
+        line.last_used = self._stamp
+
+    def _require_idle(self) -> None:
+        if self._bus is None:
+            raise CacheError(f"{self.name}: not connected to a bus")
+        if self._pending is not None:
+            raise CacheError(
+                f"{self.name}: CPU operation issued while another is outstanding"
+            )
+
+    def _expect_pending(self) -> _PendingOp:
+        if self._pending is None:
+            raise CacheError(f"{self.name}: no pending CPU operation")
+        return self._pending
+
+    def _request(self, txn: BusTransaction) -> None:
+        self._bus_fabric().request(txn)
+
+    def _bus_fabric(self) -> BusNetwork:
+        if self._bus is None:
+            raise CacheError(f"{self.name}: not connected to a bus")
+        return self._bus

@@ -1,0 +1,85 @@
+"""One cache line frame: tag + state bits + data word + protocol meta.
+
+With one-word blocks the "tag" is simply the full word address; a frame is
+occupied when its address is not ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CacheError
+from repro.common.types import Address, Word
+from repro.protocols.states import LineState
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """A single line frame.
+
+    Attributes:
+        address: the word address installed in the frame, or ``None`` when
+            the frame is empty (state must then be ``NOT_PRESENT``).
+        state: protocol state of the installed line.
+        value: the cached data word.
+        meta: small protocol-private counter (RWB's uninterrupted-write
+            count lives here).
+        last_used: monotonic touch stamp maintained by the cache for LRU
+            replacement in the set-associative extension.
+        installed_at: touch stamp at installation, for FIFO replacement.
+        invalidated_by_snoop: the line's Invalid state was caused by a
+            foreign bus transaction (used to classify the next miss on it
+            as a coherence miss).
+    """
+
+    address: Address | None = None
+    state: LineState = LineState.NOT_PRESENT
+    value: Word = 0
+    meta: int = 0
+    last_used: int = 0
+    installed_at: int = 0
+    invalidated_by_snoop: bool = False
+
+    @property
+    def occupied(self) -> bool:
+        """Whether a tag is installed in this frame."""
+        return self.address is not None
+
+    def matches(self, address: Address) -> bool:
+        """Whether this frame currently holds *address*."""
+        return self.address == address
+
+    def install(self, address: Address, stamp: int) -> None:
+        """Claim the frame for *address* in the transitional Invalid state.
+
+        The caller is responsible for having written back or dropped any
+        previous occupant.
+        """
+        self.address = address
+        self.state = LineState.INVALID
+        self.value = 0
+        self.meta = 0
+        self.last_used = stamp
+        self.installed_at = stamp
+        self.invalidated_by_snoop = False
+
+    def release(self) -> None:
+        """Empty the frame (after eviction)."""
+        self.address = None
+        self.state = LineState.NOT_PRESENT
+        self.value = 0
+        self.meta = 0
+        self.invalidated_by_snoop = False
+
+    def check_consistent(self) -> None:
+        """Internal invariant: empty frames are NOT_PRESENT and vice versa."""
+        if self.occupied == (self.state is LineState.NOT_PRESENT):
+            raise CacheError(
+                f"line invariant broken: address={self.address} state={self.state}"
+            )
+
+    def describe(self) -> str:
+        """Compact ``S(value)`` rendering used by the Figure 6-x tables."""
+        if not self.occupied or self.state is LineState.INVALID:
+            return f"{self.state}(-)"
+        return f"{self.state}({self.value})"

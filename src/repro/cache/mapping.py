@@ -1,0 +1,77 @@
+"""Placement policies: which frames may hold a given address.
+
+The paper's choice (Section 2): "A direct-mapping cache with a one word
+blocksize is assumed", with set size one.  :class:`DirectMapped` is that
+policy; :class:`SetAssociative` generalizes it for the geometry ablation
+(the paper's Table 1-1 header notes "set size 1 word" precisely because the
+set size is a free parameter of the emulated cache).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Address
+
+
+class PlacementPolicy(abc.ABC):
+    """Maps an address to the frame indices allowed to hold it."""
+
+    #: Total number of line frames in the cache.
+    num_frames: int
+
+    @abc.abstractmethod
+    def frames_for(self, address: Address) -> list[int]:
+        """The candidate frame indices for *address* (its set)."""
+
+    @property
+    @abc.abstractmethod
+    def geometry(self) -> str:
+        """Human-readable geometry label for reports."""
+
+
+class DirectMapped(PlacementPolicy):
+    """Set size one: each address maps to exactly one frame.
+
+    Args:
+        num_lines: number of one-word frames (the paper sweeps 256-2048).
+    """
+
+    def __init__(self, num_lines: int) -> None:
+        if num_lines < 1:
+            raise ConfigurationError(f"need >= 1 cache line, got {num_lines}")
+        self.num_frames = num_lines
+
+    def frames_for(self, address: Address) -> list[int]:
+        return [address % self.num_frames]
+
+    @property
+    def geometry(self) -> str:
+        return f"direct-mapped/{self.num_frames}"
+
+
+class SetAssociative(PlacementPolicy):
+    """``ways``-way set-associative placement (extension).
+
+    Args:
+        num_sets: number of sets.
+        ways: frames per set.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        if num_sets < 1:
+            raise ConfigurationError(f"need >= 1 set, got {num_sets}")
+        if ways < 1:
+            raise ConfigurationError(f"need >= 1 way, got {ways}")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.num_frames = num_sets * ways
+
+    def frames_for(self, address: Address) -> list[int]:
+        base = (address % self.num_sets) * self.ways
+        return list(range(base, base + self.ways))
+
+    @property
+    def geometry(self) -> str:
+        return f"{self.ways}-way/{self.num_sets}-sets"

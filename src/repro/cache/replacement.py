@@ -1,0 +1,84 @@
+"""Replacement policies for the set-associative extension.
+
+"The exact choice of a replacement policy is orthogonal to our scheme"
+(Section 3) — which is exactly why it is pluggable.  Direct-mapped caches
+never consult a replacement policy (the set has one frame).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.cache.line import CacheLine
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses the victim frame within a full set."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose_victim(self, candidates: Sequence[tuple[int, CacheLine]]) -> int:
+        """Return the frame index to evict.
+
+        Args:
+            candidates: ``(frame_index, line)`` pairs, all occupied.
+        """
+
+    def _check(self, candidates: Sequence[tuple[int, CacheLine]]) -> None:
+        if not candidates:
+            raise ConfigurationError("no candidate frames to choose a victim from")
+
+
+class LruReplacement(ReplacementPolicy):
+    """Evict the least recently touched line."""
+
+    name = "lru"
+
+    def choose_victim(self, candidates: Sequence[tuple[int, CacheLine]]) -> int:
+        self._check(candidates)
+        return min(candidates, key=lambda pair: (pair[1].last_used, pair[0]))[0]
+
+
+class FifoReplacement(ReplacementPolicy):
+    """Evict the line installed longest ago, regardless of use."""
+
+    name = "fifo"
+
+    def choose_victim(self, candidates: Sequence[tuple[int, CacheLine]]) -> int:
+        self._check(candidates)
+        return min(candidates, key=lambda pair: (pair[1].installed_at, pair[0]))[0]
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Evict a uniformly random line (seeded for reproducibility)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = DeterministicRng(seed)
+
+    def choose_victim(self, candidates: Sequence[tuple[int, CacheLine]]) -> int:
+        self._check(candidates)
+        return self._rng.choose([frame for frame, _ in candidates])
+
+
+_POLICIES = {
+    LruReplacement.name: LruReplacement,
+    FifoReplacement.name: FifoReplacement,
+    RandomReplacement.name: RandomReplacement,
+}
+
+
+def make_replacement(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Build a replacement policy by name (``lru``, ``fifo``, ``random``)."""
+    if name not in _POLICIES:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        )
+    if name == RandomReplacement.name:
+        return RandomReplacement(seed)
+    return _POLICIES[name]()

@@ -1,0 +1,49 @@
+"""Shared low-level building blocks used by every other subpackage.
+
+This package deliberately contains nothing simulator-specific: it defines the
+word/address model of the machine (:mod:`repro.common.types`), the exception
+hierarchy (:mod:`repro.common.errors`), counter/statistics plumbing
+(:mod:`repro.common.stats`) and deterministic random-number helpers
+(:mod:`repro.common.rng`).
+"""
+
+from repro.common.errors import (
+    BusError,
+    CacheError,
+    ConfigurationError,
+    MemoryError_,
+    ProgramError,
+    ReproError,
+    VerificationError,
+)
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.stats import CounterBag, RatioStat, StatSet
+from repro.common.types import (
+    AccessType,
+    Address,
+    DataClass,
+    MemRef,
+    Word,
+    validate_address,
+)
+
+__all__ = [
+    "AccessType",
+    "Address",
+    "BusError",
+    "CacheError",
+    "ConfigurationError",
+    "CounterBag",
+    "DataClass",
+    "DeterministicRng",
+    "MemRef",
+    "MemoryError_",
+    "ProgramError",
+    "RatioStat",
+    "ReproError",
+    "StatSet",
+    "VerificationError",
+    "Word",
+    "derive_seed",
+    "validate_address",
+]

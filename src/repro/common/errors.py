@@ -1,0 +1,39 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class BusError(ReproError):
+    """A bus-level protocol violation (e.g. two interrupters in one cycle)."""
+
+
+class CacheError(ReproError):
+    """A cache-level invariant was violated (bad state transition, etc.)."""
+
+
+class MemoryError_(ReproError):
+    """A main-memory access violated the memory model.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class ProgramError(ReproError):
+    """A processing-element program is malformed or misbehaved at runtime."""
+
+
+class VerificationError(ReproError):
+    """The model checker or trace checker found a consistency violation."""

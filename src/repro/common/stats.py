@@ -1,0 +1,135 @@
+"""Counter and ratio plumbing shared by the bus, cache and PE models.
+
+The paper's evaluation is entirely about counting things — bus cycles,
+misses per class, invalidations — so the simulator keeps all bookkeeping in
+small, explicit counter objects that can be merged and rendered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.common.errors import ConfigurationError
+
+
+class CounterBag:
+    """A named bag of monotonically increasing integer counters.
+
+    Unknown counters read as zero; incrementing creates them.  This keeps
+    instrumentation call sites one-liners while still letting tests assert
+    on exact counter names.
+    """
+
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
+        self._counts: Counter[str] = Counter()
+        if initial:
+            for name, value in initial.items():
+                self.add(name, value)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter *name* by *amount* (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters are monotonic; cannot add {amount} to {name!r}"
+            )
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def merge(self, other: "CounterBag") -> None:
+        """Fold *other*'s counts into this bag."""
+        for name, value in other.items():
+            self.add(name, value)
+
+    def items(self) -> Iterable[tuple[str, int]]:
+        """``(name, value)`` pairs in sorted-name order."""
+        return sorted(self._counts.items())
+
+    def total(self, prefix: str = "") -> int:
+        """Sum of all counters whose name starts with *prefix*."""
+        return sum(v for k, v in self._counts.items() if k.startswith(prefix))
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot of the current counts."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"CounterBag({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class RatioStat:
+    """A numerator/denominator pair rendered as a ratio or percentage.
+
+    Used for hit ratios, miss ratios and bus-utilization figures, where the
+    paper reports percentages (e.g. Table 1-1's miss-ratio columns).
+    """
+
+    numerator: int
+    denominator: int
+
+    @property
+    def value(self) -> float:
+        """The ratio, or 0.0 when the denominator is zero."""
+        if self.denominator == 0:
+            return 0.0
+        return self.numerator / self.denominator
+
+    @property
+    def percent(self) -> float:
+        """The ratio expressed as a percentage."""
+        return 100.0 * self.value
+
+    def __str__(self) -> str:
+        return f"{self.percent:.1f}% ({self.numerator}/{self.denominator})"
+
+
+@dataclass(slots=True)
+class StatSet:
+    """A labelled collection of counter bags, one per component.
+
+    The machine model aggregates one :class:`CounterBag` per cache, per bus
+    and per PE into a single ``StatSet`` so experiments can query across
+    components (e.g. "total bus writes across all buses").
+    """
+
+    groups: dict[str, CounterBag] = field(default_factory=dict)
+
+    def bag(self, group: str) -> CounterBag:
+        """Get (creating if needed) the counter bag for *group*."""
+        if group not in self.groups:
+            self.groups[group] = CounterBag()
+        return self.groups[group]
+
+    def total(self, counter: str, group_prefix: str = "") -> int:
+        """Sum *counter* across every group whose name starts with a prefix."""
+        return sum(
+            bag.get(counter)
+            for name, bag in self.groups.items()
+            if name.startswith(group_prefix)
+        )
+
+    def ratio(self, numerator: str, denominator: str, group_prefix: str = "") -> RatioStat:
+        """Build a :class:`RatioStat` from two summed counters."""
+        return RatioStat(
+            self.total(numerator, group_prefix),
+            self.total(denominator, group_prefix),
+        )
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """A nested plain-dict snapshot, for JSON-ish reporting."""
+        return {name: bag.as_dict() for name, bag in sorted(self.groups.items())}

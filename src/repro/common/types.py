@@ -1,0 +1,101 @@
+"""Fundamental value types of the simulated machine.
+
+The paper assumes a word-addressed shared memory with a one-word cache block
+size (Section 2, assumption 7), so the entire simulator works in units of
+single words.  Addresses and word values are plain non-negative integers;
+the aliases below exist to make signatures self-documenting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: A word-granular physical address.  The paper uses the terms "address",
+#: "variable" and "data item" interchangeably (Section 3, footnote 5); so do
+#: we.
+Address = int
+
+#: A single word of data stored in memory or a cache line.
+Word = int
+
+
+class AccessType(enum.Enum):
+    """The kinds of references a processing element can make.
+
+    ``READ`` and ``WRITE`` are the simple accesses of Section 3.  ``TS`` is
+    the atomic test-and-set of Section 6, implemented as a locked
+    read-modify-write bus cycle; it is modelled as its own access type
+    because the paper treats a failed test-and-set "as a non-cachable read"
+    and a successful one "as a write" (Section 6.1).
+    """
+
+    READ = "read"
+    WRITE = "write"
+    TS = "test-and-set"
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` for accesses that can modify memory."""
+        return self in (AccessType.WRITE, AccessType.TS)
+
+
+class DataClass(enum.Enum):
+    """Static reference classification used by the Cm* emulation.
+
+    The RB/RWB schemes never need pre-tagged data (they classify
+    dynamically), but the Table 1-1 baseline emulation does: only ``CODE``
+    and ``LOCAL`` data were considered cachable on Cm*, with every ``SHARED``
+    reference counted as a miss (Section 1).
+    """
+
+    CODE = "code"
+    LOCAL = "local"
+    SHARED = "shared"
+
+    @property
+    def is_cachable_on_cmstar(self) -> bool:
+        """Whether the Cm* emulation of Section 1 may cache this class."""
+        return self is not DataClass.SHARED
+
+
+@dataclass(frozen=True, slots=True)
+class MemRef:
+    """One memory reference in a workload trace.
+
+    Attributes:
+        pe: index of the processing element issuing the reference.
+        access: the operation performed.
+        address: the word address referenced.
+        value: the value written (writes / successful test-and-set);
+            ignored for reads.
+        data_class: static classification, used only by trace-driven
+            baselines such as the Cm* emulation.  The dynamic schemes
+            ignore it.
+    """
+
+    pe: int
+    access: AccessType
+    address: Address
+    value: Word = 0
+    data_class: DataClass = DataClass.SHARED
+
+    def __post_init__(self) -> None:
+        if self.pe < 0:
+            raise ConfigurationError(f"PE index must be >= 0, got {self.pe}")
+        validate_address(self.address)
+
+
+def validate_address(address: Address) -> Address:
+    """Check that *address* is a usable word address and return it.
+
+    Raises:
+        ConfigurationError: if the address is negative or not an ``int``.
+    """
+    if not isinstance(address, int) or isinstance(address, bool):
+        raise ConfigurationError(f"address must be an int, got {address!r}")
+    if address < 0:
+        raise ConfigurationError(f"address must be >= 0, got {address}")
+    return address

@@ -1,0 +1,45 @@
+"""One module per table/figure of the paper, plus the ablation suite.
+
+Every experiment module exposes ``run(...)`` returning a result object and
+``render(result)`` returning the report text; ``repro-experiment <name>``
+(see :mod:`repro.experiments.cli`) prints it.
+
+===================  =====================================================
+``table_1_1``        Cm* emulated cache results (read-miss vs cache size)
+``figure_3_1``       RB state-transition diagram as a checked table
+``figure_5_1``       RWB state-transition diagram as a checked table
+``figure_6_1``       test-and-set under RB (lock hand-off trace)
+``figure_6_2``       test-and-test-and-set under RB
+``figure_6_3``       test-and-test-and-set under RWB
+``figure_7_1``       shared-bus bandwidth: analytic model + simulation
+``ablations``        design-choice sweeps (k-threshold, F-reset policy,
+                     read-broadcast, TS-vs-TTS, arbiters, shootout, F&A,
+                     lock granularity, reliability)
+``extensions``       Section 8 research directions, built and measured
+                     (hierarchy, reliability, systolic + fetch-and-add)
+===================  =====================================================
+"""
+
+from repro.experiments import (  # noqa: F401 — re-exported for discovery
+    ablations,
+    extensions,
+    figure_3_1,
+    figure_5_1,
+    figure_6_1,
+    figure_6_2,
+    figure_6_3,
+    figure_7_1,
+    table_1_1,
+)
+
+__all__ = [
+    "ablations",
+    "extensions",
+    "figure_3_1",
+    "figure_5_1",
+    "figure_6_1",
+    "figure_6_2",
+    "figure_6_3",
+    "figure_7_1",
+    "table_1_1",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``repro-experiment <name>``.
+
+Regenerates any table or figure of the paper (or the ablation suite) and
+prints the report.  ``repro-experiment list`` enumerates the targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    figure_3_1,
+    figure_5_1,
+    figure_6_1,
+    figure_6_2,
+    figure_6_3,
+    figure_7_1,
+    table_1_1,
+)
+
+_RUNNERS: dict[str, Callable[[], None]] = {
+    "table-1-1": table_1_1.main,
+    "figure-3-1": figure_3_1.main,
+    "figure-5-1": figure_5_1.main,
+    "figure-6-1": figure_6_1.main,
+    "figure-6-2": figure_6_2.main,
+    "figure-6-3": figure_6_3.main,
+    "figure-7-1": figure_7_1.main,
+    "ablations": ablations.main,
+    "extensions": extensions.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment by name; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate a table or figure from Rudolph & Segall (1984). "
+            "Use 'all' for every target, 'list' to enumerate them."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"one of: {', '.join(sorted(_RUNNERS))}, all, list",
+    )
+    args = parser.parse_args(argv)
+    name = args.experiment.lower()
+    if name == "list":
+        for target in sorted(_RUNNERS):
+            print(target)
+        return 0
+    if name == "all":
+        for target in sorted(_RUNNERS):
+            print(f"==== {target} ====")
+            _RUNNERS[target]()
+            print()
+        return 0
+    if name not in _RUNNERS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(sorted(_RUNNERS))}"
+        )
+    _RUNNERS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

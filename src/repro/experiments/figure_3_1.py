@@ -1,0 +1,97 @@
+"""Figure 3-1: the RB state-transition diagram, regenerated and checked.
+
+The published diagram has states I / R / L with edges for CPU read/write
+and bus read/write, annotated with modifiers 1 (write through), 2
+(interrupt and supply) and 3 (bus read on miss).  ``run()`` enumerates the
+implemented :class:`~repro.protocols.rb.RBProtocol` table and diffs it
+against the figure, transcribed edge by edge from the paper's prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+from repro.experiments.transitions import (
+    BUS_READ,
+    BUS_WRITE,
+    CPU_READ,
+    CPU_WRITE,
+    TransitionEntry,
+    diff_transitions,
+    enumerate_transitions,
+)
+from repro.protocols.rb import RBProtocol
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_R = LineState.READABLE
+_L = LineState.LOCAL
+
+#: Figure 3-1, transcribed: (state, stimulus, next state, modifiers, absorbs).
+EXPECTED_RB_TRANSITIONS: list[TransitionEntry] = [
+    TransitionEntry(_R, CPU_READ, _R),
+    TransitionEntry(_R, CPU_WRITE, _L, ("1",)),
+    TransitionEntry(_R, BUS_READ, _R),
+    TransitionEntry(_R, BUS_WRITE, _I),
+    TransitionEntry(_I, CPU_READ, _R, ("3",)),
+    TransitionEntry(_I, CPU_WRITE, _L, ("1",)),
+    TransitionEntry(_I, BUS_READ, _R, absorbs=True),
+    TransitionEntry(_I, BUS_WRITE, _I),
+    TransitionEntry(_L, CPU_READ, _L),
+    TransitionEntry(_L, CPU_WRITE, _L),
+    TransitionEntry(_L, BUS_READ, _R, ("2",)),
+    TransitionEntry(_L, BUS_WRITE, _I),
+]
+
+
+@dataclass(slots=True)
+class Figure31Result:
+    """Regenerated Figure 3-1.
+
+    Attributes:
+        entries: the implemented transition table.
+        mismatches: differences against the published diagram (empty when
+            the reproduction is exact).
+    """
+
+    entries: list[TransitionEntry] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def matches_paper(self) -> bool:
+        return not self.mismatches
+
+
+def run() -> Figure31Result:
+    """Enumerate the RB table and check it against the figure."""
+    entries = enumerate_transitions(RBProtocol())
+    mismatches = diff_transitions(entries, EXPECTED_RB_TRANSITIONS)
+    return Figure31Result(entries=entries, mismatches=mismatches)
+
+
+def render(result: Figure31Result) -> str:
+    """The figure as a table plus the verification verdict."""
+    table = render_table(
+        headers=["State", "Stimulus", "Next", "Modifiers", "Absorbs data"],
+        rows=[entry.cells() for entry in result.entries],
+        title=(
+            "Figure 3-1: state transitions for each cache entry, RB scheme\n"
+            "(modifiers: 1=generate BW, 2=interrupt BR and supply, 3=generate BR)"
+        ),
+    )
+    verdict = (
+        "Matches the published diagram: YES"
+        if result.matches_paper
+        else "MISMATCHES:\n  " + "\n  ".join(result.mismatches)
+    )
+    return f"{table}\n\n{verdict}"
+
+
+def main() -> None:
+    """Print the regenerated figure."""
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Figure 6-2: synchronization with test-and-test-and-set under RB.
+
+Same scenario as Figure 6-1, but contenders precede the atomic
+test-and-set with a plain test (the paper's software TTS).  While the lock
+is held the tests spin *in the caches* — the figure's "(No Bus Traffic)
+(Load from Caches)" annotation — and the run asserts exactly that: after
+the one bus read that refills the spinners, further spins cost zero bus
+transactions.  The extra "A Bus Read to S" row appears when the first
+test after the release pulls the fresh value out of P2's Local copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+from repro.system.trace import ConfigurationRow, ConfigurationTracer
+
+LOCK = 0
+
+#: Figure 6-2's rows: (observation, (P1, P2, P3) cache states).
+EXPECTED_ROWS: list[tuple[str, tuple[str, str, str]]] = [
+    ("Initial state", ("R(0)", "R(0)", "R(0)")),
+    ("P2 locks S", ("I(-)", "L(1)", "I(-)")),
+    ("Others try to get S (no bus traffic)", ("R(1)", "R(1)", "R(1)")),
+    ("P2 releases S", ("I(-)", "L(0)", "I(-)")),
+    ("A Bus Read to S", ("R(0)", "R(0)", "R(0)")),
+    ("P1 gets the S", ("L(1)", "I(-)", "I(-)")),
+    ("Others try to get S", ("R(1)", "R(1)", "R(1)")),
+]
+
+
+@dataclass(slots=True)
+class Figure62Result:
+    """Regenerated Figure 6-2.
+
+    Attributes:
+        rows: captured configuration rows.
+        refill_bus_transactions: bus work for the *first* spin round (the
+            one read that refills every spinner via read-broadcast).
+        steady_spin_bus_transactions: bus work for all later spin rounds
+            while the lock stayed held — the figure requires zero.
+        mismatches: diffs against the published rows.
+    """
+
+    rows: list[ConfigurationRow] = field(default_factory=list)
+    refill_bus_transactions: int = 0
+    steady_spin_bus_transactions: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def matches_paper(self) -> bool:
+        return not self.mismatches
+
+
+def run(spin_rounds: int = 5) -> Figure62Result:
+    """Script the scenario and capture the figure's rows.
+
+    Args:
+        spin_rounds: test rounds per contender after the refill round;
+            all must be cache hits.
+    """
+    machine = ScriptedMachine(
+        MachineConfig(num_pes=3, protocol="rb", cache_lines=8, memory_size=16)
+    )
+    tracer = ConfigurationTracer(machine.machine, LOCK)
+    result = Figure62Result()
+
+    for pe in range(3):
+        machine.read(pe, LOCK)
+    tracer.record("Initial state")
+
+    # P2's TTS: test (cache hit on 0), then the atomic test-and-set.
+    if machine.test_and_test_and_set(1, LOCK, 1) != 0:
+        result.mismatches.append("P2 failed to take the free lock")
+    tracer.record("P2 locks S")
+
+    before = machine.machine.total_bus_traffic()
+    for pe in (0, 2):
+        if machine.test_and_test_and_set(pe, LOCK, 1) == 0:
+            result.mismatches.append(f"PE {pe} stole the held lock")
+    result.refill_bus_transactions = machine.machine.total_bus_traffic() - before
+
+    before = machine.machine.total_bus_traffic()
+    for _ in range(spin_rounds):
+        for pe in (0, 2):
+            if machine.test_and_test_and_set(pe, LOCK, 1) == 0:
+                result.mismatches.append(f"PE {pe} stole the held lock")
+    result.steady_spin_bus_transactions = (
+        machine.machine.total_bus_traffic() - before
+    )
+    tracer.record("Others try to get S (no bus traffic)")
+
+    machine.write(1, LOCK, 0)
+    tracer.record("P2 releases S")
+
+    # P1's next test is the figure's "A Bus Read to S": the read is
+    # interrupted by P2's Local copy, written back, retried, and the
+    # returned 0 broadcast into every cache.
+    saw = machine.read(0, LOCK)
+    tracer.record("A Bus Read to S")
+    if saw != 0:
+        result.mismatches.append(f"P1's test read saw {saw}, expected 0")
+
+    if machine.test_and_set(0, LOCK, 1) != 0:
+        result.mismatches.append("P1 failed to take the free lock")
+    tracer.record("P1 gets the S")
+
+    for pe in (1, 2):
+        machine.test_and_test_and_set(pe, LOCK, 1)
+    tracer.record("Others try to get S")
+
+    result.rows = tracer.rows
+    result.mismatches.extend(_diff_rows(tracer.rows))
+    if result.steady_spin_bus_transactions != 0:
+        result.mismatches.append(
+            f"steady-state spins cost {result.steady_spin_bus_transactions} "
+            "bus transactions; the figure requires none"
+        )
+    return result
+
+
+def _diff_rows(rows: list[ConfigurationRow]) -> list[str]:
+    problems = []
+    if len(rows) != len(EXPECTED_ROWS):
+        problems.append(
+            f"captured {len(rows)} rows, figure has {len(EXPECTED_ROWS)}"
+        )
+        return problems
+    for row, (label, want) in zip(rows, EXPECTED_ROWS):
+        if row.cache_states != want:
+            problems.append(f"{label!r}: expected {want}, got {row.cache_states}")
+    return problems
+
+
+def render(result: Figure62Result) -> str:
+    """The figure as a table plus the traffic observations and verdict."""
+    table = render_table(
+        headers=["Observation", "P1 Cache", "P2 Cache", "P3 Cache", "S (mem)",
+                 "S (latest)"],
+        rows=[[row.label, *row.cells()] for row in result.rows],
+        title="Figure 6-2: synchronization with Test-and-Test-and-Set, RB scheme",
+    )
+    traffic = (
+        f"Refill round bus transactions: {result.refill_bus_transactions} "
+        f"(one broadcast read serves every spinner)\n"
+        f"Steady-state spin bus transactions: "
+        f"{result.steady_spin_bus_transactions} (loads from caches)"
+    )
+    verdict = (
+        "Matches the published figure: YES"
+        if result.matches_paper
+        else "MISMATCHES:\n  " + "\n  ".join(result.mismatches)
+    )
+    return f"{table}\n\n{traffic}\n{verdict}"
+
+
+def main() -> None:
+    """Print the regenerated figure."""
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

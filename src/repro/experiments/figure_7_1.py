@@ -1,0 +1,198 @@
+"""Figure 7-1 / Section 7: shared-bus bandwidth and the multi-bus extension.
+
+Three parts, each checked:
+
+1. **The worked example** — 1/h = 10%, m = 128, x = 1 MACS gives
+   SBB >= 12.8 MACS, exactly as printed.
+2. **The bandwidth sweep** — required SBB versus processor count, plus the
+   per-bus demand under the Figure 7-1 interleaved dual bus (about half),
+   and the paper's feasibility claim that 32-256 processor machines fall
+   in a buildable band.
+3. **Simulation cross-check** — real machines running the synthetic
+   workload at increasing widths: measured bus utilization climbs toward
+   saturation on one bus and drops when the same load is spread over an
+   interleaved pair, with throughput per cycle flattening past the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.bandwidth import (
+    UtilizationPoint,
+    find_saturation_knee,
+    max_processors,
+    measure_utilization,
+    per_bus_demand_macs,
+    required_bandwidth_macs,
+)
+from repro.analysis.tables import render_table
+
+#: The worked example's parameters.
+EXAMPLE_MISS_RATIO = 0.10
+EXAMPLE_PROCESSORS = 128
+EXAMPLE_ACCESS_RATE_MACS = 1.0
+EXAMPLE_SBB_MACS = 12.8
+
+
+@dataclass(slots=True)
+class Figure71Result:
+    """Bandwidth-model outputs plus the simulation sweep.
+
+    Attributes:
+        example_sbb: computed SBB for the worked example (must be 12.8).
+        sweep: (processors, required SBB, per-bus SBB at 2 buses) rows.
+        simulated: measured utilization points, single and dual bus.
+        knee_single_bus: first simulated width saturating one bus.
+        feasible_range_ok: 32- and 256-processor machines both fall at or
+            below the worked example's per-processor demand envelope
+            doubled by a dual bus (the paper's buildability claim).
+        mismatches: checks that failed.
+    """
+
+    example_sbb: float = 0.0
+    sweep: list[tuple[int, float, float]] = field(default_factory=list)
+    simulated: list[UtilizationPoint] = field(default_factory=list)
+    knee_single_bus: int | None = None
+    feasible_range_ok: bool = False
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def matches_paper(self) -> bool:
+        return not self.mismatches
+
+
+def run(
+    protocol: str = "rwb",
+    simulate: bool = True,
+    sim_widths: tuple[int, ...] = (2, 4, 8, 16, 24),
+    refs_per_pe: int = 300,
+    seed: int = 0,
+) -> Figure71Result:
+    """Evaluate the analytic model and (optionally) the simulation sweep.
+
+    Args:
+        protocol: protocol for the simulated machines.
+        simulate: include the machine-backed utilization sweep.
+        sim_widths: processor counts to simulate.
+        refs_per_pe: workload length per PE in the sweep.
+        seed: workload seed.
+    """
+    result = Figure71Result()
+    result.example_sbb = required_bandwidth_macs(
+        EXAMPLE_PROCESSORS, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO
+    )
+    if abs(result.example_sbb - EXAMPLE_SBB_MACS) > 1e-9:
+        result.mismatches.append(
+            f"worked example: computed {result.example_sbb} MACS, paper "
+            f"prints {EXAMPLE_SBB_MACS}"
+        )
+
+    for processors in (8, 16, 32, 64, 128, 256):
+        total = required_bandwidth_macs(
+            processors, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO
+        )
+        halved = per_bus_demand_macs(
+            processors, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO, num_buses=2
+        )
+        result.sweep.append((processors, total, halved))
+        if abs(halved * 2 - total) > 1e-9:
+            result.mismatches.append(
+                f"dual-bus split at m={processors}: {halved}*2 != {total}"
+            )
+
+    # Feasibility claim: a bus able to carry the worked example's 12.8 MACS
+    # supports 128 processors; a dual bus then covers the paper's upper
+    # bound of 256; the lower bound of 32 needs only a quarter of it.
+    supports = max_processors(
+        EXAMPLE_SBB_MACS, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO
+    )
+    result.feasible_range_ok = supports >= 128 and supports * 2 >= 256
+    if not result.feasible_range_ok:
+        result.mismatches.append(
+            f"feasibility claim: a {EXAMPLE_SBB_MACS}-MACS bus supports only "
+            f"{supports} processors"
+        )
+
+    if simulate:
+        for width in sim_widths:
+            result.simulated.append(
+                measure_utilization(
+                    protocol, width, num_buses=1,
+                    refs_per_pe=refs_per_pe, seed=seed,
+                )
+            )
+        for width in sim_widths:
+            result.simulated.append(
+                measure_utilization(
+                    protocol, width, num_buses=2,
+                    refs_per_pe=refs_per_pe, seed=seed,
+                )
+            )
+        single = [p for p in result.simulated if p.num_buses == 1]
+        result.knee_single_bus = find_saturation_knee(single)
+        for single_point in single:
+            dual = next(
+                p for p in result.simulated
+                if p.num_buses == 2 and p.processors == single_point.processors
+            )
+            if (
+                single_point.utilization > 0.5
+                and dual.utilization > single_point.utilization + 0.02
+            ):
+                result.mismatches.append(
+                    f"dual bus did not relieve load at m="
+                    f"{single_point.processors}: {dual.utilization:.2f} vs "
+                    f"{single_point.utilization:.2f}"
+                )
+    return result
+
+
+def render(result: Figure71Result) -> str:
+    """The three report sections."""
+    sections = [
+        "Figure 7-1 / Section 7: shared-bus bandwidth",
+        f"Worked example: m={EXAMPLE_PROCESSORS}, x="
+        f"{EXAMPLE_ACCESS_RATE_MACS} MACS, 1/h={EXAMPLE_MISS_RATIO:.0%} "
+        f"=> SBB >= {result.example_sbb:.1f} MACS "
+        f"(paper: {EXAMPLE_SBB_MACS})",
+        render_table(
+            headers=["Processors", "SBB (MACS)", "Per-bus, 2 buses (MACS)"],
+            rows=[[m, f"{total:.1f}", f"{half:.1f}"] for m, total, half in result.sweep],
+            title="Required bandwidth sweep (x=1 MACS, 1/h=10%)",
+        ),
+    ]
+    if result.simulated:
+        sections.append(
+            render_table(
+                headers=["Processors", "Buses", "Utilization", "Instr/cycle"],
+                rows=[
+                    [p.processors, p.num_buses, f"{p.utilization:.2f}",
+                     f"{p.throughput:.2f}"]
+                    for p in result.simulated
+                ],
+                title="Simulated bus utilization (synthetic workload)",
+            )
+        )
+        knee = (
+            f"single-bus saturation knee at m={result.knee_single_bus}"
+            if result.knee_single_bus is not None
+            else "single bus did not saturate in the simulated range"
+        )
+        sections.append(knee)
+    verdict = (
+        "Matches the published analysis: YES"
+        if result.matches_paper
+        else "MISMATCHES:\n  " + "\n  ".join(result.mismatches)
+    )
+    sections.append(verdict)
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    """Print the bandwidth report."""
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

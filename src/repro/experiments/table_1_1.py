@@ -1,0 +1,173 @@
+"""Table 1-1: Cm* emulated cache results.
+
+Raskin's emulation methodology (only code and local data cachable,
+write-through local data, shared references always external) replayed over
+the two calibrated synthetic applications, sweeping direct-mapped one-word
+set caches of 256 to 2048 words.  The reproduction target is the table's
+*structure*: the read-miss column falls steeply with cache size, the
+local-write and shared columns are size-independent constants, and the
+total is their sum; the calibrated generators also land the absolute
+percentages near the published cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+from repro.workloads.cmstar import (
+    APP_PDE,
+    APP_QSORT,
+    CmStarApplication,
+    CmStarCacheEmulator,
+    EmulationResult,
+    generate_application_trace,
+)
+
+#: The cache sizes of the published table.
+CACHE_SIZES = (256, 512, 1024, 2048)
+
+#: Published cells for shape comparison: application -> size ->
+#: (read miss %, local write %, shared %).  App 2's 512-word read-miss
+#: entry is garbled in surviving copies of the report (it prints as 28.8,
+#: breaking monotonicity); we interpolate the monotone value and record
+#: the discrepancy in EXPERIMENTS.md.
+PAPER_CELLS: dict[str, dict[int, tuple[float, float, float]]] = {
+    APP_QSORT.name: {
+        256: (26.1, 8.0, 5.0),
+        512: (21.7, 8.0, 5.0),
+        1024: (11.3, 8.0, 5.0),
+        2048: (6.1, 8.0, 5.0),
+    },
+    APP_PDE.name: {
+        256: (25.0, 6.7, 10.0),
+        512: (18.8, 6.7, 10.0),
+        1024: (10.8, 6.7, 10.0),
+        2048: (5.8, 6.7, 10.0),
+    },
+}
+
+
+@dataclass(slots=True)
+class Table11Result:
+    """Regenerated Table 1-1.
+
+    Attributes:
+        cells: emulation results keyed by (application name, cache size).
+        num_refs: trace length per application.
+        shape_violations: structural-property failures (monotone read-miss
+            column, constant write/shared columns, additive total).
+    """
+
+    cells: dict[tuple[str, int], EmulationResult] = field(default_factory=dict)
+    num_refs: int = 0
+    shape_violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.shape_violations
+
+    def column(self, application: str) -> list[EmulationResult]:
+        """One application's rows in cache-size order."""
+        return [self.cells[(application, size)] for size in CACHE_SIZES]
+
+
+def run(
+    num_refs: int = 80_000,
+    seed: int = 3,
+    applications: tuple[CmStarApplication, ...] = (APP_QSORT, APP_PDE),
+) -> Table11Result:
+    """Regenerate the table.
+
+    Args:
+        num_refs: references per application trace (80k matches the
+            calibration; smaller values keep tests fast but drift the
+            absolute numbers slightly).
+        seed: trace seed.
+        applications: application mixes to emulate.
+    """
+    result = Table11Result(num_refs=num_refs)
+    for app in applications:
+        trace = generate_application_trace(app, num_refs, seed=seed)
+        for size in CACHE_SIZES:
+            result.cells[(app.name, size)] = CmStarCacheEmulator(size).run(
+                trace, app.name
+            )
+        result.shape_violations.extend(_check_shape(result.column(app.name)))
+    return result
+
+
+def _check_shape(rows: list[EmulationResult]) -> list[str]:
+    problems: list[str] = []
+    app = rows[0].application
+    read_miss = [row.read_miss.percent for row in rows]
+    if any(later >= earlier for earlier, later in zip(read_miss, read_miss[1:])):
+        problems.append(
+            f"{app}: read-miss column not strictly decreasing: {read_miss}"
+        )
+    for column, label in (
+        ([row.local_write.percent for row in rows], "local-write"),
+        ([row.shared.percent for row in rows], "shared"),
+    ):
+        if max(column) - min(column) > 1.0:
+            problems.append(
+                f"{app}: {label} column should be size-independent, got {column}"
+            )
+    for row in rows:
+        parts = (
+            row.read_miss.percent + row.local_write.percent + row.shared.percent
+        )
+        if abs(parts - row.total_miss.percent) > 1e-6:
+            problems.append(
+                f"{app}@{row.cache_size}: total {row.total_miss.percent} != "
+                f"sum of parts {parts}"
+            )
+    return problems
+
+
+def render(result: Table11Result) -> str:
+    """The table in the paper's layout, with the published cells inline."""
+    headers = [
+        "Cache Size", "Application", "Read Miss %", "(paper)",
+        "Local Writes %", "(paper)", "Shared R/W %", "(paper)",
+        "Total Miss %",
+    ]
+    rows = []
+    applications = sorted({app for app, _ in result.cells})
+    for size in CACHE_SIZES:
+        for app in applications:
+            cell = result.cells[(app, size)]
+            paper = PAPER_CELLS.get(app, {}).get(size)
+            rows.append([
+                size,
+                app,
+                round(cell.read_miss.percent, 1),
+                paper[0] if paper else "-",
+                round(cell.local_write.percent, 1),
+                paper[1] if paper else "-",
+                round(cell.shared.percent, 1),
+                paper[2] if paper else "-",
+                round(cell.total_miss.percent, 1),
+            ])
+    table = render_table(
+        headers, rows,
+        title=(
+            "Table 1-1: Cm* emulated cache results (set size 1 word)\n"
+            f"({result.num_refs} references per application)"
+        ),
+    )
+    verdict = (
+        "Shape properties hold: YES"
+        if result.ok
+        else "SHAPE VIOLATIONS:\n  " + "\n  ".join(result.shape_violations)
+    )
+    return f"{table}\n\n{verdict}"
+
+
+def main() -> None:
+    """Print the regenerated table."""
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""Extract a protocol's per-line transition table — Figures 3-1 and 5-1.
+
+The figures are state-transition diagrams with edges labelled by stimulus
+(CPU read/write, bus read/write/invalidate) and numbered modifiers:
+
+1. generate a BW (write through)
+2. interrupt the BR and supply the data from the cache
+3. generate a BR (cache miss)
+4. generate a BI (RWB only)
+
+This module enumerates the *implemented* protocol's reaction for every
+(state, stimulus) pair, so the figure experiments can diff the running
+code against the published diagram, and the reports can print the diagram
+as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+
+#: Stimulus labels in figure order.
+CPU_READ = "CPU read"
+CPU_WRITE = "CPU write"
+BUS_READ = "Bus read"
+BUS_WRITE = "Bus write"
+BUS_INVALIDATE = "Bus invalidate"
+
+_MODIFIER_FOR_BUS_OP = {
+    BusOp.WRITE: "1",
+    BusOp.READ: "3",
+    BusOp.INVALIDATE: "4",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionEntry:
+    """One edge of the diagram.
+
+    Attributes:
+        state: source line state.
+        stimulus: one of the module's stimulus labels.
+        next_state: destination state.
+        modifiers: figure modifier numbers triggered by the edge.
+        absorbs: the line takes the broadcast data word (the RB/RWB
+            data-distribution feature; not drawn in the figures but part
+            of the prose spec).
+    """
+
+    state: LineState
+    stimulus: str
+    next_state: LineState
+    modifiers: tuple[str, ...] = ()
+    absorbs: bool = False
+
+    def cells(self) -> list[str]:
+        """Row cells for table rendering."""
+        mods = ",".join(self.modifiers) if self.modifiers else "-"
+        return [
+            str(self.state),
+            self.stimulus,
+            str(self.next_state),
+            mods,
+            "yes" if self.absorbs else "no",
+        ]
+
+
+def _meta_for(protocol: CoherenceProtocol, state: LineState) -> int:
+    """Representative meta for *state*: the diagram's F is the last write
+    before promotion (meta = k-1 under RWB)."""
+    if state is LineState.FIRST_WRITE and isinstance(protocol, RWBProtocol):
+        return protocol.local_promotion_writes - 1
+    return 0
+
+
+def enumerate_transitions(protocol: CoherenceProtocol) -> list[TransitionEntry]:
+    """Every (state, stimulus) edge the protocol implements.
+
+    Edges the protocol treats as impossible (e.g. a Local line snooping a
+    bus read, which it interrupts instead) are rendered through their
+    actual mechanism (the interrupt path) or omitted when genuinely
+    unreachable.
+    """
+    entries: list[TransitionEntry] = []
+    snoop_ops = [(BUS_READ, BusOp.READ), (BUS_WRITE, BusOp.WRITE)]
+    if BusOp.INVALIDATE in _emitted_ops(protocol):
+        snoop_ops.append((BUS_INVALIDATE, BusOp.INVALIDATE))
+
+    for state in protocol.states:
+        meta = _meta_for(protocol, state)
+        read = protocol.on_cpu_read(state, meta)
+        entries.append(
+            TransitionEntry(
+                state=state,
+                stimulus=CPU_READ,
+                next_state=read.next_state,
+                modifiers=_modifiers(read.bus_op),
+            )
+        )
+        write = protocol.on_cpu_write(state, meta)
+        entries.append(
+            TransitionEntry(
+                state=state,
+                stimulus=CPU_WRITE,
+                next_state=write.next_state,
+                modifiers=_modifiers(write.bus_op),
+            )
+        )
+        for label, op in snoop_ops:
+            if op.is_read_like and protocol.interrupts_bus_read(state):
+                entries.append(
+                    TransitionEntry(
+                        state=state,
+                        stimulus=label,
+                        next_state=protocol.state_after_supplying(state),
+                        modifiers=("2",),
+                    )
+                )
+                continue
+            try:
+                snoop = protocol.on_snoop(state, meta, op)
+            except CacheError:
+                continue  # genuinely unreachable edge
+            entries.append(
+                TransitionEntry(
+                    state=state,
+                    stimulus=label,
+                    next_state=snoop.next_state,
+                    absorbs=snoop.absorb_value,
+                )
+            )
+    return entries
+
+
+def _modifiers(bus_op: BusOp | None) -> tuple[str, ...]:
+    if bus_op is None:
+        return ()
+    return (_MODIFIER_FOR_BUS_OP[bus_op],)
+
+
+def _emitted_ops(protocol: CoherenceProtocol) -> set[BusOp]:
+    """Which bus ops the protocol's CPU reactions can emit."""
+    ops: set[BusOp] = set()
+    for state in (*protocol.states, LineState.NOT_PRESENT):
+        meta = _meta_for(protocol, state)
+        for table in (protocol.on_cpu_read, protocol.on_cpu_write):
+            try:
+                reaction = table(state, meta)
+            except CacheError:
+                continue
+            if reaction.bus_op is not None:
+                ops.add(reaction.bus_op)
+    return ops
+
+
+def diff_transitions(
+    actual: list[TransitionEntry], expected: list[TransitionEntry]
+) -> list[str]:
+    """Human-readable differences between two transition tables."""
+    index_actual = {(e.state, e.stimulus): e for e in actual}
+    index_expected = {(e.state, e.stimulus): e for e in expected}
+    problems: list[str] = []
+    for key, want in index_expected.items():
+        got = index_actual.get(key)
+        if got is None:
+            problems.append(f"missing edge {key[0]} --{key[1]}-->")
+        elif (got.next_state, got.modifiers, got.absorbs) != (
+            want.next_state,
+            want.modifiers,
+            want.absorbs,
+        ):
+            problems.append(
+                f"{key[0]} --{key[1]}--> expected {want.next_state} "
+                f"mods={want.modifiers} absorb={want.absorbs}, got "
+                f"{got.next_state} mods={got.modifiers} absorb={got.absorbs}"
+            )
+    for key in index_actual:
+        if key not in index_expected:
+            problems.append(f"unexpected edge {key[0]} --{key[1]}-->")
+    return problems

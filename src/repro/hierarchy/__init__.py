@@ -1,0 +1,42 @@
+"""Hierarchical (clustered, two-level) cache structures — the paper's
+first "promising for further research" direction (Section 8).
+
+Architecture: processing elements are grouped into clusters.  Each PE has
+a private write-through L1 on a per-cluster *local* bus; each cluster has
+an adapter whose embedded L2 cache is an ordinary snooping client of the
+*global* bus, running one of the paper's schemes (RB by default).  Local
+traffic (L1 misses served by the L2, cluster-private writes once the L2
+holds the line Local) never touches the global bus — the scaling argument
+for hierarchy.
+
+Coherence recipe, each piece reusing the flat machinery:
+
+* L1s are **write-through** (every write reaches the local bus), so the
+  adapter observes all cluster writes and its L2 always holds the
+  cluster's latest values — the L2 can then interrupt/supply on the
+  global bus exactly like any flat cache;
+* the adapter **filters global events into the cluster synchronously**:
+  when a foreign cluster's write-like or invalidate transaction completes
+  on the global bus, matching L1 lines are invalidated in the same cycle
+  (the dual-ported-tag assumption, mirroring the paper's assumption 5);
+* a local transaction whose data is not yet in the L2 is **NACKed and
+  retried** while the adapter fetches over the global bus (the
+  ``prepare`` hook on the local bus);
+* test-and-set is **passed through**: the local read-with-lock only
+  proceeds once the adapter's lock agent has performed the global
+  read-with-lock, so RMW atomicity is machine-wide.
+
+Consistency of the whole two-level machine is validated by the same
+serial-order checker used for flat machines (see the hierarchy tests).
+"""
+
+from repro.hierarchy.adapter import ClusterAdapter
+from repro.hierarchy.config import HierarchicalConfig
+from repro.hierarchy.machine import Cluster, HierarchicalMachine
+
+__all__ = [
+    "Cluster",
+    "ClusterAdapter",
+    "HierarchicalConfig",
+    "HierarchicalMachine",
+]

@@ -1,0 +1,405 @@
+"""The cluster adapter: local-bus memory slave, global-bus cache client.
+
+One adapter per cluster, wearing three hats:
+
+1. **Local memory slave** — the cluster's local bus treats the adapter as
+   its main memory.  The ``prepare`` hook NACKs local transactions until
+   the adapter's L2 holds the data (reads), has pushed the write through
+   (writes), or the global lock operation has completed (RMW ops).
+2. **Global cache client** — the embedded L2 is a stock
+   :class:`~repro.cache.SnoopingCache` on the global bus, running one of
+   the paper's schemes; every interrupt/supply/absorption mechanism works
+   for whole clusters exactly as it does for single PEs.
+3. **Invalidation filter** — the adapter's agent snoops the global bus
+   and synchronously invalidates matching L1 lines when a *foreign
+   cluster's* write-like or invalidate transaction completes, preserving
+   cluster-internal coherence without requiring L1/L2 inclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bus.interfaces import BusClient, BusNetwork
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped
+from repro.common.errors import CacheError, ConfigurationError, MemoryError_
+from repro.common.stats import CounterBag
+from repro.common.types import Address, Word
+from repro.memory.main_memory import MainMemory
+from repro.protocols.base import CoherenceProtocol
+
+
+class _GlobalAgent(BusClient):
+    """A raw global-bus client owned by the adapter.
+
+    The adapter attaches one *monitor* agent (forwards every global
+    observation to the invalidation filter, never issues) plus one *lock*
+    agent per cluster PE (forwards that PE's read-with-lock / unlock
+    operations; per-PE agents make the lock pass-through deadlock-free,
+    since a PE holds at most one lock and its next forwarded operation is
+    always its own release — no hold-and-wait cycles).
+    """
+
+    def __init__(self, adapter: "ClusterAdapter", forward_observations: bool) -> None:
+        self.client_id = -1
+        self._adapter = adapter
+        self._forward_observations = forward_observations
+        self._callback: Callable[[Word], None] | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self._callback is not None
+
+    def issue(
+        self, op: BusOp, address: Address, value: Word,
+        callback: Callable[[Word], None],
+    ) -> None:
+        if self.busy:
+            raise CacheError("global lock agent already has an operation in flight")
+        self._callback = callback
+        self._adapter.global_bus.request(
+            BusTransaction(op=op, address=address, originator=self.client_id,
+                           value=value)
+        )
+
+    def snoop_wants_interrupt(self, txn: BusTransaction) -> bool:
+        return False
+
+    def make_interrupt_writeback(self, txn: BusTransaction) -> BusTransaction:
+        raise CacheError("the lock agent never supplies data")
+
+    def observe_transaction(self, txn: BusTransaction, value: Word) -> None:
+        if self._forward_observations:
+            self._adapter._on_global_observation(txn, value)
+
+    def transaction_complete(self, txn: BusTransaction, value: Word) -> None:
+        # The bus excludes the originator from its broadcast, so our own
+        # completed lock-ops must be fed to the invalidation filter here
+        # (a write-with-unlock is globally visible the moment it completes).
+        self._adapter._on_global_observation(txn, value)
+        callback = self._callback
+        self._callback = None
+        if callback is not None:
+            callback(value)
+
+
+class ClusterAdapter:
+    """Bridges one cluster's local bus to the global bus.
+
+    Duck-types the :class:`~repro.memory.main_memory.MainMemory` interface
+    the local bus expects (including the ``prepare`` readiness hook).
+
+    Args:
+        name: cluster label for statistics.
+        global_bus: the machine-wide bus fabric.
+        global_memory: the machine-wide memory (for introspection only;
+            all data flows through the L2).
+        l2_protocol: coherence scheme the L2 speaks on the global bus.
+        l2_lines: L2 capacity in one-word frames.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        global_bus: BusNetwork,
+        global_memory: MainMemory,
+        l2_protocol: CoherenceProtocol,
+        l2_lines: int,
+    ) -> None:
+        if l2_lines < 1:
+            raise ConfigurationError(f"need >= 1 L2 line, got {l2_lines}")
+        self.name = name
+        self.global_bus = global_bus
+        self.global_memory = global_memory
+        self.stats = CounterBag()
+        self.l2 = SnoopingCache(
+            l2_protocol, DirectMapped(l2_lines), name=f"{name}-l2"
+        )
+        self.l2.connect(global_bus)
+        #: Observation-only client feeding the invalidation filter.
+        self.monitor = _GlobalAgent(self, forward_observations=True)
+        global_bus.attach(self.monitor)
+        #: Per-PE lock agents, keyed by the L1's local-bus client id.
+        self._lock_agents: dict[int, _GlobalAgent] = {}
+        #: L1 caches inside this cluster (registered by the machine).
+        self._l1s: list[SnoopingCache] = []
+        #: Local RMW lock table: address -> local client id.
+        self._local_locks: dict[Address, int] = {}
+        #: Global read-with-lock results awaiting a local read-lock,
+        #: keyed by (address, local client id).
+        self._lock_tokens: dict[tuple[Address, int], Word] = {}
+        #: Local write transactions whose global write-through completed
+        #: but whose local execution is still pending (serial -> address).
+        self._completed_writes: dict[int, Address] = {}
+        #: Local write transactions with a global write-through in flight.
+        self._inflight_writes: dict[int, Address] = {}
+        #: Lock-release transactions completed / in flight globally
+        #: (serial -> address).
+        self._completed_lock_ops: dict[int, Address] = {}
+        self._inflight_lock_ops: dict[int, Address] = {}
+        #: Completed-but-unexecuted local transactions whose value a later
+        #: foreign global write superseded; their local execution must not
+        #: leave a readable stale copy in the writer's L1.
+        self._superseded_serials: set[int] = set()
+        #: Addresses whose cluster L1 copies must be invalidated at the
+        #: end of the current machine cycle (after the local bus ran).
+        self._post_cycle_invalidations: set[Address] = set()
+        #: Optional machine-cycle source (set by the machine); when
+        #: present, global-visibility cycles are stamped per local serial.
+        self.clock: Callable[[], int] | None = None
+        #: Local txn serial -> machine cycle its effect became globally
+        #: visible (the correct serialization point for SC checking).
+        self.visibility_by_serial: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # cluster wiring                                                      #
+    # ------------------------------------------------------------------ #
+
+    def register_l1(self, cache: SnoopingCache) -> None:
+        """Attach an L1: the invalidation filter reaches it, and it gets
+        its own global lock agent (keyed by its local-bus client id)."""
+        self._l1s.append(cache)
+        agent = _GlobalAgent(self, forward_observations=False)
+        self.global_bus.attach(agent)
+        self._lock_agents[cache.client_id] = agent
+
+    def _agent_for(self, local_client: int) -> _GlobalAgent:
+        if local_client not in self._lock_agents:
+            raise ConfigurationError(
+                f"{self.name}: no lock agent for local client {local_client}"
+            )
+        return self._lock_agents[local_client]
+
+    @property
+    def busy(self) -> bool:
+        """Whether any global activity for this cluster is in flight."""
+        return (
+            self.l2.busy
+            or any(agent.busy for agent in self._lock_agents.values())
+            or bool(self._inflight_writes)
+            or bool(self._inflight_lock_ops)
+        )
+
+    # ------------------------------------------------------------------ #
+    # the invalidation filter                                             #
+    # ------------------------------------------------------------------ #
+
+    def _on_global_observation(self, txn: BusTransaction, value: Word) -> None:
+        """Synchronously invalidate cluster L1 copies when a global
+        write-like or invalidate transaction completes (the dual-ported-tag
+        assumption).
+
+        This fires for our *own* cluster's write-throughs too: the moment
+        the global write completes, the new value is visible machine-wide,
+        so any L1 copy of the old value inside this cluster — including
+        the writer's own, which its pending local write will refresh —
+        must die now, not when the local bus gets around to broadcasting.
+        """
+        if not (txn.op.is_write_like or txn.op is BusOp.INVALIDATE):
+            return
+        for l1 in self._l1s:
+            if l1.line_for(txn.address) is not None:
+                l1.observe_transaction(txn, value)
+                self.stats.add("adapter.filtered_invalidations")
+        # Any of our own completed-but-unexecuted transactions for this
+        # address carries a value this write just superseded: its eventual
+        # local execution must end with the writer's L1 line invalid, or a
+        # stale copy would outlive the newer global value.
+        for tracker in (self._completed_writes, self._completed_lock_ops):
+            for serial, address in tracker.items():
+                if address == txn.address:
+                    self._superseded_serials.add(serial)
+
+    # ------------------------------------------------------------------ #
+    # local-bus slave interface: readiness                                #
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, txn: BusTransaction) -> bool:
+        """Whether the local bus may execute *txn* now (see module doc)."""
+        if txn.op is BusOp.READ:
+            return self._prepare_read(txn.address)
+        if txn.op is BusOp.WRITE:
+            return self._prepare_write(txn)
+        if txn.op is BusOp.READ_LOCK:
+            return self._prepare_read_lock(txn.address, txn.originator)
+        if txn.op in (BusOp.WRITE_UNLOCK, BusOp.UNLOCK):
+            return self._prepare_lock_release(txn)
+        raise CacheError(f"{self.name}: unsupported local bus op {txn.op}")
+
+    def _prepare_read(self, address: Address) -> bool:
+        line = self.l2.line_for(address)
+        if line is not None and line.state.readable_locally:
+            return True
+        if self.l2.busy:
+            return False
+        self.stats.add("adapter.l2_fetches")
+        return self.l2.cpu_read(address, lambda value: None)
+
+    def _prepare_write(self, txn: BusTransaction) -> bool:
+        if txn.serial in self._completed_writes:
+            # Ready: the bus executes this transaction right now.
+            address = self._completed_writes.pop(txn.serial)
+            self._note_if_superseded(txn.serial, address)
+            return True
+        if txn.serial in self._inflight_writes:
+            return False
+        if self.l2.busy:
+            return False
+
+        def done(_: Word, serial: int = txn.serial,
+                 address: Address = txn.address) -> None:
+            self._inflight_writes.pop(serial, None)
+            self._completed_writes[serial] = address
+            self._stamp_visibility(serial)
+
+        self.stats.add("adapter.write_throughs")
+        if self.l2.cpu_write(txn.address, txn.value, done):
+            # L2 hit Local: the write stays in the cluster and becomes
+            # visible at this *local* bus cycle — clear the bookkeeping
+            # the synchronous callback just created, including the global
+            # visibility stamp (there was no global transaction).
+            self._completed_writes.pop(txn.serial, None)
+            self.visibility_by_serial.pop(txn.serial, None)
+            # This silent write supersedes any earlier completed-but-
+            # unexecuted transaction to the same address (their deposits
+            # must not resurrect an older value).
+            for tracker in (self._completed_writes, self._completed_lock_ops):
+                for serial, address in tracker.items():
+                    if address == txn.address and serial != txn.serial:
+                        self._superseded_serials.add(serial)
+            return True
+        self._inflight_writes[txn.serial] = txn.address
+        return False
+
+    def _prepare_read_lock(self, address: Address, local_client: int) -> bool:
+        if (address, local_client) in self._lock_tokens:
+            return True
+        agent = self._agent_for(local_client)
+        if agent.busy:
+            return False
+        # No explicit flush is needed when our own L2 holds the line
+        # dirty: the agent and the L2 are distinct global-bus clients, so
+        # the L2 interrupts the agent's read-with-lock and supplies its
+        # value through the ordinary kill-and-retry mechanism.
+
+        def locked(value: Word, address: Address = address,
+                   local_client: int = local_client) -> None:
+            self._lock_tokens[(address, local_client)] = value
+
+        self.stats.add("adapter.lock_forwards")
+        agent.issue(BusOp.READ_LOCK, address, 0, locked)
+        return False
+
+    def _prepare_lock_release(self, txn: BusTransaction) -> bool:
+        if txn.serial in self._completed_lock_ops:
+            address = self._completed_lock_ops.pop(txn.serial)
+            self._note_if_superseded(txn.serial, address)
+            return True
+        if txn.serial in self._inflight_lock_ops:
+            return False
+        agent = self._agent_for(txn.originator)
+        if agent.busy:
+            return False
+
+        def released(_: Word, serial: int = txn.serial,
+                     address: Address = txn.address) -> None:
+            self._inflight_lock_ops.pop(serial, None)
+            self._completed_lock_ops[serial] = address
+            self._stamp_visibility(serial)
+
+        self._inflight_lock_ops[txn.serial] = txn.address
+        agent.issue(txn.op, txn.address, txn.value, released)
+        return False
+
+    def _note_if_superseded(self, serial: int, address: Address) -> None:
+        if serial in self._superseded_serials:
+            self._superseded_serials.discard(serial)
+            self._post_cycle_invalidations.add(address)
+
+    def _stamp_visibility(self, serial: int) -> None:
+        if self.clock is not None:
+            self.visibility_by_serial[serial] = self.clock()
+
+    # ------------------------------------------------------------------ #
+    # local-bus slave interface: execution                                #
+    # ------------------------------------------------------------------ #
+
+    def read(self, address: Address) -> Word:
+        """Serve a local bus read from the L2 (readiness guaranteed)."""
+        line = self.l2.line_for(address)
+        if line is None or not line.state.readable_locally:
+            raise MemoryError_(
+                f"{self.name}: local read of {address} executed before the "
+                "L2 held the line"
+            )
+        self.stats.add("adapter.local_reads")
+        return line.value
+
+    def write(self, address: Address, value: Word) -> None:
+        """Local bus write: the data already flowed into the L2 during
+        :meth:`prepare`; nothing further to store."""
+        self.stats.add("adapter.local_writes")
+
+    def is_locked_against(self, address: Address, client_id: int) -> bool:
+        """Local RMW lock check (global atomicity rides the agent)."""
+        holder = self._local_locks.get(address)
+        return holder is not None and holder != client_id
+
+    def read_lock(self, address: Address, client_id: int) -> Word:
+        """Consume the global lock token and take the local lock."""
+        if (address, client_id) not in self._lock_tokens:
+            raise MemoryError_(
+                f"{self.name}: local read-lock of {address} executed before "
+                "the global lock was acquired"
+            )
+        self._local_locks[address] = client_id
+        return self._lock_tokens.pop((address, client_id))
+
+    def write_unlock(self, address: Address, value: Word, client_id: int) -> None:
+        """Release the local lock after a forwarded global write-unlock.
+
+        The global write-with-unlock (forwarded in prepare) stored the
+        value and our L2 snooped it like any foreign write; only the
+        local lock remains to release.
+        """
+        self._release_local(address, client_id, "write_unlock")
+
+    def unlock(self, address: Address, client_id: int) -> None:
+        """Release the local lock after a forwarded global unlock."""
+        self._release_local(address, client_id, "unlock")
+
+    def _release_local(self, address: Address, client_id: int, what: str) -> None:
+        holder = self._local_locks.get(address)
+        if holder != client_id:
+            raise MemoryError_(
+                f"{self.name}: {what} by local client {client_id} at "
+                f"{address} but the local lock is held by {holder!r}"
+            )
+        del self._local_locks[address]
+
+    def end_cycle(self) -> None:
+        """Invalidate L1 copies of addresses whose just-executed local
+        transaction deposited a superseded value (called by the machine
+        after the local bus phase, before the PEs run)."""
+        for address in self._post_cycle_invalidations:
+            for l1 in self._l1s:
+                line = l1.line_for(address)
+                if line is not None and line.state.readable_locally:
+                    # L1s are write-through: dropping to Invalid is always
+                    # safe (no dirty data can live in an L1).
+                    from repro.protocols.states import LineState
+
+                    line.state = LineState.INVALID
+                    line.invalidated_by_snoop = True
+                    l1.stats.add("cache.invalidations")
+                    self.stats.add("adapter.superseded_invalidations")
+        self._post_cycle_invalidations.clear()
+
+    def peek(self, address: Address) -> Word:
+        """Cluster-visible value: the L2's copy if live, else global memory."""
+        line = self.l2.line_for(address)
+        if line is not None and line.state.readable_locally:
+            return line.value
+        return self.global_memory.peek(address)

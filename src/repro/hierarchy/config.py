@@ -1,0 +1,65 @@
+"""Configuration for the hierarchical two-level machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class HierarchicalConfig:
+    """Shape of a clustered two-level machine.
+
+    Attributes:
+        num_clusters: clusters on the global bus.
+        pes_per_cluster: PEs (each with a private L1) per local bus.
+        l1_lines: one-word frames per L1.  L1s always run write-through
+            (the hierarchy's correctness hinges on the adapter seeing
+            every cluster write).
+        l2_lines: frames per cluster adapter L2.
+        l2_protocol: global-bus scheme for the L2s (``"rb"``, ``"rwb"``,
+            ``"write-once"`` or ``"write-through"``).
+        l2_protocol_options: options for the L2 protocol factory.
+        global_buses: physical buses in the global fabric (the Section 7
+            interleaved multi-bus, composed with the Section 8 hierarchy).
+        memory_size: global shared memory in words.
+        num_regs: PE register-file size.
+        seed: base seed for stochastic components.
+    """
+
+    num_clusters: int = 2
+    pes_per_cluster: int = 2
+    l1_lines: int = 8
+    l2_lines: int = 64
+    l2_protocol: str = "rb"
+    l2_protocol_options: dict[str, Any] = field(default_factory=dict)
+    global_buses: int = 1
+    memory_size: int = 4096
+    num_regs: int = 16
+    seed: int = 0
+
+    @property
+    def total_pes(self) -> int:
+        """PEs across all clusters."""
+        return self.num_clusters * self.pes_per_cluster
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on structurally bad settings."""
+        if self.num_clusters < 1:
+            raise ConfigurationError(f"need >= 1 cluster, got {self.num_clusters}")
+        if self.pes_per_cluster < 1:
+            raise ConfigurationError(
+                f"need >= 1 PE per cluster, got {self.pes_per_cluster}"
+            )
+        if self.l1_lines < 1 or self.l2_lines < 1:
+            raise ConfigurationError("L1 and L2 need at least one line")
+        if self.global_buses < 1:
+            raise ConfigurationError(
+                f"need >= 1 global bus, got {self.global_buses}"
+            )
+        if self.memory_size < 1:
+            raise ConfigurationError(f"need >= 1 memory word, got {self.memory_size}")
+        if self.num_regs < 1:
+            raise ConfigurationError(f"need >= 1 register, got {self.num_regs}")

@@ -1,0 +1,221 @@
+"""The hierarchical machine: clusters of PEs behind adapters.
+
+Cycle structure: the global bus moves first (adapter L2 completions,
+interrupts, lock grants), then every cluster's local bus, then every PE —
+the same global-before-local discipline as the flat machine's
+bus-before-drivers ordering, extended one level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bus.bus import SharedBus
+from repro.bus.interfaces import BusNetwork
+from repro.bus.multibus import InterleavedMultiBus
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.stats import StatSet
+from repro.common.types import Address, MemRef, Word
+from repro.hierarchy.adapter import ClusterAdapter
+from repro.hierarchy.config import HierarchicalConfig
+from repro.memory.main_memory import MainMemory
+from repro.processor.pe import Driver, ProcessingElement
+from repro.processor.program import Program
+from repro.processor.tracedriver import TraceDriver
+from repro.protocols.registry import make_protocol
+from repro.protocols.write_through import WriteThroughInvalidateProtocol
+
+
+@dataclass(slots=True)
+class Cluster:
+    """One cluster's components.
+
+    Attributes:
+        index: cluster number.
+        local_bus: the cluster-private bus.
+        adapter: the bridge to the global bus.
+        l1s: per-PE write-through caches on the local bus.
+    """
+
+    index: int
+    local_bus: SharedBus
+    adapter: ClusterAdapter
+    l1s: list[SnoopingCache]
+
+
+class HierarchicalMachine:
+    """A two-level clustered multiprocessor (Section 8 extension)."""
+
+    def __init__(self, config: HierarchicalConfig) -> None:
+        config.validate()
+        self.config = config
+        self.memory = MainMemory(config.memory_size)
+        self.global_bus: BusNetwork
+        if config.global_buses == 1:
+            self.global_bus = SharedBus(self.memory, name="global-bus")
+        else:
+            self.global_bus = InterleavedMultiBus(
+                self.memory, config.global_buses
+            )
+        self.clusters: list[Cluster] = []
+        for index in range(config.num_clusters):
+            self.clusters.append(self._build_cluster(index))
+        self.drivers: list[Driver] = []
+        self.cycle = 0
+        for cluster in self.clusters:
+            cluster.adapter.clock = lambda: self.cycle
+
+    def _build_cluster(self, index: int) -> Cluster:
+        adapter = ClusterAdapter(
+            name=f"cluster{index}",
+            global_bus=self.global_bus,
+            global_memory=self.memory,
+            l2_protocol=make_protocol(
+                self.config.l2_protocol, **self.config.l2_protocol_options
+            ),
+            l2_lines=self.config.l2_lines,
+        )
+        local_bus = SharedBus(adapter, name=f"local-bus{index}")  # type: ignore[arg-type]
+        l1s = []
+        for pe in range(self.config.pes_per_cluster):
+            l1 = SnoopingCache(
+                WriteThroughInvalidateProtocol(),
+                DirectMapped(self.config.l1_lines),
+                name=f"c{index}-l1-{pe}",
+            )
+            l1.connect(local_bus)
+            adapter.register_l1(l1)
+            l1s.append(l1)
+        return Cluster(index=index, local_bus=local_bus, adapter=adapter,
+                       l1s=l1s)
+
+    # ------------------------------------------------------------------ #
+    # loading work                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _all_l1s(self) -> list[SnoopingCache]:
+        return [l1 for cluster in self.clusters for l1 in cluster.l1s]
+
+    def load_programs(self, programs: Sequence[Program]) -> None:
+        """One program per PE, cluster-major order (cluster 0's PEs
+        first)."""
+        self._require_unloaded()
+        if len(programs) != self.config.total_pes:
+            raise ConfigurationError(
+                f"got {len(programs)} programs for {self.config.total_pes} PEs"
+            )
+        l1s = self._all_l1s()
+        self.drivers = [
+            ProcessingElement(pe, l1s[pe], program, self.config.num_regs)
+            for pe, program in enumerate(programs)
+        ]
+
+    def load_traces(self, streams: Sequence[Iterable[MemRef]]) -> None:
+        """One reference stream per PE, cluster-major order."""
+        self._require_unloaded()
+        if len(streams) != self.config.total_pes:
+            raise ConfigurationError(
+                f"got {len(streams)} streams for {self.config.total_pes} PEs"
+            )
+        l1s = self._all_l1s()
+        self.drivers = [
+            TraceDriver(pe, l1s[pe], stream)
+            for pe, stream in enumerate(streams)
+        ]
+
+    def _require_unloaded(self) -> None:
+        if self.drivers:
+            raise ConfigurationError("machine already has drivers loaded")
+
+    # ------------------------------------------------------------------ #
+    # execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """One machine cycle: global bus, local buses, adapters' end-of-
+        cycle cleanup (superseded-copy invalidation), then PEs."""
+        self.cycle += 1
+        self.global_bus.step_all()
+        for cluster in self.clusters:
+            cluster.local_bus.step()
+        for cluster in self.clusters:
+            cluster.adapter.end_cycle()
+        for driver in self.drivers:
+            driver.step()
+
+    @property
+    def idle(self) -> bool:
+        """All PEs done, no bus pending anywhere, no adapter in flight."""
+        if not all(driver.done for driver in self.drivers):
+            return False
+        if self.global_bus.has_pending():
+            return False
+        for cluster in self.clusters:
+            if cluster.local_bus.has_pending() or cluster.adapter.busy:
+                return False
+        return True
+
+    def run(self, max_cycles: int = 2_000_000) -> int:
+        """Step until idle; returns cycles executed."""
+        start = self.cycle
+        while not self.idle:
+            if self.cycle - start >= max_cycles:
+                raise ReproError(
+                    f"hierarchical machine did not go idle within "
+                    f"{max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+    # ------------------------------------------------------------------ #
+    # observation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def latest_value(self, address: Address) -> Word:
+        """The logical latest value: a dirty L2's copy if one exists
+        (write-through L1s are never dirty), else global memory."""
+        for cluster in self.clusters:
+            line = cluster.adapter.l2.line_for(address)
+            if line is not None and line.state.may_differ_from_memory:
+                return line.value
+        return self.memory.peek(address)
+
+    @property
+    def stats(self) -> StatSet:
+        """Counters for every component at both levels."""
+        stat_set = StatSet()
+        stat_set.bag("memory").merge(self.memory.stats)
+        if isinstance(self.global_bus, InterleavedMultiBus):
+            stat_set.bag("global-bus").merge(self.global_bus.merged_stats())
+        else:
+            stat_set.bag("global-bus").merge(self.global_bus.stats)
+        for cluster in self.clusters:
+            stat_set.bag(f"local-bus{cluster.index}").merge(
+                cluster.local_bus.stats
+            )
+            stat_set.bag(f"cluster{cluster.index}-adapter").merge(
+                cluster.adapter.stats
+            )
+            stat_set.bag(f"cluster{cluster.index}-l2").merge(
+                cluster.adapter.l2.stats
+            )
+            for l1 in cluster.l1s:
+                stat_set.bag(l1.name).merge(l1.stats)
+        for driver in self.drivers:
+            stat_set.bag(f"pe{driver.pe_id}").merge(driver.stats)
+        return stat_set
+
+    def global_traffic(self) -> int:
+        """Completed global-bus transactions (the hierarchy's figure of
+        merit: local traffic scales out, global traffic must not)."""
+        return self.stats.bag("global-bus").total("bus.op.")
+
+    def local_traffic(self) -> int:
+        """Completed local-bus transactions across all clusters."""
+        return sum(
+            cluster.local_bus.stats.total("bus.op.")
+            for cluster in self.clusters
+        )

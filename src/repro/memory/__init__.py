@@ -1,0 +1,13 @@
+"""The shared main memory — the paper's "cache 0".
+
+Section 4 models memory as one more (somewhat special) cache on the bus; it
+is the default supplier of data for bus reads and the write-through target
+of every bus write.  It also implements the per-word lock used by the
+read-with-lock / write-with-unlock pair that realizes test-and-set
+(Section 6, footnote 7 notes real machines lock coarser regions; locking is
+configurable down to a single global lock).
+"""
+
+from repro.memory.main_memory import LockGranularity, MainMemory
+
+__all__ = ["LockGranularity", "MainMemory"]

@@ -1,0 +1,177 @@
+"""Word-addressed shared main memory with read-modify-write locking."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ConfigurationError, MemoryError_
+from repro.common.stats import CounterBag
+from repro.common.types import Address, Word, validate_address
+
+
+class LockGranularity(enum.Enum):
+    """How much of memory a read-with-lock reserves.
+
+    The paper (Section 6, footnote 7): "In some implementations all of
+    memory is locked, in others only sections of memory.  It is generally
+    considered too expensive to associate a lock with each memory address."
+    We default to per-word locks (the semantically cleanest model) but
+    support the coarser historical variants for the lock-granularity
+    ablation.
+    """
+
+    WORD = "word"
+    MODULE = "module"
+    ALL = "all"
+
+
+class MainMemory:
+    """The shared memory: default data supplier and write-through target.
+
+    Words not yet written read as zero, matching the abstract machine of the
+    Section 4 proof where memory initially holds the only correct value.
+
+    Args:
+        size: capacity in words; accesses at or beyond it raise.
+        lock_granularity: see :class:`LockGranularity`.
+        module_words: lock-region size when granularity is ``MODULE``.
+    """
+
+    #: Client id conventionally used for memory in diagnostics ("cache 0"
+    #: in the paper's product machine has no bus client id; -1 marks it).
+    MEMORY_ID = -1
+
+    def __init__(
+        self,
+        size: int,
+        lock_granularity: LockGranularity = LockGranularity.WORD,
+        module_words: int = 256,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"memory size must be >= 1 word, got {size}")
+        if module_words <= 0:
+            raise ConfigurationError(
+                f"module_words must be >= 1, got {module_words}"
+            )
+        self.size = size
+        self.lock_granularity = lock_granularity
+        self.module_words = module_words
+        self._words: dict[Address, Word] = {}
+        #: lock-region key -> client id currently holding the lock
+        self._locks: dict[int, int] = {}
+        self.stats = CounterBag()
+
+    # ------------------------------------------------------------------ #
+    # readiness (hierarchical extension hook)                            #
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, txn) -> bool:
+        """Whether the bus may execute *txn* against this slave right now.
+
+        Main memory is always ready.  The hierarchical extension's cluster
+        adapter answers ``False`` while it fetches a line (or forwards a
+        lock operation) over the global bus; the local bus then NACKs the
+        transaction and retries it on a later cycle.
+        """
+        return True
+
+    # ------------------------------------------------------------------ #
+    # plain access                                                       #
+    # ------------------------------------------------------------------ #
+
+    def read(self, address: Address) -> Word:
+        """Fetch one word (a bus-read data phase)."""
+        self._check(address)
+        self.stats.add("memory.reads")
+        return self._words.get(address, 0)
+
+    def write(self, address: Address, value: Word) -> None:
+        """Store one word (a bus-write data phase)."""
+        self._check(address)
+        self.stats.add("memory.writes")
+        self._words[address] = value
+
+    def peek(self, address: Address) -> Word:
+        """Read without touching statistics (for inspection and tests)."""
+        self._check(address)
+        return self._words.get(address, 0)
+
+    def poke(self, address: Address, value: Word) -> None:
+        """Write without statistics (workload/experiment initialization)."""
+        self._check(address)
+        self._words[address] = value
+
+    # ------------------------------------------------------------------ #
+    # read-modify-write locking                                          #
+    # ------------------------------------------------------------------ #
+
+    def _region(self, address: Address) -> int:
+        if self.lock_granularity is LockGranularity.ALL:
+            return 0
+        if self.lock_granularity is LockGranularity.MODULE:
+            return address // self.module_words
+        return address
+
+    def is_locked_against(self, address: Address, client_id: int) -> bool:
+        """Would a write-like or read-lock by *client_id* be refused?
+
+        True when another client holds the lock covering *address* —
+        the paper's "any bus writes before the unlock will fail".
+        """
+        self._check(address)
+        holder = self._locks.get(self._region(address))
+        return holder is not None and holder != client_id
+
+    def read_lock(self, address: Address, client_id: int) -> Word:
+        """Atomically read *address* and lock its region for *client_id*.
+
+        The bus must have already checked :meth:`is_locked_against`;
+        attempting to lock over a foreign holder is a protocol violation.
+        """
+        self._check(address)
+        region = self._region(address)
+        holder = self._locks.get(region)
+        if holder is not None and holder != client_id:
+            raise MemoryError_(
+                f"read_lock by client {client_id} at {address} but region "
+                f"{region} is held by client {holder}"
+            )
+        self._locks[region] = client_id
+        self.stats.add("memory.read_locks")
+        self.stats.add("memory.reads")
+        return self._words.get(address, 0)
+
+    def write_unlock(self, address: Address, value: Word, client_id: int) -> None:
+        """Store *value* and release the lock (successful test-and-set)."""
+        self._check(address)
+        self._release(address, client_id, "write_unlock")
+        self.stats.add("memory.writes")
+        self._words[address] = value
+
+    def unlock(self, address: Address, client_id: int) -> None:
+        """Release the lock without storing (failed test-and-set)."""
+        self._check(address)
+        self._release(address, client_id, "unlock")
+
+    def _release(self, address: Address, client_id: int, what: str) -> None:
+        region = self._region(address)
+        holder = self._locks.get(region)
+        if holder != client_id:
+            raise MemoryError_(
+                f"{what} by client {client_id} at {address} but region "
+                f"{region} is held by {holder!r}"
+            )
+        del self._locks[region]
+        self.stats.add("memory.unlocks")
+
+    @property
+    def locked_regions(self) -> int:
+        """How many lock regions are currently held (diagnostics)."""
+        return len(self._locks)
+
+    def _check(self, address: Address) -> None:
+        validate_address(address)
+        if address >= self.size:
+            raise MemoryError_(
+                f"address {address} out of range for {self.size}-word memory"
+            )

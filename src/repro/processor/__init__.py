@@ -1,0 +1,29 @@
+"""Processing elements: a small register machine plus a trace-replay driver.
+
+The paper assumes off-the-shelf PEs; all we need from one is the ability to
+issue reads, writes and test-and-set through its private cache, plus enough
+control flow to express the Section 6 spin-lock loops in their *software*
+form (a plain test instruction in front of test-and-set — "it enables the
+use of off-the-shelf processors").
+
+* :mod:`repro.processor.isa` — opcodes and instruction encoding.
+* :mod:`repro.processor.program` — the assembler/builder and Program type.
+* :mod:`repro.processor.pe` — the cycle-driven interpreter.
+* :mod:`repro.processor.tracedriver` — replays pre-generated reference
+  streams (used by the Table 1-1 emulation and synthetic workloads).
+"""
+
+from repro.processor.isa import Instruction, Opcode
+from repro.processor.pe import Driver, ProcessingElement
+from repro.processor.program import Assembler, Program
+from repro.processor.tracedriver import TraceDriver
+
+__all__ = [
+    "Assembler",
+    "Driver",
+    "Instruction",
+    "Opcode",
+    "ProcessingElement",
+    "Program",
+    "TraceDriver",
+]

@@ -1,0 +1,89 @@
+"""The miniature instruction set executed by processing elements.
+
+Three-operand register ISA with immediates folded into dedicated opcodes.
+Memory is reached only through ``LOAD`` / ``STORE`` / ``TS`` — every access
+goes through the private cache, per the paper's configuration assumption.
+
+Registers are named by small non-negative integers; ``r0`` is an ordinary
+register (not hard-wired to zero).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ProgramError
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes.
+
+    Operand conventions (a, b, c are the instruction fields):
+
+    ========  =============================================
+    LOADI     ``r[a] = b`` (b is an immediate)
+    MOV       ``r[a] = r[b]``
+    ADD       ``r[a] = r[b] + r[c]``
+    ADDI      ``r[a] = r[b] + c`` (c immediate)
+    SUB       ``r[a] = r[b] - r[c]``
+    LOAD      ``r[a] = mem[r[b]]`` (through the cache)
+    STORE     ``mem[r[a]] = r[b]`` (through the cache)
+    TS        ``r[a] = test-and-set(mem[r[b]], r[c])`` — r[a] gets the
+              *old* value; the set to ``r[c]`` happens iff old was 0
+    FAA       ``r[a] = fetch-and-add(mem[r[b]], r[c])`` — r[a] gets the
+              old value; ``mem[r[b]] += r[c]`` unconditionally (extension)
+    BEQZ      branch to label (field c) when ``r[a] == 0``
+    BNEZ      branch to label (field c) when ``r[a] != 0``
+    JMP       unconditional branch to label (field c)
+    NOP       idle one cycle
+    HALT      stop this PE
+    ========  =============================================
+    """
+
+    LOADI = "loadi"
+    MOV = "mov"
+    ADD = "add"
+    ADDI = "addi"
+    SUB = "sub"
+    LOAD = "load"
+    STORE = "store"
+    TS = "ts"
+    FAA = "faa"
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JMP = "jmp"
+    NOP = "nop"
+    HALT = "halt"
+
+    @property
+    def touches_memory(self) -> bool:
+        """Whether this opcode issues a cache/bus access."""
+        return self in (Opcode.LOAD, Opcode.STORE, Opcode.TS, Opcode.FAA)
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this opcode may redirect control flow."""
+        return self in (Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields ``a``/``b``/``c`` are registers or immediates per the opcode's
+    convention (see :class:`Opcode`); ``c`` holds the resolved branch
+    target for branch opcodes.
+    """
+
+    op: Opcode
+    a: int = 0
+    b: int = 0
+    c: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op.is_branch and self.c < 0:
+            raise ProgramError(f"unresolved branch target in {self}")
+
+    def __str__(self) -> str:
+        return f"{self.op.value} a={self.a} b={self.b} c={self.c}"

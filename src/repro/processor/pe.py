@@ -1,0 +1,218 @@
+"""The cycle-driven processing element interpreter.
+
+A PE executes at most one instruction per machine cycle (the paper's P_c
+parameter with P_c = 1) and blocks while its cache has a bus operation
+outstanding — assumption 5's "the PE cycle time should be no faster than
+the cache cycle time" discipline.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cache.cache import SnoopingCache
+from repro.common.errors import ProgramError
+from repro.common.stats import CounterBag
+from repro.common.types import Word
+from repro.processor.isa import Opcode
+from repro.processor.program import Program
+
+
+class Driver(abc.ABC):
+    """Anything that issues CPU operations into a cache each cycle.
+
+    Two implementations: :class:`ProcessingElement` (runs a program) and
+    :class:`repro.processor.tracedriver.TraceDriver` (replays a stream).
+    """
+
+    def __init__(self, pe_id: int, cache: SnoopingCache) -> None:
+        self.pe_id = pe_id
+        self.cache = cache
+        self.stats = CounterBag()
+        self._waiting = False
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """Whether this driver has no more work (halted / stream drained)."""
+
+    @abc.abstractmethod
+    def _execute_one(self) -> None:
+        """Perform the next unit of work; may start a cache operation."""
+
+    def step(self) -> None:
+        """Advance one machine cycle."""
+        if self.done:
+            return
+        self.stats.add("pe.cycles")
+        if self._waiting:
+            self.stats.add("pe.stall_cycles")
+            return
+        self._execute_one()
+
+    # ----------------------- cache access helpers ---------------------- #
+
+    def _read(self, address: int, consume) -> None:
+        """Issue a read; *consume(value)* runs at completion."""
+        self._waiting = True
+
+        def finish(value: Word) -> None:
+            self._waiting = False
+            consume(value)
+
+        self.cache.cpu_read(address, finish)
+
+    def _write(self, address: int, value: Word, consume=None) -> None:
+        self._waiting = True
+
+        def finish(written: Word) -> None:
+            self._waiting = False
+            if consume is not None:
+                consume(written)
+
+        self.cache.cpu_write(address, value, finish)
+
+    def _test_and_set(self, address: int, new_value: Word, consume) -> None:
+        self._waiting = True
+
+        def finish(old: Word) -> None:
+            self._waiting = False
+            consume(old)
+
+        self.cache.cpu_test_and_set(address, new_value, finish)
+
+    def _fetch_and_add(self, address: int, delta: Word, consume) -> None:
+        self._waiting = True
+
+        def finish(old: Word) -> None:
+            self._waiting = False
+            consume(old)
+
+        self.cache.cpu_fetch_and_add(address, delta, finish)
+
+
+class ProcessingElement(Driver):
+    """Executes a :class:`~repro.processor.program.Program`.
+
+    Args:
+        pe_id: this PE's index.
+        cache: its private cache.
+        program: code to run.
+        num_regs: register-file size.
+    """
+
+    def __init__(
+        self,
+        pe_id: int,
+        cache: SnoopingCache,
+        program: Program,
+        num_regs: int = 16,
+    ) -> None:
+        super().__init__(pe_id, cache)
+        self.program = program
+        self.regs = [0] * num_regs
+        self.pc = 0
+        self.halted = False
+
+    @property
+    def done(self) -> bool:
+        return self.halted
+
+    def _execute_one(self) -> None:
+        if self.pc >= len(self.program):
+            raise ProgramError(
+                f"PE {self.pe_id} ran off the end of its program (pc={self.pc})"
+            )
+        instr = self.program[self.pc]
+        self.stats.add("pe.instructions")
+        op = instr.op
+
+        if op is Opcode.HALT:
+            self.halted = True
+            return
+        if op is Opcode.NOP:
+            self.pc += 1
+            return
+        if op is Opcode.LOADI:
+            self._set_reg(instr.a, instr.b)
+            self.pc += 1
+            return
+        if op is Opcode.MOV:
+            self._set_reg(instr.a, self._reg(instr.b))
+            self.pc += 1
+            return
+        if op is Opcode.ADD:
+            self._set_reg(instr.a, self._reg(instr.b) + self._reg(instr.c))
+            self.pc += 1
+            return
+        if op is Opcode.ADDI:
+            self._set_reg(instr.a, self._reg(instr.b) + instr.c)
+            self.pc += 1
+            return
+        if op is Opcode.SUB:
+            self._set_reg(instr.a, self._reg(instr.b) - self._reg(instr.c))
+            self.pc += 1
+            return
+        if op is Opcode.JMP:
+            self.pc = instr.c
+            return
+        if op is Opcode.BEQZ:
+            self.pc = instr.c if self._reg(instr.a) == 0 else self.pc + 1
+            return
+        if op is Opcode.BNEZ:
+            self.pc = instr.c if self._reg(instr.a) != 0 else self.pc + 1
+            return
+        if op is Opcode.LOAD:
+            self.stats.add("pe.loads")
+            dest = instr.a
+
+            def take(value: Word, dest: int = dest) -> None:
+                self._set_reg(dest, value)
+                self.pc += 1
+
+            self._read(self._reg(instr.b), take)
+            return
+        if op is Opcode.STORE:
+            self.stats.add("pe.stores")
+
+            def stored(_: Word) -> None:
+                self.pc += 1
+
+            self._write(self._reg(instr.a), self._reg(instr.b), stored)
+            return
+        if op is Opcode.TS:
+            self.stats.add("pe.ts")
+            dest = instr.a
+
+            def took(old: Word, dest: int = dest) -> None:
+                self._set_reg(dest, old)
+                self.pc += 1
+
+            self._test_and_set(self._reg(instr.b), self._reg(instr.c), took)
+            return
+        if op is Opcode.FAA:
+            self.stats.add("pe.faa")
+            dest = instr.a
+
+            def added(old: Word, dest: int = dest) -> None:
+                self._set_reg(dest, old)
+                self.pc += 1
+
+            self._fetch_and_add(self._reg(instr.b), self._reg(instr.c), added)
+            return
+        raise ProgramError(f"PE {self.pe_id}: unhandled opcode {op}")
+
+    def _reg(self, index: int) -> int:
+        self._check_reg(index)
+        return self.regs[index]
+
+    def _set_reg(self, index: int, value: int) -> None:
+        self._check_reg(index)
+        self.regs[index] = value
+
+    def _check_reg(self, index: int) -> None:
+        if not 0 <= index < len(self.regs):
+            raise ProgramError(
+                f"PE {self.pe_id}: register r{index} out of range "
+                f"(file size {len(self.regs)})"
+            )

@@ -1,0 +1,162 @@
+"""Programs and the fluent assembler used to build them.
+
+The assembler resolves symbolic labels in a second pass so loops read
+naturally::
+
+    asm = Assembler()
+    asm.loadi(1, LOCK)            # r1 = address of the lock
+    asm.label("spin")
+    asm.load(2, 1)                # r2 = mem[r1]   (the TTS "test")
+    asm.bnez(2, "spin")           # spin in the cache while held
+    asm.ts(2, 1, 3)               # r2 = old; set to r3 if old was 0
+    asm.bnez(2, "spin")           # lost the race: back to testing
+    ...
+    program = asm.assemble()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProgramError
+from repro.processor.isa import Instruction, Opcode
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """An immutable sequence of instructions plus its label map."""
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        try:
+            return self.instructions[pc]
+        except IndexError:
+            raise ProgramError(f"pc {pc} past end of {len(self)}-long program")
+
+    def listing(self) -> str:
+        """A human-readable disassembly with label annotations."""
+        by_index: dict[int, list[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for name in sorted(by_index.get(index, [])):
+                lines.append(f"{name}:")
+            lines.append(f"  {index:4d}  {instr}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class _Draft:
+    op: Opcode
+    a: int = 0
+    b: int = 0
+    target: str | None = None
+    c: int = 0
+
+
+class Assembler:
+    """Builds a :class:`Program`, resolving labels at :meth:`assemble`."""
+
+    def __init__(self) -> None:
+        self._drafts: list[_Draft] = []
+        self._labels: dict[str, int] = {}
+
+    # --------------------------- directives --------------------------- #
+
+    def label(self, name: str) -> "Assembler":
+        """Define *name* at the next instruction's address."""
+        if name in self._labels:
+            raise ProgramError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._drafts)
+        return self
+
+    # -------------------------- instructions -------------------------- #
+
+    def loadi(self, rd: int, imm: int) -> "Assembler":
+        """``r[rd] = imm``."""
+        return self._emit(_Draft(Opcode.LOADI, a=rd, b=imm))
+
+    def mov(self, rd: int, rs: int) -> "Assembler":
+        """``r[rd] = r[rs]``."""
+        return self._emit(_Draft(Opcode.MOV, a=rd, b=rs))
+
+    def add(self, rd: int, rs: int, rt: int) -> "Assembler":
+        """``r[rd] = r[rs] + r[rt]``."""
+        return self._emit(_Draft(Opcode.ADD, a=rd, b=rs, c=rt))
+
+    def addi(self, rd: int, rs: int, imm: int) -> "Assembler":
+        """``r[rd] = r[rs] + imm``."""
+        return self._emit(_Draft(Opcode.ADDI, a=rd, b=rs, c=imm))
+
+    def sub(self, rd: int, rs: int, rt: int) -> "Assembler":
+        """``r[rd] = r[rs] - r[rt]``."""
+        return self._emit(_Draft(Opcode.SUB, a=rd, b=rs, c=rt))
+
+    def load(self, rd: int, ra: int) -> "Assembler":
+        """``r[rd] = mem[r[ra]]`` through the cache."""
+        return self._emit(_Draft(Opcode.LOAD, a=rd, b=ra))
+
+    def store(self, ra: int, rs: int) -> "Assembler":
+        """``mem[r[ra]] = r[rs]`` through the cache."""
+        return self._emit(_Draft(Opcode.STORE, a=ra, b=rs))
+
+    def ts(self, rd: int, ra: int, rs: int) -> "Assembler":
+        """``r[rd] = test-and-set(mem[r[ra]], r[rs])``."""
+        return self._emit(_Draft(Opcode.TS, a=rd, b=ra, c=rs))
+
+    def faa(self, rd: int, ra: int, rs: int) -> "Assembler":
+        """``r[rd] = fetch-and-add(mem[r[ra]], r[rs])`` (extension)."""
+        return self._emit(_Draft(Opcode.FAA, a=rd, b=ra, c=rs))
+
+    def beqz(self, rs: int, target: str) -> "Assembler":
+        """Branch to *target* when ``r[rs] == 0``."""
+        return self._emit(_Draft(Opcode.BEQZ, a=rs, target=target))
+
+    def bnez(self, rs: int, target: str) -> "Assembler":
+        """Branch to *target* when ``r[rs] != 0``."""
+        return self._emit(_Draft(Opcode.BNEZ, a=rs, target=target))
+
+    def jmp(self, target: str) -> "Assembler":
+        """Unconditional branch to *target*."""
+        return self._emit(_Draft(Opcode.JMP, target=target))
+
+    def nop(self) -> "Assembler":
+        """Idle one cycle (models non-memory computation)."""
+        return self._emit(_Draft(Opcode.NOP))
+
+    def nops(self, count: int) -> "Assembler":
+        """Idle *count* cycles (critical-section / think-time padding)."""
+        if count < 0:
+            raise ProgramError(f"cannot emit {count} nops")
+        for _ in range(count):
+            self.nop()
+        return self
+
+    def halt(self) -> "Assembler":
+        """Stop this PE."""
+        return self._emit(_Draft(Opcode.HALT))
+
+    # ----------------------------- output ----------------------------- #
+
+    def assemble(self) -> Program:
+        """Resolve labels and freeze the program."""
+        instructions = []
+        for draft in self._drafts:
+            if draft.target is not None:
+                if draft.target not in self._labels:
+                    raise ProgramError(f"undefined label {draft.target!r}")
+                c = self._labels[draft.target]
+            else:
+                c = draft.c
+            instructions.append(Instruction(draft.op, a=draft.a, b=draft.b, c=c))
+        return Program(tuple(instructions), dict(self._labels))
+
+    def _emit(self, draft: _Draft) -> "Assembler":
+        self._drafts.append(draft)
+        return self

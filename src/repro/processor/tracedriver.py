@@ -1,0 +1,67 @@
+"""Replays a pre-generated reference stream through a cache.
+
+Used wherever the workload is a trace rather than a program: the synthetic
+mixes, the Cm*-style application traces behind Table 1-1, and unit tests
+that need precise control over the reference sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.cache.cache import SnoopingCache
+from repro.common.errors import ProgramError
+from repro.common.types import AccessType, MemRef, Word
+from repro.processor.pe import Driver
+
+
+class TraceDriver(Driver):
+    """Feeds one PE's :class:`~repro.common.types.MemRef` stream to its cache.
+
+    Args:
+        pe_id: the PE index; every replayed reference must carry it.
+        cache: the private cache to drive.
+        refs: the reference stream, replayed in order, one issue per free
+            cycle (the next reference starts once the previous completes).
+    """
+
+    def __init__(
+        self, pe_id: int, cache: SnoopingCache, refs: Iterable[MemRef]
+    ) -> None:
+        super().__init__(pe_id, cache)
+        self._refs: deque[MemRef] = deque()
+        for ref in refs:
+            if ref.pe != pe_id:
+                raise ProgramError(
+                    f"reference {ref} fed to TraceDriver for PE {pe_id}"
+                )
+            self._refs.append(ref)
+        #: Old values returned by replayed test-and-set references.
+        self.ts_results: list[Word] = []
+
+    @property
+    def done(self) -> bool:
+        return not self._refs and not self._waiting
+
+    @property
+    def remaining(self) -> int:
+        """References not yet issued."""
+        return len(self._refs)
+
+    def _execute_one(self) -> None:
+        if not self._refs:
+            return
+        ref = self._refs.popleft()
+        self.stats.add("pe.instructions")
+        if ref.access is AccessType.READ:
+            self.stats.add("pe.loads")
+            self._read(ref.address, lambda value: None)
+        elif ref.access is AccessType.WRITE:
+            self.stats.add("pe.stores")
+            self._write(ref.address, ref.value)
+        elif ref.access is AccessType.TS:
+            self.stats.add("pe.ts")
+            self._test_and_set(ref.address, ref.value, self.ts_results.append)
+        else:  # pragma: no cover - enum is closed
+            raise ProgramError(f"unhandled access type {ref.access}")

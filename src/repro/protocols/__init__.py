@@ -1,0 +1,43 @@
+"""Cache-coherence protocols: the paper's RB and RWB schemes plus baselines.
+
+* :class:`RBProtocol` — the Read-Broadcast scheme of Section 3 / Figure 3-1.
+* :class:`RWBProtocol` — the Read-Write-Broadcast scheme of Section 5 /
+  Figure 5-1, with the configurable k-uninterrupted-writes promotion
+  threshold of footnote 6.
+* :class:`WriteOnceProtocol` — Goodman's 1983 write-once scheme, the
+  "event broadcasting" comparator the paper positions itself against.
+* :class:`WriteThroughInvalidateProtocol` — the classical pre-Goodman
+  baseline: every write goes to the bus and invalidates other copies.
+
+All protocols are pure transition tables over a single cache line; the
+stateful machinery (values, pending bus operations, evictions) lives in
+:class:`repro.cache.SnoopingCache`, so the verification package can model
+check exactly the tables the simulator runs.
+"""
+
+from repro.protocols.base import (
+    CoherenceProtocol,
+    CpuReaction,
+    SnoopReaction,
+)
+from repro.protocols.rb import RBProtocol
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.rwb_competitive import RWBCompetitiveProtocol
+from repro.protocols.states import LineState
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.protocols.write_through import WriteThroughInvalidateProtocol
+
+__all__ = [
+    "CoherenceProtocol",
+    "CpuReaction",
+    "LineState",
+    "RBProtocol",
+    "RWBCompetitiveProtocol",
+    "RWBProtocol",
+    "SnoopReaction",
+    "WriteOnceProtocol",
+    "WriteThroughInvalidateProtocol",
+    "available_protocols",
+    "make_protocol",
+]

@@ -1,0 +1,166 @@
+"""The protocol interface: pure per-line transition tables.
+
+A protocol answers three questions about one cache line:
+
+* what a CPU read/write does (:class:`CpuReaction`) — hit locally, or
+  generate which bus operation, landing in which state;
+* what a snooped foreign bus transaction does (:class:`SnoopReaction`) —
+  change state, and whether to absorb the broadcast data into the line;
+* bookkeeping predicates: which states interrupt a bus read to supply data,
+  which states are dirty (need write-back on eviction), and what state a
+  successful/failed test-and-set leaves the originator in.
+
+Reactions are pure values over ``(state, meta)`` where ``meta`` is a small
+per-line integer the protocol may use (RWB counts uninterrupted writes in
+it).  The cache applies a reaction's ``next_state`` either immediately (no
+bus op) or when the generated bus transaction completes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError
+from repro.protocols.states import LineState
+
+
+@dataclass(frozen=True, slots=True)
+class CpuReaction:
+    """How the cache responds to a CPU read or write on a line.
+
+    Attributes:
+        bus_op: transaction to put on the bus, or ``None`` for a pure local
+            hit.  The CPU operation completes when the transaction does.
+        next_state: line state once the operation completes.
+        next_meta: new value of the per-line meta counter.
+        writes_value: the CPU's value is deposited in the line (writes).
+    """
+
+    bus_op: BusOp | None
+    next_state: LineState
+    next_meta: int = 0
+    writes_value: bool = False
+
+    @property
+    def is_local_hit(self) -> bool:
+        """True when the operation completes without any bus activity."""
+        return self.bus_op is None
+
+
+@dataclass(frozen=True, slots=True)
+class SnoopReaction:
+    """How a line reacts to snooping a foreign bus transaction.
+
+    Attributes:
+        next_state: state after the snoop.
+        next_meta: new per-line meta counter.
+        absorb_value: take the word that crossed the bus into the line
+            (the paper's broadcast-distribution of data).
+    """
+
+    next_state: LineState
+    next_meta: int = 0
+    absorb_value: bool = False
+
+
+#: Reaction meaning "nothing happens", parameterized by the current state.
+def unchanged(state: LineState, meta: int = 0) -> SnoopReaction:
+    """A snoop reaction that leaves the line exactly as it is."""
+    return SnoopReaction(next_state=state, next_meta=meta)
+
+
+class CoherenceProtocol(abc.ABC):
+    """A decentralized consistency-control scheme for one cache line."""
+
+    #: Short machine-readable protocol name (registry key).
+    name: str = "abstract"
+
+    #: The line states this protocol can produce (for table rendering and
+    #: model checking).  ``NOT_PRESENT`` is implicit and always allowed.
+    states: tuple[LineState, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # CPU side                                                            #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        """Reaction to the local CPU reading this line."""
+
+    @abc.abstractmethod
+    def on_cpu_write(self, state: LineState, meta: int) -> CpuReaction:
+        """Reaction to the local CPU writing this line."""
+
+    # ------------------------------------------------------------------ #
+    # snoop side                                                          #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        """Reaction to observing a *foreign* completed bus transaction.
+
+        ``READ_LOCK`` snoops like ``READ`` and ``WRITE_UNLOCK`` like
+        ``WRITE`` (the lock part only concerns memory); callers may pass
+        either form.
+        """
+
+    def interrupts_bus_read(self, state: LineState) -> bool:
+        """Whether a line in *state* must kill a foreign bus read and
+        supply its own (newer-than-memory) value."""
+        return state.may_differ_from_memory
+
+    def state_after_supplying(self, state: LineState) -> LineState:
+        """State after this line interrupted a read and wrote its value
+        back (RB/RWB: L becomes R — the value is now shared)."""
+        if state is LineState.LOCAL:
+            return LineState.READABLE
+        if state is LineState.DIRTY:
+            return LineState.VALID
+        raise CacheError(f"state {state} cannot supply data")
+
+    # ------------------------------------------------------------------ #
+    # eviction                                                            #
+    # ------------------------------------------------------------------ #
+
+    def needs_writeback(self, state: LineState) -> bool:
+        """Whether evicting a line in *state* must first write memory.
+
+        "Only those overwritten items that are tagged local need to be
+        written back to the memory" (Section 3).
+        """
+        return state.may_differ_from_memory
+
+    # ------------------------------------------------------------------ #
+    # test-and-set hooks (Section 6)                                      #
+    # ------------------------------------------------------------------ #
+
+    def state_after_ts_success(self) -> tuple[LineState, int]:
+        """(state, meta) of the originator after write-with-unlock.
+
+        Default: the write makes the variable local to the winner — the
+        paper's "a local configuration is assumed".
+        """
+        return LineState.LOCAL, 0
+
+    def state_after_ts_fail(self) -> tuple[LineState, int]:
+        """(state, meta) of the originator after a failed test-and-set.
+
+        The read-with-lock broadcast its value, so the attempter keeps a
+        readable copy (Figure 6-1's all-R rows).
+        """
+        return LineState.READABLE, 0
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """One-line human description for reports."""
+        return f"{self.name} protocol over states {{{', '.join(str(s) for s in self.states)}}}"
+
+    def _reject(self, state: LineState, stimulus: str) -> CacheError:
+        return CacheError(
+            f"{self.name}: state {state} cannot occur for stimulus {stimulus}"
+        )

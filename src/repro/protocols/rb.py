@@ -1,0 +1,84 @@
+"""The RB (Read-Broadcast) cache scheme — Section 3, Figure 3-1.
+
+Three states per line: Invalid (I), Readable (R), Local (L).  Shared
+read/write data is finessed away by dynamic reclassification: a write makes
+the variable local to the writer (L here, I everywhere else — the *local
+configuration*), a read makes it shared read-only (R everywhere that holds
+it — the *shared configuration*).
+
+The scheme's signature move is using the bus to distribute data, not just
+events: when any cache's bus read completes, **every** cache holding the
+line in state I absorbs the returned value and becomes R; and a cache
+holding the line in L *interrupts* a foreign bus read, writes its value
+back, and the retried read then broadcasts the fresh value to everyone.
+
+The figure's transition modifiers map to this implementation as:
+
+* modifier 1 ("generate a BW, write through") — ``CpuReaction.bus_op = WRITE``;
+* modifier 2 ("interrupt BR and supply the data") —
+  :meth:`CoherenceProtocol.interrupts_bus_read` /
+  :meth:`CoherenceProtocol.state_after_supplying`;
+* modifier 3 ("generate a BR, cache miss") — ``CpuReaction.bus_op = READ``.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp
+from repro.protocols.base import CoherenceProtocol, CpuReaction, SnoopReaction, unchanged
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_R = LineState.READABLE
+_L = LineState.LOCAL
+_NP = LineState.NOT_PRESENT
+
+
+class RBProtocol(CoherenceProtocol):
+    """The Read-Broadcast scheme (states I / R / L)."""
+
+    name = "rb"
+    states = (_I, _R, _L)
+
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        """R and L hit locally; I (and a missing line) generate a bus read
+        and land in R once the data returns (Figure 3-1, modifier 3)."""
+        if state in (_R, _L):
+            return CpuReaction(bus_op=None, next_state=state)
+        if state in (_I, _NP):
+            return CpuReaction(bus_op=BusOp.READ, next_state=_R)
+        raise self._reject(state, "cpu-read")
+
+    def on_cpu_write(self, state: LineState, meta: int) -> CpuReaction:
+        """L hits locally; R and I write through (modifier 1) and become L,
+        telling every other cache the variable is now local to us."""
+        if state is _L:
+            return CpuReaction(bus_op=None, next_state=_L, writes_value=True)
+        if state in (_R, _I, _NP):
+            return CpuReaction(bus_op=BusOp.WRITE, next_state=_L, writes_value=True)
+        raise self._reject(state, "cpu-write")
+
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        """Foreign bus traffic:
+
+        * bus write: R and L are invalidated, I ignores it ("a cache in the
+          Invalid state will do nothing" in response to a bus write);
+        * bus read: R is unaffected; I absorbs the broadcast value and
+          becomes R ("the value read will, in effect, be broadcast to all
+          the processors for future use"); L never snoops a read here — it
+          interrupts it instead.
+        """
+        if op.is_write_like:
+            if state in (_R, _L):
+                return SnoopReaction(next_state=_I)
+            if state is _I:
+                return unchanged(_I)
+            raise self._reject(state, f"snoop-{op.value}")
+        if op.is_read_like:
+            if state is _R:
+                return unchanged(_R)
+            if state is _I:
+                return SnoopReaction(next_state=_R, absorb_value=True)
+            # L must have interrupted the read before it completed.
+            raise self._reject(state, f"snoop-{op.value}")
+        # RB never emits a bus invalidate; seeing one is a protocol error.
+        raise self._reject(state, f"snoop-{op.value}")

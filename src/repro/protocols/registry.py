@@ -1,0 +1,65 @@
+"""Protocol registry: build coherence protocols by name.
+
+Experiments and the CLI select protocols with strings so parameter sweeps
+can be written as plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.rb import RBProtocol
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.rwb_competitive import RWBCompetitiveProtocol
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.protocols.write_through import WriteThroughInvalidateProtocol
+
+_FACTORIES: dict[str, Callable[..., CoherenceProtocol]] = {
+    RBProtocol.name: RBProtocol,
+    RWBProtocol.name: RWBProtocol,
+    RWBCompetitiveProtocol.name: RWBCompetitiveProtocol,
+    WriteOnceProtocol.name: WriteOnceProtocol,
+    WriteThroughInvalidateProtocol.name: WriteThroughInvalidateProtocol,
+}
+
+
+def make_protocol(name: str, **options: Any) -> CoherenceProtocol:
+    """Instantiate the protocol registered under *name*.
+
+    Args:
+        name: one of :func:`available_protocols`.
+        options: forwarded to the protocol constructor (e.g.
+            ``local_promotion_writes=3`` for ``"rwb"``).
+    """
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; choose from {available_protocols()}"
+        )
+    try:
+        return _FACTORIES[name](**options)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad options {options!r} for protocol {name!r}: {exc}"
+        ) from exc
+
+
+def available_protocols() -> list[str]:
+    """Registered protocol names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def register_protocol(
+    name: str, factory: Callable[..., CoherenceProtocol], replace: bool = False
+) -> None:
+    """Register a third-party protocol factory under *name*.
+
+    Args:
+        name: registry key; must not collide unless *replace* is true.
+        factory: zero-or-keyword-argument callable building the protocol.
+        replace: allow overwriting an existing registration.
+    """
+    if not replace and name in _FACTORIES:
+        raise ConfigurationError(f"protocol {name!r} is already registered")
+    _FACTORIES[name] = factory

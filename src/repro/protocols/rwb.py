@@ -1,0 +1,171 @@
+"""The RWB (Read-Write-Broadcast) cache scheme — Section 5, Figure 5-1.
+
+RWB improves on RB by also broadcasting the *data* of bus writes, at the
+cost of one more state (First-write, F) and one more bus signal (bus
+invalidate, BI — data-less: the paper reserves one data-word value for it).
+
+The configuration dance differs from RB in when a variable turns local:
+
+* Variables start shared; the first write by PE_i keeps the shared
+  configuration (everyone else absorbs the written value and stays/becomes
+  R) but moves cache i to F.
+* Only after ``k`` uninterrupted writes by the same PE (footnote 6; the
+  paper exposits k = 2) does the variable become local: cache i moves to L
+  and broadcasts BI, invalidating everyone else.
+* Any intervening reference by another PE resets the count: a foreign bus
+  write demotes F to R (absorbing the newer value); a foreign bus read
+  does too when ``reset_first_write_on_bus_read`` is true (the strict
+  reading of footnote 6 — "without any intervening references ... by any
+  other PE").  With the flag false, F survives foreign bus reads (the
+  lenient reading of "all reads have no configuration effect"); both are
+  consistent, and the ablation bench compares them.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import ConfigurationError
+from repro.protocols.base import CoherenceProtocol, CpuReaction, SnoopReaction, unchanged
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_R = LineState.READABLE
+_L = LineState.LOCAL
+_F = LineState.FIRST_WRITE
+_NP = LineState.NOT_PRESENT
+
+
+class RWBProtocol(CoherenceProtocol):
+    """The Read-Write-Broadcast scheme (states I / R / F / L).
+
+    Args:
+        local_promotion_writes: the footnote-6 ``k``: how many uninterrupted
+            writes by one PE promote a line to Local.  ``k = 2`` is the
+            paper's exposition value.  ``k = 1`` degenerates to
+            invalidate-on-first-write (an RB-like policy using BI).
+        reset_first_write_on_bus_read: whether a foreign bus read demotes a
+            First-write line back to Readable (strict footnote-6 semantics,
+            the default).
+    """
+
+    name = "rwb"
+    states = (_I, _R, _F, _L)
+
+    def __init__(
+        self,
+        local_promotion_writes: int = 2,
+        reset_first_write_on_bus_read: bool = True,
+    ) -> None:
+        if local_promotion_writes < 1:
+            raise ConfigurationError(
+                f"need local_promotion_writes >= 1, got {local_promotion_writes}"
+            )
+        self.local_promotion_writes = local_promotion_writes
+        self.reset_first_write_on_bus_read = reset_first_write_on_bus_read
+
+    # ------------------------------------------------------------------ #
+    # CPU side                                                            #
+    # ------------------------------------------------------------------ #
+
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        """R, F and L all hit locally (reads never change configuration for
+        the reading PE); a miss generates a bus read landing in R."""
+        if state in (_R, _F, _L):
+            return CpuReaction(bus_op=None, next_state=state, next_meta=meta)
+        if state in (_I, _NP):
+            return CpuReaction(bus_op=BusOp.READ, next_state=_R)
+        raise self._reject(state, "cpu-read")
+
+    def on_cpu_write(self, state: LineState, meta: int) -> CpuReaction:
+        """Writes count toward local promotion.
+
+        * L: pure local hit (variable already ours).
+        * R / I / miss: this is write number 1 of a possible run — broadcast
+          the data (bus write; everyone absorbs and sits in R) and enter F,
+          unless ``k == 1`` promotes immediately.
+        * F: write number ``meta + 1`` of the run — on reaching ``k``,
+          confirm local usage: enter L and broadcast the data-less BI
+          (modifier 4); otherwise broadcast the data and stay F.
+        """
+        if state is _L:
+            return CpuReaction(bus_op=None, next_state=_L, writes_value=True)
+        if state is _F:
+            run_length = meta + 1
+        elif state in (_R, _I, _NP):
+            run_length = 1
+        else:
+            raise self._reject(state, "cpu-write")
+        if run_length >= self.local_promotion_writes:
+            return CpuReaction(
+                bus_op=BusOp.INVALIDATE, next_state=_L, writes_value=True
+            )
+        return CpuReaction(
+            bus_op=BusOp.WRITE,
+            next_state=_F,
+            next_meta=run_length,
+            writes_value=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # snoop side                                                          #
+    # ------------------------------------------------------------------ #
+
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        """Foreign bus traffic under write-broadcast:
+
+        * bus write: every present line absorbs the written value and
+          settles in R ("the data written is read by all caches and they in
+          turn enter state R") — including an L holder, whose dirty value
+          is older than the write crossing the bus, and an F holder, whose
+          first-write run is interrupted;
+        * bus read: I absorbs the returned value into R (as in RB); R is
+          unaffected; F demotes to R under strict footnote-6 semantics;
+        * bus invalidate: every other cache enters I ("a local
+          configuration is assumed").
+        """
+        if op.is_write_like:
+            if state in (_R, _F, _I):
+                return SnoopReaction(next_state=_R, absorb_value=True)
+            if state is _L:
+                return SnoopReaction(next_state=_R, absorb_value=True)
+            raise self._reject(state, f"snoop-{op.value}")
+        if op.is_read_like:
+            if state is _R:
+                return unchanged(_R)
+            if state is _F:
+                if self.reset_first_write_on_bus_read:
+                    return SnoopReaction(next_state=_R)
+                return unchanged(_F, meta)
+            if state is _I:
+                return SnoopReaction(next_state=_R, absorb_value=True)
+            # L interrupts reads before they complete.
+            raise self._reject(state, f"snoop-{op.value}")
+        if op is BusOp.INVALIDATE:
+            # L can legitimately snoop a BI when k == 1 (a foreign write
+            # miss promotes straight to Local); the foreign write is newer,
+            # so our dirty copy is dropped.  With k >= 2 a BI only comes
+            # from an F holder, which cannot coexist with L — the state is
+            # then unreachable but the transition is still the safe one.
+            if state in (_R, _F, _I, _L):
+                return SnoopReaction(next_state=_I)
+            raise self._reject(state, f"snoop-{op.value}")
+        raise self._reject(state, f"snoop-{op.value}")
+
+    # ------------------------------------------------------------------ #
+    # test-and-set hooks                                                  #
+    # ------------------------------------------------------------------ #
+
+    def state_after_ts_success(self) -> tuple[LineState, int]:
+        """A successful test-and-set is a first write: the winner sits in F
+        and everyone else keeps a readable copy of the lock value — the
+        Figure 6-3 ``R(1) F(1) R(1)`` row, which is what lets RWB spinners
+        keep spinning in their caches with no invalidation at all.
+
+        With ``k = 1`` the winner lands in R instead: the write-with-unlock
+        already broadcast the value to every snooper (they sit in R), so
+        claiming L here would create a Local line alongside valid Readable
+        copies, breaking the single-writer configuration Lemma.  The next
+        plain write promotes to L via BI as usual."""
+        if self.local_promotion_writes == 1:
+            return _R, 0
+        return _F, 1

@@ -1,0 +1,94 @@
+"""Competitive RWB: self-invalidation after unread updates (extension).
+
+A known weakness of pure update (write-broadcast) schemes is that a cache
+which has stopped reading a variable keeps absorbing every update to it
+forever — wasted snoop work that an invalidation scheme never pays.  The
+classical remedy (competitive snooping, later formalized by Karlin et al.)
+bounds the loss: each copy absorbs at most ``update_limit`` consecutive
+foreign updates without an intervening local read, then drops to Invalid.
+Absorption cost is thereby at most ``update_limit`` times the cost an
+invalidation protocol would have paid, while actively-read copies enjoy
+full RWB behaviour.
+
+The per-line ``meta`` counter does double duty, exactly mirroring how RWB
+uses it for the first-write run:
+
+* in state F it counts the holder's uninterrupted writes (inherited);
+* in state R it counts foreign updates absorbed since the last local read
+  (a local read resets it to zero).
+
+The protocol degenerates to plain RWB as ``update_limit -> infinity`` and
+approaches an invalidation protocol at ``update_limit = 1``.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import ConfigurationError
+from repro.protocols.base import CpuReaction, SnoopReaction
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_R = LineState.READABLE
+_F = LineState.FIRST_WRITE
+_L = LineState.LOCAL
+
+
+class RWBCompetitiveProtocol(RWBProtocol):
+    """RWB with competitive self-invalidation of unread copies.
+
+    Args:
+        update_limit: foreign updates a Readable copy absorbs without a
+            local read before self-invalidating (>= 1).
+        local_promotion_writes: inherited RWB ``k`` (footnote 6).
+        reset_first_write_on_bus_read: inherited RWB F-demotion policy.
+    """
+
+    name = "rwb-competitive"
+
+    def __init__(
+        self,
+        update_limit: int = 3,
+        local_promotion_writes: int = 2,
+        reset_first_write_on_bus_read: bool = True,
+    ) -> None:
+        super().__init__(
+            local_promotion_writes=local_promotion_writes,
+            reset_first_write_on_bus_read=reset_first_write_on_bus_read,
+        )
+        if update_limit < 1:
+            raise ConfigurationError(
+                f"need update_limit >= 1, got {update_limit}"
+            )
+        self.update_limit = update_limit
+
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        """As RWB, but a local read of a Readable copy resets the
+        absorbed-update run — the copy proved itself useful."""
+        reaction = super().on_cpu_read(state, meta)
+        if state is _R and reaction.is_local_hit:
+            return CpuReaction(bus_op=None, next_state=_R, next_meta=0)
+        return reaction
+
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        """As RWB, except a Readable copy stops absorbing after
+        ``update_limit`` consecutive unread updates and self-invalidates —
+        and a dropped (Invalid) copy stays dropped on further updates
+        (only a read revives it), or the cap would reset every write."""
+        if op.is_write_like and state is _R:
+            run = meta + 1
+            if run >= self.update_limit:
+                return SnoopReaction(next_state=_I)
+            return SnoopReaction(next_state=_R, next_meta=run,
+                                 absorb_value=True)
+        if op.is_write_like and state is _I:
+            return SnoopReaction(next_state=_I)
+        reaction = super().on_snoop(state, meta, op)
+        if op.is_read_like and state is _R:
+            # A foreign read leaves the copy in place but does not prove
+            # *local* interest; keep the current run.
+            return SnoopReaction(next_state=reaction.next_state,
+                                 next_meta=meta,
+                                 absorb_value=reaction.absorb_value)
+        return reaction

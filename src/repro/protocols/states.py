@@ -1,0 +1,66 @@
+"""Per-line cache states across all protocols.
+
+One shared enum keeps cross-protocol tooling (trace tables, the model
+checker, the Figure 3-1/5-1 transition-table renderers) simple; each
+protocol declares the subset it uses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """The tag-bits state of one cache line.
+
+    RB (Figure 3-1) uses ``INVALID`` / ``READABLE`` / ``LOCAL`` plus the
+    implicit ``NOT_PRESENT`` the Section 4 proof adds for overwrites.
+    RWB (Figure 5-1) adds ``FIRST_WRITE``.  The Goodman baseline uses
+    ``INVALID`` / ``VALID`` / ``RESERVED`` / ``DIRTY``; write-through
+    invalidate uses ``INVALID`` / ``VALID``.
+    """
+
+    #: Line frame holds no tag at all (the proof's NP state).
+    NOT_PRESENT = "NP"
+    #: Tag matches but the data is assumed incorrect; any reference misses.
+    INVALID = "I"
+    #: Data valid and consistent with main memory; reads hit locally.
+    READABLE = "R"
+    #: Data valid, possibly *newer* than memory; reads and writes hit
+    #: locally and the holder must supply the value on a bus read.
+    LOCAL = "L"
+    #: RWB only: one (or, generally, fewer than k) uninterrupted write(s)
+    #: seen; data valid and consistent with memory (the write went through).
+    FIRST_WRITE = "F"
+    #: Goodman: valid, consistent with memory, possibly shared.
+    VALID = "V"
+    #: Goodman: valid, consistent with memory, guaranteed exclusive
+    #: (exactly one write-through has happened).
+    RESERVED = "Rsv"
+    #: Goodman: valid, newer than memory, exclusive.
+    DIRTY = "D"
+
+    @property
+    def is_present(self) -> bool:
+        """Whether a tag is installed in the frame at all."""
+        return self is not LineState.NOT_PRESENT
+
+    @property
+    def readable_locally(self) -> bool:
+        """Whether a CPU read hits without bus traffic."""
+        return self in (
+            LineState.READABLE,
+            LineState.LOCAL,
+            LineState.FIRST_WRITE,
+            LineState.VALID,
+            LineState.RESERVED,
+            LineState.DIRTY,
+        )
+
+    @property
+    def may_differ_from_memory(self) -> bool:
+        """Whether the holder may have a value main memory lacks (dirty)."""
+        return self in (LineState.LOCAL, LineState.DIRTY)
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,103 @@
+"""Goodman's write-once scheme — the paper's "event broadcasting" baseline.
+
+Rudolph & Segall position RB/RWB as an extension of Goodman [GOO83]: "The
+Goodman scheme may be classified as 'event broadcasting', whereas in our
+proposed schemes events and data values are broadcast."  The contrast shows
+up in two places this implementation preserves:
+
+* no read-broadcast: an Invalid line observing a foreign bus read stays
+  Invalid — only the requester gets the data;
+* write-once write policy: the *first* write to a Valid line goes through
+  to memory (invalidating other copies) and reserves the line; subsequent
+  writes stay in the cache (Dirty), and a Dirty line supplies data by
+  interrupting foreign bus reads, just like an L line under RB.
+
+States: Invalid (I), Valid (V), Reserved (Rsv), Dirty (D).
+
+Args:
+    fetch_on_write_miss: when true, a write miss first fetches the word
+        with a bus read before the write-once bus write, as Goodman's
+        multi-word-block design did.  With the paper's one-word blocks the
+        fetch is pure overhead, so the default is false; the flag exists
+        for the baseline-fidelity ablation.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp
+from repro.protocols.base import CoherenceProtocol, CpuReaction, SnoopReaction, unchanged
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_V = LineState.VALID
+_RSV = LineState.RESERVED
+_D = LineState.DIRTY
+_NP = LineState.NOT_PRESENT
+
+
+class WriteOnceProtocol(CoherenceProtocol):
+    """Goodman (1983) write-once: event-only broadcasting."""
+
+    name = "write-once"
+    states = (_I, _V, _RSV, _D)
+
+    def __init__(self, fetch_on_write_miss: bool = False) -> None:
+        self.fetch_on_write_miss = fetch_on_write_miss
+
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        """Any valid state hits; a miss fetches into Valid."""
+        if state in (_V, _RSV, _D):
+            return CpuReaction(bus_op=None, next_state=state)
+        if state in (_I, _NP):
+            return CpuReaction(bus_op=BusOp.READ, next_state=_V)
+        raise self._reject(state, "cpu-read")
+
+    def on_cpu_write(self, state: LineState, meta: int) -> CpuReaction:
+        """The write-once ladder: V --(bus write)--> Rsv --> D --> D.
+
+        A write miss performs the write-once bus write directly (or, with
+        ``fetch_on_write_miss``, is reported as a read so the cache first
+        fills the line, after which the write retries against Valid).
+        """
+        if state is _V:
+            return CpuReaction(bus_op=BusOp.WRITE, next_state=_RSV, writes_value=True)
+        if state is _RSV:
+            return CpuReaction(bus_op=None, next_state=_D, writes_value=True)
+        if state is _D:
+            return CpuReaction(bus_op=None, next_state=_D, writes_value=True)
+        if state in (_I, _NP):
+            if self.fetch_on_write_miss:
+                # Fill first; the cache retries the write once Valid.
+                return CpuReaction(bus_op=BusOp.READ, next_state=_V)
+            return CpuReaction(bus_op=BusOp.WRITE, next_state=_RSV, writes_value=True)
+        raise self._reject(state, "cpu-write")
+
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        """Event-only snooping:
+
+        * bus write: every other copy is invalidated (no data absorbed);
+        * bus read: V is unaffected; Rsv loses exclusivity and demotes to
+          V; I stays I — **no read-broadcast**, the defining difference
+          from RB; D interrupts the read instead of snooping it.
+        """
+        if op.is_write_like:
+            if state in (_V, _RSV, _D, _I):
+                return SnoopReaction(next_state=_I)
+            raise self._reject(state, f"snoop-{op.value}")
+        if op.is_read_like:
+            if state is _V:
+                return unchanged(_V)
+            if state is _RSV:
+                return SnoopReaction(next_state=_V)
+            if state is _I:
+                return unchanged(_I)
+            raise self._reject(state, f"snoop-{op.value}")
+        raise self._reject(state, f"snoop-{op.value}")
+
+    def state_after_ts_success(self) -> tuple[LineState, int]:
+        """Write-with-unlock is a through-write: exclusive and clean."""
+        return _RSV, 0
+
+    def state_after_ts_fail(self) -> tuple[LineState, int]:
+        """The read-with-lock filled the attempter's line."""
+        return _V, 0

@@ -1,0 +1,60 @@
+"""Classical write-through-invalidate — the pre-Goodman baseline.
+
+Every write goes to the bus and through to memory; every other cached copy
+of the word is invalidated.  Reads hit on Valid lines and fill over the bus
+otherwise.  No broadcast absorption of any kind: this is the weakest of the
+snooping schemes and bounds the other protocols from below in the traffic
+benchmarks (its per-write bus cost is exactly the miss-equivalent cost the
+Cm* emulation of Table 1-1 charges for local writes).
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp
+from repro.protocols.base import CoherenceProtocol, CpuReaction, SnoopReaction, unchanged
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_V = LineState.VALID
+_NP = LineState.NOT_PRESENT
+
+
+class WriteThroughInvalidateProtocol(CoherenceProtocol):
+    """Write-through with invalidation (states I / V)."""
+
+    name = "write-through"
+    states = (_I, _V)
+
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        """V hits; a miss fills into V."""
+        if state is _V:
+            return CpuReaction(bus_op=None, next_state=_V)
+        if state in (_I, _NP):
+            return CpuReaction(bus_op=BusOp.READ, next_state=_V)
+        raise self._reject(state, "cpu-read")
+
+    def on_cpu_write(self, state: LineState, meta: int) -> CpuReaction:
+        """Every write generates a bus write; the writer keeps a valid copy."""
+        if state in (_V, _I, _NP):
+            return CpuReaction(bus_op=BusOp.WRITE, next_state=_V, writes_value=True)
+        raise self._reject(state, "cpu-write")
+
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        """Foreign writes invalidate; reads are ignored (no absorption).
+
+        A snooped bus-invalidate also invalidates: write-through never
+        emits one itself, but the hierarchical extension forwards global
+        invalidation events into clusters whose L1s run this protocol.
+        """
+        if op.is_write_like or op is BusOp.INVALIDATE:
+            return SnoopReaction(next_state=_I)
+        if op.is_read_like:
+            return unchanged(state, meta)
+        raise self._reject(state, f"snoop-{op.value}")
+
+    def state_after_ts_success(self) -> tuple[LineState, int]:
+        """Write-with-unlock went through memory; the winner keeps V."""
+        return _V, 0
+
+    def state_after_ts_fail(self) -> tuple[LineState, int]:
+        return _V, 0

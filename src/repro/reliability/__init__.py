@@ -1,0 +1,29 @@
+"""Memory reliability through cache replication — the paper's second
+"promising for further research" direction (Section 8).
+
+Section 5 observes that RWB "allows for a more robust memory management;
+if the value of a variable is corrupted while in memory or in some cache,
+there is a higher probability that some cache contains a correct copy."
+This package makes that claim measurable:
+
+* :mod:`repro.reliability.faults` — inject single-word corruptions into
+  memory or a cache line;
+* :mod:`repro.reliability.scavenger` — recover a corrupted word from the
+  surviving replicas, using the protocol states to rank trustworthiness;
+* :mod:`repro.reliability.experiment` — workload-driven recoverability
+  measurement comparing the schemes (RWB keeps more live replicas, so
+  more corruptions are recoverable).
+"""
+
+from repro.reliability.experiment import RecoverabilityResult, run_recoverability
+from repro.reliability.faults import FaultInjector, InjectedFault
+from repro.reliability.scavenger import RecoveryOutcome, scavenge
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "RecoverabilityResult",
+    "RecoveryOutcome",
+    "run_recoverability",
+    "scavenge",
+]

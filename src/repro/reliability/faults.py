@@ -1,0 +1,74 @@
+"""Single-word fault injection into memory or cache lines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Address, Word
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedFault:
+    """Record of one injected corruption.
+
+    Attributes:
+        location: ``"memory"`` or ``"cache<N>"``.
+        address: corrupted word address.
+        original: value before corruption.
+        corrupted: value after corruption.
+    """
+
+    location: str
+    address: Address
+    original: Word
+    corrupted: Word
+
+
+class FaultInjector:
+    """Corrupts single words in a machine's memory or caches.
+
+    Corruption flips the value to ``original ^ mask`` (guaranteed to
+    differ), modelling a transient single-word upset.
+    """
+
+    def __init__(self, machine: Machine, mask: int = 0x5A5A) -> None:
+        if mask == 0:
+            raise ConfigurationError("a zero mask would not corrupt anything")
+        self.machine = machine
+        self.mask = mask
+        self.injected: list[InjectedFault] = []
+
+    def corrupt_memory(self, address: Address) -> InjectedFault:
+        """Flip the memory word at *address*."""
+        memory = self.machine.memory
+        original = memory.peek(address)
+        corrupted = original ^ self.mask
+        memory.poke(address, corrupted)
+        fault = InjectedFault("memory", address, original, corrupted)
+        self.injected.append(fault)
+        return fault
+
+    def corrupt_cache(self, cache_index: int, address: Address) -> InjectedFault | None:
+        """Flip *address*'s cached copy in cache *cache_index*, if present.
+
+        Returns ``None`` when that cache holds no line for the address
+        (nothing to corrupt).
+        """
+        if not 0 <= cache_index < len(self.machine.caches):
+            raise ConfigurationError(
+                f"cache index {cache_index} out of range for "
+                f"{len(self.machine.caches)} caches"
+            )
+        cache = self.machine.caches[cache_index]
+        line = cache.line_for(address)
+        if line is None or not line.state.readable_locally:
+            return None
+        original = line.value
+        line.value = original ^ self.mask
+        fault = InjectedFault(
+            f"cache{cache_index}", address, original, line.value
+        )
+        self.injected.append(fault)
+        return fault

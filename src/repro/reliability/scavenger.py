@@ -1,0 +1,93 @@
+"""Recover corrupted words from surviving cache replicas.
+
+Protocol states rank replica trustworthiness:
+
+1. a dirty holder (L / D) *is* the definition of the latest value — if it
+   survives, recovery is exact;
+2. otherwise, clean readable copies (R / F / V / Rsv) and memory all claim
+   the same value; majority voting across them outvotes a single corrupted
+   copy.
+
+This is exactly the replication structure the paper points at: RWB's
+write-broadcast keeps many more clean copies alive than an invalidation
+scheme, so more corruptions are outvoted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.common.types import Address, Word
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryOutcome:
+    """Result of one scavenging attempt.
+
+    Attributes:
+        address: the word being recovered.
+        recovered_value: the scavenger's verdict.
+        replicas: how many copies (cache lines + memory) were consulted.
+        dirty_copy_used: a dirty holder decided the verdict outright.
+        unanimous: every consulted copy agreed.
+    """
+
+    address: Address
+    recovered_value: Word
+    replicas: int
+    dirty_copy_used: bool
+    unanimous: bool
+
+
+def scavenge(
+    machine: Machine, address: Address, repair_memory: bool = True
+) -> RecoveryOutcome:
+    """Reconstruct *address*'s value from all surviving replicas.
+
+    Args:
+        machine: the machine to scavenge.
+        address: the (possibly corrupted) word.
+        repair_memory: write the verdict back into main memory.
+
+    Returns:
+        The recovery verdict; correctness is the caller's to judge (the
+        experiment harness compares against ground truth).
+    """
+    dirty_value: Word | None = None
+    votes: Counter[Word] = Counter()
+    replicas = 0
+    for cache in machine.caches:
+        line = cache.line_for(address)
+        if line is None or not line.state.readable_locally:
+            continue
+        replicas += 1
+        if line.state.may_differ_from_memory:
+            dirty_value = line.value
+        votes[line.value] += 1
+    memory_value = machine.memory.peek(address)
+    if dirty_value is None:
+        # Memory only gets a vote when no dirty holder overrides it.
+        votes[memory_value] += 1
+        replicas += 1
+
+    if dirty_value is not None:
+        verdict = dirty_value
+    else:
+        # Majority vote; ties broken toward the cached copies (a tie of
+        # 1-vs-1 against memory means a corrupted word exists either way,
+        # and caches outnumber memory in the common case).
+        most_common = votes.most_common()
+        verdict = most_common[0][0]
+
+    unanimous = len(votes) == 1
+    if repair_memory and memory_value != verdict:
+        machine.memory.poke(address, verdict)
+    return RecoveryOutcome(
+        address=address,
+        recovered_value=verdict,
+        replicas=replicas,
+        dirty_copy_used=dirty_value is not None,
+        unanimous=unanimous,
+    )

@@ -1,0 +1,49 @@
+"""Synchronization built on the cache schemes (Section 6).
+
+The paper's contribution here is the **test-and-test-and-set** (TTS)
+primitive and the observation that, combined with RB/RWB caching, it
+eliminates the spin-lock bus "hot spot": unsuccessful attempts spin as
+cache hits instead of bus read-modify-write cycles.
+
+The primitives are emitted in their *software* form — a plain test
+instruction before the test-and-set — which the paper explicitly prefers
+("it enables the use of off-the-shelf processors").
+
+* :mod:`repro.sync.primitives` — code emitters for TS/TTS acquire and
+  release sequences.
+* :mod:`repro.sync.locks` — complete spin-lock workload programs.
+* :mod:`repro.sync.barrier` — a sense-reversing barrier built from the
+  same pieces (extension exercising the API).
+* :mod:`repro.sync.ticket` — a FIFO ticket lock built on the
+  fetch-and-add extension primitive (after the Ultracomputer lineage).
+"""
+
+from repro.sync.barrier import BarrierAddresses, build_barrier_program
+from repro.sync.locks import LockRegisters, build_lock_program
+from repro.sync.primitives import (
+    emit_release,
+    emit_ts_acquire,
+    emit_tts_acquire,
+)
+from repro.sync.ticket import (
+    TicketLockAddresses,
+    build_ticket_lock_program,
+    emit_ticket_acquire,
+    emit_ticket_release,
+    run_ticket_lock_contention,
+)
+
+__all__ = [
+    "BarrierAddresses",
+    "LockRegisters",
+    "TicketLockAddresses",
+    "build_barrier_program",
+    "build_lock_program",
+    "build_ticket_lock_program",
+    "emit_release",
+    "emit_ticket_acquire",
+    "emit_ticket_release",
+    "emit_ts_acquire",
+    "emit_tts_acquire",
+    "run_ticket_lock_contention",
+]

@@ -1,0 +1,102 @@
+"""A sense-reversing centralized barrier built from the lock primitives.
+
+The paper characterizes parallel computation as "a series of parallel
+actions alternated by phases of communication and/or synchronization";
+barriers are the canonical such phase, and — like locks — they exercise
+the shared-variable cyclical pattern (one writer, many readers of the
+sense word) that RWB optimizes.  This module is an extension exercising
+the public API; it is also used by the synchronization integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Address
+from repro.processor.program import Assembler, Program
+from repro.sync.primitives import emit_release, emit_tts_acquire
+
+
+@dataclass(frozen=True, slots=True)
+class BarrierAddresses:
+    """Shared words used by one barrier instance.
+
+    Attributes:
+        lock: mutual exclusion for the arrival counter.
+        counter: PEs arrived in the current episode.
+        sense: the episode's sense word every waiter spins on.
+    """
+
+    lock: Address
+    counter: Address
+    sense: Address
+
+    def __post_init__(self) -> None:
+        if len({self.lock, self.counter, self.sense}) != 3:
+            raise ConfigurationError("barrier words must be three distinct addresses")
+
+
+def build_barrier_program(
+    num_pes: int,
+    episodes: int,
+    addresses: BarrierAddresses,
+    work_cycles: int = 0,
+) -> Program:
+    """Build one PE's program: *episodes* rounds of (work, barrier).
+
+    Every PE runs the identical program — sense reversal keeps consecutive
+    episodes from interfering.
+
+    Register map: r1 lock addr, r2 counter addr, r3 sense addr, r4 local
+    sense, r5 scratch, r6 constant 1, r7 constant 0, r8 episode counter,
+    r9 constant -1, r10 arrival count, r11 comparison scratch,
+    r12 constant num_pes.
+
+    Args:
+        num_pes: participants (the barrier trips when the counter reaches
+            this).
+        episodes: barrier episodes to run before halting.
+        addresses: the three shared words.
+        work_cycles: NOP padding between barriers (the "parallel action").
+    """
+    if num_pes < 1:
+        raise ConfigurationError(f"need >= 1 PE, got {num_pes}")
+    if episodes < 1:
+        raise ConfigurationError(f"need >= 1 episode, got {episodes}")
+    asm = Assembler()
+    asm.loadi(1, addresses.lock)
+    asm.loadi(2, addresses.counter)
+    asm.loadi(3, addresses.sense)
+    asm.loadi(4, 0)  # local sense starts equal to the initial sense word
+    asm.loadi(6, 1)
+    asm.loadi(7, 0)
+    asm.loadi(8, episodes)
+    asm.loadi(9, -1)
+    asm.loadi(12, num_pes)
+    asm.label("episode")
+    asm.nops(work_cycles)
+    # local_sense = 1 - local_sense: the value this episode completes on.
+    asm.sub(4, 6, 4)
+    # Atomically bump the arrival counter under the lock.
+    emit_tts_acquire(asm, 1, 5, 6, "bar")
+    asm.load(10, 2)
+    asm.add(10, 10, 6)
+    asm.store(2, 10)
+    emit_release(asm, 1, 7)
+    # Last arrival resets the counter and flips the shared sense word;
+    # everyone else spins (in cache, courtesy of the protocols) on it.
+    asm.sub(11, 10, 12)
+    asm.bnez(11, "wait")
+    asm.store(2, 7)
+    asm.store(3, 4)
+    asm.jmp("next")
+    asm.label("wait")
+    asm.load(11, 3)
+    asm.sub(11, 11, 4)
+    asm.bnez(11, "wait")
+    asm.label("next")
+    asm.add(8, 8, 9)
+    asm.bnez(8, "episode")
+    asm.halt()
+    return asm.assemble()

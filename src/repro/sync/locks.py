@@ -1,0 +1,84 @@
+"""Complete spin-lock contention programs — the Section 6 workload.
+
+Each PE repeatedly: acquires a shared lock (TS or TTS), spends some cycles
+in the critical section, releases, then "thinks" before the next round.
+The benchmark harness runs M such PEs against one lock and counts bus
+traffic, reproducing the Figure 6-1/6-2 contrast quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Address
+from repro.processor.program import Assembler, Program
+from repro.sync.primitives import emit_release, emit_ts_acquire, emit_tts_acquire
+
+
+@dataclass(frozen=True, slots=True)
+class LockRegisters:
+    """Register conventions used by :func:`build_lock_program`.
+
+    Attributes:
+        lock_addr: holds the lock's word address.
+        scratch: per-attempt old value / test value.
+        one: constant 1 (the value stored by test-and-set).
+        zero: constant 0 (the release value).
+        counter: remaining acquire-release rounds.
+        minus_one: constant -1 used to decrement the counter.
+    """
+
+    lock_addr: int = 1
+    scratch: int = 2
+    one: int = 3
+    zero: int = 4
+    counter: int = 5
+    minus_one: int = 6
+
+
+def build_lock_program(
+    lock_address: Address,
+    rounds: int,
+    use_tts: bool,
+    critical_cycles: int = 4,
+    think_cycles: int = 0,
+    regs: LockRegisters | None = None,
+) -> Program:
+    """Build one PE's lock-contention program.
+
+    Args:
+        lock_address: the shared lock word.
+        rounds: acquire/release repetitions before halting.
+        use_tts: spin with test-and-test-and-set instead of plain
+            test-and-set.
+        critical_cycles: NOP padding inside the critical section.
+        think_cycles: NOP padding after each release.
+        regs: register conventions (defaults are fine unless composing).
+
+    Returns:
+        The assembled program.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"need >= 1 round, got {rounds}")
+    if critical_cycles < 0 or think_cycles < 0:
+        raise ConfigurationError("cycle paddings must be >= 0")
+    r = regs or LockRegisters()
+    asm = Assembler()
+    asm.loadi(r.lock_addr, lock_address)
+    asm.loadi(r.one, 1)
+    asm.loadi(r.zero, 0)
+    asm.loadi(r.counter, rounds)
+    asm.loadi(r.minus_one, -1)
+    asm.label("round")
+    if use_tts:
+        emit_tts_acquire(asm, r.lock_addr, r.scratch, r.one, "acq")
+    else:
+        emit_ts_acquire(asm, r.lock_addr, r.scratch, r.one, "acq")
+    asm.nops(critical_cycles)
+    emit_release(asm, r.lock_addr, r.zero)
+    asm.nops(think_cycles)
+    asm.add(r.counter, r.counter, r.minus_one)
+    asm.bnez(r.counter, "round")
+    asm.halt()
+    return asm.assemble()

@@ -1,0 +1,79 @@
+"""Instruction-sequence emitters for the Section 6 lock primitives.
+
+All emitters append to a caller-supplied :class:`~repro.processor.program.
+Assembler` and use caller-chosen registers, so they compose into larger
+programs.  Label names are prefixed to stay unique per call site.
+
+The two acquire flavours are exactly the paper's:
+
+* **TS** — spin directly on the atomic test-and-set.  Every attempt is a
+  bus read-modify-write, successful or not: the Figure 6-1 hot spot.
+* **TTS** — "a simple test instruction" in front of the test-and-set.
+  While the lock is held the test spins in the cache; only a zero test
+  (good chance the lock is free) escalates to the atomic instruction.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProgramError
+from repro.processor.program import Assembler
+
+
+def emit_ts_acquire(
+    asm: Assembler,
+    lock_addr_reg: int,
+    scratch_reg: int,
+    one_reg: int,
+    prefix: str,
+) -> None:
+    """Append a test-and-set spin acquire.
+
+    Args:
+        asm: assembler to append to.
+        lock_addr_reg: register holding the lock's address.
+        scratch_reg: receives each attempt's old value.
+        one_reg: register holding the value to set (conventionally 1).
+        prefix: unique label prefix for this call site.
+    """
+    _check_distinct(lock_addr_reg, scratch_reg, one_reg)
+    asm.label(f"{prefix}_ts_spin")
+    asm.ts(scratch_reg, lock_addr_reg, one_reg)
+    asm.bnez(scratch_reg, f"{prefix}_ts_spin")
+
+
+def emit_tts_acquire(
+    asm: Assembler,
+    lock_addr_reg: int,
+    scratch_reg: int,
+    one_reg: int,
+    prefix: str,
+) -> None:
+    """Append a test-and-test-and-set spin acquire (the Section 6 form:
+    "preceding each test-and-set instruction with a simple test").
+
+    Arguments as :func:`emit_ts_acquire`.
+    """
+    _check_distinct(lock_addr_reg, scratch_reg, one_reg)
+    asm.label(f"{prefix}_tts_test")
+    asm.load(scratch_reg, lock_addr_reg)
+    asm.bnez(scratch_reg, f"{prefix}_tts_test")
+    asm.ts(scratch_reg, lock_addr_reg, one_reg)
+    asm.bnez(scratch_reg, f"{prefix}_tts_test")
+
+
+def emit_release(asm: Assembler, lock_addr_reg: int, zero_reg: int) -> None:
+    """Append a lock release: store 0 to the lock word.
+
+    Args:
+        asm: assembler to append to.
+        lock_addr_reg: register holding the lock's address.
+        zero_reg: register holding 0.
+    """
+    asm.store(lock_addr_reg, zero_reg)
+
+
+def _check_distinct(*regs: int) -> None:
+    if len(set(regs)) != len(regs):
+        raise ProgramError(
+            f"lock emitter registers must be distinct, got {regs}"
+        )

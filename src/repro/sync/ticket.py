@@ -1,0 +1,185 @@
+"""Ticket locks: FIFO mutual exclusion from fetch-and-add (extension).
+
+The classic fetch-and-add lock (the construction the NYU Ultracomputer
+line of work — [GOT83], co-authored by Rudolph — motivates): acquire is
+one atomic ``my_ticket = fetch_and_add(next_ticket, 1)`` followed by a
+*local* spin until ``now_serving == my_ticket``; release is a plain store
+of ``my_ticket + 1``.  Against the paper's TTS lock it adds FIFO fairness
+(no thundering herd: exactly one waiter proceeds per release) at the cost
+of one extra shared word.
+
+The spin on ``now_serving`` is a read, so both RB and RWB keep it in the
+waiters' caches; under RWB the release is even broadcast straight into
+every spinner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Address
+from repro.processor.program import Assembler, Program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class TicketLockAddresses:
+    """The two shared words of one ticket lock.
+
+    Attributes:
+        next_ticket: fetch-and-add target handing out tickets.
+        now_serving: the ticket currently allowed into the critical
+            section.
+    """
+
+    next_ticket: Address
+    now_serving: Address
+
+    def __post_init__(self) -> None:
+        if self.next_ticket == self.now_serving:
+            raise ConfigurationError("ticket words must be distinct")
+
+
+def emit_ticket_acquire(
+    asm: Assembler,
+    addresses: TicketLockAddresses,
+    ticket_reg: int,
+    scratch_reg: int,
+    one_reg: int,
+    serving_addr_reg: int,
+    next_addr_reg: int,
+    prefix: str,
+) -> None:
+    """Append a ticket-lock acquire.
+
+    Args:
+        asm: assembler to append to.
+        addresses: the lock's shared words.
+        ticket_reg: receives this acquisition's ticket.
+        scratch_reg: spin scratch.
+        one_reg: register holding 1.
+        serving_addr_reg / next_addr_reg: registers loaded with the two
+            word addresses (set up by this emitter).
+        prefix: unique label prefix.
+    """
+    if len({ticket_reg, scratch_reg, one_reg, serving_addr_reg,
+            next_addr_reg}) != 5:
+        raise ConfigurationError("ticket emitter registers must be distinct")
+    asm.loadi(next_addr_reg, addresses.next_ticket)
+    asm.loadi(serving_addr_reg, addresses.now_serving)
+    asm.faa(ticket_reg, next_addr_reg, one_reg)
+    asm.label(f"{prefix}_ticket_spin")
+    asm.load(scratch_reg, serving_addr_reg)
+    asm.sub(scratch_reg, scratch_reg, ticket_reg)
+    asm.bnez(scratch_reg, f"{prefix}_ticket_spin")
+
+
+def emit_ticket_release(
+    asm: Assembler,
+    ticket_reg: int,
+    scratch_reg: int,
+    one_reg: int,
+    serving_addr_reg: int,
+) -> None:
+    """Append a ticket-lock release: ``now_serving = my_ticket + 1``.
+
+    The holder owns the word, so a plain store suffices (no RMW)."""
+    asm.add(scratch_reg, ticket_reg, one_reg)
+    asm.store(serving_addr_reg, scratch_reg)
+
+
+def build_ticket_lock_program(
+    addresses: TicketLockAddresses,
+    rounds: int,
+    critical_cycles: int = 4,
+    think_cycles: int = 0,
+) -> Program:
+    """One PE's ticket-lock contention loop (mirrors
+    :func:`repro.sync.locks.build_lock_program`'s shape).
+
+    Register map: r1 ticket, r2 scratch, r3 const 1, r5 round counter,
+    r6 const -1, r7 now-serving address, r8 next-ticket address.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"need >= 1 round, got {rounds}")
+    if critical_cycles < 0 or think_cycles < 0:
+        raise ConfigurationError("cycle paddings must be >= 0")
+    asm = Assembler()
+    asm.loadi(3, 1)
+    asm.loadi(5, rounds)
+    asm.loadi(6, -1)
+    asm.label("round")
+    emit_ticket_acquire(asm, addresses, ticket_reg=1, scratch_reg=2,
+                        one_reg=3, serving_addr_reg=7, next_addr_reg=8,
+                        prefix="acq")
+    asm.nops(critical_cycles)
+    emit_ticket_release(asm, ticket_reg=1, scratch_reg=2, one_reg=3,
+                        serving_addr_reg=7)
+    asm.nops(think_cycles)
+    asm.add(5, 5, 6)
+    asm.bnez(5, "round")
+    asm.halt()
+    return asm.assemble()
+
+
+@dataclass(frozen=True, slots=True)
+class TicketLockResult:
+    """Measured outcome of one ticket-lock contention run."""
+
+    protocol: str
+    num_pes: int
+    rounds_per_pe: int
+    cycles: int
+    bus_transactions: int
+    locked_rmws: int
+    invalidations: int
+
+    @property
+    def transactions_per_acquisition(self) -> float:
+        """Bus transactions per hand-off (compare with the TTS runner)."""
+        return self.bus_transactions / (self.num_pes * self.rounds_per_pe)
+
+
+def run_ticket_lock_contention(
+    protocol: str,
+    num_pes: int = 4,
+    rounds_per_pe: int = 10,
+    critical_cycles: int = 8,
+    cache_lines: int = 16,
+    protocol_options: dict | None = None,
+    max_cycles: int = 5_000_000,
+) -> TicketLockResult:
+    """Run the ticket-lock contention workload.
+
+    The run also checks FIFO integrity implicitly: the final
+    ``next_ticket`` and ``now_serving`` must both equal the total number
+    of acquisitions (asserted by the tests).
+    """
+    if num_pes < 1 or rounds_per_pe < 1:
+        raise ConfigurationError("need >= 1 PE and >= 1 round")
+    addresses = TicketLockAddresses(next_ticket=0, now_serving=1)
+    config = MachineConfig(
+        num_pes=num_pes,
+        protocol=protocol,
+        protocol_options=protocol_options or {},
+        cache_lines=cache_lines,
+        memory_size=64,
+    )
+    machine = Machine(config)
+    program = build_ticket_lock_program(
+        addresses, rounds=rounds_per_pe, critical_cycles=critical_cycles
+    )
+    machine.load_programs([program] * num_pes)
+    cycles = machine.run(max_cycles=max_cycles)
+    bus = machine.stats.bag("bus")
+    return TicketLockResult(
+        protocol=protocol,
+        num_pes=num_pes,
+        rounds_per_pe=rounds_per_pe,
+        cycles=cycles,
+        bus_transactions=machine.total_bus_traffic(),
+        locked_rmws=bus.get("bus.op.read_lock"),
+        invalidations=machine.stats.total("cache.invalidations", "cache"),
+    )

@@ -1,0 +1,22 @@
+"""Whole-machine assembly: PEs + caches + bus fabric + memory.
+
+* :mod:`repro.system.config` — declarative machine configuration.
+* :mod:`repro.system.machine` — the cycle loop tying everything together.
+* :mod:`repro.system.trace` — per-address configuration tracing (the
+  row-per-observation tables of Figures 6-1/6-2/6-3).
+* :mod:`repro.system.scripted` — a step-at-a-time executor for scripted
+  scenarios, where each high-level operation runs to quiescence.
+"""
+
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.system.scripted import ScriptedMachine
+from repro.system.trace import ConfigurationRow, ConfigurationTracer
+
+__all__ = [
+    "ConfigurationRow",
+    "ConfigurationTracer",
+    "Machine",
+    "MachineConfig",
+    "ScriptedMachine",
+]

@@ -1,0 +1,81 @@
+"""Declarative configuration for a simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.memory.main_memory import LockGranularity
+
+
+@dataclass(slots=True)
+class MachineConfig:
+    """Everything needed to build a :class:`~repro.system.machine.Machine`.
+
+    Attributes:
+        num_pes: processing elements (each with one private cache).
+        protocol: coherence protocol registry name (``"rb"``, ``"rwb"``,
+            ``"write-once"``, ``"write-through"``).
+        protocol_options: keyword options for the protocol factory (e.g.
+            ``{"local_promotion_writes": 3}`` for RWB).
+        cache_lines: one-word line frames per cache (paper sweeps 256-2048).
+        cache_ways: associativity; 1 gives the paper's direct-mapped cache.
+        replacement: victim policy name for ``cache_ways > 1``.
+        num_buses: physical buses in the interleaved fabric (Section 7);
+            1 gives the paper's base architecture.
+        arbiter: bus arbitration policy name.
+        memory_size: shared-memory size in words.
+        num_regs: PE register-file size.
+        instructions_per_cycle: the Section 4 proof's P_c — how many
+            instructions a PE may execute per bus cycle (memory
+            instructions still serialize on the bus, so only non-memory
+            work speeds up).
+        lock_granularity: memory-lock coarseness for read-modify-write.
+        seed: base seed for any stochastic component (random arbiter,
+            random replacement).
+        record_bus_log: keep every completed bus transaction for
+            inspection (memory-hungry on long runs; default off).
+    """
+
+    num_pes: int = 4
+    protocol: str = "rb"
+    protocol_options: dict[str, Any] = field(default_factory=dict)
+    cache_lines: int = 64
+    cache_ways: int = 1
+    replacement: str = "lru"
+    num_buses: int = 1
+    arbiter: str = "round-robin"
+    memory_size: int = 65536
+    num_regs: int = 16
+    instructions_per_cycle: int = 1
+    lock_granularity: LockGranularity = LockGranularity.WORD
+    seed: int = 0
+    record_bus_log: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on structurally bad settings."""
+        if self.num_pes < 1:
+            raise ConfigurationError(f"need >= 1 PE, got {self.num_pes}")
+        if self.cache_lines < 1:
+            raise ConfigurationError(f"need >= 1 cache line, got {self.cache_lines}")
+        if self.cache_ways < 1:
+            raise ConfigurationError(f"need >= 1 way, got {self.cache_ways}")
+        if self.cache_lines % self.cache_ways != 0:
+            raise ConfigurationError(
+                f"cache_lines ({self.cache_lines}) must be a multiple of "
+                f"cache_ways ({self.cache_ways})"
+            )
+        if self.num_buses < 1:
+            raise ConfigurationError(f"need >= 1 bus, got {self.num_buses}")
+        if self.memory_size < 1:
+            raise ConfigurationError(
+                f"need >= 1 word of memory, got {self.memory_size}"
+            )
+        if self.num_regs < 1:
+            raise ConfigurationError(f"need >= 1 register, got {self.num_regs}")
+        if self.instructions_per_cycle < 1:
+            raise ConfigurationError(
+                f"need >= 1 instruction per cycle, got "
+                f"{self.instructions_per_cycle}"
+            )

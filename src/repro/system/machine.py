@@ -1,0 +1,215 @@
+"""The machine: N PEs, N private caches, a bus fabric and shared memory.
+
+One :meth:`Machine.step` is one bus cycle: the fabric moves first (at most
+one transaction per physical bus; completions unblock caches and retire PE
+memory instructions), then every driver gets one execution slot.  This
+honours the paper's timing assumptions — the bus cycle bounds the cache and
+PE cycles, so every cache snoops each transaction before the next one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bus.arbiter import make_arbiter
+from repro.bus.bus import SharedBus
+from repro.bus.interfaces import BusNetwork
+from repro.bus.multibus import InterleavedMultiBus
+from repro.bus.transaction import CompletedTransaction
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped, SetAssociative
+from repro.cache.replacement import make_replacement
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.rng import derive_seed
+from repro.common.stats import StatSet
+from repro.common.types import Address, MemRef
+from repro.memory.main_memory import MainMemory
+from repro.processor.pe import Driver, ProcessingElement
+from repro.processor.program import Program
+from repro.processor.tracedriver import TraceDriver
+from repro.protocols.registry import make_protocol
+from repro.system.config import MachineConfig
+
+
+class Machine:
+    """A configured shared-bus multiprocessor.
+
+    Build one from a :class:`~repro.system.config.MachineConfig`, then load
+    work with :meth:`load_programs` or :meth:`load_traces` and call
+    :meth:`run`.  A machine without drivers can still be exercised through
+    its caches directly (see :class:`~repro.system.scripted.ScriptedMachine`).
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self.config = config
+        self.memory = MainMemory(
+            config.memory_size, lock_granularity=config.lock_granularity
+        )
+        self.bus: BusNetwork = self._build_bus(config)
+        self.caches = [self._build_cache(config, i) for i in range(config.num_pes)]
+        for cache in self.caches:
+            cache.connect(self.bus)
+        self.drivers: list[Driver] = []
+        self.cycle = 0
+        self.bus_log: list[CompletedTransaction] = []
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _build_bus(self, config: MachineConfig) -> BusNetwork:
+        if config.num_buses == 1:
+            return SharedBus(
+                self.memory,
+                arbiter=make_arbiter(config.arbiter, seed=config.seed),
+            )
+        arbiters = [
+            make_arbiter(config.arbiter, seed=derive_seed(config.seed, "arbiter", i))
+            for i in range(config.num_buses)
+        ]
+        return InterleavedMultiBus(self.memory, config.num_buses, arbiters=arbiters)
+
+    def _build_cache(self, config: MachineConfig, index: int) -> SnoopingCache:
+        protocol = make_protocol(config.protocol, **config.protocol_options)
+        if config.cache_ways == 1:
+            placement = DirectMapped(config.cache_lines)
+        else:
+            placement = SetAssociative(
+                num_sets=config.cache_lines // config.cache_ways,
+                ways=config.cache_ways,
+            )
+        replacement = make_replacement(
+            config.replacement, seed=derive_seed(config.seed, "replacement", index)
+        )
+        return SnoopingCache(
+            protocol, placement, replacement=replacement, name=f"cache{index}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # loading work                                                        #
+    # ------------------------------------------------------------------ #
+
+    def load_programs(self, programs: Sequence[Program]) -> None:
+        """Attach one program per PE (must match ``num_pes``)."""
+        self._require_unloaded()
+        if len(programs) != self.config.num_pes:
+            raise ConfigurationError(
+                f"got {len(programs)} programs for {self.config.num_pes} PEs"
+            )
+        self.drivers = [
+            ProcessingElement(i, self.caches[i], program, self.config.num_regs)
+            for i, program in enumerate(programs)
+        ]
+
+    def load_traces(self, streams: Sequence[Iterable[MemRef]]) -> None:
+        """Attach one reference stream per PE (must match ``num_pes``)."""
+        self._require_unloaded()
+        if len(streams) != self.config.num_pes:
+            raise ConfigurationError(
+                f"got {len(streams)} trace streams for {self.config.num_pes} PEs"
+            )
+        self.drivers = [
+            TraceDriver(i, self.caches[i], stream)
+            for i, stream in enumerate(streams)
+        ]
+
+    def _require_unloaded(self) -> None:
+        if self.drivers:
+            raise ConfigurationError("machine already has drivers loaded")
+
+    # ------------------------------------------------------------------ #
+    # execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> list[CompletedTransaction]:
+        """One machine (bus) cycle; returns this cycle's bus completions."""
+        self.cycle += 1
+        completed = self.bus.step_all()
+        if self.config.record_bus_log:
+            self.bus_log.extend(completed)
+        for _ in range(self.config.instructions_per_cycle):
+            for driver in self.drivers:
+                driver.step()
+        return completed
+
+    @property
+    def idle(self) -> bool:
+        """No driver has work left and no bus transaction is in flight."""
+        drivers_done = all(driver.done for driver in self.drivers)
+        return drivers_done and not self.bus.has_pending()
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Step until idle; returns cycles executed.
+
+        Raises:
+            ReproError: if *max_cycles* elapse first (livelock guard).
+        """
+        start = self.cycle
+        while not self.idle:
+            if self.cycle - start >= max_cycles:
+                raise ReproError(
+                    f"machine did not go idle within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+    def run_cycles(self, cycles: int) -> None:
+        """Step exactly *cycles* machine cycles (idle or not)."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain_bus(self, max_cycles: int = 100_000) -> int:
+        """Step until no bus transaction is queued; returns cycles used."""
+        used = 0
+        while self.bus.has_pending():
+            if used >= max_cycles:
+                raise ReproError(
+                    f"bus did not drain within {max_cycles} cycles"
+                )
+            self.step()
+            used += 1
+        return used
+
+    # ------------------------------------------------------------------ #
+    # observation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def configuration(self, address: Address) -> list[str]:
+        """Per-cache ``State(value)`` snapshots for *address*, in PE order."""
+        return [cache.snapshot(address) for cache in self.caches]
+
+    def latest_value(self, address: Address) -> int:
+        """The logical latest value of *address* — a dirty holder's copy if
+        one exists, else memory's (the Lemma's "latest value written")."""
+        for cache in self.caches:
+            line = cache.line_for(address)
+            if line is not None and line.state.may_differ_from_memory:
+                return line.value
+        return self.memory.peek(address)
+
+    @property
+    def stats(self) -> StatSet:
+        """All component counters, grouped by component name."""
+        stat_set = StatSet()
+        stat_set.bag("memory").merge(self.memory.stats)
+        if isinstance(self.bus, InterleavedMultiBus):
+            stat_set.bag("bus").merge(self.bus.merged_stats())
+        else:
+            stat_set.bag("bus").merge(self.bus.stats)  # type: ignore[attr-defined]
+        for cache in self.caches:
+            stat_set.bag(cache.name).merge(cache.stats)
+        for driver in self.drivers:
+            stat_set.bag(f"pe{driver.pe_id}").merge(driver.stats)
+        return stat_set
+
+    @property
+    def bus_utilization(self) -> float:
+        """Busy fraction of the fabric (mean across physical buses)."""
+        if isinstance(self.bus, (SharedBus, InterleavedMultiBus)):
+            return self.bus.utilization
+        raise ReproError("unknown bus fabric type")
+
+    def total_bus_traffic(self) -> int:
+        """Completed bus transactions of every type, fabric-wide."""
+        return self.stats.bag("bus").total("bus.op.")

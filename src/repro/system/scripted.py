@@ -1,0 +1,101 @@
+"""Run high-level operations on a machine one at a time, to quiescence.
+
+The Section 6 figures narrate scripted scenarios — "P2 locks S", "others
+try to get S", "P2 releases S" — where each narrated step finishes before
+the next begins.  :class:`ScriptedMachine` provides exactly that: every
+call issues one CPU operation through the real cache/bus/protocol engine
+and steps the machine until it completes, so the resulting configurations
+are genuine protocol outcomes, not hand-drawn tables.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.types import Address, Word
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+class ScriptedMachine:
+    """A machine driven by explicit per-PE operations instead of programs.
+
+    Args:
+        config: machine shape; no programs or traces are loaded.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.machine = Machine(config)
+
+    @property
+    def caches(self):
+        """The underlying per-PE caches (read-only use expected)."""
+        return self.machine.caches
+
+    @property
+    def memory(self):
+        """The underlying shared memory."""
+        return self.machine.memory
+
+    # ------------------------------------------------------------------ #
+    # scripted operations                                                 #
+    # ------------------------------------------------------------------ #
+
+    def read(self, pe: int, address: Address, max_cycles: int = 10_000) -> Word:
+        """PE *pe* reads *address*; returns the value once it completes."""
+        box: list[Word] = []
+        self._cache(pe).cpu_read(address, box.append)
+        self._run_until(lambda: bool(box), max_cycles, f"read by PE {pe}")
+        return box[0]
+
+    def write(
+        self, pe: int, address: Address, value: Word, max_cycles: int = 10_000
+    ) -> None:
+        """PE *pe* writes *value* to *address* and waits for completion."""
+        box: list[Word] = []
+        self._cache(pe).cpu_write(address, value, box.append)
+        self._run_until(lambda: bool(box), max_cycles, f"write by PE {pe}")
+
+    def test_and_set(
+        self, pe: int, address: Address, value: Word = 1, max_cycles: int = 10_000
+    ) -> Word:
+        """PE *pe* test-and-sets *address* to *value*; returns the old value
+        (0 means the lock was taken)."""
+        box: list[Word] = []
+        self._cache(pe).cpu_test_and_set(address, value, box.append)
+        self._run_until(lambda: bool(box), max_cycles, f"test-and-set by PE {pe}")
+        return box[0]
+
+    def test_and_test_and_set(
+        self, pe: int, address: Address, value: Word = 1, max_cycles: int = 10_000
+    ) -> Word:
+        """One TTS attempt (Section 6): test first; only a zero test is
+        followed by the test-and-set.  Returns the observed/old value."""
+        observed = self.read(pe, address, max_cycles)
+        if observed != 0:
+            return observed
+        return self.test_and_set(pe, address, value, max_cycles)
+
+    def settle(self, max_cycles: int = 10_000) -> None:
+        """Step until the bus fabric is empty (e.g. after write-backs)."""
+        self._run_until(
+            lambda: not self.machine.bus.has_pending(), max_cycles, "settle"
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _cache(self, pe: int):
+        if not 0 <= pe < len(self.machine.caches):
+            raise ConfigurationError(
+                f"PE index {pe} out of range for {len(self.machine.caches)} PEs"
+            )
+        return self.machine.caches[pe]
+
+    def _run_until(self, finished, max_cycles: int, what: str) -> None:
+        used = 0
+        while not finished():
+            if used >= max_cycles:
+                raise ReproError(f"{what} did not complete in {max_cycles} cycles")
+            self.machine.step()
+            used += 1

@@ -1,0 +1,80 @@
+"""Per-address configuration tracing: the Figure 6-x row tables.
+
+Figures 6-1/6-2/6-3 show, for one lock word, a row per observation: each
+cache's ``State(value)``, the memory word, and a label ("P2 locks S", ...).
+:class:`ConfigurationTracer` captures exactly those rows from a live
+machine.  Each row also records the *logical* latest value (a dirty
+holder's copy when one exists), since with a data-less bus invalidate the
+physical memory word can lag the release by one write-back — see
+EXPERIMENTS.md's fidelity note on Figure 6-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import Address, Word
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigurationRow:
+    """One observation row.
+
+    Attributes:
+        label: the figure's "Observation" column.
+        cache_states: per-cache ``State(value)`` strings, PE order.
+        memory_value: the physical memory word.
+        latest_value: the logical latest value (Lemma notion).
+        cycle: machine cycle at capture time.
+    """
+
+    label: str
+    cache_states: tuple[str, ...]
+    memory_value: Word
+    latest_value: Word
+    cycle: int
+
+    def cells(self) -> list[str]:
+        """The row as table cells: caches..., memory, latest."""
+        return [*self.cache_states, str(self.memory_value), str(self.latest_value)]
+
+
+class ConfigurationTracer:
+    """Records configuration rows for one address on one machine."""
+
+    def __init__(self, machine: Machine, address: Address) -> None:
+        self.machine = machine
+        self.address = address
+        self.rows: list[ConfigurationRow] = []
+
+    def record(self, label: str) -> ConfigurationRow:
+        """Capture the current configuration under *label*."""
+        row = ConfigurationRow(
+            label=label,
+            cache_states=tuple(self.machine.configuration(self.address)),
+            memory_value=self.machine.memory.peek(self.address),
+            latest_value=self.machine.latest_value(self.address),
+            cycle=self.machine.cycle,
+        )
+        self.rows.append(row)
+        return row
+
+    def record_if_changed(self, label: str) -> ConfigurationRow | None:
+        """Capture only when the configuration differs from the last row."""
+        snapshot = tuple(self.machine.configuration(self.address))
+        memory_value = self.machine.memory.peek(self.address)
+        if self.rows:
+            last = self.rows[-1]
+            if last.cache_states == snapshot and last.memory_value == memory_value:
+                return None
+        return self.record(label)
+
+    def header(self) -> list[str]:
+        """Column headers matching the figures' layout."""
+        num = len(self.machine.caches)
+        return [*(f"P{i + 1} Cache" for i in range(num)), "S (mem)", "S (latest)"]
+
+    def states_only(self) -> list[tuple[str, ...]]:
+        """Just the per-cache state tuples, for compact assertions."""
+        return [row.cache_states for row in self.rows]

@@ -1,0 +1,173 @@
+"""Breadth-first model checking of the product machine.
+
+Explores every state reachable from the initial all-invalid configuration
+under every interleaving of CPU reads, CPU writes, evictions and
+test-and-set operations by every cache, and checks at each state:
+
+1. **Single-writer** — at most one cache holds the line in a dirty state
+   (L under RB/RWB, D under write-once): the heart of the Lemma.
+2. **Configuration Lemma** — the state vector is a *local* configuration
+   (one dirty holder, everyone else Invalid/absent) or a *shared* one
+   (no dirty holder; under RWB additionally at most one First-write
+   claimant).
+3. **No stale readable copy** — any copy a CPU read would hit on holds the
+   latest value.  This is the strengthened induction hypothesis behind the
+   Theorem: with it, every local read is trivially consistent, and the
+   kernel separately checks every bus read against memory freshness.
+4. **Latest value exists** — memory or some cache holds the latest value
+   (the Lemma's second bullet).
+
+Because the kernel drives the very protocol objects the simulator uses,
+a bug planted in a transition table is found here (see the fault-injection
+tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, VerificationError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.states import LineState
+from repro.verify.kernel import ACTIONS, KernelState, SingleAddressKernel
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """Outcome of one model-checking run.
+
+    Attributes:
+        protocol_name: the checked protocol.
+        num_caches: product-machine width.
+        states_explored: distinct reachable states visited.
+        transitions: (state, action) pairs executed.
+        violations: human-readable invariant failures (empty when ``ok``).
+        truncated: the exploration hit ``max_states`` before finishing.
+    """
+
+    protocol_name: str
+    num_caches: int
+    states_explored: int = 0
+    transitions: int = 0
+    violations: list[str] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the protocol passed every invariant on every state."""
+        return not self.violations and not self.truncated
+
+    def summary(self) -> str:
+        """One-line result for reports."""
+        status = "PASS" if self.ok else ("TRUNCATED" if self.truncated else "FAIL")
+        return (
+            f"{self.protocol_name}: {status} — {self.states_explored} states, "
+            f"{self.transitions} transitions, {len(self.violations)} violation(s)"
+        )
+
+
+def check_protocol(
+    protocol: CoherenceProtocol,
+    num_caches: int = 3,
+    include_ts: bool = True,
+    include_evictions: bool = True,
+    max_states: int = 500_000,
+    max_violations: int = 10,
+) -> VerificationReport:
+    """Exhaustively model check *protocol* with *num_caches* caches.
+
+    Args:
+        protocol: the protocol instance to drive (stateless tables).
+        num_caches: width of the product machine (3 suffices to exhibit
+            every pairwise interaction plus a third observer; 4 adds
+            assurance at ~10x the states).
+        include_ts: also explore test-and-set actions.
+        include_evictions: also explore overwrites (the Lemma's NP
+            extension).
+        max_states: exploration cap (guards against state blow-up).
+        max_violations: stop collecting after this many failures.
+    """
+    if num_caches < 1:
+        raise ConfigurationError(f"need >= 1 cache, got {num_caches}")
+    kernel = SingleAddressKernel(protocol)
+    report = VerificationReport(protocol.name, num_caches)
+    actions = [a for a in ACTIONS if _enabled(a, include_ts, include_evictions)]
+
+    initial = kernel.initial_state(num_caches)
+    seen: set[KernelState] = {initial}
+    frontier: deque[KernelState] = deque([initial])
+    _check_invariants(protocol, initial, report)
+
+    while frontier:
+        if len(seen) > max_states:
+            report.truncated = True
+            break
+        if len(report.violations) >= max_violations:
+            break
+        state = frontier.popleft()
+        for action in actions:
+            for index in range(num_caches):
+                report.transitions += 1
+                try:
+                    successor = kernel.apply(state, action, index)
+                except VerificationError as exc:
+                    report.violations.append(
+                        f"{action}({index}) from {state.describe()}: {exc}"
+                    )
+                    continue
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+                    _check_invariants(protocol, successor, report)
+    report.states_explored = len(seen)
+    return report
+
+
+def _enabled(action: str, include_ts: bool, include_evictions: bool) -> bool:
+    if action.startswith("ts_"):
+        return include_ts
+    if action == "evict":
+        return include_evictions
+    return True
+
+
+def _check_invariants(
+    protocol: CoherenceProtocol, state: KernelState, report: VerificationReport
+) -> None:
+    where = state.describe()
+    dirty = [
+        i
+        for i, cache in enumerate(state.caches)
+        if cache.present and cache.state.may_differ_from_memory
+    ]
+    if len(dirty) > 1:
+        report.violations.append(f"multiple dirty holders {dirty} in {where}")
+    if dirty:
+        for i, cache in enumerate(state.caches):
+            if i in dirty or not cache.present:
+                continue
+            if cache.state is not LineState.INVALID:
+                report.violations.append(
+                    f"local configuration broken: cache {i} is {cache.state} "
+                    f"while cache {dirty[0]} is dirty in {where}"
+                )
+    first_writers = [
+        i
+        for i, cache in enumerate(state.caches)
+        if cache.state is LineState.FIRST_WRITE
+    ]
+    if len(first_writers) > 1:
+        report.violations.append(
+            f"multiple first-write claimants {first_writers} in {where}"
+        )
+    for i, cache in enumerate(state.caches):
+        if cache.present and cache.state.readable_locally and not cache.has_latest:
+            report.violations.append(
+                f"stale readable copy at cache {i} ({cache.state}) in {where}"
+            )
+    holders = state.memory_has_latest or any(
+        cache.present and cache.has_latest for cache in state.caches
+    )
+    if not holders:
+        report.violations.append(f"latest value lost entirely in {where}")

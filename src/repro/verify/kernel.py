@@ -1,0 +1,339 @@
+"""A single-address abstract machine over N caches + memory.
+
+This is the paper's product machine (Section 4): each cache is the finite
+automaton defined by the protocol's transition tables, the memory is "yet
+another cache (although somewhat special) ... referred to as number 0",
+and actions involving other addresses are disconnected, so one address
+suffices.
+
+Values are abstracted to a single bit per copy — *does this copy hold the
+latest written value?* — which is exactly what the Lemma and Theorem are
+about.  Each high-level action (CPU read, CPU write, test-and-set,
+eviction) runs to completion atomically, faithfully including the
+interrupt/write-back/retry sub-steps and all broadcast absorption, because
+the shared bus serializes complete operations anyway.
+
+The kernel *raises* :class:`~repro.common.errors.VerificationError` the
+moment an action would return stale data or a protocol table rejects a
+stimulus it should handle; the checker turns those into reported
+violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError, VerificationError
+from repro.protocols.base import CoherenceProtocol, CpuReaction
+from repro.protocols.states import LineState
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractCache:
+    """One cache's abstract view of the single address.
+
+    Attributes:
+        state: protocol line state (NOT_PRESENT when the line is absent).
+        meta: protocol meta counter (bounded by the protocol, e.g. RWB's k).
+        has_latest: whether this copy equals the latest value written.
+    """
+
+    state: LineState = LineState.NOT_PRESENT
+    meta: int = 0
+    has_latest: bool = False
+
+    @property
+    def present(self) -> bool:
+        return self.state.is_present
+
+
+@dataclass(frozen=True, slots=True)
+class KernelState:
+    """One product-machine state: all caches plus the memory-latest bit."""
+
+    caches: tuple[AbstractCache, ...]
+    memory_has_latest: bool = True
+
+    def replace_cache(self, index: int, cache: AbstractCache) -> "KernelState":
+        """A copy of this state with cache *index* substituted."""
+        caches = list(self.caches)
+        caches[index] = cache
+        return KernelState(tuple(caches), self.memory_has_latest)
+
+    def describe(self) -> str:
+        """Compact rendering: states, latest-markers (*), memory bit."""
+        cells = ", ".join(
+            f"{c.state}{'*' if c.has_latest else ''}" for c in self.caches
+        )
+        mem = "mem*" if self.memory_has_latest else "mem"
+        return f"[{cells} | {mem}]"
+
+
+#: Action labels the kernel understands, parameterized by a cache index.
+ACTIONS = ("read", "write", "evict", "ts_success", "ts_fail")
+
+
+class SingleAddressKernel:
+    """Applies high-level actions to :class:`KernelState` values.
+
+    Args:
+        protocol: the (stateless) protocol instance whose tables drive
+            every transition.  This is the same object type the simulator
+            runs, so the checker verifies the production tables.
+    """
+
+    def __init__(self, protocol: CoherenceProtocol) -> None:
+        self.protocol = protocol
+
+    # ------------------------------------------------------------------ #
+    # action dispatch                                                     #
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, num_caches: int) -> KernelState:
+        """All lines absent; memory holds the only (latest) value —
+        the proof's initial state L_0 I_1 ... I_N."""
+        return KernelState(tuple(AbstractCache() for _ in range(num_caches)))
+
+    def apply(self, state: KernelState, action: str, index: int) -> KernelState:
+        """Run *action* by cache *index*; returns the successor state.
+
+        Raises:
+            VerificationError: when the action would observe stale data or
+                hits a protocol-table hole.
+        """
+        if action == "read":
+            return self._cpu_read(state, index)
+        if action == "write":
+            return self._cpu_write(state, index)
+        if action == "evict":
+            return self._evict(state, index)
+        if action == "ts_success":
+            return self._test_and_set(state, index, success=True)
+        if action == "ts_fail":
+            return self._test_and_set(state, index, success=False)
+        raise VerificationError(f"unknown kernel action {action!r}")
+
+    # ------------------------------------------------------------------ #
+    # CPU read                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _cpu_read(self, state: KernelState, index: int) -> KernelState:
+        me = state.caches[index]
+        reaction = self._cpu_reaction(self.protocol.on_cpu_read, me, "read")
+        if reaction.is_local_hit:
+            if not me.has_latest:
+                raise VerificationError(
+                    f"cache {index} read a stale cached value in {state.describe()}"
+                )
+            return state
+        # Bus read: possible interrupt/write-back, then the read completes
+        # (unless the write-back broadcast already satisfied it).
+        state = self._interrupt_phase(state, index)
+        me = state.caches[index]
+        if me.present and me.state.readable_locally:
+            # Early completion via broadcast absorption (RWB path).
+            if not me.has_latest:
+                raise VerificationError(
+                    f"cache {index} absorbed a stale value in {state.describe()}"
+                )
+            return state
+        if not state.memory_has_latest:
+            raise VerificationError(
+                f"bus read by cache {index} fetched stale memory in "
+                f"{state.describe()}"
+            )
+        state = self._broadcast_snoop(state, index, BusOp.READ, data_is_latest=True)
+        me = replace(
+            state.caches[index],
+            state=reaction.next_state,
+            meta=reaction.next_meta,
+            has_latest=True,
+        )
+        return state.replace_cache(index, me)
+
+    # ------------------------------------------------------------------ #
+    # CPU write                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _cpu_write(self, state: KernelState, index: int) -> KernelState:
+        me = state.caches[index]
+        reaction = self._cpu_reaction(self.protocol.on_cpu_write, me, "write")
+        if reaction.is_local_hit:
+            # A purely local write: this copy is now the only latest one.
+            state = self._new_version(state, index)
+            me = replace(
+                state.caches[index],
+                state=reaction.next_state,
+                meta=reaction.next_meta,
+                has_latest=True,
+            )
+            return state.replace_cache(index, me)
+        if reaction.bus_op is BusOp.READ:
+            # Fill-before-write policy: complete the fill, then retry.
+            state = self._cpu_read(state, index)
+            return self._cpu_write(state, index)
+        state = self._new_version(state, index)
+        if reaction.bus_op is BusOp.WRITE:
+            state = KernelState(state.caches, memory_has_latest=True)
+            state = self._broadcast_snoop(
+                state, index, BusOp.WRITE, data_is_latest=True
+            )
+        elif reaction.bus_op is BusOp.INVALIDATE:
+            state = KernelState(state.caches, memory_has_latest=False)
+            state = self._broadcast_snoop(
+                state, index, BusOp.INVALIDATE, data_is_latest=False
+            )
+        else:
+            raise VerificationError(
+                f"unexpected write bus op {reaction.bus_op} from "
+                f"{self.protocol.name}"
+            )
+        me = replace(
+            state.caches[index],
+            state=reaction.next_state,
+            meta=reaction.next_meta,
+            has_latest=True,
+        )
+        return state.replace_cache(index, me)
+
+    # ------------------------------------------------------------------ #
+    # eviction                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _evict(self, state: KernelState, index: int) -> KernelState:
+        me = state.caches[index]
+        if not me.present:
+            return state
+        if self.protocol.needs_writeback(me.state):
+            # The write-back is a bus write of our value.
+            state = KernelState(state.caches, memory_has_latest=me.has_latest)
+            state = self._broadcast_snoop(
+                state, index, BusOp.WRITE, data_is_latest=me.has_latest
+            )
+        return state.replace_cache(index, AbstractCache())
+
+    # ------------------------------------------------------------------ #
+    # test-and-set                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _test_and_set(
+        self, state: KernelState, index: int, success: bool
+    ) -> KernelState:
+        # Phase 1: read-with-lock.  If a dirty copy exists anywhere
+        # (including our own cache, which the simulator flushes first) it
+        # reaches memory before the locked read.
+        me = state.caches[index]
+        if me.present and self.protocol.needs_writeback(me.state):
+            state = KernelState(state.caches, memory_has_latest=me.has_latest)
+            state = self._broadcast_snoop(
+                state, index, BusOp.WRITE, data_is_latest=me.has_latest
+            )
+            supplied = replace(
+                state.caches[index],
+                state=self.protocol.state_after_supplying(me.state),
+                meta=0,
+            )
+            state = state.replace_cache(index, supplied)
+        state = self._interrupt_phase(state, index)
+        if not state.memory_has_latest:
+            raise VerificationError(
+                f"read-with-lock by cache {index} fetched stale memory in "
+                f"{state.describe()}"
+            )
+        state = self._broadcast_snoop(state, index, BusOp.READ, data_is_latest=True)
+        fail_state, fail_meta = self.protocol.state_after_ts_fail()
+        me = replace(
+            state.caches[index], state=fail_state, meta=fail_meta, has_latest=True
+        )
+        state = state.replace_cache(index, me)
+        if not success:
+            return state
+        # Phase 2: write-with-unlock — a through-write of the new value.
+        state = self._new_version(state, index)
+        state = KernelState(state.caches, memory_has_latest=True)
+        state = self._broadcast_snoop(state, index, BusOp.WRITE, data_is_latest=True)
+        success_state, success_meta = self.protocol.state_after_ts_success()
+        me = replace(
+            state.caches[index],
+            state=success_state,
+            meta=success_meta,
+            has_latest=True,
+        )
+        return state.replace_cache(index, me)
+
+    # ------------------------------------------------------------------ #
+    # sub-steps                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _interrupt_phase(self, state: KernelState, reader: int) -> KernelState:
+        """If some other cache holds a dirty copy, it interrupts the bus
+        read: its value is written back (a bus write everyone snoops) and
+        its own state demotes per the protocol."""
+        suppliers = [
+            i
+            for i, cache in enumerate(state.caches)
+            if i != reader
+            and cache.present
+            and self.protocol.interrupts_bus_read(cache.state)
+        ]
+        if not suppliers:
+            return state
+        if len(suppliers) > 1:
+            raise VerificationError(
+                f"{len(suppliers)} caches want to supply in {state.describe()}"
+            )
+        supplier = suppliers[0]
+        dirty = state.caches[supplier]
+        state = KernelState(state.caches, memory_has_latest=dirty.has_latest)
+        state = self._broadcast_snoop(
+            state, supplier, BusOp.WRITE, data_is_latest=dirty.has_latest
+        )
+        demoted = replace(
+            state.caches[supplier],
+            state=self.protocol.state_after_supplying(dirty.state),
+            meta=0,
+        )
+        return state.replace_cache(supplier, demoted)
+
+    def _broadcast_snoop(
+        self, state: KernelState, originator: int, op: BusOp, data_is_latest: bool
+    ) -> KernelState:
+        """Every other present line snoops the completed transaction."""
+        caches = list(state.caches)
+        for i, cache in enumerate(caches):
+            if i == originator or not cache.present:
+                continue
+            try:
+                reaction = self.protocol.on_snoop(cache.state, cache.meta, op)
+            except CacheError as exc:
+                raise VerificationError(
+                    f"protocol table hole while cache {i} snoops {op.value} "
+                    f"in {state.describe()}: {exc}"
+                ) from exc
+            has_latest = cache.has_latest
+            if reaction.absorb_value:
+                has_latest = data_is_latest
+            caches[i] = AbstractCache(
+                state=reaction.next_state,
+                meta=reaction.next_meta,
+                has_latest=has_latest,
+            )
+        return KernelState(tuple(caches), state.memory_has_latest)
+
+    def _new_version(self, state: KernelState, writer: int) -> KernelState:
+        """A new value is born at *writer*: every other copy and memory
+        become stale until explicitly refreshed."""
+        caches = [
+            replace(cache, has_latest=(i == writer))
+            for i, cache in enumerate(state.caches)
+        ]
+        return KernelState(tuple(caches), memory_has_latest=False)
+
+    def _cpu_reaction(self, table, cache: AbstractCache, what: str) -> CpuReaction:
+        try:
+            return table(cache.state, cache.meta)
+        except CacheError as exc:
+            raise VerificationError(
+                f"protocol table hole for CPU {what} in state {cache.state}: {exc}"
+            ) from exc

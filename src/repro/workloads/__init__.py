@@ -1,0 +1,64 @@
+"""Workload generators and runners.
+
+* :mod:`repro.workloads.synthetic` — parameterized random reference
+  streams with code/local/shared structure and Zipf locality (the
+  machine-wide traffic driver behind the Section 7 utilization sweeps).
+* :mod:`repro.workloads.cmstar` — Cm*-style application traces and the
+  write-through cache emulation behind Table 1-1 (after Raskin 1978).
+* :mod:`repro.workloads.locks` — Section 6 lock-contention runners.
+* :mod:`repro.workloads.arrayinit` — the Section 5 array-initialization
+  motivating example (RB pays two bus writes per element; RWB pays one).
+* :mod:`repro.workloads.producer_consumer` — the "written by one PE, then
+  read by others" cyclical pattern RWB optimizes.
+* :mod:`repro.workloads.counter` — shared-counter updates: TTS-lock-
+  protected increment vs the fetch-and-add extension.
+* :mod:`repro.workloads.systolic` — a back-pressured systolic pipeline
+  after the paper's companion report [RUD84].
+* :mod:`repro.workloads.tracefile` — save/replay reference streams as
+  versioned JSON for bit-exact archival.
+"""
+
+from repro.workloads.arrayinit import ArrayInitResult, run_array_init
+from repro.workloads.cmstar import (
+    APP_PDE,
+    APP_QSORT,
+    CmStarApplication,
+    CmStarCacheEmulator,
+    EmulationResult,
+    generate_application_trace,
+)
+from repro.workloads.locks import LockContentionResult, run_lock_contention
+from repro.workloads.producer_consumer import (
+    ProducerConsumerResult,
+    run_producer_consumer,
+)
+from repro.workloads.counter import CounterResult, run_shared_counter
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    generate_synthetic_streams,
+)
+from repro.workloads.systolic import SystolicResult, run_systolic
+from repro.workloads.tracefile import load_streams, save_streams
+
+__all__ = [
+    "APP_PDE",
+    "APP_QSORT",
+    "ArrayInitResult",
+    "CmStarApplication",
+    "CounterResult",
+    "CmStarCacheEmulator",
+    "EmulationResult",
+    "LockContentionResult",
+    "ProducerConsumerResult",
+    "SyntheticWorkload",
+    "SystolicResult",
+    "generate_application_trace",
+    "generate_synthetic_streams",
+    "load_streams",
+    "run_array_init",
+    "run_lock_contention",
+    "run_producer_consumer",
+    "run_shared_counter",
+    "run_systolic",
+    "save_streams",
+]

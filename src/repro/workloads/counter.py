@@ -1,0 +1,151 @@
+"""Shared-counter workload: lock-protected increment vs fetch-and-add.
+
+The paper's lineage (the NYU Ultracomputer, [GOT83], co-authored by
+Rudolph) argued for combining fetch-and-add as the scalable alternative to
+lock-protected updates.  On a single snooping bus there is no combining
+network, but the comparison is still instructive: a lock-based increment
+costs an acquire (locked RMW), a read, a write and a release per update,
+while fetch-and-add does the whole update in one locked RMW.
+
+Both variants must end with counter == num_pes * increments — the
+mutual-exclusion/atomicity check the tests assert across every protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.processor.program import Assembler, Program
+from repro.sync.primitives import emit_release, emit_tts_acquire
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+#: Shared-word layout of the counter workload.
+LOCK_ADDRESS = 0
+COUNTER_ADDRESS = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CounterResult:
+    """Outcome of one shared-counter run.
+
+    Attributes:
+        protocol: coherence protocol name.
+        method: ``"lock"`` or ``"faa"``.
+        num_pes: incrementing processors.
+        increments_per_pe: updates each PE performed.
+        final_count: the counter's final value (must equal the product).
+        cycles: run length.
+        bus_transactions: total fabric traffic.
+        locked_rmws: read-with-lock bus operations issued.
+    """
+
+    protocol: str
+    method: str
+    num_pes: int
+    increments_per_pe: int
+    final_count: int
+    cycles: int
+    bus_transactions: int
+    locked_rmws: int
+
+    @property
+    def correct(self) -> bool:
+        """Whether no increment was lost."""
+        return self.final_count == self.num_pes * self.increments_per_pe
+
+    @property
+    def transactions_per_increment(self) -> float:
+        """Bus transactions per counter update — the figure of merit."""
+        return self.bus_transactions / (self.num_pes * self.increments_per_pe)
+
+
+def build_lock_counter_program(increments: int) -> Program:
+    """TTS-lock-protected ``counter += 1`` loop."""
+    _check(increments)
+    asm = Assembler()
+    asm.loadi(1, LOCK_ADDRESS)
+    asm.loadi(3, 1)
+    asm.loadi(4, 0)
+    asm.loadi(7, COUNTER_ADDRESS)
+    asm.loadi(5, increments)
+    asm.label("round")
+    emit_tts_acquire(asm, 1, 2, 3, "acq")
+    asm.load(6, 7)
+    asm.add(6, 6, 3)
+    asm.store(7, 6)
+    emit_release(asm, 1, 4)
+    asm.sub(5, 5, 3)
+    asm.bnez(5, "round")
+    asm.halt()
+    return asm.assemble()
+
+
+def build_faa_counter_program(increments: int) -> Program:
+    """One atomic fetch-and-add per update."""
+    _check(increments)
+    asm = Assembler()
+    asm.loadi(7, COUNTER_ADDRESS)
+    asm.loadi(3, 1)
+    asm.loadi(5, increments)
+    asm.label("round")
+    asm.faa(6, 7, 3)
+    asm.sub(5, 5, 3)
+    asm.bnez(5, "round")
+    asm.halt()
+    return asm.assemble()
+
+
+def run_shared_counter(
+    protocol: str,
+    method: str = "faa",
+    num_pes: int = 4,
+    increments_per_pe: int = 10,
+    cache_lines: int = 16,
+    protocol_options: dict | None = None,
+    max_cycles: int = 5_000_000,
+) -> CounterResult:
+    """Run the shared-counter workload and collect the comparison metrics.
+
+    Args:
+        protocol: protocol registry name.
+        method: ``"lock"`` (TTS-protected read/add/store) or ``"faa"``.
+        num_pes: concurrent incrementers.
+        increments_per_pe: updates per PE.
+        cache_lines: per-cache frames.
+        protocol_options: forwarded to the protocol factory.
+        max_cycles: livelock guard.
+    """
+    if method == "lock":
+        program = build_lock_counter_program(increments_per_pe)
+    elif method == "faa":
+        program = build_faa_counter_program(increments_per_pe)
+    else:
+        raise ConfigurationError(f"method must be 'lock' or 'faa', got {method!r}")
+    config = MachineConfig(
+        num_pes=num_pes,
+        protocol=protocol,
+        protocol_options=protocol_options or {},
+        cache_lines=cache_lines,
+        memory_size=64,
+    )
+    machine = Machine(config)
+    machine.load_programs([program] * num_pes)
+    cycles = machine.run(max_cycles=max_cycles)
+    bus = machine.stats.bag("bus")
+    return CounterResult(
+        protocol=protocol,
+        method=method,
+        num_pes=num_pes,
+        increments_per_pe=increments_per_pe,
+        final_count=machine.latest_value(COUNTER_ADDRESS),
+        cycles=cycles,
+        bus_transactions=machine.total_bus_traffic(),
+        locked_rmws=bus.get("bus.op.read_lock"),
+    )
+
+
+def _check(increments: int) -> None:
+    if increments < 1:
+        raise ConfigurationError(f"need >= 1 increment, got {increments}")

@@ -1,0 +1,135 @@
+"""Lock-contention runners — the Section 6 hot-spot experiment.
+
+M processors hammer one shared lock; the runner measures total bus
+transactions, how many of them were spin overhead, and completion time.
+Under plain test-and-set every failed attempt is a locked bus
+read-modify-write (Figure 6-1's "Bus Traffic" annotation); under
+test-and-test-and-set failed attempts spin in the cache (Figures 6-2 and
+6-3), so bus traffic collapses to roughly the successful hand-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.memory.main_memory import LockGranularity
+from repro.sync.locks import build_lock_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class LockContentionResult:
+    """Measured outcome of one contention run.
+
+    Attributes:
+        protocol: coherence protocol name.
+        num_pes: contenders.
+        rounds_per_pe: acquire/release pairs per PE.
+        use_tts: whether the spin used test-and-test-and-set.
+        cycles: machine cycles to completion.
+        bus_transactions: completed bus transactions of every kind.
+        read_modify_writes: locked bus reads (every TS attempt costs one).
+        bus_reads: plain bus reads (TTS test misses, handoff refreshes).
+        bus_writes: bus writes incl. write-backs and unlock-writes.
+        invalidations: snoop-invalidations observed by caches.
+        nacks: bus grant attempts refused by the memory lock (visible cost
+            of coarse lock granularities).
+    """
+
+    protocol: str
+    num_pes: int
+    rounds_per_pe: int
+    use_tts: bool
+    cycles: int
+    bus_transactions: int
+    read_modify_writes: int
+    bus_reads: int
+    bus_writes: int
+    invalidations: int
+    nacks: int = 0
+
+    @property
+    def transactions_per_acquisition(self) -> float:
+        """Bus transactions per successful lock hand-off — the paper's
+        figure of merit for the hot spot."""
+        total_acquisitions = self.num_pes * self.rounds_per_pe
+        return self.bus_transactions / total_acquisitions
+
+
+def run_lock_contention(
+    protocol: str,
+    num_pes: int = 4,
+    rounds_per_pe: int = 10,
+    use_tts: bool = True,
+    critical_cycles: int = 8,
+    think_cycles: int = 0,
+    cache_lines: int = 16,
+    protocol_options: dict | None = None,
+    max_cycles: int = 5_000_000,
+    lock_granularity: LockGranularity = LockGranularity.WORD,
+    num_locks: int = 1,
+) -> LockContentionResult:
+    """Run the contention workload and collect the traffic breakdown.
+
+    Args:
+        protocol: protocol registry name.
+        num_pes: contending processors (1 process per processor, as in
+            Section 6.1's example).
+        rounds_per_pe: lock acquisitions each PE must complete.
+        use_tts: TTS (True) or plain TS (False) spin.
+        critical_cycles: cycles held inside the critical section.
+        think_cycles: cycles between release and next attempt.
+        cache_lines: per-cache size (small is fine; one hot word).
+        protocol_options: forwarded to the protocol factory.
+        max_cycles: livelock guard.
+        lock_granularity: how much memory a read-with-lock reserves
+            (footnote 7's design space: per-word, per-module, or all of
+            memory).
+        num_locks: independent locks, placed one per memory module (256
+            words apart); PEs are striped across them.  With
+            ``num_locks > 1`` the ALL granularity creates false contention
+            between unrelated locks, while WORD and MODULE stay parallel.
+    """
+    if num_pes < 1 or rounds_per_pe < 1:
+        raise ConfigurationError("need >= 1 PE and >= 1 round")
+    if num_locks < 1:
+        raise ConfigurationError(f"need >= 1 lock, got {num_locks}")
+    config = MachineConfig(
+        num_pes=num_pes,
+        protocol=protocol,
+        protocol_options=protocol_options or {},
+        cache_lines=cache_lines,
+        memory_size=max(64, num_locks * 256 + 64),
+        lock_granularity=lock_granularity,
+    )
+    machine = Machine(config)
+    programs = []
+    for pe in range(num_pes):
+        programs.append(
+            build_lock_program(
+                lock_address=(pe % num_locks) * 256,
+                rounds=rounds_per_pe,
+                use_tts=use_tts,
+                critical_cycles=critical_cycles,
+                think_cycles=think_cycles,
+            )
+        )
+    machine.load_programs(programs)
+    cycles = machine.run(max_cycles=max_cycles)
+    bus = machine.stats.bag("bus")
+    invalidations = machine.stats.total("cache.invalidations", "cache")
+    return LockContentionResult(
+        protocol=protocol,
+        num_pes=num_pes,
+        rounds_per_pe=rounds_per_pe,
+        use_tts=use_tts,
+        cycles=cycles,
+        bus_transactions=machine.total_bus_traffic(),
+        read_modify_writes=bus.get("bus.op.read_lock"),
+        bus_reads=bus.get("bus.op.read"),
+        bus_writes=bus.get("bus.op.write") + bus.get("bus.op.write_unlock"),
+        invalidations=invalidations,
+        nacks=bus.get("bus.nacks"),
+    )

@@ -1,0 +1,194 @@
+"""The cyclical sharing pattern of Section 5: write once, read by many.
+
+"Many shared variables tend to be referenced in the cyclical pattern:
+written by some one PE and then read by others.  In such cases, the bus
+write caused by a PE writing to a variable in the shared configuration
+simply broadcasts the new value to all interested caches.  Subsequent read
+references will cause no bus activity."
+
+One producer repeatedly rewrites a block of shared words and bumps a flag;
+consumers wait on the flag, read every word, and acknowledge.  The three
+protocols separate cleanly on consumer read traffic:
+
+* write-once (event-only): every consumer misses on every item;
+* RB (read-broadcast): one bus read per item serves *all* consumers;
+* RWB (write-broadcast): consumers absorbed the producer's writes, so
+  their reads are pure cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.processor.program import Assembler, Program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class ProducerConsumerResult:
+    """Traffic breakdown of one producer/consumer run.
+
+    Attributes:
+        protocol: coherence protocol name.
+        items: shared words per generation.
+        generations: producer rounds.
+        consumers: reader count.
+        cycles: run length.
+        bus_reads: plain bus reads, fabric-wide.
+        bus_writes: data-carrying bus writes.
+        consumer_read_hits: cache-hit reads summed over consumers.
+        consumer_read_misses: missed reads summed over consumers.
+        invalidations: snoop invalidations across all caches.
+    """
+
+    protocol: str
+    items: int
+    generations: int
+    consumers: int
+    cycles: int
+    bus_reads: int
+    bus_writes: int
+    consumer_read_hits: int
+    consumer_read_misses: int
+    invalidations: int
+
+    @property
+    def consumer_reads_per_item(self) -> float:
+        """Bus reads per (item, generation) — the Section 5 figure of
+        merit (C for event-only schemes, ~1 for RB, ~0 for RWB)."""
+        return self.bus_reads / (self.items * self.generations)
+
+
+def _producer_program(
+    data_base: int, flag: int, ack_base: int, items: int,
+    generations: int, consumers: int,
+) -> Program:
+    asm = Assembler()
+    asm.loadi(1, data_base)
+    asm.loadi(2, flag)
+    asm.loadi(4, 1)
+    asm.loadi(8, 0)            # current generation
+    asm.loadi(9, generations)
+    asm.label("gen")
+    asm.add(8, 8, 4)
+    asm.mov(6, 1)              # item cursor
+    asm.loadi(5, items)
+    asm.label("item")
+    asm.store(6, 8)            # data[i] = generation
+    asm.add(6, 6, 4)
+    asm.sub(5, 5, 4)
+    asm.bnez(5, "item")
+    asm.store(2, 8)            # publish: flag = generation
+    # Wait for every consumer's acknowledgement before the next round.
+    for consumer in range(consumers):
+        asm.loadi(11, ack_base + consumer)
+        asm.label(f"ackwait{consumer}")
+        asm.load(12, 11)
+        asm.sub(12, 12, 8)
+        asm.bnez(12, f"ackwait{consumer}")
+    asm.sub(10, 9, 8)
+    asm.bnez(10, "gen")
+    asm.halt()
+    return asm.assemble()
+
+
+def _consumer_program(
+    data_base: int, flag: int, ack_word: int, items: int, generations: int
+) -> Program:
+    asm = Assembler()
+    asm.loadi(1, data_base)
+    asm.loadi(2, flag)
+    asm.loadi(3, ack_word)
+    asm.loadi(4, 1)
+    asm.loadi(8, 0)            # expected generation
+    asm.loadi(9, generations)
+    asm.label("gen")
+    asm.add(8, 8, 4)
+    asm.label("wait")          # spin (in cache) until flag == generation
+    asm.load(5, 2)
+    asm.sub(5, 5, 8)
+    asm.bnez(5, "wait")
+    asm.mov(6, 1)              # read every item
+    asm.loadi(7, items)
+    asm.label("item")
+    asm.load(10, 6)
+    asm.add(6, 6, 4)
+    asm.sub(7, 7, 4)
+    asm.bnez(7, "item")
+    asm.store(3, 8)            # acknowledge this generation
+    asm.sub(10, 9, 8)
+    asm.bnez(10, "gen")
+    asm.halt()
+    return asm.assemble()
+
+
+def run_producer_consumer(
+    protocol: str,
+    items: int = 16,
+    generations: int = 4,
+    consumers: int = 3,
+    cache_lines: int = 64,
+    protocol_options: dict | None = None,
+    max_cycles: int = 5_000_000,
+) -> ProducerConsumerResult:
+    """Run the pattern and collect the traffic breakdown.
+
+    Args:
+        protocol: protocol registry name.
+        items: shared words rewritten per generation (must fit the cache,
+            so the contrast is about coherence, not capacity).
+        generations: producer rounds.
+        consumers: number of reading PEs.
+        cache_lines: per-cache frames.
+        protocol_options: forwarded to the protocol factory.
+        max_cycles: livelock guard.
+    """
+    if items < 1 or generations < 1 or consumers < 1:
+        raise ConfigurationError("items, generations and consumers must be >= 1")
+    if items + consumers + 1 >= cache_lines:
+        raise ConfigurationError(
+            "choose cache_lines > items + consumers + 1 so capacity misses "
+            "do not pollute the coherence comparison"
+        )
+    data_base = 16
+    flag = 0
+    ack_base = 1
+    config = MachineConfig(
+        num_pes=1 + consumers,
+        protocol=protocol,
+        protocol_options=protocol_options or {},
+        cache_lines=cache_lines,
+        memory_size=data_base + items + 16,
+    )
+    machine = Machine(config)
+    programs = [
+        _producer_program(data_base, flag, ack_base, items, generations, consumers)
+    ]
+    for consumer in range(consumers):
+        programs.append(
+            _consumer_program(data_base, flag, ack_base + consumer, items, generations)
+        )
+    machine.load_programs(programs)
+    cycles = machine.run(max_cycles=max_cycles)
+    bus = machine.stats.bag("bus")
+    stats = machine.stats
+    consumer_hits = sum(
+        stats.bag(f"cache{1 + c}").get("cache.read_hits") for c in range(consumers)
+    )
+    consumer_misses = sum(
+        stats.bag(f"cache{1 + c}").get("cache.read_misses") for c in range(consumers)
+    )
+    return ProducerConsumerResult(
+        protocol=protocol,
+        items=items,
+        generations=generations,
+        consumers=consumers,
+        cycles=cycles,
+        bus_reads=bus.get("bus.op.read"),
+        bus_writes=bus.get("bus.op.write"),
+        consumer_read_hits=consumer_hits,
+        consumer_read_misses=consumer_misses,
+        invalidations=stats.total("cache.invalidations", "cache"),
+    )

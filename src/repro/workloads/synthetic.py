@@ -1,0 +1,161 @@
+"""Parameterized synthetic reference streams.
+
+Models the average reference pattern the paper assumes (Section 2):
+
+1. each item is read more often than written;
+2. local and read-only (code) references dominate shared read/write ones;
+3. shared variables act local for stretches (modelled by burstiness:
+   a PE re-references its last shared address with some probability).
+
+The address space is laid out as ``[shared | code | local_0 | local_1 |
+...]`` so streams can be fed both to the full coherent machine and to the
+class-tagged Cm* emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.common.types import AccessType, DataClass, MemRef
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticWorkload:
+    """Shape parameters for one synthetic run.
+
+    Attributes:
+        num_pes: number of reference streams to generate.
+        refs_per_pe: length of each stream.
+        shared_words: size of the shared region (addresses start at 0).
+        code_words: size of the shared read-only code region.
+        local_words: per-PE private region size.
+        p_code: probability a reference is an instruction fetch.
+        p_local: probability a reference is to the PE's private data.
+        p_shared: probability a reference is to shared data
+            (``p_code + p_local + p_shared`` must be 1).
+        p_local_write: fraction of local references that are writes.
+        p_shared_write: fraction of shared references that are writes.
+        p_shared_repeat: probability a shared reference re-uses the PE's
+            previous shared address (assumption 3's "act like local
+            variables for moderately long periods").
+        code_skew: Zipf skew of instruction fetches (loop locality).
+        local_skew: Zipf skew of private-data references.
+        seed: base seed; per-PE streams are derived from it.
+    """
+
+    num_pes: int = 4
+    refs_per_pe: int = 2000
+    shared_words: int = 64
+    code_words: int = 2048
+    local_words: int = 1024
+    p_code: float = 0.55
+    p_local: float = 0.33
+    p_shared: float = 0.12
+    p_local_write: float = 0.25
+    p_shared_write: float = 0.3
+    p_shared_repeat: float = 0.5
+    code_skew: float = 0.8
+    local_skew: float = 0.6
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise on inconsistent parameters."""
+        if self.num_pes < 1 or self.refs_per_pe < 0:
+            raise ConfigurationError("need >= 1 PE and >= 0 refs")
+        if min(self.shared_words, self.code_words, self.local_words) < 1:
+            raise ConfigurationError("all regions need >= 1 word")
+        total = self.p_code + self.p_local + self.p_shared
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"class probabilities must sum to 1, got {total}"
+            )
+        for p in (
+            self.p_local_write,
+            self.p_shared_write,
+            self.p_shared_repeat,
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"probability {p} not in [0, 1]")
+
+    # ------------------------------ layout ----------------------------- #
+
+    @property
+    def code_base(self) -> int:
+        """First address of the code region."""
+        return self.shared_words
+
+    def local_base(self, pe: int) -> int:
+        """First address of PE *pe*'s private region."""
+        return self.shared_words + self.code_words + pe * self.local_words
+
+    @property
+    def memory_words(self) -> int:
+        """Total address-space size this workload touches."""
+        return self.shared_words + self.code_words + self.num_pes * self.local_words
+
+
+def generate_synthetic_streams(workload: SyntheticWorkload) -> list[list[MemRef]]:
+    """Generate one reference stream per PE.
+
+    Returns:
+        ``streams[pe]`` is PE *pe*'s list of :class:`MemRef`, class-tagged
+        so the same streams drive both coherent machines and the Cm*
+        emulation.
+    """
+    workload.validate()
+    streams = []
+    for pe in range(workload.num_pes):
+        rng = DeterministicRng(workload.seed).split("synthetic", pe)
+        streams.append(_one_stream(workload, pe, rng))
+    return streams
+
+
+def _one_stream(
+    workload: SyntheticWorkload, pe: int, rng: DeterministicRng
+) -> list[MemRef]:
+    refs: list[MemRef] = []
+    last_shared = 0
+    classes = (DataClass.CODE, DataClass.LOCAL, DataClass.SHARED)
+    weights = (workload.p_code, workload.p_local, workload.p_shared)
+    for _ in range(workload.refs_per_pe):
+        data_class = rng.weighted_choice(classes, weights)
+        if data_class is DataClass.CODE:
+            offset = rng.zipf_rank(workload.code_words, workload.code_skew)
+            refs.append(
+                MemRef(pe, AccessType.READ, workload.code_base + offset,
+                       data_class=DataClass.CODE)
+            )
+        elif data_class is DataClass.LOCAL:
+            offset = rng.zipf_rank(workload.local_words, workload.local_skew)
+            address = workload.local_base(pe) + offset
+            if rng.chance(workload.p_local_write):
+                refs.append(
+                    MemRef(pe, AccessType.WRITE, address,
+                           value=rng.uniform_int(0, 1 << 16),
+                           data_class=DataClass.LOCAL)
+                )
+            else:
+                refs.append(
+                    MemRef(pe, AccessType.READ, address,
+                           data_class=DataClass.LOCAL)
+                )
+        else:
+            if rng.chance(workload.p_shared_repeat):
+                address = last_shared
+            else:
+                address = rng.uniform_int(0, workload.shared_words - 1)
+                last_shared = address
+            if rng.chance(workload.p_shared_write):
+                refs.append(
+                    MemRef(pe, AccessType.WRITE, address,
+                           value=rng.uniform_int(0, 1 << 16),
+                           data_class=DataClass.SHARED)
+                )
+            else:
+                refs.append(
+                    MemRef(pe, AccessType.READ, address,
+                           data_class=DataClass.SHARED)
+                )
+    return refs

@@ -1,0 +1,156 @@
+"""A systolic pipeline on the MIMD machine — after [RUD84].
+
+The paper's companion report ("Executing Systolic Arrays by MIMD
+Multiprocessors", cited as [RUD84] and the source of "further examples of
+the RWB scheme") maps systolic computation onto shared-memory PEs: each
+pipeline stage spins on its input cell's sequence flag, consumes the
+value, computes, and deposits into the next stage's cell.  Every cell is
+the Section 5 cyclical pattern in miniature — written by one PE, read by
+exactly one other — so the schemes separate on hand-off cost.
+
+Memory layout per stage boundary ``i``: ``cell[i]`` (data) and ``flag[i]``
+(sequence number of the item currently in the cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.processor.program import Assembler, Program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True, slots=True)
+class SystolicResult:
+    """Outcome of one pipeline run.
+
+    Attributes:
+        protocol: coherence protocol name.
+        stages: pipeline depth (= number of PEs).
+        items: values pushed through the pipeline.
+        cycles: run length.
+        bus_transactions: total bus traffic.
+        outputs_correct: the sink produced ``input + stages`` for every
+            item (each stage adds 1).
+    """
+
+    protocol: str
+    stages: int
+    items: int
+    cycles: int
+    bus_transactions: int
+    outputs_correct: bool
+
+    @property
+    def cycles_per_item(self) -> float:
+        """Pipeline beat length: cycles per item once full."""
+        return self.cycles / self.items
+
+
+def _stage_program(
+    stage: int, items: int, cell_base: int, flag_base: int, ack_base: int,
+    is_source: bool, is_last: bool,
+) -> Program:
+    """Stage *stage* consumes boundary ``stage`` and feeds ``stage + 1``.
+
+    The source (stage 0) generates values 1..items instead of consuming.
+    Single-slot buffers with back-pressure: a producer may deposit item
+    ``seq`` only after the consumer acknowledged item ``seq - 1``.
+
+    Register map: r1 in-cell, r2 in-flag, r3 out-cell, r4 out-flag,
+    r5 sequence, r6 const 1, r7 scratch, r8 item counter, r9 value,
+    r10 out-ack, r11 in-ack, r12 sequence - 1.
+    """
+    asm = Assembler()
+    asm.loadi(1, cell_base + stage)
+    asm.loadi(2, flag_base + stage)
+    asm.loadi(3, cell_base + stage + 1)
+    asm.loadi(4, flag_base + stage + 1)
+    asm.loadi(10, ack_base + stage + 1)
+    asm.loadi(11, ack_base + stage)
+    asm.loadi(5, 0)                # sequence number
+    asm.loadi(6, 1)
+    asm.loadi(8, items)
+    asm.label("item")
+    asm.add(5, 5, 6)               # next sequence
+    if is_source:
+        asm.mov(9, 5)              # source emits the sequence itself
+    else:
+        asm.label("wait")          # spin until the input cell holds seq
+        asm.load(7, 2)
+        asm.sub(7, 7, 5)
+        asm.bnez(7, "wait")
+        asm.load(9, 1)             # consume
+        asm.store(11, 5)           # acknowledge: input slot is free
+    asm.add(9, 9, 6)               # the stage's "computation": value + 1
+    if not is_last:
+        # Back-pressure: the consumer must have acked item seq - 1
+        # (the final stage's output boundary has no consumer to wait for).
+        asm.sub(12, 5, 6)
+        asm.label("drain")
+        asm.load(7, 10)
+        asm.sub(7, 7, 12)
+        asm.bnez(7, "drain")
+    asm.store(3, 9)                # deposit data, then raise the flag
+    asm.store(4, 5)
+    asm.sub(8, 8, 6)
+    asm.bnez(8, "item")
+    asm.halt()
+    return asm.assemble()
+
+
+def run_systolic(
+    protocol: str,
+    stages: int = 4,
+    items: int = 8,
+    cache_lines: int = 32,
+    protocol_options: dict | None = None,
+    max_cycles: int = 5_000_000,
+) -> SystolicResult:
+    """Run an *stages*-deep pipeline pushing *items* values through.
+
+    Stage 0 sources values 1..items; each stage adds 1; the final cell
+    after the last stage accumulates ``item + stages``.
+
+    Args:
+        protocol: protocol registry name.
+        stages: pipeline depth (one PE per stage).
+        items: values pushed through.
+        cache_lines: per-cache frames.
+        protocol_options: forwarded to the protocol factory.
+        max_cycles: livelock guard.
+    """
+    if stages < 1 or items < 1:
+        raise ConfigurationError("need >= 1 stage and >= 1 item")
+    cell_base = 0
+    flag_base = stages + 2
+    ack_base = 2 * (stages + 2)
+    config = MachineConfig(
+        num_pes=stages,
+        protocol=protocol,
+        protocol_options=protocol_options or {},
+        cache_lines=cache_lines,
+        memory_size=3 * (stages + 2) + 8,
+    )
+    machine = Machine(config)
+    programs = [
+        _stage_program(stage, items, cell_base, flag_base, ack_base,
+                       is_source=(stage == 0), is_last=(stage == stages - 1))
+        for stage in range(stages)
+    ]
+    machine.load_programs(programs)
+    cycles = machine.run(max_cycles=max_cycles)
+    # The sink boundary holds the last item: items + stages (source emits
+    # the sequence, each of `stages` stages adds 1).
+    final = machine.latest_value(cell_base + stages)
+    outputs_correct = final == items + stages
+    return SystolicResult(
+        protocol=protocol,
+        stages=stages,
+        items=items,
+        cycles=cycles,
+        bus_transactions=machine.total_bus_traffic(),
+        outputs_correct=outputs_correct,
+    )

@@ -1,0 +1,84 @@
+"""Saving and loading reference-stream traces.
+
+Workload traces are the unit of reproducibility for trace-driven
+experiments (Table 1-1 and the synthetic sweeps); this module serializes
+per-PE :class:`~repro.common.types.MemRef` streams to a simple versioned
+JSON file so runs can be archived, diffed and replayed bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType, DataClass, MemRef
+
+#: Format marker written into every trace file.
+FORMAT = "repro-trace"
+VERSION = 1
+
+
+def save_streams(streams: list[list[MemRef]], path: str | Path) -> None:
+    """Write per-PE streams to *path* as versioned JSON.
+
+    Args:
+        streams: ``streams[pe]`` is PE *pe*'s reference list; every ref's
+            ``pe`` field must match its index.
+        path: destination file.
+    """
+    for pe, stream in enumerate(streams):
+        for ref in stream:
+            if ref.pe != pe:
+                raise ConfigurationError(
+                    f"stream {pe} contains a reference for PE {ref.pe}"
+                )
+    payload = {
+        "format": FORMAT,
+        "version": VERSION,
+        "streams": [
+            [
+                [ref.access.name, ref.address, ref.value, ref.data_class.name]
+                for ref in stream
+            ]
+            for stream in streams
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_streams(path: str | Path) -> list[list[MemRef]]:
+    """Read per-PE streams previously written by :func:`save_streams`.
+
+    Raises:
+        ConfigurationError: on a missing/invalid file or unknown version.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError as exc:
+        raise ConfigurationError(f"trace file {path} not found") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"trace file {path} is not JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise ConfigurationError(f"{path} is not a repro trace file")
+    if payload.get("version") != VERSION:
+        raise ConfigurationError(
+            f"{path} has trace version {payload.get('version')}; this "
+            f"build reads version {VERSION}"
+        )
+    streams: list[list[MemRef]] = []
+    for pe, raw_stream in enumerate(payload["streams"]):
+        stream = []
+        for access_name, address, value, class_name in raw_stream:
+            try:
+                access = AccessType[access_name]
+                data_class = DataClass[class_name]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"{path}: unknown enum value {exc} in stream {pe}"
+                ) from exc
+            stream.append(
+                MemRef(pe, access, address, value=value, data_class=data_class)
+            )
+        streams.append(stream)
+    return streams

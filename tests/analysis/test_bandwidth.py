@@ -1,0 +1,93 @@
+"""Unit tests for the Section 7 bandwidth model."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    UtilizationPoint,
+    find_saturation_knee,
+    max_processors,
+    measure_utilization,
+    per_bus_demand_macs,
+    required_bandwidth_macs,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestAnalyticModel:
+    def test_paper_worked_example(self):
+        """1/h = 10%, m = 128, x = 1 MACS => SBB = 12.8 MACS."""
+        assert required_bandwidth_macs(128, 1.0, 0.10) == pytest.approx(12.8)
+
+    def test_linear_in_processors(self):
+        assert required_bandwidth_macs(64, 1.0, 0.10) == pytest.approx(6.4)
+
+    def test_linear_in_miss_ratio(self):
+        assert required_bandwidth_macs(128, 1.0, 0.05) == pytest.approx(6.4)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            required_bandwidth_macs(0, 1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            required_bandwidth_macs(1, -1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            required_bandwidth_macs(1, 1.0, 1.5)
+
+    def test_max_processors_inverts_the_example(self):
+        assert max_processors(12.8, 1.0, 0.10) == 128
+
+    def test_max_processors_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            max_processors(0.0, 1.0, 0.1)
+
+    def test_max_processors_rejects_zero_demand(self):
+        with pytest.raises(ConfigurationError):
+            max_processors(10.0, 1.0, 0.0)
+
+    def test_dual_bus_halves_demand(self):
+        total = required_bandwidth_macs(128, 1.0, 0.10)
+        half = per_bus_demand_macs(128, 1.0, 0.10, num_buses=2)
+        assert half == pytest.approx(total / 2)
+
+    def test_per_bus_rejects_zero_buses(self):
+        with pytest.raises(ConfigurationError):
+            per_bus_demand_macs(4, 1.0, 0.1, num_buses=0)
+
+
+class TestSaturationKnee:
+    def point(self, m, utilization):
+        return UtilizationPoint(processors=m, num_buses=1,
+                                utilization=utilization, cycles=100,
+                                instructions=100)
+
+    def test_finds_first_crossing(self):
+        points = [self.point(2, 0.5), self.point(4, 0.92), self.point(8, 0.99)]
+        assert find_saturation_knee(points) == 4
+
+    def test_none_when_unsaturated(self):
+        points = [self.point(2, 0.5), self.point(4, 0.7)]
+        assert find_saturation_knee(points) is None
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            find_saturation_knee([], threshold=0.0)
+
+    def test_throughput_property(self):
+        point = UtilizationPoint(2, 1, 0.5, cycles=200, instructions=100)
+        assert point.throughput == 0.5
+
+    def test_throughput_zero_cycles(self):
+        point = UtilizationPoint(2, 1, 0.0, cycles=0, instructions=0)
+        assert point.throughput == 0.0
+
+
+class TestSimulatedUtilization:
+    def test_utilization_grows_with_processors(self):
+        small = measure_utilization("rwb", 2, refs_per_pe=150)
+        large = measure_utilization("rwb", 8, refs_per_pe=150)
+        assert large.utilization >= small.utilization
+
+    def test_dual_bus_relieves_load(self):
+        single = measure_utilization("rwb", 4, num_buses=1, refs_per_pe=150)
+        dual = measure_utilization("rwb", 4, num_buses=2, refs_per_pe=150)
+        assert dual.utilization < single.utilization
+        assert dual.throughput > single.throughput

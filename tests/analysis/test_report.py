@@ -1,0 +1,52 @@
+"""Tests for the machine-report renderer."""
+
+from repro.analysis.report import (
+    bus_report,
+    cache_report,
+    machine_report,
+    pe_report,
+)
+from repro.sync.locks import build_lock_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def finished_machine():
+    machine = Machine(
+        MachineConfig(num_pes=2, protocol="rwb", cache_lines=8,
+                      memory_size=64)
+    )
+    program = build_lock_program(0, rounds=3, use_tts=True)
+    machine.load_programs([program] * 2)
+    machine.run(max_cycles=1_000_000)
+    return machine
+
+
+class TestReports:
+    def test_cache_report_lists_every_cache(self):
+        machine = finished_machine()
+        text = cache_report(machine)
+        assert "cache0" in text and "cache1" in text
+        assert "Miss coh." in text
+
+    def test_bus_report_has_op_mix(self):
+        text = bus_report(finished_machine())
+        assert "read-with-lock" in text
+        assert "utilization" in text
+
+    def test_pe_report_lists_every_pe(self):
+        text = pe_report(finished_machine())
+        assert "pe0" in text and "pe1" in text
+
+    def test_machine_report_combines_sections(self):
+        machine = finished_machine()
+        text = machine_report(machine)
+        assert "Machine report" in text
+        assert "Cache behaviour" in text
+        assert "Bus activity" in text
+        assert "Processing elements" in text
+
+    def test_driverless_machine_skips_pe_section(self):
+        machine = Machine(MachineConfig(num_pes=1, memory_size=64))
+        text = machine_report(machine)
+        assert "Processing elements" not in text

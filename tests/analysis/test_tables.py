@@ -1,0 +1,49 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.common.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(["A", "B"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "A" in lines[0] and "B" in lines[0]
+
+    def test_title_line(self):
+        text = render_table(["A"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_rejects_no_columns(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["A", "B"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["X"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_bool_formatting(self):
+        text = render_table(["X"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_wide_cells_widen_column(self):
+        text = render_table(["A"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell-value")
+
+    def test_right_alignment_of_numbers(self):
+        text = render_table(["Value"], [[1], [100]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  1") or rows[0].endswith(" 1")
+        assert rows[1].endswith("100")
+
+    def test_empty_rows_ok(self):
+        text = render_table(["A"], [])
+        assert len(text.splitlines()) == 2

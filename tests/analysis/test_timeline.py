@@ -1,0 +1,77 @@
+"""Tests for the ASCII bus timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import render_timeline
+from repro.common.errors import ConfigurationError
+from repro.sync.locks import build_lock_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def recorded_machine():
+    machine = Machine(
+        MachineConfig(num_pes=3, protocol="rb", cache_lines=8,
+                      memory_size=64, record_bus_log=True)
+    )
+    program = build_lock_program(0, rounds=2, use_tts=True)
+    machine.load_programs([program] * 3)
+    machine.run(max_cycles=1_000_000)
+    return machine
+
+
+class TestRenderTimeline:
+    def test_empty_log(self):
+        assert "no bus transactions" in render_timeline([])
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline([], width=2)
+
+    def test_one_lane_per_client(self):
+        machine = recorded_machine()
+        text = render_timeline(machine.bus_log)
+        assert "c0 |" in text
+        assert "c1 |" in text
+        assert "c2 |" in text
+
+    def test_lock_run_shows_rmw_glyphs(self):
+        machine = recorded_machine()
+        text = render_timeline(machine.bus_log)
+        assert "L" in text  # read-with-lock
+        assert "U" in text  # write-with-unlock
+
+    def test_address_filter(self):
+        machine = recorded_machine()
+
+        def glyphs(text):
+            return sum(
+                line.count(g)
+                for line in text.splitlines() if "|" in line
+                for g in "rwWLUui!"
+            )
+
+        everything = render_timeline(machine.bus_log)
+        only_lock = render_timeline(machine.bus_log, address=0)
+        assert "(address 0)" in only_lock
+        assert glyphs(only_lock) <= glyphs(everything)
+
+    def test_wrapping(self):
+        machine = recorded_machine()
+        narrow = render_timeline(machine.bus_log, width=10)
+        assert narrow.count("cycles ") >= 2
+
+    def test_custom_names(self):
+        machine = recorded_machine()
+        text = render_timeline(machine.bus_log,
+                               client_names={0: "alpha"})
+        assert "alpha |" in text
+
+    def test_interrupt_marker_appears(self):
+        """A TTS hand-off includes an L-holder interrupt-supply."""
+        machine = recorded_machine()
+        assert "!" in render_timeline(machine.bus_log)
+
+    def test_legend_present(self):
+        machine = recorded_machine()
+        assert "legend:" in render_timeline(machine.bus_log)

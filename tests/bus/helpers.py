@@ -1,0 +1,47 @@
+"""A scriptable bus client used by the bus unit tests."""
+
+from __future__ import annotations
+
+from repro.bus.interfaces import BusClient
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.common.types import Word
+
+
+class FakeClient(BusClient):
+    """Records everything it snoops; optionally interrupts reads.
+
+    Attributes:
+        observed: (transaction, value) pairs snooped from others.
+        completed: (transaction, value) pairs for own completions.
+        interrupt_addresses: addresses this client will claim a dirty copy
+            for (mimicking an L-state line).
+        supply_value: the value written back on interrupt.
+    """
+
+    def __init__(self, interrupt_addresses: set[int] | None = None,
+                 supply_value: Word = 0) -> None:
+        self.client_id = -1
+        self.observed: list[tuple[BusTransaction, Word]] = []
+        self.completed: list[tuple[BusTransaction, Word]] = []
+        self.interrupt_addresses = interrupt_addresses or set()
+        self.supply_value = supply_value
+
+    def snoop_wants_interrupt(self, txn: BusTransaction) -> bool:
+        return txn.op.is_read_like and txn.address in self.interrupt_addresses
+
+    def make_interrupt_writeback(self, txn: BusTransaction) -> BusTransaction:
+        # A real cache demotes L to R here; the fake just stops claiming.
+        self.interrupt_addresses.discard(txn.address)
+        return BusTransaction(
+            op=BusOp.WRITE,
+            address=txn.address,
+            originator=self.client_id,
+            value=self.supply_value,
+            is_writeback=True,
+        )
+
+    def observe_transaction(self, txn: BusTransaction, value: Word) -> None:
+        self.observed.append((txn, value))
+
+    def transaction_complete(self, txn: BusTransaction, value: Word) -> None:
+        self.completed.append((txn, value))

@@ -1,0 +1,89 @@
+"""Unit tests for bus arbitration policies."""
+
+import pytest
+
+from repro.bus.arbiter import (
+    FixedPriorityArbiter,
+    RandomArbiter,
+    RoundRobinArbiter,
+    arbiter_names,
+    make_arbiter,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestRoundRobin:
+    def test_rotates_through_requesters(self):
+        arbiter = RoundRobinArbiter()
+        grants = [arbiter.grant([0, 1, 2]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_missing_requesters(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.grant([1, 3]) == 1
+        assert arbiter.grant([1, 3]) == 3
+        assert arbiter.grant([1, 3]) == 1
+
+    def test_new_low_requester_waits_for_wrap(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.grant([2]) == 2
+        # 0 enters; 2 was just granted, so 0 is next on wrap-around.
+        assert arbiter.grant([0, 3]) == 3
+        assert arbiter.grant([0, 3]) == 0
+
+    def test_single_requester(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.grant([5]) == 5
+        assert arbiter.grant([5]) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinArbiter().grant([])
+
+
+class TestFixedPriority:
+    def test_always_lowest(self):
+        arbiter = FixedPriorityArbiter()
+        for _ in range(3):
+            assert arbiter.grant([2, 0, 5]) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FixedPriorityArbiter().grant([])
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = RandomArbiter(seed=3)
+        b = RandomArbiter(seed=3)
+        requesters = [0, 1, 2, 3]
+        assert [a.grant(requesters) for _ in range(20)] == [
+            b.grant(requesters) for _ in range(20)
+        ]
+
+    def test_grants_member(self):
+        arbiter = RandomArbiter(seed=0)
+        for _ in range(50):
+            assert arbiter.grant([3, 7, 9]) in (3, 7, 9)
+
+    def test_eventually_covers_all(self):
+        arbiter = RandomArbiter(seed=1)
+        seen = {arbiter.grant([0, 1, 2]) for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RandomArbiter().grant([])
+
+
+class TestFactory:
+    def test_names(self):
+        assert arbiter_names() == ["fixed-priority", "random", "round-robin"]
+
+    @pytest.mark.parametrize("name", ["round-robin", "fixed-priority", "random"])
+    def test_builds_each(self, name):
+        assert make_arbiter(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_arbiter("lottery")

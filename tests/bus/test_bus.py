@@ -1,0 +1,258 @@
+"""Unit tests for the shared bus: granting, snooping, interrupts, NACKs."""
+
+import pytest
+
+from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.common.errors import BusError
+from repro.memory.main_memory import MainMemory
+
+from tests.bus.helpers import FakeClient
+
+
+def make_bus(num_clients=2, **client_kwargs):
+    memory = MainMemory(64)
+    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    clients = [FakeClient() for _ in range(num_clients)]
+    for client in clients:
+        bus.attach(client)
+    return memory, bus, clients
+
+
+class TestAttachment:
+    def test_assigns_increasing_ids(self):
+        _, _, clients = make_bus(3)
+        assert [c.client_id for c in clients] == [0, 1, 2]
+
+    def test_request_from_unattached_client_rejected(self):
+        _, bus, _ = make_bus(1)
+        with pytest.raises(BusError):
+            bus.request(BusTransaction(BusOp.READ, 0, originator=9))
+
+    def test_reattach_same_client_keeps_id(self):
+        memory = MainMemory(64)
+        bus_a = SharedBus(memory, name="a")
+        bus_b = SharedBus(memory, name="b")
+        client = FakeClient()
+        bus_a.attach(client)
+        bus_b.attach(client)
+        assert client.client_id == 0
+
+
+class TestIdleAndGrant:
+    def test_idle_cycle(self):
+        _, bus, _ = make_bus()
+        assert bus.step() is None
+        assert bus.stats.get("bus.idle_cycles") == 1
+
+    def test_one_transaction_per_cycle(self):
+        _, bus, clients = make_bus()
+        bus.request(BusTransaction(BusOp.READ, 0, originator=0))
+        bus.request(BusTransaction(BusOp.READ, 1, originator=1))
+        done1 = bus.step()
+        done2 = bus.step()
+        assert done1.transaction.originator == 0
+        assert done2.transaction.originator == 1
+
+    def test_per_client_fifo(self):
+        _, bus, clients = make_bus(1)
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=1))
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=2))
+        assert bus.step().value == 1
+        assert bus.step().value == 2
+
+    def test_has_pending(self):
+        _, bus, _ = make_bus()
+        assert not bus.has_pending()
+        bus.request(BusTransaction(BusOp.READ, 0, originator=0))
+        assert bus.has_pending()
+        bus.step()
+        assert not bus.has_pending()
+
+
+class TestExecution:
+    def test_read_returns_memory_value(self):
+        memory, bus, clients = make_bus()
+        memory.poke(5, 77)
+        bus.request(BusTransaction(BusOp.READ, 5, originator=0))
+        done = bus.step()
+        assert done.value == 77
+        assert clients[0].completed[0][1] == 77
+
+    def test_write_updates_memory(self):
+        memory, bus, _ = make_bus()
+        bus.request(BusTransaction(BusOp.WRITE, 3, originator=0, value=9))
+        bus.step()
+        assert memory.peek(3) == 9
+
+    def test_broadcast_excludes_originator(self):
+        _, bus, clients = make_bus(3)
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=1, value=4))
+        bus.step()
+        assert not clients[1].observed
+        assert len(clients[0].observed) == 1
+        assert len(clients[2].observed) == 1
+
+    def test_broadcast_carries_data(self):
+        memory, bus, clients = make_bus()
+        memory.poke(2, 33)
+        bus.request(BusTransaction(BusOp.READ, 2, originator=0))
+        bus.step()
+        txn, value = clients[1].observed[0]
+        assert txn.op is BusOp.READ
+        assert value == 33
+
+    def test_invalidate_touches_no_memory(self):
+        memory, bus, clients = make_bus()
+        memory.poke(1, 5)
+        bus.request(BusTransaction(BusOp.INVALIDATE, 1, originator=0))
+        bus.step()
+        assert memory.peek(1) == 5
+        assert clients[1].observed[0][0].op is BusOp.INVALIDATE
+
+    def test_op_counters(self):
+        _, bus, _ = make_bus()
+        bus.request(BusTransaction(BusOp.READ, 0, originator=0))
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=1))
+        bus.step()
+        bus.step()
+        assert bus.stats.get("bus.op.read") == 1
+        assert bus.stats.get("bus.op.write") == 1
+
+
+class TestReadModifyWrite:
+    def test_read_lock_blocks_foreign_write(self):
+        memory, bus, clients = make_bus()
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=0))
+        bus.step()
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=1, value=5))
+        assert bus.step() is None  # NACKed: lock held by client 0
+        assert bus.stats.get("bus.nacks") == 1
+        assert memory.peek(0) == 0
+
+    def test_holder_write_unlock_goes_through(self):
+        memory, bus, _ = make_bus()
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=0))
+        bus.step()
+        bus.request(BusTransaction(BusOp.WRITE_UNLOCK, 0, originator=0, value=7))
+        bus.step()
+        assert memory.peek(0) == 7
+        assert memory.locked_regions == 0
+
+    def test_nack_regrants_another_requester_same_cycle(self):
+        """The fixed-priority livelock fix: when the preferred requester is
+        blocked behind the lock, the cycle goes to someone who is not."""
+        memory, bus, _ = make_bus(3)
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=1))
+        bus.step()
+        # Client 0 (highest priority) is blocked; client 2's read proceeds.
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=5))
+        bus.request(BusTransaction(BusOp.READ, 3, originator=2))
+        done = bus.step()
+        assert done.transaction.originator == 2
+        assert bus.stats.get("bus.nacks") == 1
+
+    def test_all_blocked_burns_cycle(self):
+        _, bus, _ = make_bus(2)
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=0))
+        bus.step()
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=1, value=1))
+        assert bus.step() is None
+        assert bus.stats.get("bus.busy_cycles") == 2
+
+    def test_unlock_releases_without_store(self):
+        memory, bus, _ = make_bus()
+        memory.poke(0, 3)
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=0))
+        bus.step()
+        bus.request(BusTransaction(BusOp.UNLOCK, 0, originator=0))
+        bus.step()
+        assert memory.peek(0) == 3
+        assert memory.locked_regions == 0
+
+    def test_invalidate_nacked_during_lock(self):
+        """The BI-is-a-write-in-disguise rule (found by the serialization
+        checker): a BI must not slip into a locked RMW window."""
+        _, bus, _ = make_bus(2)
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=0))
+        bus.step()
+        bus.request(BusTransaction(BusOp.INVALIDATE, 0, originator=1))
+        assert bus.step() is None
+        assert bus.stats.get("bus.nacks") == 1
+
+
+class TestInterrupts:
+    def test_dirty_holder_interrupts_read(self):
+        memory, bus, clients = make_bus(2)
+        clients[1].interrupt_addresses = {4}
+        clients[1].supply_value = 42
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        done = bus.step()
+        assert done.transaction.op is BusOp.WRITE
+        assert done.transaction.is_writeback
+        assert done.interrupted_request is not None
+        assert memory.peek(4) == 42
+        # The killed read stays queued and is retried.
+        retried = bus.step()
+        assert retried.transaction.op is BusOp.READ
+        assert retried.value == 42
+
+    def test_interrupt_counts(self):
+        _, bus, clients = make_bus(2)
+        clients[1].interrupt_addresses = {4}
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        bus.step()
+        assert bus.stats.get("bus.interrupted_reads") == 1
+        assert bus.stats.get("bus.writebacks") == 1
+
+    def test_two_interrupters_is_protocol_violation(self):
+        _, bus, clients = make_bus(3)
+        clients[1].interrupt_addresses = {4}
+        clients[2].interrupt_addresses = {4}
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        with pytest.raises(BusError):
+            bus.step()
+
+    def test_writes_are_never_interrupted(self):
+        _, bus, clients = make_bus(2)
+        clients[1].interrupt_addresses = {4}
+        bus.request(BusTransaction(BusOp.WRITE, 4, originator=0, value=1))
+        done = bus.step()
+        assert done.interrupted_request is None
+
+
+class TestCancel:
+    def test_cancel_removes_matching(self):
+        _, bus, _ = make_bus()
+        txn = BusTransaction(BusOp.READ, 0, originator=0)
+        bus.request(txn)
+        assert bus.cancel(0, lambda t: t.serial == txn.serial) == 1
+        assert not bus.has_pending()
+
+    def test_cancel_keeps_others(self):
+        _, bus, _ = make_bus()
+        keep = BusTransaction(BusOp.READ, 1, originator=0)
+        drop = BusTransaction(BusOp.READ, 2, originator=0)
+        bus.request(keep)
+        bus.request(drop)
+        bus.cancel(0, lambda t: t.serial == drop.serial)
+        assert bus.queue_depth(0) == 1
+        assert bus.step().transaction.serial == keep.serial
+
+    def test_cancel_unknown_client(self):
+        _, bus, _ = make_bus()
+        assert bus.cancel(99, lambda t: True) == 0
+
+
+class TestUtilization:
+    def test_zero_before_any_cycle(self):
+        _, bus, _ = make_bus()
+        assert bus.utilization == 0.0
+
+    def test_tracks_busy_fraction(self):
+        _, bus, _ = make_bus()
+        bus.request(BusTransaction(BusOp.READ, 0, originator=0))
+        bus.step()  # busy
+        bus.step()  # idle
+        assert bus.utilization == 0.5

@@ -1,0 +1,121 @@
+"""Unit tests for the interleaved multi-bus fabric (Section 7)."""
+
+import pytest
+
+from repro.bus.multibus import InterleavedMultiBus
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.common.errors import ConfigurationError
+from repro.memory.main_memory import MainMemory
+
+from tests.bus.helpers import FakeClient
+
+
+def make_fabric(num_buses=2, num_clients=2):
+    memory = MainMemory(64)
+    fabric = InterleavedMultiBus(memory, num_buses)
+    clients = [FakeClient() for _ in range(num_clients)]
+    for client in clients:
+        fabric.attach(client)
+    return memory, fabric, clients
+
+
+class TestConstruction:
+    def test_rejects_zero_buses(self):
+        with pytest.raises(ConfigurationError):
+            InterleavedMultiBus(MainMemory(8), 0)
+
+    def test_rejects_mismatched_arbiters(self):
+        from repro.bus.arbiter import RoundRobinArbiter
+
+        with pytest.raises(ConfigurationError):
+            InterleavedMultiBus(MainMemory(8), 2, arbiters=[RoundRobinArbiter()])
+
+    def test_bus_count(self):
+        _, fabric, _ = make_fabric(3)
+        assert fabric.bus_count == 3
+
+
+class TestRouting:
+    def test_routes_by_modulo(self):
+        _, fabric, _ = make_fabric(2)
+        assert fabric.bus_for(0) is fabric.buses[0]
+        assert fabric.bus_for(1) is fabric.buses[1]
+        assert fabric.bus_for(7) is fabric.buses[1]
+
+    def test_request_lands_on_owning_bank(self):
+        _, fabric, _ = make_fabric(2)
+        fabric.request(BusTransaction(BusOp.READ, 3, originator=0))
+        assert fabric.buses[1].has_pending()
+        assert not fabric.buses[0].has_pending()
+
+
+class TestAttachment:
+    def test_one_id_across_banks(self):
+        _, fabric, clients = make_fabric(2, 3)
+        assert [c.client_id for c in clients] == [0, 1, 2]
+
+
+class TestStepAll:
+    def test_banks_operate_in_parallel(self):
+        memory, fabric, _ = make_fabric(2)
+        fabric.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=1))
+        fabric.request(BusTransaction(BusOp.WRITE, 1, originator=1, value=2))
+        completed = fabric.step_all()
+        assert len(completed) == 2
+        assert memory.peek(0) == 1
+        assert memory.peek(1) == 2
+
+    def test_same_bank_serializes(self):
+        _, fabric, _ = make_fabric(2)
+        fabric.request(BusTransaction(BusOp.READ, 0, originator=0))
+        fabric.request(BusTransaction(BusOp.READ, 2, originator=1))
+        assert len(fabric.step_all()) == 1
+        assert len(fabric.step_all()) == 1
+
+    def test_has_pending_spans_banks(self):
+        _, fabric, _ = make_fabric(2)
+        assert not fabric.has_pending()
+        fabric.request(BusTransaction(BusOp.READ, 1, originator=0))
+        assert fabric.has_pending()
+
+
+class TestCancel:
+    def test_cancel_searches_every_bank(self):
+        _, fabric, _ = make_fabric(2)
+        a = BusTransaction(BusOp.READ, 0, originator=0)
+        b = BusTransaction(BusOp.READ, 1, originator=0)
+        fabric.request(a)
+        fabric.request(b)
+        assert fabric.cancel(0, lambda t: True) == 2
+        assert not fabric.has_pending()
+
+
+class TestStats:
+    def test_utilization_per_bus(self):
+        _, fabric, _ = make_fabric(2)
+        fabric.request(BusTransaction(BusOp.READ, 0, originator=0))
+        fabric.step_all()
+        per_bus = fabric.utilization_per_bus
+        assert per_bus[0] == 1.0
+        assert per_bus[1] == 0.0
+        assert fabric.utilization == 0.5
+
+    def test_merged_stats_combined_and_prefixed(self):
+        _, fabric, _ = make_fabric(2)
+        fabric.request(BusTransaction(BusOp.READ, 0, originator=0))
+        fabric.request(BusTransaction(BusOp.READ, 1, originator=1))
+        fabric.step_all()
+        merged = fabric.merged_stats()
+        assert merged.get("bus.op.read") == 2
+        assert merged.get("bus0.bus.op.read") == 1
+        assert merged.get("bus1.bus.op.read") == 1
+
+
+class TestCoherencePartition:
+    def test_snoop_stays_on_owning_bank(self):
+        """A client attached to both banks snoops a transaction exactly
+        once — the address appears on one bus only."""
+        _, fabric, clients = make_fabric(2, 2)
+        fabric.request(BusTransaction(BusOp.WRITE, 5, originator=0, value=1))
+        fabric.step_all()
+        assert len(clients[1].observed) == 1

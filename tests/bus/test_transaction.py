@@ -1,0 +1,78 @@
+"""Unit tests for bus transaction types."""
+
+import pytest
+
+from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
+from repro.common.errors import ConfigurationError
+
+
+class TestBusOp:
+    def test_read_like(self):
+        assert BusOp.READ.is_read_like
+        assert BusOp.READ_LOCK.is_read_like
+        assert not BusOp.WRITE.is_read_like
+        assert not BusOp.INVALIDATE.is_read_like
+
+    def test_write_like(self):
+        assert BusOp.WRITE.is_write_like
+        assert BusOp.WRITE_UNLOCK.is_write_like
+        assert not BusOp.READ.is_write_like
+        assert not BusOp.INVALIDATE.is_write_like
+
+    def test_lock_check_set(self):
+        """Writes, RMW entry, and the BI (a write in disguise) must all be
+        refused while another PE holds the memory lock."""
+        checked = {op for op in BusOp if op.needs_lock_check}
+        assert checked == {
+            BusOp.WRITE,
+            BusOp.WRITE_UNLOCK,
+            BusOp.READ_LOCK,
+            BusOp.INVALIDATE,
+        }
+
+    def test_unlock_bypasses_lock_check(self):
+        """The holder's own release must never be refused."""
+        assert not BusOp.UNLOCK.needs_lock_check
+
+
+class TestBusTransaction:
+    def test_serials_increase(self):
+        a = BusTransaction(BusOp.READ, 0, originator=0)
+        b = BusTransaction(BusOp.READ, 0, originator=0)
+        assert b.serial > a.serial
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            BusTransaction(BusOp.READ, -1, originator=0)
+
+    def test_rejects_negative_originator(self):
+        with pytest.raises(ConfigurationError):
+            BusTransaction(BusOp.READ, 0, originator=-1)
+
+    def test_str_includes_value_for_writes(self):
+        txn = BusTransaction(BusOp.WRITE, 3, originator=1, value=9)
+        assert "=9" in str(txn)
+
+    def test_str_omits_value_for_reads(self):
+        txn = BusTransaction(BusOp.READ, 3, originator=1)
+        assert "=" not in str(txn)
+
+    def test_str_marks_writebacks(self):
+        txn = BusTransaction(BusOp.WRITE, 3, originator=1, is_writeback=True)
+        assert "(wb)" in str(txn)
+
+
+class TestCompletedTransaction:
+    def test_str_plain(self):
+        txn = BusTransaction(BusOp.READ, 5, originator=0)
+        done = CompletedTransaction(txn, value=7, cycle=3)
+        assert "cycle 3" in str(done)
+        assert "interrupted" not in str(done)
+
+    def test_str_with_interrupt(self):
+        killed = BusTransaction(BusOp.READ, 5, originator=0)
+        sub = BusTransaction(BusOp.WRITE, 5, originator=1, value=2,
+                             is_writeback=True)
+        done = CompletedTransaction(sub, value=2, cycle=4,
+                                    interrupted_request=killed)
+        assert "interrupted" in str(done)

@@ -1,0 +1,157 @@
+"""Behavioural tests of SnoopingCache under the baseline protocols, plus
+set-associative geometry."""
+
+from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped, SetAssociative
+from repro.cache.replacement import FifoReplacement, LruReplacement
+from repro.memory.main_memory import MainMemory
+from repro.protocols.states import LineState
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.protocols.write_through import WriteThroughInvalidateProtocol
+
+from tests.cache.test_cache_rb import drain, read, write
+
+
+def make_system(protocol_factory, num_caches=2, placement=None, replacement=None):
+    memory = MainMemory(64)
+    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    caches = []
+    for i in range(num_caches):
+        caches.append(
+            SnoopingCache(
+                protocol_factory(),
+                placement or DirectMapped(4),
+                replacement=replacement,
+                name=f"cache{i}",
+            )
+        )
+        caches[-1].connect(bus)
+    return memory, bus, caches
+
+
+class TestWriteOnce:
+    def test_write_once_then_dirty(self):
+        memory, bus, caches = make_system(WriteOnceProtocol)
+        read(caches[0], bus, 3)
+        write(caches[0], bus, 3, 5)   # write-once: through to memory
+        assert caches[0].state_of(3) is LineState.RESERVED
+        assert memory.peek(3) == 5
+        before = bus.stats.get("bus.busy_cycles")
+        write(caches[0], bus, 3, 6)   # silent: Reserved -> Dirty
+        assert bus.stats.get("bus.busy_cycles") == before
+        assert caches[0].state_of(3) is LineState.DIRTY
+        assert memory.peek(3) == 5
+
+    def test_dirty_supplies_on_foreign_read(self):
+        memory, bus, caches = make_system(WriteOnceProtocol)
+        read(caches[0], bus, 3)
+        write(caches[0], bus, 3, 5)
+        write(caches[0], bus, 3, 6)   # Dirty
+        assert read(caches[1], bus, 3) == 6
+        assert memory.peek(3) == 6
+        assert caches[0].state_of(3) is LineState.VALID
+
+    def test_no_read_broadcast_for_invalid_peer(self):
+        memory, bus, caches = make_system(WriteOnceProtocol, num_caches=3)
+        read(caches[1], bus, 3)
+        write(caches[0], bus, 3, 5)   # invalidates cache1
+        assert caches[1].state_of(3) is LineState.INVALID
+        read(caches[2], bus, 3)
+        # Unlike RB, cache1 stays Invalid: events only, no data.
+        assert caches[1].state_of(3) is LineState.INVALID
+        assert caches[1].stats.get("cache.absorbed_reads") == 0
+
+    def test_fetch_on_write_miss_policy(self):
+        memory, bus, caches = make_system(
+            lambda: WriteOnceProtocol(fetch_on_write_miss=True)
+        )
+        memory.poke(3, 9)
+        write(caches[0], bus, 3, 5)
+        # Fill happened first, then the write-once.
+        assert bus.stats.get("bus.op.read") == 1
+        assert bus.stats.get("bus.op.write") == 1
+        assert caches[0].state_of(3) is LineState.RESERVED
+        assert memory.peek(3) == 5
+
+    def test_dirty_eviction_writes_back(self):
+        memory, bus, caches = make_system(
+            WriteOnceProtocol, placement=DirectMapped(2)
+        )
+        read(caches[0], bus, 0)
+        write(caches[0], bus, 0, 5)
+        write(caches[0], bus, 0, 6)   # Dirty
+        read(caches[0], bus, 2)       # evicts
+        assert memory.peek(0) == 6
+
+
+class TestWriteThrough:
+    def test_every_write_reaches_memory(self):
+        memory, bus, caches = make_system(WriteThroughInvalidateProtocol)
+        write(caches[0], bus, 3, 1)
+        write(caches[0], bus, 3, 2)
+        write(caches[0], bus, 3, 3)
+        assert memory.peek(3) == 3
+        assert bus.stats.get("bus.op.write") == 3
+
+    def test_writer_keeps_valid_copy(self):
+        memory, bus, caches = make_system(WriteThroughInvalidateProtocol)
+        write(caches[0], bus, 3, 1)
+        assert caches[0].state_of(3) is LineState.VALID
+        before = bus.stats.get("bus.busy_cycles")
+        assert read(caches[0], bus, 3) == 1
+        assert bus.stats.get("bus.busy_cycles") == before
+
+    def test_foreign_write_invalidates(self):
+        memory, bus, caches = make_system(WriteThroughInvalidateProtocol)
+        read(caches[1], bus, 3)
+        write(caches[0], bus, 3, 4)
+        assert caches[1].state_of(3) is LineState.INVALID
+
+    def test_never_writes_back_on_eviction(self):
+        memory, bus, caches = make_system(
+            WriteThroughInvalidateProtocol, placement=DirectMapped(2)
+        )
+        write(caches[0], bus, 0, 5)
+        read(caches[0], bus, 2)
+        assert caches[0].stats.get("cache.writebacks") == 0
+
+
+class TestSetAssociative:
+    def test_two_conflicting_addresses_coexist(self):
+        memory, bus, caches = make_system(
+            WriteThroughInvalidateProtocol,
+            placement=SetAssociative(num_sets=2, ways=2),
+        )
+        read(caches[0], bus, 0)
+        read(caches[0], bus, 2)  # same set, second way
+        assert caches[0].state_of(0) is LineState.VALID
+        assert caches[0].state_of(2) is LineState.VALID
+
+    def test_lru_evicts_the_cold_way(self):
+        memory, bus, caches = make_system(
+            WriteThroughInvalidateProtocol,
+            placement=SetAssociative(num_sets=1, ways=2),
+            replacement=LruReplacement(),
+        )
+        read(caches[0], bus, 0)
+        read(caches[0], bus, 1)
+        read(caches[0], bus, 0)  # touch 0: 1 is now LRU
+        read(caches[0], bus, 2)  # evicts 1
+        assert caches[0].state_of(0) is LineState.VALID
+        assert caches[0].state_of(1) is LineState.NOT_PRESENT
+        assert caches[0].state_of(2) is LineState.VALID
+
+    def test_fifo_evicts_the_oldest_install(self):
+        memory, bus, caches = make_system(
+            WriteThroughInvalidateProtocol,
+            placement=SetAssociative(num_sets=1, ways=2),
+            replacement=FifoReplacement(),
+        )
+        read(caches[0], bus, 0)
+        read(caches[0], bus, 1)
+        read(caches[0], bus, 0)  # FIFO ignores the touch
+        read(caches[0], bus, 2)  # evicts 0 (installed first)
+        assert caches[0].state_of(0) is LineState.NOT_PRESENT
+        assert caches[0].state_of(1) is LineState.VALID

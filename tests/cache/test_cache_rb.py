@@ -1,0 +1,264 @@
+"""Behavioural tests of SnoopingCache under the RB protocol.
+
+These drive real caches over a real bus and memory at bus-cycle
+granularity, checking the exact flows Section 3 describes.
+"""
+
+import pytest
+
+from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped
+from repro.common.errors import CacheError
+from repro.memory.main_memory import MainMemory
+from repro.protocols.rb import RBProtocol
+from repro.protocols.states import LineState
+
+
+def make_system(num_caches=3, lines=4, memory_words=64):
+    memory = MainMemory(memory_words)
+    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    caches = [
+        SnoopingCache(RBProtocol(), DirectMapped(lines), name=f"cache{i}")
+        for i in range(num_caches)
+    ]
+    for cache in caches:
+        cache.connect(bus)
+    return memory, bus, caches
+
+
+def drain(bus, limit=100):
+    for _ in range(limit):
+        if not bus.has_pending():
+            return
+        bus.step()
+    raise AssertionError("bus did not drain")
+
+
+def read(cache, bus, address):
+    box = []
+    cache.cpu_read(address, box.append)
+    drain(bus)
+    assert box, "read did not complete"
+    return box[0]
+
+
+def write(cache, bus, address, value):
+    box = []
+    cache.cpu_write(address, value, box.append)
+    drain(bus)
+    assert box, "write did not complete"
+
+
+def do_test_and_set(cache, bus, address, value=1):
+    box = []
+    cache.cpu_test_and_set(address, value, box.append)
+    drain(bus)
+    assert box, "test-and-set did not complete"
+    return box[0]
+
+
+class TestReadPath:
+    def test_miss_fills_readable(self):
+        memory, bus, caches = make_system()
+        memory.poke(5, 42)
+        assert read(caches[0], bus, 5) == 42
+        assert caches[0].state_of(5) is LineState.READABLE
+
+    def test_hit_generates_no_bus_traffic(self):
+        memory, bus, caches = make_system()
+        read(caches[0], bus, 5)
+        before = bus.stats.get("bus.cycles")
+        assert read(caches[0], bus, 5) == 0
+        assert bus.stats.get("bus.cycles") == before
+        assert caches[0].stats.get("cache.read_hits") == 1
+
+    def test_read_broadcast_fills_invalid_peers(self):
+        """The scheme's namesake: one cache's fill refreshes every peer
+        whose line is Invalid-tagged."""
+        memory, bus, caches = make_system()
+        memory.poke(5, 7)
+        read(caches[1], bus, 5)          # cache1 fills R(7)
+        write(caches[0], bus, 5, 9)      # cache0 takes it Local; cache1 -> I
+        assert caches[1].state_of(5) is LineState.INVALID
+        assert read(caches[2], bus, 5) == 9
+        # cache1 absorbed the broadcast of cache2's read.
+        assert caches[1].state_of(5) is LineState.READABLE
+        assert caches[1].line_for(5).value == 9
+        assert caches[1].stats.get("cache.absorbed_reads") == 1
+
+
+class TestWritePath:
+    def test_miss_write_through_to_local(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 11)
+        assert caches[0].state_of(3) is LineState.LOCAL
+        assert memory.peek(3) == 11  # write-through
+
+    def test_local_write_is_silent(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 11)
+        before = bus.stats.get("bus.busy_cycles")
+        write(caches[0], bus, 3, 12)
+        assert bus.stats.get("bus.busy_cycles") == before
+        assert caches[0].line_for(3).value == 12
+        assert memory.peek(3) == 11  # memory is stale until write-back
+
+    def test_write_invalidates_readable_peers(self):
+        memory, bus, caches = make_system()
+        read(caches[1], bus, 3)
+        read(caches[2], bus, 3)
+        write(caches[0], bus, 3, 5)
+        assert caches[1].state_of(3) is LineState.INVALID
+        assert caches[2].state_of(3) is LineState.INVALID
+        assert caches[1].stats.get("cache.invalidations") == 1
+
+    def test_write_steals_local_from_peer(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)
+        write(caches[1], bus, 3, 6)
+        assert caches[0].state_of(3) is LineState.INVALID
+        assert caches[1].state_of(3) is LineState.LOCAL
+        assert memory.peek(3) == 6
+
+
+class TestInterruptSupply:
+    def test_local_holder_supplies_on_foreign_read(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)   # cache0 L(5), memory 5
+        write(caches[0], bus, 3, 9)   # silent local write; memory stale
+        assert memory.peek(3) == 5
+        assert read(caches[1], bus, 3) == 9
+        assert memory.peek(3) == 9    # flushed by the interrupt write-back
+        assert caches[0].state_of(3) is LineState.READABLE
+        assert caches[0].stats.get("cache.supplies") == 1
+        assert bus.stats.get("bus.interrupted_reads") == 1
+
+    def test_interrupted_read_costs_extra_cycle(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 9)
+        write(caches[0], bus, 3, 10)  # dirty
+        before = bus.stats.get("bus.busy_cycles")
+        read(caches[1], bus, 3)
+        # write-back cycle + retried read cycle
+        assert bus.stats.get("bus.busy_cycles") - before == 2
+
+
+class TestEviction:
+    def test_clean_eviction_is_silent(self):
+        memory, bus, caches = make_system(lines=2)
+        read(caches[0], bus, 0)
+        before = bus.stats.get("bus.op.write")
+        read(caches[0], bus, 2)  # conflicts with 0 in a 2-line cache
+        assert bus.stats.get("bus.op.write") == before
+        assert caches[0].state_of(0) is LineState.NOT_PRESENT
+
+    def test_dirty_eviction_writes_back(self):
+        memory, bus, caches = make_system(lines=2)
+        write(caches[0], bus, 0, 5)
+        write(caches[0], bus, 0, 6)   # silent: memory stale at 5
+        read(caches[0], bus, 2)       # evicts the Local line
+        assert memory.peek(0) == 6
+        assert caches[0].stats.get("cache.writebacks") == 1
+        assert caches[0].state_of(0) is LineState.NOT_PRESENT
+        assert caches[0].state_of(2) is LineState.READABLE
+
+    def test_eviction_preserves_demand_result(self):
+        memory, bus, caches = make_system(lines=2)
+        memory.poke(2, 77)
+        write(caches[0], bus, 0, 5)
+        assert read(caches[0], bus, 2) == 77
+
+
+class TestTestAndSet:
+    def test_wins_free_lock(self):
+        memory, bus, caches = make_system()
+        assert do_test_and_set(caches[0], bus, 0) == 0
+        assert caches[0].state_of(0) is LineState.LOCAL
+        assert memory.peek(0) == 1
+
+    def test_fails_on_held_lock(self):
+        memory, bus, caches = make_system()
+        do_test_and_set(caches[0], bus, 0)
+        assert do_test_and_set(caches[1], bus, 0) == 1
+        # Failed attempt keeps a readable copy (Figure 6-1's R(1) rows);
+        # the winner was demoted by the read-lock's interrupt.
+        assert caches[1].state_of(0) is LineState.READABLE
+        assert caches[0].state_of(0) is LineState.READABLE
+
+    def test_always_uses_bus_even_when_cached(self):
+        """Section 3: "the initial read with lock does not reference the
+        value in the cache"."""
+        memory, bus, caches = make_system()
+        read(caches[0], bus, 0)
+        before = bus.stats.get("bus.busy_cycles")
+        do_test_and_set(caches[0], bus, 0)
+        assert bus.stats.get("bus.busy_cycles") > before
+
+    def test_ts_on_own_dirty_line_flushes_first(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 0, 7)
+        write(caches[0], bus, 0, 3)   # dirty L(3); memory stale at 7
+        assert do_test_and_set(caches[0], bus, 0) == 3
+        assert memory.peek(0) == 3    # old value flushed, not overwritten
+
+    def test_stats_track_outcomes(self):
+        memory, bus, caches = make_system()
+        do_test_and_set(caches[0], bus, 0)
+        do_test_and_set(caches[1], bus, 0)
+        assert caches[0].stats.get("cache.ts_success") == 1
+        assert caches[1].stats.get("cache.ts_fail") == 1
+
+
+class TestCpuPortDiscipline:
+    def test_second_op_while_pending_rejected(self):
+        memory, bus, caches = make_system()
+        caches[0].cpu_read(0, lambda value: None)
+        with pytest.raises(CacheError):
+            caches[0].cpu_read(1, lambda value: None)
+
+    def test_busy_flag(self):
+        memory, bus, caches = make_system()
+        assert not caches[0].busy
+        caches[0].cpu_read(0, lambda value: None)
+        assert caches[0].busy
+        drain(bus)
+        assert not caches[0].busy
+
+    def test_unconnected_cache_rejects_misses(self):
+        cache = SnoopingCache(RBProtocol(), DirectMapped(2))
+        with pytest.raises(CacheError):
+            cache.cpu_read(0, lambda value: None)
+
+
+class TestEarlyCompletion:
+    def test_concurrent_readers_share_one_bus_read(self):
+        """Both spinners issue reads; the first grant's broadcast satisfies
+        the second, which cancels its own queued transaction."""
+        memory, bus, caches = make_system()
+        memory.poke(4, 9)
+        # Tag both caches Invalid for the address first.
+        read(caches[1], bus, 4)
+        read(caches[2], bus, 4)
+        write(caches[0], bus, 4, 8)   # invalidate both
+        box1, box2 = [], []
+        caches[1].cpu_read(4, box1.append)
+        caches[2].cpu_read(4, box2.append)
+        drain(bus)
+        assert box1 == [8] and box2 == [8]
+        total_reads = bus.stats.get("bus.op.read")
+        # 2 initial fills + 1 retried-after-interrupt read shared by both
+        # concurrent readers (the killed first attempt never completes).
+        assert caches[2].stats.get("cache.early_read_completions") == 1
+        assert total_reads == 3
+
+
+class TestSnapshots:
+    def test_snapshot_formats(self):
+        memory, bus, caches = make_system()
+        assert caches[0].snapshot(0) == "NP(-)"
+        read(caches[0], bus, 0)
+        assert caches[0].snapshot(0) == "R(0)"
+        write(caches[0], bus, 0, 2)
+        assert caches[0].snapshot(0) == "L(2)"

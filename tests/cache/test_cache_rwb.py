@@ -1,0 +1,202 @@
+"""Behavioural tests of SnoopingCache under the RWB protocol."""
+
+from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped
+from repro.memory.main_memory import MainMemory
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+
+from tests.cache.test_cache_rb import drain, read, write
+
+
+def make_system(num_caches=3, lines=4, memory_words=64, **protocol_options):
+    memory = MainMemory(memory_words)
+    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    caches = [
+        SnoopingCache(
+            RWBProtocol(**protocol_options), DirectMapped(lines), name=f"cache{i}"
+        )
+        for i in range(num_caches)
+    ]
+    for cache in caches:
+        cache.connect(bus)
+    return memory, bus, caches
+
+
+class TestFirstWriteLadder:
+    def test_first_write_enters_first_write_state(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)
+        line = caches[0].line_for(3)
+        assert line.state is LineState.FIRST_WRITE
+        assert line.meta == 1
+        assert memory.peek(3) == 5  # write-through
+
+    def test_second_write_promotes_to_local_via_invalidate(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)
+        write(caches[0], bus, 3, 6)
+        assert caches[0].state_of(3) is LineState.LOCAL
+        assert bus.stats.get("bus.op.invalidate") == 1
+        assert memory.peek(3) == 5  # BI carries no data; memory stale
+
+    def test_third_write_is_silent_local_hit(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)
+        write(caches[0], bus, 3, 6)
+        before = bus.stats.get("bus.busy_cycles")
+        write(caches[0], bus, 3, 7)
+        assert bus.stats.get("bus.busy_cycles") == before
+
+    def test_k3_needs_three_writes(self):
+        memory, bus, caches = make_system(local_promotion_writes=3)
+        write(caches[0], bus, 3, 1)
+        write(caches[0], bus, 3, 2)
+        assert caches[0].state_of(3) is LineState.FIRST_WRITE
+        assert caches[0].line_for(3).meta == 2
+        write(caches[0], bus, 3, 3)
+        assert caches[0].state_of(3) is LineState.LOCAL
+
+
+class TestWriteBroadcast:
+    def test_peers_absorb_written_value(self):
+        """The RWB hallmark: a bus write refreshes every copy instead of
+        invalidating it."""
+        memory, bus, caches = make_system()
+        read(caches[1], bus, 3)
+        read(caches[2], bus, 3)
+        write(caches[0], bus, 3, 9)
+        for cache in (caches[1], caches[2]):
+            assert cache.state_of(3) is LineState.READABLE
+            assert cache.line_for(3).value == 9
+            assert cache.stats.get("cache.absorbed_writes") == 1
+            assert cache.stats.get("cache.invalidations") == 0
+
+    def test_foreign_write_resets_first_write_run(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)   # cache0 F(5)
+        write(caches[1], bus, 3, 6)   # cache1 F(6); cache0 absorbs -> R(6)
+        assert caches[0].state_of(3) is LineState.READABLE
+        assert caches[0].line_for(3).value == 6
+        assert caches[1].state_of(3) is LineState.FIRST_WRITE
+
+    def test_invalidate_clears_peers(self):
+        memory, bus, caches = make_system()
+        read(caches[1], bus, 3)
+        write(caches[0], bus, 3, 5)
+        write(caches[0], bus, 3, 6)   # BI
+        assert caches[1].state_of(3) is LineState.INVALID
+        assert caches[1].stats.get("cache.invalidations") == 1
+
+
+class TestFirstWriteResetOnRead:
+    def test_strict_policy_demotes_on_foreign_read(self):
+        memory, bus, caches = make_system()
+        write(caches[0], bus, 3, 5)   # F
+        read(caches[1], bus, 3)
+        assert caches[0].state_of(3) is LineState.READABLE
+        # The run restarted: the next write is a first write again.
+        write(caches[0], bus, 3, 6)
+        assert caches[0].state_of(3) is LineState.FIRST_WRITE
+
+    def test_lenient_policy_survives_foreign_read(self):
+        memory, bus, caches = make_system(reset_first_write_on_bus_read=False)
+        write(caches[0], bus, 3, 5)   # F
+        read(caches[1], bus, 3)
+        assert caches[0].state_of(3) is LineState.FIRST_WRITE
+        write(caches[0], bus, 3, 6)   # promotes despite the reader
+        assert caches[0].state_of(3) is LineState.LOCAL
+        assert caches[1].state_of(3) is LineState.INVALID
+
+
+class TestEviction:
+    def test_first_write_evicts_silently(self):
+        """F is clean (the write went through), so no write-back."""
+        memory, bus, caches = make_system(lines=2)
+        write(caches[0], bus, 0, 5)   # F, memory has 5
+        read(caches[0], bus, 2)       # evict
+        assert caches[0].stats.get("cache.writebacks") == 0
+        assert memory.peek(0) == 5
+
+    def test_local_evicts_with_writeback(self):
+        memory, bus, caches = make_system(lines=2)
+        write(caches[0], bus, 0, 5)
+        write(caches[0], bus, 0, 6)   # L, memory stale at 5
+        read(caches[0], bus, 2)
+        assert memory.peek(0) == 6
+        assert caches[0].stats.get("cache.writebacks") == 1
+
+    def test_eviction_writeback_absorbed_by_invalid_peers(self):
+        """Even a replacement write-back is a data broadcast under RWB."""
+        memory, bus, caches = make_system(lines=2)
+        read(caches[1], bus, 0)
+        write(caches[0], bus, 0, 5)
+        write(caches[0], bus, 0, 6)   # BI -> cache1 Invalid
+        assert caches[1].state_of(0) is LineState.INVALID
+        read(caches[0], bus, 2)       # evicts L(6): write-back broadcast
+        assert caches[1].state_of(0) is LineState.READABLE
+        assert caches[1].line_for(0).value == 6
+
+
+class TestStaleWritebackCancellation:
+    def test_foreign_bi_cancels_queued_writeback(self):
+        """The race the serialization checker caught: a queued write-back
+        must not clobber memory after a BI superseded its line."""
+        memory, bus, caches = make_system(lines=2)
+        # cache0 takes address 0 Local with value 10.
+        write(caches[0], bus, 0, 9)
+        write(caches[0], bus, 0, 10)
+        # cache1 reaches F on address 0 (its write broadcast demotes
+        # cache0's L to R and carries value 20 everywhere).
+        write(caches[1], bus, 0, 20)
+        assert caches[0].state_of(0) is LineState.READABLE
+        # cache0 re-claims Local with 30, then queues an eviction
+        # write-back, and cache1 fires a BI before the write-back drains.
+        write(caches[0], bus, 0, 30)
+        write(caches[0], bus, 0, 31)  # L(31)
+        box = []
+        caches[0].cpu_read(2, box.append)      # queues write-back of 31
+        caches[1].cpu_write(0, 40, lambda v: None)  # BI promotion attempt
+        drain(bus)
+        assert box
+        # cache1 won the race or lost it; either way the final latest value
+        # must be coherent: whoever holds L has the newest value and no
+        # stale write-back overwrote it.
+        holders = [
+            cache for cache in caches
+            if cache.state_of(0) is LineState.LOCAL
+        ]
+        if holders:
+            assert holders[0].line_for(0).value in (31, 40)
+        latest = max(
+            [memory.peek(0)]
+            + [cache.line_for(0).value for cache in caches if cache.line_for(0)]
+        )
+        assert latest in (31, 40)
+
+
+class TestTestAndSet:
+    def test_success_leaves_shared_configuration(self):
+        """Figure 6-3: winner in F, spectators keep readable copies."""
+        memory, bus, caches = make_system()
+        for pe in range(3):
+            read(caches[pe], bus, 0)
+        box = []
+        caches[1].cpu_test_and_set(0, 1, box.append)
+        drain(bus)
+        assert box == [0]
+        assert caches[1].state_of(0) is LineState.FIRST_WRITE
+        assert caches[0].state_of(0) is LineState.READABLE
+        assert caches[0].line_for(0).value == 1
+        assert caches[2].state_of(0) is LineState.READABLE
+
+    def test_release_after_ts_promotes_to_local(self):
+        memory, bus, caches = make_system()
+        box = []
+        caches[1].cpu_test_and_set(0, 1, box.append)
+        drain(bus)
+        write(caches[1], bus, 0, 0)  # release = second uninterrupted write
+        assert caches[1].state_of(0) is LineState.LOCAL
+        assert bus.stats.get("bus.op.invalidate") == 1

@@ -1,0 +1,106 @@
+"""Cache-level tests for the fetch-and-add extension primitive."""
+
+import pytest
+
+from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped
+from repro.common.errors import CacheError
+from repro.memory.main_memory import MainMemory
+from repro.protocols.registry import make_protocol
+from repro.protocols.states import LineState
+
+from tests.cache.test_cache_rb import drain, read, write
+
+
+def make_system(protocol="rb", num_caches=2, lines=4):
+    memory = MainMemory(64)
+    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    caches = [
+        SnoopingCache(make_protocol(protocol), DirectMapped(lines),
+                      name=f"cache{i}")
+        for i in range(num_caches)
+    ]
+    for cache in caches:
+        cache.connect(bus)
+    return memory, bus, caches
+
+
+def faa(cache, bus, address, delta):
+    box = []
+    cache.cpu_fetch_and_add(address, delta, box.append)
+    drain(bus)
+    assert box, "fetch-and-add did not complete"
+    return box[0]
+
+
+class TestFetchAndAdd:
+    def test_returns_old_and_stores_sum(self):
+        memory, bus, caches = make_system()
+        memory.poke(3, 10)
+        assert faa(caches[0], bus, 3, 5) == 10
+        assert memory.peek(3) == 15
+
+    def test_always_adds_even_on_nonzero(self):
+        """Unlike test-and-set, the store is unconditional."""
+        memory, bus, caches = make_system()
+        faa(caches[0], bus, 3, 1)
+        faa(caches[1], bus, 3, 1)
+        faa(caches[0], bus, 3, 1)
+        assert memory.peek(3) == 3
+
+    def test_negative_delta(self):
+        memory, bus, caches = make_system()
+        memory.poke(3, 10)
+        assert faa(caches[0], bus, 3, -4) == 10
+        assert memory.peek(3) == 6
+
+    def test_rb_leaves_local_configuration(self):
+        memory, bus, caches = make_system("rb")
+        read(caches[1], bus, 3)
+        faa(caches[0], bus, 3, 7)
+        assert caches[0].state_of(3) is LineState.LOCAL
+        assert caches[1].state_of(3) is LineState.INVALID
+
+    def test_rwb_leaves_shared_configuration(self):
+        memory, bus, caches = make_system("rwb")
+        read(caches[1], bus, 3)
+        faa(caches[0], bus, 3, 7)
+        assert caches[0].state_of(3) is LineState.FIRST_WRITE
+        assert caches[1].state_of(3) is LineState.READABLE
+        assert caches[1].line_for(3).value == 7
+
+    def test_on_own_dirty_line_flushes_first(self):
+        memory, bus, caches = make_system("rb")
+        write(caches[0], bus, 3, 4)
+        write(caches[0], bus, 3, 9)   # silent Local write; memory stale
+        assert faa(caches[0], bus, 3, 1) == 9
+        assert memory.peek(3) == 10
+
+    def test_foreign_dirty_holder_supplies_first(self):
+        memory, bus, caches = make_system("rb")
+        write(caches[1], bus, 3, 4)
+        write(caches[1], bus, 3, 9)   # cache1 dirty Local
+        assert faa(caches[0], bus, 3, 1) == 9
+        assert memory.peek(3) == 10
+
+    def test_uses_locked_rmw_on_the_bus(self):
+        memory, bus, caches = make_system()
+        faa(caches[0], bus, 3, 1)
+        assert bus.stats.get("bus.op.read_lock") == 1
+        assert bus.stats.get("bus.op.write_unlock") == 1
+
+    def test_counts_attempts(self):
+        memory, bus, caches = make_system()
+        faa(caches[0], bus, 3, 1)
+        assert caches[0].stats.get("cache.faa_attempts") == 1
+        # F&A is not a test-and-set; neither outcome counter moves.
+        assert caches[0].stats.get("cache.ts_success") == 0
+        assert caches[0].stats.get("cache.ts_fail") == 0
+
+    def test_rejects_while_busy(self):
+        memory, bus, caches = make_system()
+        caches[0].cpu_fetch_and_add(3, 1, lambda old: None)
+        with pytest.raises(CacheError):
+            caches[0].cpu_fetch_and_add(4, 1, lambda old: None)

@@ -1,0 +1,74 @@
+"""Unit tests for cache line frames."""
+
+import pytest
+
+from repro.cache.line import CacheLine
+from repro.common.errors import CacheError
+from repro.protocols.states import LineState
+
+
+class TestLifecycle:
+    def test_starts_empty(self):
+        line = CacheLine()
+        assert not line.occupied
+        assert line.state is LineState.NOT_PRESENT
+
+    def test_install_claims_frame(self):
+        line = CacheLine()
+        line.install(42, stamp=7)
+        assert line.occupied
+        assert line.matches(42)
+        assert line.state is LineState.INVALID
+        assert line.installed_at == 7
+
+    def test_install_resets_value_and_meta(self):
+        line = CacheLine(address=1, state=LineState.LOCAL, value=9, meta=3)
+        line.install(2, stamp=1)
+        assert line.value == 0
+        assert line.meta == 0
+
+    def test_release_empties(self):
+        line = CacheLine()
+        line.install(42, stamp=1)
+        line.release()
+        assert not line.occupied
+        assert line.state is LineState.NOT_PRESENT
+
+    def test_matches_only_installed_address(self):
+        line = CacheLine()
+        line.install(42, stamp=1)
+        assert not line.matches(43)
+
+
+class TestInvariant:
+    def test_consistent_empty(self):
+        CacheLine().check_consistent()
+
+    def test_consistent_occupied(self):
+        line = CacheLine()
+        line.install(1, stamp=1)
+        line.check_consistent()
+
+    def test_inconsistent_raises(self):
+        line = CacheLine(address=None, state=LineState.READABLE)
+        with pytest.raises(CacheError):
+            line.check_consistent()
+
+
+class TestDescribe:
+    def test_not_present(self):
+        assert CacheLine().describe() == "NP(-)"
+
+    def test_invalid_hides_value(self):
+        line = CacheLine()
+        line.install(1, stamp=1)
+        line.value = 99
+        assert line.describe() == "I(-)"
+
+    def test_readable_shows_value(self):
+        line = CacheLine(address=1, state=LineState.READABLE, value=7)
+        assert line.describe() == "R(7)"
+
+    def test_local_shows_value(self):
+        line = CacheLine(address=1, state=LineState.LOCAL, value=0)
+        assert line.describe() == "L(0)"

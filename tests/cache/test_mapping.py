@@ -1,0 +1,76 @@
+"""Unit tests for cache placement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.mapping import DirectMapped, SetAssociative
+from repro.common.errors import ConfigurationError
+
+
+class TestDirectMapped:
+    def test_single_frame_per_address(self):
+        placement = DirectMapped(8)
+        assert placement.frames_for(0) == [0]
+        assert placement.frames_for(9) == [1]
+
+    def test_conflicting_addresses_share_frame(self):
+        placement = DirectMapped(8)
+        assert placement.frames_for(3) == placement.frames_for(11)
+
+    def test_num_frames(self):
+        assert DirectMapped(16).num_frames == 16
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ConfigurationError):
+            DirectMapped(0)
+
+    def test_geometry_label(self):
+        assert DirectMapped(256).geometry == "direct-mapped/256"
+
+
+class TestSetAssociative:
+    def test_set_spans_ways(self):
+        placement = SetAssociative(num_sets=4, ways=2)
+        assert placement.frames_for(0) == [0, 1]
+        assert placement.frames_for(1) == [2, 3]
+        assert placement.frames_for(4) == [0, 1]
+
+    def test_num_frames(self):
+        assert SetAssociative(num_sets=4, ways=2).num_frames == 8
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociative(0, 2)
+        with pytest.raises(ConfigurationError):
+            SetAssociative(4, 0)
+
+    def test_geometry_label(self):
+        assert SetAssociative(8, 4).geometry == "4-way/8-sets"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    address=st.integers(0, 10**6),
+    num_lines=st.integers(1, 512),
+)
+def test_direct_mapped_frame_in_range(address, num_lines):
+    frames = DirectMapped(num_lines).frames_for(address)
+    assert len(frames) == 1
+    assert 0 <= frames[0] < num_lines
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    address=st.integers(0, 10**6),
+    num_sets=st.integers(1, 64),
+    ways=st.integers(1, 8),
+)
+def test_set_associative_frames_in_range_and_disjoint_sets(address, num_sets, ways):
+    placement = SetAssociative(num_sets, ways)
+    frames = placement.frames_for(address)
+    assert len(frames) == ways
+    assert all(0 <= frame < placement.num_frames for frame in frames)
+    other = placement.frames_for(address + 1)
+    if num_sets > 1:
+        assert set(frames).isdisjoint(other)

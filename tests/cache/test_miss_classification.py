@@ -1,0 +1,68 @@
+"""Tests for compulsory / replacement / coherence miss classification."""
+
+from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.cache.cache import SnoopingCache
+from repro.cache.mapping import DirectMapped
+from repro.memory.main_memory import MainMemory
+from repro.protocols.rb import RBProtocol
+
+from tests.cache.test_cache_rb import drain, read, write
+
+
+def make_system(num_caches=2, lines=2):
+    memory = MainMemory(64)
+    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    caches = [
+        SnoopingCache(RBProtocol(), DirectMapped(lines), name=f"cache{i}")
+        for i in range(num_caches)
+    ]
+    for cache in caches:
+        cache.connect(bus)
+    return memory, bus, caches
+
+
+class TestClassification:
+    def test_first_touch_is_compulsory(self):
+        _, bus, caches = make_system()
+        read(caches[0], bus, 5)
+        assert caches[0].stats.get("cache.read_miss_compulsory") == 1
+        assert caches[0].stats.get("cache.read_miss_replacement") == 0
+        assert caches[0].stats.get("cache.read_miss_coherence") == 0
+
+    def test_conflict_refill_is_replacement(self):
+        _, bus, caches = make_system(lines=2)
+        read(caches[0], bus, 0)
+        read(caches[0], bus, 2)   # evicts 0 (same frame)
+        read(caches[0], bus, 0)   # replacement miss
+        assert caches[0].stats.get("cache.read_miss_compulsory") == 2
+        assert caches[0].stats.get("cache.read_miss_replacement") == 1
+
+    def test_invalidation_refill_is_coherence(self):
+        _, bus, caches = make_system()
+        read(caches[0], bus, 0)
+        write(caches[1], bus, 0, 9)  # invalidates cache0's copy
+        read(caches[0], bus, 0)      # coherence miss
+        assert caches[0].stats.get("cache.read_miss_coherence") == 1
+
+    def test_classes_sum_to_read_misses(self):
+        _, bus, caches = make_system(lines=2)
+        read(caches[0], bus, 0)
+        read(caches[0], bus, 2)
+        read(caches[0], bus, 0)
+        write(caches[1], bus, 0, 1)
+        read(caches[0], bus, 0)
+        stats = caches[0].stats
+        total = (
+            stats.get("cache.read_miss_compulsory")
+            + stats.get("cache.read_miss_replacement")
+            + stats.get("cache.read_miss_coherence")
+        )
+        assert total == stats.get("cache.read_misses")
+
+    def test_hits_are_not_classified(self):
+        _, bus, caches = make_system()
+        read(caches[0], bus, 0)
+        read(caches[0], bus, 0)
+        assert caches[0].stats.get("cache.read_misses") == 1
+        assert caches[0].stats.total("cache.read_miss_") == 1

@@ -1,0 +1,70 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import (
+    FifoReplacement,
+    LruReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+from repro.common.errors import ConfigurationError
+
+
+def line(last_used=0, installed_at=0):
+    return CacheLine(address=1, last_used=last_used, installed_at=installed_at)
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        candidates = [(0, line(last_used=5)), (1, line(last_used=2)),
+                      (2, line(last_used=9))]
+        assert LruReplacement().choose_victim(candidates) == 1
+
+    def test_tie_breaks_by_frame(self):
+        candidates = [(3, line(last_used=2)), (1, line(last_used=2))]
+        assert LruReplacement().choose_victim(candidates) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            LruReplacement().choose_victim([])
+
+
+class TestFifo:
+    def test_evicts_oldest_install(self):
+        candidates = [(0, line(installed_at=9)), (1, line(installed_at=1))]
+        assert FifoReplacement().choose_victim(candidates) == 1
+
+    def test_ignores_recency(self):
+        old_but_hot = line(installed_at=1, last_used=100)
+        new_but_cold = line(installed_at=50, last_used=51)
+        assert FifoReplacement().choose_victim(
+            [(0, old_but_hot), (1, new_but_cold)]
+        ) == 0
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        candidates = [(i, line()) for i in range(8)]
+        a = RandomReplacement(seed=4)
+        b = RandomReplacement(seed=4)
+        assert [a.choose_victim(candidates) for _ in range(20)] == [
+            b.choose_victim(candidates) for _ in range(20)
+        ]
+
+    def test_chooses_member(self):
+        policy = RandomReplacement(seed=0)
+        candidates = [(2, line()), (7, line())]
+        for _ in range(20):
+            assert policy.choose_victim(candidates) in (2, 7)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random"])
+    def test_builds_each(self, name):
+        assert make_replacement(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_replacement("clock")

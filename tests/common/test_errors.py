@@ -1,0 +1,38 @@
+"""The exception hierarchy is catchable at one root."""
+
+import pytest
+
+from repro.common.errors import (
+    BusError,
+    CacheError,
+    ConfigurationError,
+    MemoryError_,
+    ProgramError,
+    ReproError,
+    VerificationError,
+)
+
+ALL_ERRORS = [
+    BusError,
+    CacheError,
+    ConfigurationError,
+    MemoryError_,
+    ProgramError,
+    VerificationError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_errors_catchable_at_root(error_type):
+    with pytest.raises(ReproError):
+        raise error_type("boom")
+
+
+def test_memory_error_does_not_shadow_builtin():
+    assert MemoryError_ is not MemoryError
+    assert not issubclass(MemoryError_, MemoryError)

@@ -1,0 +1,140 @@
+"""Unit and property tests for repro.common.rng."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_multiple_labels(self):
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.uniform_int(0, 100) for _ in range(10)] == [
+            b.uniform_int(0, 100) for _ in range(10)
+        ]
+
+    def test_uniform_int_bounds(self):
+        rng = DeterministicRng(0)
+        values = [rng.uniform_int(3, 7) for _ in range(200)]
+        assert min(values) >= 3
+        assert max(values) <= 7
+
+    def test_uniform_int_rejects_empty_range(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).uniform_int(5, 4)
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(0)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    def test_chance_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).chance(1.5)
+
+    def test_choose_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).choose([])
+
+    def test_choose_single(self):
+        assert DeterministicRng(0).choose(["only"]) == "only"
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRng(0)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_weighted_choice_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).weighted_choice(["a", "b"], [1.0, -1.0])
+
+    def test_weighted_choice_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).weighted_choice(["a", "b"], [0.0, 0.0])
+
+    def test_zipf_rank_bounds(self):
+        rng = DeterministicRng(7)
+        ranks = [rng.zipf_rank(10, 1.0) for _ in range(500)]
+        assert min(ranks) >= 0
+        assert max(ranks) <= 9
+
+    def test_zipf_rank_skews_low(self):
+        rng = DeterministicRng(7)
+        ranks = [rng.zipf_rank(100, 1.5) for _ in range(2000)]
+        low = sum(1 for rank in ranks if rank < 10)
+        assert low > len(ranks) / 2
+
+    def test_zipf_rank_zero_skew_is_uniformish(self):
+        rng = DeterministicRng(7)
+        ranks = [rng.zipf_rank(10, 0.0) for _ in range(5000)]
+        counts = [ranks.count(i) for i in range(10)]
+        assert min(counts) > 300
+
+    def test_zipf_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).zipf_rank(0)
+        with pytest.raises(ConfigurationError):
+            DeterministicRng(0).zipf_rank(5, -1.0)
+
+    def test_shuffled_is_permutation(self):
+        rng = DeterministicRng(1)
+        items = list(range(20))
+        assert sorted(rng.shuffled(items)) == items
+
+    def test_shuffled_does_not_mutate(self):
+        rng = DeterministicRng(1)
+        items = [3, 1, 2]
+        rng.shuffled(items)
+        assert items == [3, 1, 2]
+
+    def test_split_independent_streams(self):
+        rng = DeterministicRng(5)
+        a = rng.split("a")
+        b = rng.split("b")
+        assert [a.uniform_int(0, 1000) for _ in range(5)] != [
+            b.uniform_int(0, 1000) for _ in range(5)
+        ]
+
+    def test_split_deterministic(self):
+        assert (
+            DeterministicRng(5).split("x").uniform_int(0, 10**9)
+            == DeterministicRng(5).split("x").uniform_int(0, 10**9)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 200), skew=st.floats(0.0, 3.0), seed=st.integers(0, 1000))
+def test_zipf_rank_always_in_range(n, skew, seed):
+    rng = DeterministicRng(seed)
+    for _ in range(10):
+        assert 0 <= rng.zipf_rank(n, skew) < n
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=20),
+    seed=st.integers(0, 1000),
+)
+def test_choose_returns_member(items, seed):
+    assert DeterministicRng(seed).choose(items) in items

@@ -1,0 +1,109 @@
+"""Unit tests for repro.common.stats."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import CounterBag, RatioStat, StatSet
+
+
+class TestCounterBag:
+    def test_unknown_counter_reads_zero(self):
+        assert CounterBag().get("nothing") == 0
+
+    def test_add_and_get(self):
+        bag = CounterBag()
+        bag.add("hits")
+        bag.add("hits", 4)
+        assert bag.get("hits") == 5
+
+    def test_getitem(self):
+        bag = CounterBag({"a": 2})
+        assert bag["a"] == 2
+
+    def test_contains(self):
+        bag = CounterBag({"a": 1})
+        assert "a" in bag
+        assert "b" not in bag
+
+    def test_rejects_negative_add(self):
+        with pytest.raises(ConfigurationError):
+            CounterBag().add("x", -1)
+
+    def test_initial_mapping(self):
+        bag = CounterBag({"a": 1, "b": 2})
+        assert bag.as_dict() == {"a": 1, "b": 2}
+
+    def test_merge(self):
+        left = CounterBag({"a": 1, "b": 2})
+        right = CounterBag({"b": 3, "c": 4})
+        left.merge(right)
+        assert left.as_dict() == {"a": 1, "b": 5, "c": 4}
+
+    def test_total_with_prefix(self):
+        bag = CounterBag({"bus.op.read": 3, "bus.op.write": 2, "other": 9})
+        assert bag.total("bus.op.") == 5
+
+    def test_total_without_prefix_sums_all(self):
+        bag = CounterBag({"a": 1, "b": 2})
+        assert bag.total() == 3
+
+    def test_iteration_sorted(self):
+        bag = CounterBag({"z": 1, "a": 1, "m": 1})
+        assert list(bag) == ["a", "m", "z"]
+
+    def test_items_sorted(self):
+        bag = CounterBag({"z": 9, "a": 1})
+        assert list(bag.items()) == [("a", 1), ("z", 9)]
+
+    def test_repr_contains_counts(self):
+        assert "hits=2" in repr(CounterBag({"hits": 2}))
+
+
+class TestRatioStat:
+    def test_value(self):
+        assert RatioStat(1, 4).value == 0.25
+
+    def test_percent(self):
+        assert RatioStat(1, 4).percent == 25.0
+
+    def test_zero_denominator(self):
+        assert RatioStat(3, 0).value == 0.0
+
+    def test_str_format(self):
+        assert str(RatioStat(1, 2)) == "50.0% (1/2)"
+
+
+class TestStatSet:
+    def test_bag_creates_group(self):
+        stat_set = StatSet()
+        stat_set.bag("cache0").add("hits")
+        assert stat_set.bag("cache0").get("hits") == 1
+
+    def test_bag_returns_same_instance(self):
+        stat_set = StatSet()
+        assert stat_set.bag("x") is stat_set.bag("x")
+
+    def test_total_across_groups(self):
+        stat_set = StatSet()
+        stat_set.bag("cache0").add("hits", 2)
+        stat_set.bag("cache1").add("hits", 3)
+        stat_set.bag("bus").add("hits", 100)
+        assert stat_set.total("hits", "cache") == 5
+
+    def test_total_all_groups(self):
+        stat_set = StatSet()
+        stat_set.bag("a").add("n", 1)
+        stat_set.bag("b").add("n", 2)
+        assert stat_set.total("n") == 3
+
+    def test_ratio(self):
+        stat_set = StatSet()
+        stat_set.bag("cache0").add("hits", 1)
+        stat_set.bag("cache0").add("refs", 4)
+        ratio = stat_set.ratio("hits", "refs", "cache")
+        assert ratio.value == 0.25
+
+    def test_as_dict(self):
+        stat_set = StatSet()
+        stat_set.bag("g").add("c", 7)
+        assert stat_set.as_dict() == {"g": {"c": 7}}

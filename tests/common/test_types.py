@@ -1,0 +1,78 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    AccessType,
+    DataClass,
+    MemRef,
+    validate_address,
+)
+
+
+class TestAccessType:
+    def test_write_is_write(self):
+        assert AccessType.WRITE.is_write
+
+    def test_ts_is_write(self):
+        assert AccessType.TS.is_write
+
+    def test_read_is_not_write(self):
+        assert not AccessType.READ.is_write
+
+
+class TestDataClass:
+    def test_code_cachable_on_cmstar(self):
+        assert DataClass.CODE.is_cachable_on_cmstar
+
+    def test_local_cachable_on_cmstar(self):
+        assert DataClass.LOCAL.is_cachable_on_cmstar
+
+    def test_shared_not_cachable_on_cmstar(self):
+        assert not DataClass.SHARED.is_cachable_on_cmstar
+
+
+class TestValidateAddress:
+    def test_accepts_zero(self):
+        assert validate_address(0) == 0
+
+    def test_accepts_positive(self):
+        assert validate_address(12345) == 12345
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_address(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            validate_address(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigurationError):
+            validate_address("3")
+
+
+class TestMemRef:
+    def test_defaults(self):
+        ref = MemRef(0, AccessType.READ, 7)
+        assert ref.value == 0
+        assert ref.data_class is DataClass.SHARED
+
+    def test_rejects_negative_pe(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(-1, AccessType.READ, 0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(0, AccessType.READ, -5)
+
+    def test_is_frozen(self):
+        ref = MemRef(0, AccessType.WRITE, 3, value=9)
+        with pytest.raises(AttributeError):
+            ref.value = 10
+
+    def test_equality(self):
+        assert MemRef(1, AccessType.TS, 2, value=3) == MemRef(
+            1, AccessType.TS, 2, value=3
+        )

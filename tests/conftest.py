@@ -1,0 +1,53 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus.bus import SharedBus
+from repro.memory.main_memory import MainMemory
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+
+
+@pytest.fixture
+def memory() -> MainMemory:
+    """A small main memory."""
+    return MainMemory(size=256)
+
+
+@pytest.fixture
+def bus(memory: MainMemory) -> SharedBus:
+    """A single shared bus over the small memory."""
+    return SharedBus(memory)
+
+
+def make_scripted(
+    protocol: str = "rb",
+    num_pes: int = 3,
+    cache_lines: int = 8,
+    memory_size: int = 64,
+    **config_kwargs,
+) -> ScriptedMachine:
+    """A scripted machine with the common 3-PE test shape."""
+    return ScriptedMachine(
+        MachineConfig(
+            num_pes=num_pes,
+            protocol=protocol,
+            cache_lines=cache_lines,
+            memory_size=memory_size,
+            **config_kwargs,
+        )
+    )
+
+
+@pytest.fixture
+def rb_machine() -> ScriptedMachine:
+    """Scripted 3-PE machine running the RB scheme."""
+    return make_scripted("rb")
+
+
+@pytest.fixture
+def rwb_machine() -> ScriptedMachine:
+    """Scripted 3-PE machine running the RWB scheme."""
+    return make_scripted("rwb")

@@ -1,0 +1,85 @@
+"""Tests for the ablation suite's headline claims."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestArrayInitAblation:
+    def test_rb_vs_rwb_two_to_one(self):
+        result = ablations.ablate_array_init(array_words=128, cache_lines=16)
+        rows = {row[0]: row[1] for row in result.rows}
+        assert rows["rb"] > 1.7
+        assert rows["rwb"] == 1.0
+
+    def test_renders(self):
+        text = ablations.ablate_array_init(128, 16).render()
+        assert "Ablation" in text and "=>" in text
+
+
+class TestPromotionThreshold:
+    def test_k1_trades_workloads(self):
+        result = ablations.ablate_promotion_threshold(ks=(1, 2))
+        by_k = {row[0]: row for row in result.rows}
+        # k=1 avoids the second array-init bus write entirely (BI instead)
+        assert by_k[1][1] < by_k[2][1]
+        # ...but invalidates consumers far more in the cyclic pattern.
+        assert by_k[1][4] > by_k[2][4]
+
+
+class TestFirstWriteReset:
+    def test_both_policies_measured(self):
+        result = ablations.ablate_first_write_reset()
+        assert len(result.rows) == 2
+        labels = {row[0] for row in result.rows}
+        assert any("strict" in label for label in labels)
+        assert any("lenient" in label for label in labels)
+
+
+class TestReadBroadcast:
+    def test_ordering_event_only_worst_rwb_best(self):
+        result = ablations.ablate_read_broadcast()
+        reads = {row[0]: row[1] for row in result.rows}
+        assert reads["write-once"] > reads["rb"] > reads["rwb"]
+
+
+class TestTsVsTts:
+    def test_ts_grows_with_hold_tts_flat(self):
+        result = ablations.ablate_ts_vs_tts(critical_cycles=(10, 100))
+        def pick(crit, protocol, primitive):
+            for row in result.rows:
+                if row[0] == crit and row[1] == protocol and row[2] == primitive:
+                    return row[3]
+            raise AssertionError("row missing")
+
+        assert pick(100, "rb", "TS") > 2 * pick(10, "rb", "TS")
+        assert pick(100, "rb", "TTS") == pick(10, "rb", "TTS")
+        assert pick(100, "rwb", "TTS") == pick(10, "rwb", "TTS")
+
+
+class TestArbiters:
+    def test_all_policies_complete(self):
+        result = ablations.ablate_arbiter_policies()
+        assert len(result.rows) == 3
+        cycles = [row[1] for row in result.rows]
+        assert max(cycles) < 5 * min(cycles)
+
+
+class TestShootout:
+    def test_rwb_generates_least_traffic(self):
+        result = ablations.protocol_shootout(processors=4, refs_per_pe=300)
+        traffic = {row[0]: row[1] for row in result.rows}
+        assert traffic["rwb"] == min(traffic.values())
+
+    def test_rwb_fewest_invalidations(self):
+        result = ablations.protocol_shootout(processors=4, refs_per_pe=300)
+        invalidations = {row[0]: row[3] for row in result.rows}
+        assert invalidations["rwb"] == min(invalidations.values())
+
+
+@pytest.mark.slow
+def test_run_all_produces_every_ablation():
+    results = ablations.run_all()
+    assert len(results) == 13
+    assert all(result.rows for result in results)
+    assert all(result.finding for result in results)

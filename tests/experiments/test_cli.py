@@ -1,0 +1,32 @@
+"""Tests for the repro-experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_list_prints_targets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-3-1" in out
+        assert "table-1-1" in out
+
+    def test_runs_a_figure(self, capsys):
+        assert main(["figure-3-1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3-1" in out
+        assert "YES" in out
+
+    def test_runs_figure_6_2(self, capsys):
+        assert main(["figure-6-2"]) == 0
+        assert "Test-and-Test-and-Set" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["figure-9-9"])
+        assert exc.value.code == 2
+
+    def test_case_insensitive(self, capsys):
+        assert main(["FIGURE-5-1"]) == 0
+        assert "Figure 5-1" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Tests for the extension studies."""
+
+from repro.experiments import extensions
+
+
+class TestHierarchyStudy:
+    def test_checks_pass(self):
+        study = extensions.hierarchy_study()
+        assert study.ok, study.failures
+
+    def test_global_share_falls_with_clustering(self):
+        study = extensions.hierarchy_study()
+        shares = [float(row[4].rstrip("%")) for row in study.rows]
+        # 1x4 (everything on one local bus) has the lowest global share;
+        # clustering trades some global cold traffic for parallel local
+        # buses — cycles drop instead.
+        cycles = [row[1] for row in study.rows]
+        assert cycles[1] < cycles[0]
+        assert all(share < 50 for share in shares)
+
+    def test_render(self):
+        text = extensions.hierarchy_study().render()
+        assert "Extension" in text and "checks pass" in text
+
+
+class TestReliabilityStudy:
+    def test_checks_pass(self):
+        study = extensions.reliability_study()
+        assert study.ok, study.failures
+
+    def test_rwb_full_coverage(self):
+        study = extensions.reliability_study()
+        coverage = {row[0]: row[1] for row in study.rows}
+        assert coverage["rwb"] == "100%"
+
+
+class TestSystolicStudy:
+    def test_checks_pass(self):
+        study = extensions.systolic_study()
+        assert study.ok, study.failures
+
+    def test_counter_rows_present(self):
+        study = extensions.systolic_study()
+        labels = {row[0] for row in study.rows}
+        assert "counter/faa" in labels and "counter/lock" in labels
+
+
+def test_run_all_and_cli(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["extensions"]) == 0
+    out = capsys.readouterr().out
+    assert "hierarchical clusters" in out
+    assert "reliability" in out

@@ -1,0 +1,76 @@
+"""End-to-end tests for the Table 1-1 reproduction."""
+
+import pytest
+
+from repro.experiments import table_1_1
+from repro.experiments.table_1_1 import CACHE_SIZES, PAPER_CELLS
+from repro.workloads.cmstar import APP_PDE, APP_QSORT
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One shared run at moderate trace length (keeps the suite fast but
+    stays within ~2 points of the calibrated 80k-reference numbers)."""
+    return table_1_1.run(num_refs=40_000)
+
+
+class TestShape:
+    def test_shape_properties_hold(self, result):
+        assert result.ok, result.shape_violations
+
+    def test_read_miss_strictly_decreasing(self, result):
+        for app in (APP_QSORT, APP_PDE):
+            column = [cell.read_miss.percent for cell in result.column(app.name)]
+            assert column == sorted(column, reverse=True)
+
+    def test_constant_columns(self, result):
+        for app in (APP_QSORT, APP_PDE):
+            writes = [cell.local_write.percent for cell in result.column(app.name)]
+            shared = [cell.shared.percent for cell in result.column(app.name)]
+            assert max(writes) - min(writes) < 1e-9  # identical counts
+            assert max(shared) - min(shared) < 1e-9
+
+    def test_total_is_sum(self, result):
+        for (_, _), cell in result.cells.items():
+            assert cell.total_miss.percent == pytest.approx(
+                cell.read_miss.percent
+                + cell.local_write.percent
+                + cell.shared.percent
+            )
+
+
+class TestAbsoluteBands:
+    def test_constant_columns_match_paper_exactly(self, result):
+        for app in (APP_QSORT, APP_PDE):
+            for size in CACHE_SIZES:
+                cell = result.cells[(app.name, size)]
+                paper = PAPER_CELLS[app.name][size]
+                assert cell.local_write.percent == pytest.approx(
+                    paper[1], abs=0.8
+                )
+                assert cell.shared.percent == pytest.approx(paper[2], abs=0.8)
+
+    def test_read_miss_in_paper_band(self, result):
+        """Within a few points of every published cell (the traces are
+        synthetic; the shape is the claim)."""
+        for app in (APP_QSORT, APP_PDE):
+            for size in CACHE_SIZES:
+                cell = result.cells[(app.name, size)]
+                paper_value = PAPER_CELLS[app.name][size][0]
+                assert cell.read_miss.percent == pytest.approx(
+                    paper_value, abs=4.0
+                )
+
+    def test_largest_cache_close_to_uniprocessor_figure(self, result):
+        """Section 1: 'The figure of 6% read misses is roughly close to
+        that measured on uniprocessors'."""
+        cell = result.cells[(APP_QSORT.name, 2048)]
+        assert cell.read_miss.percent < 10.0
+
+
+class TestRender:
+    def test_render_contains_sizes_and_verdict(self, result):
+        text = table_1_1.render(result)
+        for size in CACHE_SIZES:
+            assert str(size) in text
+        assert "Shape properties hold: YES" in text

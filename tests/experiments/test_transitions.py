@@ -1,0 +1,98 @@
+"""Unit tests for the transition-table enumerator behind Figures 3-1/5-1."""
+
+from repro.bus.transaction import BusOp
+from repro.experiments.transitions import (
+    BUS_INVALIDATE,
+    BUS_READ,
+    BUS_WRITE,
+    CPU_READ,
+    CPU_WRITE,
+    TransitionEntry,
+    diff_transitions,
+    enumerate_transitions,
+)
+from repro.protocols.rb import RBProtocol
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+from repro.protocols.write_once import WriteOnceProtocol
+
+
+class TestEnumeration:
+    def test_rb_has_no_invalidate_column(self):
+        entries = enumerate_transitions(RBProtocol())
+        stimuli = {entry.stimulus for entry in entries}
+        assert BUS_INVALIDATE not in stimuli
+
+    def test_rwb_has_invalidate_column(self):
+        entries = enumerate_transitions(RWBProtocol())
+        stimuli = {entry.stimulus for entry in entries}
+        assert BUS_INVALIDATE in stimuli
+
+    def test_local_read_edge_uses_interrupt_modifier(self):
+        entries = enumerate_transitions(RBProtocol())
+        edge = next(
+            e for e in entries
+            if e.state is LineState.LOCAL and e.stimulus == BUS_READ
+        )
+        assert edge.modifiers == ("2",)
+        assert edge.next_state is LineState.READABLE
+
+    def test_rwb_k3_first_write_stays_on_bus_write(self):
+        """With k=3 the diagram's F edge for CPU write still promotes (the
+        representative meta is k-1)."""
+        entries = enumerate_transitions(RWBProtocol(local_promotion_writes=3))
+        edge = next(
+            e for e in entries
+            if e.state is LineState.FIRST_WRITE and e.stimulus == CPU_WRITE
+        )
+        assert edge.modifiers == ("4",)
+        assert edge.next_state is LineState.LOCAL
+
+    def test_write_once_dirty_supplies(self):
+        entries = enumerate_transitions(WriteOnceProtocol())
+        edge = next(
+            e for e in entries
+            if e.state is LineState.DIRTY and e.stimulus == BUS_READ
+        )
+        assert edge.modifiers == ("2",)
+
+    def test_absorption_flags(self):
+        entries = enumerate_transitions(RWBProtocol())
+        bus_write_edges = [e for e in entries if e.stimulus == BUS_WRITE]
+        assert all(edge.absorbs for edge in bus_write_edges)
+
+    def test_cells_render(self):
+        entry = TransitionEntry(
+            LineState.INVALID, CPU_READ, LineState.READABLE, ("3",)
+        )
+        assert entry.cells() == ["I", "CPU read", "R", "3", "no"]
+
+
+class TestDiff:
+    def base_entry(self):
+        return TransitionEntry(
+            LineState.INVALID, CPU_READ, LineState.READABLE, ("3",)
+        )
+
+    def test_identical_tables_no_diff(self):
+        entries = enumerate_transitions(RBProtocol())
+        assert diff_transitions(entries, entries) == []
+
+    def test_missing_edge_reported(self):
+        assert "missing edge" in diff_transitions([], [self.base_entry()])[0]
+
+    def test_unexpected_edge_reported(self):
+        assert "unexpected edge" in diff_transitions([self.base_entry()], [])[0]
+
+    def test_changed_destination_reported(self):
+        got = TransitionEntry(
+            LineState.INVALID, CPU_READ, LineState.LOCAL, ("3",)
+        )
+        problems = diff_transitions([got], [self.base_entry()])
+        assert "expected R" in problems[0]
+
+    def test_changed_modifier_reported(self):
+        got = TransitionEntry(
+            LineState.INVALID, CPU_READ, LineState.READABLE, ("1",)
+        )
+        assert diff_transitions([got], [self.base_entry()])

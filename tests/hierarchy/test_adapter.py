@@ -1,0 +1,104 @@
+"""Unit-level tests of the cluster adapter's local-memory face."""
+
+import pytest
+
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.common.errors import ConfigurationError, MemoryError_
+from repro.common.types import AccessType, MemRef
+from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
+from repro.hierarchy.adapter import ClusterAdapter
+from repro.protocols.rb import RBProtocol
+
+
+def make_machine(**overrides):
+    defaults = dict(num_clusters=2, pes_per_cluster=2, l1_lines=8,
+                    l2_lines=16, memory_size=128)
+    defaults.update(overrides)
+    return HierarchicalMachine(HierarchicalConfig(**defaults))
+
+
+class TestConstruction:
+    def test_rejects_empty_l2(self):
+        machine = make_machine()
+        with pytest.raises(ConfigurationError):
+            ClusterAdapter("x", machine.global_bus, machine.memory,
+                           RBProtocol(), l2_lines=0)
+
+    def test_agents_attached_per_l1(self):
+        machine = make_machine(pes_per_cluster=3)
+        adapter = machine.clusters[0].adapter
+        assert len(adapter._lock_agents) == 3
+
+
+class TestPrepare:
+    def test_read_not_ready_until_l2_fetches(self):
+        machine = make_machine()
+        adapter = machine.clusters[0].adapter
+        l1_client = machine.clusters[0].l1s[0].client_id
+        txn = BusTransaction(BusOp.READ, 5, originator=l1_client)
+        assert not adapter.prepare(txn)       # starts the L2 fetch
+        machine.global_bus.step()             # global read completes
+        assert adapter.prepare(txn)           # now served from the L2
+
+    def test_read_executes_only_when_ready(self):
+        machine = make_machine()
+        adapter = machine.clusters[0].adapter
+        with pytest.raises(MemoryError_):
+            adapter.read(5)
+
+    def test_read_lock_requires_global_token(self):
+        machine = make_machine()
+        adapter = machine.clusters[0].adapter
+        with pytest.raises(MemoryError_):
+            adapter.read_lock(5, client_id=0)
+
+    def test_unlock_requires_local_holder(self):
+        machine = make_machine()
+        adapter = machine.clusters[0].adapter
+        with pytest.raises(MemoryError_):
+            adapter.unlock(5, client_id=0)
+
+    def test_unknown_client_has_no_agent(self):
+        machine = make_machine()
+        adapter = machine.clusters[0].adapter
+        txn = BusTransaction(BusOp.READ_LOCK, 5, originator=99)
+        with pytest.raises(ConfigurationError):
+            adapter.prepare(txn)
+
+
+class TestPeek:
+    def test_peek_prefers_live_l2_copy(self):
+        machine = make_machine(l2_protocol="rb")
+        machine.load_traces([
+            [MemRef(0, AccessType.WRITE, 3, value=1),
+             MemRef(0, AccessType.WRITE, 3, value=2)],
+            [], [], [],
+        ])
+        machine.run()
+        adapter = machine.clusters[0].adapter
+        # Second write was silent into the Local L2: memory stale at 1.
+        assert machine.memory.peek(3) == 1
+        assert adapter.peek(3) == 2
+
+    def test_peek_falls_back_to_memory(self):
+        machine = make_machine()
+        machine.memory.poke(9, 42)
+        assert machine.clusters[1].adapter.peek(9) == 42
+
+
+class TestBusyTracking:
+    def test_idle_after_quiescence(self):
+        machine = make_machine()
+        machine.load_traces([
+            [MemRef(0, AccessType.WRITE, 1, value=5)], [], [], [],
+        ])
+        machine.run()
+        for cluster in machine.clusters:
+            assert not cluster.adapter.busy
+
+    def test_busy_during_fetch(self):
+        machine = make_machine()
+        adapter = machine.clusters[0].adapter
+        l1_client = machine.clusters[0].l1s[0].client_id
+        adapter.prepare(BusTransaction(BusOp.READ, 5, originator=l1_client))
+        assert adapter.busy

@@ -1,0 +1,255 @@
+"""Tests for the hierarchical (two-level, clustered) extension."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType, MemRef
+from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
+from repro.hierarchy.consistency import run_hierarchical_consistency_trial
+from repro.protocols.states import LineState
+from repro.sync.locks import build_lock_program
+
+
+def make_machine(**overrides):
+    defaults = dict(num_clusters=2, pes_per_cluster=2, l1_lines=8,
+                    l2_lines=16, memory_size=256)
+    defaults.update(overrides)
+    return HierarchicalMachine(HierarchicalConfig(**defaults))
+
+
+def ref(pe, access, address, value=0):
+    return MemRef(pe, access, address, value=value)
+
+
+class TestConfig:
+    def test_total_pes(self):
+        assert HierarchicalConfig(num_clusters=3, pes_per_cluster=4).total_pes == 12
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [("num_clusters", 0), ("pes_per_cluster", 0), ("l1_lines", 0),
+         ("l2_lines", 0), ("memory_size", 0), ("num_regs", 0)],
+    )
+    def test_rejects_non_positive(self, field, value):
+        config = HierarchicalConfig(**{field: value})
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+
+class TestAssembly:
+    def test_shape(self):
+        machine = make_machine(num_clusters=3, pes_per_cluster=2)
+        assert len(machine.clusters) == 3
+        assert all(len(cluster.l1s) == 2 for cluster in machine.clusters)
+
+    def test_program_count_must_match(self):
+        machine = make_machine()
+        with pytest.raises(ConfigurationError):
+            machine.load_programs([])
+
+    def test_l1s_run_write_through(self):
+        machine = make_machine()
+        for cluster in machine.clusters:
+            for l1 in cluster.l1s:
+                assert l1.protocol.name == "write-through"
+
+
+class TestCrossClusterCoherence:
+    def test_write_visible_across_clusters(self):
+        machine = make_machine()
+        machine.load_traces([
+            [ref(0, AccessType.WRITE, 5, 77)],
+            [], [ref(2, AccessType.READ, 5)], [],
+        ])
+        machine.run()
+        assert machine.latest_value(5) == 77
+
+    def test_stale_l1_copies_invalidated_by_filter(self):
+        """Cluster 1 caches a word; cluster 0 overwrites it; cluster 1
+        re-reads and must see the new value."""
+        machine = make_machine()
+        machine.load_traces([
+            [ref(0, AccessType.WRITE, 5, 2)],
+            [],
+            [ref(2, AccessType.READ, 5), ref(2, AccessType.READ, 5),
+             ref(2, AccessType.READ, 5)],
+            [],
+        ])
+        machine.run()
+        machine.drivers = []
+        # Second phase: cluster 0 writes again, cluster 1 re-reads.
+        machine.load_traces([
+            [ref(0, AccessType.WRITE, 5, 9)],
+            [], [], [],
+        ])
+        machine.run()
+        filtered = sum(
+            cluster.adapter.stats.get("adapter.filtered_invalidations")
+            for cluster in machine.clusters
+        )
+        assert filtered >= 1
+        assert machine.latest_value(5) == 9
+
+    def test_cluster_local_writes_stay_local(self):
+        """Repeated writes by one cluster hit the Local L2 line and stop
+        generating global traffic — the hierarchy's scaling argument."""
+        machine = make_machine(l2_protocol="rb")
+        stream = [ref(0, AccessType.WRITE, 7, v) for v in range(1, 11)]
+        machine.load_traces([stream, [], [], []])
+        machine.run()
+        bus = machine.global_bus.stats
+        # First write goes global (write-through into L2-Local); the other
+        # nine stay inside the cluster.
+        assert bus.get("bus.op.write") <= 2
+        assert machine.latest_value(7) == 10
+
+    def test_l2_supplies_dirty_line_to_other_cluster(self):
+        machine = make_machine(l2_protocol="rb")
+        machine.load_traces([
+            [ref(0, AccessType.WRITE, 7, 1), ref(0, AccessType.WRITE, 7, 2)],
+            [], [ref(2, AccessType.READ, 7)], [],
+        ])
+        machine.run()
+        # Cluster 1 must have read 2 (the dirty L2-Local value), and the
+        # interrupt mechanism wrote it back.
+        assert machine.memory.peek(7) == 2
+
+
+class TestHierarchicalLocks:
+    @pytest.mark.parametrize("l2_protocol", ["rb", "rwb"])
+    def test_cross_cluster_mutual_exclusion(self, l2_protocol):
+        """TTS lock shared across clusters: every acquisition must be
+        exclusive machine-wide (global lock pass-through)."""
+        machine = make_machine(l2_protocol=l2_protocol, l1_lines=8)
+        program = build_lock_program(
+            lock_address=0, rounds=4, use_tts=True, critical_cycles=6
+        )
+        machine.load_programs([program] * 4)
+        machine.run(max_cycles=3_000_000)
+        assert all(driver.done for driver in machine.drivers)
+        assert machine.latest_value(0) == 0
+        successes = sum(
+            l1.stats.get("cache.ts_success")
+            for cluster in machine.clusters
+            for l1 in cluster.l1s
+        )
+        assert successes == 4 * 4
+
+    def test_counter_under_lock_is_exact(self):
+        from repro.workloads.counter import build_lock_counter_program
+
+        machine = make_machine(l2_protocol="rwb")
+        program = build_lock_counter_program(5)
+        machine.load_programs([program] * 4)
+        machine.run(max_cycles=3_000_000)
+        assert machine.latest_value(1) == 20
+
+
+class TestSerializability:
+    @pytest.mark.parametrize("l2_protocol", ["rb", "rwb", "write-once",
+                                             "write-through"])
+    def test_random_trials_consistent(self, l2_protocol):
+        for seed in (0, 1):
+            report = run_hierarchical_consistency_trial(
+                l2_protocol=l2_protocol, seed=seed, ops_per_pe=80
+            )
+            assert report.ok, report.violations[:3]
+
+    def test_three_clusters(self):
+        report = run_hierarchical_consistency_trial(
+            num_clusters=3, pes_per_cluster=2, seed=5, ops_per_pe=60
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_rwb_k1_variant(self):
+        report = run_hierarchical_consistency_trial(
+            l2_protocol="rwb",
+            l2_protocol_options={"local_promotion_writes": 1},
+            seed=3, ops_per_pe=60,
+        )
+        assert report.ok, report.violations[:3]
+
+
+class TestTrafficSplit:
+    def test_local_traffic_dominates_for_cluster_private_data(self):
+        """Each cluster hammers its own words: local buses carry the load,
+        the global bus sees only the cold fetches."""
+        machine = make_machine(l2_protocol="rb", l2_lines=32)
+        streams = []
+        for pe in range(4):
+            cluster = pe // 2
+            base = cluster * 16
+            stream = []
+            for i in range(20):
+                stream.append(ref(pe, AccessType.WRITE, base + i % 4, i + 1))
+                stream.append(ref(pe, AccessType.READ, base + i % 4))
+            streams.append(stream)
+        machine.load_traces(streams)
+        machine.run(max_cycles=1_000_000)
+        assert machine.local_traffic() > 3 * machine.global_traffic()
+
+
+class TestAdapterStats:
+    def test_stats_grouped(self):
+        machine = make_machine()
+        machine.load_traces([
+            [ref(0, AccessType.WRITE, 1, 5)], [], [], [],
+        ])
+        machine.run()
+        groups = machine.stats.groups
+        assert "global-bus" in groups
+        assert "local-bus0" in groups
+        assert "cluster0-l2" in groups
+        assert "cluster0-adapter" in groups
+
+
+class TestMultiBusGlobalFabric:
+    """Section 7's interleaved multi-bus composed with the hierarchy."""
+
+    def test_build_and_run(self):
+        machine = make_machine(global_buses=2)
+        machine.load_traces([
+            [ref(0, AccessType.WRITE, 5, 7)],
+            [], [ref(2, AccessType.READ, 5)], [],
+        ])
+        machine.run()
+        assert machine.latest_value(5) == 7
+
+    def test_rejects_zero_buses(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalConfig(global_buses=0).validate()
+
+    @pytest.mark.parametrize("global_buses", [2, 3])
+    def test_serializes_under_multibus(self, global_buses):
+        report = run_hierarchical_consistency_trial(
+            global_buses=global_buses, seed=7, ops_per_pe=80
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_cross_cluster_lock_under_multibus(self):
+        machine = make_machine(global_buses=2, l2_protocol="rwb")
+        program = build_lock_program(
+            lock_address=0, rounds=3, use_tts=True, critical_cycles=5
+        )
+        machine.load_programs([program] * 4)
+        machine.run(max_cycles=3_000_000)
+        successes = sum(
+            l1.stats.get("cache.ts_success")
+            for cluster in machine.clusters
+            for l1 in cluster.l1s
+        )
+        assert successes == 12
+        assert machine.latest_value(0) == 0
+
+
+class TestL2EvictionPressure:
+    """Tiny L2s force conflict evictions (including dirty write-backs of
+    Local lines) under cross-cluster sharing; consistency must survive."""
+
+    @pytest.mark.parametrize("l2_protocol", ["rb", "rwb", "write-once"])
+    def test_serializes_with_l2_thrashing(self, l2_protocol):
+        report = run_hierarchical_consistency_trial(
+            l2_protocol=l2_protocol, seed=3, ops_per_pe=100,
+            num_addresses=9, l2_lines=4, l1_lines=2,
+        )
+        assert report.ok, report.violations[:3]

@@ -1,0 +1,94 @@
+"""Property-based consistency testing: the Theorem under random fire.
+
+Hypothesis drives random operation scripts through real machines (every
+protocol, hostile cache sizes, optional multi-bus) and the Section 4
+serial-order checker must find every read consistent.  A second battery
+drives random action sequences through the abstract kernel and re-checks
+the Lemma's invariants state by state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.protocols.states import LineState
+from repro.verify.kernel import ACTIONS, SingleAddressKernel
+from repro.verify.serialization import run_random_consistency_trial
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    protocol=st.sampled_from(["rb", "rwb", "write-once", "write-through"]),
+    seed=st.integers(0, 10_000),
+    num_pes=st.integers(2, 5),
+    cache_lines=st.sampled_from([2, 4, 8]),
+)
+def test_random_workloads_serialize(protocol, seed, num_pes, cache_lines):
+    report = run_random_consistency_trial(
+        protocol,
+        num_pes=num_pes,
+        ops_per_pe=60,
+        cache_lines=cache_lines,
+        seed=seed,
+    )
+    assert report.ok, report.violations[:3]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(1, 4),
+    num_buses=st.integers(1, 3),
+)
+def test_rwb_variants_serialize(seed, k, num_buses):
+    report = run_random_consistency_trial(
+        "rwb",
+        protocol_options={"local_promotion_writes": k},
+        num_buses=num_buses,
+        ops_per_pe=60,
+        seed=seed,
+    )
+    assert report.ok, report.violations[:3]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    protocol_name=st.sampled_from(["rb", "rwb", "write-once", "write-through"]),
+    script=st.lists(
+        st.tuples(st.sampled_from(ACTIONS), st.integers(0, 2)),
+        min_size=1,
+        max_size=25,
+    ),
+)
+def test_kernel_invariants_under_random_action_sequences(protocol_name, script):
+    """Single-writer + configuration Lemma along arbitrary action paths."""
+    protocol = make_protocol(protocol_name)
+    kernel = SingleAddressKernel(protocol)
+    state = kernel.initial_state(3)
+    for action, index in script:
+        state = kernel.apply(state, action, index)
+        dirty = [
+            cache for cache in state.caches
+            if cache.present and cache.state.may_differ_from_memory
+        ]
+        assert len(dirty) <= 1
+        if dirty:
+            others = [
+                cache for cache in state.caches
+                if cache.present and not cache.state.may_differ_from_memory
+            ]
+            assert all(cache.state is LineState.INVALID for cache in others)
+        # The latest value is never lost.
+        assert state.memory_has_latest or any(
+            cache.present and cache.has_latest for cache in state.caches
+        )
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+def test_registry_protocols_all_serialize_one_hostile_trial(protocol):
+    report = run_random_consistency_trial(
+        protocol, num_pes=4, ops_per_pe=150, num_addresses=4, cache_lines=2,
+        seed=99,
+    )
+    assert report.ok, report.violations[:3]

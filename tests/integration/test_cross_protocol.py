@@ -1,0 +1,111 @@
+"""Cross-protocol integration: identical workloads, identical final values.
+
+Coherence protocols may differ arbitrarily in traffic, but the *values*
+a program computes must not depend on the protocol.  These tests run the
+same deterministic workloads under every protocol and multi-bus width and
+require identical logical memory images.
+"""
+
+import pytest
+
+from repro.common.types import AccessType, MemRef
+from repro.common.rng import DeterministicRng
+from repro.protocols.registry import available_protocols
+from repro.sync.locks import build_lock_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def final_image(protocol, streams, addresses, num_buses=1, cache_lines=4):
+    config = MachineConfig(
+        num_pes=len(streams), protocol=protocol, cache_lines=cache_lines,
+        memory_size=64, num_buses=num_buses,
+    )
+    machine = Machine(config)
+    machine.load_traces([list(s) for s in streams])
+    machine.run(max_cycles=1_000_000)
+    return [machine.latest_value(address) for address in addresses]
+
+
+def single_writer_streams(seed):
+    """Each address is written by exactly one PE (deterministic final
+    image) while everyone reads everything (maximal snoop traffic)."""
+    rng = DeterministicRng(seed)
+    streams = [[] for _ in range(3)]
+    addresses = list(range(9))
+    for step in range(60):
+        for pe in range(3):
+            if rng.chance(0.4):
+                owned = [a for a in addresses if a % 3 == pe]
+                address = rng.choose(owned)
+                streams[pe].append(
+                    MemRef(pe, AccessType.WRITE, address,
+                           value=step * 10 + pe + 1)
+                )
+            else:
+                streams[pe].append(
+                    MemRef(pe, AccessType.READ, rng.choose(addresses))
+                )
+    return streams, addresses
+
+
+class TestProtocolAgnosticResults:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_final_image_across_protocols(self, seed):
+        streams, addresses = single_writer_streams(seed)
+        images = {
+            protocol: final_image(protocol, streams, addresses)
+            for protocol in available_protocols()
+        }
+        baseline = images["write-through"]
+        for protocol, image in images.items():
+            assert image == baseline, f"{protocol} diverged"
+
+    def test_same_final_image_across_bus_widths(self):
+        streams, addresses = single_writer_streams(7)
+        one = final_image("rwb", streams, addresses, num_buses=1)
+        two = final_image("rwb", streams, addresses, num_buses=2)
+        three = final_image("rwb", streams, addresses, num_buses=3)
+        assert one == two == three
+
+    def test_same_final_image_across_cache_sizes(self):
+        streams, addresses = single_writer_streams(8)
+        small = final_image("rb", streams, addresses, cache_lines=2)
+        large = final_image("rb", streams, addresses, cache_lines=32)
+        assert small == large
+
+
+class TestLockCountingAcrossProtocols:
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_critical_section_counter_is_exact(self, protocol):
+        """Mutual exclusion: PEs increment a shared counter under the lock;
+        the final count must equal the total number of acquisitions."""
+        from repro.processor.program import Assembler
+        from repro.sync.primitives import emit_release, emit_tts_acquire
+
+        num_pes, rounds = 3, 6
+        programs = []
+        for _ in range(num_pes):
+            asm = Assembler()
+            asm.loadi(1, 0)       # lock address
+            asm.loadi(3, 1)       # const 1
+            asm.loadi(4, 0)       # const 0
+            asm.loadi(7, 1)       # counter address
+            asm.loadi(5, rounds)
+            asm.label("round")
+            emit_tts_acquire(asm, 1, 2, 3, "acq")
+            asm.load(6, 7)        # counter += 1, under the lock
+            asm.add(6, 6, 3)
+            asm.store(7, 6)
+            emit_release(asm, 1, 4)
+            asm.sub(5, 5, 3)
+            asm.bnez(5, "round")
+            asm.halt()
+            programs.append(asm.assemble())
+        machine = Machine(
+            MachineConfig(num_pes=num_pes, protocol=protocol,
+                          cache_lines=8, memory_size=64)
+        )
+        machine.load_programs(programs)
+        machine.run(max_cycles=5_000_000)
+        assert machine.latest_value(1) == num_pes * rounds

@@ -1,0 +1,137 @@
+"""Unit tests for the shared main memory and its RMW locking."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, MemoryError_
+from repro.memory.main_memory import LockGranularity, MainMemory
+
+
+class TestConstruction:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory(0)
+
+    def test_rejects_bad_module_words(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory(16, module_words=0)
+
+
+class TestPlainAccess:
+    def test_unwritten_reads_zero(self):
+        assert MainMemory(8).read(3) == 0
+
+    def test_write_then_read(self):
+        memory = MainMemory(8)
+        memory.write(2, 99)
+        assert memory.read(2) == 99
+
+    def test_out_of_range_read(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(8).read(8)
+
+    def test_out_of_range_write(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(8).write(100, 1)
+
+    def test_peek_does_not_count(self):
+        memory = MainMemory(8)
+        memory.peek(0)
+        assert memory.stats.get("memory.reads") == 0
+
+    def test_poke_does_not_count(self):
+        memory = MainMemory(8)
+        memory.poke(0, 5)
+        assert memory.stats.get("memory.writes") == 0
+        assert memory.peek(0) == 5
+
+    def test_read_write_counters(self):
+        memory = MainMemory(8)
+        memory.write(0, 1)
+        memory.read(0)
+        memory.read(1)
+        assert memory.stats.get("memory.writes") == 1
+        assert memory.stats.get("memory.reads") == 2
+
+
+class TestWordLocking:
+    def test_read_lock_returns_value(self):
+        memory = MainMemory(8)
+        memory.poke(1, 42)
+        assert memory.read_lock(1, client_id=0) == 42
+
+    def test_locked_against_other_client(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        assert memory.is_locked_against(1, client_id=5)
+
+    def test_not_locked_against_holder(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        assert not memory.is_locked_against(1, client_id=0)
+
+    def test_word_granularity_isolates_addresses(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        assert not memory.is_locked_against(2, client_id=5)
+
+    def test_write_unlock_stores_and_releases(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        memory.write_unlock(1, 7, client_id=0)
+        assert memory.peek(1) == 7
+        assert not memory.is_locked_against(1, client_id=5)
+
+    def test_unlock_releases_without_store(self):
+        memory = MainMemory(8)
+        memory.poke(1, 3)
+        memory.read_lock(1, client_id=0)
+        memory.unlock(1, client_id=0)
+        assert memory.peek(1) == 3
+        assert not memory.is_locked_against(1, client_id=5)
+
+    def test_foreign_read_lock_rejected(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        with pytest.raises(MemoryError_):
+            memory.read_lock(1, client_id=1)
+
+    def test_relock_by_holder_allowed(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        assert memory.read_lock(1, client_id=0) == 0
+
+    def test_foreign_unlock_rejected(self):
+        memory = MainMemory(8)
+        memory.read_lock(1, client_id=0)
+        with pytest.raises(MemoryError_):
+            memory.unlock(1, client_id=1)
+
+    def test_unlock_without_lock_rejected(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(8).unlock(0, client_id=0)
+
+    def test_locked_regions_count(self):
+        memory = MainMemory(8)
+        assert memory.locked_regions == 0
+        memory.read_lock(1, client_id=0)
+        memory.read_lock(2, client_id=1)
+        assert memory.locked_regions == 2
+
+
+class TestCoarserGranularities:
+    def test_module_granularity_spans_region(self):
+        memory = MainMemory(1024, LockGranularity.MODULE, module_words=256)
+        memory.read_lock(10, client_id=0)
+        assert memory.is_locked_against(200, client_id=1)  # same module
+        assert not memory.is_locked_against(300, client_id=1)  # next module
+
+    def test_all_granularity_locks_everything(self):
+        memory = MainMemory(64, LockGranularity.ALL)
+        memory.read_lock(5, client_id=0)
+        assert memory.is_locked_against(63, client_id=1)
+
+    def test_module_unlock_by_any_address_in_region(self):
+        memory = MainMemory(1024, LockGranularity.MODULE, module_words=256)
+        memory.read_lock(10, client_id=0)
+        memory.write_unlock(20, 1, client_id=0)  # same region
+        assert not memory.is_locked_against(10, client_id=1)

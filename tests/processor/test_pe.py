@@ -1,0 +1,169 @@
+"""Unit tests for the processing-element interpreter."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.processor.program import Assembler
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def run_program(asm_builder, num_pes=1, max_cycles=10_000, **config_kwargs):
+    config = MachineConfig(
+        num_pes=num_pes, protocol="rb", cache_lines=8, memory_size=64,
+        **config_kwargs,
+    )
+    machine = Machine(config)
+    programs = []
+    for pe in range(num_pes):
+        asm = Assembler()
+        asm_builder(asm, pe)
+        programs.append(asm.assemble())
+    machine.load_programs(programs)
+    machine.run(max_cycles=max_cycles)
+    return machine
+
+
+class TestArithmetic:
+    def test_loadi_and_mov(self):
+        def build(asm, pe):
+            asm.loadi(1, 42).mov(2, 1).halt()
+
+        machine = run_program(build)
+        pe = machine.drivers[0]
+        assert pe.regs[1] == 42
+        assert pe.regs[2] == 42
+
+    def test_add_sub_addi(self):
+        def build(asm, pe):
+            asm.loadi(1, 10).loadi(2, 3)
+            asm.add(3, 1, 2)
+            asm.sub(4, 1, 2)
+            asm.addi(5, 1, -7)
+            asm.halt()
+
+        pe = run_program(build).drivers[0]
+        assert pe.regs[3] == 13
+        assert pe.regs[4] == 7
+        assert pe.regs[5] == 3
+
+
+class TestControlFlow:
+    def test_counting_loop(self):
+        def build(asm, pe):
+            asm.loadi(1, 5)      # counter
+            asm.loadi(2, 0)      # accumulator
+            asm.loadi(3, 1)
+            asm.label("loop")
+            asm.add(2, 2, 3)
+            asm.sub(1, 1, 3)
+            asm.bnez(1, "loop")
+            asm.halt()
+
+        pe = run_program(build).drivers[0]
+        assert pe.regs[2] == 5
+
+    def test_beqz_taken_and_not(self):
+        def build(asm, pe):
+            asm.loadi(1, 0)
+            asm.beqz(1, "skip")
+            asm.loadi(2, 99)     # skipped
+            asm.label("skip")
+            asm.loadi(3, 7)
+            asm.halt()
+
+        pe = run_program(build).drivers[0]
+        assert pe.regs[2] == 0
+        assert pe.regs[3] == 7
+
+    def test_jmp(self):
+        def build(asm, pe):
+            asm.jmp("end")
+            asm.loadi(1, 1)
+            asm.label("end")
+            asm.halt()
+
+        assert run_program(build).drivers[0].regs[1] == 0
+
+
+class TestMemoryAccess:
+    def test_store_then_load(self):
+        def build(asm, pe):
+            asm.loadi(1, 20)     # address
+            asm.loadi(2, 345)    # value
+            asm.store(1, 2)
+            asm.load(3, 1)
+            asm.halt()
+
+        machine = run_program(build)
+        assert machine.drivers[0].regs[3] == 345
+        assert machine.memory.peek(20) in (0, 345)  # L may hold it dirty
+
+    def test_ts_instruction(self):
+        def build(asm, pe):
+            asm.loadi(1, 5)      # lock address
+            asm.loadi(2, 1)      # value to set
+            asm.ts(3, 1, 2)      # wins: r3 = 0
+            asm.ts(4, 1, 2)      # fails: r4 = 1
+            asm.halt()
+
+        pe = run_program(build).drivers[0]
+        assert pe.regs[3] == 0
+        assert pe.regs[4] == 1
+
+    def test_contended_loads_stall(self):
+        """With two PEs missing simultaneously, one waits for the bus."""
+
+        def build(asm, pe):
+            asm.loadi(1, 7 + pe)
+            asm.load(2, 1)
+            asm.halt()
+
+        machine = run_program(build, num_pes=2)
+        stalls = [
+            machine.stats.bag(f"pe{i}").get("pe.stall_cycles") for i in range(2)
+        ]
+        assert max(stalls) >= 1
+
+
+class TestFaults:
+    def test_register_out_of_range(self):
+        def build(asm, pe):
+            asm.loadi(15, 1)
+            asm.mov(1, 15)
+            asm.halt()
+
+        # num_regs=16 makes r15 valid; shrink the file to force the fault.
+        with pytest.raises(ProgramError):
+            run_program(build, num_regs=8)
+
+    def test_running_off_program_end(self):
+        def build(asm, pe):
+            asm.nop()  # no halt
+
+        with pytest.raises(ProgramError):
+            run_program(build)
+
+    def test_halted_pe_stays_halted(self):
+        def build(asm, pe):
+            asm.halt()
+
+        machine = run_program(build)
+        driver = machine.drivers[0]
+        assert driver.done
+        driver.step()  # no-op, no error
+        assert driver.done
+
+
+class TestStats:
+    def test_instruction_and_load_counts(self):
+        def build(asm, pe):
+            asm.loadi(1, 3)
+            asm.load(2, 1)
+            asm.store(1, 2)
+            asm.halt()
+
+        stats = run_program(build).stats.bag("pe0")
+        assert stats.get("pe.instructions") == 4
+        assert stats.get("pe.loads") == 1
+        assert stats.get("pe.stores") == 1

@@ -1,0 +1,109 @@
+"""Unit tests for the assembler and Program type."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.processor.isa import Instruction, Opcode
+from repro.processor.program import Assembler, Program
+
+
+class TestAssembler:
+    def test_empty_program(self):
+        assert len(Assembler().assemble()) == 0
+
+    def test_label_resolution(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.nop()
+        asm.jmp("top")
+        program = asm.assemble()
+        assert program[1].op is Opcode.JMP
+        assert program[1].c == 0
+
+    def test_forward_label(self):
+        asm = Assembler()
+        asm.beqz(1, "end")
+        asm.nop()
+        asm.label("end")
+        asm.halt()
+        program = asm.assemble()
+        assert program[0].c == 2
+
+    def test_undefined_label(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(ProgramError):
+            asm.assemble()
+
+    def test_duplicate_label(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(ProgramError):
+            asm.label("x")
+
+    def test_fluent_chaining(self):
+        program = Assembler().loadi(1, 5).mov(2, 1).halt().assemble()
+        assert [i.op for i in program.instructions] == [
+            Opcode.LOADI,
+            Opcode.MOV,
+            Opcode.HALT,
+        ]
+
+    def test_nops_count(self):
+        program = Assembler().nops(3).halt().assemble()
+        assert len(program) == 4
+
+    def test_nops_rejects_negative(self):
+        with pytest.raises(ProgramError):
+            Assembler().nops(-1)
+
+    def test_every_emitter_encodes_fields(self):
+        asm = Assembler()
+        asm.loadi(1, 42)
+        asm.addi(2, 1, -3)
+        asm.add(3, 1, 2)
+        asm.sub(4, 3, 1)
+        asm.load(5, 1)
+        asm.store(1, 5)
+        asm.ts(6, 1, 5)
+        program = asm.assemble()
+        assert program[0] == Instruction(Opcode.LOADI, a=1, b=42)
+        assert program[1] == Instruction(Opcode.ADDI, a=2, b=1, c=-3)
+        assert program[2] == Instruction(Opcode.ADD, a=3, b=1, c=2)
+        assert program[3] == Instruction(Opcode.SUB, a=4, b=3, c=1)
+        assert program[4] == Instruction(Opcode.LOAD, a=5, b=1)
+        assert program[5] == Instruction(Opcode.STORE, a=1, b=5)
+        assert program[6] == Instruction(Opcode.TS, a=6, b=1, c=5)
+
+
+class TestProgram:
+    def test_pc_past_end(self):
+        program = Assembler().halt().assemble()
+        with pytest.raises(ProgramError):
+            program[5]
+
+    def test_listing_contains_labels(self):
+        asm = Assembler()
+        asm.label("loop")
+        asm.nop()
+        asm.jmp("loop")
+        listing = asm.assemble().listing()
+        assert "loop:" in listing
+        assert "jmp" in listing
+
+
+class TestInstruction:
+    def test_branch_requires_resolved_target(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.JMP, c=-1)
+
+    def test_memory_opcodes(self):
+        assert Opcode.LOAD.touches_memory
+        assert Opcode.STORE.touches_memory
+        assert Opcode.TS.touches_memory
+        assert not Opcode.ADD.touches_memory
+
+    def test_branch_opcodes(self):
+        assert Opcode.JMP.is_branch
+        assert Opcode.BEQZ.is_branch
+        assert not Opcode.LOAD.is_branch

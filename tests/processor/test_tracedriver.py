@@ -1,0 +1,70 @@
+"""Unit tests for the trace-replay driver."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.common.types import AccessType, MemRef
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def run_traces(streams, protocol="rb", **config_kwargs):
+    config = MachineConfig(
+        num_pes=len(streams), protocol=protocol, cache_lines=8,
+        memory_size=64, **config_kwargs,
+    )
+    machine = Machine(config)
+    machine.load_traces(streams)
+    machine.run(max_cycles=100_000)
+    return machine
+
+
+class TestReplay:
+    def test_write_then_read_reaches_memory_path(self):
+        machine = run_traces([
+            [MemRef(0, AccessType.WRITE, 3, value=9),
+             MemRef(0, AccessType.READ, 3)],
+        ])
+        assert machine.drivers[0].done
+        assert machine.latest_value(3) == 9
+
+    def test_ts_results_collected(self):
+        machine = run_traces([
+            [MemRef(0, AccessType.TS, 0, value=1),
+             MemRef(0, AccessType.TS, 0, value=1)],
+        ])
+        assert machine.drivers[0].ts_results == [0, 1]
+
+    def test_refs_for_wrong_pe_rejected(self):
+        with pytest.raises(ProgramError):
+            run_traces([[MemRef(1, AccessType.READ, 0)]])
+
+    def test_empty_stream_is_done_immediately(self):
+        machine = run_traces([[]])
+        assert machine.drivers[0].done
+
+    def test_remaining_counts_down(self):
+        config = MachineConfig(num_pes=1, protocol="rb", cache_lines=8,
+                               memory_size=64)
+        machine = Machine(config)
+        machine.load_traces([[MemRef(0, AccessType.READ, 1),
+                              MemRef(0, AccessType.READ, 2)]])
+        driver = machine.drivers[0]
+        assert driver.remaining == 2
+        machine.run(max_cycles=1000)
+        assert driver.remaining == 0
+
+    def test_one_issue_per_cycle(self):
+        """Each reference occupies at least one cycle."""
+        machine = run_traces([
+            [MemRef(0, AccessType.READ, i) for i in range(5)],
+        ])
+        assert machine.cycle >= 5
+
+    def test_interleaved_pes_share_bus(self):
+        machine = run_traces([
+            [MemRef(0, AccessType.WRITE, 3, value=1)],
+            [MemRef(1, AccessType.WRITE, 3, value=2)],
+        ])
+        assert machine.latest_value(3) in (1, 2)
+        assert machine.stats.bag("bus").get("bus.op.write") == 2

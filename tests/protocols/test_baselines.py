@@ -1,0 +1,145 @@
+"""Unit tests for the Goodman write-once and write-through baselines."""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError
+from repro.protocols.states import LineState
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.protocols.write_through import WriteThroughInvalidateProtocol
+
+I, V, RSV, D, NP = (
+    LineState.INVALID,
+    LineState.VALID,
+    LineState.RESERVED,
+    LineState.DIRTY,
+    LineState.NOT_PRESENT,
+)
+
+
+class TestWriteOnceReads:
+    @pytest.fixture
+    def wo(self):
+        return WriteOnceProtocol()
+
+    @pytest.mark.parametrize("state", [V, RSV, D])
+    def test_valid_states_hit(self, wo, state):
+        assert wo.on_cpu_read(state, 0).is_local_hit
+
+    @pytest.mark.parametrize("state", [I, NP])
+    def test_miss_fills_valid(self, wo, state):
+        reaction = wo.on_cpu_read(state, 0)
+        assert reaction.bus_op is BusOp.READ
+        assert reaction.next_state is V
+
+
+class TestWriteOnceLadder:
+    @pytest.fixture
+    def wo(self):
+        return WriteOnceProtocol()
+
+    def test_first_write_goes_through_to_reserved(self, wo):
+        reaction = wo.on_cpu_write(V, 0)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is RSV
+
+    def test_second_write_dirties_silently(self, wo):
+        reaction = wo.on_cpu_write(RSV, 0)
+        assert reaction.is_local_hit
+        assert reaction.next_state is D
+
+    def test_dirty_stays_dirty(self, wo):
+        reaction = wo.on_cpu_write(D, 0)
+        assert reaction.is_local_hit
+        assert reaction.next_state is D
+
+    def test_write_miss_default_writes_once(self, wo):
+        reaction = wo.on_cpu_write(I, 0)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is RSV
+
+    def test_write_miss_with_fetch_policy_reads_first(self):
+        wo = WriteOnceProtocol(fetch_on_write_miss=True)
+        reaction = wo.on_cpu_write(I, 0)
+        assert reaction.bus_op is BusOp.READ
+        assert not reaction.writes_value
+
+
+class TestWriteOnceSnoop:
+    @pytest.fixture
+    def wo(self):
+        return WriteOnceProtocol()
+
+    def test_no_read_broadcast(self, wo):
+        """The defining contrast with RB: an Invalid line ignores foreign
+        bus reads entirely."""
+        reaction = wo.on_snoop(I, 0, BusOp.READ)
+        assert reaction.next_state is I
+        assert not reaction.absorb_value
+
+    def test_reserved_loses_exclusivity_on_read(self, wo):
+        assert wo.on_snoop(RSV, 0, BusOp.READ).next_state is V
+
+    @pytest.mark.parametrize("state", [V, RSV, D, I])
+    def test_bus_write_invalidates(self, wo, state):
+        reaction = wo.on_snoop(state, 0, BusOp.WRITE)
+        assert reaction.next_state is I
+        assert not reaction.absorb_value
+
+    def test_dirty_interrupts_reads(self, wo):
+        assert wo.interrupts_bus_read(D)
+        with pytest.raises(CacheError):
+            wo.on_snoop(D, 0, BusOp.READ)
+
+    def test_supplying_demotes_dirty_to_valid(self, wo):
+        assert wo.state_after_supplying(D) is V
+
+    def test_only_dirty_needs_writeback(self, wo):
+        assert wo.needs_writeback(D)
+        assert not wo.needs_writeback(RSV)
+        assert not wo.needs_writeback(V)
+
+
+class TestWriteOnceTsHooks:
+    def test_success_reserves(self):
+        assert WriteOnceProtocol().state_after_ts_success() == (RSV, 0)
+
+    def test_failure_keeps_valid(self):
+        assert WriteOnceProtocol().state_after_ts_fail() == (V, 0)
+
+
+class TestWriteThrough:
+    @pytest.fixture
+    def wt(self):
+        return WriteThroughInvalidateProtocol()
+
+    def test_valid_read_hits(self, wt):
+        assert wt.on_cpu_read(V, 0).is_local_hit
+
+    def test_miss_fills_valid(self, wt):
+        assert wt.on_cpu_read(I, 0).bus_op is BusOp.READ
+
+    @pytest.mark.parametrize("state", [V, I, NP])
+    def test_every_write_goes_to_bus(self, wt, state):
+        reaction = wt.on_cpu_write(state, 0)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is V
+
+    def test_bus_write_invalidates(self, wt):
+        assert wt.on_snoop(V, 0, BusOp.WRITE).next_state is I
+
+    def test_bus_read_ignored(self, wt):
+        reaction = wt.on_snoop(V, 0, BusOp.READ)
+        assert reaction.next_state is V
+        assert not reaction.absorb_value
+
+    def test_nothing_interrupts(self, wt):
+        assert not wt.interrupts_bus_read(V)
+        assert not wt.interrupts_bus_read(I)
+
+    def test_nothing_needs_writeback(self, wt):
+        assert not wt.needs_writeback(V)
+
+    def test_ts_hooks(self, wt):
+        assert wt.state_after_ts_success() == (V, 0)
+        assert wt.state_after_ts_fail() == (V, 0)

@@ -1,0 +1,140 @@
+"""Unit tests for the RB transition table (Figure 3-1)."""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError
+from repro.protocols.rb import RBProtocol
+from repro.protocols.states import LineState
+
+I, R, L, NP = (
+    LineState.INVALID,
+    LineState.READABLE,
+    LineState.LOCAL,
+    LineState.NOT_PRESENT,
+)
+
+
+@pytest.fixture
+def rb():
+    return RBProtocol()
+
+
+class TestCpuRead:
+    def test_readable_hits(self, rb):
+        reaction = rb.on_cpu_read(R, 0)
+        assert reaction.is_local_hit
+        assert reaction.next_state is R
+
+    def test_local_hits(self, rb):
+        reaction = rb.on_cpu_read(L, 0)
+        assert reaction.is_local_hit
+        assert reaction.next_state is L
+
+    def test_invalid_misses_to_bus_read(self, rb):
+        reaction = rb.on_cpu_read(I, 0)
+        assert reaction.bus_op is BusOp.READ
+        assert reaction.next_state is R
+
+    def test_not_present_misses(self, rb):
+        assert rb.on_cpu_read(NP, 0).bus_op is BusOp.READ
+
+
+class TestCpuWrite:
+    def test_local_hits_silently(self, rb):
+        reaction = rb.on_cpu_write(L, 0)
+        assert reaction.is_local_hit
+        assert reaction.next_state is L
+        assert reaction.writes_value
+
+    def test_readable_writes_through_to_local(self, rb):
+        reaction = rb.on_cpu_write(R, 0)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is L
+
+    def test_invalid_writes_through_to_local(self, rb):
+        reaction = rb.on_cpu_write(I, 0)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is L
+
+    def test_never_emits_invalidate(self, rb):
+        for state in (R, I, L, NP):
+            assert rb.on_cpu_write(state, 0).bus_op is not BusOp.INVALIDATE
+
+
+class TestSnoop:
+    def test_readable_ignores_bus_read(self, rb):
+        reaction = rb.on_snoop(R, 0, BusOp.READ)
+        assert reaction.next_state is R
+        assert not reaction.absorb_value
+
+    def test_readable_invalidated_by_bus_write(self, rb):
+        assert rb.on_snoop(R, 0, BusOp.WRITE).next_state is I
+
+    def test_invalid_absorbs_read_broadcast(self, rb):
+        reaction = rb.on_snoop(I, 0, BusOp.READ)
+        assert reaction.next_state is R
+        assert reaction.absorb_value
+
+    def test_invalid_ignores_bus_write(self, rb):
+        reaction = rb.on_snoop(I, 0, BusOp.WRITE)
+        assert reaction.next_state is I
+        assert not reaction.absorb_value
+
+    def test_local_invalidated_by_bus_write(self, rb):
+        assert rb.on_snoop(L, 0, BusOp.WRITE).next_state is I
+
+    def test_local_never_snoops_a_read(self, rb):
+        """L interrupts bus reads; snooping one is a table hole."""
+        with pytest.raises(CacheError):
+            rb.on_snoop(L, 0, BusOp.READ)
+
+    def test_invalidate_is_foreign_to_rb(self, rb):
+        with pytest.raises(CacheError):
+            rb.on_snoop(R, 0, BusOp.INVALIDATE)
+
+    def test_read_lock_snoops_like_read(self, rb):
+        reaction = rb.on_snoop(I, 0, BusOp.READ_LOCK)
+        assert reaction.next_state is R
+        assert reaction.absorb_value
+
+    def test_write_unlock_snoops_like_write(self, rb):
+        assert rb.on_snoop(R, 0, BusOp.WRITE_UNLOCK).next_state is I
+
+
+class TestDirtyHandling:
+    def test_only_local_interrupts(self, rb):
+        assert rb.interrupts_bus_read(L)
+        assert not rb.interrupts_bus_read(R)
+        assert not rb.interrupts_bus_read(I)
+
+    def test_supplying_demotes_to_readable(self, rb):
+        assert rb.state_after_supplying(L) is R
+
+    def test_supplying_from_clean_state_rejected(self, rb):
+        with pytest.raises(CacheError):
+            rb.state_after_supplying(R)
+
+    def test_only_local_needs_writeback(self, rb):
+        assert rb.needs_writeback(L)
+        assert not rb.needs_writeback(R)
+        assert not rb.needs_writeback(I)
+
+
+class TestTestAndSetHooks:
+    def test_success_assumes_local_configuration(self, rb):
+        assert rb.state_after_ts_success() == (L, 0)
+
+    def test_failure_keeps_readable_copy(self, rb):
+        assert rb.state_after_ts_fail() == (R, 0)
+
+
+class TestMeta:
+    def test_states_declaration(self, rb):
+        assert set(rb.states) == {I, R, L}
+
+    def test_name(self, rb):
+        assert rb.name == "rb"
+
+    def test_describe_mentions_states(self, rb):
+        assert "rb" in rb.describe()

@@ -1,0 +1,69 @@
+"""Unit tests for the protocol registry."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+from repro.protocols.rwb import RWBProtocol
+
+
+class TestMakeProtocol:
+    def test_all_registered_names_build(self):
+        for name in available_protocols():
+            assert isinstance(make_protocol(name), CoherenceProtocol)
+
+    def test_expected_names(self):
+        assert available_protocols() == [
+            "rb",
+            "rwb",
+            "rwb-competitive",
+            "write-once",
+            "write-through",
+        ]
+
+    def test_options_forwarded(self):
+        protocol = make_protocol("rwb", local_promotion_writes=3)
+        assert isinstance(protocol, RWBProtocol)
+        assert protocol.local_promotion_writes == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("moesi")
+
+    def test_bad_options(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("rb", not_an_option=1)
+
+
+class TestRegisterProtocol:
+    def test_register_and_build(self):
+        class Custom(RWBProtocol):
+            name = "custom-test"
+
+        register_protocol("custom-test", Custom)
+        try:
+            assert isinstance(make_protocol("custom-test"), Custom)
+        finally:
+            # Clean the global registry for other tests.
+            from repro.protocols import registry
+
+            del registry._FACTORIES["custom-test"]
+
+    def test_collision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_protocol("rb", RWBProtocol)
+
+    def test_replace_allowed_explicitly(self):
+        from repro.protocols import registry
+
+        original = registry._FACTORIES["rb"]
+        try:
+            register_protocol("rb", RWBProtocol, replace=True)
+            assert isinstance(make_protocol("rb"), RWBProtocol)
+        finally:
+            registry._FACTORIES["rb"] = original

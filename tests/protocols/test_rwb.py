@@ -1,0 +1,158 @@
+"""Unit tests for the RWB transition table (Figure 5-1) and its knobs."""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError, ConfigurationError
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+
+I, R, F, L, NP = (
+    LineState.INVALID,
+    LineState.READABLE,
+    LineState.FIRST_WRITE,
+    LineState.LOCAL,
+    LineState.NOT_PRESENT,
+)
+
+
+@pytest.fixture
+def rwb():
+    return RWBProtocol()
+
+
+class TestConstruction:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ConfigurationError):
+            RWBProtocol(local_promotion_writes=0)
+
+    def test_default_is_two_writes(self, rwb):
+        assert rwb.local_promotion_writes == 2
+
+    def test_default_is_strict_reset(self, rwb):
+        assert rwb.reset_first_write_on_bus_read
+
+
+class TestCpuRead:
+    @pytest.mark.parametrize("state", [R, F, L])
+    def test_valid_states_hit(self, rwb, state):
+        reaction = rwb.on_cpu_read(state, 0)
+        assert reaction.is_local_hit
+        assert reaction.next_state is state
+
+    def test_first_write_read_keeps_meta(self, rwb):
+        assert rwb.on_cpu_read(F, 1).next_meta == 1
+
+    @pytest.mark.parametrize("state", [I, NP])
+    def test_misses_fill_to_readable(self, rwb, state):
+        reaction = rwb.on_cpu_read(state, 0)
+        assert reaction.bus_op is BusOp.READ
+        assert reaction.next_state is R
+
+
+class TestCpuWrite:
+    def test_local_hits_silently(self, rwb):
+        reaction = rwb.on_cpu_write(L, 0)
+        assert reaction.is_local_hit
+        assert reaction.writes_value
+
+    @pytest.mark.parametrize("state", [R, I, NP])
+    def test_first_write_broadcasts_data(self, rwb, state):
+        reaction = rwb.on_cpu_write(state, 0)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is F
+        assert reaction.next_meta == 1
+
+    def test_second_write_promotes_with_invalidate(self, rwb):
+        reaction = rwb.on_cpu_write(F, 1)
+        assert reaction.bus_op is BusOp.INVALIDATE
+        assert reaction.next_state is L
+
+    def test_k3_intermediate_write_stays_first_write(self):
+        protocol = RWBProtocol(local_promotion_writes=3)
+        reaction = protocol.on_cpu_write(F, 1)
+        assert reaction.bus_op is BusOp.WRITE
+        assert reaction.next_state is F
+        assert reaction.next_meta == 2
+        final = protocol.on_cpu_write(F, 2)
+        assert final.bus_op is BusOp.INVALIDATE
+        assert final.next_state is L
+
+    def test_k1_promotes_immediately(self):
+        protocol = RWBProtocol(local_promotion_writes=1)
+        reaction = protocol.on_cpu_write(R, 0)
+        assert reaction.bus_op is BusOp.INVALIDATE
+        assert reaction.next_state is L
+
+
+class TestSnoop:
+    @pytest.mark.parametrize("state", [R, F, I, L])
+    def test_bus_write_broadcast_absorbed_everywhere(self, rwb, state):
+        reaction = rwb.on_snoop(state, 0, BusOp.WRITE)
+        assert reaction.next_state is R
+        assert reaction.absorb_value
+
+    def test_invalid_absorbs_read_broadcast(self, rwb):
+        reaction = rwb.on_snoop(I, 0, BusOp.READ)
+        assert reaction.next_state is R
+        assert reaction.absorb_value
+
+    def test_readable_ignores_bus_read(self, rwb):
+        assert rwb.on_snoop(R, 0, BusOp.READ).next_state is R
+
+    def test_strict_policy_demotes_first_write_on_bus_read(self, rwb):
+        assert rwb.on_snoop(F, 1, BusOp.READ).next_state is R
+
+    def test_lenient_policy_keeps_first_write_on_bus_read(self):
+        protocol = RWBProtocol(reset_first_write_on_bus_read=False)
+        reaction = protocol.on_snoop(F, 1, BusOp.READ)
+        assert reaction.next_state is F
+        assert reaction.next_meta == 1
+
+    @pytest.mark.parametrize("state", [R, F, I, L])
+    def test_invalidate_clears_everyone(self, rwb, state):
+        assert rwb.on_snoop(state, 0, BusOp.INVALIDATE).next_state is I
+
+    def test_local_never_snoops_a_read(self, rwb):
+        with pytest.raises(CacheError):
+            rwb.on_snoop(L, 0, BusOp.READ)
+
+
+class TestDirtyHandling:
+    def test_first_write_is_clean(self, rwb):
+        """F entered via write-through: memory already has the value, so
+        eviction must be silent."""
+        assert not rwb.needs_writeback(F)
+
+    def test_local_is_dirty(self, rwb):
+        assert rwb.needs_writeback(L)
+
+    def test_only_local_interrupts(self, rwb):
+        assert rwb.interrupts_bus_read(L)
+        assert not rwb.interrupts_bus_read(F)
+
+
+class TestTestAndSetHooks:
+    def test_success_enters_first_write(self, rwb):
+        """Figure 6-3's R(1) F(1) R(1) row: winning a lock is a first
+        write, not a local claim."""
+        assert rwb.state_after_ts_success() == (F, 1)
+
+    def test_success_with_k1_stays_readable(self):
+        """With k=1 the unlock-write broadcast left everyone in R; a Local
+        claim here would break the single-writer Lemma."""
+        assert RWBProtocol(local_promotion_writes=1).state_after_ts_success() == (
+            R,
+            0,
+        )
+
+    def test_failure_keeps_readable_copy(self, rwb):
+        assert rwb.state_after_ts_fail() == (R, 0)
+
+
+class TestMeta:
+    def test_states_declaration(self, rwb):
+        assert set(rwb.states) == {I, R, F, L}
+
+    def test_name(self, rwb):
+        assert rwb.name == "rwb"

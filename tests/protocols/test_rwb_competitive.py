@@ -1,0 +1,106 @@
+"""Unit + behavioural tests for the competitive RWB variant."""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import ConfigurationError
+from repro.protocols.rwb_competitive import RWBCompetitiveProtocol
+from repro.protocols.states import LineState
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+
+I, R, F, L = (
+    LineState.INVALID,
+    LineState.READABLE,
+    LineState.FIRST_WRITE,
+    LineState.LOCAL,
+)
+
+
+class TestTable:
+    def test_rejects_zero_limit(self):
+        with pytest.raises(ConfigurationError):
+            RWBCompetitiveProtocol(update_limit=0)
+
+    def test_absorbs_below_the_limit(self):
+        protocol = RWBCompetitiveProtocol(update_limit=3)
+        reaction = protocol.on_snoop(R, 0, BusOp.WRITE)
+        assert reaction.next_state is R
+        assert reaction.absorb_value
+        assert reaction.next_meta == 1
+
+    def test_self_invalidates_at_the_limit(self):
+        protocol = RWBCompetitiveProtocol(update_limit=3)
+        reaction = protocol.on_snoop(R, 2, BusOp.WRITE)
+        assert reaction.next_state is I
+        assert not reaction.absorb_value
+
+    def test_limit_one_is_pure_invalidation_on_update(self):
+        protocol = RWBCompetitiveProtocol(update_limit=1)
+        assert protocol.on_snoop(R, 0, BusOp.WRITE).next_state is I
+
+    def test_local_read_resets_the_run(self):
+        protocol = RWBCompetitiveProtocol(update_limit=2)
+        reaction = protocol.on_cpu_read(R, 1)
+        assert reaction.is_local_hit
+        assert reaction.next_meta == 0
+
+    def test_foreign_read_does_not_reset_the_run(self):
+        protocol = RWBCompetitiveProtocol(update_limit=2)
+        reaction = protocol.on_snoop(R, 1, BusOp.READ)
+        assert reaction.next_state is R
+        assert reaction.next_meta == 1
+
+    def test_inherits_rwb_first_write_ladder(self):
+        protocol = RWBCompetitiveProtocol()
+        write = protocol.on_cpu_write(R, 0)
+        assert write.next_state is F
+        promote = protocol.on_cpu_write(F, 1)
+        assert promote.bus_op is BusOp.INVALIDATE
+        assert promote.next_state is L
+
+
+class TestBehaviour:
+    """Three PEs: two *alternating* writers (each interrupts the other's
+    first-write run, so every write broadcasts) and one consumer."""
+
+    def make(self, **options):
+        return ScriptedMachine(
+            MachineConfig(num_pes=3, protocol="rwb-competitive",
+                          protocol_options=options, cache_lines=8,
+                          memory_size=32)
+        )
+
+    def test_idle_copy_stops_absorbing(self):
+        machine = self.make(update_limit=2)
+        machine.read(2, 3)          # consumer caches the word once
+        for value in range(1, 9):   # alternating writers, consumer idle
+            machine.write(value % 2, 3, value)
+        consumer = machine.caches[2]
+        assert consumer.stats.get("cache.absorbed_writes") <= 1
+        assert consumer.state_of(3) is I
+
+    def test_dropped_copy_stays_dropped_on_further_writes(self):
+        machine = self.make(update_limit=1)
+        machine.read(2, 3)
+        for value in range(1, 6):
+            machine.write(value % 2, 3, value)
+        assert machine.caches[2].stats.get("cache.absorbed_writes") == 0
+
+    def test_active_reader_keeps_absorbing(self):
+        machine = self.make(update_limit=2)
+        machine.read(2, 3)
+        for value in range(1, 6):
+            machine.write(value % 2, 3, value)
+            assert machine.read(2, 3) == value   # read resets the run
+        consumer = machine.caches[2]
+        assert consumer.state_of(3) is R
+        assert consumer.stats.get("cache.absorbed_writes") == 5
+
+    def test_values_always_correct_after_self_invalidation(self):
+        machine = self.make(update_limit=2)
+        machine.read(2, 3)
+        for value in range(1, 8):
+            machine.write(value % 2, 3, value)
+        # After self-invalidation the consumer re-fetches the latest.
+        assert machine.read(2, 3) == 7

@@ -1,0 +1,135 @@
+"""Tests for fault injection, scavenging and the recoverability sweep."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.reliability.experiment import run_recoverability
+from repro.reliability.faults import FaultInjector
+from repro.reliability.scavenger import scavenge
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+
+
+def make_machine(protocol="rwb", num_pes=3):
+    return ScriptedMachine(
+        MachineConfig(num_pes=num_pes, protocol=protocol, cache_lines=8,
+                      memory_size=32)
+    )
+
+
+class TestFaultInjector:
+    def test_memory_corruption_changes_value(self):
+        machine = make_machine()
+        machine.write(0, 3, 7)
+        injector = FaultInjector(machine.machine)
+        fault = injector.corrupt_memory(3)
+        assert fault.original == 7
+        assert machine.memory.peek(3) == fault.corrupted != 7
+
+    def test_cache_corruption_requires_live_line(self):
+        machine = make_machine()
+        injector = FaultInjector(machine.machine)
+        assert injector.corrupt_cache(1, 3) is None  # nothing cached
+        machine.read(1, 3)
+        assert injector.corrupt_cache(1, 3) is not None
+
+    def test_zero_mask_rejected(self):
+        machine = make_machine()
+        with pytest.raises(ConfigurationError):
+            FaultInjector(machine.machine, mask=0)
+
+    def test_bad_cache_index(self):
+        machine = make_machine()
+        injector = FaultInjector(machine.machine)
+        with pytest.raises(ConfigurationError):
+            injector.corrupt_cache(9, 0)
+
+    def test_injection_log(self):
+        machine = make_machine()
+        machine.write(0, 1, 5)
+        injector = FaultInjector(machine.machine)
+        injector.corrupt_memory(1)
+        assert len(injector.injected) == 1
+        assert injector.injected[0].location == "memory"
+
+
+class TestScavenger:
+    def test_dirty_holder_wins(self):
+        """A Local copy defines the latest value even against memory."""
+        machine = make_machine("rb")
+        machine.write(0, 3, 5)
+        machine.write(0, 3, 9)   # silent local write; memory stale at 5
+        outcome = scavenge(machine.machine, 3)
+        assert outcome.recovered_value == 9
+        assert outcome.dirty_copy_used
+        assert machine.memory.peek(3) == 9  # repaired
+
+    def test_majority_outvotes_corrupt_memory(self):
+        machine = make_machine("rwb")
+        machine.write(0, 3, 5)
+        machine.read(1, 3)
+        machine.read(2, 3)
+        FaultInjector(machine.machine).corrupt_memory(3)
+        outcome = scavenge(machine.machine, 3)
+        assert outcome.recovered_value == 5
+        assert not outcome.dirty_copy_used
+        assert outcome.replicas >= 3
+
+    def test_majority_outvotes_one_corrupt_cache_under_rwb(self):
+        machine = make_machine("rwb")
+        machine.write(0, 3, 5)
+        machine.read(1, 3)
+        machine.read(2, 3)
+        FaultInjector(machine.machine).corrupt_cache(1, 3)
+        outcome = scavenge(machine.machine, 3, repair_memory=False)
+        assert outcome.recovered_value == 5
+
+    def test_repair_memory_flag(self):
+        machine = make_machine("rwb")
+        machine.write(0, 3, 5)
+        machine.read(1, 3)
+        FaultInjector(machine.machine).corrupt_memory(3)
+        scavenge(machine.machine, 3, repair_memory=False)
+        assert machine.memory.peek(3) != 5
+        scavenge(machine.machine, 3, repair_memory=True)
+        assert machine.memory.peek(3) == 5
+
+    def test_unanimous_flag(self):
+        machine = make_machine("rwb")
+        machine.write(0, 3, 5)
+        machine.read(1, 3)
+        outcome = scavenge(machine.machine, 3)
+        assert outcome.unanimous
+
+
+class TestRecoverability:
+    def test_rwb_covers_every_single_fault(self):
+        result = run_recoverability("rwb")
+        assert result.coverage == 1.0
+        assert result.mean_replicas >= 3.0
+
+    def test_invalidation_schemes_lose_half(self):
+        """After a fresh write only the writer and memory hold the value;
+        corrupting either leaves a 1-vs-1 tie the blind scavenger can
+        lose — the separation the paper predicts."""
+        for protocol in ("rb", "write-once", "write-through"):
+            result = run_recoverability(protocol)
+            assert result.coverage < 0.75, protocol
+            assert result.mean_replicas <= 2.5, protocol
+
+    def test_rwb_beats_rb(self):
+        rwb = run_recoverability("rwb")
+        rb = run_recoverability("rb")
+        assert rwb.coverage > rb.coverage
+        assert rwb.mean_replicas > rb.mean_replicas
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            run_recoverability("rb", shared_words=0)
+        with pytest.raises(ConfigurationError):
+            run_recoverability("rb", num_pes=2, readers_per_word=2)
+
+    def test_details_enumerate_all_faults(self):
+        result = run_recoverability("rwb", shared_words=4)
+        assert len(result.details) == result.faults
+        assert {d[0] for d in result.details} == set(range(4))

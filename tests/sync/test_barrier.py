@@ -1,0 +1,64 @@
+"""Integration tests for the sense-reversing barrier."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sync.barrier import BarrierAddresses, build_barrier_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+ADDRESSES = BarrierAddresses(lock=0, counter=1, sense=2)
+
+
+def run_barrier(protocol, num_pes, episodes, work_cycles=0):
+    config = MachineConfig(
+        num_pes=num_pes, protocol=protocol, cache_lines=16, memory_size=64
+    )
+    machine = Machine(config)
+    program = build_barrier_program(num_pes, episodes, ADDRESSES, work_cycles)
+    machine.load_programs([program] * num_pes)
+    machine.run(max_cycles=5_000_000)
+    return machine
+
+
+class TestAddresses:
+    def test_rejects_aliased_words(self):
+        with pytest.raises(ConfigurationError):
+            BarrierAddresses(lock=0, counter=0, sense=1)
+
+
+class TestBuilder:
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ConfigurationError):
+            build_barrier_program(0, 1, ADDRESSES)
+
+    def test_rejects_zero_episodes(self):
+        with pytest.raises(ConfigurationError):
+            build_barrier_program(2, 0, ADDRESSES)
+
+
+@pytest.mark.parametrize("protocol", ["rb", "rwb"])
+class TestBarrierSemantics:
+    def test_all_pes_complete(self, protocol):
+        machine = run_barrier(protocol, num_pes=3, episodes=4)
+        assert all(driver.done for driver in machine.drivers)
+
+    def test_counter_reset_after_final_episode(self, protocol):
+        machine = run_barrier(protocol, num_pes=3, episodes=4)
+        assert machine.latest_value(ADDRESSES.counter) == 0
+
+    def test_sense_parity_matches_episodes(self, protocol):
+        machine = run_barrier(protocol, num_pes=2, episodes=3)
+        # Sense alternates 1, 0, 1, ... per episode.
+        assert machine.latest_value(ADDRESSES.sense) == 3 % 2
+
+    def test_single_pe_degenerate_barrier(self, protocol):
+        machine = run_barrier(protocol, num_pes=1, episodes=5)
+        assert machine.drivers[0].done
+
+
+class TestBarrierTraffic:
+    def test_rwb_spins_cheaper_than_rb(self):
+        rb = run_barrier("rb", num_pes=4, episodes=5, work_cycles=20)
+        rwb = run_barrier("rwb", num_pes=4, episodes=5, work_cycles=20)
+        assert rwb.total_bus_traffic() <= rb.total_bus_traffic()

@@ -1,0 +1,73 @@
+"""Integration tests: full lock programs on full machines."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sync.locks import build_lock_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def run_lock_machine(protocol, num_pes, rounds, use_tts, critical=4):
+    config = MachineConfig(
+        num_pes=num_pes, protocol=protocol, cache_lines=16, memory_size=64
+    )
+    machine = Machine(config)
+    program = build_lock_program(
+        lock_address=0, rounds=rounds, use_tts=use_tts,
+        critical_cycles=critical,
+    )
+    machine.load_programs([program] * num_pes)
+    machine.run(max_cycles=2_000_000)
+    return machine
+
+
+class TestBuilder:
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            build_lock_program(0, rounds=0, use_tts=True)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ConfigurationError):
+            build_lock_program(0, rounds=1, use_tts=True, critical_cycles=-1)
+
+    def test_programs_differ_by_primitive(self):
+        ts = build_lock_program(0, rounds=1, use_tts=False)
+        tts = build_lock_program(0, rounds=1, use_tts=True)
+        assert len(tts) > len(ts)
+
+
+@pytest.mark.parametrize("protocol", ["rb", "rwb", "write-once", "write-through"])
+@pytest.mark.parametrize("use_tts", [False, True])
+class TestMutualExclusionAcrossProtocols:
+    def test_all_rounds_complete_and_lock_released(self, protocol, use_tts):
+        machine = run_lock_machine(protocol, num_pes=3, rounds=5,
+                                   use_tts=use_tts)
+        assert all(driver.done for driver in machine.drivers)
+        assert machine.latest_value(0) == 0  # released at the end
+
+    def test_acquisitions_match_rounds(self, protocol, use_tts):
+        machine = run_lock_machine(protocol, num_pes=3, rounds=5,
+                                   use_tts=use_tts)
+        successes = machine.stats.total("cache.ts_success", "cache")
+        assert successes == 3 * 5
+
+
+class TestHotSpotClaim:
+    def test_tts_traffic_flat_in_hold_time_ts_grows(self):
+        """The Section 6 claim, quantitatively."""
+        short_ts = run_lock_machine("rb", 4, 5, use_tts=False, critical=10)
+        long_ts = run_lock_machine("rb", 4, 5, use_tts=False, critical=100)
+        short_tts = run_lock_machine("rb", 4, 5, use_tts=True, critical=10)
+        long_tts = run_lock_machine("rb", 4, 5, use_tts=True, critical=100)
+        ts_growth = long_ts.total_bus_traffic() / short_ts.total_bus_traffic()
+        tts_growth = long_tts.total_bus_traffic() / short_tts.total_bus_traffic()
+        assert ts_growth > 2.0
+        assert tts_growth < 1.2
+
+    def test_rwb_invalidations_far_below_rb(self):
+        rb = run_lock_machine("rb", 4, 5, use_tts=True, critical=50)
+        rwb = run_lock_machine("rwb", 4, 5, use_tts=True, critical=50)
+        rb_inval = rb.stats.total("cache.invalidations", "cache")
+        rwb_inval = rwb.stats.total("cache.invalidations", "cache")
+        assert rwb_inval < rb_inval / 5

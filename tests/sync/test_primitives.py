@@ -1,0 +1,68 @@
+"""Unit tests for the TS/TTS code emitters."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.processor.isa import Opcode
+from repro.processor.program import Assembler
+from repro.sync.primitives import emit_release, emit_ts_acquire, emit_tts_acquire
+
+
+class TestTsAcquire:
+    def test_emits_ts_and_retry_branch(self):
+        asm = Assembler()
+        emit_ts_acquire(asm, 1, 2, 3, "a")
+        program = asm.assemble()
+        assert [i.op for i in program.instructions] == [Opcode.TS, Opcode.BNEZ]
+        assert program[1].c == 0  # retry loops to the TS
+
+    def test_rejects_register_aliasing(self):
+        with pytest.raises(ProgramError):
+            emit_ts_acquire(Assembler(), 1, 1, 3, "a")
+
+
+class TestTtsAcquire:
+    def test_emits_test_before_ts(self):
+        """The software form Section 6 advocates: LOAD precedes TS."""
+        asm = Assembler()
+        emit_tts_acquire(asm, 1, 2, 3, "a")
+        ops = [i.op for i in asm.assemble().instructions]
+        assert ops == [Opcode.LOAD, Opcode.BNEZ, Opcode.TS, Opcode.BNEZ]
+
+    def test_both_branches_return_to_test(self):
+        asm = Assembler()
+        emit_tts_acquire(asm, 1, 2, 3, "a")
+        program = asm.assemble()
+        assert program[1].c == 0
+        assert program[3].c == 0
+
+    def test_rejects_register_aliasing(self):
+        with pytest.raises(ProgramError):
+            emit_tts_acquire(Assembler(), 1, 2, 2, "a")
+
+
+class TestRelease:
+    def test_emits_store(self):
+        asm = Assembler()
+        emit_release(asm, 1, 4)
+        program = asm.assemble()
+        assert program[0].op is Opcode.STORE
+        assert program[0].a == 1
+        assert program[0].b == 4
+
+
+class TestComposition:
+    def test_distinct_prefixes_compose(self):
+        asm = Assembler()
+        emit_tts_acquire(asm, 1, 2, 3, "first")
+        emit_release(asm, 1, 4)
+        emit_tts_acquire(asm, 1, 2, 3, "second")
+        emit_release(asm, 1, 4)
+        asm.halt()
+        assert len(asm.assemble()) == 11
+
+    def test_same_prefix_collides(self):
+        asm = Assembler()
+        emit_ts_acquire(asm, 1, 2, 3, "p")
+        with pytest.raises(ProgramError):
+            emit_ts_acquire(asm, 1, 2, 3, "p")

@@ -1,0 +1,104 @@
+"""Tests for the fetch-and-add ticket lock."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.registry import available_protocols
+from repro.sync.ticket import (
+    TicketLockAddresses,
+    build_ticket_lock_program,
+    run_ticket_lock_contention,
+)
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.locks import run_lock_contention
+
+ADDRESSES = TicketLockAddresses(next_ticket=0, now_serving=1)
+
+
+class TestConstruction:
+    def test_rejects_aliased_words(self):
+        with pytest.raises(ConfigurationError):
+            TicketLockAddresses(next_ticket=0, now_serving=0)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            build_ticket_lock_program(ADDRESSES, rounds=0)
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+class TestMutualExclusion:
+    def test_all_rounds_complete(self, protocol):
+        result = run_ticket_lock_contention(protocol, num_pes=3,
+                                            rounds_per_pe=4)
+        assert result.cycles > 0
+
+    def test_tickets_account_exactly(self, protocol):
+        """next_ticket and now_serving both end at the acquisition count:
+        every ticket was handed out once and served once, in order."""
+        machine = Machine(
+            MachineConfig(num_pes=3, protocol=protocol, cache_lines=16,
+                          memory_size=64)
+        )
+        program = build_ticket_lock_program(ADDRESSES, rounds=4)
+        machine.load_programs([program] * 3)
+        machine.run(max_cycles=3_000_000)
+        assert machine.latest_value(ADDRESSES.next_ticket) == 12
+        assert machine.latest_value(ADDRESSES.now_serving) == 12
+
+
+class TestCountingUnderTicketLock:
+    @pytest.mark.parametrize("protocol", ["rb", "rwb"])
+    def test_protected_counter_is_exact(self, protocol):
+        from repro.processor.program import Assembler
+        from repro.sync.ticket import emit_ticket_acquire, emit_ticket_release
+
+        num_pes, rounds = 3, 5
+        asm_programs = []
+        for _ in range(num_pes):
+            asm = Assembler()
+            asm.loadi(3, 1)
+            asm.loadi(5, rounds)
+            asm.loadi(6, -1)
+            asm.loadi(10, 4)   # counter address
+            asm.label("round")
+            emit_ticket_acquire(asm, ADDRESSES, 1, 2, 3, 7, 8, "acq")
+            asm.load(9, 10)
+            asm.add(9, 9, 3)
+            asm.store(10, 9)
+            emit_ticket_release(asm, 1, 2, 3, 7)
+            asm.add(5, 5, 6)
+            asm.bnez(5, "round")
+            asm.halt()
+            asm_programs.append(asm.assemble())
+        machine = Machine(
+            MachineConfig(num_pes=num_pes, protocol=protocol,
+                          cache_lines=16, memory_size=64)
+        )
+        machine.load_programs(asm_programs)
+        machine.run(max_cycles=3_000_000)
+        assert machine.latest_value(4) == num_pes * rounds
+
+
+class TestTraffic:
+    def test_one_rmw_per_acquisition(self):
+        """Acquire is exactly one fetch-and-add; no retry storm."""
+        result = run_ticket_lock_contention("rwb", num_pes=4,
+                                            rounds_per_pe=10)
+        assert result.locked_rmws == 40
+
+    def test_spins_are_local_under_rwb(self):
+        """The now-serving spin behaves like TTS: flat in hold time."""
+        short = run_ticket_lock_contention("rwb", critical_cycles=10)
+        long = run_ticket_lock_contention("rwb", critical_cycles=150)
+        assert long.bus_transactions <= 1.2 * short.bus_transactions
+
+    def test_no_thundering_herd_rmws(self):
+        """TTS wakes every spinner into a TS attempt per release; the
+        ticket lock hands out exactly one RMW per acquisition."""
+        tts = run_lock_contention("rwb", num_pes=6, rounds_per_pe=8,
+                                  use_tts=True, critical_cycles=30)
+        ticket = run_ticket_lock_contention("rwb", num_pes=6,
+                                            rounds_per_pe=8,
+                                            critical_cycles=30)
+        assert ticket.locked_rmws < tts.read_modify_writes

@@ -1,0 +1,35 @@
+"""Unit tests for MachineConfig validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.system.config import MachineConfig
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        MachineConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_pes", 0),
+            ("cache_lines", 0),
+            ("cache_ways", 0),
+            ("num_buses", 0),
+            ("memory_size", 0),
+            ("num_regs", 0),
+        ],
+    )
+    def test_rejects_non_positive(self, field, value):
+        config = MachineConfig(**{field: value})
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_rejects_indivisible_ways(self):
+        config = MachineConfig(cache_lines=10, cache_ways=4)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_accepts_divisible_ways(self):
+        MachineConfig(cache_lines=8, cache_ways=4).validate()

@@ -1,0 +1,150 @@
+"""Integration tests for machine assembly and the cycle loop."""
+
+import pytest
+
+from repro.bus.bus import SharedBus
+from repro.bus.multibus import InterleavedMultiBus
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.types import AccessType, MemRef
+from repro.processor.program import Assembler
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+
+def halt_program():
+    return Assembler().halt().assemble()
+
+
+class TestAssembly:
+    def test_builds_one_cache_per_pe(self):
+        machine = Machine(MachineConfig(num_pes=5))
+        assert len(machine.caches) == 5
+        assert [cache.client_id for cache in machine.caches] == list(range(5))
+
+    def test_single_bus_by_default(self):
+        machine = Machine(MachineConfig())
+        assert isinstance(machine.bus, SharedBus)
+
+    def test_multibus_when_configured(self):
+        machine = Machine(MachineConfig(num_buses=2))
+        assert isinstance(machine.bus, InterleavedMultiBus)
+        assert machine.bus.bus_count == 2
+
+    def test_set_associative_when_configured(self):
+        machine = Machine(MachineConfig(cache_lines=8, cache_ways=2))
+        assert machine.caches[0].placement.geometry == "2-way/4-sets"
+
+    def test_invalid_config_rejected_at_build(self):
+        with pytest.raises(ConfigurationError):
+            Machine(MachineConfig(num_pes=0))
+
+
+class TestLoading:
+    def test_program_count_must_match(self):
+        machine = Machine(MachineConfig(num_pes=2))
+        with pytest.raises(ConfigurationError):
+            machine.load_programs([halt_program()])
+
+    def test_trace_count_must_match(self):
+        machine = Machine(MachineConfig(num_pes=2))
+        with pytest.raises(ConfigurationError):
+            machine.load_traces([[]])
+
+    def test_double_load_rejected(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.load_programs([halt_program()])
+        with pytest.raises(ConfigurationError):
+            machine.load_traces([[]])
+
+
+class TestExecution:
+    def test_run_to_idle(self):
+        machine = Machine(MachineConfig(num_pes=2))
+        machine.load_programs([halt_program()] * 2)
+        cycles = machine.run()
+        assert machine.idle
+        assert cycles >= 1
+
+    def test_run_guard_trips(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        asm = Assembler()
+        asm.label("forever")
+        asm.jmp("forever")
+        machine.load_programs([asm.assemble()])
+        with pytest.raises(ReproError):
+            machine.run(max_cycles=100)
+
+    def test_run_cycles_exact(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.load_programs([halt_program()])
+        machine.run_cycles(10)
+        assert machine.cycle == 10
+
+    def test_bus_log_disabled_by_default(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.load_traces([[MemRef(0, AccessType.READ, 1)]])
+        machine.run()
+        assert machine.bus_log == []
+
+    def test_bus_log_records_when_enabled(self):
+        machine = Machine(MachineConfig(num_pes=1, record_bus_log=True))
+        machine.load_traces([[MemRef(0, AccessType.READ, 1)]])
+        machine.run()
+        assert len(machine.bus_log) == 1
+
+
+class TestObservation:
+    def test_configuration_snapshot(self):
+        machine = Machine(MachineConfig(num_pes=2))
+        assert machine.configuration(0) == ["NP(-)", "NP(-)"]
+
+    def test_latest_value_prefers_dirty_holder(self):
+        machine = Machine(MachineConfig(num_pes=1, protocol="rb"))
+        machine.load_traces([
+            [MemRef(0, AccessType.WRITE, 3, value=1),
+             MemRef(0, AccessType.WRITE, 3, value=2)],
+        ])
+        machine.run()
+        # Second write was a silent Local update: memory stale at 1.
+        assert machine.memory.peek(3) == 1
+        assert machine.latest_value(3) == 2
+
+    def test_stats_groups_components(self):
+        machine = Machine(MachineConfig(num_pes=2))
+        machine.load_programs([halt_program()] * 2)
+        machine.run()
+        groups = machine.stats.groups
+        assert "bus" in groups
+        assert "memory" in groups
+        assert "cache0" in groups
+        assert "pe0" in groups
+
+    def test_total_bus_traffic_counts_ops(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.load_traces([
+            [MemRef(0, AccessType.READ, 1), MemRef(0, AccessType.WRITE, 2, value=1)],
+        ])
+        machine.run()
+        assert machine.total_bus_traffic() == 2
+
+    def test_multibus_stats_counted_once(self):
+        machine = Machine(MachineConfig(num_pes=1, num_buses=2))
+        machine.load_traces([
+            [MemRef(0, AccessType.READ, 0), MemRef(0, AccessType.READ, 1)],
+        ])
+        machine.run()
+        assert machine.total_bus_traffic() == 2
+
+    def test_bus_utilization_bounded(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.load_traces([[MemRef(0, AccessType.READ, 1)]])
+        machine.run()
+        assert 0.0 <= machine.bus_utilization <= 1.0
+
+
+class TestDrain:
+    def test_drain_empties_bus(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.caches[0].cpu_read(5, lambda value: None)
+        machine.drain_bus()
+        assert not machine.bus.has_pending()

@@ -1,0 +1,95 @@
+"""Tests for the scripted executor and configuration tracer."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+from repro.system.trace import ConfigurationTracer
+
+
+class TestScriptedOps:
+    def test_read_returns_value(self, rb_machine):
+        rb_machine.memory.poke(3, 7)
+        assert rb_machine.read(0, 3) == 7
+
+    def test_write_visible_to_other_pe(self, rb_machine):
+        rb_machine.write(0, 3, 9)
+        assert rb_machine.read(1, 3) == 9
+
+    def test_test_and_set_wins_then_fails(self, rb_machine):
+        assert rb_machine.test_and_set(0, 0) == 0
+        assert rb_machine.test_and_set(1, 0) == 1
+
+    def test_tts_spins_locally_when_held(self, rb_machine):
+        rb_machine.test_and_set(0, 0)
+        rb_machine.test_and_test_and_set(1, 0)  # refill read
+        before = rb_machine.machine.total_bus_traffic()
+        assert rb_machine.test_and_test_and_set(1, 0) == 1
+        assert rb_machine.machine.total_bus_traffic() == before
+
+    def test_tts_acquires_free_lock(self, rb_machine):
+        assert rb_machine.test_and_test_and_set(0, 0) == 0
+        assert rb_machine.memory.peek(0) == 1
+
+    def test_pe_out_of_range(self, rb_machine):
+        with pytest.raises(ConfigurationError):
+            rb_machine.read(9, 0)
+
+    def test_settle_drains_bus(self, rb_machine):
+        rb_machine.caches[0].cpu_read(5, lambda value: None)
+        rb_machine.settle()
+        assert not rb_machine.machine.bus.has_pending()
+
+
+class TestConfigurationTracer:
+    def test_records_states_and_memory(self, rb_machine):
+        tracer = ConfigurationTracer(rb_machine.machine, 0)
+        rb_machine.read(0, 0)
+        row = tracer.record("first read")
+        assert row.cache_states == ("R(0)", "NP(-)", "NP(-)")
+        assert row.memory_value == 0
+        assert row.label == "first read"
+
+    def test_latest_value_tracks_dirty_holder(self, rb_machine):
+        tracer = ConfigurationTracer(rb_machine.machine, 0)
+        rb_machine.write(0, 0, 1)
+        rb_machine.write(0, 0, 2)  # silent local write
+        row = tracer.record("dirty")
+        assert row.memory_value == 1
+        assert row.latest_value == 2
+
+    def test_record_if_changed_skips_duplicates(self, rb_machine):
+        tracer = ConfigurationTracer(rb_machine.machine, 0)
+        rb_machine.read(0, 0)
+        assert tracer.record_if_changed("a") is not None
+        assert tracer.record_if_changed("same") is None
+        rb_machine.write(1, 0, 5)
+        assert tracer.record_if_changed("changed") is not None
+
+    def test_header_matches_width(self, rb_machine):
+        tracer = ConfigurationTracer(rb_machine.machine, 0)
+        header = tracer.header()
+        assert header[0] == "P1 Cache"
+        assert len(header) == 5  # 3 caches + memory + latest
+
+    def test_states_only(self, rb_machine):
+        tracer = ConfigurationTracer(rb_machine.machine, 0)
+        tracer.record("x")
+        assert tracer.states_only() == [("NP(-)", "NP(-)", "NP(-)")]
+
+
+class TestScriptedAcrossProtocols:
+    @pytest.mark.parametrize(
+        "protocol", ["rb", "rwb", "write-once", "write-through"]
+    )
+    def test_basic_coherence_story(self, protocol):
+        machine = ScriptedMachine(
+            MachineConfig(num_pes=3, protocol=protocol, cache_lines=8,
+                          memory_size=64)
+        )
+        machine.write(0, 5, 10)
+        assert machine.read(1, 5) == 10
+        machine.write(2, 5, 20)
+        assert machine.read(0, 5) == 20
+        assert machine.read(1, 5) == 20

@@ -1,0 +1,96 @@
+"""Quality gates on the public API surface.
+
+Every subpackage's ``__all__`` must import cleanly, and every public
+module, class and function must carry a docstring — the "doc comments on
+every public item" deliverable, enforced mechanically.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.bus",
+    "repro.cache",
+    "repro.common",
+    "repro.experiments",
+    "repro.hierarchy",
+    "repro.memory",
+    "repro.processor",
+    "repro.protocols",
+    "repro.reliability",
+    "repro.sync",
+    "repro.system",
+    "repro.verify",
+    "repro.workloads",
+]
+
+
+def all_modules():
+    names = set(SUBPACKAGES)
+    for package_name in SUBPACKAGES:
+        package = importlib.import_module(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                names.add(f"{package_name}.{info.name}")
+    return sorted(names)
+
+
+@pytest.mark.parametrize("package_name", SUBPACKAGES)
+def test_dunder_all_imports_cleanly(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_every_public_item_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-export; documented at its definition site
+        if not (item.__doc__ and item.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # An override inherits its contract's docstring.
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(getattr(base, method_name), "__doc__", None)
+                    for base in item.__mro__[1:]
+                )
+                if not inherited:
+                    missing.append(f"{name}.{method_name}")
+    assert not missing, f"{module_name}: undocumented public items {missing}"
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_top_level_all_is_sorted_unique():
+    assert len(set(repro.__all__)) == len(repro.__all__)

@@ -1,0 +1,172 @@
+"""Unit tests for the single-address product-machine kernel."""
+
+import pytest
+
+from repro.common.errors import VerificationError
+from repro.protocols.rb import RBProtocol
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+from repro.verify.kernel import AbstractCache, KernelState, SingleAddressKernel
+
+I, R, L, F, NP = (
+    LineState.INVALID,
+    LineState.READABLE,
+    LineState.LOCAL,
+    LineState.FIRST_WRITE,
+    LineState.NOT_PRESENT,
+)
+
+
+def states_of(kernel_state):
+    return tuple(cache.state for cache in kernel_state.caches)
+
+
+@pytest.fixture
+def rb_kernel():
+    return SingleAddressKernel(RBProtocol())
+
+
+@pytest.fixture
+def rwb_kernel():
+    return SingleAddressKernel(RWBProtocol())
+
+
+class TestInitialState:
+    def test_everything_absent_memory_latest(self, rb_kernel):
+        state = rb_kernel.initial_state(3)
+        assert states_of(state) == (NP, NP, NP)
+        assert state.memory_has_latest
+
+    def test_hashable(self, rb_kernel):
+        assert hash(rb_kernel.initial_state(2)) == hash(rb_kernel.initial_state(2))
+
+
+class TestRbActions:
+    def test_read_fills_and_broadcasts(self, rb_kernel):
+        state = rb_kernel.initial_state(3)
+        state = rb_kernel.apply(state, "read", 0)
+        assert states_of(state) == (R, NP, NP)
+        assert state.caches[0].has_latest
+
+    def test_write_creates_local_configuration(self, rb_kernel):
+        state = rb_kernel.initial_state(3)
+        state = rb_kernel.apply(state, "read", 1)
+        state = rb_kernel.apply(state, "write", 0)
+        assert states_of(state) == (L, I, NP)
+        assert state.memory_has_latest  # write-through
+        assert not state.caches[1].has_latest
+
+    def test_local_write_makes_memory_stale(self, rb_kernel):
+        state = rb_kernel.initial_state(2)
+        state = rb_kernel.apply(state, "write", 0)
+        state = rb_kernel.apply(state, "write", 0)  # silent local hit
+        assert not state.memory_has_latest
+        assert state.caches[0].has_latest
+
+    def test_read_from_local_config_flushes_and_shares(self, rb_kernel):
+        state = rb_kernel.initial_state(2)
+        state = rb_kernel.apply(state, "write", 0)
+        state = rb_kernel.apply(state, "write", 0)  # dirty
+        state = rb_kernel.apply(state, "read", 1)
+        assert states_of(state) == (R, R)
+        assert state.memory_has_latest
+        assert all(cache.has_latest for cache in state.caches)
+
+    def test_evict_dirty_restores_memory(self, rb_kernel):
+        state = rb_kernel.initial_state(2)
+        state = rb_kernel.apply(state, "write", 0)
+        state = rb_kernel.apply(state, "write", 0)
+        state = rb_kernel.apply(state, "evict", 0)
+        assert states_of(state) == (NP, NP)
+        assert state.memory_has_latest
+
+    def test_evict_absent_is_noop(self, rb_kernel):
+        state = rb_kernel.initial_state(2)
+        assert rb_kernel.apply(state, "evict", 1) == state
+
+    def test_ts_success_claims_local(self, rb_kernel):
+        state = rb_kernel.initial_state(3)
+        state = rb_kernel.apply(state, "read", 1)
+        state = rb_kernel.apply(state, "ts_success", 0)
+        assert states_of(state) == (L, I, NP)
+
+    def test_ts_fail_leaves_shared(self, rb_kernel):
+        state = rb_kernel.initial_state(2)
+        state = rb_kernel.apply(state, "ts_fail", 0)
+        assert states_of(state) == (R, NP)
+        assert state.caches[0].has_latest
+
+    def test_unknown_action_rejected(self, rb_kernel):
+        with pytest.raises(VerificationError):
+            rb_kernel.apply(rb_kernel.initial_state(1), "teleport", 0)
+
+
+class TestRwbActions:
+    def test_first_write_keeps_shared_configuration(self, rwb_kernel):
+        state = rwb_kernel.initial_state(3)
+        state = rwb_kernel.apply(state, "read", 1)
+        state = rwb_kernel.apply(state, "write", 0)
+        assert states_of(state) == (F, R, NP)
+        assert state.caches[1].has_latest  # absorbed the broadcast
+
+    def test_second_write_promotes_and_invalidates(self, rwb_kernel):
+        state = rwb_kernel.initial_state(3)
+        state = rwb_kernel.apply(state, "read", 1)
+        state = rwb_kernel.apply(state, "write", 0)
+        state = rwb_kernel.apply(state, "write", 0)
+        assert states_of(state) == (L, I, NP)
+        assert not state.memory_has_latest  # BI carries no data
+
+    def test_read_resets_first_write_run(self, rwb_kernel):
+        state = rwb_kernel.initial_state(2)
+        state = rwb_kernel.apply(state, "write", 0)   # F
+        state = rwb_kernel.apply(state, "read", 1)    # strict reset
+        assert state.caches[0].state is R
+
+    def test_ts_success_is_first_write(self, rwb_kernel):
+        state = rwb_kernel.initial_state(2)
+        state = rwb_kernel.apply(state, "read", 1)
+        state = rwb_kernel.apply(state, "ts_success", 0)
+        assert states_of(state) == (F, R)
+        assert all(cache.has_latest for cache in state.caches)
+
+
+class TestStaleDetection:
+    def test_planted_stale_read_caught(self, rb_kernel):
+        """Force an impossible state (readable but stale) and confirm the
+        kernel refuses to read from it."""
+        bad = KernelState(
+            caches=(
+                AbstractCache(state=R, has_latest=False),
+                AbstractCache(state=L, has_latest=True),
+            ),
+            memory_has_latest=False,
+        )
+        with pytest.raises(VerificationError):
+            rb_kernel.apply(bad, "read", 0)
+
+    def test_two_suppliers_caught(self, rb_kernel):
+        bad = KernelState(
+            caches=(
+                AbstractCache(state=L, has_latest=True),
+                AbstractCache(state=L, has_latest=True),
+                AbstractCache(state=I),
+            ),
+            memory_has_latest=False,
+        )
+        with pytest.raises(VerificationError):
+            rb_kernel.apply(bad, "read", 2)
+
+    def test_stale_memory_read_caught(self, rb_kernel):
+        bad = KernelState(
+            caches=(AbstractCache(), AbstractCache()),
+            memory_has_latest=False,
+        )
+        with pytest.raises(VerificationError):
+            rb_kernel.apply(bad, "read", 0)
+
+    def test_describe_marks_latest_holders(self, rb_kernel):
+        state = rb_kernel.apply(rb_kernel.initial_state(2), "read", 0)
+        text = state.describe()
+        assert "R*" in text
+        assert "mem*" in text

@@ -1,0 +1,97 @@
+"""Tests for verification report objects and edge cases."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.rb import RBProtocol
+from repro.protocols.rwb import RWBProtocol
+from repro.verify.checker import VerificationReport, check_protocol
+from repro.verify.kernel import SingleAddressKernel
+from repro.verify.serialization import SerializationReport
+
+
+class TestVerificationReport:
+    def test_fresh_report_is_ok(self):
+        assert VerificationReport("x", 2).ok
+
+    def test_violations_break_ok(self):
+        report = VerificationReport("x", 2)
+        report.violations.append("bad")
+        assert not report.ok
+        assert "FAIL" in report.summary()
+
+    def test_truncation_breaks_ok(self):
+        report = VerificationReport("x", 2, truncated=True)
+        assert not report.ok
+        assert "TRUNCATED" in report.summary()
+
+    def test_summary_counts(self):
+        report = VerificationReport("rb", 3, states_explored=10,
+                                    transitions=40)
+        assert "10 states" in report.summary()
+        assert "40 transitions" in report.summary()
+
+
+class TestCheckerEdgeCases:
+    def test_single_cache_machine(self):
+        """Even N=1 exercises the memory automaton."""
+        report = check_protocol(RBProtocol(), num_caches=1)
+        assert report.ok
+        assert report.states_explored >= 3
+
+    def test_violation_cap_respected(self):
+        """A thoroughly broken protocol stops collecting at the cap."""
+
+        class Broken(RBProtocol):
+            name = "broken"
+
+            def needs_writeback(self, state):
+                return False
+
+            def interrupts_bus_read(self, state):
+                return False
+
+            def on_snoop(self, state, meta, op):
+                from repro.protocols.base import unchanged
+
+                return unchanged(state, meta)
+
+        report = check_protocol(Broken(), num_caches=3, max_violations=4)
+        assert not report.ok
+        assert len(report.violations) <= 4 + 16  # cap + one BFS layer slack
+
+    def test_rejects_zero_caches(self):
+        with pytest.raises(ConfigurationError):
+            check_protocol(RBProtocol(), num_caches=0)
+
+
+class TestKernelEdgeCases:
+    def test_rwb_meta_stays_bounded(self):
+        """BFS over RWB with k=4 terminates: meta cannot grow past k."""
+        report = check_protocol(RWBProtocol(local_promotion_writes=4),
+                                num_caches=2)
+        assert report.ok
+        assert report.states_explored < 200
+
+    def test_initial_state_idempotent(self):
+        kernel = SingleAddressKernel(RBProtocol())
+        assert kernel.initial_state(3) == kernel.initial_state(3)
+
+    def test_evict_everything_returns_to_initial(self):
+        kernel = SingleAddressKernel(RBProtocol())
+        state = kernel.initial_state(2)
+        state = kernel.apply(state, "read", 0)
+        state = kernel.apply(state, "write", 1)
+        state = kernel.apply(state, "evict", 0)
+        state = kernel.apply(state, "evict", 1)
+        assert state == kernel.initial_state(2)
+
+
+class TestSerializationReport:
+    def test_empty_ok(self):
+        assert SerializationReport().ok
+
+    def test_violations_break_ok(self):
+        report = SerializationReport()
+        report.violations.append("stale")
+        assert not report.ok

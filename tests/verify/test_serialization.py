@@ -1,0 +1,110 @@
+"""Serial-order construction tests over real simulated machines."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType
+from repro.verify.serialization import (
+    OpRecord,
+    check_serializability,
+    run_random_consistency_trial,
+)
+
+
+def rec(cycle, pe, access, address, value, wrote=False, written=0, phase=0):
+    return OpRecord(
+        cycle=cycle, pe=pe, access=access, address=address, value=value,
+        wrote=wrote, written_value=written, phase=phase,
+    )
+
+
+class TestCheckSerializability:
+    def test_empty_log_ok(self):
+        assert check_serializability([]).ok
+
+    def test_read_of_initial_zero_ok(self):
+        report = check_serializability(
+            [rec(1, 0, AccessType.READ, 0, value=0)]
+        )
+        assert report.ok
+        assert report.reads_checked == 1
+
+    def test_read_sees_latest_write(self):
+        log = [
+            rec(1, 0, AccessType.WRITE, 0, value=5, wrote=True, written=5),
+            rec(2, 1, AccessType.READ, 0, value=5),
+        ]
+        assert check_serializability(log).ok
+
+    def test_stale_read_flagged(self):
+        log = [
+            rec(1, 0, AccessType.WRITE, 0, value=5, wrote=True, written=5),
+            rec(2, 1, AccessType.READ, 0, value=0),
+        ]
+        report = check_serializability(log)
+        assert not report.ok
+        assert "expected 5" in report.violations[0]
+
+    def test_same_cycle_write_orders_before_read(self):
+        """A broadcast-absorbed read completes in the same bus cycle as
+        the write that fed it; the write must serialize first."""
+        log = [
+            rec(3, 2, AccessType.READ, 0, value=9),
+            rec(3, 0, AccessType.WRITE, 0, value=9, wrote=True, written=9),
+        ]
+        assert check_serializability(log).ok
+
+    def test_bus_phase_orders_before_hit_phase(self):
+        log = [
+            rec(3, 1, AccessType.READ, 0, value=9, phase=1),
+            rec(3, 0, AccessType.WRITE, 0, value=9, wrote=True, written=9,
+                phase=0),
+        ]
+        assert check_serializability(log).ok
+
+    def test_failed_ts_checks_observed_value(self):
+        log = [
+            rec(1, 0, AccessType.WRITE, 0, value=7, wrote=True, written=7),
+            rec(2, 1, AccessType.TS, 0, value=7, wrote=False, written=9),
+        ]
+        assert check_serializability(log).ok
+
+    def test_successful_ts_writes(self):
+        log = [
+            rec(1, 0, AccessType.TS, 0, value=0, wrote=True, written=4),
+            rec(2, 1, AccessType.READ, 0, value=4),
+        ]
+        assert check_serializability(log).ok
+
+    def test_addresses_independent(self):
+        log = [
+            rec(1, 0, AccessType.WRITE, 0, value=5, wrote=True, written=5),
+            rec(2, 1, AccessType.READ, 1, value=0),
+        ]
+        assert check_serializability(log).ok
+
+
+class TestRandomTrials:
+    @pytest.mark.parametrize(
+        "protocol", ["rb", "rwb", "write-once", "write-through"]
+    )
+    def test_hostile_random_trial_is_consistent(self, protocol):
+        report = run_random_consistency_trial(protocol, seed=13)
+        assert report.ok, report.violations[:3]
+        assert report.reads_checked > 0
+
+    def test_multibus_trial_is_consistent(self):
+        report = run_random_consistency_trial("rwb", num_buses=2, seed=5)
+        assert report.ok, report.violations[:3]
+
+    def test_k1_rwb_trial_is_consistent(self):
+        """The configuration that exposed the stale-write-back race."""
+        report = run_random_consistency_trial(
+            "rwb", protocol_options={"local_promotion_writes": 1}, seed=1
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            run_random_consistency_trial("rb", ts_fraction=0.9,
+                                         write_fraction=0.9)

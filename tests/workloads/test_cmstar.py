@@ -1,0 +1,162 @@
+"""Unit tests for the Cm* trace generator and Table 1-1 emulator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType, DataClass, MemRef
+from repro.workloads.cmstar import (
+    APP_PDE,
+    APP_QSORT,
+    CmStarApplication,
+    CmStarCacheEmulator,
+    generate_application_trace,
+)
+
+
+class TestApplicationDescriptors:
+    def test_published_mix_app1(self):
+        assert APP_QSORT.p_local_write == pytest.approx(0.08)
+        assert APP_QSORT.p_shared == pytest.approx(0.05)
+
+    def test_published_mix_app2(self):
+        assert APP_PDE.p_local_write == pytest.approx(0.067)
+        assert APP_PDE.p_shared == pytest.approx(0.10)
+
+    def test_read_fraction_complements(self):
+        assert APP_QSORT.p_read == pytest.approx(0.87)
+
+    def test_rejects_overfull_mix(self):
+        app = CmStarApplication("bad", p_local_write=0.6, p_shared=0.5,
+                                code_words=10, local_words=10)
+        with pytest.raises(ConfigurationError):
+            app.validate()
+
+
+class TestTraceGeneration:
+    def test_length_and_pe(self):
+        trace = generate_application_trace(APP_QSORT, 500, seed=1, pe=3)
+        assert len(trace) == 500
+        assert all(ref.pe == 3 for ref in trace)
+
+    def test_deterministic(self):
+        assert generate_application_trace(APP_QSORT, 200, seed=1) == \
+            generate_application_trace(APP_QSORT, 200, seed=1)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            generate_application_trace(APP_QSORT, -1)
+
+    def test_class_regions_disjoint(self):
+        trace = generate_application_trace(APP_QSORT, 2000, seed=1)
+        for ref in trace:
+            if ref.data_class is DataClass.SHARED:
+                assert ref.address < APP_QSORT.shared_words
+            elif ref.data_class is DataClass.CODE:
+                assert (APP_QSORT.shared_words <= ref.address
+                        < APP_QSORT.shared_words + APP_QSORT.code_words)
+            else:
+                assert ref.address >= APP_QSORT.shared_words + APP_QSORT.code_words
+
+    def test_local_write_fraction_near_target(self):
+        trace = generate_application_trace(APP_QSORT, 20_000, seed=1)
+        writes = sum(
+            1 for ref in trace
+            if ref.data_class is DataClass.LOCAL
+            and ref.access is AccessType.WRITE
+        )
+        assert abs(writes / len(trace) - 0.08) < 0.01
+
+
+class TestEmulator:
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ConfigurationError):
+            CmStarCacheEmulator(0)
+
+    def test_shared_never_hits(self):
+        emulator = CmStarCacheEmulator(64)
+        ref = MemRef(0, AccessType.READ, 1, data_class=DataClass.SHARED)
+        assert not emulator.feed(ref)
+        assert not emulator.feed(ref)  # still a miss on repeat
+        assert emulator.shared_refs == 2
+
+    def test_code_read_hits_after_fill(self):
+        emulator = CmStarCacheEmulator(64)
+        ref = MemRef(0, AccessType.READ, 100, data_class=DataClass.CODE)
+        assert not emulator.feed(ref)
+        assert emulator.feed(ref)
+        assert emulator.read_misses == 1
+
+    def test_local_write_counts_as_miss_but_fills(self):
+        """Raskin's methodology: write-through local writes are external
+        communication, yet the processor keeps the copy."""
+        emulator = CmStarCacheEmulator(64)
+        write = MemRef(0, AccessType.WRITE, 100, value=1,
+                       data_class=DataClass.LOCAL)
+        read = MemRef(0, AccessType.READ, 100, data_class=DataClass.LOCAL)
+        assert not emulator.feed(write)
+        assert emulator.feed(read)
+        assert emulator.local_writes == 1
+        assert emulator.read_misses == 0
+
+    def test_direct_mapped_conflict(self):
+        emulator = CmStarCacheEmulator(4)
+        a = MemRef(0, AccessType.READ, 0, data_class=DataClass.CODE)
+        b = MemRef(0, AccessType.READ, 4, data_class=DataClass.CODE)
+        emulator.feed(a)
+        emulator.feed(b)     # evicts a (same slot)
+        assert not emulator.feed(a)
+        assert emulator.read_misses == 3
+
+    def test_result_percentages_sum(self):
+        trace = generate_application_trace(APP_QSORT, 5000, seed=2)
+        result = CmStarCacheEmulator(256).run(trace, APP_QSORT.name)
+        total = (result.read_miss.percent + result.local_write.percent
+                 + result.shared.percent)
+        assert result.total_miss.percent == pytest.approx(total)
+
+    def test_bigger_cache_never_worse(self):
+        trace = generate_application_trace(APP_QSORT, 10_000, seed=2)
+        small = CmStarCacheEmulator(256).run(trace, "a")
+        large = CmStarCacheEmulator(2048).run(trace, "a")
+        assert large.read_misses < small.read_misses
+        # Constant columns are cache-size independent by construction.
+        assert large.local_writes == small.local_writes
+        assert large.shared_refs == small.shared_refs
+
+
+class TestSetAssociativeEmulator:
+    def test_rejects_indivisible_ways(self):
+        import pytest as _pytest
+        from repro.common.errors import ConfigurationError as _CE
+
+        with _pytest.raises(_CE):
+            CmStarCacheEmulator(10, ways=4)
+
+    def test_conflict_pair_coexists_with_two_ways(self):
+        direct = CmStarCacheEmulator(4, ways=1)
+        assoc = CmStarCacheEmulator(4, ways=2)
+        a = MemRef(0, AccessType.READ, 0, data_class=DataClass.CODE)
+        b = MemRef(0, AccessType.READ, 4, data_class=DataClass.CODE)
+        for emulator in (direct, assoc):
+            emulator.feed(a)
+            emulator.feed(b)
+            emulator.feed(a)
+        # Direct-mapped: 0 and 4 alias (same slot); a's re-read misses.
+        assert direct.read_misses == 3
+        # 2-way: 0 and 2 map to different sets... 0 and 4 share set 0 of 2
+        # sets but fit in its two ways; a's re-read hits.
+        assert assoc.read_misses == 2
+
+    def test_lru_within_the_set(self):
+        emulator = CmStarCacheEmulator(2, ways=2)
+        refs = [MemRef(0, AccessType.READ, a, data_class=DataClass.CODE)
+                for a in (0, 2, 0, 4, 2)]
+        hits = [emulator.feed(ref) for ref in refs]
+        # 0 miss, 2 miss, 0 hit (refreshes LRU), 4 evicts 2, 2 misses.
+        assert hits == [False, False, True, False, False]
+
+    def test_associativity_never_hurts_on_the_calibrated_trace(self):
+        trace = generate_application_trace(APP_QSORT, 8000, seed=5)
+        direct = CmStarCacheEmulator(256, ways=1).run(trace, "a")
+        assoc = CmStarCacheEmulator(256, ways=4).run(trace, "a")
+        assert assoc.read_misses <= direct.read_misses

@@ -1,0 +1,56 @@
+"""Tests for the shared-counter workload (lock vs fetch-and-add)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.registry import available_protocols
+from repro.workloads.counter import (
+    build_faa_counter_program,
+    build_lock_counter_program,
+    run_shared_counter,
+)
+
+
+class TestBuilders:
+    def test_faa_program_is_shorter(self):
+        lock = build_lock_counter_program(5)
+        faa = build_faa_counter_program(5)
+        assert len(faa) < len(lock)
+
+    def test_rejects_zero_increments(self):
+        with pytest.raises(ConfigurationError):
+            build_faa_counter_program(0)
+        with pytest.raises(ConfigurationError):
+            build_lock_counter_program(0)
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("protocol", available_protocols())
+    @pytest.mark.parametrize("method", ["lock", "faa"])
+    def test_no_increment_lost(self, protocol, method):
+        result = run_shared_counter(protocol, method, num_pes=3,
+                                    increments_per_pe=7)
+        assert result.correct
+        assert result.final_count == 21
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_shared_counter("rb", method="cas")
+
+
+class TestTrafficComparison:
+    def test_faa_cheaper_than_lock(self):
+        for protocol in ("rb", "rwb"):
+            lock = run_shared_counter(protocol, "lock", num_pes=4,
+                                      increments_per_pe=10)
+            faa = run_shared_counter(protocol, "faa", num_pes=4,
+                                     increments_per_pe=10)
+            assert faa.transactions_per_increment < (
+                lock.transactions_per_increment / 2
+            )
+            assert faa.cycles < lock.cycles
+
+    def test_faa_is_roughly_one_rmw_per_increment(self):
+        result = run_shared_counter("rwb", "faa", num_pes=4,
+                                    increments_per_pe=10)
+        assert result.locked_rmws == 40

@@ -1,0 +1,87 @@
+"""Tests for the workload runners: array-init, locks, producer/consumer."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.arrayinit import run_array_init
+from repro.workloads.locks import run_lock_contention
+from repro.workloads.producer_consumer import run_producer_consumer
+
+
+class TestArrayInit:
+    def test_rejects_array_smaller_than_cache(self):
+        with pytest.raises(ConfigurationError):
+            run_array_init("rb", array_words=16, cache_lines=32)
+
+    def test_rb_pays_roughly_two_writes_per_element(self):
+        result = run_array_init("rb", array_words=128, cache_lines=16)
+        # 2 - lines/array: the last cache-full is never written back.
+        assert 1.7 < result.bus_writes_per_element < 2.0
+
+    def test_rwb_pays_exactly_one_write_per_element(self):
+        result = run_array_init("rwb", array_words=128, cache_lines=16)
+        assert result.bus_writes_per_element == 1.0
+        assert result.bus_invalidates == 0
+
+    def test_idle_snoopers_do_not_change_the_count(self):
+        alone = run_array_init("rwb", array_words=128, cache_lines=16)
+        watched = run_array_init("rwb", array_words=128, cache_lines=16,
+                                 idle_pes=3)
+        assert watched.bus_writes == alone.bus_writes
+
+    def test_paper_headline_ratio(self):
+        rb = run_array_init("rb", array_words=256, cache_lines=16)
+        rwb = run_array_init("rwb", array_words=256, cache_lines=16)
+        assert rb.bus_writes_per_element / rwb.bus_writes_per_element > 1.8
+
+
+class TestLockContention:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            run_lock_contention("rb", num_pes=0)
+
+    def test_counts_acquisitions(self):
+        result = run_lock_contention("rb", num_pes=3, rounds_per_pe=4)
+        assert result.transactions_per_acquisition > 0
+        assert result.read_modify_writes >= 3 * 4  # at least the winners
+
+    def test_ts_traffic_scales_with_hold_tts_does_not(self):
+        ts_short = run_lock_contention("rwb", use_tts=False, critical_cycles=10)
+        ts_long = run_lock_contention("rwb", use_tts=False, critical_cycles=150)
+        tts_short = run_lock_contention("rwb", use_tts=True, critical_cycles=10)
+        tts_long = run_lock_contention("rwb", use_tts=True, critical_cycles=150)
+        assert ts_long.bus_transactions > 2 * ts_short.bus_transactions
+        assert tts_long.bus_transactions <= 1.2 * tts_short.bus_transactions
+
+    def test_rwb_eliminates_spin_invalidations(self):
+        rb = run_lock_contention("rb", use_tts=True, critical_cycles=50)
+        rwb = run_lock_contention("rwb", use_tts=True, critical_cycles=50)
+        assert rwb.invalidations < rb.invalidations / 10
+
+
+class TestProducerConsumer:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            run_producer_consumer("rb", items=0)
+
+    def test_rejects_cache_too_small(self):
+        with pytest.raises(ConfigurationError):
+            run_producer_consumer("rb", items=100, cache_lines=64)
+
+    def test_three_way_protocol_separation(self):
+        """write-once ~ C reads/item, RB ~ 1, RWB ~ 0 (Section 5)."""
+        wo = run_producer_consumer("write-once", consumers=3)
+        rb = run_producer_consumer("rb", consumers=3)
+        rwb = run_producer_consumer("rwb", consumers=3)
+        assert wo.consumer_reads_per_item > 2.5
+        assert 0.5 < rb.consumer_reads_per_item < 2.0
+        assert rwb.consumer_reads_per_item < 0.5
+
+    def test_rwb_consumers_mostly_hit(self):
+        result = run_producer_consumer("rwb", consumers=2)
+        assert result.consumer_read_hits > 4 * result.consumer_read_misses
+
+    def test_all_generations_complete(self):
+        result = run_producer_consumer("rb", items=8, generations=3,
+                                       consumers=2)
+        assert result.cycles > 0

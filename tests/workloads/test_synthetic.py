@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType, DataClass
+from repro.workloads.synthetic import SyntheticWorkload, generate_synthetic_streams
+
+
+def small_workload(**overrides):
+    defaults = dict(num_pes=2, refs_per_pe=300, shared_words=8,
+                    code_words=32, local_words=16, seed=1)
+    defaults.update(overrides)
+    return SyntheticWorkload(**defaults)
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        workload = small_workload(p_code=0.5, p_local=0.5, p_shared=0.5)
+        with pytest.raises(ConfigurationError):
+            workload.validate()
+
+    def test_rejects_empty_regions(self):
+        with pytest.raises(ConfigurationError):
+            small_workload(code_words=0).validate()
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ConfigurationError):
+            small_workload(p_local_write=1.5).validate()
+
+
+class TestLayout:
+    def test_regions_are_disjoint(self):
+        workload = small_workload()
+        assert workload.code_base == workload.shared_words
+        assert workload.local_base(0) == workload.shared_words + workload.code_words
+        assert workload.local_base(1) == workload.local_base(0) + workload.local_words
+
+    def test_memory_words_covers_everything(self):
+        workload = small_workload()
+        assert workload.memory_words == 8 + 32 + 2 * 16
+
+
+class TestGeneration:
+    def test_one_stream_per_pe(self):
+        streams = generate_synthetic_streams(small_workload())
+        assert len(streams) == 2
+        assert all(len(stream) == 300 for stream in streams)
+
+    def test_deterministic(self):
+        a = generate_synthetic_streams(small_workload())
+        b = generate_synthetic_streams(small_workload())
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = generate_synthetic_streams(small_workload(seed=1))
+        b = generate_synthetic_streams(small_workload(seed=2))
+        assert a != b
+
+    def test_pe_field_matches_stream(self):
+        streams = generate_synthetic_streams(small_workload())
+        for pe, stream in enumerate(streams):
+            assert all(ref.pe == pe for ref in stream)
+
+    def test_code_refs_are_reads_in_code_region(self):
+        workload = small_workload()
+        for stream in generate_synthetic_streams(workload):
+            for ref in stream:
+                if ref.data_class is DataClass.CODE:
+                    assert ref.access is AccessType.READ
+                    assert workload.code_base <= ref.address < workload.local_base(0)
+
+    def test_local_refs_stay_in_own_region(self):
+        workload = small_workload()
+        for pe, stream in enumerate(generate_synthetic_streams(workload)):
+            base = workload.local_base(pe)
+            for ref in stream:
+                if ref.data_class is DataClass.LOCAL:
+                    assert base <= ref.address < base + workload.local_words
+
+    def test_shared_refs_in_shared_region(self):
+        workload = small_workload()
+        for stream in generate_synthetic_streams(workload):
+            for ref in stream:
+                if ref.data_class is DataClass.SHARED:
+                    assert 0 <= ref.address < workload.shared_words
+
+    def test_class_mix_roughly_matches(self):
+        workload = small_workload(refs_per_pe=4000)
+        stream = generate_synthetic_streams(workload)[0]
+        code = sum(1 for r in stream if r.data_class is DataClass.CODE)
+        assert abs(code / len(stream) - workload.p_code) < 0.05
+
+    def test_shared_repeat_creates_runs(self):
+        workload = small_workload(
+            refs_per_pe=2000, p_shared_repeat=0.95, p_shared=0.5,
+            p_code=0.3, p_local=0.2,
+        )
+        stream = generate_synthetic_streams(workload)[0]
+        shared = [r.address for r in stream if r.data_class is DataClass.SHARED]
+        repeats = sum(1 for a, b in zip(shared, shared[1:]) if a == b)
+        assert repeats > len(shared) / 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    refs=st.integers(0, 200),
+    seed=st.integers(0, 100),
+    shared=st.integers(1, 16),
+)
+def test_streams_always_well_formed(refs, seed, shared):
+    workload = SyntheticWorkload(
+        num_pes=2, refs_per_pe=refs, shared_words=shared,
+        code_words=16, local_words=8, seed=seed,
+    )
+    for pe, stream in enumerate(generate_synthetic_streams(workload)):
+        assert len(stream) == refs
+        for ref in stream:
+            assert ref.pe == pe
+            assert 0 <= ref.address < workload.memory_words

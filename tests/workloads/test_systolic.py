@@ -1,0 +1,42 @@
+"""Tests for the systolic pipeline workload."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.registry import available_protocols
+from repro.workloads.systolic import run_systolic
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_pipeline_output_exact(self, protocol):
+        result = run_systolic(protocol, stages=4, items=8)
+        assert result.outputs_correct
+
+    def test_single_stage(self):
+        result = run_systolic("rwb", stages=1, items=5)
+        assert result.outputs_correct
+
+    def test_deep_pipeline(self):
+        result = run_systolic("rwb", stages=6, items=6)
+        assert result.outputs_correct
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            run_systolic("rb", stages=0)
+        with pytest.raises(ConfigurationError):
+            run_systolic("rb", items=0)
+
+
+class TestTraffic:
+    def test_rwb_cheapest_handoffs(self):
+        """Each cell hand-off is the Section 5 cyclic pattern; RWB's
+        write-broadcast pre-fills the consumer."""
+        rb = run_systolic("rb", stages=4, items=8)
+        rwb = run_systolic("rwb", stages=4, items=8)
+        assert rwb.bus_transactions < rb.bus_transactions
+        assert rwb.cycles <= rb.cycles
+
+    def test_throughput_metric(self):
+        result = run_systolic("rwb", stages=3, items=10)
+        assert result.cycles_per_item > 0

@@ -1,0 +1,93 @@
+"""Tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType, DataClass, MemRef
+from repro.workloads.synthetic import SyntheticWorkload, generate_synthetic_streams
+from repro.workloads.tracefile import load_streams, save_streams
+
+
+def sample_streams():
+    return [
+        [MemRef(0, AccessType.READ, 1),
+         MemRef(0, AccessType.WRITE, 2, value=9, data_class=DataClass.LOCAL)],
+        [MemRef(1, AccessType.TS, 3, value=1)],
+    ]
+
+
+class TestRoundTrip:
+    def test_roundtrip_exact(self, tmp_path):
+        path = tmp_path / "trace.json"
+        streams = sample_streams()
+        save_streams(streams, path)
+        assert load_streams(path) == streams
+
+    def test_roundtrip_generated_workload(self, tmp_path):
+        workload = SyntheticWorkload(num_pes=2, refs_per_pe=50, seed=4,
+                                     shared_words=8, code_words=16,
+                                     local_words=8)
+        streams = generate_synthetic_streams(workload)
+        path = tmp_path / "trace.json"
+        save_streams(streams, path)
+        assert load_streams(path) == streams
+
+    def test_empty_streams(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_streams([[], []], path)
+        assert load_streams(path) == [[], []]
+
+
+class TestValidation:
+    def test_rejects_misnumbered_stream(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_streams([[MemRef(1, AccessType.READ, 0)]],
+                         tmp_path / "bad.json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_streams(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(ConfigurationError):
+            load_streams(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigurationError):
+            load_streams(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(
+            {"format": "repro-trace", "version": 99, "streams": []}
+        ))
+        with pytest.raises(ConfigurationError):
+            load_streams(path)
+
+    def test_unknown_enum(self, tmp_path):
+        path = tmp_path / "enum.json"
+        path.write_text(json.dumps({
+            "format": "repro-trace", "version": 1,
+            "streams": [[["TELEPORT", 0, 0, "SHARED"]]],
+        }))
+        with pytest.raises(ConfigurationError):
+            load_streams(path)
+
+
+class TestReplay:
+    def test_loaded_trace_drives_a_machine(self, tmp_path):
+        from repro.system.config import MachineConfig
+        from repro.system.machine import Machine
+
+        path = tmp_path / "trace.json"
+        save_streams(sample_streams(), path)
+        machine = Machine(MachineConfig(num_pes=2, memory_size=64))
+        machine.load_traces(load_streams(path))
+        machine.run()
+        assert machine.latest_value(2) == 9
