@@ -7,7 +7,7 @@ from repro.experiments import figure_3_1
 
 
 def test_figure_3_1(benchmark):
-    result = benchmark(figure_3_1.run)
+    result = benchmark(figure_3_1.compute)
     print_once("figure-3-1", figure_3_1.render(result))
     assert result.matches_paper, result.mismatches
     assert len(result.entries) == 12

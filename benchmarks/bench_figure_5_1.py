@@ -7,7 +7,7 @@ from repro.experiments import figure_5_1
 
 
 def test_figure_5_1(benchmark):
-    result = benchmark(figure_5_1.run)
+    result = benchmark(figure_5_1.compute)
     print_once("figure-5-1", figure_5_1.render(result))
     assert result.matches_paper, result.mismatches
     assert len(result.entries) == 20

@@ -10,7 +10,7 @@ from repro.experiments import figure_6_1
 
 
 def test_figure_6_1(benchmark):
-    result = benchmark(figure_6_1.run)
+    result = benchmark(figure_6_1.compute)
     print_once("figure-6-1", figure_6_1.render(result))
     assert result.matches_paper, result.mismatches
     assert result.spin_bus_transactions > 0

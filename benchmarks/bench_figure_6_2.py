@@ -10,7 +10,7 @@ from repro.experiments import figure_6_2
 
 
 def test_figure_6_2(benchmark):
-    result = benchmark(figure_6_2.run)
+    result = benchmark(figure_6_2.compute)
     print_once("figure-6-2", figure_6_2.render(result))
     assert result.matches_paper, result.mismatches
     assert result.steady_spin_bus_transactions == 0

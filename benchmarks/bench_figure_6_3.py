@@ -11,7 +11,7 @@ from repro.experiments import figure_6_2, figure_6_3
 
 
 def test_figure_6_3(benchmark):
-    result = benchmark(figure_6_3.run)
+    result = benchmark(figure_6_3.compute)
     print_once("figure-6-3", figure_6_3.render(result))
     assert result.matches_paper, result.mismatches
     assert result.spin_bus_transactions == 0
@@ -21,7 +21,7 @@ def test_figure_6_3_invalidation_minimization(benchmark):
     """Compared to the RB scenario, RWB invalidates almost never."""
 
     def both():
-        return figure_6_2.run(), figure_6_3.run()
+        return figure_6_2.compute(), figure_6_3.compute()
 
     rb_result, rwb_result = benchmark(both)
     rb_invalidations = sum(

@@ -11,7 +11,7 @@ from repro.experiments import figure_7_1
 
 
 def test_figure_7_1_analytic(benchmark):
-    result = benchmark(figure_7_1.run, simulate=False)
+    result = benchmark(figure_7_1.compute, simulate=False)
     assert result.matches_paper, result.mismatches
     assert result.example_sbb == 12.8
     assert result.feasible_range_ok
@@ -19,7 +19,7 @@ def test_figure_7_1_analytic(benchmark):
 
 def test_figure_7_1_simulated(benchmark):
     result = benchmark(
-        figure_7_1.run, sim_widths=(2, 4, 8, 16), refs_per_pe=250
+        figure_7_1.compute, sim_widths=(2, 4, 8, 16), refs_per_pe=250
     )
     print_once("figure-7-1", figure_7_1.render(result))
     assert result.matches_paper, result.mismatches

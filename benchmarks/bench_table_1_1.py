@@ -15,7 +15,7 @@ NUM_REFS = 40_000
 
 
 def test_table_1_1(benchmark):
-    result = benchmark(table_1_1.run, num_refs=NUM_REFS)
+    result = benchmark(table_1_1.compute, num_refs=NUM_REFS)
     print_once("table-1-1", table_1_1.render(result))
     assert result.ok, result.shape_violations
     for app in (APP_QSORT, APP_PDE):

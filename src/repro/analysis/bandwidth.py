@@ -19,7 +19,7 @@ the saturation knee the formula predicts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
 from repro.system.config import MachineConfig
@@ -95,6 +95,7 @@ class UtilizationPoint:
         cycles: run length in bus cycles.
         instructions: total PE instructions completed.
         throughput: instructions per bus cycle — flattens at saturation.
+        stats: the measured machine's full counter snapshot.
     """
 
     processors: int
@@ -102,6 +103,7 @@ class UtilizationPoint:
     utilization: float
     cycles: int
     instructions: int
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -190,6 +192,7 @@ def measure_utilization(
         utilization=machine.bus_utilization,
         cycles=cycles,
         instructions=instructions,
+        stats=machine.stats.as_dict(),
     )
 
 

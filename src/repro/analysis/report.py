@@ -1,15 +1,19 @@
-"""Whole-machine performance reports.
+"""Whole-machine performance and experiment-artifact reports.
 
 Renders a run's statistics the way an architecture paper would tabulate
 them: per-cache hit ratios with the compulsory/replacement/coherence miss
 breakdown, the bus operation mix with utilization, and per-PE instruction
-and stall counts.
+and stall counts.  :func:`render_experiment` renders the structured
+:class:`~repro.sweep.result.ExperimentResult` artifacts the experiment
+layer produces — the one rendering path every ``repro-experiment`` target
+shares.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import render_table
 from repro.common.stats import RatioStat
+from repro.sweep.result import ExperimentResult
 from repro.system.machine import Machine
 
 
@@ -74,6 +78,52 @@ def pe_report(machine: Machine) -> str:
             stats.get("pe.stall_cycles"),
         ])
     return render_table(headers, rows, title="Processing elements")
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """One experiment artifact as a printable report.
+
+    Sections: a provenance header, every derived table with its finding,
+    any non-table derived values, and the paper-fidelity verdict (point
+    failures and cross-point mismatches).
+    """
+    sections: list[str] = []
+    header = f"==== {result.name} ===="
+    if result.description:
+        header += f"\n{result.description}"
+    if result.provenance is not None:
+        p = result.provenance
+        header += (
+            f"\n(seed {p.seed}, {p.workers} worker(s), "
+            f"{len(result.points)} point(s), {p.wall_seconds:.2f}s, "
+            f"source {p.git_describe}, schema v{p.schema_version})"
+        )
+    sections.append(header)
+    for table in result.tables:
+        rendered = render_table(table.headers, table.rows, title=table.title)
+        if table.finding:
+            rendered += f"\n=> {table.finding}"
+        sections.append(rendered)
+    if result.derived:
+        lines = [f"{key}: {value}" for key, value in result.derived.items()]
+        sections.append("Derived:\n  " + "\n  ".join(lines))
+    problems = list(result.mismatches)
+    for point in result.points:
+        problems.extend(
+            f"[{point.name}] {mismatch}" for mismatch in point.mismatches
+        )
+        if point.status != "ok":
+            problems.append(
+                f"[{point.name}] point {point.status}"
+                + (f": {point.error.splitlines()[-1]}" if point.error else "")
+            )
+    verdict = (
+        "Matches the paper / checks pass: YES"
+        if not problems
+        else "MISMATCHES:\n  " + "\n  ".join(problems)
+    )
+    sections.append(verdict)
+    return "\n\n".join(sections)
 
 
 def machine_report(machine: Machine) -> str:

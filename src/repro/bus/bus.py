@@ -50,7 +50,7 @@ class SharedBus(BusNetwork):
         self.memory = memory
         self.arbiter = arbiter or RoundRobinArbiter()
         self.name = name
-        self.stats = CounterBag()
+        self._stats = CounterBag()
         self.cycle = 0
         self._clients: dict[int, BusClient] = {}
         self._queues: dict[int, deque[BusTransaction]] = {}
@@ -249,6 +249,11 @@ class SharedBus(BusNetwork):
     # ------------------------------------------------------------------ #
     # reporting helpers                                                   #
     # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CounterBag:
+        """This bus's counters (the :class:`BusNetwork` reporting face)."""
+        return self._stats
 
     @property
     def utilization(self) -> float:

@@ -11,6 +11,7 @@ import abc
 from typing import Callable
 
 from repro.bus.transaction import BusTransaction, CompletedTransaction
+from repro.common.stats import CounterBag
 from repro.common.types import Word
 
 
@@ -96,3 +97,18 @@ class BusNetwork(abc.ABC):
     @abc.abstractmethod
     def bus_count(self) -> int:
         """Number of physical buses in the fabric."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> CounterBag:
+        """Fabric-wide counters.
+
+        For a multi-bus fabric this is the fold of every physical bus's
+        counters (combined names plus per-bank ``<bus-name>.``-prefixed
+        ones), so callers never need to know the fabric's concrete type.
+        """
+
+    @property
+    @abc.abstractmethod
+    def utilization(self) -> float:
+        """Busy fraction of the fabric (mean across physical buses)."""

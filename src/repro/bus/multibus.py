@@ -59,7 +59,6 @@ class InterleavedMultiBus(BusNetwork):
             )
             for i in range(num_buses)
         ]
-        self.stats = CounterBag()
 
     # ------------------------------------------------------------------ #
     # routing                                                             #
@@ -128,3 +127,9 @@ class InterleavedMultiBus(BusNetwork):
                 merged.add(f"{bus.name}.{name}", value)
                 merged.add(name, value)
         return merged
+
+    @property
+    def stats(self) -> CounterBag:
+        """Fabric-wide counters — :meth:`merged_stats` behind the
+        :class:`~repro.bus.interfaces.BusNetwork` reporting face."""
+        return self.merged_stats()

@@ -1,8 +1,13 @@
 """One module per table/figure of the paper, plus the ablation suite.
 
-Every experiment module exposes ``run(...)`` returning a result object and
-``render(result)`` returning the report text; ``repro-experiment <name>``
-(see :mod:`repro.experiments.cli`) prints it.
+Every experiment module exposes ``run(workers=...)`` returning a
+structured :class:`~repro.sweep.result.ExperimentResult` (points, derived
+tables, provenance) via the process-parallel sweep engine, plus a
+domain-level ``compute(...)``/result-object API; ``repro-experiment
+<name>`` (see :mod:`repro.experiments.cli`) renders the artifact, fans the
+sweep across ``--workers N`` processes and serializes it with ``--json``.
+:mod:`repro.experiments.harness` holds the shared experiment↔sweep
+plumbing.
 
 ===================  =====================================================
 ``table_1_1``        Cm* emulated cache results (read-miss vs cache size)
@@ -29,6 +34,7 @@ from repro.experiments import (  # noqa: F401 — re-exported for discovery
     figure_6_2,
     figure_6_3,
     figure_7_1,
+    harness,
     table_1_1,
 )
 
@@ -41,5 +47,6 @@ __all__ = [
     "figure_6_2",
     "figure_6_3",
     "figure_7_1",
+    "harness",
     "table_1_1",
 ]

@@ -16,13 +16,25 @@ driven by a benchmark in ``benchmarks/bench_ablations.py``:
   contention workload.
 * :func:`protocol_shootout` — all four protocols on the mixed synthetic
   workload.
+
+:func:`run` sweeps the whole registry (one point per ablation) across
+worker processes and returns the structured
+:class:`~repro.sweep.result.ExperimentResult`; :func:`main` just renders
+it.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.analysis.tables import render_table
+from repro.common.errors import ConfigurationError
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.workloads.arrayinit import run_array_init
 from repro.workloads.locks import run_lock_contention
 from repro.workloads.producer_consumer import run_producer_consumer
@@ -33,17 +45,32 @@ from repro.sync.locks import build_lock_program
 
 @dataclass(slots=True)
 class AblationResult:
-    """One ablation's table plus its headline finding."""
+    """One ablation's table plus its headline finding.
+
+    ``stats`` (optional) carries raw machine counters for the ablations
+    that drive a full :class:`~repro.system.machine.Machine`, keyed
+    ``<variant>.<component>`` so a sweep point can expose them.
+    """
 
     name: str
     headers: list[str]
     rows: list[list[object]] = field(default_factory=list)
     finding: str = ""
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def render(self) -> str:
         """The ablation as a titled table with its finding."""
         table = render_table(self.headers, self.rows, title=f"Ablation: {self.name}")
         return f"{table}\n=> {self.finding}"
+
+    def as_table_dict(self) -> dict[str, object]:
+        """The table in :class:`~repro.sweep.result.DerivedTable` shape."""
+        return {
+            "title": f"Ablation: {self.name}",
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "finding": self.finding,
+        }
 
 
 def ablate_array_init(
@@ -205,6 +232,8 @@ def ablate_arbiter_policies(
         result.rows.append([
             policy, cycles, machine.total_bus_traffic(), max(stalls),
         ])
+        for group, counters in machine.stats.as_dict().items():
+            result.stats[f"{policy}.{group}"] = counters
     result.finding = (
         "the schemes are arbitration-agnostic for correctness; fairness "
         "mostly shifts stall cycles between PEs"
@@ -261,6 +290,8 @@ def protocol_shootout(
             cycles,
             machine.stats.total("cache.invalidations", "cache"),
         ])
+        for group, counters in machine.stats.as_dict().items():
+            result.stats[f"{protocol}.{group}"] = counters
     result.finding = (
         "RWB generates the least bus traffic and by far the fewest "
         "invalidations; RB trades write-invalidations for read-broadcast "
@@ -491,30 +522,82 @@ def ablate_set_size(
     return result
 
 
+#: Registry of every ablation, in report order, keyed by sweep-point name.
+ABLATIONS: dict[str, Callable[[], AblationResult]] = {
+    "array-init": ablate_array_init,
+    "promotion-threshold": ablate_promotion_threshold,
+    "first-write-reset": ablate_first_write_reset,
+    "read-broadcast": ablate_read_broadcast,
+    "ts-vs-tts": ablate_ts_vs_tts,
+    "arbiter-policies": ablate_arbiter_policies,
+    "protocol-shootout": protocol_shootout,
+    "faa-vs-lock": ablate_faa_vs_lock,
+    "lock-granularity": ablate_lock_granularity,
+    "reliability": ablate_reliability,
+    "competitive-update": ablate_competitive_update,
+    "ticket-vs-tts": ablate_ticket_vs_tts,
+    "set-size": ablate_set_size,
+}
+
+
 def run_all() -> list[AblationResult]:
     """Every ablation, in report order."""
-    return [
-        ablate_array_init(),
-        ablate_promotion_threshold(),
-        ablate_first_write_reset(),
-        ablate_read_broadcast(),
-        ablate_ts_vs_tts(),
-        ablate_arbiter_policies(),
-        protocol_shootout(),
-        ablate_faa_vs_lock(),
-        ablate_lock_granularity(),
-        ablate_reliability(),
-        ablate_competitive_update(),
-        ablate_ticket_vs_tts(),
-        ablate_set_size(),
+    return [ablation() for ablation in ABLATIONS.values()]
+
+
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: run the one ablation the point names."""
+    result = ABLATIONS[point.params["ablation"]]()
+    return {"tables": [result.as_table_dict()], "stats": result.stats}
+
+
+def run(
+    workers: int = 1,
+    *,
+    only: Iterable[str] | None = None,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """Sweep the ablation registry; one sweep point per ablation.
+
+    Args:
+        workers: worker processes (``1`` = fully in-process).
+        only: restrict the sweep to these registry names.
+        timeout_seconds: per-ablation wall-clock budget (parallel runs).
+        retries: extra attempts for crashed/timed-out workers.
+        progress: per-point completion callback.
+    """
+    names = list(ABLATIONS) if only is None else list(only)
+    unknown = sorted(set(names) - set(ABLATIONS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown ablation(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(ABLATIONS)}"
+        )
+    points = [
+        SweepPoint(name=name, params={"ablation": name}) for name in names
     ]
+    results, provenance = harness.execute(
+        "ablations",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    return harness.assemble(
+        "ablations", sys.modules[__name__], results, provenance
+    )
 
 
 def main() -> None:
     """Print every ablation report."""
-    for ablation in run_all():
-        print(ablation.render())
-        print()
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

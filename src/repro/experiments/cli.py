@@ -1,14 +1,21 @@
 """Command-line entry point: ``repro-experiment <name>``.
 
 Regenerates any table or figure of the paper (or the ablation suite) and
-prints the report.  ``repro-experiment list`` enumerates the targets.
+prints the report.  Every target runs through the sweep engine, so
+``--workers N`` fans the target's points across processes and ``--json
+PATH`` writes the structured :class:`~repro.sweep.result.ExperimentResult`
+artifact.  ``repro-experiment list`` enumerates the targets with their
+one-line descriptions.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable
+import sys
+from pathlib import Path
+from types import ModuleType
 
+from repro.analysis.report import render_experiment
 from repro.experiments import (
     ablations,
     extensions,
@@ -18,20 +25,54 @@ from repro.experiments import (
     figure_6_2,
     figure_6_3,
     figure_7_1,
+    harness,
     table_1_1,
 )
+from repro.sweep.result import PointResult
 
-_RUNNERS: dict[str, Callable[[], None]] = {
-    "table-1-1": table_1_1.main,
-    "figure-3-1": figure_3_1.main,
-    "figure-5-1": figure_5_1.main,
-    "figure-6-1": figure_6_1.main,
-    "figure-6-2": figure_6_2.main,
-    "figure-6-3": figure_6_3.main,
-    "figure-7-1": figure_7_1.main,
-    "ablations": ablations.main,
-    "extensions": extensions.main,
+#: Experiment targets: CLI name -> module exposing ``run(workers=...)``.
+TARGETS: dict[str, ModuleType] = {
+    "table-1-1": table_1_1,
+    "figure-3-1": figure_3_1,
+    "figure-5-1": figure_5_1,
+    "figure-6-1": figure_6_1,
+    "figure-6-2": figure_6_2,
+    "figure-6-3": figure_6_3,
+    "figure-7-1": figure_7_1,
+    "ablations": ablations,
+    "extensions": extensions,
 }
+
+
+def _progress(done: int, total: int, point: PointResult) -> None:
+    """Live per-point progress on stderr (stdout stays the report)."""
+    print(
+        f"[{done}/{total}] {point.name}: {point.status} "
+        f"({point.wall_seconds:.2f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _json_path_for(base: Path, name: str, multiple: bool) -> Path:
+    """The artifact path for one target; ``all`` gets the target name
+    spliced in before the suffix (``out.json`` -> ``out.table-1-1.json``)."""
+    if not multiple:
+        return base
+    return base.with_name(f"{base.stem}.{name}{base.suffix or '.json'}")
+
+
+def _run_target(
+    name: str, workers: int, json_path: Path | None, multiple: bool
+) -> bool:
+    """Run one target, print its report, optionally write its artifact."""
+    result = TARGETS[name].run(workers=workers, progress=_progress)
+    if json_path is not None:
+        target_path = _json_path_for(json_path, name, multiple)
+        result.write_json(target_path)
+        print(f"wrote {target_path}", file=sys.stderr)
+    print(render_experiment(result))
+    return result.ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,27 +86,47 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help=f"one of: {', '.join(sorted(_RUNNERS))}, all, list",
+        help=f"one of: {', '.join(sorted(TARGETS))}, all, list",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default 1: fully in-process)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the structured ExperimentResult artifact here ('all' "
+            "writes one file per target, name spliced before the suffix)"
+        ),
     )
     args = parser.parse_args(argv)
     name = args.experiment.lower()
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     if name == "list":
-        for target in sorted(_RUNNERS):
-            print(target)
+        width = max(len(target) for target in TARGETS)
+        for target in sorted(TARGETS):
+            description = harness.description_of(TARGETS[target])
+            print(f"{target:<{width}}  {description}")
         return 0
     if name == "all":
-        for target in sorted(_RUNNERS):
-            print(f"==== {target} ====")
-            _RUNNERS[target]()
+        ok = True
+        for target in sorted(TARGETS):
+            ok = _run_target(target, args.workers, args.json, True) and ok
             print()
-        return 0
-    if name not in _RUNNERS:
+        return 0 if ok else 1
+    if name not in TARGETS:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(sorted(_RUNNERS))}"
+            f"choose from {', '.join(sorted(TARGETS))}"
         )
-    _RUNNERS[name]()
-    return 0
+    return 0 if _run_target(name, args.workers, args.json, False) else 1
 
 
 if __name__ == "__main__":

@@ -16,10 +16,17 @@ the paper explicitly points at:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.analysis.tables import render_table
+from repro.common.errors import ConfigurationError
 from repro.common.types import AccessType, MemRef
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
 from repro.reliability import run_recoverability
 from repro.sync.locks import build_lock_program
@@ -50,6 +57,15 @@ class ExtensionStudy:
             else "FAILURES:\n  " + "\n  ".join(self.failures)
         )
         return f"{table}\n=> {self.finding}\n[{verdict}]"
+
+    def as_table_dict(self) -> dict[str, object]:
+        """The table in :class:`~repro.sweep.result.DerivedTable` shape."""
+        return {
+            "title": f"Extension: {self.name}",
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "finding": self.finding,
+        }
 
 
 def hierarchy_study(
@@ -174,16 +190,73 @@ def systolic_study(stages: int = 4, items: int = 8) -> ExtensionStudy:
     return study
 
 
+#: Registry of the extension studies, in report order.
+STUDIES: dict[str, Callable[[], ExtensionStudy]] = {
+    "hierarchy": hierarchy_study,
+    "reliability": reliability_study,
+    "systolic": systolic_study,
+}
+
+
 def run_all() -> list[ExtensionStudy]:
     """Every extension study, in report order."""
-    return [hierarchy_study(), reliability_study(), systolic_study()]
+    return [study() for study in STUDIES.values()]
+
+
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: run the one study the point names."""
+    study = STUDIES[point.params["study"]]()
+    return {
+        "tables": [study.as_table_dict()],
+        "mismatches": study.failures,
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    only: Iterable[str] | None = None,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """Sweep the extension studies; one sweep point per study.
+
+    Args:
+        workers: worker processes (``1`` = fully in-process).
+        only: restrict the sweep to these registry names.
+        timeout_seconds: per-study wall-clock budget (parallel runs).
+        retries: extra attempts for crashed/timed-out workers.
+        progress: per-point completion callback.
+    """
+    names = list(STUDIES) if only is None else list(only)
+    unknown = sorted(set(names) - set(STUDIES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown study(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(STUDIES)}"
+        )
+    points = [SweepPoint(name=name, params={"study": name}) for name in names]
+    results, provenance = harness.execute(
+        "extensions",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    return harness.assemble(
+        "extensions", sys.modules[__name__], results, provenance
+    )
 
 
 def main() -> None:
     """Print every extension report."""
-    for study in run_all():
-        print(study.render())
-        print()
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

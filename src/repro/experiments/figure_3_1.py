@@ -2,16 +2,23 @@
 
 The published diagram has states I / R / L with edges for CPU read/write
 and bus read/write, annotated with modifiers 1 (write through), 2
-(interrupt and supply) and 3 (bus read on miss).  ``run()`` enumerates the
-implemented :class:`~repro.protocols.rb.RBProtocol` table and diffs it
-against the figure, transcribed edge by edge from the paper's prose.
+(interrupt and supply) and 3 (bus read on miss).  :func:`compute`
+enumerates the implemented :class:`~repro.protocols.rb.RBProtocol` table
+and diffs it against the figure, transcribed edge by edge from the paper's
+prose; :func:`run` wraps it as a one-point sweep returning the structured
+:class:`~repro.sweep.result.ExperimentResult`.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import render_table
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.experiments.transitions import (
     BUS_READ,
     BUS_WRITE,
@@ -63,11 +70,55 @@ class Figure31Result:
         return not self.mismatches
 
 
-def run() -> Figure31Result:
+def compute() -> Figure31Result:
     """Enumerate the RB table and check it against the figure."""
     entries = enumerate_transitions(RBProtocol())
     mismatches = diff_transitions(entries, EXPECTED_RB_TRANSITIONS)
     return Figure31Result(entries=entries, mismatches=mismatches)
+
+
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: regenerate the diagram and emit it as a table."""
+    result = compute()
+    return {
+        "tables": [{
+            "title": (
+                "Figure 3-1: state transitions for each cache entry, RB scheme\n"
+                "(modifiers: 1=generate BW, 2=interrupt BR and supply, "
+                "3=generate BR)"
+            ),
+            "headers": ["State", "Stimulus", "Next", "Modifiers", "Absorbs data"],
+            "rows": [entry.cells() for entry in result.entries],
+            "finding": "",
+        }],
+        "metrics": {"transitions": len(result.entries)},
+        "mismatches": result.mismatches,
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """The figure as a one-point sweep (see :func:`compute` for the
+    domain-level result object)."""
+    points = [SweepPoint(name="rb-transitions")]
+    results, provenance = harness.execute(
+        "figure-3-1",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    return harness.assemble(
+        "figure-3-1", sys.modules[__name__], results, provenance
+    )
 
 
 def render(result: Figure31Result) -> str:
@@ -90,7 +141,9 @@ def render(result: Figure31Result) -> str:
 
 def main() -> None:
     """Print the regenerated figure."""
-    print(render(run()))
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

@@ -9,9 +9,14 @@ uninterrupted writes, strict reset of F on any foreign reference).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import render_table
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.experiments.transitions import (
     BUS_INVALIDATE,
     BUS_READ,
@@ -67,7 +72,7 @@ class Figure51Result:
         return not self.mismatches
 
 
-def run(
+def compute(
     local_promotion_writes: int = 2, reset_first_write_on_bus_read: bool = True
 ) -> Figure51Result:
     """Enumerate the RWB table; checked against the figure only for the
@@ -103,9 +108,66 @@ def render(result: Figure51Result) -> str:
     return f"{table}\n\n{verdict}"
 
 
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: regenerate the diagram for the point's parameters."""
+    result = compute(
+        local_promotion_writes=point.params["local_promotion_writes"],
+        reset_first_write_on_bus_read=point.params["reset_first_write_on_bus_read"],
+    )
+    return {
+        "tables": [{
+            "title": (
+                "Figure 5-1: state transitions for each cache entry, RWB scheme\n"
+                "(modifiers: 1=generate BW, 2=interrupt BR and supply, "
+                "3=generate BR, 4=generate BI)"
+            ),
+            "headers": ["State", "Stimulus", "Next", "Modifiers", "Absorbs data"],
+            "rows": [entry.cells() for entry in result.entries],
+            "finding": "",
+        }],
+        "metrics": {"transitions": len(result.entries)},
+        "mismatches": result.mismatches,
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """The figure as a one-point sweep, at the paper's exposition
+    parameters (see :func:`compute` for other ``k``/reset settings)."""
+    points = [
+        SweepPoint(
+            name="rwb-transitions-k2-strict",
+            params={
+                "local_promotion_writes": 2,
+                "reset_first_write_on_bus_read": True,
+            },
+        )
+    ]
+    results, provenance = harness.execute(
+        "figure-5-1",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    return harness.assemble(
+        "figure-5-1", sys.modules[__name__], results, provenance
+    )
+
+
 def main() -> None:
     """Print the regenerated figure."""
-    print(render(run()))
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

@@ -11,9 +11,14 @@ test after the release pulls the fresh value out of P2's Local copy.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import render_table
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.system.config import MachineConfig
 from repro.system.scripted import ScriptedMachine
 from repro.system.trace import ConfigurationRow, ConfigurationTracer
@@ -43,19 +48,21 @@ class Figure62Result:
         steady_spin_bus_transactions: bus work for all later spin rounds
             while the lock stayed held — the figure requires zero.
         mismatches: diffs against the published rows.
+        stats: the scripted machine's full counter snapshot.
     """
 
     rows: list[ConfigurationRow] = field(default_factory=list)
     refill_bus_transactions: int = 0
     steady_spin_bus_transactions: int = 0
     mismatches: list[str] = field(default_factory=list)
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def matches_paper(self) -> bool:
         return not self.mismatches
 
 
-def run(spin_rounds: int = 5) -> Figure62Result:
+def compute(spin_rounds: int = 5) -> Figure62Result:
     """Script the scenario and capture the figure's rows.
 
     Args:
@@ -113,6 +120,7 @@ def run(spin_rounds: int = 5) -> Figure62Result:
     tracer.record("Others try to get S")
 
     result.rows = tracer.rows
+    result.stats = machine.machine.stats.as_dict()
     result.mismatches.extend(_diff_rows(tracer.rows))
     if result.steady_spin_bus_transactions != 0:
         result.mismatches.append(
@@ -157,9 +165,64 @@ def render(result: Figure62Result) -> str:
     return f"{table}\n\n{traffic}\n{verdict}"
 
 
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: script the scenario and emit the figure's table."""
+    result = compute(spin_rounds=point.params["spin_rounds"])
+    return {
+        "tables": [{
+            "title": (
+                "Figure 6-2: synchronization with Test-and-Test-and-Set, "
+                "RB scheme"
+            ),
+            "headers": ["Observation", "P1 Cache", "P2 Cache", "P3 Cache",
+                        "S (mem)", "S (latest)"],
+            "rows": [[row.label, *row.cells()] for row in result.rows],
+            "finding": (
+                f"refill round cost {result.refill_bus_transactions} bus "
+                f"transaction(s); steady-state spins cost "
+                f"{result.steady_spin_bus_transactions} (loads from caches)"
+            ),
+        }],
+        "metrics": {
+            "refill_bus_transactions": result.refill_bus_transactions,
+            "steady_spin_bus_transactions":
+                result.steady_spin_bus_transactions,
+        },
+        "mismatches": result.mismatches,
+        "stats": result.stats,
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """The figure as a one-point sweep (see :func:`compute` for the
+    domain-level result object)."""
+    points = [SweepPoint(name="tts-rb", params={"spin_rounds": 5})]
+    results, provenance = harness.execute(
+        "figure-6-2",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    return harness.assemble(
+        "figure-6-2", sys.modules[__name__], results, provenance
+    )
+
+
 def main() -> None:
     """Print the regenerated figure."""
-    print(render(run()))
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

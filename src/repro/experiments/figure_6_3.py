@@ -21,9 +21,14 @@ up.  See EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import render_table
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.system.config import MachineConfig
 from repro.system.scripted import ScriptedMachine
 from repro.system.trace import ConfigurationRow, ConfigurationTracer
@@ -54,19 +59,21 @@ class Figure63Result:
         invalidations: cache invalidations over the full scenario (should
             be far below the RB figure's).
         mismatches: diffs against the published rows.
+        stats: the scripted machine's full counter snapshot.
     """
 
     rows: list[ConfigurationRow] = field(default_factory=list)
     spin_bus_transactions: int = 0
     invalidations: int = 0
     mismatches: list[str] = field(default_factory=list)
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def matches_paper(self) -> bool:
         return not self.mismatches
 
 
-def run(spin_rounds: int = 5) -> Figure63Result:
+def compute(spin_rounds: int = 5) -> Figure63Result:
     """Script the scenario and capture the figure's rows."""
     machine = ScriptedMachine(
         MachineConfig(num_pes=3, protocol="rwb", cache_lines=8, memory_size=16)
@@ -107,6 +114,7 @@ def run(spin_rounds: int = 5) -> Figure63Result:
     tracer.record("Others try to get S")
 
     result.rows = tracer.rows
+    result.stats = machine.machine.stats.as_dict()
     result.invalidations = machine.machine.stats.total(
         "cache.invalidations", "cache"
     )
@@ -153,9 +161,64 @@ def render(result: Figure63Result) -> str:
     return f"{table}\n\n{traffic}\n{verdict}"
 
 
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: script the scenario and emit the figure's table."""
+    result = compute(spin_rounds=point.params["spin_rounds"])
+    return {
+        "tables": [{
+            "title": (
+                "Figure 6-3: synchronization with Test-and-Test-and-Set, "
+                "RWB scheme"
+            ),
+            "headers": ["Observation", "P1 Cache", "P2 Cache", "P3 Cache",
+                        "S (mem)", "S (latest)"],
+            "rows": [[row.label, *row.cells()] for row in result.rows],
+            "finding": (
+                f"{result.spin_bus_transactions} spin bus transactions "
+                "while held (the lock write was broadcast — no refill "
+                f"round); {result.invalidations} cache invalidation(s) "
+                "across the scenario"
+            ),
+        }],
+        "metrics": {
+            "spin_bus_transactions": result.spin_bus_transactions,
+            "invalidations": result.invalidations,
+        },
+        "mismatches": result.mismatches,
+        "stats": result.stats,
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """The figure as a one-point sweep (see :func:`compute` for the
+    domain-level result object)."""
+    points = [SweepPoint(name="tts-rwb", params={"spin_rounds": 5})]
+    results, provenance = harness.execute(
+        "figure-6-3",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    return harness.assemble(
+        "figure-6-3", sys.modules[__name__], results, provenance
+    )
+
+
 def main() -> None:
     """Print the regenerated figure."""
-    print(render(run()))
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

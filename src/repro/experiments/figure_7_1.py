@@ -16,7 +16,9 @@ Three parts, each checked:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.bandwidth import (
     UtilizationPoint,
@@ -27,6 +29,10 @@ from repro.analysis.bandwidth import (
     required_bandwidth_macs,
 )
 from repro.analysis.tables import render_table
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import DerivedTable, ExperimentResult
+from repro.sweep.runner import ProgressCallback
 
 #: The worked example's parameters.
 EXAMPLE_MISS_RATIO = 0.10
@@ -62,32 +68,18 @@ class Figure71Result:
         return not self.mismatches
 
 
-def run(
-    protocol: str = "rwb",
-    simulate: bool = True,
-    sim_widths: tuple[int, ...] = (2, 4, 8, 16, 24),
-    refs_per_pe: int = 300,
-    seed: int = 0,
-) -> Figure71Result:
-    """Evaluate the analytic model and (optionally) the simulation sweep.
-
-    Args:
-        protocol: protocol for the simulated machines.
-        simulate: include the machine-backed utilization sweep.
-        sim_widths: processor counts to simulate.
-        refs_per_pe: workload length per PE in the sweep.
-        seed: workload seed.
-    """
-    result = Figure71Result()
-    result.example_sbb = required_bandwidth_macs(
+def _run_analytic(point: SweepPoint) -> dict[str, Any]:
+    """Sweep task: the worked example, bandwidth sweep and feasibility."""
+    mismatches: list[str] = []
+    example_sbb = required_bandwidth_macs(
         EXAMPLE_PROCESSORS, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO
     )
-    if abs(result.example_sbb - EXAMPLE_SBB_MACS) > 1e-9:
-        result.mismatches.append(
-            f"worked example: computed {result.example_sbb} MACS, paper "
+    if abs(example_sbb - EXAMPLE_SBB_MACS) > 1e-9:
+        mismatches.append(
+            f"worked example: computed {example_sbb} MACS, paper "
             f"prints {EXAMPLE_SBB_MACS}"
         )
-
+    sweep: list[list[float]] = []
     for processors in (8, 16, 32, 64, 128, 256):
         total = required_bandwidth_macs(
             processors, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO
@@ -95,56 +87,247 @@ def run(
         halved = per_bus_demand_macs(
             processors, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO, num_buses=2
         )
-        result.sweep.append((processors, total, halved))
+        sweep.append([processors, total, halved])
         if abs(halved * 2 - total) > 1e-9:
-            result.mismatches.append(
+            mismatches.append(
                 f"dual-bus split at m={processors}: {halved}*2 != {total}"
             )
-
     # Feasibility claim: a bus able to carry the worked example's 12.8 MACS
     # supports 128 processors; a dual bus then covers the paper's upper
     # bound of 256; the lower bound of 32 needs only a quarter of it.
     supports = max_processors(
         EXAMPLE_SBB_MACS, EXAMPLE_ACCESS_RATE_MACS, EXAMPLE_MISS_RATIO
     )
-    result.feasible_range_ok = supports >= 128 and supports * 2 >= 256
-    if not result.feasible_range_ok:
-        result.mismatches.append(
+    feasible = supports >= 128 and supports * 2 >= 256
+    if not feasible:
+        mismatches.append(
             f"feasibility claim: a {EXAMPLE_SBB_MACS}-MACS bus supports only "
             f"{supports} processors"
         )
+    return {
+        "metrics": {
+            "example_sbb": example_sbb,
+            "supports": supports,
+            "feasible_range_ok": feasible,
+            "sweep": sweep,
+        },
+        "tables": [{
+            "title": "Required bandwidth sweep (x=1 MACS, 1/h=10%)",
+            "headers": ["Processors", "SBB (MACS)", "Per-bus, 2 buses (MACS)"],
+            "rows": [
+                [int(m), f"{total:.1f}", f"{half:.1f}"]
+                for m, total, half in sweep
+            ],
+            "finding": (
+                f"worked example: m={EXAMPLE_PROCESSORS}, "
+                f"x={EXAMPLE_ACCESS_RATE_MACS} MACS, "
+                f"1/h={EXAMPLE_MISS_RATIO:.0%} => SBB >= "
+                f"{example_sbb:.1f} MACS (paper: {EXAMPLE_SBB_MACS})"
+            ),
+        }],
+        "mismatches": mismatches,
+    }
 
+
+def _run_simulated(point: SweepPoint) -> dict[str, Any]:
+    """Sweep task: one machine-backed utilization measurement."""
+    measured = measure_utilization(
+        point.params["protocol"],
+        point.params["processors"],
+        num_buses=point.params["num_buses"],
+        refs_per_pe=point.params["refs_per_pe"],
+        seed=point.params["seed"],
+    )
+    return {
+        "metrics": {
+            "processors": measured.processors,
+            "num_buses": measured.num_buses,
+            "utilization": measured.utilization,
+            "cycles": measured.cycles,
+            "instructions": measured.instructions,
+        },
+        "stats": measured.stats,
+    }
+
+
+def _run_point(point: SweepPoint) -> dict[str, Any]:
+    """Sweep task dispatcher: the analytic point or a simulated width."""
+    if point.params["kind"] == "analytic":
+        return _run_analytic(point)
+    return _run_simulated(point)
+
+
+def _utilization_point(metrics: dict[str, Any], stats) -> UtilizationPoint:
+    """Rebuild a :class:`UtilizationPoint` from a sim point's payload."""
+    return UtilizationPoint(
+        processors=metrics["processors"],
+        num_buses=metrics["num_buses"],
+        utilization=metrics["utilization"],
+        cycles=metrics["cycles"],
+        instructions=metrics["instructions"],
+        stats=stats,
+    )
+
+
+def run(
+    workers: int = 1,
+    *,
+    protocol: str = "rwb",
+    simulate: bool = True,
+    sim_widths: tuple[int, ...] = (2, 4, 8, 16, 24),
+    refs_per_pe: int = 300,
+    seed: int = 0,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """Evaluate the analytic model and (optionally) the simulation sweep.
+
+    One sweep point covers the closed-form checks; each simulated
+    (width, bus-count) pair is its own point, so the machine runs spread
+    across workers.  The cross-point checks (saturation knee, dual-bus
+    relief) run in the parent once every point is in.
+
+    Args:
+        workers: worker processes (``1`` = fully in-process).
+        protocol: protocol for the simulated machines.
+        simulate: include the machine-backed utilization sweep.
+        sim_widths: processor counts to simulate.
+        refs_per_pe: workload length per PE in the sweep.
+        seed: workload seed.
+        timeout_seconds: per-point wall-clock budget (parallel runs).
+        retries: extra attempts for crashed/timed-out workers.
+        progress: per-point completion callback.
+    """
+    points = [SweepPoint(name="analytic", params={"kind": "analytic"})]
     if simulate:
-        for width in sim_widths:
-            result.simulated.append(
-                measure_utilization(
-                    protocol, width, num_buses=1,
-                    refs_per_pe=refs_per_pe, seed=seed,
+        for num_buses in (1, 2):
+            for width in sim_widths:
+                points.append(
+                    SweepPoint(
+                        name=f"sim-m{width}-b{num_buses}",
+                        params={
+                            "kind": "simulated",
+                            "protocol": protocol,
+                            "processors": width,
+                            "num_buses": num_buses,
+                            "refs_per_pe": refs_per_pe,
+                            "seed": seed,
+                        },
+                    )
                 )
-            )
-        for width in sim_widths:
-            result.simulated.append(
-                measure_utilization(
-                    protocol, width, num_buses=2,
-                    refs_per_pe=refs_per_pe, seed=seed,
-                )
-            )
-        single = [p for p in result.simulated if p.num_buses == 1]
-        result.knee_single_bus = find_saturation_knee(single)
+    results, provenance = harness.execute(
+        "figure-7-1",
+        _run_point,
+        points,
+        base_seed=seed,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    simulated = [
+        _utilization_point(point.metrics, point.stats)
+        for point in results
+        if point.params.get("kind") == "simulated" and point.status == "ok"
+    ]
+    extra_mismatches: list[str] = []
+    derived: dict[str, Any] = {}
+    analytic = results[0]
+    if analytic.status == "ok":
+        derived["example_sbb"] = analytic.metrics["example_sbb"]
+        derived["feasible_range_ok"] = analytic.metrics["feasible_range_ok"]
+    if simulated:
+        single = [p for p in simulated if p.num_buses == 1]
+        knee = find_saturation_knee(single)
+        derived["knee_single_bus"] = knee
         for single_point in single:
             dual = next(
-                p for p in result.simulated
-                if p.num_buses == 2 and p.processors == single_point.processors
+                (
+                    p for p in simulated
+                    if p.num_buses == 2
+                    and p.processors == single_point.processors
+                ),
+                None,
             )
+            if dual is None:
+                continue
             if (
                 single_point.utilization > 0.5
                 and dual.utilization > single_point.utilization + 0.02
             ):
-                result.mismatches.append(
+                extra_mismatches.append(
                     f"dual bus did not relieve load at m="
                     f"{single_point.processors}: {dual.utilization:.2f} vs "
                     f"{single_point.utilization:.2f}"
                 )
+    experiment = harness.assemble(
+        "figure-7-1",
+        sys.modules[__name__],
+        results,
+        provenance,
+        derived=derived,
+        extra_mismatches=extra_mismatches,
+    )
+    if simulated:
+        experiment.tables.append(
+            DerivedTable(
+                title="Simulated bus utilization (synthetic workload)",
+                headers=["Processors", "Buses", "Utilization", "Instr/cycle"],
+                rows=[
+                    [p.processors, p.num_buses, f"{p.utilization:.2f}",
+                     f"{p.throughput:.2f}"]
+                    for p in simulated
+                ],
+                finding=(
+                    f"single-bus saturation knee at m={derived['knee_single_bus']}"
+                    if derived.get("knee_single_bus") is not None
+                    else "single bus did not saturate in the simulated range"
+                ),
+            )
+        )
+    return experiment
+
+
+def compute(
+    protocol: str = "rwb",
+    simulate: bool = True,
+    sim_widths: tuple[int, ...] = (2, 4, 8, 16, 24),
+    refs_per_pe: int = 300,
+    seed: int = 0,
+) -> Figure71Result:
+    """The domain-level :class:`Figure71Result` — a serial adapter over
+    :func:`run`, rebuilt from the sweep's point metrics."""
+    experiment = run(
+        workers=1,
+        protocol=protocol,
+        simulate=simulate,
+        sim_widths=sim_widths,
+        refs_per_pe=refs_per_pe,
+        seed=seed,
+    )
+    result = Figure71Result()
+    analytic = experiment.point("analytic")
+    if analytic.status == "ok":
+        result.example_sbb = analytic.metrics["example_sbb"]
+        result.feasible_range_ok = analytic.metrics["feasible_range_ok"]
+        result.sweep = [
+            (int(m), total, half) for m, total, half in analytic.metrics["sweep"]
+        ]
+    result.simulated = [
+        _utilization_point(point.metrics, point.stats)
+        for point in experiment.points
+        if point.params.get("kind") == "simulated" and point.status == "ok"
+    ]
+    result.knee_single_bus = experiment.derived.get("knee_single_bus")
+    for point in experiment.points:
+        result.mismatches.extend(point.mismatches)
+    result.mismatches.extend(
+        mismatch
+        for mismatch in experiment.mismatches
+        if mismatch.startswith("dual bus did not relieve")
+        or mismatch.startswith("point ")
+    )
     return result
 
 
@@ -191,7 +374,9 @@ def render(result: Figure71Result) -> str:
 
 def main() -> None:
     """Print the bandwidth report."""
-    print(render(run()))
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,141 @@
+"""Shared plumbing between experiment modules and the sweep engine.
+
+Every ``repro.experiments.*`` module builds its ``run(workers=...)`` on
+the same skeleton: name the sweep points, hand a module-level task to
+:func:`repro.sweep.run_sweep`, then assemble an
+:class:`~repro.sweep.result.ExperimentResult` with provenance.  This
+module holds the two shared steps — :func:`execute` (seed derivation,
+timing, provenance) and :func:`point_tables` (collecting the table
+fragments points emit) — so the experiment modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import functools
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.sweep.grid import SweepPoint, assign_seeds
+from repro.sweep.result import (
+    DerivedTable,
+    ExperimentResult,
+    PointResult,
+    Provenance,
+)
+from repro.sweep.runner import ProgressCallback, SweepTask, run_sweep
+
+
+@functools.lru_cache(maxsize=1)
+def git_describe() -> str:
+    """``git describe`` of the source tree, or ``"unknown"``.
+
+    Cached per process; never raises — provenance must not break an
+    experiment run on machines without git or outside a checkout.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    described = out.stdout.strip()
+    return described if out.returncode == 0 and described else "unknown"
+
+
+def execute(
+    name: str,
+    task: SweepTask,
+    points: Sequence[SweepPoint],
+    *,
+    base_seed: int,
+    workers: int = 1,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> tuple[list[PointResult], Provenance]:
+    """Seed, run and time one experiment's sweep.
+
+    Per-point seeds are derived from *base_seed*, the experiment *name*
+    and each point's name (see :func:`repro.sweep.grid.assign_seeds`), so
+    results are independent of worker count and scheduling order.
+    """
+    seeded = assign_seeds(points, base_seed, name)
+    start = time.perf_counter()
+    results = run_sweep(
+        task,
+        seeded,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    provenance = Provenance(
+        experiment=name,
+        seed=base_seed,
+        workers=workers,
+        git_describe=git_describe(),
+        wall_seconds=time.perf_counter() - start,
+    )
+    return results, provenance
+
+
+def assemble(
+    name: str,
+    module: object,
+    results: Sequence[PointResult],
+    provenance: Provenance,
+    *,
+    derived: Mapping[str, Any] | None = None,
+    extra_mismatches: Iterable[str] = (),
+) -> ExperimentResult:
+    """The standard :class:`ExperimentResult` for one finished sweep.
+
+    Collects every point's table fragments, folds point failures plus any
+    experiment-level *extra_mismatches* into the artifact's mismatch list,
+    and takes the description from *module*'s docstring.
+    """
+    return ExperimentResult(
+        name=name,
+        description=description_of(module),
+        points=list(results),
+        tables=point_tables(results),
+        derived=dict(derived or {}),
+        mismatches=[*extra_mismatches, *failure_mismatches(results)],
+        provenance=provenance,
+    )
+
+
+def point_tables(results: Sequence[PointResult]) -> list[DerivedTable]:
+    """Every table fragment the points emitted, in point order."""
+    return [
+        DerivedTable.from_dict(fragment)
+        for result in results
+        for fragment in result.tables
+    ]
+
+
+def failure_mismatches(results: Sequence[PointResult]) -> list[str]:
+    """One mismatch line per point that did not finish ``ok``."""
+    return [
+        f"point {result.name!r} {result.status}: "
+        f"{(result.error or '').strip().splitlines()[-1] if result.error else 'no payload'}"
+        for result in results
+        if result.status != "ok"
+    ]
+
+
+def description_of(module: object) -> str:
+    """The one-line description of an experiment module (its docstring's
+    first line) — what ``repro-experiment list`` prints."""
+    doc = getattr(module, "__doc__", None) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line.rstrip(".")
+    return ""

@@ -12,9 +12,16 @@ percentages near the published cells.
 
 from __future__ import annotations
 
+import functools
+import sys
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.analysis.tables import render_table
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import DerivedTable, ExperimentResult
+from repro.sweep.runner import ProgressCallback
 from repro.workloads.cmstar import (
     APP_PDE,
     APP_QSORT,
@@ -26,6 +33,14 @@ from repro.workloads.cmstar import (
 
 #: The cache sizes of the published table.
 CACHE_SIZES = (256, 512, 1024, 2048)
+
+#: Applications resolvable by name from a sweep point.  ``run()`` registers
+#: any custom applications it is handed here, parent-side, so forked
+#: workers inherit them.
+APPLICATIONS: dict[str, CmStarApplication] = {
+    APP_QSORT.name: APP_QSORT,
+    APP_PDE.name: APP_PDE,
+}
 
 #: Published cells for shape comparison: application -> size ->
 #: (read miss %, local write %, shared %).  App 2's 512-word read-miss
@@ -72,29 +87,170 @@ class Table11Result:
         return [self.cells[(application, size)] for size in CACHE_SIZES]
 
 
+@functools.lru_cache(maxsize=8)
+def _trace(app_name: str, num_refs: int, seed: int):
+    """One application trace, cached so a serial run (and every forked
+    worker that inherits the cache warm) generates it once, not once per
+    cache size."""
+    return generate_application_trace(
+        APPLICATIONS[app_name], num_refs, seed=seed
+    )
+
+
+def _run_point(point: SweepPoint) -> dict[str, Any]:
+    """Sweep task: emulate one (application, cache size) cell."""
+    cell = CmStarCacheEmulator(point.params["cache_size"]).run(
+        _trace(
+            point.params["application"],
+            point.params["num_refs"],
+            point.params["trace_seed"],
+        ),
+        point.params["application"],
+    )
+    counts = {
+        "total_refs": cell.total_refs,
+        "read_misses": cell.read_misses,
+        "local_writes": cell.local_writes,
+        "shared_refs": cell.shared_refs,
+    }
+    return {
+        "metrics": {
+            **counts,
+            "read_miss_pct": cell.read_miss.percent,
+            "local_write_pct": cell.local_write.percent,
+            "shared_pct": cell.shared.percent,
+            "total_miss_pct": cell.total_miss.percent,
+        },
+        "stats": {"emulation": counts},
+    }
+
+
+def _cell_from_metrics(
+    application: str, cache_size: int, metrics: Mapping[str, Any]
+) -> EmulationResult:
+    """Rebuild the domain-level cell from a point's metrics."""
+    return EmulationResult(
+        application=application,
+        cache_size=cache_size,
+        total_refs=metrics["total_refs"],
+        read_misses=metrics["read_misses"],
+        local_writes=metrics["local_writes"],
+        shared_refs=metrics["shared_refs"],
+    )
+
+
 def run(
+    workers: int = 1,
+    *,
     num_refs: int = 80_000,
     seed: int = 3,
     applications: tuple[CmStarApplication, ...] = (APP_QSORT, APP_PDE),
-) -> Table11Result:
-    """Regenerate the table.
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """Regenerate the table as a sweep, one point per (app, size) cell.
+
+    Every cell of one application shares the same trace (same *seed*), so
+    the local-write and shared columns stay exactly size-independent; the
+    shape checks run in the parent over the assembled columns.
 
     Args:
+        workers: worker processes (``1`` = fully in-process).
         num_refs: references per application trace (80k matches the
             calibration; smaller values keep tests fast but drift the
             absolute numbers slightly).
         seed: trace seed.
-        applications: application mixes to emulate.
+        applications: application mixes to emulate.  Custom applications
+            are registered by name parent-side, which forked workers
+            inherit (spawn-based platforms only resolve the built-ins).
+        timeout_seconds: per-cell wall-clock budget (parallel runs).
+        retries: extra attempts for crashed/timed-out workers.
+        progress: per-point completion callback.
     """
-    result = Table11Result(num_refs=num_refs)
     for app in applications:
-        trace = generate_application_trace(app, num_refs, seed=seed)
+        APPLICATIONS[app.name] = app
+    points = [
+        SweepPoint(
+            name=f"{app.name}@{size}",
+            params={
+                "application": app.name,
+                "cache_size": size,
+                "num_refs": num_refs,
+                "trace_seed": seed,
+            },
+        )
+        for app in applications
+        for size in CACHE_SIZES
+    ]
+    results, provenance = harness.execute(
+        "table-1-1",
+        _run_point,
+        points,
+        base_seed=seed,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+    by_name = {result.name: result for result in results}
+    shape_violations: list[str] = []
+    cells: dict[tuple[str, int], EmulationResult] = {}
+    for app in applications:
+        column = []
         for size in CACHE_SIZES:
-            result.cells[(app.name, size)] = CmStarCacheEmulator(size).run(
-                trace, app.name
-            )
-        result.shape_violations.extend(_check_shape(result.column(app.name)))
-    return result
+            point = by_name[f"{app.name}@{size}"]
+            if point.status != "ok":
+                continue
+            cell = _cell_from_metrics(app.name, size, point.metrics)
+            cells[(app.name, size)] = cell
+            column.append(cell)
+        if len(column) == len(CACHE_SIZES):
+            shape_violations.extend(_check_shape(column))
+    experiment = harness.assemble(
+        "table-1-1",
+        sys.modules[__name__],
+        results,
+        provenance,
+        extra_mismatches=shape_violations,
+    )
+    domain = Table11Result(
+        cells=cells, num_refs=num_refs, shape_violations=shape_violations
+    )
+    experiment.tables.append(_paper_table(domain))
+    return experiment
+
+
+def compute(
+    num_refs: int = 80_000,
+    seed: int = 3,
+    applications: tuple[CmStarApplication, ...] = (APP_QSORT, APP_PDE),
+) -> Table11Result:
+    """Regenerate the table as the domain-level :class:`Table11Result`.
+
+    A serial adapter over :func:`run` — the sweep is the single source of
+    truth; this rebuilds the :class:`EmulationResult` cells from the point
+    metrics.
+    """
+    experiment = run(
+        workers=1, num_refs=num_refs, seed=seed, applications=applications
+    )
+    cells = {}
+    for point in experiment.points:
+        if point.status != "ok":
+            continue
+        app = point.params["application"]
+        size = point.params["cache_size"]
+        cells[(app, size)] = _cell_from_metrics(app, size, point.metrics)
+    return Table11Result(
+        cells=cells,
+        num_refs=num_refs,
+        shape_violations=[
+            mismatch
+            for mismatch in experiment.mismatches
+            if not mismatch.startswith("point ")
+        ],
+    )
 
 
 def _check_shape(rows: list[EmulationResult]) -> list[str]:
@@ -125,17 +281,19 @@ def _check_shape(rows: list[EmulationResult]) -> list[str]:
     return problems
 
 
-def render(result: Table11Result) -> str:
-    """The table in the paper's layout, with the published cells inline."""
+def _paper_table(result: Table11Result) -> DerivedTable:
+    """The paper-layout table, with the published cells inline."""
     headers = [
         "Cache Size", "Application", "Read Miss %", "(paper)",
         "Local Writes %", "(paper)", "Shared R/W %", "(paper)",
         "Total Miss %",
     ]
-    rows = []
+    rows: list[list[Any]] = []
     applications = sorted({app for app, _ in result.cells})
     for size in CACHE_SIZES:
         for app in applications:
+            if (app, size) not in result.cells:
+                continue
             cell = result.cells[(app, size)]
             paper = PAPER_CELLS.get(app, {}).get(size)
             rows.append([
@@ -149,24 +307,33 @@ def render(result: Table11Result) -> str:
                 paper[2] if paper else "-",
                 round(cell.total_miss.percent, 1),
             ])
-    table = render_table(
-        headers, rows,
+    return DerivedTable(
         title=(
             "Table 1-1: Cm* emulated cache results (set size 1 word)\n"
             f"({result.num_refs} references per application)"
         ),
+        headers=headers,
+        rows=rows,
     )
+
+
+def render(result: Table11Result) -> str:
+    """The table in the paper's layout, with the published cells inline."""
+    table = _paper_table(result)
+    text = render_table(table.headers, table.rows, title=table.title)
     verdict = (
         "Shape properties hold: YES"
         if result.ok
         else "SHAPE VIOLATIONS:\n  " + "\n  ".join(result.shape_violations)
     )
-    return f"{table}\n\n{verdict}"
+    return f"{text}\n\n{verdict}"
 
 
 def main() -> None:
     """Print the regenerated table."""
-    print(render(run()))
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
 
 
 if __name__ == "__main__":

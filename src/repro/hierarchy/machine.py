@@ -188,10 +188,7 @@ class HierarchicalMachine:
         """Counters for every component at both levels."""
         stat_set = StatSet()
         stat_set.bag("memory").merge(self.memory.stats)
-        if isinstance(self.global_bus, InterleavedMultiBus):
-            stat_set.bag("global-bus").merge(self.global_bus.merged_stats())
-        else:
-            stat_set.bag("global-bus").merge(self.global_bus.stats)
+        stat_set.bag("global-bus").merge(self.global_bus.stats)
         for cluster in self.clusters:
             stat_set.bag(f"local-bus{cluster.index}").merge(
                 cluster.local_bus.stats

@@ -1,0 +1,41 @@
+"""Process-parallel sweep engine with structured experiment results.
+
+Every paper artifact (Table 1-1, the figures, the ablation suite) is a
+sweep of independent machine simulations.  This package runs such sweeps
+across worker processes and returns machine-checkable artifacts:
+
+* :mod:`repro.sweep.grid` — sweep points and configuration-grid expansion
+  (built on ``MachineConfig.with_overrides``), with deterministic
+  per-point seed derivation.
+* :mod:`repro.sweep.runner` — :func:`run_sweep`: process fan-out,
+  per-point timeout, bounded crashed-worker retry, live progress, and
+  serial/parallel result parity.
+* :mod:`repro.sweep.result` — the :class:`ExperimentResult` artifact
+  schema (points + derived tables + provenance) that every
+  ``repro.experiments.*.run()`` returns and ``repro-experiment --json``
+  serializes.
+"""
+
+from repro.sweep.grid import SweepPoint, assign_seeds, expand_grid
+from repro.sweep.result import (
+    SCHEMA_VERSION,
+    DerivedTable,
+    ExperimentResult,
+    PointResult,
+    Provenance,
+    validate_artifact,
+)
+from repro.sweep.runner import run_sweep
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DerivedTable",
+    "ExperimentResult",
+    "PointResult",
+    "Provenance",
+    "SweepPoint",
+    "assign_seeds",
+    "expand_grid",
+    "run_sweep",
+    "validate_artifact",
+]

@@ -1,0 +1,120 @@
+"""Sweep points and configuration-grid expansion.
+
+A sweep is a list of :class:`SweepPoint` objects — each one names a unit
+of independent work, optionally carries a :class:`MachineConfig`, and gets
+a deterministic per-point seed derived from the base seed and the point's
+name (so the same grid yields the same per-point streams regardless of
+worker count or completion order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed
+from repro.system.config import MachineConfig
+
+
+@dataclass(slots=True)
+class SweepPoint:
+    """One unit of sweep work.
+
+    Attributes:
+        name: unique label within the sweep (used for seed derivation,
+            progress reporting and artifact lookup).
+        config: the machine configuration to simulate, when the point is
+            built around a single machine; ``None`` otherwise.
+        params: free-form JSON-compatible parameters the task reads.
+        seed: deterministic per-point seed (see :func:`assign_seeds`).
+    """
+
+    name: str
+    config: MachineConfig | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+
+def assign_seeds(
+    points: Sequence[SweepPoint], base_seed: int, *labels: object
+) -> list[SweepPoint]:
+    """Give every point a seed derived from *base_seed* and its name.
+
+    Derivation uses :func:`repro.common.rng.derive_seed`, so it depends
+    only on the base seed, the extra *labels* (typically the experiment
+    name) and the point name — never on worker count, scheduling order or
+    position in the list.  Points that already carry a seed keep it.
+    """
+    seeded = []
+    for point in points:
+        seed = point.seed
+        if seed is None:
+            seed = derive_seed(base_seed, *labels, point.name)
+        seeded.append(
+            SweepPoint(
+                name=point.name,
+                config=point.config,
+                params=dict(point.params),
+                seed=seed,
+            )
+        )
+    return seeded
+
+
+def expand_grid(
+    base: MachineConfig,
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    params: Mapping[str, Any] | None = None,
+    derive_config_seeds: bool = True,
+) -> list[SweepPoint]:
+    """The cartesian product of *axes* over a base configuration.
+
+    Each axis is a ``MachineConfig`` field name mapped to the values it
+    sweeps; every grid cell becomes a :class:`SweepPoint` whose config is
+    ``base.with_overrides(...)`` (validated copies — the base is never
+    mutated).  Point names encode the cell, e.g. ``num_pes=8,num_buses=2``.
+
+    Args:
+        base: the configuration every cell starts from.
+        axes: field name -> values to sweep (insertion order is the
+            nesting order, last axis fastest).
+        params: extra params copied onto every point.
+        derive_config_seeds: give each cell's config its own seed derived
+            from ``base.seed`` and the cell name (keeps per-point random
+            streams independent, the Section 4 determinism requirement).
+
+    Raises:
+        ConfigurationError: empty axes values, unknown field names, or
+            cell configs that fail validation.
+    """
+    if not axes:
+        raise ConfigurationError("expand_grid needs at least one axis")
+    for name, values in axes.items():
+        if not values:
+            raise ConfigurationError(f"axis {name!r} has no values")
+    points: list[SweepPoint] = []
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        overrides = dict(zip(names, combo))
+        cell_name = ",".join(f"{k}={v}" for k, v in overrides.items())
+        if derive_config_seeds:
+            overrides["seed"] = derive_seed(base.seed, "grid", cell_name)
+        config = base.with_overrides(**overrides)
+        point_params = dict(params or {})
+        point_params.update(
+            {k: _jsonable(v) for k, v in zip(names, combo)}
+        )
+        points.append(
+            SweepPoint(name=cell_name, config=config, params=point_params)
+        )
+    return points
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an axis value into a JSON-compatible param value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

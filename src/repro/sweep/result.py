@@ -1,0 +1,277 @@
+"""Structured results for sweeps and experiments.
+
+Every paper artifact is a sweep of independent simulations; this module
+defines the JSON-stable shapes those sweeps produce:
+
+* :class:`PointResult` — one sweep point: its configuration, parameters,
+  derived seed, per-component counters (``StatSet.as_dict()``), scalar
+  metrics, rendered-table fragments, wall-clock and failure bookkeeping.
+* :class:`DerivedTable` — one experiment-level table (title, headers,
+  rows, headline finding), the unit the reports are rendered from.
+* :class:`Provenance` — how the artifact was produced: seed, workers,
+  git describe, schema version.
+* :class:`ExperimentResult` — the artifact: points + derived tables +
+  provenance + cross-point mismatch checks, with a documented dict/JSON
+  round-trip (see ``EXPERIMENTS.md``).
+
+Determinism contract: everything except the ``wall_seconds`` fields and
+``provenance`` is a pure function of the experiment's inputs, so two runs
+of the same experiment — serial or parallel — produce byte-identical
+``points[*].stats`` / ``metrics`` / ``tables`` sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+#: Version of the ExperimentResult dict/JSON layout.  Bump on any
+#: backwards-incompatible change to the shapes below.
+SCHEMA_VERSION = 1
+
+#: The statuses a sweep point can finish with.
+POINT_STATUSES = ("ok", "failed", "timeout", "crashed", "skipped")
+
+
+@dataclass(slots=True)
+class DerivedTable:
+    """One experiment-level table plus its headline finding."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    finding: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DerivedTable":
+        """Rebuild from an :meth:`as_dict` snapshot."""
+        return cls(
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+            finding=data.get("finding", ""),
+        )
+
+
+@dataclass(slots=True)
+class PointResult:
+    """One sweep point's outcome.
+
+    Attributes:
+        name: the point's unique label within its sweep.
+        status: one of :data:`POINT_STATUSES`; ``"ok"`` means the task
+            returned a payload, ``"failed"`` that it raised, ``"timeout"``
+            / ``"crashed"`` that its worker was killed (after bounded
+            retries), ``"skipped"`` that it never ran.
+        config: ``MachineConfig.to_dict()`` snapshot, or ``None`` for
+            points not built around a single machine.
+        params: the point's free-form (JSON-compatible) parameters.
+        seed: the point's derived seed, if one was assigned.
+        stats: per-component counters (``StatSet.as_dict()`` shape) when
+            the point exposes them, else ``{}``.
+        metrics: scalar results derived by the point task.
+        tables: table fragments (``DerivedTable.as_dict()`` shape)
+            contributed by this point.
+        mismatches: paper-fidelity check failures local to this point.
+        wall_seconds: task wall-clock (excluded from determinism checks).
+        attempts: 1 plus the number of crash/timeout retries consumed.
+        error: traceback or kill reason for non-``ok`` points.
+    """
+
+    name: str
+    status: str = "ok"
+    config: dict[str, Any] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    tables: list[dict[str, Any]] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    attempts: int = 1
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point completed and passed its own checks."""
+        return self.status == "ok" and not self.mismatches
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PointResult":
+        """Rebuild from an :meth:`as_dict` snapshot."""
+        return cls(**dict(data))
+
+
+@dataclass(slots=True)
+class Provenance:
+    """How an :class:`ExperimentResult` artifact was produced."""
+
+    experiment: str
+    seed: int | None = None
+    workers: int = 1
+    schema_version: int = SCHEMA_VERSION
+    git_describe: str = "unknown"
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Provenance":
+        """Rebuild from an :meth:`as_dict` snapshot."""
+        return cls(**dict(data))
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """A full experiment artifact: sweep points, tables, provenance.
+
+    This is what every ``repro.experiments.*.run(workers=...)`` returns
+    and what ``repro-experiment <name> --json PATH`` serializes.
+    """
+
+    name: str
+    description: str = ""
+    points: list[PointResult] = field(default_factory=list)
+    tables: list[DerivedTable] = field(default_factory=list)
+    derived: dict[str, Any] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+    provenance: Provenance | None = None
+
+    @property
+    def ok(self) -> bool:
+        """All points finished clean and no cross-point check failed."""
+        return not self.mismatches and all(point.ok for point in self.points)
+
+    def point(self, name: str) -> PointResult:
+        """The point named *name* (raises ``KeyError`` if absent)."""
+        for point in self.points:
+            if point.name == name:
+                return point
+        raise KeyError(f"no sweep point named {name!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """The documented artifact layout (see ``EXPERIMENTS.md``)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "ok": self.ok,
+            "provenance": (
+                self.provenance.as_dict() if self.provenance else None
+            ),
+            "points": [point.as_dict() for point in self.points],
+            "tables": [table.as_dict() for table in self.tables],
+            "derived": self.derived,
+            "mismatches": list(self.mismatches),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The artifact as a JSON string (keys in insertion order)."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_json` (plus a trailing newline) to *path*.
+
+        Parent directories are created as needed, so artifact paths like
+        ``artifacts/out.json`` work on a fresh checkout.
+        """
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild from an :meth:`as_dict` snapshot (validates first)."""
+        problems = validate_artifact(data)
+        if problems:
+            raise ValueError(
+                "invalid ExperimentResult artifact:\n  " + "\n  ".join(problems)
+            )
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            points=[PointResult.from_dict(p) for p in data["points"]],
+            tables=[DerivedTable.from_dict(t) for t in data["tables"]],
+            derived=dict(data.get("derived", {})),
+            mismatches=list(data.get("mismatches", [])),
+            provenance=(
+                Provenance.from_dict(data["provenance"])
+                if data.get("provenance")
+                else None
+            ),
+        )
+
+
+def validate_artifact(data: Mapping[str, Any]) -> list[str]:
+    """Check a dict against the documented ExperimentResult schema.
+
+    Returns a list of human-readable problems; empty means valid.  This is
+    deliberately a structural validator (no third-party schema library):
+    it checks required keys, value types and point statuses.
+    """
+    problems: list[str] = []
+    if not isinstance(data, Mapping):
+        return ["artifact is not a mapping"]
+    if data.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("name"), str) or not data.get("name"):
+        problems.append("name must be a non-empty string")
+    for key, kind in (("points", list), ("tables", list), ("ok", bool)):
+        if not isinstance(data.get(key), kind):
+            problems.append(f"{key} must be a {kind.__name__}")
+    provenance = data.get("provenance")
+    if provenance is not None:
+        if not isinstance(provenance, Mapping):
+            problems.append("provenance must be a mapping or null")
+        else:
+            for key in (
+                "experiment", "seed", "workers", "schema_version",
+                "git_describe",
+            ):
+                if key not in provenance:
+                    problems.append(f"provenance missing {key!r}")
+    for index, point in enumerate(data.get("points") or []):
+        where = f"points[{index}]"
+        if not isinstance(point, Mapping):
+            problems.append(f"{where} is not a mapping")
+            continue
+        if not isinstance(point.get("name"), str) or not point.get("name"):
+            problems.append(f"{where}.name must be a non-empty string")
+        if point.get("status") not in POINT_STATUSES:
+            problems.append(
+                f"{where}.status {point.get('status')!r} not in "
+                f"{POINT_STATUSES}"
+            )
+        if not isinstance(point.get("stats"), Mapping):
+            problems.append(f"{where}.stats must be a mapping")
+        if not isinstance(point.get("metrics"), Mapping):
+            problems.append(f"{where}.metrics must be a mapping")
+        config = point.get("config")
+        if config is not None and not isinstance(config, Mapping):
+            problems.append(f"{where}.config must be a mapping or null")
+    for index, table in enumerate(data.get("tables") or []):
+        where = f"tables[{index}]"
+        if not isinstance(table, Mapping):
+            problems.append(f"{where} is not a mapping")
+            continue
+        for key in ("title", "headers", "rows"):
+            if key not in table:
+                problems.append(f"{where} missing {key!r}")
+    return problems

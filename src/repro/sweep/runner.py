@@ -1,0 +1,388 @@
+"""Process-parallel sweep execution.
+
+:func:`run_sweep` fans a list of :class:`~repro.sweep.grid.SweepPoint`
+objects out across worker processes.  Each point runs the same *task*
+callable in a fresh process (so a crashed or wedged simulation cannot take
+the sweep down), with:
+
+* a per-point timeout — a wedged worker is terminated;
+* bounded retry of crashed/timed-out workers, after which the point is
+  recorded as failed instead of aborting the sweep;
+* live progress reporting through a callback;
+* deterministic results — outputs are returned in point order and each
+  payload is canonicalized through a JSON round-trip, so a serial run
+  (``workers=1``, fully in-process) and a parallel run produce identical
+  :class:`~repro.sweep.result.PointResult` contents (wall-clock aside).
+
+The task contract: ``task(point) -> mapping`` with any of the keys
+``"stats"`` (a ``StatSet.as_dict()``-shaped mapping), ``"metrics"``,
+``"tables"`` (``DerivedTable.as_dict()`` shapes) and ``"mismatches"``.
+The task and its return value must be picklable and JSON-compatible; the
+task must be a module-level callable so worker processes can import it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import PointResult
+
+#: Payload keys a sweep task may return.
+PAYLOAD_KEYS = frozenset({"stats", "metrics", "tables", "mismatches"})
+
+#: Signature of a sweep task.
+SweepTask = Callable[[SweepPoint], Mapping[str, Any]]
+
+#: Signature of the progress callback: (points finished, total, result).
+ProgressCallback = Callable[[int, int, PointResult], None]
+
+
+def run_sweep(
+    task: SweepTask,
+    points: Sequence[SweepPoint],
+    *,
+    workers: int = 1,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+) -> list[PointResult]:
+    """Run *task* over every point; returns results in point order.
+
+    Args:
+        task: module-level callable mapping a point to a payload mapping
+            (see the module docstring for the payload contract).
+        points: the sweep grid; point names must be unique.
+        workers: worker processes.  ``1`` runs every point in-process
+            (no multiprocessing at all) — guaranteed to produce the same
+            results as any parallel run of the same grid.
+        timeout_seconds: per-point wall-clock budget (parallel runs only);
+            a worker exceeding it is terminated.
+        retries: extra attempts granted to a point whose worker crashed
+            or timed out; once exhausted the point is recorded with status
+            ``"crashed"``/``"timeout"`` and the sweep continues.  A task
+            that *raises* is deterministic and is never retried — it is
+            recorded as ``"failed"`` immediately.
+        progress: called after every point finishes (any status).
+
+    Raises:
+        ConfigurationError: duplicate point names or bad arguments.
+    """
+    names = [point.name for point in points]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("sweep point names must be unique")
+    if workers < 1:
+        raise ConfigurationError(f"need >= 1 worker, got {workers}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if not points:
+        return []
+    if workers == 1:
+        return _run_serial(task, points, progress)
+    return _run_parallel(
+        task,
+        points,
+        workers=min(workers, len(points)),
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# serial path                                                             #
+# ---------------------------------------------------------------------- #
+
+
+def _run_serial(
+    task: SweepTask,
+    points: Sequence[SweepPoint],
+    progress: ProgressCallback | None,
+) -> list[PointResult]:
+    results: list[PointResult] = []
+    for point in points:
+        start = time.perf_counter()
+        try:
+            payload = task(point)
+        except Exception:
+            result = _finish(
+                point,
+                "failed",
+                None,
+                wall=time.perf_counter() - start,
+                attempts=1,
+                error=traceback.format_exc(limit=20),
+            )
+        else:
+            result = _finish(
+                point,
+                "ok",
+                payload,
+                wall=time.perf_counter() - start,
+                attempts=1,
+            )
+        results.append(result)
+        if progress is not None:
+            progress(len(results), len(points), result)
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# parallel path                                                           #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(slots=True)
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    index: int
+    point: SweepPoint
+    attempts: int
+    process: multiprocessing.process.BaseProcess
+    conn: connection.Connection
+    started: float
+
+
+def _worker_main(
+    task: SweepTask, point: SweepPoint, conn: connection.Connection
+) -> None:
+    """Child-process entry: run the task, ship the outcome, exit."""
+    start = time.perf_counter()
+    try:
+        payload = task(point)
+    except Exception:
+        conn.send(
+            ("failed", traceback.format_exc(limit=20),
+             time.perf_counter() - start)
+        )
+    else:
+        try:
+            conn.send(("ok", dict(payload), time.perf_counter() - start))
+        except Exception:
+            conn.send(
+                ("failed", traceback.format_exc(limit=20),
+                 time.perf_counter() - start)
+            )
+    finally:
+        conn.close()
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (fast, shares warmed caches); fall back to default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_parallel(
+    task: SweepTask,
+    points: Sequence[SweepPoint],
+    *,
+    workers: int,
+    timeout_seconds: float | None,
+    retries: int,
+    progress: ProgressCallback | None,
+) -> list[PointResult]:
+    ctx = _context()
+    total = len(points)
+    pending: deque[tuple[int, SweepPoint, int]] = deque(
+        (index, point, 0) for index, point in enumerate(points)
+    )
+    running: dict[connection.Connection, _Running] = {}
+    results: list[PointResult | None] = [None] * total
+    done = 0
+
+    def record(index: int, result: PointResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                index, point, attempts = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(task, point, child_conn),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                running[parent_conn] = _Running(
+                    index=index,
+                    point=point,
+                    attempts=attempts + 1,
+                    process=process,
+                    conn=parent_conn,
+                    started=time.perf_counter(),
+                )
+
+            wait_timeout = None
+            if timeout_seconds is not None:
+                now = time.perf_counter()
+                deadlines = [
+                    run.started + timeout_seconds for run in running.values()
+                ]
+                wait_timeout = max(0.0, min(deadlines) - now)
+            ready = connection.wait(list(running), timeout=wait_timeout)
+
+            for conn in ready:
+                run = running.pop(conn)  # type: ignore[index]
+                try:
+                    status, body, wall = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died without reporting: crashed.
+                    run.process.join()
+                    _close(run)
+                    if run.attempts <= retries:
+                        pending.appendleft(
+                            (run.index, run.point, run.attempts)
+                        )
+                    else:
+                        record(
+                            run.index,
+                            _finish(
+                                run.point,
+                                "crashed",
+                                None,
+                                wall=time.perf_counter() - run.started,
+                                attempts=run.attempts,
+                                error=(
+                                    "worker exited with code "
+                                    f"{run.process.exitcode} before reporting"
+                                ),
+                            ),
+                        )
+                    continue
+                run.process.join()
+                _close(run)
+                if status == "ok":
+                    record(
+                        run.index,
+                        _finish(
+                            run.point, "ok", body,
+                            wall=wall, attempts=run.attempts,
+                        ),
+                    )
+                else:
+                    record(
+                        run.index,
+                        _finish(
+                            run.point, "failed", None,
+                            wall=wall, attempts=run.attempts, error=body,
+                        ),
+                    )
+
+            if timeout_seconds is not None:
+                now = time.perf_counter()
+                for conn, run in list(running.items()):
+                    if now - run.started < timeout_seconds:
+                        continue
+                    running.pop(conn)
+                    run.process.terminate()
+                    run.process.join()
+                    _close(run)
+                    if run.attempts <= retries:
+                        pending.appendleft(
+                            (run.index, run.point, run.attempts)
+                        )
+                    else:
+                        record(
+                            run.index,
+                            _finish(
+                                run.point,
+                                "timeout",
+                                None,
+                                wall=now - run.started,
+                                attempts=run.attempts,
+                                error=(
+                                    f"worker exceeded {timeout_seconds}s "
+                                    "budget and was terminated"
+                                ),
+                            ),
+                        )
+    finally:
+        for run in running.values():
+            run.process.terminate()
+            run.process.join()
+            _close(run)
+
+    return [result for result in results if result is not None]
+
+
+def _close(run: _Running) -> None:
+    try:
+        run.conn.close()
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# shared result construction                                              #
+# ---------------------------------------------------------------------- #
+
+
+def _finish(
+    point: SweepPoint,
+    status: str,
+    payload: Mapping[str, Any] | None,
+    *,
+    wall: float,
+    attempts: int,
+    error: str | None = None,
+) -> PointResult:
+    """Build one canonical :class:`PointResult` from a task outcome.
+
+    The payload is round-tripped through JSON here — in the parent, for
+    serial and parallel runs alike — so the two modes cannot diverge on
+    value types (tuples become lists either way, keys become strings).
+    """
+    stats: dict[str, dict[str, int]] = {}
+    metrics: dict[str, Any] = {}
+    tables: list[dict[str, Any]] = []
+    mismatches: list[str] = []
+    if status == "ok" and payload is not None:
+        unknown = sorted(set(payload) - PAYLOAD_KEYS)
+        if unknown:
+            status = "failed"
+            error = (
+                f"task payload has unknown key(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(PAYLOAD_KEYS))}"
+            )
+        else:
+            try:
+                canonical = json.loads(json.dumps(payload))
+            except (TypeError, ValueError) as exc:
+                status = "failed"
+                error = f"task payload is not JSON-compatible: {exc}"
+            else:
+                stats = canonical.get("stats") or {}
+                metrics = canonical.get("metrics") or {}
+                tables = canonical.get("tables") or []
+                mismatches = canonical.get("mismatches") or []
+    return PointResult(
+        name=point.name,
+        status=status,
+        config=point.config.to_dict() if point.config is not None else None,
+        params=json.loads(json.dumps(point.params)) if point.params else {},
+        seed=point.seed,
+        stats=stats,
+        metrics=metrics,
+        tables=tables,
+        mismatches=mismatches,
+        wall_seconds=wall,
+        attempts=attempts,
+        error=error,
+    )

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from repro.common.errors import ConfigurationError
 from repro.memory.main_memory import LockGranularity
@@ -79,3 +81,67 @@ class MachineConfig:
                 f"need >= 1 instruction per cycle, got "
                 f"{self.instructions_per_cycle}"
             )
+
+    def with_overrides(self, **overrides: Any) -> "MachineConfig":
+        """A validated copy with the given fields replaced.
+
+        The sweep grid builder (and any caller varying one axis of a base
+        configuration) uses this instead of mutating dataclass fields in
+        place, so a base config can be shared freely between sweep points.
+
+        Raises:
+            ConfigurationError: on an unknown field name or a copy that
+                fails :meth:`validate`.
+        """
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown MachineConfig field(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(known))}"
+            )
+        if "protocol_options" not in overrides:
+            overrides["protocol_options"] = copy.deepcopy(self.protocol_options)
+        replaced = dataclasses.replace(self, **overrides)
+        replaced.validate()
+        return replaced
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot that round-trips via :meth:`from_dict`.
+
+        Enums are stored by value so the dict can cross process boundaries
+        (sweep workers) and be embedded in experiment artifacts.
+        """
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, LockGranularity):
+                value = value.value
+            elif isinstance(value, dict):
+                value = copy.deepcopy(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MachineConfig":
+        """Rebuild a validated config from a :meth:`to_dict` snapshot.
+
+        Raises:
+            ConfigurationError: on unknown keys or invalid settings.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown MachineConfig field(s) {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "lock_granularity" in kwargs and not isinstance(
+            kwargs["lock_granularity"], LockGranularity
+        ):
+            kwargs["lock_granularity"] = LockGranularity(
+                kwargs["lock_granularity"]
+            )
+        config = cls(**kwargs)
+        config.validate()
+        return config

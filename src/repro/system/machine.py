@@ -193,10 +193,7 @@ class Machine:
         """All component counters, grouped by component name."""
         stat_set = StatSet()
         stat_set.bag("memory").merge(self.memory.stats)
-        if isinstance(self.bus, InterleavedMultiBus):
-            stat_set.bag("bus").merge(self.bus.merged_stats())
-        else:
-            stat_set.bag("bus").merge(self.bus.stats)  # type: ignore[attr-defined]
+        stat_set.bag("bus").merge(self.bus.stats)
         for cache in self.caches:
             stat_set.bag(cache.name).merge(cache.stats)
         for driver in self.drivers:
@@ -206,9 +203,7 @@ class Machine:
     @property
     def bus_utilization(self) -> float:
         """Busy fraction of the fabric (mean across physical buses)."""
-        if isinstance(self.bus, (SharedBus, InterleavedMultiBus)):
-            return self.bus.utilization
-        raise ReproError("unknown bus fabric type")
+        return self.bus.utilization
 
     def total_bus_traffic(self) -> int:
         """Completed bus transactions of every type, fabric-wide."""

@@ -1,8 +1,11 @@
 """Tests for the repro-experiment command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import main
+from repro.sweep import validate_artifact
 
 
 class TestCli:
@@ -11,6 +14,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "figure-3-1" in out
         assert "table-1-1" in out
+
+    def test_list_prints_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            name, _, description = line.partition("  ")
+            assert description.strip(), f"no description for {name!r}"
 
     def test_runs_a_figure(self, capsys):
         assert main(["figure-3-1"]) == 0
@@ -30,3 +40,22 @@ class TestCli:
     def test_case_insensitive(self, capsys):
         assert main(["FIGURE-5-1"]) == 0
         assert "Figure 5-1" in capsys.readouterr().out
+
+    def test_json_artifact_written_and_valid(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["figure-6-1", "--json", str(path)]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert validate_artifact(data) == []
+        assert data["name"] == "figure-6-1"
+        assert data["ok"] is True
+        assert data["provenance"]["workers"] == 1
+
+    def test_workers_flag_accepted(self, capsys):
+        assert main(["figure-6-2", "--workers", "2"]) == 0
+        assert "Test-and-Test-and-Set" in capsys.readouterr().out
+
+    def test_bad_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["figure-6-2", "--workers", "0"])
+        assert exc.value.code == 2

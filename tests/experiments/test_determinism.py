@@ -1,0 +1,105 @@
+"""Determinism contract: serial and parallel sweeps produce identical
+results, and re-running the same configuration reproduces them exactly.
+
+The machine-driven sweep task lives at module level so worker processes
+can resolve it by import.
+"""
+
+import json
+
+from repro.experiments import ablations, figure_6_1, table_1_1
+from repro.sweep import assign_seeds, expand_grid, run_sweep
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    generate_synthetic_streams,
+)
+
+_WORKLOAD = SyntheticWorkload(
+    num_pes=2,
+    refs_per_pe=150,
+    shared_words=32,
+    code_words=64,
+    local_words=32,
+)
+
+
+def _machine_task(point):
+    """Run one grid cell's machine over the synthetic workload."""
+    config = point.config
+    workload = SyntheticWorkload(
+        num_pes=config.num_pes,
+        refs_per_pe=_WORKLOAD.refs_per_pe,
+        shared_words=_WORKLOAD.shared_words,
+        code_words=_WORKLOAD.code_words,
+        local_words=_WORKLOAD.local_words,
+        seed=config.seed,
+    )
+    machine = Machine(config)
+    machine.load_traces(
+        [list(s) for s in generate_synthetic_streams(workload)]
+    )
+    cycles = machine.run(max_cycles=2_000_000)
+    return {
+        "stats": machine.stats.as_dict(),
+        "metrics": {"cycles": cycles},
+    }
+
+
+def _grid_points():
+    base = MachineConfig(
+        num_pes=2, cache_lines=16, memory_size=256, seed=9
+    )
+    points = expand_grid(
+        base, {"protocol": ("rb", "rwb"), "num_buses": (1, 2)}
+    )
+    return assign_seeds(points, 9, "determinism")
+
+
+def _canonical(points):
+    """Point results as canonical JSON, wall-clock stripped."""
+    stripped = []
+    for point in points:
+        data = point.as_dict()
+        data.pop("wall_seconds")
+        stripped.append(data)
+    return json.dumps(stripped, sort_keys=True)
+
+
+class TestMachineSweep:
+    def test_serial_vs_parallel_statsets_identical(self):
+        serial = run_sweep(_machine_task, _grid_points(), workers=1)
+        parallel = run_sweep(_machine_task, _grid_points(), workers=4)
+        assert all(r.status == "ok" for r in serial)
+        assert [r.stats for r in serial] == [r.stats for r in parallel]
+        assert _canonical(serial) == _canonical(parallel)
+
+    def test_two_consecutive_runs_identical(self):
+        first = run_sweep(_machine_task, _grid_points(), workers=1)
+        second = run_sweep(_machine_task, _grid_points(), workers=1)
+        assert _canonical(first) == _canonical(second)
+
+
+class TestExperimentParity:
+    def test_table_1_1_serial_vs_parallel(self):
+        serial = table_1_1.run(workers=1, num_refs=8_000)
+        parallel = table_1_1.run(workers=4, num_refs=8_000)
+        assert serial.ok and parallel.ok
+        assert [p.stats for p in serial.points] == [
+            p.stats for p in parallel.points
+        ]
+        assert _canonical(serial.points) == _canonical(parallel.points)
+
+    def test_figure_6_1_serial_vs_parallel(self):
+        serial = figure_6_1.run(workers=1)
+        parallel = figure_6_1.run(workers=2)
+        assert serial.ok and parallel.ok
+        assert _canonical(serial.points) == _canonical(parallel.points)
+
+    def test_ablation_subset_serial_vs_parallel(self):
+        subset = ("array-init", "first-write-reset")
+        serial = ablations.run(workers=1, only=subset)
+        parallel = ablations.run(workers=2, only=subset)
+        assert serial.ok and parallel.ok
+        assert _canonical(serial.points) == _canonical(parallel.points)

@@ -12,97 +12,97 @@ from repro.experiments import (
 
 class TestFigure31:
     def test_matches_published_diagram(self):
-        result = figure_3_1.run()
+        result = figure_3_1.compute()
         assert result.matches_paper, result.mismatches
 
     def test_renders_all_twelve_edges(self):
-        result = figure_3_1.run()
+        result = figure_3_1.compute()
         assert len(result.entries) == 12
         assert "Figure 3-1" in figure_3_1.render(result)
 
 
 class TestFigure51:
     def test_matches_published_diagram(self):
-        result = figure_5_1.run()
+        result = figure_5_1.compute()
         assert result.matches_paper, result.mismatches
 
     def test_renders_all_twenty_edges(self):
-        result = figure_5_1.run()
+        result = figure_5_1.compute()
         assert len(result.entries) == 20
 
     def test_other_parameters_skip_the_diff(self):
-        result = figure_5_1.run(local_promotion_writes=3)
+        result = figure_5_1.compute(local_promotion_writes=3)
         assert result.matches_paper  # no expected table for k=3
         assert result.entries
 
 
 class TestFigure61:
     def test_matches_published_rows(self):
-        result = figure_6_1.run()
+        result = figure_6_1.compute()
         assert result.matches_paper, result.mismatches
 
     def test_spinning_costs_bus_traffic(self):
-        result = figure_6_1.run(spin_attempts=4)
+        result = figure_6_1.compute(spin_attempts=4)
         # Each failed TS is a locked RMW: read-lock + unlock, 2 contenders.
         assert result.spin_bus_transactions >= 8
 
     def test_render_contains_rows(self):
-        text = figure_6_1.render(figure_6_1.run())
+        text = figure_6_1.render(figure_6_1.compute())
         assert "P2 locks S" in text
         assert "L(1)" in text
 
 
 class TestFigure62:
     def test_matches_published_rows(self):
-        result = figure_6_2.run()
+        result = figure_6_2.compute()
         assert result.matches_paper, result.mismatches
 
     def test_steady_spins_are_free(self):
-        result = figure_6_2.run(spin_rounds=10)
+        result = figure_6_2.compute(spin_rounds=10)
         assert result.steady_spin_bus_transactions == 0
 
     def test_refill_is_bounded(self):
         """One interrupted read + its retry refill every spinner."""
-        result = figure_6_2.run()
+        result = figure_6_2.compute()
         assert 0 < result.refill_bus_transactions <= 3
 
 
 class TestFigure63:
     def test_matches_published_rows(self):
-        result = figure_6_3.run()
+        result = figure_6_3.compute()
         assert result.matches_paper, result.mismatches
 
     def test_no_bus_traffic_at_all_while_spinning(self):
-        result = figure_6_3.run(spin_rounds=10)
+        result = figure_6_3.compute(spin_rounds=10)
         assert result.spin_bus_transactions == 0
 
     def test_invalidation_minimization(self):
         """RWB's whole scenario invalidates only on the release BI."""
-        result = figure_6_3.run()
+        result = figure_6_3.compute()
         assert result.invalidations <= 2
 
     def test_fidelity_note_in_render(self):
-        text = figure_6_3.render(figure_6_3.run())
+        text = figure_6_3.render(figure_6_3.compute())
         assert "S (latest)" in text
 
 
 class TestFigure71:
     def test_analytic_part_matches(self):
-        result = figure_7_1.run(simulate=False)
+        result = figure_7_1.compute(simulate=False)
         assert result.matches_paper, result.mismatches
         assert result.example_sbb == 12.8
 
     def test_sweep_covers_paper_range(self):
-        result = figure_7_1.run(simulate=False)
+        result = figure_7_1.compute(simulate=False)
         processors = [m for m, _, _ in result.sweep]
         assert 32 in processors and 256 in processors
 
     def test_feasibility_claim(self):
-        result = figure_7_1.run(simulate=False)
+        result = figure_7_1.compute(simulate=False)
         assert result.feasible_range_ok
 
     def test_simulated_sweep_saturates_and_dual_bus_relieves(self):
-        result = figure_7_1.run(sim_widths=(2, 4, 8), refs_per_pe=150)
+        result = figure_7_1.compute(sim_widths=(2, 4, 8), refs_per_pe=150)
         assert result.matches_paper, result.mismatches
         assert result.knee_single_bus is not None
         single = {p.processors: p for p in result.simulated if p.num_buses == 1}

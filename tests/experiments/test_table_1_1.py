@@ -11,7 +11,7 @@ from repro.workloads.cmstar import APP_PDE, APP_QSORT
 def result():
     """One shared run at moderate trace length (keeps the suite fast but
     stays within ~2 points of the calibrated 80k-reference numbers)."""
-    return table_1_1.run(num_refs=40_000)
+    return table_1_1.compute(num_refs=40_000)
 
 
 class TestShape:

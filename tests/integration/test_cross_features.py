@@ -110,7 +110,5 @@ class TestCliAll:
 
         assert main(["all"]) == 0
         out = capsys.readouterr().out
-        assert "Matches the published diagram: YES" in out
-        assert "Matches the published figure: YES" in out
-        assert "Shape properties hold: YES" in out
+        assert out.count("Matches the paper / checks pass: YES") == 9
         assert "MISMATCH" not in out

@@ -1,0 +1,97 @@
+"""Tests for sweep points, seed derivation and grid expansion."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sweep import SweepPoint, assign_seeds, expand_grid
+from repro.system.config import MachineConfig
+
+
+class TestAssignSeeds:
+    def test_deterministic_and_name_keyed(self):
+        points = [SweepPoint(name="a"), SweepPoint(name="b")]
+        once = assign_seeds(points, 7, "exp")
+        twice = assign_seeds(points, 7, "exp")
+        assert [p.seed for p in once] == [p.seed for p in twice]
+        assert once[0].seed != once[1].seed
+
+    def test_independent_of_list_order(self):
+        forward = assign_seeds(
+            [SweepPoint(name="a"), SweepPoint(name="b")], 7, "exp"
+        )
+        backward = assign_seeds(
+            [SweepPoint(name="b"), SweepPoint(name="a")], 7, "exp"
+        )
+        assert forward[0].seed == backward[1].seed
+        assert forward[1].seed == backward[0].seed
+
+    def test_keeps_existing_seed(self):
+        seeded = assign_seeds([SweepPoint(name="a", seed=42)], 7, "exp")
+        assert seeded[0].seed == 42
+
+    def test_base_seed_changes_everything(self):
+        a = assign_seeds([SweepPoint(name="a")], 1, "exp")
+        b = assign_seeds([SweepPoint(name="a")], 2, "exp")
+        assert a[0].seed != b[0].seed
+
+    def test_does_not_mutate_input(self):
+        point = SweepPoint(name="a")
+        assign_seeds([point], 7, "exp")
+        assert point.seed is None
+
+
+class TestExpandGrid:
+    def test_cartesian_product_with_named_cells(self):
+        base = MachineConfig()
+        points = expand_grid(
+            base, {"num_pes": (2, 4), "num_buses": (1, 2)}
+        )
+        assert [p.name for p in points] == [
+            "num_pes=2,num_buses=1",
+            "num_pes=2,num_buses=2",
+            "num_pes=4,num_buses=1",
+            "num_pes=4,num_buses=2",
+        ]
+        assert points[0].config.num_pes == 2
+        assert points[3].config.num_buses == 2
+
+    def test_base_config_untouched(self):
+        base = MachineConfig(num_pes=3)
+        expand_grid(base, {"num_pes": (8,)})
+        assert base.num_pes == 3
+
+    def test_axis_values_copied_into_params(self):
+        points = expand_grid(MachineConfig(), {"num_pes": (2,)})
+        assert points[0].params["num_pes"] == 2
+
+    def test_per_cell_config_seeds_distinct(self):
+        points = expand_grid(
+            MachineConfig(seed=5), {"num_pes": (2, 4)}
+        )
+        seeds = {p.config.seed for p in points}
+        assert len(seeds) == 2
+        again = expand_grid(MachineConfig(seed=5), {"num_pes": (2, 4)})
+        assert [p.config.seed for p in points] == [
+            p.config.seed for p in again
+        ]
+
+    def test_config_seed_derivation_can_be_disabled(self):
+        points = expand_grid(
+            MachineConfig(seed=5), {"num_pes": (2,)},
+            derive_config_seeds=False,
+        )
+        assert points[0].config.seed == 5
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(MachineConfig(), {})
+        with pytest.raises(ConfigurationError):
+            expand_grid(MachineConfig(), {"num_pes": ()})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(MachineConfig(), {"warp_factor": (9,)})
+
+    def test_invalid_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(MachineConfig(), {"num_pes": (0,)})

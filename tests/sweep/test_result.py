@@ -1,0 +1,132 @@
+"""Tests for the ExperimentResult artifact schema."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SCHEMA_VERSION,
+    DerivedTable,
+    ExperimentResult,
+    PointResult,
+    Provenance,
+    validate_artifact,
+)
+
+
+def _point(name="p0", status="ok", **kwargs):
+    defaults = dict(
+        config=None,
+        params={"x": 1},
+        seed=123,
+        stats={"bus": {"bus.op.read": 4}},
+        metrics={"cycles": 10},
+        tables=[],
+        mismatches=[],
+        wall_seconds=0.5,
+        attempts=1,
+        error=None,
+    )
+    defaults.update(kwargs)
+    return PointResult(name=name, status=status, **defaults)
+
+
+def _experiment(**kwargs):
+    defaults = dict(
+        name="demo",
+        description="a demo experiment",
+        points=[_point()],
+        tables=[DerivedTable(title="T", headers=["a"], rows=[[1]])],
+        derived={"answer": 42},
+        mismatches=[],
+        provenance=Provenance(
+            experiment="demo", seed=0, workers=2, git_describe="abc",
+            wall_seconds=1.0,
+        ),
+    )
+    defaults.update(kwargs)
+    return ExperimentResult(**defaults)
+
+
+class TestOk:
+    def test_ok_when_everything_passes(self):
+        assert _experiment().ok
+
+    def test_failed_point_breaks_ok(self):
+        assert not _experiment(points=[_point(status="failed")]).ok
+
+    def test_point_mismatch_breaks_ok(self):
+        assert not _point(mismatches=["off by one"]).ok
+
+    def test_experiment_mismatch_breaks_ok(self):
+        assert not _experiment(mismatches=["shape violated"]).ok
+
+
+class TestRoundTrip:
+    def test_point_round_trips(self):
+        point = _point()
+        assert PointResult.from_dict(point.as_dict()) == point
+
+    def test_experiment_round_trips(self):
+        experiment = _experiment()
+        rebuilt = ExperimentResult.from_dict(
+            json.loads(experiment.to_json())
+        )
+        assert rebuilt == experiment
+
+    def test_artifact_has_documented_top_level(self):
+        data = _experiment().as_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert set(data) >= {
+            "schema_version", "name", "description", "ok", "provenance",
+            "points", "tables", "derived", "mismatches",
+        }
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        _experiment().write_json(path)
+        assert validate_artifact(json.loads(path.read_text())) == []
+
+    def test_point_lookup(self):
+        experiment = _experiment()
+        assert experiment.point("p0").seed == 123
+        with pytest.raises(KeyError):
+            experiment.point("nope")
+
+
+class TestValidateArtifact:
+    def test_valid_artifact_passes(self):
+        assert validate_artifact(_experiment().as_dict()) == []
+
+    def test_missing_schema_version(self):
+        data = _experiment().as_dict()
+        del data["schema_version"]
+        assert any("schema_version" in e for e in validate_artifact(data))
+
+    def test_wrong_schema_version(self):
+        data = _experiment().as_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        assert validate_artifact(data)
+
+    def test_bad_points_type(self):
+        data = _experiment().as_dict()
+        data["points"] = "nope"
+        assert validate_artifact(data)
+
+    def test_bad_point_status(self):
+        data = _experiment().as_dict()
+        data["points"][0]["status"] = "exploded"
+        assert any("status" in e for e in validate_artifact(data))
+
+    def test_bad_table_shape(self):
+        data = _experiment().as_dict()
+        data["tables"][0].pop("headers")
+        assert validate_artifact(data)
+
+    def test_missing_provenance_key(self):
+        data = _experiment().as_dict()
+        del data["provenance"]["seed"]
+        assert any("provenance" in e for e in validate_artifact(data))
+
+    def test_non_mapping_rejected(self):
+        assert validate_artifact([1, 2, 3])

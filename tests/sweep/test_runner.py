@@ -1,0 +1,167 @@
+"""Tests for the process-parallel sweep runner.
+
+The worker tasks live at module level so forked/spawned workers can
+resolve them by import.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sweep import SweepPoint, run_sweep
+
+
+def _ok_task(point):
+    return {"metrics": {"name": point.name, "seed": point.seed}}
+
+
+def _tuple_task(point):
+    return {"metrics": {"pair": (1, 2)}}
+
+
+def _fail_task(point):
+    raise ValueError("boom")
+
+
+def _crash_task(point):
+    os._exit(17)
+
+
+def _crash_once_task(point):
+    marker = point.params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(17)
+    return {"metrics": {"recovered": True}}
+
+
+def _sleep_task(point):
+    time.sleep(60)
+    return {}
+
+
+def _unknown_key_task(point):
+    return {"bogus": 1}
+
+
+def _points(*names):
+    return [SweepPoint(name=name) for name in names]
+
+
+class TestArguments:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_ok_task, _points("a", "a"))
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_ok_task, _points("a"), workers=0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_ok_task, _points("a"), retries=-1)
+
+    def test_empty_points(self):
+        assert run_sweep(_ok_task, []) == []
+
+
+class TestSerial:
+    def test_results_in_point_order(self):
+        results = run_sweep(_ok_task, _points("a", "b", "c"))
+        assert [r.name for r in results] == ["a", "b", "c"]
+        assert all(r.status == "ok" and r.attempts == 1 for r in results)
+
+    def test_task_exception_recorded_as_failed(self):
+        results = run_sweep(_fail_task, _points("a"))
+        assert results[0].status == "failed"
+        assert "ValueError: boom" in results[0].error
+        assert not results[0].ok
+
+    def test_payload_canonicalized_through_json(self):
+        results = run_sweep(_tuple_task, _points("a"))
+        assert results[0].metrics["pair"] == [1, 2]
+
+    def test_unknown_payload_key_is_failed(self):
+        results = run_sweep(_unknown_key_task, _points("a"))
+        assert results[0].status == "failed"
+        assert "bogus" in results[0].error
+
+    def test_progress_called_per_point(self):
+        seen = []
+        run_sweep(
+            _ok_task, _points("a", "b"),
+            progress=lambda done, total, result: seen.append(
+                (done, total, result.name)
+            ),
+        )
+        assert seen == [(1, 2, "a"), (2, 2, "b")]
+
+
+class TestParallel:
+    def test_matches_serial_results(self):
+        points = _points("a", "b", "c", "d")
+        serial = run_sweep(_tuple_task, points)
+        parallel = run_sweep(_tuple_task, points, workers=4)
+        strip = lambda r: {
+            k: v for k, v in r.as_dict().items() if k != "wall_seconds"
+        }
+        assert json.dumps([strip(r) for r in serial], sort_keys=True) == (
+            json.dumps([strip(r) for r in parallel], sort_keys=True)
+        )
+
+    def test_task_exception_not_retried(self):
+        results = run_sweep(_fail_task, _points("a"), workers=2, retries=3)
+        assert results[0].status == "failed"
+        assert results[0].attempts == 1
+
+    def test_crash_recorded_after_retries(self):
+        results = run_sweep(_crash_task, _points("a", "b"), workers=2,
+                            retries=1)
+        assert [r.status for r in results] == ["crashed", "crashed"]
+        assert all(r.attempts == 2 for r in results)
+        assert "exited with code 17" in results[0].error
+
+    def test_crash_retry_recovers(self, tmp_path):
+        point = SweepPoint(
+            name="flaky", params={"marker": str(tmp_path / "marker")}
+        )
+        results = run_sweep(_crash_once_task, [point, SweepPoint(name="ok")],
+                            workers=2, retries=1)
+        flaky = next(r for r in results if r.name == "flaky")
+        assert flaky.status == "ok"
+        assert flaky.attempts == 2
+        assert flaky.metrics == {"recovered": True}
+
+    def test_crash_does_not_take_down_the_sweep(self):
+        points = [SweepPoint(name="dead"), SweepPoint(name="alive")]
+
+        results = run_sweep(
+            _crash_or_ok_task, points, workers=2, retries=0
+        )
+        by_name = {r.name: r for r in results}
+        assert by_name["dead"].status == "crashed"
+        assert by_name["alive"].status == "ok"
+
+    def test_timeout_terminates_wedged_worker(self):
+        results = run_sweep(_sleep_task, _points("slow"), workers=2,
+                            timeout_seconds=0.5, retries=0)
+        assert results[0].status == "timeout"
+        assert "0.5" in results[0].error
+
+    def test_progress_reports_every_point(self):
+        seen = []
+        run_sweep(
+            _ok_task, _points("a", "b", "c"), workers=2,
+            progress=lambda done, total, result: seen.append(done),
+        )
+        assert sorted(seen) == [1, 2, 3]
+
+
+def _crash_or_ok_task(point):
+    if point.name == "dead":
+        os._exit(1)
+    return {"metrics": {"fine": True}}

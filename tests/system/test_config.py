@@ -1,8 +1,11 @@
-"""Unit tests for MachineConfig validation."""
+"""Unit tests for MachineConfig validation, copying and round-trips."""
+
+import json
 
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.memory.main_memory import LockGranularity
 from repro.system.config import MachineConfig
 
 
@@ -33,3 +36,62 @@ class TestValidation:
 
     def test_accepts_divisible_ways(self):
         MachineConfig(cache_lines=8, cache_ways=4).validate()
+
+
+class TestWithOverrides:
+    def test_returns_validated_copy(self):
+        base = MachineConfig(num_pes=2)
+        derived = base.with_overrides(num_pes=8, protocol="rwb")
+        assert derived.num_pes == 8
+        assert derived.protocol == "rwb"
+        assert base.num_pes == 2
+        assert base.protocol == "rb"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            MachineConfig().with_overrides(warp_factor=9)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig().with_overrides(num_pes=0)
+
+    def test_protocol_options_not_shared(self):
+        base = MachineConfig(protocol_options={"local_promotion_writes": 3})
+        derived = base.with_overrides(num_pes=8)
+        derived.protocol_options["local_promotion_writes"] = 99
+        assert base.protocol_options == {"local_promotion_writes": 3}
+
+
+class TestDictRoundTrip:
+    def test_round_trips_through_json(self):
+        config = MachineConfig(
+            num_pes=8,
+            protocol="rwb",
+            protocol_options={"local_promotion_writes": 3},
+            lock_granularity=LockGranularity.MODULE,
+            seed=11,
+        )
+        snapshot = json.loads(json.dumps(config.to_dict()))
+        assert MachineConfig.from_dict(snapshot) == config
+
+    def test_to_dict_is_json_compatible(self):
+        data = MachineConfig().to_dict()
+        json.dumps(data)
+        assert isinstance(data["lock_granularity"], str)
+
+    def test_to_dict_copies_protocol_options(self):
+        config = MachineConfig(protocol_options={"k": 1})
+        config.to_dict()["protocol_options"]["k"] = 2
+        assert config.protocol_options == {"k": 1}
+
+    def test_from_dict_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            MachineConfig.from_dict({"warp_factor": 9})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig.from_dict({"num_pes": 0})
+
+    def test_from_dict_coerces_lock_granularity(self):
+        config = MachineConfig.from_dict({"lock_granularity": "module"})
+        assert config.lock_granularity is LockGranularity.MODULE

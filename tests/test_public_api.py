@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.processor",
     "repro.protocols",
     "repro.reliability",
+    "repro.sweep",
     "repro.sync",
     "repro.system",
     "repro.verify",
