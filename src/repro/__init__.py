@@ -38,6 +38,14 @@ from repro.system import (
     MachineConfig,
     ScriptedMachine,
 )
+from repro.trace import (
+    JsonlSink,
+    ListSink,
+    OnlineCoherenceChecker,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+)
 from repro.verify import check_protocol, run_random_consistency_trial
 
 __version__ = "1.0.0"
@@ -49,14 +57,19 @@ __all__ = [
     "DataClass",
     "HierarchicalConfig",
     "HierarchicalMachine",
+    "JsonlSink",
     "LineState",
+    "ListSink",
     "Machine",
     "MachineConfig",
     "MemRef",
+    "OnlineCoherenceChecker",
     "RBProtocol",
     "RWBCompetitiveProtocol",
     "RWBProtocol",
     "ScriptedMachine",
+    "TraceEvent",
+    "Tracer",
     "Word",
     "WriteOnceProtocol",
     "WriteThroughInvalidateProtocol",
@@ -64,5 +77,6 @@ __all__ = [
     "available_protocols",
     "check_protocol",
     "make_protocol",
+    "read_jsonl",
     "run_random_consistency_trial",
 ]

@@ -8,12 +8,27 @@ eyeballing hand-off patterns, interrupt/retry pairs and burst shapes.
 Legend: ``r`` bus read, ``w`` bus write, ``W`` write-back, ``L`` read-with-
 lock, ``U`` write-with-unlock, ``u`` unlock, ``i`` invalidate, ``!``
 prefix marks a transaction that killed (interrupted) a bus read.
+
+:func:`render_lock_handoff` is the trace-driven sibling: it reads a
+:mod:`repro.trace` event stream and reconstructs the paper's Figure 6-3
+state table — per-cache ``State(value)`` columns evolving cycle by cycle,
+with the memory-lock holder alongside — so the ``R(1)``/``F(1)`` hand-off
+rows come straight from a recorded run.
 """
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 from repro.bus.transaction import BusOp, CompletedTransaction
 from repro.common.errors import ConfigurationError
+from repro.trace.events import (
+    LineTransition,
+    MemoryLock,
+    MemoryUnlock,
+    TraceEvent,
+    event_from_dict,
+)
 
 _GLYPHS = {
     BusOp.READ: "r",
@@ -85,3 +100,105 @@ def render_timeline(
     legend = ("legend: r=read w=write W=write-back !=interrupt-supply "
               "L=read-lock U=write-unlock u=unlock i=invalidate .=idle")
     return "\n\n".join(blocks) + "\n" + legend
+
+
+def _coerce_events(
+    events: Iterable[TraceEvent | dict[str, Any]],
+) -> list[TraceEvent]:
+    """Accept typed events or parsed-JSONL dicts interchangeably."""
+    coerced: list[TraceEvent] = []
+    for event in events:
+        if isinstance(event, TraceEvent):
+            coerced.append(event)
+        elif isinstance(event, dict):
+            coerced.append(event_from_dict(event))
+        else:
+            raise ConfigurationError(
+                f"expected TraceEvent or dict, got {type(event).__name__}"
+            )
+    return coerced
+
+
+def render_lock_handoff(
+    events: Iterable[TraceEvent | dict[str, Any]],
+    address: int,
+    cache_names: list[str] | None = None,
+) -> str:
+    """The Figure 6-3 state table for one address, from a trace stream.
+
+    Every cycle where a cache line for *address* changed state (or the
+    memory lock on it changed hands) becomes one row: per-cache
+    ``State(value)`` columns — the paper's ``R(1)``/``F(1)`` hand-off
+    progression — plus the lock holder, with the causing stimuli listed on
+    the right.  States persist between rows, exactly like the figure.
+
+    Args:
+        events: :class:`~repro.trace.TraceEvent` objects (e.g. from
+            :func:`repro.trace.read_jsonl` or a ``ListSink``) or their
+            parsed-JSONL dict form, in emission order.
+        address: the word to follow (the lock variable in Figure 6-3).
+        cache_names: column order; defaults to every cache seen in the
+            stream, sorted.
+
+    Returns:
+        The rendered table, or a placeholder when nothing touched
+        *address*.
+    """
+    relevant: list[TraceEvent] = []
+    for event in _coerce_events(events):
+        if isinstance(event, LineTransition) and event.address == address:
+            relevant.append(event)
+        elif isinstance(event, (MemoryLock, MemoryUnlock)):
+            if event.address == address:
+                relevant.append(event)
+    if not relevant:
+        return f"(no trace events for address {address})"
+
+    caches = cache_names or sorted(
+        {e.cache for e in relevant if isinstance(e, LineTransition)}
+    )
+    state: dict[str, str] = {cache: "NP(-)" for cache in caches}
+    lock = "-"
+    rows: list[tuple[int, dict[str, str], str, list[str]]] = []
+    cycle: int | None = None
+    causes: list[str] = []
+    for event in relevant:
+        if event.cycle != cycle:
+            if cycle is not None:
+                rows.append((cycle, dict(state), lock, causes))
+            cycle = event.cycle
+            causes = []
+        if isinstance(event, LineTransition):
+            if event.cache in state:
+                value = "-" if event.value is None else str(event.value)
+                state[event.cache] = f"{event.after.value}({value})"
+                causes.append(f"{event.cache}:{event.cause}")
+        elif isinstance(event, MemoryLock):
+            lock = f"c{event.client}"
+            causes.append(f"lock:c{event.client}")
+        else:
+            lock = "-"
+            verb = "write-unlock" if event.wrote else "unlock"
+            causes.append(f"{verb}:c{event.client}")
+    if cycle is not None:
+        rows.append((cycle, dict(state), lock, causes))
+
+    headers = ["cycle", *caches, "lock", "stimuli"]
+    table = [headers] + [
+        [str(row_cycle), *(row_state[c] for c in caches), row_lock,
+         " ".join(row_causes)]
+        for row_cycle, row_state, row_lock, row_causes in rows
+    ]
+    widths = [
+        max(len(line[col]) for line in table)
+        for col in range(len(headers) - 1)
+    ]
+    rendered = [
+        "  ".join(
+            [*(line[col].ljust(widths[col]) for col in range(len(widths))),
+             line[-1]]
+        ).rstrip()
+        for line in table
+    ]
+    title = f"lock hand-off at address {address}"
+    return "\n".join([title, *rendered])

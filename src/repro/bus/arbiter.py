@@ -16,18 +16,45 @@ from repro.common.rng import DeterministicRng
 
 
 class Arbiter(abc.ABC):
-    """Chooses which requesting client is granted the bus each cycle."""
+    """Chooses which requesting client is granted the bus each cycle.
+
+    The decision is split in two so the bus can retry within a cycle
+    without corrupting fairness state: :meth:`choose` is a pure pick among
+    this cycle's candidates, and :meth:`commit` records a pick that
+    actually carried a transaction.  A candidate refused by the memory
+    lock or an unready slave is *not* committed — its rotation slot is
+    preserved (see ``SharedBus.step``).
+    """
 
     name: str = "abstract"
 
     @abc.abstractmethod
-    def grant(self, requesters: Sequence[int]) -> int:
-        """Return the client id granted the bus.
+    def choose(self, requesters: Sequence[int]) -> int:
+        """Pick the candidate client id, without updating rotation state.
 
         Args:
             requesters: non-empty, strictly increasing client ids with a
                 pending transaction this cycle.
         """
+
+    def commit(self, granted: int) -> None:
+        """Record that *granted* really won the bus this cycle.
+
+        Stateless policies ignore this; rotation policies advance here and
+        only here.
+        """
+
+    def rotation_state(self) -> int | None:
+        """The policy's fairness state, for trace events (``None`` when
+        the policy keeps none)."""
+        return None
+
+    def grant(self, requesters: Sequence[int]) -> int:
+        """Choose and immediately commit (the single-step convenience used
+        when no refusal can intervene)."""
+        granted = self.choose(requesters)
+        self.commit(granted)
+        return granted
 
     def _check(self, requesters: Sequence[int]) -> None:
         if not requesters:
@@ -42,14 +69,18 @@ class RoundRobinArbiter(Arbiter):
     def __init__(self) -> None:
         self._last_granted = -1
 
-    def grant(self, requesters: Sequence[int]) -> int:
+    def choose(self, requesters: Sequence[int]) -> int:
         self._check(requesters)
         for client in requesters:
             if client > self._last_granted:
-                self._last_granted = client
                 return client
-        self._last_granted = requesters[0]
         return requesters[0]
+
+    def commit(self, granted: int) -> None:
+        self._last_granted = granted
+
+    def rotation_state(self) -> int | None:
+        return self._last_granted
 
 
 class FixedPriorityArbiter(Arbiter):
@@ -61,7 +92,7 @@ class FixedPriorityArbiter(Arbiter):
 
     name = "fixed-priority"
 
-    def grant(self, requesters: Sequence[int]) -> int:
+    def choose(self, requesters: Sequence[int]) -> int:
         self._check(requesters)
         return min(requesters)
 
@@ -73,8 +104,9 @@ class RandomArbiter(Arbiter):
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = DeterministicRng(seed)
+        self.seed = seed
 
-    def grant(self, requesters: Sequence[int]) -> int:
+    def choose(self, requesters: Sequence[int]) -> int:
         self._check(requesters)
         return self._rng.choose(list(requesters))
 

@@ -28,6 +28,14 @@ from repro.common.errors import BusError
 from repro.common.stats import CounterBag
 from repro.common.types import Word
 from repro.memory.main_memory import MainMemory
+from repro.trace.events import (
+    ArbiterDecision,
+    BusCompletion,
+    BusGrant,
+    BusInterrupt,
+    BusNack,
+)
+from repro.trace.sink import NULL_TRACER, Tracer
 
 
 class SharedBus(BusNetwork):
@@ -39,6 +47,7 @@ class SharedBus(BusNetwork):
             the address space between them.
         arbiter: arbitration policy; defaults to fair round-robin.
         name: label used in statistics groups.
+        trace: shared tracer; disabled by default.
     """
 
     def __init__(
@@ -46,10 +55,12 @@ class SharedBus(BusNetwork):
         memory: MainMemory,
         arbiter: Arbiter | None = None,
         name: str = "bus0",
+        trace: Tracer | None = None,
     ) -> None:
         self.memory = memory
         self.arbiter = arbiter or RoundRobinArbiter()
         self.name = name
+        self.trace = trace or NULL_TRACER
         self._stats = CounterBag()
         self.cycle = 0
         self._clients: dict[int, BusClient] = {}
@@ -119,6 +130,8 @@ class SharedBus(BusNetwork):
     def step(self) -> CompletedTransaction | None:
         """Advance one bus cycle; returns what completed, if anything."""
         self.cycle += 1
+        trace = self.trace
+        trace.cycle = self.cycle
         self.stats.add("bus.cycles")
         requesters = sorted(
             client_id for client_id, queue in self._queues.items() if queue
@@ -128,9 +141,10 @@ class SharedBus(BusNetwork):
             return None
 
         txn = None
+        interrupter: BusClient | None = None
         remaining = list(requesters)
         while remaining:
-            granted_id = self.arbiter.grant(remaining)
+            granted_id = self.arbiter.choose(remaining)
             if granted_id not in self._queues or not self._queues[granted_id]:
                 raise BusError(
                     f"arbiter granted client {granted_id} which has no request"
@@ -142,15 +156,56 @@ class SharedBus(BusNetwork):
                 # Memory refuses mid read-modify-write; the bus re-grants
                 # among the other requesters within the same cycle, so a
                 # starvation-prone arbiter cannot livelock the unlock.
-                self.stats.add("bus.nacks")
+                self._nack(candidate, "memory-locked")
                 remaining.remove(granted_id)
                 continue
             if not self.memory.prepare(candidate):
                 # The slave is not ready (a cluster adapter fetching over
                 # the global bus); retry this transaction later.
-                self.stats.add("bus.nacks")
+                self._nack(candidate, "slave-not-ready")
                 remaining.remove(granted_id)
                 continue
+            interrupter = self._find_interrupter(candidate)
+            if interrupter is not None and self.memory.is_locked_against(
+                candidate.address, interrupter.client_id
+            ):
+                # The L-holder's substitute write-back would land inside a
+                # region locked for someone else's read-modify-write; it
+                # must obey the lock like any other bus write, so the read
+                # (and with it the supply) is deferred until the unlock.
+                interrupter = None
+                self._nack(candidate, "interrupter-locked")
+                remaining.remove(granted_id)
+                continue
+            # The grant sticks: only now does the rotation state advance,
+            # so a NACKed client keeps its priority slot (a refused client
+            # used to silently lose its turn).
+            rotation_before = self.arbiter.rotation_state()
+            self.arbiter.commit(granted_id)
+            if trace.enabled:
+                trace.emit(
+                    ArbiterDecision(
+                        cycle=self.cycle,
+                        bus=self.name,
+                        policy=self.arbiter.name,
+                        requesters=tuple(remaining),
+                        granted=granted_id,
+                        rotation_before=rotation_before,
+                        rotation_after=self.arbiter.rotation_state(),
+                    )
+                )
+                trace.emit(
+                    BusGrant(
+                        cycle=self.cycle,
+                        bus=self.name,
+                        client=candidate.originator,
+                        op=candidate.op,
+                        address=candidate.address,
+                        value=candidate.value,
+                        serial=candidate.serial,
+                        is_writeback=candidate.is_writeback,
+                    )
+                )
             txn = candidate
             break
         if txn is None:
@@ -158,7 +213,6 @@ class SharedBus(BusNetwork):
             self.stats.add("bus.busy_cycles")
             return None
 
-        interrupter = self._find_interrupter(txn)
         if interrupter is not None:
             completed = self._run_interrupt_writeback(txn, interrupter)
         else:
@@ -170,6 +224,20 @@ class SharedBus(BusNetwork):
         if completed.transaction.is_writeback:
             self.stats.add("bus.writebacks")
         return completed
+
+    def _nack(self, txn: BusTransaction, reason: str) -> None:
+        self.stats.add("bus.nacks")
+        if self.trace.enabled:
+            self.trace.emit(
+                BusNack(
+                    cycle=self.cycle,
+                    bus=self.name,
+                    client=txn.originator,
+                    op=txn.op,
+                    address=txn.address,
+                    reason=reason,
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # internals                                                           #
@@ -205,16 +273,50 @@ class SharedBus(BusNetwork):
             raise BusError(
                 f"interrupt substitute must be write-like, got {writeback}"
             )
+        if self.memory.is_locked_against(writeback.address, writeback.originator):
+            # step() NACKs the read before reaching this path; tripping the
+            # guard means a write-back was about to bypass the memory lock.
+            raise BusError(
+                f"interrupt write-back {writeback} would bypass the memory "
+                "lock — the read should have been NACKed"
+            )
         self.stats.add("bus.interrupted_reads")
+        if self.trace.enabled:
+            self.trace.emit(
+                BusInterrupt(
+                    cycle=self.cycle,
+                    bus=self.name,
+                    interrupter=interrupter.client_id,
+                    reader=txn.originator,
+                    op=txn.op,
+                    address=txn.address,
+                    writeback_value=writeback.value,
+                )
+            )
         self.memory.write(writeback.address, writeback.value)
         self._broadcast(writeback, writeback.value)
         interrupter.transaction_complete(writeback, writeback.value)
-        return CompletedTransaction(
+        completed = CompletedTransaction(
             transaction=writeback,
             value=writeback.value,
             cycle=self.cycle,
             interrupted_request=txn,
         )
+        if self.trace.enabled:
+            self.trace.emit(
+                BusCompletion(
+                    cycle=self.cycle,
+                    bus=self.name,
+                    client=writeback.originator,
+                    op=writeback.op,
+                    address=writeback.address,
+                    value=writeback.value,
+                    serial=writeback.serial,
+                    is_writeback=True,
+                    interrupted_read=True,
+                )
+            )
+        return completed
 
     def _execute(self, txn: BusTransaction) -> CompletedTransaction:
         if txn.op is BusOp.READ:
@@ -238,6 +340,20 @@ class SharedBus(BusNetwork):
         self._broadcast(txn, value)
         originator = self._clients[txn.originator]
         originator.transaction_complete(txn, value)
+        if self.trace.enabled:
+            self.trace.emit(
+                BusCompletion(
+                    cycle=self.cycle,
+                    bus=self.name,
+                    client=txn.originator,
+                    op=txn.op,
+                    address=txn.address,
+                    value=value,
+                    serial=txn.serial,
+                    is_writeback=txn.is_writeback,
+                    interrupted_read=False,
+                )
+            )
         return CompletedTransaction(transaction=txn, value=value, cycle=self.cycle)
 
     def _broadcast(self, txn: BusTransaction, value: Word) -> None:

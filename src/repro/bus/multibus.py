@@ -22,6 +22,7 @@ from repro.bus.transaction import BusTransaction, CompletedTransaction
 from repro.common.errors import ConfigurationError
 from repro.common.stats import CounterBag
 from repro.memory.main_memory import MainMemory
+from repro.trace.sink import Tracer
 
 
 class InterleavedMultiBus(BusNetwork):
@@ -36,6 +37,8 @@ class InterleavedMultiBus(BusNetwork):
         num_buses: how many physical buses (2 in Figure 7-1).
         arbiters: optional per-bus arbiters; defaults to independent
             round-robin arbiters.
+        trace: shared tracer handed to every bank, so one stream carries
+            all banks' events (each event names its bank via ``bus``).
     """
 
     def __init__(
@@ -43,6 +46,7 @@ class InterleavedMultiBus(BusNetwork):
         memory: MainMemory,
         num_buses: int,
         arbiters: Sequence[Arbiter] | None = None,
+        trace: Tracer | None = None,
     ) -> None:
         if num_buses < 1:
             raise ConfigurationError(f"need at least one bus, got {num_buses}")
@@ -56,6 +60,7 @@ class InterleavedMultiBus(BusNetwork):
                 memory,
                 arbiter=arbiters[i] if arbiters else make_arbiter("round-robin"),
                 name=f"bus{i}",
+                trace=trace,
             )
             for i in range(num_buses)
         ]

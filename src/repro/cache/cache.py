@@ -23,7 +23,7 @@ its cache, assumption 5's timing discipline).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.bus.interfaces import BusClient, BusNetwork
@@ -36,6 +36,8 @@ from repro.common.stats import CounterBag
 from repro.common.types import Address, Word
 from repro.protocols.base import CoherenceProtocol, CpuReaction
 from repro.protocols.states import LineState
+from repro.trace.events import LineTransition, SyncOp
+from repro.trace.sink import NULL_TRACER
 
 #: Completion callback: receives the read value (reads), the written value
 #: (writes) or the *old* value (test-and-set, where old == 0 means success).
@@ -105,6 +107,8 @@ class SnoopingCache(BusClient):
         self.replacement = replacement or LruReplacement()
         self.name = name
         self.stats = CounterBag()
+        #: Shared tracer; the machine swaps in a live one when tracing.
+        self.trace = NULL_TRACER
         self.client_id = -1
         self._bus: BusNetwork | None = None
         self._lines = [CacheLine() for _ in range(placement.num_frames)]
@@ -172,7 +176,7 @@ class SnoopingCache(BusClient):
                 raise CacheError(f"{self.name}: protocol hit on an absent line")
             _, line = found
             self._touch(line)
-            self._apply_cpu(line, reaction, None)
+            self._apply_cpu(line, reaction, None, "cpu-read")
             self.stats.add("cache.read_hits")
             self.last_completed_serial = None
             callback(line.value)
@@ -197,7 +201,7 @@ class SnoopingCache(BusClient):
                 raise CacheError(f"{self.name}: protocol hit on an absent line")
             _, line = found
             self._touch(line)
-            self._apply_cpu(line, reaction, value)
+            self._apply_cpu(line, reaction, value, "cpu-write")
             self.stats.add("cache.write_local_hits")
             self.last_completed_serial = None
             callback(value)
@@ -227,6 +231,17 @@ class SnoopingCache(BusClient):
         """
         self._require_idle()
         self.stats.add("cache.ts_attempts")
+        if self.trace.enabled:
+            self.trace.emit(
+                SyncOp(
+                    cycle=self.trace.cycle,
+                    cache=self.name,
+                    primitive="ts",
+                    phase="attempt",
+                    address=address,
+                    value=new_value,
+                )
+            )
         self._pending = _PendingOp(
             kind=_Kind.TS, address=address, callback=callback, value=new_value
         )
@@ -254,6 +269,17 @@ class SnoopingCache(BusClient):
         """
         self._require_idle()
         self.stats.add("cache.faa_attempts")
+        if self.trace.enabled:
+            self.trace.emit(
+                SyncOp(
+                    cycle=self.trace.cycle,
+                    cache=self.name,
+                    primitive="faa",
+                    phase="attempt",
+                    address=address,
+                    value=delta,
+                )
+            )
         self._pending = _PendingOp(
             kind=_Kind.FAA, address=address, callback=callback, value=delta
         )
@@ -296,6 +322,8 @@ class SnoopingCache(BusClient):
         if self.protocol.needs_writeback(victim.state):
             self._queue_writeback(victim_frame, victim, _WritebackPurpose.EVICT)
             return False
+        if self.trace.enabled:
+            self._emit_evict(victim)
         victim.release()
         self._install(victim_frame, address)
         return True
@@ -384,8 +412,11 @@ class SnoopingCache(BusClient):
             value=line.value,
             is_writeback=True,
         )
+        before = line.state
         line.state = self.protocol.state_after_supplying(line.state)
         line.meta = 0
+        if self.trace.enabled:
+            self._emit_line(txn.address, before, line, "interrupt-supply")
         self.stats.add("cache.supplies")
         # Any queued write-back of this address is now redundant: the
         # interrupt itself is flushing the value to memory.
@@ -399,7 +430,7 @@ class SnoopingCache(BusClient):
         if found is None:
             return
         _, line = found
-        before = line.state
+        before, before_meta = line.state, line.meta
         reaction = self.protocol.on_snoop(line.state, line.meta, txn.op)
         line.state = reaction.next_state
         line.meta = reaction.next_meta
@@ -409,6 +440,14 @@ class SnoopingCache(BusClient):
                 self.stats.add("cache.absorbed_reads")
             else:
                 self.stats.add("cache.absorbed_writes")
+        if self.trace.enabled and (
+            before is not line.state
+            or before_meta != line.meta
+            or reaction.absorb_value
+        ):
+            self._emit_line(
+                txn.address, before, line, f"snoop-{txn.op.value.lower()}"
+            )
         if before.readable_locally and line.state is LineState.INVALID:
             self.stats.add("cache.invalidations")
             line.invalidated_by_snoop = True
@@ -476,8 +515,8 @@ class SnoopingCache(BusClient):
         if reaction is None:
             raise CacheError(f"{self.name}: pending op without reaction")
         if pending.kind is _Kind.READ:
-            self._apply_cpu(line, reaction, None)
             line.value = value
+            self._apply_cpu(line, reaction, None, "cpu-read")
             self._pending = None
             pending.callback(value)
             return
@@ -485,18 +524,23 @@ class SnoopingCache(BusClient):
         if txn.op is BusOp.READ and not reaction.writes_value:
             # Fill-before-write policy (Goodman with fetch_on_write_miss):
             # the line is now valid; retry the write against it.
-            self._apply_cpu(line, reaction, None)
             line.value = value
+            self._apply_cpu(line, reaction, None, "cpu-read")
             retry = self.protocol.on_cpu_write(line.state, line.meta)
             if retry.is_local_hit:
-                self._apply_cpu(line, retry, pending.value)
+                self._apply_cpu(line, retry, pending.value, "cpu-write")
                 self._pending = None
                 pending.callback(pending.value)
                 return
             pending.reaction = retry
             self._issue_demand()
             return
-        self._apply_cpu(line, reaction, pending.value if reaction.writes_value else None)
+        self._apply_cpu(
+            line,
+            reaction,
+            pending.value if reaction.writes_value else None,
+            "cpu-write",
+        )
         self._pending = None
         pending.callback(pending.value)
 
@@ -512,8 +556,11 @@ class SnoopingCache(BusClient):
             if txn.op is not BusOp.READ_LOCK:
                 raise CacheError(f"{self.name}: expected read-lock, got {txn}")
             pending.ts_old_value = value
+            before = line.state
             line.value = value
             line.state, line.meta = self.protocol.state_after_ts_fail()
+            if self.trace.enabled:
+                self._emit_line(pending.address, before, line, "ts-fail")
             pending.ts_phase = 2
             if pending.kind is _Kind.FAA:
                 # Fetch-and-add always stores old + delta.
@@ -539,12 +586,37 @@ class SnoopingCache(BusClient):
             pending.demand_serial = follow_up.serial
             self._request(follow_up)
             return
+        primitive = "ts" if pending.kind is _Kind.TS else "faa"
         if txn.op is BusOp.WRITE_UNLOCK:
+            before = line.state
             line.state, line.meta = self.protocol.state_after_ts_success()
             line.value = txn.value
+            if self.trace.enabled:
+                self._emit_line(pending.address, before, line, "ts-success")
+                self.trace.emit(
+                    SyncOp(
+                        cycle=self.trace.cycle,
+                        cache=self.name,
+                        primitive=primitive,
+                        phase="success",
+                        address=pending.address,
+                        value=txn.value,
+                    )
+                )
             if pending.kind is _Kind.TS:
                 self.stats.add("cache.ts_success")
         else:
+            if self.trace.enabled:
+                self.trace.emit(
+                    SyncOp(
+                        cycle=self.trace.cycle,
+                        cache=self.name,
+                        primitive=primitive,
+                        phase="fail",
+                        address=pending.address,
+                        value=pending.ts_old_value,
+                    )
+                )
             self.stats.add("cache.ts_fail")
         self._pending = None
         pending.callback(pending.ts_old_value)
@@ -581,28 +653,85 @@ class SnoopingCache(BusClient):
                 and line.matches(record.address)
                 and self.protocol.needs_writeback(line.state)
             ):
+                before = line.state
                 line.state = self.protocol.state_after_supplying(line.state)
                 line.meta = 0
+                if self.trace.enabled:
+                    self._emit_line(
+                        record.address, before, line, "writeback-flush"
+                    )
             if self._pending is not None and self._pending.awaiting_writeback:
                 self._issue_demand()
             return
         # EVICT: drop the victim, install the missing line, issue demand.
+        if self.trace.enabled:
+            self._emit_evict(line)
         line.release()
         pending = self._expect_pending()
         self._install(record.frame, pending.address)
         self._issue_demand()
+
+    def _emit_evict(self, victim: CacheLine) -> None:
+        """Trace a victim leaving the cache (dirty or clean)."""
+        self.trace.emit(
+            LineTransition(
+                cycle=self.trace.cycle,
+                cache=self.name,
+                address=victim.address if victim.address is not None else -1,
+                before=victim.state,
+                after=LineState.NOT_PRESENT,
+                cause="evict",
+                value=None,
+                meta=0,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # helpers                                                             #
     # ------------------------------------------------------------------ #
 
     def _apply_cpu(
-        self, line: CacheLine, reaction: CpuReaction, value: Word | None
+        self,
+        line: CacheLine,
+        reaction: CpuReaction,
+        value: Word | None,
+        cause: str,
     ) -> None:
+        before, before_meta = line.state, line.meta
         line.state = reaction.next_state
         line.meta = reaction.next_meta
-        if reaction.writes_value and value is not None:
+        wrote = reaction.writes_value and value is not None
+        if wrote:
             line.value = value
+        if self.trace.enabled and (
+            before is not line.state or before_meta != line.meta or wrote
+        ):
+            self._emit_line(line.address, before, line, cause)
+
+    def _emit_line(
+        self,
+        address: Address | None,
+        before: LineState,
+        line: CacheLine,
+        cause: str,
+    ) -> None:
+        """Emit a :class:`LineTransition` for *line*'s current state.
+
+        Callers guard with ``self.trace.enabled`` so the event is only
+        constructed when someone is listening.
+        """
+        self.trace.emit(
+            LineTransition(
+                cycle=self.trace.cycle,
+                cache=self.name,
+                address=address if address is not None else -1,
+                before=before,
+                after=line.state,
+                cause=cause,
+                value=line.value,
+                meta=line.meta,
+            )
+        )
 
     def _lookup(self, address: Address) -> tuple[int, CacheLine] | None:
         for frame in self.placement.frames_for(address):

@@ -63,10 +63,23 @@ def _json_path_for(base: Path, name: str, multiple: bool) -> Path:
 
 
 def _run_target(
-    name: str, workers: int, json_path: Path | None, multiple: bool
+    name: str,
+    workers: int,
+    json_path: Path | None,
+    multiple: bool,
+    trace_dir: Path | None = None,
+    online_check: bool = False,
 ) -> bool:
     """Run one target, print its report, optionally write its artifact."""
-    result = TARGETS[name].run(workers=workers, progress=_progress)
+    target_trace = None
+    if trace_dir is not None:
+        target_trace = str(trace_dir / name) if multiple else str(trace_dir)
+    result = TARGETS[name].run(
+        workers=workers,
+        progress=_progress,
+        trace_dir=target_trace,
+        online_check=online_check,
+    )
     if json_path is not None:
         target_path = _json_path_for(json_path, name, multiple)
         result.write_json(target_path)
@@ -105,6 +118,26 @@ def main(argv: list[str] | None = None) -> int:
             "writes one file per target, name spliced before the suffix)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one JSONL trace file per sweep point into this "
+            "directory (see EXPERIMENTS.md, 'Trace JSONL schema'); 'all' "
+            "gets one subdirectory per target"
+        ),
+    )
+    parser.add_argument(
+        "--online-check",
+        action="store_true",
+        help=(
+            "run the online coherence checker inside every simulated "
+            "machine; a violated Section-4 invariant fails the point "
+            "with the offending trace tail"
+        ),
+    )
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if args.workers < 1:
@@ -118,7 +151,17 @@ def main(argv: list[str] | None = None) -> int:
     if name == "all":
         ok = True
         for target in sorted(TARGETS):
-            ok = _run_target(target, args.workers, args.json, True) and ok
+            ok = (
+                _run_target(
+                    target,
+                    args.workers,
+                    args.json,
+                    True,
+                    trace_dir=args.trace,
+                    online_check=args.online_check,
+                )
+                and ok
+            )
             print()
         return 0 if ok else 1
     if name not in TARGETS:
@@ -126,7 +169,18 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment {args.experiment!r}; "
             f"choose from {', '.join(sorted(TARGETS))}"
         )
-    return 0 if _run_target(name, args.workers, args.json, False) else 1
+    return (
+        0
+        if _run_target(
+            name,
+            args.workers,
+            args.json,
+            False,
+            trace_dir=args.trace,
+            online_check=args.online_check,
+        )
+        else 1
+    )
 
 
 if __name__ == "__main__":

@@ -219,6 +219,8 @@ def run(
     timeout_seconds: float | None = None,
     retries: int = 1,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
 ) -> ExperimentResult:
     """Sweep the extension studies; one sweep point per study.
 
@@ -246,6 +248,8 @@ def run(
         timeout_seconds=timeout_seconds,
         retries=retries,
         progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
     )
     return harness.assemble(
         "extensions", sys.modules[__name__], results, provenance

@@ -102,6 +102,8 @@ def run(
     timeout_seconds: float | None = None,
     retries: int = 1,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
 ) -> ExperimentResult:
     """The figure as a one-point sweep (see :func:`compute` for the
     domain-level result object)."""
@@ -115,6 +117,8 @@ def run(
         timeout_seconds=timeout_seconds,
         retries=retries,
         progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
     )
     return harness.assemble(
         "figure-3-1", sys.modules[__name__], results, provenance

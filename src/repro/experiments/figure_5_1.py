@@ -136,6 +136,8 @@ def run(
     timeout_seconds: float | None = None,
     retries: int = 1,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
 ) -> ExperimentResult:
     """The figure as a one-point sweep, at the paper's exposition
     parameters (see :func:`compute` for other ``k``/reset settings)."""
@@ -157,6 +159,8 @@ def run(
         timeout_seconds=timeout_seconds,
         retries=retries,
         progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
     )
     return harness.assemble(
         "figure-5-1", sys.modules[__name__], results, provenance

@@ -180,6 +180,8 @@ def run(
     timeout_seconds: float | None = None,
     retries: int = 1,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
 ) -> ExperimentResult:
     """Evaluate the analytic model and (optionally) the simulation sweep.
 
@@ -225,6 +227,8 @@ def run(
         timeout_seconds=timeout_seconds,
         retries=retries,
         progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
     )
     simulated = [
         _utilization_point(point.metrics, point.stats)

@@ -25,6 +25,40 @@ from repro.sweep.result import (
     Provenance,
 )
 from repro.sweep.runner import ProgressCallback, SweepTask, run_sweep
+from repro.trace.context import trace_defaults
+
+
+class _TracedTask:
+    """A picklable task wrapper that scopes trace defaults per point.
+
+    Experiment tasks build their machines internally, so the only way to
+    reach them with a trace path is the process-wide defaults in
+    :mod:`repro.trace.context`.  Being a module-level class (not a
+    closure) it pickles for worker processes under both fork and spawn;
+    the defaults are installed inside the worker, around the task call.
+    """
+
+    def __init__(
+        self, task: SweepTask, trace_dir: str | None, online_check: bool
+    ) -> None:
+        self.task = task
+        self.trace_dir = trace_dir
+        self.online_check = online_check
+
+    def trace_path_for(self, point_name: str) -> str | None:
+        """The per-point JSONL file inside ``trace_dir`` (slashes in the
+        point name are flattened so it stays one file)."""
+        if self.trace_dir is None:
+            return None
+        safe = point_name.replace("/", "-").replace("\\", "-")
+        return str(Path(self.trace_dir) / f"{safe}.jsonl")
+
+    def __call__(self, point: SweepPoint) -> Any:
+        with trace_defaults(
+            path=self.trace_path_for(point.name),
+            online_check=self.online_check,
+        ):
+            return self.task(point)
 
 
 @functools.lru_cache(maxsize=1)
@@ -58,14 +92,24 @@ def execute(
     timeout_seconds: float | None = None,
     retries: int = 1,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
 ) -> tuple[list[PointResult], Provenance]:
     """Seed, run and time one experiment's sweep.
 
     Per-point seeds are derived from *base_seed*, the experiment *name*
     and each point's name (see :func:`repro.sweep.grid.assign_seeds`), so
     results are independent of worker count and scheduling order.
+
+    Args:
+        trace_dir: when set, every machine a point builds appends its
+            trace to ``<trace_dir>/<point-name>.jsonl``.
+        online_check: run the online coherence checker inside every
+            machine the points build (a failed invariant fails the point).
     """
     seeded = assign_seeds(points, base_seed, name)
+    if trace_dir is not None or online_check:
+        task = _TracedTask(task, trace_dir, online_check)
     start = time.perf_counter()
     results = run_sweep(
         task,

@@ -148,6 +148,8 @@ def run(
     timeout_seconds: float | None = None,
     retries: int = 1,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
 ) -> ExperimentResult:
     """Regenerate the table as a sweep, one point per (app, size) cell.
 
@@ -192,6 +194,8 @@ def run(
         timeout_seconds=timeout_seconds,
         retries=retries,
         progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
     )
     by_name = {result.name: result for result in results}
     shape_violations: list[str] = []

@@ -27,6 +27,7 @@ from repro.processor.program import Program
 from repro.processor.tracedriver import TraceDriver
 from repro.protocols.registry import make_protocol
 from repro.protocols.write_through import WriteThroughInvalidateProtocol
+from repro.trace.sink import NULL_TRACER, Tracer
 
 
 @dataclass(slots=True)
@@ -47,18 +48,31 @@ class Cluster:
 
 
 class HierarchicalMachine:
-    """A two-level clustered multiprocessor (Section 8 extension)."""
+    """A two-level clustered multiprocessor (Section 8 extension).
 
-    def __init__(self, config: HierarchicalConfig) -> None:
+    Args:
+        config: the hierarchy's shape.
+        trace: optional shared tracer; wired into the global bus, every
+            local bus, every L1 and L2, and the global memory, so one
+            stream shows both levels interleaved.
+    """
+
+    def __init__(
+        self, config: HierarchicalConfig, trace: Tracer | None = None
+    ) -> None:
         config.validate()
         self.config = config
+        self.tracer = trace or NULL_TRACER
         self.memory = MainMemory(config.memory_size)
+        self.memory.trace = self.tracer
         self.global_bus: BusNetwork
         if config.global_buses == 1:
-            self.global_bus = SharedBus(self.memory, name="global-bus")
+            self.global_bus = SharedBus(
+                self.memory, name="global-bus", trace=self.tracer
+            )
         else:
             self.global_bus = InterleavedMultiBus(
-                self.memory, config.global_buses
+                self.memory, config.global_buses, trace=self.tracer
             )
         self.clusters: list[Cluster] = []
         for index in range(config.num_clusters):
@@ -78,7 +92,8 @@ class HierarchicalMachine:
             ),
             l2_lines=self.config.l2_lines,
         )
-        local_bus = SharedBus(adapter, name=f"local-bus{index}")  # type: ignore[arg-type]
+        adapter.l2.trace = self.tracer
+        local_bus = SharedBus(adapter, name=f"local-bus{index}", trace=self.tracer)  # type: ignore[arg-type]
         l1s = []
         for pe in range(self.config.pes_per_cluster):
             l1 = SnoopingCache(
@@ -86,6 +101,7 @@ class HierarchicalMachine:
                 DirectMapped(self.config.l1_lines),
                 name=f"c{index}-l1-{pe}",
             )
+            l1.trace = self.tracer
             l1.connect(local_bus)
             adapter.register_l1(l1)
             l1s.append(l1)
@@ -138,6 +154,7 @@ class HierarchicalMachine:
         """One machine cycle: global bus, local buses, adapters' end-of-
         cycle cleanup (superseded-copy invalidation), then PEs."""
         self.cycle += 1
+        self.tracer.cycle = self.cycle
         self.global_bus.step_all()
         for cluster in self.clusters:
             cluster.local_bus.step()

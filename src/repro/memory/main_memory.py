@@ -7,6 +7,8 @@ import enum
 from repro.common.errors import ConfigurationError, MemoryError_
 from repro.common.stats import CounterBag
 from repro.common.types import Address, Word, validate_address
+from repro.trace.events import MemoryLock, MemoryUnlock
+from repro.trace.sink import NULL_TRACER
 
 
 class LockGranularity(enum.Enum):
@@ -60,6 +62,8 @@ class MainMemory:
         #: lock-region key -> client id currently holding the lock
         self._locks: dict[int, int] = {}
         self.stats = CounterBag()
+        #: Shared tracer; the machine swaps in a live one when tracing.
+        self.trace = NULL_TRACER
 
     # ------------------------------------------------------------------ #
     # readiness (hierarchical extension hook)                            #
@@ -139,6 +143,15 @@ class MainMemory:
         self._locks[region] = client_id
         self.stats.add("memory.read_locks")
         self.stats.add("memory.reads")
+        if self.trace.enabled:
+            self.trace.emit(
+                MemoryLock(
+                    cycle=self.trace.cycle,
+                    address=address,
+                    region=region,
+                    client=client_id,
+                )
+            )
         return self._words.get(address, 0)
 
     def write_unlock(self, address: Address, value: Word, client_id: int) -> None:
@@ -147,11 +160,33 @@ class MainMemory:
         self._release(address, client_id, "write_unlock")
         self.stats.add("memory.writes")
         self._words[address] = value
+        if self.trace.enabled:
+            self.trace.emit(
+                MemoryUnlock(
+                    cycle=self.trace.cycle,
+                    address=address,
+                    region=self._region(address),
+                    client=client_id,
+                    wrote=True,
+                    value=value,
+                )
+            )
 
     def unlock(self, address: Address, client_id: int) -> None:
         """Release the lock without storing (failed test-and-set)."""
         self._check(address)
         self._release(address, client_id, "unlock")
+        if self.trace.enabled:
+            self.trace.emit(
+                MemoryUnlock(
+                    cycle=self.trace.cycle,
+                    address=address,
+                    region=self._region(address),
+                    client=client_id,
+                    wrote=False,
+                    value=None,
+                )
+            )
 
     def _release(self, address: Address, client_id: int, what: str) -> None:
         region = self._region(address)

@@ -46,16 +46,25 @@ def assign_seeds(
     only on the base seed, the extra *labels* (typically the experiment
     name) and the point name — never on worker count, scheduling order or
     position in the list.  Points that already carry a seed keep it.
+
+    A point that carries a config still holding the default seed (0, and
+    not set per-cell by :func:`expand_grid`) gets the derived seed pushed
+    into the config as well, so the machine's stochastic components (the
+    random arbiter, random replacement) actually consume the per-point
+    stream instead of all sharing seed 0.
     """
     seeded = []
     for point in points:
         seed = point.seed
+        config = point.config
         if seed is None:
             seed = derive_seed(base_seed, *labels, point.name)
+            if config is not None and config.seed == 0:
+                config = config.with_overrides(seed=seed)
         seeded.append(
             SweepPoint(
                 name=point.name,
-                config=point.config,
+                config=config,
                 params=dict(point.params),
                 seed=seed,
             )

@@ -35,9 +35,16 @@ class MachineConfig:
             work speeds up).
         lock_granularity: memory-lock coarseness for read-modify-write.
         seed: base seed for any stochastic component (random arbiter,
-            random replacement).
+            random replacement).  Every stochastic sub-component derives
+            its own stream from this via ``derive_seed``.
         record_bus_log: keep every completed bus transaction for
             inspection (memory-hungry on long runs; default off).
+        trace: path of a JSONL trace file; every bus/cache/memory event is
+            appended there (see EXPERIMENTS.md, "Trace JSONL schema").
+            ``None`` (the default) disables file tracing.
+        online_check: run the :class:`~repro.trace.OnlineCoherenceChecker`
+            every machine cycle, raising ``VerificationError`` the moment a
+            Section-4 invariant breaks.
     """
 
     num_pes: int = 4
@@ -54,6 +61,8 @@ class MachineConfig:
     lock_granularity: LockGranularity = LockGranularity.WORD
     seed: int = 0
     record_bus_log: bool = False
+    trace: str | None = None
+    online_check: bool = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on structurally bad settings."""

@@ -29,6 +29,9 @@ from repro.processor.program import Program
 from repro.processor.tracedriver import TraceDriver
 from repro.protocols.registry import make_protocol
 from repro.system.config import MachineConfig
+from repro.trace.checker import OnlineCoherenceChecker
+from repro.trace.context import get_trace_defaults
+from repro.trace.sink import NULL_TRACER, JsonlSink, Tracer, TraceSink
 
 
 class Machine:
@@ -38,17 +41,42 @@ class Machine:
     work with :meth:`load_programs` or :meth:`load_traces` and call
     :meth:`run`.  A machine without drivers can still be exercised through
     its caches directly (see :class:`~repro.system.scripted.ScriptedMachine`).
+
+    Args:
+        config: machine shape; ``config.trace`` / ``config.online_check``
+            (or the process-wide :func:`~repro.trace.get_trace_defaults`)
+            switch on the trace layer.
+        trace_sink: an extra sink fed alongside whatever the config set up
+            (tests hand a :class:`~repro.trace.ListSink` here).
     """
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(
+        self, config: MachineConfig, trace_sink: TraceSink | None = None
+    ) -> None:
         config.validate()
         self.config = config
+        defaults = get_trace_defaults()
+        trace_path = config.trace if config.trace is not None else defaults.path
+        online = config.online_check or defaults.online_check
+        self.checker: OnlineCoherenceChecker | None = (
+            OnlineCoherenceChecker(self) if online else None
+        )
+        sinks: list[TraceSink] = []
+        if trace_path is not None:
+            sinks.append(JsonlSink(trace_path))
+        if trace_sink is not None:
+            sinks.append(trace_sink)
+        if self.checker is not None:
+            sinks.append(self.checker)
+        self.tracer = Tracer(*sinks) if sinks else NULL_TRACER
         self.memory = MainMemory(
             config.memory_size, lock_granularity=config.lock_granularity
         )
+        self.memory.trace = self.tracer
         self.bus: BusNetwork = self._build_bus(config)
         self.caches = [self._build_cache(config, i) for i in range(config.num_pes)]
         for cache in self.caches:
+            cache.trace = self.tracer
             cache.connect(self.bus)
         self.drivers: list[Driver] = []
         self.cycle = 0
@@ -62,13 +90,18 @@ class Machine:
         if config.num_buses == 1:
             return SharedBus(
                 self.memory,
-                arbiter=make_arbiter(config.arbiter, seed=config.seed),
+                arbiter=make_arbiter(
+                    config.arbiter, seed=derive_seed(config.seed, "arbiter", 0)
+                ),
+                trace=self.tracer,
             )
         arbiters = [
             make_arbiter(config.arbiter, seed=derive_seed(config.seed, "arbiter", i))
             for i in range(config.num_buses)
         ]
-        return InterleavedMultiBus(self.memory, config.num_buses, arbiters=arbiters)
+        return InterleavedMultiBus(
+            self.memory, config.num_buses, arbiters=arbiters, trace=self.tracer
+        )
 
     def _build_cache(self, config: MachineConfig, index: int) -> SnoopingCache:
         protocol = make_protocol(config.protocol, **config.protocol_options)
@@ -123,14 +156,25 @@ class Machine:
     # ------------------------------------------------------------------ #
 
     def step(self) -> list[CompletedTransaction]:
-        """One machine (bus) cycle; returns this cycle's bus completions."""
+        """One machine (bus) cycle; returns this cycle's bus completions.
+
+        With ``online_check`` enabled the coherence checker runs at the end
+        of the cycle, after the bus moved and the drivers reacted.
+
+        Raises:
+            VerificationError: the online checker found a Section-4
+                invariant violated this cycle.
+        """
         self.cycle += 1
+        self.tracer.cycle = self.cycle
         completed = self.bus.step_all()
         if self.config.record_bus_log:
             self.bus_log.extend(completed)
         for _ in range(self.config.instructions_per_cycle):
             for driver in self.drivers:
                 driver.step()
+        if self.checker is not None:
+            self.checker.run_checks()
         return completed
 
     @property
@@ -170,6 +214,10 @@ class Machine:
             self.step()
             used += 1
         return used
+
+    def close_trace(self) -> None:
+        """Flush and close any file-backed trace sinks (idempotent)."""
+        self.tracer.close()
 
     # ------------------------------------------------------------------ #
     # observation                                                         #

@@ -21,10 +21,11 @@ class ScriptedMachine:
 
     Args:
         config: machine shape; no programs or traces are loaded.
+        trace_sink: extra trace sink, forwarded to :class:`Machine`.
     """
 
-    def __init__(self, config: MachineConfig) -> None:
-        self.machine = Machine(config)
+    def __init__(self, config: MachineConfig, trace_sink=None) -> None:
+        self.machine = Machine(config, trace_sink=trace_sink)
 
     @property
     def caches(self):

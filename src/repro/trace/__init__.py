@@ -1,0 +1,71 @@
+"""repro.trace: cycle-level observability for the live simulator.
+
+A typed, near-zero-overhead event layer (:mod:`repro.trace.events`) fed by
+the bus, arbiters, caches, memory and sync primitives; pluggable sinks
+(:mod:`repro.trace.sink`) including a JSONL writer; and the online
+coherence checker (:mod:`repro.trace.checker`) that re-evaluates the
+Section-4 invariants against the running machine every bus cycle.
+
+Enable via :class:`~repro.system.config.MachineConfig` (``trace="run.jsonl"``,
+``online_check=True``), the ``repro-experiment --trace DIR /
+--online-check`` flags, or by handing a sink straight to
+``Machine(config, trace_sink=...)``.
+"""
+
+from repro.trace.checker import OnlineCoherenceChecker
+from repro.trace.context import (
+    TraceDefaults,
+    get_trace_defaults,
+    set_trace_defaults,
+    trace_defaults,
+)
+from repro.trace.events import (
+    EVENT_KINDS,
+    ArbiterDecision,
+    BusCompletion,
+    BusGrant,
+    BusInterrupt,
+    BusNack,
+    LineTransition,
+    MemoryLock,
+    MemoryUnlock,
+    SyncOp,
+    TraceEvent,
+    event_from_dict,
+)
+from repro.trace.sink import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    TraceSink,
+    format_tail,
+    read_jsonl,
+)
+
+__all__ = [
+    "ArbiterDecision",
+    "BusCompletion",
+    "BusGrant",
+    "BusInterrupt",
+    "BusNack",
+    "EVENT_KINDS",
+    "JsonlSink",
+    "LineTransition",
+    "ListSink",
+    "MemoryLock",
+    "MemoryUnlock",
+    "NULL_TRACER",
+    "OnlineCoherenceChecker",
+    "SyncOp",
+    "TraceDefaults",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "event_from_dict",
+    "format_tail",
+    "get_trace_defaults",
+    "read_jsonl",
+    "set_trace_defaults",
+    "trace_defaults",
+]

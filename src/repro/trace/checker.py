@@ -1,0 +1,200 @@
+"""The online coherence checker: Section-4 invariants against the live run.
+
+The offline model checker (:mod:`repro.verify`) proves the protocol tables
+correct in isolation; this sink checks the *simulator* — the bus, cache
+and memory interplay where interrupted reads, lock NACKs and BI broadcasts
+actually execute.  It rides the trace stream to learn which addresses were
+touched (and what the architecturally latest value of each should be),
+then re-evaluates the paper's invariants against the machine's real cache
+lines at the end of every machine cycle:
+
+1. **single-dirty-holder** — at most one cache holds the line in a state
+   that may differ from memory (L / D): the heart of the Lemma.
+2. **configuration-lemma** — a dirty holder implies every other copy is
+   Invalid (the *local* configuration); under RWB additionally at most one
+   First-write claimant exists.
+3. **no-stale-readable-copy** — every copy a CPU read would hit on equals
+   the logical latest value (the strengthened induction hypothesis behind
+   the Theorem).
+4. **latest-value-exists** — the machine's logical latest value (a dirty
+   holder's copy, else memory) equals the last value actually written, as
+   replayed from the trace; a dropped dirty line or a clobbering
+   write-back shows up here.
+
+A violation raises :class:`~repro.common.errors.VerificationError` with
+the offending trace tail, so the exact bus-cycle sequence that produced
+the bad configuration is in the message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.common.errors import VerificationError
+from repro.protocols.states import LineState
+from repro.trace.events import (
+    BusCompletion,
+    LineTransition,
+    TraceEvent,
+)
+from repro.trace.sink import format_tail
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.machine import Machine
+
+#: ``LineTransition.cause`` values that deposit a new architecturally
+#: visible value (CPU stores and the test-and-set store phase).
+_WRITE_CAUSES = frozenset({"cpu-write", "ts-success"})
+
+
+class OnlineCoherenceChecker:
+    """A trace sink that re-checks coherence invariants every cycle.
+
+    Args:
+        machine: the machine whose caches/memory are inspected.  May be
+            attached later via :attr:`machine` (the machine constructor
+            does this when building the checker from its config).
+        tail_length: how many recent events to keep for error messages.
+    """
+
+    def __init__(
+        self, machine: "Machine | None" = None, tail_length: int = 48
+    ) -> None:
+        self.machine = machine
+        self.tail: deque[TraceEvent] = deque(maxlen=tail_length)
+        self.checked_cycles = 0
+        self._touched: set[int] = set()
+        #: Shadow model: address -> last architecturally written value.
+        self._expected: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # TraceSink face                                                      #
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: TraceEvent) -> None:
+        """Absorb one event: extend the tail, note touched addresses, and
+        advance the shadow latest-value model."""
+        self.tail.append(event)
+        address = getattr(event, "address", None)
+        if address is None:
+            return
+        self._touched.add(address)
+        if isinstance(event, BusCompletion):
+            if event.op.is_write_like:
+                self._expected[event.address] = event.value
+        elif isinstance(event, LineTransition):
+            if event.cause in _WRITE_CAUSES and event.value is not None:
+                self._expected[event.address] = event.value
+
+    # ------------------------------------------------------------------ #
+    # per-cycle verification                                              #
+    # ------------------------------------------------------------------ #
+
+    def run_checks(self) -> None:
+        """Verify every address touched since the last call.
+
+        Raises:
+            VerificationError: an invariant does not hold on the live
+                machine; the message names the invariant and embeds the
+                trace tail.
+        """
+        if not self._touched:
+            return
+        machine = self.machine
+        if machine is None:
+            self._touched.clear()
+            return
+        self.checked_cycles += 1
+        try:
+            for address in sorted(self._touched):
+                self._check_address(machine, address)
+        finally:
+            self._touched.clear()
+
+    def expected_value(self, address: int) -> int | None:
+        """The shadow model's last written value for *address*, if any."""
+        return self._expected.get(address)
+
+    def _check_address(self, machine: "Machine", address: int) -> None:
+        holders = [
+            (cache, line)
+            for cache in machine.caches
+            if (line := cache.line_for(address)) is not None
+        ]
+        dirty = [
+            cache.name
+            for cache, line in holders
+            if line.state.may_differ_from_memory
+        ]
+        if len(dirty) > 1:
+            self._fail(
+                "single-dirty-holder",
+                address,
+                machine,
+                f"caches {dirty} all hold dirty copies",
+            )
+        if dirty:
+            broken = [
+                f"{cache.name}={line.state}"
+                for cache, line in holders
+                if not line.state.may_differ_from_memory
+                and line.state is not LineState.INVALID
+            ]
+            if broken:
+                self._fail(
+                    "configuration-lemma",
+                    address,
+                    machine,
+                    f"{dirty[0]} is dirty but {', '.join(broken)} "
+                    "still hold non-Invalid copies",
+                )
+        first_writers = [
+            cache.name
+            for cache, line in holders
+            if line.state is LineState.FIRST_WRITE
+        ]
+        if len(first_writers) > 1:
+            self._fail(
+                "configuration-lemma",
+                address,
+                machine,
+                f"multiple First-write claimants {first_writers}",
+            )
+        latest = machine.latest_value(address)
+        stale = [
+            f"{cache.name}={line.state}({line.value})"
+            for cache, line in holders
+            if line.state.readable_locally and line.value != latest
+        ]
+        if stale:
+            self._fail(
+                "no-stale-readable-copy",
+                address,
+                machine,
+                f"latest value is {latest} but {', '.join(stale)} "
+                "would satisfy a CPU read",
+            )
+        expected = self._expected.get(address)
+        if expected is not None and latest != expected:
+            self._fail(
+                "latest-value-exists",
+                address,
+                machine,
+                f"last written value {expected} is held nowhere "
+                f"(machine's latest is {latest})",
+            )
+
+    def _fail(
+        self, invariant: str, address: int, machine: "Machine", detail: str
+    ) -> None:
+        configuration = ", ".join(
+            f"{cache.name}:{cache.snapshot(address)}" for cache in machine.caches
+        )
+        raise VerificationError(
+            f"online check: invariant {invariant!r} violated at address "
+            f"{address}: {detail}\n"
+            f"configuration: [{configuration}] "
+            f"memory={machine.memory.peek(address)}\n"
+            f"trace tail:\n{format_tail(self.tail)}"
+        )

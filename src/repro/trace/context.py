@@ -1,0 +1,62 @@
+"""Process-wide trace defaults for machines built deep inside tasks.
+
+Experiment tasks construct their machines internally (``compute()`` builds
+a fresh :class:`~repro.system.config.MachineConfig`), so the sweep layer
+cannot hand a trace path to every machine explicitly.  Instead the harness
+sets per-point defaults here around the task call; any machine built while
+they are active — and whose own config does not say otherwise — picks them
+up.  Worker processes inherit the defaults with the task (fork) or rebuild
+them from the wrapped task object (spawn), so the mechanism is
+start-method agnostic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceDefaults:
+    """Ambient trace settings consulted by ``Machine.__init__``.
+
+    Attributes:
+        path: JSONL trace file for machines whose config has no ``trace``.
+        online_check: run the online coherence checker even when the
+            config's ``online_check`` is off.
+    """
+
+    path: str | None = None
+    online_check: bool = False
+
+
+_DEFAULTS = TraceDefaults()
+
+
+def get_trace_defaults() -> TraceDefaults:
+    """The currently active process-wide defaults."""
+    return _DEFAULTS
+
+
+def set_trace_defaults(
+    path: str | None = None, online_check: bool = False
+) -> TraceDefaults:
+    """Replace the process-wide defaults; returns the previous value."""
+    global _DEFAULTS
+    previous = _DEFAULTS
+    _DEFAULTS = TraceDefaults(path=path, online_check=online_check)
+    return previous
+
+
+@contextmanager
+def trace_defaults(
+    path: str | None = None, online_check: bool = False
+) -> Iterator[TraceDefaults]:
+    """Scoped defaults: active inside the ``with`` block, restored after."""
+    previous = set_trace_defaults(path=path, online_check=online_check)
+    try:
+        yield get_trace_defaults()
+    finally:
+        global _DEFAULTS
+        _DEFAULTS = previous

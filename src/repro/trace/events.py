@@ -1,0 +1,243 @@
+"""Typed trace events emitted by the live simulator.
+
+Every observable micro-step of the machine — an arbiter decision, a bus
+grant or NACK, an interrupted read, a cache-line state transition, a
+memory lock hand-off, a synchronization-primitive phase — is one frozen
+dataclass.  Events are cheap plain records: they are only constructed when
+a :class:`~repro.trace.sink.Tracer` is enabled, so the disabled path costs
+a single attribute check at each emit site.
+
+The JSONL wire form (see EXPERIMENTS.md, "Trace JSONL schema") is
+``event.to_dict()``: the ``kind`` tag plus the dataclass fields, with
+enums flattened to their short string values (``"BR"``, ``"L"``, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.bus.transaction import BusOp
+from repro.protocols.states import LineState
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base event: everything carries the bus cycle it happened on."""
+
+    kind: ClassVar[str] = "event"
+
+    cycle: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form: ``kind`` tag + fields, enums by value."""
+        out: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[field.name] = value
+        return out
+
+    def describe(self) -> str:
+        """One-line rendering for trace tails and error messages."""
+        body = " ".join(
+            f"{field.name}={self._short(getattr(self, field.name))}"
+            for field in dataclasses.fields(self)
+            if field.name != "cycle"
+        )
+        return f"cycle {self.cycle}: {self.kind} {body}"
+
+    @staticmethod
+    def _short(value: Any) -> str:
+        if isinstance(value, enum.Enum):
+            return str(value.value)
+        return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class ArbiterDecision(TraceEvent):
+    """The arbiter picked a candidate among this cycle's requesters.
+
+    ``rotation_before``/``rotation_after`` expose the arbiter's fairness
+    state (round-robin's last-granted id; ``None`` for stateless policies)
+    so rotation-slot bugs are visible in a trace.
+    """
+
+    kind: ClassVar[str] = "arbiter"
+
+    bus: str
+    policy: str
+    requesters: tuple[int, ...]
+    granted: int
+    rotation_before: int | None
+    rotation_after: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class BusGrant(TraceEvent):
+    """A transaction won the bus this cycle (lock and slave checks passed)."""
+
+    kind: ClassVar[str] = "grant"
+
+    bus: str
+    client: int
+    op: BusOp
+    address: int
+    value: int
+    serial: int
+    is_writeback: bool
+
+
+@dataclass(frozen=True, slots=True)
+class BusNack(TraceEvent):
+    """A candidate was refused this cycle and stays queued.
+
+    Reasons: ``"memory-locked"`` (write-like/lock op during a foreign
+    read-modify-write), ``"slave-not-ready"`` (hierarchical adapter still
+    fetching), ``"interrupter-locked"`` (the read's L-holder supply would
+    write memory mid read-modify-write — see ``SharedBus.step``).
+    """
+
+    kind: ClassVar[str] = "nack"
+
+    bus: str
+    client: int
+    op: BusOp
+    address: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class BusInterrupt(TraceEvent):
+    """An L-state holder killed a read-like transaction and supplied data."""
+
+    kind: ClassVar[str] = "interrupt"
+
+    bus: str
+    interrupter: int
+    reader: int
+    op: BusOp
+    address: int
+    writeback_value: int
+
+
+@dataclass(frozen=True, slots=True)
+class BusCompletion(TraceEvent):
+    """What actually executed (and was broadcast) on the bus this cycle."""
+
+    kind: ClassVar[str] = "complete"
+
+    bus: str
+    client: int
+    op: BusOp
+    address: int
+    value: int
+    serial: int
+    is_writeback: bool
+    interrupted_read: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LineTransition(TraceEvent):
+    """One cache line changed state (or value) under the protocol.
+
+    ``cause`` names the stimulus: ``"cpu-read"``, ``"cpu-write"``,
+    ``"snoop-<op>"``, ``"interrupt-supply"``, ``"writeback-flush"``,
+    ``"evict"``, ``"ts-success"``, ``"ts-fail"``.  ``value`` is the line's
+    data word after the transition (``None`` when the line was dropped).
+    """
+
+    kind: ClassVar[str] = "line"
+
+    cache: str
+    address: int
+    before: LineState
+    after: LineState
+    cause: str
+    value: int | None
+    meta: int
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryLock(TraceEvent):
+    """A read-with-lock reserved a memory region for one client."""
+
+    kind: ClassVar[str] = "mem-lock"
+
+    address: int
+    region: int
+    client: int
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryUnlock(TraceEvent):
+    """A lock region was released (with or without a store)."""
+
+    kind: ClassVar[str] = "mem-unlock"
+
+    address: int
+    region: int
+    client: int
+    wrote: bool
+    value: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class SyncOp(TraceEvent):
+    """A synchronization primitive phase at one cache's CPU port.
+
+    ``primitive`` is ``"ts"`` (test-and-set) or ``"faa"`` (fetch-and-add);
+    ``phase`` is ``"attempt"``, ``"success"`` or ``"fail"``.
+    """
+
+    kind: ClassVar[str] = "sync"
+
+    cache: str
+    primitive: str
+    phase: str
+    address: int
+    value: int
+
+
+#: JSONL ``kind`` tag -> event class, for parsing traces back.
+EVENT_KINDS: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        ArbiterDecision,
+        BusGrant,
+        BusNack,
+        BusInterrupt,
+        BusCompletion,
+        LineTransition,
+        MemoryLock,
+        MemoryUnlock,
+        SyncOp,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its :meth:`~TraceEvent.to_dict`
+    form (one parsed JSONL record).
+
+    Raises:
+        KeyError: unknown ``kind`` tag.
+    """
+    payload = dict(data)
+    cls = EVENT_KINDS[payload.pop("kind")]
+    for field in dataclasses.fields(cls):
+        if field.name not in payload:
+            continue
+        value = payload[field.name]
+        if field.name == "op" and isinstance(value, str):
+            payload[field.name] = BusOp(value)
+        elif field.name in ("before", "after") and isinstance(value, str):
+            payload[field.name] = LineState(value)
+        elif field.name == "requesters" and isinstance(value, list):
+            payload[field.name] = tuple(value)
+    return cls(**payload)

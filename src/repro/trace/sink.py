@@ -1,0 +1,133 @@
+"""Trace sinks and the shared :class:`Tracer` emit point.
+
+A sink is anything with ``emit(event)`` (see :class:`TraceSink`); the
+:class:`Tracer` fans one event stream out to any number of sinks and
+carries the current bus-cycle stamp.  Components hold a tracer reference
+defaulting to the module-level :data:`NULL_TRACER`, whose ``enabled`` flag
+is ``False`` — every emit site is guarded by that single boolean, so a
+machine built without tracing pays one attribute check per would-be event
+and never constructs the event object at all.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.trace.events import TraceEvent, event_from_dict
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """The sink protocol: receive one event at a time."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Consume one trace event."""
+        ...  # pragma: no cover - protocol body
+
+
+class Tracer:
+    """Fan-out emit point shared by every component of one machine.
+
+    Args:
+        *sinks: the sinks to feed; ``None`` entries are dropped.  With no
+            sinks the tracer is disabled and emit sites skip event
+            construction entirely.
+    """
+
+    __slots__ = ("sinks", "enabled", "cycle")
+
+    def __init__(self, *sinks: TraceSink | None) -> None:
+        self.sinks: list[TraceSink] = [s for s in sinks if s is not None]
+        self.enabled = bool(self.sinks)
+        #: Current bus cycle; stamped onto events by emit sites.  Updated
+        #: by ``SharedBus.step`` / ``Machine.step``.
+        self.cycle = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver *event* to every sink, in registration order."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every sink that supports closing (e.g. JSONL files)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+#: The shared disabled tracer components default to.
+NULL_TRACER = Tracer()
+
+
+class ListSink:
+    """Keep the last *maxlen* events in memory (``None`` = unbounded).
+
+    The in-memory sink for tests and for rendering trace tails; its
+    :meth:`tail` is what error messages embed.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        self.events: deque[TraceEvent] = deque(maxlen=maxlen)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def tail(self, n: int = 16) -> list[TraceEvent]:
+        """The most recent *n* events, oldest first."""
+        return list(self.events)[-n:]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class JsonlSink:
+    """Append events to a JSONL file, one ``event.to_dict()`` per line.
+
+    The file is opened lazily (on the first event) and line-buffered, so a
+    crash loses at most the event being written; parent directories are
+    created as needed.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", buffering=1, encoding="utf-8")
+        self._handle.write(json.dumps(event.to_dict()) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Parse a JSONL trace file back into typed events."""
+    events: list[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def format_tail(events: Iterable[TraceEvent], limit: int = 16) -> str:
+    """Render the last *limit* events as an indented block for errors."""
+    tail = list(events)[-limit:]
+    if not tail:
+        return "  (no trace events recorded)"
+    return "\n".join(f"  {event.describe()}" for event in tail)

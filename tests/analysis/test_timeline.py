@@ -2,11 +2,15 @@
 
 import pytest
 
-from repro.analysis.timeline import render_timeline
+from repro.analysis.timeline import render_lock_handoff, render_timeline
 from repro.common.errors import ConfigurationError
+from repro.protocols.states import LineState
 from repro.sync.locks import build_lock_program
 from repro.system.config import MachineConfig
 from repro.system.machine import Machine
+from repro.system.scripted import ScriptedMachine
+from repro.trace.events import LineTransition, MemoryLock, MemoryUnlock
+from repro.trace.sink import ListSink
 
 
 def recorded_machine():
@@ -75,3 +79,75 @@ class TestRenderTimeline:
     def test_legend_present(self):
         machine = recorded_machine()
         assert "legend:" in render_timeline(machine.bus_log)
+
+
+def _lt(cycle, cache, after, value, cause, address=0):
+    return LineTransition(
+        cycle=cycle, cache=cache, address=address,
+        before=LineState.NOT_PRESENT, after=after, cause=cause,
+        value=value, meta=0,
+    )
+
+
+class TestRenderLockHandoff:
+    def test_empty_stream(self):
+        assert "(no trace events for address 5)" in render_lock_handoff([], 5)
+
+    def test_wrong_address_filtered_out(self):
+        events = [_lt(1, "cache0", LineState.READABLE, 1, "cpu-read",
+                      address=9)]
+        assert "(no trace events" in render_lock_handoff(events, 5)
+
+    def test_states_persist_between_rows(self):
+        events = [
+            _lt(1, "cache0", LineState.READABLE, 1, "cpu-read"),
+            _lt(3, "cache1", LineState.FIRST_WRITE, 1, "ts-success"),
+        ]
+        text = render_lock_handoff(events, 0)
+        rows = text.splitlines()
+        assert "lock hand-off at address 0" in rows[0]
+        # Row for cycle 3 still shows cache0's carried-forward R(1).
+        assert "R(1)" in rows[-1]
+        assert "F(1)" in rows[-1]
+        assert "cache1:ts-success" in rows[-1]
+
+    def test_lock_column_tracks_holder(self):
+        events = [
+            MemoryLock(cycle=1, address=0, region=0, client=2),
+            MemoryUnlock(cycle=4, address=0, region=0, client=2,
+                         wrote=True, value=1),
+        ]
+        text = render_lock_handoff(events, 0)
+        lines = text.splitlines()
+        assert "c2" in lines[-2]  # locked row
+        assert "write-unlock:c2" in lines[-1]
+
+    def test_accepts_parsed_jsonl_dicts(self):
+        typed = [
+            _lt(1, "cache0", LineState.READABLE, 1, "cpu-read"),
+            MemoryLock(cycle=2, address=0, region=0, client=0),
+        ]
+        as_dicts = [event.to_dict() for event in typed]
+        assert render_lock_handoff(as_dicts, 0) == render_lock_handoff(
+            typed, 0
+        )
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            render_lock_handoff([42], 0)
+
+    def test_reproduces_figure_6_3_handoff_from_live_trace(self):
+        """The paper's signature RWB row: after a successful TS the winner
+        sits in F(1) while a spinner keeps R(1) — no invalidation."""
+        sink = ListSink()
+        sm = ScriptedMachine(
+            MachineConfig(num_pes=2, protocol="rwb", memory_size=64),
+            trace_sink=sink,
+        )
+        assert sm.read(0, 0) == 0
+        assert sm.test_and_set(1, 0) == 0
+        sm.settle()
+        text = render_lock_handoff(list(sink), 0)
+        assert "F(1)" in text  # the winner's First-write claim
+        assert "R(1)" in text  # the spinner's still-readable copy
+        assert "ts-success" in text

@@ -76,6 +76,46 @@ class TestRandom:
             RandomArbiter().grant([])
 
 
+class TestChooseCommitSplit:
+    def test_choose_is_pure(self):
+        arbiter = RoundRobinArbiter()
+        assert [arbiter.choose([0, 1, 2]) for _ in range(5)] == [0] * 5
+        assert arbiter.rotation_state() == -1
+
+    def test_commit_advances_rotation(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.choose([0, 1]) == 0
+        arbiter.commit(0)
+        assert arbiter.rotation_state() == 0
+        assert arbiter.choose([0, 1]) == 1
+
+    def test_refused_choice_keeps_priority_slot(self):
+        """Regression: a NACKed client must not lose its rotation turn.
+        ``grant()`` used to advance ``_last_granted`` even when the bus then
+        refused the transaction, so the victim silently went to the back of
+        the rotation without ever having used the bus."""
+        arbiter = RoundRobinArbiter()
+        arbiter.commit(0)
+        # Client 1 is chosen but its transaction is NACKed: no commit.
+        assert arbiter.choose([1]) == 1
+        assert arbiter.rotation_state() == 0
+        # Client 2 joins next cycle; 1 must still be first in line.
+        assert arbiter.choose([1, 2]) == 1
+
+    def test_grant_is_choose_plus_commit(self):
+        split, fused = RoundRobinArbiter(), RoundRobinArbiter()
+        for requesters in ([0, 2], [1, 2], [0, 1, 2]):
+            chosen = split.choose(requesters)
+            split.commit(chosen)
+            assert fused.grant(requesters) == chosen
+        assert split.rotation_state() == fused.rotation_state()
+
+    def test_stateless_policies_ignore_commit(self):
+        for arbiter in (FixedPriorityArbiter(), RandomArbiter(seed=1)):
+            arbiter.commit(7)
+            assert arbiter.rotation_state() is None
+
+
 class TestFactory:
     def test_names(self):
         assert arbiter_names() == ["fixed-priority", "random", "round-robin"]
@@ -87,3 +127,14 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ConfigurationError):
             make_arbiter("lottery")
+
+    def test_random_seed_plumbed(self):
+        """Regression: the factory used to drop its seed argument on the
+        floor, so every random arbiter drew the same stream."""
+        assert make_arbiter("random", seed=5).seed == 5
+        a = make_arbiter("random", seed=1)
+        b = make_arbiter("random", seed=2)
+        requesters = list(range(8))
+        assert [a.grant(requesters) for _ in range(20)] != [
+            b.grant(requesters) for _ in range(20)
+        ]

@@ -2,18 +2,28 @@
 
 import pytest
 
-from repro.bus.arbiter import FixedPriorityArbiter
+from repro.bus.arbiter import FixedPriorityArbiter, RoundRobinArbiter
 from repro.bus.bus import SharedBus
 from repro.bus.transaction import BusOp, BusTransaction
 from repro.common.errors import BusError
 from repro.memory.main_memory import MainMemory
+from repro.trace.events import (
+    ArbiterDecision,
+    BusCompletion,
+    BusGrant,
+    BusInterrupt,
+    BusNack,
+)
+from repro.trace.sink import ListSink, Tracer
 
 from tests.bus.helpers import FakeClient
 
 
-def make_bus(num_clients=2, **client_kwargs):
+def make_bus(num_clients=2, arbiter=None, trace=None):
     memory = MainMemory(64)
-    bus = SharedBus(memory, arbiter=FixedPriorityArbiter())
+    bus = SharedBus(
+        memory, arbiter=arbiter or FixedPriorityArbiter(), trace=trace
+    )
     clients = [FakeClient() for _ in range(num_clients)]
     for client in clients:
         bus.attach(client)
@@ -180,6 +190,151 @@ class TestReadModifyWrite:
         bus.request(BusTransaction(BusOp.INVALIDATE, 0, originator=1))
         assert bus.step() is None
         assert bus.stats.get("bus.nacks") == 1
+
+
+class TestNackRotation:
+    """Satellite bugfix: NACKs must not consume round-robin turns."""
+
+    def test_nacked_cycle_leaves_rotation_untouched(self):
+        memory, bus, _ = make_bus(2, arbiter=RoundRobinArbiter())
+        bus.request(BusTransaction(BusOp.READ_LOCK, 0, originator=0))
+        bus.step()
+        assert bus.arbiter.rotation_state() == 0
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=1, value=5))
+        assert bus.step() is None  # NACKed behind the lock
+        # Regression: rotation used to advance to 1 here.
+        assert bus.arbiter.rotation_state() == 0
+
+    def test_nack_victim_granted_before_later_arrival(self):
+        """The user-visible symptom of the rotation bug: after a refusal,
+        the victim lost its turn to a client that arrived later."""
+        memory, bus, _ = make_bus(2, arbiter=RoundRobinArbiter())
+        memory.read_lock(0, 5)  # lock held off-bus, against everyone here
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=7))
+        assert bus.step() is None  # client 0 NACKed; must keep its slot
+        memory.unlock(0, 5)
+        bus.request(BusTransaction(BusOp.READ, 3, originator=1))
+        done = bus.step()
+        # Buggy rotation (advanced to 0 on the NACK) would grant client 1.
+        assert done.transaction.originator == 0
+        assert memory.peek(0) == 7
+
+    def test_round_robin_stays_fair_under_sustained_nacks(self):
+        """A permanently blocked writer keeps getting NACKed without
+        skewing the rotation among the clients that can make progress."""
+        memory, bus, _ = make_bus(3, arbiter=RoundRobinArbiter())
+        memory.read_lock(0, 99)
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=0, value=1))
+        for value in range(4):
+            bus.request(BusTransaction(BusOp.READ, 10, originator=1))
+            bus.request(BusTransaction(BusOp.READ, 11, originator=2))
+        granted = [bus.step().transaction.originator for _ in range(8)]
+        assert granted == [1, 2, 1, 2, 1, 2, 1, 2]
+        assert bus.stats.get("bus.nacks") >= 4
+        # Once the lock lifts, the starved writer goes straight through.
+        memory.unlock(0, 99)
+        done = bus.step()
+        assert done.transaction.originator == 0
+        assert memory.peek(0) == 1
+
+
+class TestInterrupterLock:
+    """Satellite bugfix: an interrupt write-back must obey a foreign
+    memory lock instead of bypassing ``needs_lock_check`` entirely."""
+
+    def test_interrupt_writeback_deferred_by_foreign_lock(self):
+        memory, bus, clients = make_bus(3)
+        clients[1].interrupt_addresses = {4}
+        clients[1].supply_value = 42
+        memory.read_lock(4, 2)  # client 2 is mid read-modify-write on 4
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        assert bus.step() is None  # read deferred with its supply
+        assert bus.stats.get("bus.nacks") == 1
+        assert memory.peek(4) == 0  # the dirty value did not slip in
+        assert clients[1].interrupt_addresses == {4}  # still claiming
+        memory.unlock(4, 2)
+        done = bus.step()  # retried read: the interrupt now proceeds
+        assert done.transaction.is_writeback
+        assert memory.peek(4) == 42
+        retried = bus.step()
+        assert retried.transaction.op is BusOp.READ
+        assert retried.value == 42
+
+    def test_interrupter_holding_the_lock_supplies_freely(self):
+        """Only a *foreign* lock defers the write-back: when the
+        interrupter itself holds the lock, supplying is its own RMW."""
+        memory, bus, clients = make_bus(3)
+        clients[1].interrupt_addresses = {4}
+        clients[1].supply_value = 9
+        memory.read_lock(4, 1)  # the interrupter is the lock holder
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        done = bus.step()
+        assert done is not None and done.transaction.is_writeback
+        assert memory.peek(4) == 9
+        assert bus.stats.get("bus.nacks") == 0
+
+
+class TestBusTraceEvents:
+    def _traced(self, num_clients=2, arbiter=None):
+        sink = ListSink()
+        memory, bus, clients = make_bus(
+            num_clients, arbiter=arbiter, trace=Tracer(sink)
+        )
+        return memory, bus, clients, sink
+
+    def test_grant_and_completion(self):
+        _, bus, _, sink = self._traced(arbiter=RoundRobinArbiter())
+        bus.request(BusTransaction(BusOp.READ, 3, originator=0))
+        bus.step()
+        kinds = [type(e) for e in sink]
+        assert kinds == [ArbiterDecision, BusGrant, BusCompletion]
+        decision, grant, completion = sink
+        assert decision.policy == "round-robin"
+        assert decision.granted == 0
+        assert decision.rotation_before == -1
+        assert decision.rotation_after == 0
+        assert grant.op is BusOp.READ and grant.address == 3
+        assert completion.client == 0 and completion.cycle == bus.cycle
+
+    def test_nack_reasons(self):
+        memory, bus, _, sink = self._traced()
+        memory.read_lock(0, 99)
+        bus.request(BusTransaction(BusOp.WRITE, 0, originator=1, value=5))
+        bus.step()
+        nacks = [e for e in sink if isinstance(e, BusNack)]
+        assert [n.reason for n in nacks] == ["memory-locked"]
+        assert nacks[0].client == 1
+
+    def test_interrupter_locked_nack(self):
+        memory, bus, clients, sink = self._traced(3)
+        clients[1].interrupt_addresses = {4}
+        memory.read_lock(4, 2)
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        bus.step()
+        nacks = [e for e in sink if isinstance(e, BusNack)]
+        assert [n.reason for n in nacks] == ["interrupter-locked"]
+        assert nacks[0].op is BusOp.READ
+
+    def test_interrupt_and_writeback_events(self):
+        _, bus, clients, sink = self._traced()
+        clients[1].interrupt_addresses = {4}
+        clients[1].supply_value = 42
+        bus.request(BusTransaction(BusOp.READ, 4, originator=0))
+        bus.step()
+        interrupts = [e for e in sink if isinstance(e, BusInterrupt)]
+        assert len(interrupts) == 1
+        assert interrupts[0].interrupter == 1
+        assert interrupts[0].reader == 0
+        assert interrupts[0].writeback_value == 42
+        completions = [e for e in sink if isinstance(e, BusCompletion)]
+        assert completions[-1].is_writeback is True
+        assert completions[-1].interrupted_read is True
+
+    def test_disabled_tracer_emits_nothing(self):
+        _, bus, _ = make_bus()
+        bus.request(BusTransaction(BusOp.READ, 0, originator=0))
+        bus.step()
+        assert bus.trace.enabled is False
 
 
 class TestInterrupts:

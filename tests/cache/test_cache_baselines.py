@@ -11,7 +11,7 @@ from repro.protocols.states import LineState
 from repro.protocols.write_once import WriteOnceProtocol
 from repro.protocols.write_through import WriteThroughInvalidateProtocol
 
-from tests.cache.test_cache_rb import drain, read, write
+from tests.cache.test_cache_rb import read, write
 
 
 def make_system(protocol_factory, num_caches=2, placement=None, replacement=None):

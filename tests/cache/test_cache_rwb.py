@@ -177,6 +177,61 @@ class TestStaleWritebackCancellation:
         assert latest in (31, 40)
 
 
+class TestKEqualsOne:
+    """The footnote-6 degenerate ``k = 1``: invalidate-on-first-write."""
+
+    def test_write_promotes_straight_to_local_via_bi(self):
+        memory, bus, caches = make_system(local_promotion_writes=1)
+        read(caches[1], bus, 3)
+        write(caches[0], bus, 3, 5)
+        assert caches[0].state_of(3) is LineState.LOCAL
+        assert bus.stats.get("bus.op.invalidate") == 1
+        assert caches[1].state_of(3) is LineState.INVALID
+        assert memory.peek(3) == 0  # BI carries no data; line is dirty
+
+    def test_local_snoops_bi_from_competing_writer(self):
+        """k = 1 is the one configuration where an L holder legally sees a
+        foreign BI: a competing write miss promotes straight to Local, and
+        the older dirty copy must be dropped."""
+        memory, bus, caches = make_system(local_promotion_writes=1)
+        write(caches[0], bus, 3, 5)   # cache0 L(5)
+        write(caches[1], bus, 3, 6)   # BI: the newer write wins
+        assert caches[1].state_of(3) is LineState.LOCAL
+        assert caches[1].line_for(3).value == 6
+        assert caches[0].state_of(3) is LineState.INVALID
+        assert caches[0].stats.get("cache.invalidations") == 1
+
+    def test_ts_success_lands_in_readable(self):
+        """The winner of a k = 1 test-and-set sits in R, not L: the
+        write-with-unlock already broadcast the lock value to every
+        spectator, so claiming Local would break the configuration Lemma."""
+        memory, bus, caches = make_system(local_promotion_writes=1)
+        for pe in range(3):
+            read(caches[pe], bus, 0)
+        box = []
+        caches[1].cpu_test_and_set(0, 1, box.append)
+        drain(bus)
+        assert box == [0]
+        assert caches[1].state_of(0) is LineState.READABLE
+        assert caches[1].line_for(0).value == 1
+        for spectator in (caches[0], caches[2]):
+            assert spectator.state_of(0) is LineState.READABLE
+            assert spectator.line_for(0).value == 1
+
+    def test_next_write_after_ts_promotes_via_bi(self):
+        """From the winner's R, the next plain write takes the normal
+        k = 1 route to Local (one BI)."""
+        memory, bus, caches = make_system(local_promotion_writes=1)
+        box = []
+        caches[1].cpu_test_and_set(0, 1, box.append)
+        drain(bus)
+        assert caches[1].state_of(0) is LineState.READABLE
+        before = bus.stats.get("bus.op.invalidate")
+        write(caches[1], bus, 0, 0)  # release the lock
+        assert caches[1].state_of(0) is LineState.LOCAL
+        assert bus.stats.get("bus.op.invalidate") == before + 1
+
+
 class TestTestAndSet:
     def test_success_leaves_shared_configuration(self):
         """Figure 6-3: winner in F, spectators keep readable copies."""

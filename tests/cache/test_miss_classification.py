@@ -7,7 +7,7 @@ from repro.cache.mapping import DirectMapped
 from repro.memory.main_memory import MainMemory
 from repro.protocols.rb import RBProtocol
 
-from tests.cache.test_cache_rb import drain, read, write
+from tests.cache.test_cache_rb import read, write
 
 
 def make_system(num_caches=2, lines=2):

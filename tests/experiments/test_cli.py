@@ -59,3 +59,31 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             main(["figure-6-2", "--workers", "0"])
         assert exc.value.code == 2
+
+
+class TestTraceFlags:
+    def test_trace_writes_per_point_jsonl(self, capsys, tmp_path):
+        from repro.trace import read_jsonl
+
+        trace_dir = tmp_path / "traces"
+        assert main(["figure-6-3", "--trace", str(trace_dir)]) == 0
+        capsys.readouterr()
+        files = sorted(trace_dir.glob("*.jsonl"))
+        assert files, "expected one JSONL trace per sweep point"
+        events = read_jsonl(files[0])
+        assert events
+        assert all(hasattr(e, "cycle") for e in events)
+
+    def test_online_check_passes_on_healthy_protocols(self, capsys):
+        assert main(["figure-6-3", "--online-check"]) == 0
+        assert "Figure 6-3" in capsys.readouterr().out
+
+    def test_trace_and_check_compose_with_workers(self, capsys, tmp_path):
+        """The traced task must survive pickling into worker processes."""
+        trace_dir = tmp_path / "traces"
+        assert main(
+            ["figure-6-3", "--trace", str(trace_dir), "--online-check",
+             "--workers", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert sorted(trace_dir.glob("*.jsonl"))

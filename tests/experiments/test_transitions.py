@@ -1,6 +1,5 @@
 """Unit tests for the transition-table enumerator behind Figures 3-1/5-1."""
 
-from repro.bus.transaction import BusOp
 from repro.experiments.transitions import (
     BUS_INVALIDATE,
     BUS_READ,

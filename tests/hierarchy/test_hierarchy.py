@@ -6,7 +6,6 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import AccessType, MemRef
 from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
 from repro.hierarchy.consistency import run_hierarchical_consistency_trial
-from repro.protocols.states import LineState
 from repro.sync.locks import build_lock_program
 
 

@@ -11,7 +11,6 @@ import pytest
 from repro.common.types import AccessType, MemRef
 from repro.common.rng import DeterministicRng
 from repro.protocols.registry import available_protocols
-from repro.sync.locks import build_lock_program
 from repro.system.config import MachineConfig
 from repro.system.machine import Machine
 

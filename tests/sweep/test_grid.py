@@ -39,6 +39,26 @@ class TestAssignSeeds:
         assign_seeds([point], 7, "exp")
         assert point.seed is None
 
+    def test_pushes_derived_seed_into_default_config(self):
+        """Regression: the per-point seed used to stop at ``point.seed``,
+        leaving ``config.seed`` at 0 — so every machine's stochastic
+        components (random arbiter, random replacement) shared one stream."""
+        point = SweepPoint(name="a", config=MachineConfig())
+        seeded = assign_seeds([point], 7, "exp")[0]
+        assert seeded.config.seed == seeded.seed != 0
+        assert point.config.seed == 0  # the input config is untouched
+
+    def test_explicit_config_seed_kept(self):
+        point = SweepPoint(name="a", config=MachineConfig(seed=42))
+        seeded = assign_seeds([point], 7, "exp")[0]
+        assert seeded.config.seed == 42
+
+    def test_pre_seeded_point_leaves_config_alone(self):
+        point = SweepPoint(name="a", config=MachineConfig(), seed=13)
+        seeded = assign_seeds([point], 7, "exp")[0]
+        assert seeded.seed == 13
+        assert seeded.config.seed == 0
+
 
 class TestExpandGrid:
     def test_cartesian_product_with_named_cells(self):

@@ -148,3 +148,94 @@ class TestDrain:
         machine.caches[0].cpu_read(5, lambda value: None)
         machine.drain_bus()
         assert not machine.bus.has_pending()
+
+
+class TestArbiterSeed:
+    """Satellite bugfix: the random arbiter must consume the machine's
+    seed, not a hard-wired 0."""
+
+    def test_random_arbiter_derives_from_config_seed(self):
+        from repro.common.rng import derive_seed
+
+        machine = Machine(MachineConfig(num_pes=2, arbiter="random", seed=11))
+        assert machine.bus.arbiter.seed == derive_seed(11, "arbiter", 0)
+
+    def test_distinct_seeds_give_distinct_arbiters(self):
+        a = Machine(MachineConfig(num_pes=2, arbiter="random", seed=1))
+        b = Machine(MachineConfig(num_pes=2, arbiter="random", seed=2))
+        same = Machine(MachineConfig(num_pes=2, arbiter="random", seed=1))
+        assert a.bus.arbiter.seed != b.bus.arbiter.seed
+        assert a.bus.arbiter.seed == same.bus.arbiter.seed
+
+    def test_multibus_banks_get_independent_streams(self):
+        machine = Machine(
+            MachineConfig(num_pes=2, num_buses=2, arbiter="random", seed=3)
+        )
+        seeds = {bank.arbiter.seed for bank in machine.bus.buses}
+        assert len(seeds) == 2
+
+
+class TestTracePlumbing:
+    def test_no_trace_by_default(self):
+        machine = Machine(MachineConfig(num_pes=1))
+        assert machine.tracer.enabled is False
+        assert machine.checker is None
+
+    def test_config_trace_writes_jsonl(self, tmp_path):
+        from repro.trace import read_jsonl
+        from repro.trace.events import BusGrant, LineTransition
+
+        path = tmp_path / "run.jsonl"
+        machine = Machine(MachineConfig(num_pes=1, trace=str(path)))
+        machine.load_traces([[MemRef(0, AccessType.WRITE, 3, value=9)]])
+        machine.run()
+        machine.close_trace()
+        events = read_jsonl(path)
+        kinds = {type(e) for e in events}
+        assert BusGrant in kinds
+        assert LineTransition in kinds
+
+    def test_extra_sink_receives_events(self):
+        from repro.trace import ListSink
+
+        sink = ListSink()
+        machine = Machine(MachineConfig(num_pes=1), trace_sink=sink)
+        machine.load_traces([[MemRef(0, AccessType.READ, 1)]])
+        machine.run()
+        assert len(sink) > 0
+
+    def test_online_check_builds_and_runs_checker(self):
+        machine = Machine(MachineConfig(num_pes=2, online_check=True))
+        assert machine.checker is not None
+        machine.load_traces([
+            [MemRef(0, AccessType.WRITE, 3, value=9)],
+            [MemRef(1, AccessType.READ, 3)],
+        ])
+        machine.run()
+        assert machine.checker.checked_cycles > 0
+        assert machine.checker.expected_value(3) == 9
+
+    def test_process_wide_defaults_apply(self, tmp_path):
+        from repro.trace import read_jsonl, trace_defaults
+
+        path = tmp_path / "defaults.jsonl"
+        with trace_defaults(path=str(path), online_check=True):
+            machine = Machine(MachineConfig(num_pes=1))
+        assert machine.checker is not None
+        machine.load_traces([[MemRef(0, AccessType.WRITE, 0, value=1)]])
+        machine.run()
+        machine.close_trace()
+        assert read_jsonl(path)
+
+    def test_config_trace_overrides_defaults_path(self, tmp_path):
+        from repro.trace import trace_defaults
+
+        own = tmp_path / "own.jsonl"
+        ambient = tmp_path / "ambient.jsonl"
+        with trace_defaults(path=str(ambient)):
+            machine = Machine(MachineConfig(num_pes=1, trace=str(own)))
+        machine.load_traces([[MemRef(0, AccessType.READ, 1)]])
+        machine.run()
+        machine.close_trace()
+        assert own.exists()
+        assert not ambient.exists()

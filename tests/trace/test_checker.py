@@ -1,0 +1,224 @@
+"""Fault-injection tests for the online coherence checker.
+
+Each test plants a deliberately broken protocol table into one cache of an
+otherwise healthy machine, drives the shortest scenario that exercises the
+bug, and asserts the checker stops the run mid-flight with the *specific*
+Section-4 invariant named and the offending trace tail embedded.  Together
+the four planted bugs cover every invariant the checker knows:
+
+* duplicated First-write claim -> ``configuration-lemma``
+* deaf write snoop             -> ``no-stale-readable-copy``
+* dropped write-back           -> ``latest-value-exists``
+* ignored invalidate           -> ``single-dirty-holder``
+
+A clean-run test confirms the same scenarios pass on the unmodified
+protocols (no false positives).
+"""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import VerificationError
+from repro.protocols.base import unchanged
+from repro.protocols.rb import RBProtocol
+from repro.protocols.rwb import RWBProtocol
+from repro.protocols.states import LineState
+from repro.system.config import MachineConfig
+from repro.system.scripted import ScriptedMachine
+from repro.trace.checker import OnlineCoherenceChecker
+from repro.trace.events import LineTransition, MemoryLock
+
+
+def _scripted(protocol: str, num_pes: int = 2, **overrides) -> ScriptedMachine:
+    config = MachineConfig(
+        num_pes=num_pes,
+        protocol=protocol,
+        online_check=True,
+        **overrides,
+    )
+    return ScriptedMachine(config)
+
+
+# ---------------------------------------------------------------------- #
+# planted bugs                                                            #
+# ---------------------------------------------------------------------- #
+
+
+class _StickyFirstWriteRWB(RWBProtocol):
+    """Bug: a First-write claimant ignores a foreign bus write instead of
+    demoting to Readable, so two caches claim the first-write run at once."""
+
+    def on_snoop(self, state, meta, op):
+        if op.is_write_like and state is LineState.FIRST_WRITE:
+            return unchanged(LineState.FIRST_WRITE, meta)
+        return super().on_snoop(state, meta, op)
+
+
+class _DeafWriteSnoopRWB(RWBProtocol):
+    """Bug: a Readable line ignores foreign bus writes, keeping its stale
+    value readable after the written value crossed the bus."""
+
+    def on_snoop(self, state, meta, op):
+        if op.is_write_like and state is LineState.READABLE:
+            return unchanged(LineState.READABLE, meta)
+        return super().on_snoop(state, meta, op)
+
+
+class _DroppedWritebackRB(RBProtocol):
+    """Bug: dirty lines claim they never need writing back, so eviction
+    silently drops the only copy of the latest value."""
+
+    def needs_writeback(self, state: LineState) -> bool:
+        return False
+
+
+class _InvalidateDeafRWB(RWBProtocol):
+    """Bug (k = 1): a Local holder ignores a foreign bus invalidate, so
+    two caches end up holding the line dirty at once."""
+
+    def on_snoop(self, state, meta, op):
+        if op is BusOp.INVALIDATE and state is LineState.LOCAL:
+            return unchanged(LineState.LOCAL, meta)
+        return super().on_snoop(state, meta, op)
+
+
+# ---------------------------------------------------------------------- #
+# each planted bug is caught, with the right invariant named              #
+# ---------------------------------------------------------------------- #
+
+
+class TestFaultInjection:
+    def test_duplicated_first_write_breaks_configuration_lemma(self):
+        sm = _scripted("rwb")
+        sm.caches[0].protocol = _StickyFirstWriteRWB()
+        sm.write(0, 9, 5)  # cache0 enters F (write 1 of k=2)
+        with pytest.raises(VerificationError) as exc:
+            sm.write(1, 9, 7)  # cache1 enters F too; bug keeps cache0 in F
+        message = str(exc.value)
+        assert "invariant 'configuration-lemma'" in message
+        assert "multiple First-write claimants" in message
+        assert "trace tail" in message
+        assert "address 9" in message
+
+    def test_deaf_write_snoop_leaves_stale_readable_copy(self):
+        sm = _scripted("rwb")
+        sm.caches[0].protocol = _DeafWriteSnoopRWB()
+        assert sm.read(0, 4) == 0  # cache0 holds R(0)
+        with pytest.raises(VerificationError) as exc:
+            sm.write(1, 4, 9)  # broadcast write; cache0 keeps stale R(0)
+        message = str(exc.value)
+        assert "invariant 'no-stale-readable-copy'" in message
+        assert "trace tail" in message
+        assert "(0)" in message  # the stale copy's value is shown
+
+    def test_dropped_writeback_loses_latest_value(self):
+        sm = _scripted("rb", num_pes=1, cache_lines=1)
+        sm.caches[0].protocol = _DroppedWritebackRB()
+        sm.write(0, 0, 5)  # NP -> L, memory = 5
+        sm.write(0, 0, 7)  # local hit: only copy of 7 is the dirty line
+        with pytest.raises(VerificationError) as exc:
+            sm.read(0, 1)  # conflict miss evicts the dirty line... silently
+        message = str(exc.value)
+        assert "invariant 'latest-value-exists'" in message
+        assert "trace tail" in message
+        assert "last written value 7" in message
+
+    def test_ignored_invalidate_makes_two_dirty_holders(self):
+        sm = _scripted(
+            "rwb", protocol_options={"local_promotion_writes": 1}
+        )
+        sm.caches[0].protocol = _InvalidateDeafRWB(local_promotion_writes=1)
+        sm.write(0, 6, 5)  # k = 1: straight to L via BI
+        with pytest.raises(VerificationError) as exc:
+            sm.write(1, 6, 8)  # cache0 ignores the BI and stays L
+        message = str(exc.value)
+        assert "invariant 'single-dirty-holder'" in message
+        assert "trace tail" in message
+        assert "cache0" in message and "cache1" in message
+
+    def test_failure_message_embeds_machine_configuration(self):
+        sm = _scripted("rwb", protocol_options={"local_promotion_writes": 1})
+        sm.caches[0].protocol = _InvalidateDeafRWB(local_promotion_writes=1)
+        sm.write(0, 6, 5)
+        with pytest.raises(VerificationError) as exc:
+            sm.write(1, 6, 8)
+        message = str(exc.value)
+        assert "configuration:" in message
+        assert "memory=" in message
+        # The tail holds real events, rendered one per indented line.
+        assert "cycle" in message
+
+
+# ---------------------------------------------------------------------- #
+# no false positives on the healthy protocols                             #
+# ---------------------------------------------------------------------- #
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "protocol", ["rb", "rwb", "write-once", "write-through"]
+    )
+    def test_mixed_workload_passes(self, protocol):
+        sm = _scripted(protocol, num_pes=3)
+        sm.write(0, 9, 5)
+        sm.write(0, 9, 7)
+        assert sm.read(1, 9) == 7
+        assert sm.read(2, 9) == 7
+        sm.write(2, 9, 11)
+        assert sm.read(0, 9) == 11
+        assert sm.test_and_set(1, 20) == 0
+        assert sm.test_and_set(2, 20) == 1
+        sm.write(1, 20, 0)
+        sm.settle()
+        checker = sm.machine.checker
+        assert checker is not None
+        assert checker.checked_cycles > 0
+
+    def test_rwb_k1_clean(self):
+        sm = _scripted("rwb", protocol_options={"local_promotion_writes": 1})
+        sm.write(0, 3, 1)
+        sm.write(1, 3, 2)
+        assert sm.read(0, 3) == 2
+        sm.settle()
+        assert sm.machine.checker.checked_cycles > 0
+
+
+# ---------------------------------------------------------------------- #
+# checker unit behaviour                                                  #
+# ---------------------------------------------------------------------- #
+
+
+class TestCheckerUnit:
+    def test_shadow_model_tracks_write_causes(self):
+        checker = OnlineCoherenceChecker()
+        checker.emit(
+            LineTransition(
+                cycle=1, cache="cache0", address=5,
+                before=LineState.NOT_PRESENT, after=LineState.LOCAL,
+                cause="cpu-write", value=7, meta=0,
+            )
+        )
+        assert checker.expected_value(5) == 7
+        # Reads never move the shadow model.
+        checker.emit(
+            LineTransition(
+                cycle=2, cache="cache1", address=5,
+                before=LineState.INVALID, after=LineState.READABLE,
+                cause="cpu-read", value=7, meta=0,
+            )
+        )
+        assert checker.expected_value(5) == 7
+
+    def test_detached_checker_is_inert(self):
+        checker = OnlineCoherenceChecker(machine=None)
+        checker.emit(MemoryLock(cycle=1, address=3, region=3, client=0))
+        checker.run_checks()  # no machine: must not raise
+        assert checker.checked_cycles == 0
+
+    def test_tail_is_bounded(self):
+        checker = OnlineCoherenceChecker(tail_length=4)
+        for cycle in range(10):
+            checker.emit(
+                MemoryLock(cycle=cycle, address=0, region=0, client=0)
+            )
+        assert [e.cycle for e in checker.tail] == [6, 7, 8, 9]

@@ -1,0 +1,138 @@
+"""Unit tests for the typed trace events and their JSONL wire form."""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.protocols.states import LineState
+from repro.trace.events import (
+    EVENT_KINDS,
+    ArbiterDecision,
+    BusCompletion,
+    BusGrant,
+    BusInterrupt,
+    BusNack,
+    LineTransition,
+    MemoryLock,
+    MemoryUnlock,
+    SyncOp,
+    event_from_dict,
+)
+
+EXAMPLES = [
+    ArbiterDecision(
+        cycle=3,
+        bus="bus0",
+        policy="round-robin",
+        requesters=(0, 2),
+        granted=2,
+        rotation_before=0,
+        rotation_after=2,
+    ),
+    BusGrant(
+        cycle=3,
+        bus="bus0",
+        client=2,
+        op=BusOp.READ,
+        address=17,
+        value=0,
+        serial=40,
+        is_writeback=False,
+    ),
+    BusNack(
+        cycle=4,
+        bus="bus0",
+        client=1,
+        op=BusOp.WRITE,
+        address=17,
+        reason="memory-locked",
+    ),
+    BusInterrupt(
+        cycle=5,
+        bus="bus0",
+        interrupter=0,
+        reader=2,
+        op=BusOp.READ,
+        address=17,
+        writeback_value=9,
+    ),
+    BusCompletion(
+        cycle=5,
+        bus="bus0",
+        client=0,
+        op=BusOp.WRITE,
+        address=17,
+        value=9,
+        serial=41,
+        is_writeback=True,
+        interrupted_read=True,
+    ),
+    LineTransition(
+        cycle=5,
+        cache="cache0",
+        address=17,
+        before=LineState.LOCAL,
+        after=LineState.READABLE,
+        cause="interrupt-supply",
+        value=9,
+        meta=0,
+    ),
+    MemoryLock(cycle=6, address=17, region=17, client=1),
+    MemoryUnlock(cycle=7, address=17, region=17, client=1, wrote=True, value=1),
+    SyncOp(
+        cycle=7, cache="cache1", primitive="ts", phase="success",
+        address=17, value=1,
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "event", EXAMPLES, ids=[type(e).__name__ for e in EXAMPLES]
+    )
+    def test_to_dict_round_trips(self, event):
+        data = event.to_dict()
+        assert data["kind"] == type(event).kind
+        assert event_from_dict(data) == event
+
+    @pytest.mark.parametrize(
+        "event", EXAMPLES, ids=[type(e).__name__ for e in EXAMPLES]
+    )
+    def test_dict_form_is_json_flat(self, event):
+        import json
+
+        # Every wire form must survive a real JSON round-trip unchanged.
+        data = event.to_dict()
+        assert event_from_dict(json.loads(json.dumps(data))) == event
+
+    def test_enums_stored_by_short_value(self):
+        data = EXAMPLES[1].to_dict()
+        assert data["op"] == "BR"
+        line = EXAMPLES[5].to_dict()
+        assert line["before"] == "L"
+        assert line["after"] == "R"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"kind": "no-such-event", "cycle": 0})
+
+
+class TestRegistry:
+    def test_every_event_kind_registered(self):
+        assert set(EVENT_KINDS) == {
+            "arbiter", "grant", "nack", "interrupt", "complete",
+            "line", "mem-lock", "mem-unlock", "sync",
+        }
+
+    def test_kinds_are_unique_tags(self):
+        assert len({cls.kind for cls in EVENT_KINDS.values()}) == len(EVENT_KINDS)
+
+
+class TestDescribe:
+    def test_mentions_cycle_and_kind(self):
+        text = EXAMPLES[2].describe()
+        assert "cycle 4" in text
+        assert "nack" in text
+        assert "memory-locked" in text
+
+    def test_enum_fields_render_short(self):
+        assert "op=BW" in EXAMPLES[2].describe()

@@ -1,0 +1,135 @@
+"""Unit tests for trace sinks, the Tracer fan-out and trace defaults."""
+
+from repro.trace.context import (
+    get_trace_defaults,
+    set_trace_defaults,
+    trace_defaults,
+)
+from repro.trace.events import MemoryLock, TraceEvent
+from repro.trace.sink import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    TraceSink,
+    format_tail,
+    read_jsonl,
+)
+
+
+def _lock(cycle: int) -> MemoryLock:
+    return MemoryLock(cycle=cycle, address=cycle, region=cycle, client=0)
+
+
+class TestTracer:
+    def test_null_tracer_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.sinks == []
+
+    def test_enabled_with_any_sink(self):
+        assert Tracer(ListSink()).enabled is True
+
+    def test_none_sinks_dropped(self):
+        tracer = Tracer(None, None)
+        assert tracer.enabled is False
+
+    def test_fans_out_in_order(self):
+        first, second = ListSink(), ListSink()
+        tracer = Tracer(first, second)
+        tracer.emit(_lock(1))
+        assert list(first) == list(second) == [_lock(1)]
+
+    def test_sinks_satisfy_protocol(self):
+        assert isinstance(ListSink(), TraceSink)
+        assert isinstance(JsonlSink("x.jsonl"), TraceSink)
+
+    def test_close_tolerates_sinks_without_close(self):
+        tracer = Tracer(ListSink())
+        tracer.close()  # must not raise
+
+
+class TestListSink:
+    def test_bounded_keeps_most_recent(self):
+        sink = ListSink(maxlen=3)
+        for cycle in range(6):
+            sink.emit(_lock(cycle))
+        assert [e.cycle for e in sink] == [3, 4, 5]
+
+    def test_tail(self):
+        sink = ListSink()
+        for cycle in range(10):
+            sink.emit(_lock(cycle))
+        assert [e.cycle for e in sink.tail(2)] == [8, 9]
+        assert len(sink) == 10
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "nested" / "run.jsonl"
+        sink = JsonlSink(path)
+        events = [_lock(1), _lock(2)]
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert sink.events_written == 2
+        assert read_jsonl(path) == events
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_append_mode_across_sinks(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for cycle in (1, 2):
+            sink = JsonlSink(path)
+            sink.emit(_lock(cycle))
+            sink.close()
+        assert [e.cycle for e in read_jsonl(path)] == [1, 2]
+
+
+class TestFormatTail:
+    def test_empty(self):
+        assert "no trace events" in format_tail([])
+
+    def test_limits_and_indents(self):
+        events: list[TraceEvent] = [_lock(c) for c in range(30)]
+        text = format_tail(events, limit=4)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("  ") for line in lines)
+        assert "cycle 29" in lines[-1]
+
+
+class TestTraceDefaults:
+    def test_default_is_off(self):
+        defaults = get_trace_defaults()
+        assert defaults.path is None
+        assert defaults.online_check is False
+
+    def test_set_returns_previous(self):
+        previous = set_trace_defaults(path="a.jsonl", online_check=True)
+        try:
+            assert get_trace_defaults().path == "a.jsonl"
+            assert get_trace_defaults().online_check is True
+        finally:
+            set_trace_defaults(
+                path=previous.path, online_check=previous.online_check
+            )
+
+    def test_context_manager_restores(self):
+        before = get_trace_defaults()
+        with trace_defaults(path="b.jsonl") as active:
+            assert active.path == "b.jsonl"
+            assert get_trace_defaults() is active
+        assert get_trace_defaults() == before
+
+    def test_context_manager_restores_on_error(self):
+        before = get_trace_defaults()
+        try:
+            with trace_defaults(online_check=True):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_trace_defaults() == before
