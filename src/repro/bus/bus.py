@@ -19,7 +19,7 @@ assumption 5 guarantees every cache can snoop and react within the cycle):
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.bus.arbiter import Arbiter, RoundRobinArbiter
 from repro.bus.interfaces import BusClient, BusNetwork
@@ -36,6 +36,9 @@ from repro.trace.events import (
     BusNack,
 )
 from repro.trace.sink import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.chaos import ChaosController
 
 
 class SharedBus(BusNetwork):
@@ -66,6 +69,9 @@ class SharedBus(BusNetwork):
         self._clients: dict[int, BusClient] = {}
         self._queues: dict[int, deque[BusTransaction]] = {}
         self._next_client_id = 0
+        #: Live fault-injection controller; ``None`` (the default) keeps
+        #: every chaos hook on its zero-cost branch.
+        self.chaos: "ChaosController | None" = None
 
     # ------------------------------------------------------------------ #
     # BusNetwork interface                                                #
@@ -106,10 +112,17 @@ class SharedBus(BusNetwork):
         queue = self._queues[client_id]
         kept = [txn for txn in queue if not predicate(txn)]
         cancelled = len(queue) - len(kept)
+        if cancelled:
+            if self.chaos is not None:
+                # Close any open retry ledger entry: a cancelled demand
+                # (e.g. a read satisfied by absorbing a broadcast) will
+                # never execute, so its fault is moot.
+                for txn in queue:
+                    if txn not in kept:
+                        self.chaos.transaction_cancelled(txn, self.cycle)
+            self.stats.add("bus.cancelled", cancelled)
         queue.clear()
         queue.extend(kept)
-        if cancelled:
-            self.stats.add("bus.cancelled", cancelled)
         return cancelled
 
     def has_pending(self) -> bool:
@@ -139,6 +152,25 @@ class SharedBus(BusNetwork):
         if not requesters:
             self.stats.add("bus.idle_cycles")
             return None
+        chaos = self.chaos
+        if chaos is not None:
+            if chaos.stall_grant(self.name, self.cycle):
+                # The grant logic wedged for this cycle; the grant timer
+                # detected it and arbitration simply reruns next cycle.
+                self.stats.add("bus.stalled_cycles")
+                self.stats.add("bus.busy_cycles")
+                return None
+            requesters = [
+                client_id
+                for client_id in requesters
+                if chaos.ready(self._queues[client_id][0].serial, self.cycle)
+            ]
+            if not requesters:
+                # Every head-of-queue transaction is waiting out its
+                # parity-retry backoff window.
+                self.stats.add("bus.backoff_cycles")
+                self.stats.add("bus.busy_cycles")
+                return None
 
         txn = None
         interrupter: BusClient | None = None
@@ -165,6 +197,20 @@ class SharedBus(BusNetwork):
                 self._nack(candidate, "slave-not-ready")
                 remaining.remove(granted_id)
                 continue
+            if chaos is not None:
+                fault = chaos.transfer_fault(candidate, self.cycle)
+                if fault is not None:
+                    # The transfer went out but its parity tag failed at
+                    # the receiving end: NACK the originator (the value is
+                    # discarded, so corrupt data never lands anywhere) and
+                    # schedule the bounded backoff retry.  The corrupted
+                    # transfer still occupied the bus for this cycle.
+                    chaos.parity_failure(
+                        candidate, fault, self.cycle, self.name
+                    )
+                    self._nack(candidate, "parity-error")
+                    self.stats.add("bus.busy_cycles")
+                    return None
             interrupter = self._find_interrupter(candidate)
             if interrupter is not None and self.memory.is_locked_against(
                 candidate.address, interrupter.client_id
@@ -223,6 +269,10 @@ class SharedBus(BusNetwork):
         self.stats.add(f"bus.op.{completed.transaction.op.name.lower()}")
         if completed.transaction.is_writeback:
             self.stats.add("bus.writebacks")
+        if chaos is not None:
+            chaos.transfer_executed(
+                completed.transaction, self.cycle, self.name
+            )
         return completed
 
     def _nack(self, txn: BusTransaction, reason: str) -> None:
@@ -358,9 +408,21 @@ class SharedBus(BusNetwork):
 
     def _broadcast(self, txn: BusTransaction, value: Word) -> None:
         """Every client except the originator snoops the completed cycle."""
+        chaos = self.chaos
         for client_id, client in sorted(self._clients.items()):
-            if client_id != txn.originator:
-                client.observe_transaction(txn, value)
+            if client_id == txn.originator:
+                continue
+            if chaos is not None:
+                fault = chaos.snoop_fault(txn, client_id, self.cycle)
+                if fault is not None:
+                    # The snooper failed to absorb the broadcast; the
+                    # missing snoop-ack is caught within the cycle and the
+                    # controller redelivers (or failsafe-invalidates).
+                    chaos.recover_snoop(
+                        txn, value, client, fault, self.cycle, self.name
+                    )
+                    continue
+            client.observe_transaction(txn, value)
 
     # ------------------------------------------------------------------ #
     # reporting helpers                                                   #
@@ -382,3 +444,21 @@ class SharedBus(BusNetwork):
         """Number of transactions *client_id* has waiting."""
         queue = self._queues.get(client_id)
         return len(queue) if queue else 0
+
+    @property
+    def physical_buses(self) -> list["SharedBus"]:
+        return [self]
+
+    def pending_snapshot(self) -> list[dict[str, object]]:
+        """Queued transactions in grant order, for livelock diagnostics."""
+        return [
+            {
+                "bus": self.name,
+                "client": client_id,
+                "position": position,
+                "serial": txn.serial,
+                "txn": str(txn),
+            }
+            for client_id in sorted(self._queues)
+            for position, txn in enumerate(self._queues[client_id])
+        ]

@@ -100,6 +100,20 @@ class BusNetwork(abc.ABC):
 
     @property
     @abc.abstractmethod
+    def physical_buses(self) -> list:
+        """The concrete :class:`~repro.bus.bus.SharedBus` instances.
+
+        Lets fabric-agnostic code (the machine's chaos wiring, livelock
+        diagnostics) reach every physical bus without knowing whether it
+        is talking to one bus or an interleaved set.
+        """
+
+    @abc.abstractmethod
+    def pending_snapshot(self) -> list[dict[str, object]]:
+        """Structured dump of every queued transaction in the fabric."""
+
+    @property
+    @abc.abstractmethod
     def stats(self) -> CounterBag:
         """Fabric-wide counters.
 

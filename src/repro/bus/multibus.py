@@ -108,6 +108,16 @@ class InterleavedMultiBus(BusNetwork):
     def bus_count(self) -> int:
         return len(self.buses)
 
+    @property
+    def physical_buses(self) -> list[SharedBus]:
+        return list(self.buses)
+
+    def pending_snapshot(self) -> list[dict[str, object]]:
+        """Queued transactions across every bank, in bank order."""
+        return [
+            entry for bus in self.buses for entry in bus.pending_snapshot()
+        ]
+
     # ------------------------------------------------------------------ #
     # reporting                                                           #
     # ------------------------------------------------------------------ #

@@ -109,6 +109,11 @@ class SnoopingCache(BusClient):
         self.stats = CounterBag()
         #: Shared tracer; the machine swaps in a live one when tracing.
         self.trace = NULL_TRACER
+        #: Degraded memory-direct mode, entered via :meth:`drop_all_lines`
+        #: when the chaos watchdog retires this cache: every frame is
+        #: empty, all CPU traffic goes to memory as uncached bus
+        #: operations, and the snoop port is silent.
+        self.offline = False
         self.client_id = -1
         self._bus: BusNetwork | None = None
         self._lines = [CacheLine() for _ in range(placement.num_frames)]
@@ -168,6 +173,13 @@ class SnoopingCache(BusClient):
         """
         self._require_idle()
         self.stats.add("cache.reads")
+        if self.offline:
+            self.stats.add("cache.offline_ops")
+            self._pending = _PendingOp(
+                kind=_Kind.READ, address=address, callback=callback
+            )
+            self._issue_uncached(self._pending)
+            return False
         found = self._lookup(address)
         state, meta = self._state_meta(found)
         reaction = self.protocol.on_cpu_read(state, meta)
@@ -193,6 +205,13 @@ class SnoopingCache(BusClient):
         """Issue a CPU write of *value*; same completion contract as reads."""
         self._require_idle()
         self.stats.add("cache.writes")
+        if self.offline:
+            self.stats.add("cache.offline_ops")
+            self._pending = _PendingOp(
+                kind=_Kind.WRITE, address=address, callback=callback, value=value
+            )
+            self._issue_uncached(self._pending)
+            return False
         found = self._lookup(address)
         state, meta = self._state_meta(found)
         reaction = self.protocol.on_cpu_write(state, meta)
@@ -245,6 +264,10 @@ class SnoopingCache(BusClient):
         self._pending = _PendingOp(
             kind=_Kind.TS, address=address, callback=callback, value=new_value
         )
+        if self.offline:
+            self.stats.add("cache.offline_ops")
+            self._issue_uncached(self._pending)
+            return False
         found = self._lookup(address)
         if found is not None and self.protocol.needs_writeback(found[1].state):
             # Memory must hold our dirty value before the locked read, or
@@ -283,6 +306,10 @@ class SnoopingCache(BusClient):
         self._pending = _PendingOp(
             kind=_Kind.FAA, address=address, callback=callback, value=delta
         )
+        if self.offline:
+            self.stats.add("cache.offline_ops")
+            self._issue_uncached(self._pending)
+            return False
         found = self._lookup(address)
         if found is not None and self.protocol.needs_writeback(found[1].state):
             self._queue_writeback(found[0], found[1], _WritebackPurpose.FLUSH)
@@ -370,6 +397,35 @@ class SnoopingCache(BusClient):
         pending.demand_serial = txn.serial
         self._request(txn)
 
+    def _issue_uncached(self, pending: _PendingOp) -> None:
+        """Degraded-mode demand: go straight to memory, touching no frame.
+
+        Reads become plain bus reads, writes become write-throughs, and
+        the locked read-modify-write pair works unchanged (it never
+        referenced the cached copy anyway — Section 6).
+        """
+        pending.awaiting_writeback = False
+        if pending.kind in (_Kind.TS, _Kind.FAA):
+            pending.ts_phase = 1
+            txn = BusTransaction(
+                op=BusOp.READ_LOCK,
+                address=pending.address,
+                originator=self.client_id,
+            )
+        elif pending.kind is _Kind.READ:
+            txn = BusTransaction(
+                op=BusOp.READ, address=pending.address, originator=self.client_id
+            )
+        else:
+            txn = BusTransaction(
+                op=BusOp.WRITE,
+                address=pending.address,
+                originator=self.client_id,
+                value=pending.value,
+            )
+        pending.demand_serial = txn.serial
+        self._request(txn)
+
     def _queue_writeback(
         self, frame: int, line: CacheLine, purpose: _WritebackPurpose
     ) -> None:
@@ -393,7 +449,7 @@ class SnoopingCache(BusClient):
     # ------------------------------------------------------------------ #
 
     def snoop_wants_interrupt(self, txn: BusTransaction) -> bool:
-        if not txn.op.is_read_like:
+        if self.offline or not txn.op.is_read_like:
             return False
         found = self._lookup(txn.address)
         if found is None:
@@ -424,7 +480,7 @@ class SnoopingCache(BusClient):
         return supply
 
     def observe_transaction(self, txn: BusTransaction, value: Word) -> None:
-        if txn.op is BusOp.UNLOCK:
+        if self.offline or txn.op is BusOp.UNLOCK:
             return
         found = self._lookup(txn.address)
         if found is None:
@@ -504,6 +560,9 @@ class SnoopingCache(BusClient):
         if pending.kind in (_Kind.TS, _Kind.FAA):
             self._ts_phase_complete(pending, txn, value)
             return
+        if self.offline:
+            self._offline_complete(pending, txn, value)
+            return
         found = self._lookup(pending.address)
         if found is None:
             raise CacheError(
@@ -544,23 +603,45 @@ class SnoopingCache(BusClient):
         self._pending = None
         pending.callback(pending.value)
 
+    def _offline_complete(
+        self, pending: _PendingOp, txn: BusTransaction, value: Word
+    ) -> None:
+        """Finish a CPU read/write in degraded memory-direct mode.
+
+        Also mops up demands issued *before* the cache went offline: a
+        write whose demand completed as a fill (or an RWB Bus-Invalidate)
+        never deposited its value, so it is chased with an uncached
+        write-through against the now-empty cache.
+        """
+        if pending.kind is _Kind.READ:
+            self._pending = None
+            pending.callback(value)
+            return
+        if txn.op.is_write_like:
+            self._pending = None
+            pending.callback(pending.value)
+            return
+        self._issue_uncached(pending)
+
     def _ts_phase_complete(
         self, pending: _PendingOp, txn: BusTransaction, value: Word
     ) -> None:
         found = self._lookup(pending.address)
-        if found is None:
+        if found is None and not self.offline:
             raise CacheError(f"{self.name}: test-and-set line vanished")
-        _, line = found
-        self._touch(line)
+        line = found[1] if found is not None else None
+        if line is not None:
+            self._touch(line)
         if pending.ts_phase == 1:
             if txn.op is not BusOp.READ_LOCK:
                 raise CacheError(f"{self.name}: expected read-lock, got {txn}")
             pending.ts_old_value = value
-            before = line.state
-            line.value = value
-            line.state, line.meta = self.protocol.state_after_ts_fail()
-            if self.trace.enabled:
-                self._emit_line(pending.address, before, line, "ts-fail")
+            if line is not None:
+                before = line.state
+                line.value = value
+                line.state, line.meta = self.protocol.state_after_ts_fail()
+                if self.trace.enabled:
+                    self._emit_line(pending.address, before, line, "ts-fail")
             pending.ts_phase = 2
             if pending.kind is _Kind.FAA:
                 # Fetch-and-add always stores old + delta.
@@ -588,11 +669,13 @@ class SnoopingCache(BusClient):
             return
         primitive = "ts" if pending.kind is _Kind.TS else "faa"
         if txn.op is BusOp.WRITE_UNLOCK:
-            before = line.state
-            line.state, line.meta = self.protocol.state_after_ts_success()
-            line.value = txn.value
+            if line is not None:
+                before = line.state
+                line.state, line.meta = self.protocol.state_after_ts_success()
+                line.value = txn.value
+                if self.trace.enabled:
+                    self._emit_line(pending.address, before, line, "ts-success")
             if self.trace.enabled:
-                self._emit_line(pending.address, before, line, "ts-success")
                 self.trace.emit(
                     SyncOp(
                         cycle=self.trace.cycle,
@@ -685,6 +768,90 @@ class SnoopingCache(BusClient):
                 meta=0,
             )
         )
+
+    # ------------------------------------------------------------------ #
+    # chaos recovery hooks                                                #
+    # ------------------------------------------------------------------ #
+
+    def force_invalidate(self, address: Address) -> None:
+        """Failsafe recovery: drop this cache's copy of *address*.
+
+        Called by the chaos controller when broadcast redelivery to this
+        cache is exhausted.  Whatever the missed broadcast would have done
+        to the line, an absent (or Invalid) copy can never serve stale
+        data.  Queued write-backs of the address are cancelled first —
+        their value may have been superseded by the missed broadcast.
+        """
+        self._cancel_redundant_writebacks(address)
+        found = self._lookup(address)
+        if found is None:
+            return
+        _, line = found
+        before = line.state
+        pending = self._pending
+        if (
+            pending is not None
+            and pending.address == address
+            and pending.demand_serial is not None
+        ):
+            # The frame is mid-fill for an outstanding demand: keep it
+            # reserved but demote it to Invalid so nothing can hit it
+            # before the fill lands.
+            line.state = LineState.INVALID
+            line.meta = 0
+        else:
+            line.release()
+        self.stats.add("cache.forced_invalidations")
+        if self.trace.enabled:
+            self._emit_line(address, before, line, "chaos-failsafe-invalidate")
+
+    def drop_all_lines(self) -> tuple[list[tuple[Address, Word]], int]:
+        """Enter degraded memory-direct mode; empty every frame.
+
+        Returns ``(dirty, total)``: the ``(address, value)`` pairs whose
+        lines held the latest value (the caller must deposit them in
+        memory, or the latest-value invariant dies with the cache) and the
+        number of frames that were occupied.  Queued write-backs are
+        cancelled — the returned dirty values supersede them.
+        """
+        self.offline = True
+        if self._writebacks:
+            serials = set(self._writebacks)
+            self._bus_fabric().cancel(
+                self.client_id, lambda queued: queued.serial in serials
+            )
+            self._writebacks.clear()
+        dirty: list[tuple[Address, Word]] = []
+        total = 0
+        for line in self._lines:
+            if not line.occupied:
+                continue
+            total += 1
+            if line.address is not None and self.protocol.needs_writeback(
+                line.state
+            ):
+                dirty.append((line.address, line.value))
+            line.release()
+        pending = self._pending
+        if pending is not None and pending.awaiting_writeback:
+            # The demand was gated on a write-back that no longer exists;
+            # reissue it uncached so the PE is not wedged forever.
+            self._issue_uncached(pending)
+        return dirty, total
+
+    def describe_pending(self) -> dict[str, object] | None:
+        """Structured view of the outstanding CPU op, for livelock
+        diagnostics (``None`` when the CPU port is idle)."""
+        pending = self._pending
+        if pending is None:
+            return None
+        return {
+            "kind": pending.kind.value,
+            "address": pending.address,
+            "ts_phase": pending.ts_phase,
+            "awaiting_writeback": pending.awaiting_writeback,
+            "demand_serial": pending.demand_serial,
+        }
 
     # ------------------------------------------------------------------ #
     # helpers                                                             #

@@ -37,3 +37,27 @@ class ProgramError(ReproError):
 
 class VerificationError(ReproError):
     """The model checker or trace checker found a consistency violation."""
+
+
+class LivelockError(ReproError):
+    """The machine failed to make progress within its cycle budget.
+
+    Carries a structured diagnostic ``snapshot`` (per-PE state, pending
+    bus transactions, recent trace events when tracing is on) so a wedged
+    simulation can be debugged from the exception alone.
+    """
+
+    def __init__(self, message: str, snapshot: dict | None = None) -> None:
+        super().__init__(message)
+        #: Structured diagnostics; see ``Machine.livelock_snapshot``.
+        self.snapshot: dict = snapshot or {}
+
+
+class UnrecoverableFaultError(ReproError):
+    """An injected fault exhausted its recovery budget.
+
+    Raised by the chaos layer when a parity-detected corruption outlives
+    its bounded retry/backoff schedule (the declared-failure ceiling).
+    This is the *declared* failure mode: the machine stops with an
+    explicit verdict instead of running on with corrupt state.
+    """

@@ -21,6 +21,14 @@ Address = int
 #: A single word of data stored in memory or a cache line.
 Word = int
 
+#: Width of a machine word in bits.  Word values are plain Python ints, so
+#: nothing overflows; the width only matters where physical bit patterns
+#: do — fault-injection masks and parity modelling.
+WORD_BITS = 32
+
+#: All-ones bit pattern of one machine word.
+WORD_MASK = (1 << WORD_BITS) - 1
+
 
 class AccessType(enum.Enum):
     """The kinds of references a processing element can make.

@@ -1,0 +1,156 @@
+"""Chaos soak: faults must end recovered or declared, never silent.
+
+One sweep point per (workload, protocol) pair; each point runs a ladder of
+seeded fault schedules (cycling the light/medium/heavy intensity tiers of
+:mod:`repro.reliability.soak`) with the online coherence checker watching,
+and classifies every run as ``completed`` / ``declared-failure`` /
+``declared-livelock`` / ``mismatch``.  A ``mismatch`` — wrong final data,
+a checker violation, or an unresolved fault-ledger entry — fails the point:
+it means a fault slipped past detection and recovery silently, the one
+thing the chaos engine must never allow.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import harness
+from repro.reliability.soak import (
+    ROW_HEADERS,
+    WORKLOADS,
+    run_chaos_soak,
+)
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
+
+#: Default soak grid.
+DEFAULT_PROTOCOLS = ("rb", "rwb")
+DEFAULT_SCHEDULES = 20
+
+
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """Sweep task: soak one (workload, protocol) over the schedule ladder."""
+    workload = point.params["workload"]
+    protocol = point.params["protocol"]
+    schedules = point.params["schedules"]
+    report = run_chaos_soak(
+        protocols=(protocol,),
+        workloads=(workload,),
+        schedules=schedules,
+        base_seed=point.seed or 0,
+        online_check=True,
+    )
+    counts = report.counts
+    return {
+        "metrics": {
+            "runs": len(report.outcomes),
+            "completed": counts.get("completed", 0),
+            "declared_failure": counts.get("declared-failure", 0),
+            "declared_livelock": counts.get("declared-livelock", 0),
+            "silent_corruptions": len(report.silent_corruptions),
+            "faults_injected": report.total_injected,
+            "faults_detected": sum(o.detected for o in report.outcomes),
+            "caches_offlined": sum(o.offlined for o in report.outcomes),
+        },
+        "tables": [
+            {
+                "title": f"Chaos soak: {workload} under {protocol}",
+                "headers": list(ROW_HEADERS),
+                "rows": [outcome.row() for outcome in report.outcomes],
+                "finding": report.summary(),
+            }
+        ],
+        "mismatches": [
+            f"{o.workload}/{o.protocol} schedule {o.schedule} "
+            f"({o.intensity}): silent corruption — {o.detail}"
+            for o in report.silent_corruptions
+        ],
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+    workloads: tuple[str, ...] | None = None,
+    schedules: int = DEFAULT_SCHEDULES,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
+) -> ExperimentResult:
+    """Soak every (workload, protocol) pair under randomized fault schedules.
+
+    Args:
+        workers: worker processes (``1`` = fully in-process).
+        protocols: coherence protocols to soak.
+        workloads: :data:`~repro.reliability.soak.WORKLOADS` names
+            (default: all of them).
+        schedules: seeded fault schedules per point.
+        timeout_seconds: per-point wall-clock budget (parallel runs).
+        retries: extra attempts for crashed/timed-out workers.
+        progress: per-point completion callback.
+        trace_dir: per-point JSONL trace directory (the soak machines
+            additionally always run the online checker, regardless of
+            *online_check*).
+    """
+    chosen = tuple(WORKLOADS) if workloads is None else tuple(workloads)
+    unknown = sorted(set(chosen) - set(WORKLOADS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown workload(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(WORKLOADS)}"
+        )
+    if schedules < 1:
+        raise ConfigurationError(f"need >= 1 schedule, got {schedules}")
+    points = [
+        SweepPoint(
+            name=f"{workload}/{protocol}",
+            params={
+                "workload": workload,
+                "protocol": protocol,
+                "schedules": schedules,
+            },
+        )
+        for workload in chosen
+        for protocol in protocols
+    ]
+    results, provenance = harness.execute(
+        "chaos",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
+    )
+    total_runs = sum(r.metrics.get("runs", 0) for r in results)
+    silent = sum(r.metrics.get("silent_corruptions", 0) for r in results)
+    return harness.assemble(
+        "chaos",
+        sys.modules[__name__],
+        results,
+        provenance,
+        derived={
+            "total_runs": total_runs,
+            "silent_corruptions": silent,
+            "schedules_per_point": schedules,
+        },
+    )
+
+
+def main() -> None:
+    """Print the soak report."""
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(run()))
+
+
+if __name__ == "__main__":
+    main()

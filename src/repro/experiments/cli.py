@@ -18,6 +18,7 @@ from types import ModuleType
 from repro.analysis.report import render_experiment
 from repro.experiments import (
     ablations,
+    chaos_soak,
     extensions,
     figure_3_1,
     figure_5_1,
@@ -41,6 +42,7 @@ TARGETS: dict[str, ModuleType] = {
     "figure-7-1": figure_7_1,
     "ablations": ablations,
     "extensions": extensions,
+    "chaos": chaos_soak,
 }
 
 

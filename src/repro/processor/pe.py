@@ -32,6 +32,11 @@ class Driver(abc.ABC):
         self._waiting = False
 
     @property
+    def waiting(self) -> bool:
+        """Whether the driver is stalled on an outstanding cache operation."""
+        return self._waiting
+
+    @property
     @abc.abstractmethod
     def done(self) -> bool:
         """Whether this driver has no more work (halted / stream drained)."""

@@ -4,26 +4,65 @@
 Section 5 observes that RWB "allows for a more robust memory management;
 if the value of a variable is corrupted while in memory or in some cache,
 there is a higher probability that some cache contains a correct copy."
-This package makes that claim measurable:
+This package makes that claim measurable, and goes one step further with
+a *live* fault model:
 
 * :mod:`repro.reliability.faults` — inject single-word corruptions into
-  memory or a cache line;
+  memory or a cache line (post-mortem, machine paused);
 * :mod:`repro.reliability.scavenger` — recover a corrupted word from the
   surviving replicas, using the protocol states to rank trustworthiness;
 * :mod:`repro.reliability.experiment` — workload-driven recoverability
   measurement comparing the schemes (RWB keeps more live replicas, so
-  more corruptions are recoverable).
+  more corruptions are recoverable);
+* :mod:`repro.reliability.chaos` — in-flight fault injection with paired
+  detection (parity, snoop-ack, grant-timer) and recovery (bounded
+  retry/backoff, snoop redelivery, failsafe invalidate, degraded
+  memory-direct mode);
+* :mod:`repro.reliability.soak` — the chaos soak harness that drives
+  real workloads under randomized fault schedules with the online
+  coherence checker as oracle.
+
+Exports resolve lazily so that low-level modules (``system.config``,
+``system.machine``) can import :mod:`repro.reliability.chaos` without
+pulling :mod:`repro.reliability.experiment` — which itself imports the
+system layer — into a circular import.
 """
 
-from repro.reliability.experiment import RecoverabilityResult, run_recoverability
-from repro.reliability.faults import FaultInjector, InjectedFault
-from repro.reliability.scavenger import RecoveryOutcome, scavenge
+from typing import Any
 
-__all__ = [
-    "FaultInjector",
-    "InjectedFault",
-    "RecoverabilityResult",
-    "RecoveryOutcome",
-    "run_recoverability",
-    "scavenge",
-]
+_EXPORTS = {
+    "ChaosConfig": "repro.reliability.chaos",
+    "ChaosController": "repro.reliability.chaos",
+    "FaultRecord": "repro.reliability.chaos",
+    "ScriptedFault": "repro.reliability.chaos",
+    "FaultInjector": "repro.reliability.faults",
+    "InjectedFault": "repro.reliability.faults",
+    "RecoverabilityResult": "repro.reliability.experiment",
+    "run_recoverability": "repro.reliability.experiment",
+    "RecoveryOutcome": "repro.reliability.scavenger",
+    "scavenge": "repro.reliability.scavenger",
+    "SoakOutcome": "repro.reliability.soak",
+    "SoakReport": "repro.reliability.soak",
+    "run_chaos_soak": "repro.reliability.soak",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,627 @@
+"""Live fault injection with detection, retry/backoff and degraded recovery.
+
+Where :mod:`repro.reliability.faults` corrupts state *after* a run (the
+static recoverability study), this module attacks the machine *while it
+executes*: the :class:`ChaosController` rides the bus fabric and fires
+seeded in-flight faults — corrupted data transfers, dropped snoop
+absorptions, lost Bus-Invalidate signals, transient memory read errors,
+wedged arbiter grants — at per-cycle rates or scripted instants.
+
+Every fault class is paired with a detection + recovery mechanism, so an
+injected fault can never silently corrupt state:
+
+* **corrupt-transfer / memory-read-error** — every bus transfer and memory
+  word carries a parity tag; a corrupted transfer fails the parity check
+  at the receiving end, the transaction is NACKed (``"parity-error"``) and
+  retried under exponential backoff.  Exhausting the retry ceiling raises
+  :class:`~repro.common.errors.UnrecoverableFaultError` — a *declared*
+  failure, never a wrong value.
+* **drop-snoop / lose-invalidate** — every snooper must acknowledge a
+  broadcast within the bus cycle (the paper's assumption 5 makes the
+  window well-defined); a missing ack is detected immediately and the
+  broadcast is re-delivered.  If redelivery is exhausted the snooper's
+  copy is failsafe-invalidated (an Invalid line can never serve stale
+  data) and the cache earns a watchdog strike; enough strikes and the
+  cache is **offlined into degraded memory-direct mode** — dirty lines
+  flushed to memory, every frame invalidated, its PE continuing uncached.
+* **arbiter-stall** — a grant timer notices a cycle where requests were
+  pending but nothing was granted; recovery is re-arbitration on the next
+  cycle (a persistent stall trips the machine's livelock guard, again a
+  declared state).
+
+All decisions come from per-fault-class streams of a
+:class:`~repro.common.rng.DeterministicRng` derived from one seed, so a
+chaos schedule replays bit-identically.  A machine built without a chaos
+config takes no RNG draws and executes the exact pre-chaos paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError, UnrecoverableFaultError
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.stats import CounterBag
+from repro.trace.events import (
+    CacheOfflined,
+    FaultDetected,
+    FaultInjected,
+    RecoveryAction,
+)
+from repro.trace.sink import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bus.transaction import BusTransaction
+    from repro.cache.cache import SnoopingCache
+    from repro.memory.main_memory import MainMemory
+
+#: The five injectable fault classes.
+FAULT_KINDS = (
+    "corrupt-transfer",
+    "memory-read-error",
+    "drop-snoop",
+    "lose-invalidate",
+    "arbiter-stall",
+)
+
+@dataclass(frozen=True, slots=True)
+class ScriptedFault:
+    """One fault scheduled at a specific instant.
+
+    Fires at the first matching opportunity at or after ``cycle`` (a
+    scripted bus-transfer corruption needs a granted transfer to corrupt),
+    then never again.  ``target`` narrows snoop faults to one bus-client
+    id; ``None`` matches any snooper.
+    """
+
+    cycle: int
+    fault: str
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.fault!r}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        if self.cycle < 0:
+            raise ConfigurationError(f"cycle must be >= 0, got {self.cycle}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible snapshot."""
+        return {"cycle": self.cycle, "fault": self.fault, "target": self.target}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScriptedFault":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        return cls(
+            cycle=data["cycle"],
+            fault=data["fault"],
+            target=data.get("target"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Shape of one chaos schedule: rates, script and recovery budgets.
+
+    Attributes:
+        corrupt_transfer_rate: per-granted-transaction probability that
+            the data transfer is corrupted in flight.
+        memory_read_error_rate: extra per-read-like-transaction
+            probability of a transient memory word upset.
+        drop_snoop_rate: per-(broadcast, snooper) probability that the
+            snooper fails to absorb the broadcast.
+        lose_invalidate_rate: same, but only for Bus-Invalidate signals
+            (accounted as its own fault class: a lost BI attacks the
+            configuration lemma directly).
+        arbiter_stall_rate: per-busy-cycle probability that the grant
+            logic wedges for the cycle.
+        scripted: exact fault instants on top of the rates.
+        seed: chaos RNG seed; 0 derives one from the machine seed.
+        max_transfer_retries: parity-NACK retries granted to one bus
+            transfer before the failure is declared.
+        memory_retry_ceiling: same ceiling for memory read errors.
+        backoff_base_cycles / backoff_cap_cycles: exponential retry
+            backoff schedule (``base * 2**(attempt-1)``, capped).
+        snoop_retry_limit: redelivery attempts for a dropped broadcast
+            before the failsafe invalidate.
+        watchdog_threshold: failsafe-invalidate strikes after which a
+            cache is offlined into degraded memory-direct mode.
+    """
+
+    corrupt_transfer_rate: float = 0.0
+    memory_read_error_rate: float = 0.0
+    drop_snoop_rate: float = 0.0
+    lose_invalidate_rate: float = 0.0
+    arbiter_stall_rate: float = 0.0
+    scripted: tuple[ScriptedFault, ...] = ()
+    seed: int = 0
+    max_transfer_retries: int = 8
+    memory_retry_ceiling: int = 8
+    backoff_base_cycles: int = 1
+    backoff_cap_cycles: int = 64
+    snoop_retry_limit: int = 3
+    watchdog_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scripted, tuple):
+            object.__setattr__(self, "scripted", tuple(self.scripted))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this schedule can fire anything at all."""
+        return bool(self.scripted) or any(
+            rate > 0.0 for rate in self._rates().values()
+        )
+
+    def _rates(self) -> dict[str, float]:
+        return {
+            "corrupt-transfer": self.corrupt_transfer_rate,
+            "memory-read-error": self.memory_read_error_rate,
+            "drop-snoop": self.drop_snoop_rate,
+            "lose-invalidate": self.lose_invalidate_rate,
+            "arbiter-stall": self.arbiter_stall_rate,
+        }
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on structurally bad settings."""
+        for name, rate in self._rates().items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} rate {rate} not in [0, 1]"
+                )
+        for name in (
+            "max_transfer_retries",
+            "memory_retry_ceiling",
+            "backoff_base_cycles",
+            "backoff_cap_cycles",
+            "snoop_retry_limit",
+            "watchdog_threshold",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if self.backoff_cap_cycles < self.backoff_base_cycles:
+            raise ConfigurationError(
+                f"backoff_cap_cycles ({self.backoff_cap_cycles}) must be >= "
+                f"backoff_base_cycles ({self.backoff_base_cycles})"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot that round-trips via :meth:`from_dict`."""
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "scripted":
+                value = [fault.to_dict() for fault in value]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosConfig":
+        """Rebuild a validated config from a :meth:`to_dict` snapshot."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ChaosConfig field(s) {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "scripted" in kwargs:
+            kwargs["scripted"] = tuple(
+                fault
+                if isinstance(fault, ScriptedFault)
+                else ScriptedFault.from_dict(fault)
+                for fault in kwargs["scripted"]
+            )
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
+
+@dataclass(slots=True)
+class FaultRecord:
+    """Ledger entry for one injected fault (the soak harness's oracle).
+
+    ``resolution`` is ``None`` while recovery is in flight, else one of
+    ``"recovered"``, ``"failsafe-invalidated"``, ``"offlined"``,
+    ``"declared-failure"``, ``"re-arbitrated"``.
+    """
+
+    fault: str
+    cycle: int
+    target: str
+    address: int
+    detected_by: str | None = None
+    resolution: str | None = None
+    attempts: int = 0
+
+
+class ChaosController:
+    """Decides, injects, detects and recovers faults for one machine.
+
+    Built by :class:`~repro.system.machine.Machine` when its config
+    carries a :class:`ChaosConfig`; the machine hands the controller to
+    every physical bus, which consults it at the injection points.
+
+    Args:
+        config: the chaos schedule.
+        seed: RNG seed (the machine passes ``config.seed`` or a derived
+            one when that is 0).
+        tracer: the machine's tracer; fault/recovery events go through it.
+    """
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        *,
+        seed: int,
+        tracer: Tracer | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.tracer = tracer or NULL_TRACER
+        self.stats = CounterBag()
+        self.records: list[FaultRecord] = []
+        self._rates = config._rates()
+        self._rngs = {
+            kind: DeterministicRng(derive_seed(seed, "chaos", kind))
+            for kind in FAULT_KINDS
+        }
+        self._unfired = list(config.scripted)
+        #: txn serial -> parity-retry attempts consumed so far.
+        self._attempts: dict[int, int] = {}
+        #: txn serial -> (earliest retry cycle, open ledger record).
+        self._retry_at: dict[int, tuple[int, FaultRecord]] = {}
+        #: bus-client id -> watchdog strikes accumulated.
+        self._strikes: dict[int, int] = {}
+        self._caches: Sequence["SnoopingCache"] = ()
+        self._memory: "MainMemory | None" = None
+
+    def bind(
+        self, caches: Sequence["SnoopingCache"], memory: "MainMemory"
+    ) -> None:
+        """Attach the machine's caches and memory (for offline recovery)."""
+        self._caches = caches
+        self._memory = memory
+
+    # ------------------------------------------------------------------ #
+    # fault decisions                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _fires(self, kind: str, cycle: int, target: int | None = None) -> bool:
+        """Whether fault *kind* fires now (scripted instant or rate draw)."""
+        for index, scripted in enumerate(self._unfired):
+            if (
+                scripted.fault == kind
+                and scripted.cycle <= cycle
+                and (scripted.target is None or scripted.target == target)
+            ):
+                del self._unfired[index]
+                return True
+        rate = self._rates[kind]
+        return rate > 0.0 and self._rngs[kind].chance(rate)
+
+    def stall_grant(self, bus_name: str, cycle: int) -> bool:
+        """Arbiter-stall decision for one busy bus cycle.
+
+        Injection, detection (grant timer) and recovery (re-arbitrate on
+        the next cycle) all resolve within the call.
+        """
+        if not self._fires("arbiter-stall", cycle):
+            return False
+        record = self._open(
+            "arbiter-stall", cycle, bus_name, 0, "grant withheld", bus=bus_name
+        )
+        self._detect(record, "grant-timer", cycle)
+        self._resolve(record, "re-arbitrated", cycle, action="re-arbitrate")
+        return True
+
+    def transfer_fault(self, txn: "BusTransaction", cycle: int) -> str | None:
+        """Which parity-detectable fault (if any) hits this granted transfer."""
+        if txn.op.is_read_like and self._fires(
+            "memory-read-error", cycle
+        ):
+            return "memory-read-error"
+        if txn.op.value in ("BR", "BW", "BRL", "BWU") and self._fires(
+            "corrupt-transfer", cycle
+        ):
+            return "corrupt-transfer"
+        return None
+
+    def snoop_fault(
+        self, txn: "BusTransaction", target: int, cycle: int
+    ) -> str | None:
+        """Which snoop-side fault (if any) hits this (broadcast, snooper)."""
+        if txn.op.value == "BI" and self._fires(
+            "lose-invalidate", cycle, target
+        ):
+            return "lose-invalidate"
+        if self._fires("drop-snoop", cycle, target):
+            return "drop-snoop"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # parity path: NACK + bounded retry with backoff                      #
+    # ------------------------------------------------------------------ #
+
+    def ready(self, serial: int, cycle: int) -> bool:
+        """Whether a queued transaction's retry backoff has elapsed."""
+        entry = self._retry_at.get(serial)
+        return entry is None or cycle >= entry[0]
+
+    def parity_failure(
+        self, txn: "BusTransaction", fault: str, cycle: int, bus_name: str
+    ) -> int:
+        """Record a parity-detected corruption of *txn*'s transfer.
+
+        Returns the cycle the transfer may retry at (exponential backoff).
+
+        Raises:
+            UnrecoverableFaultError: the retry ceiling for this fault
+                class is exhausted (the declared-failure path).
+        """
+        attempts = self._attempts.get(txn.serial, 0) + 1
+        self._attempts[txn.serial] = attempts
+        previous = self._retry_at.pop(txn.serial, None)
+        if previous is not None and previous[1].resolution is None:
+            # The retried transfer was corrupted again; the earlier
+            # record's recovery attempt failed but the new record
+            # supersedes it on the ledger.
+            previous[1].resolution = "recovered"
+        record = self._open(
+            fault, cycle, f"client{txn.originator}", txn.address, str(txn),
+            bus=bus_name,
+        )
+        record.attempts = attempts
+        self._detect(record, "parity", cycle)
+        ceiling = (
+            self.config.memory_retry_ceiling
+            if fault == "memory-read-error"
+            else self.config.max_transfer_retries
+        )
+        if attempts > ceiling:
+            self._resolve(record, "declared-failure", cycle,
+                          action="declare-failure",
+                          detail=f"after {attempts - 1} retries")
+            raise UnrecoverableFaultError(
+                f"{fault} on {txn} persisted past the declared-failure "
+                f"ceiling ({ceiling} retries) at cycle {cycle}"
+            )
+        backoff = min(
+            self.config.backoff_cap_cycles,
+            self.config.backoff_base_cycles * (1 << (attempts - 1)),
+        )
+        retry_at = cycle + backoff
+        self._retry_at[txn.serial] = (retry_at, record)
+        self._emit(
+            RecoveryAction(
+                cycle=cycle,
+                fault=fault,
+                action="retry-backoff",
+                target=record.target,
+                address=txn.address,
+                attempt=attempts,
+                detail=f"retry at cycle {retry_at}",
+            )
+        )
+        return retry_at
+
+    def transaction_cancelled(self, txn: "BusTransaction", cycle: int) -> None:
+        """A queued transaction was cancelled before its retry could run.
+
+        Happens when a parity-NACKed demand read is satisfied early by
+        absorbing another cache's broadcast: the fault is moot, so its
+        ledger entry closes as recovered.
+        """
+        self._attempts.pop(txn.serial, None)
+        entry = self._retry_at.pop(txn.serial, None)
+        if entry is None:
+            return
+        self._resolve(
+            entry[1],
+            "recovered",
+            cycle,
+            action="retry-cancelled",
+            detail="demand satisfied without the bus",
+        )
+
+    def transfer_executed(
+        self, txn: "BusTransaction", cycle: int, bus_name: str
+    ) -> None:
+        """A transfer executed clean; close any open retry ledger entry."""
+        attempts = self._attempts.pop(txn.serial, None)
+        entry = self._retry_at.pop(txn.serial, None)
+        if attempts is None or entry is None:
+            return
+        record = entry[1]
+        self._resolve(record, "recovered", cycle, action="retry-success",
+                      attempt=attempts)
+
+    # ------------------------------------------------------------------ #
+    # snoop path: redelivery, failsafe invalidate, watchdog               #
+    # ------------------------------------------------------------------ #
+
+    def recover_snoop(
+        self,
+        txn: "BusTransaction",
+        value: int,
+        client: "SnoopingCache",
+        fault: str,
+        cycle: int,
+        bus_name: str,
+    ) -> None:
+        """Detect and recover one dropped broadcast for one snooper.
+
+        The missing snoop-ack is detected within the cycle; the broadcast
+        is re-delivered up to ``snoop_retry_limit`` times (each redelivery
+        can itself fail at the fault's rate).  Exhausted redelivery falls
+        back to a failsafe invalidate of the snooper's copy — an Invalid
+        line can never satisfy a CPU read, so staleness is impossible —
+        and a watchdog strike; ``watchdog_threshold`` strikes offline the
+        cache into degraded memory-direct mode.
+        """
+        target_name = getattr(client, "name", f"client{client.client_id}")
+        record = self._open(
+            fault, cycle, target_name, txn.address, str(txn), bus=bus_name
+        )
+        self._detect(record, "snoop-ack", cycle)
+        rng = self._rngs[fault]
+        rate = self._rates[fault]
+        for attempt in range(1, self.config.snoop_retry_limit + 1):
+            record.attempts = attempt
+            if rate >= 1.0 or (rate > 0.0 and rng.chance(rate)):
+                continue  # this redelivery was lost as well
+            client.observe_transaction(txn, value)
+            self._resolve(record, "recovered", cycle,
+                          action="snoop-redelivery", attempt=attempt)
+            return
+        forced = getattr(client, "force_invalidate", None)
+        if forced is None:
+            # Not an offlinable cache (e.g. a hierarchy adapter): deliver
+            # on the guaranteed final retry rather than risk staleness.
+            client.observe_transaction(txn, value)
+            self._resolve(record, "recovered", cycle,
+                          action="snoop-redelivery",
+                          attempt=self.config.snoop_retry_limit)
+            return
+        forced(txn.address)
+        self.stats.add("chaos.failsafe_invalidates")
+        self._resolve(record, "failsafe-invalidated", cycle,
+                      action="failsafe-invalidate",
+                      attempt=self.config.snoop_retry_limit)
+        strikes = self._strikes.get(client.client_id, 0) + 1
+        self._strikes[client.client_id] = strikes
+        if strikes >= self.config.watchdog_threshold and not client.offline:
+            self.offline_cache(
+                client, cycle,
+                reason=f"{strikes} unrecovered snoop failures",
+            )
+
+    def offline_cache(
+        self, cache: "SnoopingCache", cycle: int, reason: str
+    ) -> None:
+        """Retire *cache* into degraded memory-direct mode.
+
+        Dirty lines are flushed straight to memory over the maintenance
+        path (a dirty holder's copy *is* the latest value, so the flush
+        preserves the latest-value invariant), every frame is invalidated,
+        and the cache answers all further CPU traffic with uncached bus
+        operations.
+        """
+        dirty, total = cache.drop_all_lines()
+        for address, value in dirty:
+            if self._memory is not None:
+                self._memory.poke(address, value)
+            self._emit(
+                RecoveryAction(
+                    cycle=cycle,
+                    fault="drop-snoop",
+                    action="flush-on-offline",
+                    target=cache.name,
+                    address=address,
+                    attempt=0,
+                    detail=f"saved dirty value {value}",
+                )
+            )
+        cache.offline = True
+        self.stats.add("chaos.caches_offlined")
+        self._emit(
+            CacheOfflined(
+                cycle=cycle,
+                cache=cache.name,
+                flushed=len(dirty),
+                invalidated=total,
+                reason=reason,
+            )
+        )
+        for record in self.records:
+            if record.target == cache.name and record.resolution is None:
+                record.resolution = "offlined"
+
+    # ------------------------------------------------------------------ #
+    # ledger and reporting                                                #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def offlined_caches(self) -> list[str]:
+        """Names of caches retired into degraded mode."""
+        return [cache.name for cache in self._caches if cache.offline]
+
+    def unresolved(self) -> list[FaultRecord]:
+        """Ledger entries still awaiting recovery (empty after a clean
+        drain: every fault was recovered, degraded or declared)."""
+        return [r for r in self.records if r.resolution is None]
+
+    def _open(
+        self,
+        fault: str,
+        cycle: int,
+        target: str,
+        address: int,
+        detail: str,
+        *,
+        bus: str = "",
+    ) -> FaultRecord:
+        record = FaultRecord(
+            fault=fault, cycle=cycle, target=target, address=address
+        )
+        self.records.append(record)
+        self.stats.add(f"chaos.injected.{fault}")
+        self.stats.add("chaos.injected")
+        self._emit(
+            FaultInjected(
+                cycle=cycle,
+                fault=fault,
+                bus=bus,
+                target=target,
+                address=address,
+                detail=detail,
+            )
+        )
+        return record
+
+    def _detect(self, record: FaultRecord, mechanism: str, cycle: int) -> None:
+        record.detected_by = mechanism
+        self.stats.add(f"chaos.detected.{record.fault}")
+        self.stats.add("chaos.detected")
+        self._emit(
+            FaultDetected(
+                cycle=cycle,
+                fault=record.fault,
+                mechanism=mechanism,
+                target=record.target,
+                address=record.address,
+            )
+        )
+
+    def _resolve(
+        self,
+        record: FaultRecord,
+        resolution: str,
+        cycle: int,
+        *,
+        action: str,
+        attempt: int | None = None,
+        detail: str = "",
+    ) -> None:
+        record.resolution = resolution
+        self.stats.add(f"chaos.resolved.{resolution}")
+        self._emit(
+            RecoveryAction(
+                cycle=cycle,
+                fault=record.fault,
+                action=action,
+                target=record.target,
+                address=record.address,
+                attempt=attempt if attempt is not None else record.attempts,
+                detail=detail,
+            )
+        )
+
+    def _emit(self, event) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(event)

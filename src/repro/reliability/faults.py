@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
-from repro.common.types import Address, Word
+from repro.common.types import WORD_MASK, Address, Word
 from repro.system.machine import Machine
 
 
@@ -30,12 +30,19 @@ class FaultInjector:
     """Corrupts single words in a machine's memory or caches.
 
     Corruption flips the value to ``original ^ mask`` (guaranteed to
-    differ), modelling a transient single-word upset.
+    differ), modelling a transient single-word upset.  The mask is
+    truncated to the machine word (``mask & WORD_MASK``) — bits above the
+    word width cannot land in a word-sized cell, and a mask whose in-word
+    bits are all zero would corrupt nothing, so it is rejected.
     """
 
     def __init__(self, machine: Machine, mask: int = 0x5A5A) -> None:
+        mask &= WORD_MASK
         if mask == 0:
-            raise ConfigurationError("a zero mask would not corrupt anything")
+            raise ConfigurationError(
+                "mask has no bits inside the machine word; "
+                "it would not corrupt anything"
+            )
         self.machine = machine
         self.mask = mask
         self.injected: list[InjectedFault] = []

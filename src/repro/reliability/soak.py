@@ -1,0 +1,399 @@
+"""Chaos soak: randomized fault schedules against live workloads.
+
+Where :mod:`repro.reliability.experiment` studies *static* recoverability
+(corrupt one stopped machine, scavenge replicas), this module exercises the
+*dynamic* fault path end to end: a :class:`~repro.reliability.chaos.ChaosController`
+injects faults while lock, counter and producer/consumer workloads run, and
+every run must end in one of three honest outcomes —
+
+* ``completed`` — the workload finished and its invariants hold (counter
+  sums exact, lock released, every consumer saw the final generation);
+* ``declared-failure`` — the memory-retry ceiling was hit and the machine
+  raised :class:`~repro.common.errors.UnrecoverableFaultError` rather than
+  running on bad data;
+* ``declared-livelock`` — the cycle budget ran out and the machine raised
+  :class:`~repro.common.errors.LivelockError` with its diagnostics.
+
+Anything else — a wrong final value, an online-checker violation, or a
+fault record left unresolved in the controller's ledger — is classified as
+``mismatch``: a *silent corruption*, which is the one outcome the chaos
+engine exists to make impossible.  :meth:`SoakReport.ok` is the oracle the
+tests and the ``repro-experiment chaos`` target assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.common.errors import (
+    ConfigurationError,
+    LivelockError,
+    UnrecoverableFaultError,
+    VerificationError,
+)
+from repro.common.rng import derive_seed
+from repro.processor.program import Program
+from repro.reliability.chaos import ChaosConfig
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.counter import (
+    COUNTER_ADDRESS,
+    LOCK_ADDRESS,
+    build_faa_counter_program,
+    build_lock_counter_program,
+)
+from repro.workloads import producer_consumer as _pc
+
+#: Fault-schedule intensity tiers, cycled over the schedule index.  The
+#: ``heavy`` tier deliberately cranks the snoop-failure rates past the
+#: redelivery budget so the watchdog offlines caches and the runs finish
+#: in degraded memory-direct mode.
+INTENSITIES: dict[str, ChaosConfig] = {
+    "light": ChaosConfig(
+        corrupt_transfer_rate=0.02,
+        memory_read_error_rate=0.01,
+        arbiter_stall_rate=0.02,
+    ),
+    "medium": ChaosConfig(
+        corrupt_transfer_rate=0.05,
+        memory_read_error_rate=0.03,
+        drop_snoop_rate=0.05,
+        lose_invalidate_rate=0.03,
+        arbiter_stall_rate=0.03,
+    ),
+    "heavy": ChaosConfig(
+        corrupt_transfer_rate=0.04,
+        memory_read_error_rate=0.02,
+        drop_snoop_rate=0.5,
+        lose_invalidate_rate=0.5,
+        arbiter_stall_rate=0.02,
+        snoop_retry_limit=2,
+        watchdog_threshold=2,
+    ),
+}
+
+#: Tier applied to schedule ``i`` is ``_TIER_ORDER[i % 3]``.
+_TIER_ORDER = ("light", "medium", "heavy")
+
+# Fixed small shapes — the soak is about fault coverage, not scale.
+_COUNTER_PES = 4
+_COUNTER_INCREMENTS = 4
+_PC_ITEMS = 4
+_PC_CONSUMERS = 2
+_PC_GENERATIONS = 3
+_PC_DATA_BASE = 16
+
+
+def _counter_verify(machine: Machine, check_lock: bool) -> list[str]:
+    mismatches: list[str] = []
+    expected = _COUNTER_PES * _COUNTER_INCREMENTS
+    actual = machine.latest_value(COUNTER_ADDRESS)
+    if actual != expected:
+        mismatches.append(f"counter: expected {expected}, got {actual}")
+    if check_lock and machine.latest_value(LOCK_ADDRESS) != 0:
+        mismatches.append(
+            f"lock word left held: {machine.latest_value(LOCK_ADDRESS)}"
+        )
+    return mismatches
+
+
+def _counter_lock_workload() -> tuple[MachineConfig, list[Program], Callable]:
+    config = MachineConfig(
+        num_pes=_COUNTER_PES, cache_lines=16, memory_size=64
+    )
+    programs = [build_lock_counter_program(_COUNTER_INCREMENTS)] * _COUNTER_PES
+    return config, programs, lambda machine: _counter_verify(machine, True)
+
+
+def _counter_faa_workload() -> tuple[MachineConfig, list[Program], Callable]:
+    config = MachineConfig(
+        num_pes=_COUNTER_PES, cache_lines=16, memory_size=64
+    )
+    programs = [build_faa_counter_program(_COUNTER_INCREMENTS)] * _COUNTER_PES
+    return config, programs, lambda machine: _counter_verify(machine, False)
+
+
+def _pc_verify(machine: Machine) -> list[str]:
+    mismatches: list[str] = []
+    for i in range(_PC_ITEMS):
+        value = machine.latest_value(_PC_DATA_BASE + i)
+        if value != _PC_GENERATIONS:
+            mismatches.append(
+                f"data[{i}]: expected final generation "
+                f"{_PC_GENERATIONS}, got {value}"
+            )
+    for consumer in range(_PC_CONSUMERS):
+        ack = machine.latest_value(1 + consumer)
+        if ack != _PC_GENERATIONS:
+            mismatches.append(
+                f"consumer {consumer} acknowledged generation {ack}, "
+                f"expected {_PC_GENERATIONS}"
+            )
+    return mismatches
+
+
+def _producer_consumer_workload() -> tuple[MachineConfig, list[Program], Callable]:
+    config = MachineConfig(
+        num_pes=1 + _PC_CONSUMERS,
+        cache_lines=32,
+        memory_size=_PC_DATA_BASE + _PC_ITEMS + 16,
+    )
+    programs = [
+        _pc._producer_program(
+            _PC_DATA_BASE, 0, 1, _PC_ITEMS, _PC_GENERATIONS, _PC_CONSUMERS
+        )
+    ]
+    for consumer in range(_PC_CONSUMERS):
+        programs.append(
+            _pc._consumer_program(
+                _PC_DATA_BASE, 0, 1 + consumer, _PC_ITEMS, _PC_GENERATIONS
+            )
+        )
+    return config, programs, _pc_verify
+
+
+#: Registry of soakable workloads: name -> builder of (config, programs,
+#: verifier).  The verifier returns mismatch strings on a finished machine.
+WORKLOADS: dict[str, Callable[[], tuple[MachineConfig, list[Program], Callable]]] = {
+    "counter-lock": _counter_lock_workload,
+    "counter-faa": _counter_faa_workload,
+    "producer-consumer": _producer_consumer_workload,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SoakOutcome:
+    """One (workload, protocol, schedule) soak run's classified result.
+
+    Attributes:
+        workload: :data:`WORKLOADS` registry name.
+        protocol: coherence protocol name.
+        intensity: fault-schedule tier (``light``/``medium``/``heavy``).
+        schedule: schedule index within the soak grid.
+        seed: the derived machine seed for this run.
+        outcome: ``completed`` / ``declared-failure`` /
+            ``declared-livelock`` / ``mismatch``.
+        cycles: machine cycles executed (0 when the run aborted early).
+        injected: faults the controller injected.
+        detected: faults a detection mechanism caught.
+        offlined: caches pushed into degraded memory-direct mode.
+        unresolved: fault-ledger entries left open at the end.
+        detail: human-readable note (mismatch list / exception text).
+    """
+
+    workload: str
+    protocol: str
+    intensity: str
+    schedule: int
+    seed: int
+    outcome: str
+    cycles: int
+    injected: int
+    detected: int
+    offlined: int
+    unresolved: int
+    detail: str = ""
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Whether this run corrupted data without declaring anything."""
+        return self.outcome == "mismatch"
+
+    def row(self) -> list[object]:
+        """This outcome as a report-table row (see :data:`ROW_HEADERS`)."""
+        return [
+            self.workload, self.protocol, self.intensity, self.schedule,
+            self.outcome, self.cycles, self.injected, self.detected,
+            self.offlined,
+        ]
+
+
+#: Table headers matching :meth:`SoakOutcome.row`.
+ROW_HEADERS = [
+    "Workload", "Protocol", "Tier", "Schedule", "Outcome", "Cycles",
+    "Injected", "Detected", "Offlined",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SoakReport:
+    """A full soak campaign's outcomes plus the pass/fail verdict."""
+
+    outcomes: tuple[SoakOutcome, ...]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Outcome label -> number of runs that ended that way."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.outcome] = counts.get(outcome.outcome, 0) + 1
+        return counts
+
+    @property
+    def silent_corruptions(self) -> list[SoakOutcome]:
+        """Runs classified ``mismatch`` — each one is a soak failure."""
+        return [o for o in self.outcomes if o.silent_corruption]
+
+    @property
+    def total_injected(self) -> int:
+        return sum(o.injected for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the soak passed: runs happened, none corrupted silently."""
+        return bool(self.outcomes) and not self.silent_corruptions
+
+    def summary(self) -> str:
+        """One-line verdict for logs and the CLI."""
+        counts = ", ".join(
+            f"{label}={count}" for label, count in sorted(self.counts.items())
+        )
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"chaos soak [{verdict}]: {len(self.outcomes)} runs "
+            f"({counts}); {self.total_injected} faults injected, "
+            f"{len(self.silent_corruptions)} silent corruptions"
+        )
+
+
+def schedule_config(schedule: int, seed: int) -> ChaosConfig:
+    """The :class:`ChaosConfig` for schedule index *schedule*.
+
+    Cycles through the :data:`INTENSITIES` tiers and gives every schedule
+    its own derived fault-stream seed, so two schedules in the same tier
+    still draw different fault sequences.
+    """
+    if schedule < 0:
+        raise ConfigurationError(f"schedule must be >= 0, got {schedule}")
+    tier = _TIER_ORDER[schedule % len(_TIER_ORDER)]
+    return dataclasses.replace(
+        INTENSITIES[tier], seed=derive_seed(seed, "schedule", schedule)
+    )
+
+
+def run_soak_point(
+    workload: str,
+    protocol: str,
+    schedule: int,
+    *,
+    base_seed: int = 0,
+    online_check: bool = True,
+    max_cycles: int = 300_000,
+) -> SoakOutcome:
+    """Run one workload under one randomized fault schedule and classify it.
+
+    Args:
+        workload: :data:`WORKLOADS` registry name.
+        protocol: coherence protocol name (``rb`` / ``rwb`` / ...).
+        schedule: schedule index; picks the intensity tier and fault seed.
+        base_seed: campaign-level seed every derived seed hangs off.
+        online_check: run the :class:`~repro.trace.checker.OnlineCoherenceChecker`
+            as the silent-corruption oracle (on by default — the soak's point).
+        max_cycles: livelock budget per run.
+    """
+    if workload not in WORKLOADS:
+        raise ConfigurationError(
+            f"unknown workload {workload!r}; choose from {', '.join(WORKLOADS)}"
+        )
+    seed = derive_seed(base_seed, "chaos-soak", workload, protocol, schedule)
+    chaos = schedule_config(schedule, seed)
+    config, programs, verify = WORKLOADS[workload]()
+    config = config.with_overrides(
+        protocol=protocol, seed=seed, chaos=chaos, online_check=online_check
+    )
+    machine = Machine(config)
+    machine.load_programs(programs)
+    tier = _TIER_ORDER[schedule % len(_TIER_ORDER)]
+
+    def finish(outcome: str, cycles: int, detail: str) -> SoakOutcome:
+        stats = machine.chaos.stats if machine.chaos is not None else None
+        unresolved = (
+            len(machine.chaos.unresolved()) if machine.chaos is not None else 0
+        )
+        return SoakOutcome(
+            workload=workload,
+            protocol=protocol,
+            intensity=tier,
+            schedule=schedule,
+            seed=seed,
+            outcome=outcome,
+            cycles=cycles,
+            injected=stats.get("chaos.injected") if stats else 0,
+            detected=stats.get("chaos.detected") if stats else 0,
+            offlined=stats.get("chaos.caches_offlined") if stats else 0,
+            unresolved=unresolved,
+            detail=detail,
+        )
+
+    try:
+        cycles = machine.run(max_cycles=max_cycles)
+    except UnrecoverableFaultError as exc:
+        return finish("declared-failure", machine.cycle, str(exc))
+    except LivelockError as exc:
+        return finish("declared-livelock", machine.cycle, str(exc))
+    except VerificationError as exc:
+        # The online checker caught incoherence the recovery machinery let
+        # through: silent corruption, the soak's failure mode.
+        return finish("mismatch", machine.cycle, f"checker: {exc}")
+    finally:
+        machine.close_trace()
+
+    mismatches = verify(machine)
+    if machine.chaos is not None and machine.chaos.unresolved():
+        mismatches.append(
+            f"{len(machine.chaos.unresolved())} fault record(s) left "
+            "unresolved in the chaos ledger"
+        )
+    if mismatches:
+        return finish("mismatch", cycles, "; ".join(mismatches))
+    return finish("completed", cycles, "")
+
+
+def run_chaos_soak(
+    protocols: Sequence[str] = ("rb", "rwb"),
+    workloads: Sequence[str] = ("counter-lock", "counter-faa", "producer-consumer"),
+    schedules: int = 20,
+    *,
+    base_seed: int = 0,
+    online_check: bool = True,
+    max_cycles: int = 300_000,
+    progress: Callable[[int, int, SoakOutcome], None] | None = None,
+) -> SoakReport:
+    """Run the full soak grid: workloads x protocols x fault schedules.
+
+    Args:
+        protocols: coherence protocols to soak.
+        workloads: :data:`WORKLOADS` registry names.
+        schedules: randomized fault schedules per (workload, protocol).
+        base_seed: campaign seed.
+        online_check: keep the online coherence checker watching each run.
+        max_cycles: per-run livelock budget.
+        progress: called after every run with (done, total, outcome).
+    """
+    unknown = sorted(set(workloads) - set(WORKLOADS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown workload(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(WORKLOADS)}"
+        )
+    if schedules < 1:
+        raise ConfigurationError(f"need >= 1 schedule, got {schedules}")
+    total = len(workloads) * len(protocols) * schedules
+    outcomes: list[SoakOutcome] = []
+    for workload in workloads:
+        for protocol in protocols:
+            for schedule in range(schedules):
+                outcome = run_soak_point(
+                    workload,
+                    protocol,
+                    schedule,
+                    base_seed=base_seed,
+                    online_check=online_check,
+                    max_cycles=max_cycles,
+                )
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(len(outcomes), total, outcome)
+    return SoakReport(outcomes=tuple(outcomes))

@@ -6,8 +6,10 @@ callable in a fresh process (so a crashed or wedged simulation cannot take
 the sweep down), with:
 
 * a per-point timeout — a wedged worker is terminated;
-* bounded retry of crashed/timed-out workers, after which the point is
-  recorded as failed instead of aborting the sweep;
+* bounded retry of crashed/timed-out workers — each retry waits out an
+  exponential backoff with deterministic per-point jitter first, so a
+  transiently overloaded machine is not immediately re-hammered — after
+  which the point is recorded as failed instead of aborting the sweep;
 * live progress reporting through a callback;
 * deterministic results — outputs are returned in point order and each
   payload is canonicalized through a JSON round-trip, so a serial run
@@ -33,6 +35,7 @@ from multiprocessing import connection
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import PointResult
 
@@ -53,6 +56,7 @@ def run_sweep(
     workers: int = 1,
     timeout_seconds: float | None = None,
     retries: int = 1,
+    backoff_base_seconds: float = 0.05,
     progress: ProgressCallback | None = None,
 ) -> list[PointResult]:
     """Run *task* over every point; returns results in point order.
@@ -71,6 +75,11 @@ def run_sweep(
             ``"crashed"``/``"timeout"`` and the sweep continues.  A task
             that *raises* is deterministic and is never retried — it is
             recorded as ``"failed"`` immediately.
+        backoff_base_seconds: first-retry delay; attempt ``n`` waits
+            ``base * 2**(n-1)`` scaled by a deterministic jitter factor in
+            ``[0.75, 1.25)`` derived from the point name, so simultaneous
+            crashers fan out instead of re-launching in lockstep.  ``0``
+            disables the backoff (retries relaunch immediately).
         progress: called after every point finishes (any status).
 
     Raises:
@@ -83,6 +92,10 @@ def run_sweep(
         raise ConfigurationError(f"need >= 1 worker, got {workers}")
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff_base_seconds < 0:
+        raise ConfigurationError(
+            f"backoff_base_seconds must be >= 0, got {backoff_base_seconds}"
+        )
     if not points:
         return []
     if workers == 1:
@@ -93,6 +106,7 @@ def run_sweep(
         workers=min(workers, len(points)),
         timeout_seconds=timeout_seconds,
         retries=retries,
+        backoff_base_seconds=backoff_base_seconds,
         progress=progress,
     )
 
@@ -183,6 +197,22 @@ def _context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def backoff_delay(base: float, attempts: int, point_name: str) -> float:
+    """Seconds to wait before relaunching *point_name* after *attempts*.
+
+    Exponential in the attempts already burned, scaled by a deterministic
+    jitter factor in ``[0.75, 1.25)`` derived from the point name and the
+    attempt count — crashed workers spread out their relaunches without
+    making the sweep's retry schedule depend on wall-clock randomness.
+    """
+    if base <= 0:
+        return 0.0
+    jitter = 0.75 + (
+        derive_seed(0, "sweep-backoff", point_name, attempts) % 4096
+    ) / 8192.0
+    return base * (2 ** max(0, attempts - 1)) * jitter
+
+
 def _run_parallel(
     task: SweepTask,
     points: Sequence[SweepPoint],
@@ -190,12 +220,15 @@ def _run_parallel(
     workers: int,
     timeout_seconds: float | None,
     retries: int,
+    backoff_base_seconds: float,
     progress: ProgressCallback | None,
 ) -> list[PointResult]:
     ctx = _context()
     total = len(points)
-    pending: deque[tuple[int, SweepPoint, int]] = deque(
-        (index, point, 0) for index, point in enumerate(points)
+    # Each pending entry carries a not-before timestamp; retries push it
+    # into the future (see :func:`backoff_delay`), fresh points use 0.0.
+    pending: deque[tuple[int, SweepPoint, int, float]] = deque(
+        (index, point, 0, 0.0) for index, point in enumerate(points)
     )
     running: dict[connection.Connection, _Running] = {}
     results: list[PointResult | None] = [None] * total
@@ -208,10 +241,28 @@ def _run_parallel(
         if progress is not None:
             progress(done, total, result)
 
+    def requeue(run: _Running) -> None:
+        delay = backoff_delay(
+            backoff_base_seconds, run.attempts, run.point.name
+        )
+        pending.appendleft(
+            (run.index, run.point, run.attempts, time.perf_counter() + delay)
+        )
+
+    def pop_ready(now: float) -> tuple[int, SweepPoint, int] | None:
+        for slot, (index, point, attempts, not_before) in enumerate(pending):
+            if not_before <= now:
+                del pending[slot]
+                return index, point, attempts
+        return None
+
     try:
         while pending or running:
             while pending and len(running) < workers:
-                index, point, attempts = pending.popleft()
+                entry = pop_ready(time.perf_counter())
+                if entry is None:
+                    break  # everything launchable is in backoff
+                index, point, attempts = entry
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_worker_main,
@@ -229,13 +280,22 @@ def _run_parallel(
                     started=time.perf_counter(),
                 )
 
-            wait_timeout = None
+            now = time.perf_counter()
+            deadlines = []
             if timeout_seconds is not None:
-                now = time.perf_counter()
-                deadlines = [
+                deadlines.extend(
                     run.started + timeout_seconds for run in running.values()
-                ]
-                wait_timeout = max(0.0, min(deadlines) - now)
+                )
+            if pending and len(running) < workers:
+                # Wake up when the earliest backed-off retry comes due.
+                deadlines.append(min(entry[3] for entry in pending))
+            wait_timeout = (
+                max(0.0, min(deadlines) - now) if deadlines else None
+            )
+            if not running:
+                # Nothing in flight; just wait out the shortest backoff.
+                time.sleep(wait_timeout or 0.0)
+                continue
             ready = connection.wait(list(running), timeout=wait_timeout)
 
             for conn in ready:
@@ -247,9 +307,7 @@ def _run_parallel(
                     run.process.join()
                     _close(run)
                     if run.attempts <= retries:
-                        pending.appendleft(
-                            (run.index, run.point, run.attempts)
-                        )
+                        requeue(run)
                     else:
                         record(
                             run.index,
@@ -295,9 +353,7 @@ def _run_parallel(
                     run.process.join()
                     _close(run)
                     if run.attempts <= retries:
-                        pending.appendleft(
-                            (run.index, run.point, run.attempts)
-                        )
+                        requeue(run)
                     else:
                         record(
                             run.index,

@@ -9,6 +9,7 @@ from typing import Any, Mapping
 
 from repro.common.errors import ConfigurationError
 from repro.memory.main_memory import LockGranularity
+from repro.reliability.chaos import ChaosConfig
 
 
 @dataclass(slots=True)
@@ -45,6 +46,11 @@ class MachineConfig:
         online_check: run the :class:`~repro.trace.OnlineCoherenceChecker`
             every machine cycle, raising ``VerificationError`` the moment a
             Section-4 invariant breaks.
+        chaos: live fault-injection schedule (a
+            :class:`~repro.reliability.chaos.ChaosConfig`), or ``None``.
+            ``None`` — and a config whose ``enabled`` is false — builds a
+            machine with no chaos controller at all: no RNG draws, no
+            hook overhead, bit-identical behavior to a pre-chaos build.
     """
 
     num_pes: int = 4
@@ -63,6 +69,7 @@ class MachineConfig:
     record_bus_log: bool = False
     trace: str | None = None
     online_check: bool = False
+    chaos: ChaosConfig | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on structurally bad settings."""
@@ -90,6 +97,8 @@ class MachineConfig:
                 f"need >= 1 instruction per cycle, got "
                 f"{self.instructions_per_cycle}"
             )
+        if self.chaos is not None:
+            self.chaos.validate()
 
     def with_overrides(self, **overrides: Any) -> "MachineConfig":
         """A validated copy with the given fields replaced.
@@ -126,6 +135,8 @@ class MachineConfig:
             value = getattr(self, f.name)
             if isinstance(value, LockGranularity):
                 value = value.value
+            elif isinstance(value, ChaosConfig):
+                value = value.to_dict()
             elif isinstance(value, dict):
                 value = copy.deepcopy(value)
             out[f.name] = value
@@ -151,6 +162,11 @@ class MachineConfig:
             kwargs["lock_granularity"] = LockGranularity(
                 kwargs["lock_granularity"]
             )
+        if (
+            kwargs.get("chaos") is not None
+            and not isinstance(kwargs["chaos"], ChaosConfig)
+        ):
+            kwargs["chaos"] = ChaosConfig.from_dict(kwargs["chaos"])
         config = cls(**kwargs)
         config.validate()
         return config

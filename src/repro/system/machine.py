@@ -19,7 +19,7 @@ from repro.bus.transaction import CompletedTransaction
 from repro.cache.cache import SnoopingCache
 from repro.cache.mapping import DirectMapped, SetAssociative
 from repro.cache.replacement import make_replacement
-from repro.common.errors import ConfigurationError, ReproError
+from repro.common.errors import ConfigurationError, LivelockError
 from repro.common.rng import derive_seed
 from repro.common.stats import StatSet
 from repro.common.types import Address, MemRef
@@ -28,10 +28,11 @@ from repro.processor.pe import Driver, ProcessingElement
 from repro.processor.program import Program
 from repro.processor.tracedriver import TraceDriver
 from repro.protocols.registry import make_protocol
+from repro.reliability.chaos import ChaosController
 from repro.system.config import MachineConfig
 from repro.trace.checker import OnlineCoherenceChecker
 from repro.trace.context import get_trace_defaults
-from repro.trace.sink import NULL_TRACER, JsonlSink, Tracer, TraceSink
+from repro.trace.sink import NULL_TRACER, JsonlSink, ListSink, Tracer, TraceSink
 
 
 class Machine:
@@ -68,6 +69,11 @@ class Machine:
             sinks.append(trace_sink)
         if self.checker is not None:
             sinks.append(self.checker)
+        #: Rolling tail of recent events for livelock diagnostics; only
+        #: kept when some other sink already switched tracing on.
+        self._tail_sink: ListSink | None = ListSink(maxlen=20) if sinks else None
+        if self._tail_sink is not None:
+            sinks.append(self._tail_sink)
         self.tracer = Tracer(*sinks) if sinks else NULL_TRACER
         self.memory = MainMemory(
             config.memory_size, lock_granularity=config.lock_granularity
@@ -78,6 +84,16 @@ class Machine:
         for cache in self.caches:
             cache.trace = self.tracer
             cache.connect(self.bus)
+        self.chaos: ChaosController | None = None
+        if config.chaos is not None and config.chaos.enabled:
+            self.chaos = ChaosController(
+                config.chaos,
+                seed=config.chaos.seed or derive_seed(config.seed, "chaos"),
+                tracer=self.tracer,
+            )
+            self.chaos.bind(self.caches, self.memory)
+            for bus in self.bus.physical_buses:
+                bus.chaos = self.chaos
         self.drivers: list[Driver] = []
         self.cycle = 0
         self.bus_log: list[CompletedTransaction] = []
@@ -187,13 +203,15 @@ class Machine:
         """Step until idle; returns cycles executed.
 
         Raises:
-            ReproError: if *max_cycles* elapse first (livelock guard).
+            LivelockError: if *max_cycles* elapse first; the exception's
+                ``snapshot`` is :meth:`livelock_snapshot`.
         """
         start = self.cycle
         while not self.idle:
             if self.cycle - start >= max_cycles:
-                raise ReproError(
-                    f"machine did not go idle within {max_cycles} cycles"
+                raise LivelockError(
+                    f"machine did not go idle within {max_cycles} cycles",
+                    snapshot=self.livelock_snapshot(),
                 )
             self.step()
         return self.cycle - start
@@ -204,16 +222,52 @@ class Machine:
             self.step()
 
     def drain_bus(self, max_cycles: int = 100_000) -> int:
-        """Step until no bus transaction is queued; returns cycles used."""
+        """Step until no bus transaction is queued; returns cycles used.
+
+        Raises:
+            LivelockError: if *max_cycles* elapse with traffic still
+                queued; carries :meth:`livelock_snapshot`.
+        """
         used = 0
         while self.bus.has_pending():
             if used >= max_cycles:
-                raise ReproError(
-                    f"bus did not drain within {max_cycles} cycles"
+                raise LivelockError(
+                    f"bus did not drain within {max_cycles} cycles",
+                    snapshot=self.livelock_snapshot(),
                 )
             self.step()
             used += 1
         return used
+
+    def livelock_snapshot(self) -> dict:
+        """Structured progress diagnostics for :class:`LivelockError`.
+
+        Captures, per PE, whether its driver is done/stalled and what CPU
+        operation its cache has outstanding; every transaction queued in
+        the bus fabric; and (when tracing is on) the last ~20 trace events.
+        """
+        pes = []
+        for driver in self.drivers:
+            cache = self.caches[driver.pe_id]
+            pes.append(
+                {
+                    "pe": driver.pe_id,
+                    "done": driver.done,
+                    "waiting": driver.waiting,
+                    "cache_offline": cache.offline,
+                    "pending_op": cache.describe_pending(),
+                }
+            )
+        snapshot: dict = {
+            "cycle": self.cycle,
+            "pes": pes,
+            "bus_pending": self.bus.pending_snapshot(),
+        }
+        if self._tail_sink is not None:
+            snapshot["trace_tail"] = [
+                event.describe() for event in self._tail_sink.tail(20)
+            ]
+        return snapshot
 
     def close_trace(self) -> None:
         """Flush and close any file-backed trace sinks (idempotent)."""
@@ -246,6 +300,8 @@ class Machine:
             stat_set.bag(cache.name).merge(cache.stats)
         for driver in self.drivers:
             stat_set.bag(f"pe{driver.pe_id}").merge(driver.stats)
+        if self.chaos is not None:
+            stat_set.bag("chaos").merge(self.chaos.stats)
         return stat_set
 
     @property

@@ -26,9 +26,13 @@ from repro.trace.events import (
     BusGrant,
     BusInterrupt,
     BusNack,
+    CacheOfflined,
+    FaultDetected,
+    FaultInjected,
     LineTransition,
     MemoryLock,
     MemoryUnlock,
+    RecoveryAction,
     SyncOp,
     TraceEvent,
     event_from_dict,
@@ -49,7 +53,10 @@ __all__ = [
     "BusGrant",
     "BusInterrupt",
     "BusNack",
+    "CacheOfflined",
     "EVENT_KINDS",
+    "FaultDetected",
+    "FaultInjected",
     "JsonlSink",
     "LineTransition",
     "ListSink",
@@ -57,6 +64,7 @@ __all__ = [
     "MemoryUnlock",
     "NULL_TRACER",
     "OnlineCoherenceChecker",
+    "RecoveryAction",
     "SyncOp",
     "TraceDefaults",
     "TraceEvent",

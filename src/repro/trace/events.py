@@ -204,6 +204,89 @@ class SyncOp(TraceEvent):
     value: int
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """The chaos layer fired one in-flight fault.
+
+    ``fault`` names the class: ``"corrupt-transfer"`` (bus data transfer
+    corrupted), ``"memory-read-error"`` (transient memory read upset),
+    ``"drop-snoop"`` (a cache failed to absorb a broadcast),
+    ``"lose-invalidate"`` (a Bus-Invalidate signal lost for one snooper),
+    ``"arbiter-stall"`` (the grant logic wedged for a cycle).  ``target``
+    is the affected component (a cache name or bus name) and ``detail``
+    renders the affected transaction.
+    """
+
+    kind: ClassVar[str] = "fault-injected"
+
+    fault: str
+    bus: str
+    target: str
+    address: int
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDetected(TraceEvent):
+    """A detection mechanism caught an injected fault.
+
+    ``mechanism`` is ``"parity"`` (bus-transfer / memory-word parity tag),
+    ``"snoop-ack"`` (a snooper failed to acknowledge a broadcast within
+    the cycle) or ``"grant-timer"`` (the arbiter produced no grant while
+    requests were pending).
+    """
+
+    kind: ClassVar[str] = "fault-detected"
+
+    fault: str
+    mechanism: str
+    target: str
+    address: int
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryAction(TraceEvent):
+    """One recovery step taken in response to a detected fault.
+
+    ``action``: ``"retry-backoff"`` (NACK + scheduled retry, with the
+    retry cycle in ``detail``), ``"retry-success"`` (a retried transfer
+    finally executed clean), ``"retry-cancelled"`` (the scheduled retry
+    became moot — e.g. the queued read was satisfied early by a broadcast
+    absorption), ``"snoop-redelivery"`` (a dropped broadcast
+    re-delivered), ``"failsafe-invalidate"`` (redelivery exhausted; the
+    snooper's copy invalidated so it can never serve stale data),
+    ``"flush-on-offline"`` (a dirty line saved to memory while its cache
+    was being offlined), ``"re-arbitrate"`` (stalled grant retried) or
+    ``"declare-failure"`` (retry ceiling exhausted; the run stops with an
+    explicit verdict).
+    """
+
+    kind: ClassVar[str] = "recovery"
+
+    fault: str
+    action: str
+    target: str
+    address: int
+    attempt: int
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class CacheOfflined(TraceEvent):
+    """The watchdog retired a persistently failing cache.
+
+    The cache's dirty lines were flushed to memory, every frame was
+    invalidated, and its PE continues in degraded memory-direct mode.
+    """
+
+    kind: ClassVar[str] = "cache-offlined"
+
+    cache: str
+    flushed: int
+    invalidated: int
+    reason: str
+
+
 #: JSONL ``kind`` tag -> event class, for parsing traces back.
 EVENT_KINDS: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -217,6 +300,10 @@ EVENT_KINDS: dict[str, type[TraceEvent]] = {
         MemoryLock,
         MemoryUnlock,
         SyncOp,
+        FaultInjected,
+        FaultDetected,
+        RecoveryAction,
+        CacheOfflined,
     )
 }
 

@@ -110,5 +110,5 @@ class TestCliAll:
 
         assert main(["all"]) == 0
         out = capsys.readouterr().out
-        assert out.count("Matches the paper / checks pass: YES") == 9
+        assert out.count("Matches the paper / checks pass: YES") == 10
         assert "MISMATCH" not in out

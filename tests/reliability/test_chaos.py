@@ -1,0 +1,236 @@
+"""Tests for the live fault-injection engine (chaos controller)."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    LivelockError,
+    UnrecoverableFaultError,
+)
+from repro.reliability.chaos import FAULT_KINDS, ChaosConfig, ScriptedFault
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.trace import ListSink
+from repro.trace.events import (
+    CacheOfflined,
+    FaultDetected,
+    FaultInjected,
+    RecoveryAction,
+)
+from repro.workloads.counter import (
+    COUNTER_ADDRESS,
+    build_faa_counter_program,
+    build_lock_counter_program,
+)
+
+PES = 4
+INCREMENTS = 3
+EXPECTED = PES * INCREMENTS
+
+
+def build_machine(chaos, protocol="rb", seed=7, sink=None, method="lock"):
+    config = MachineConfig(
+        num_pes=PES, protocol=protocol, cache_lines=16, memory_size=64,
+        seed=seed, chaos=chaos,
+    )
+    machine = Machine(config, trace_sink=sink)
+    if method == "lock":
+        program = build_lock_counter_program(INCREMENTS)
+    else:
+        program = build_faa_counter_program(INCREMENTS)
+    machine.load_programs([program] * PES)
+    return machine
+
+
+MEDIUM = ChaosConfig(
+    corrupt_transfer_rate=0.05,
+    memory_read_error_rate=0.03,
+    drop_snoop_rate=0.05,
+    lose_invalidate_rate=0.03,
+    arbiter_stall_rate=0.03,
+)
+
+
+class TestChaosConfig:
+    def test_default_is_disabled(self):
+        assert not ChaosConfig().enabled
+
+    def test_any_rate_enables(self):
+        assert ChaosConfig(drop_snoop_rate=0.1).enabled
+
+    def test_script_enables(self):
+        config = ChaosConfig(scripted=[ScriptedFault(5, "corrupt-transfer")])
+        assert config.enabled
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(corrupt_transfer_rate=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(drop_snoop_rate=-0.1).validate()
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(max_transfer_retries=0).validate()
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(
+                backoff_base_cycles=8, backoff_cap_cycles=4
+            ).validate()
+
+    def test_round_trip_with_script(self):
+        config = ChaosConfig(
+            corrupt_transfer_rate=0.25,
+            scripted=[ScriptedFault(5, "drop-snoop", target=2)],
+            seed=99,
+        )
+        rebuilt = ChaosConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig.from_dict({"bogus_rate": 0.5})
+
+    def test_machine_config_round_trips_chaos(self):
+        config = MachineConfig(num_pes=2, chaos=MEDIUM)
+        rebuilt = MachineConfig.from_dict(config.to_dict())
+        assert rebuilt.chaos == MEDIUM
+
+
+class TestScriptedFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedFault(0, "explode")
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedFault(-1, FAULT_KINDS[0])
+
+
+class TestZeroDrift:
+    """Chaos off must mean bit-identical to a machine with no chaos at all."""
+
+    def test_no_chaos_and_disabled_chaos_identical(self):
+        plain = build_machine(None)
+        disabled = build_machine(ChaosConfig())
+        assert disabled.chaos is None
+        plain_cycles = plain.run()
+        disabled_cycles = disabled.run()
+        assert plain_cycles == disabled_cycles
+        assert plain.stats.as_dict() == disabled.stats.as_dict()
+        assert plain.latest_value(COUNTER_ADDRESS) == EXPECTED
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self):
+        first = build_machine(MEDIUM)
+        second = build_machine(MEDIUM)
+        assert first.run() == second.run()
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert first.latest_value(COUNTER_ADDRESS) == EXPECTED
+
+
+class TestParityPath:
+    def test_corrupt_transfers_detected_and_recovered(self):
+        sink = ListSink()
+        machine = build_machine(
+            ChaosConfig(corrupt_transfer_rate=0.2), sink=sink
+        )
+        machine.run()
+        assert machine.latest_value(COUNTER_ADDRESS) == EXPECTED
+        chaos = machine.stats.bag("chaos")
+        assert chaos.get("chaos.injected") > 0
+        assert chaos.get("chaos.detected") == chaos.get("chaos.injected")
+        kinds = {type(e) for e in sink}
+        assert FaultInjected in kinds
+        assert FaultDetected in kinds
+        assert RecoveryAction in kinds
+        assert machine.chaos.unresolved() == []
+
+    def test_scripted_fault_fires_once(self):
+        chaos = ChaosConfig(scripted=[ScriptedFault(1, "corrupt-transfer")])
+        machine = build_machine(chaos)
+        machine.run()
+        assert machine.stats.bag("chaos").get("chaos.injected") == 1
+        assert machine.latest_value(COUNTER_ADDRESS) == EXPECTED
+
+    def test_retry_ceiling_declares_failure(self):
+        chaos = ChaosConfig(
+            corrupt_transfer_rate=1.0, max_transfer_retries=3,
+            backoff_cap_cycles=4,
+        )
+        machine = build_machine(chaos)
+        with pytest.raises(UnrecoverableFaultError):
+            machine.run()
+
+    def test_memory_retry_ceiling_declares_failure(self):
+        chaos = ChaosConfig(
+            memory_read_error_rate=1.0, memory_retry_ceiling=2,
+            backoff_cap_cycles=4,
+        )
+        machine = build_machine(chaos)
+        with pytest.raises(UnrecoverableFaultError):
+            machine.run()
+
+
+class TestSnoopPath:
+    def test_guaranteed_failures_offline_caches_yet_stay_correct(self):
+        sink = ListSink()
+        chaos = ChaosConfig(
+            drop_snoop_rate=1.0, lose_invalidate_rate=1.0,
+            snoop_retry_limit=1, watchdog_threshold=1,
+        )
+        machine = build_machine(chaos, protocol="rwb", sink=sink)
+        machine.run()
+        assert machine.latest_value(COUNTER_ADDRESS) == EXPECTED
+        assert machine.stats.bag("chaos").get("chaos.caches_offlined") > 0
+        assert any(cache.offline for cache in machine.caches)
+        assert any(isinstance(e, CacheOfflined) for e in sink)
+        assert machine.chaos.unresolved() == []
+
+    def test_offlined_cache_serves_uncached_and_counts_ops(self):
+        chaos = ChaosConfig(
+            drop_snoop_rate=1.0, lose_invalidate_rate=1.0,
+            snoop_retry_limit=1, watchdog_threshold=1,
+        )
+        machine = build_machine(chaos, method="faa")
+        machine.run()
+        assert machine.latest_value(COUNTER_ADDRESS) == EXPECTED
+        offline = [c for c in machine.caches if c.offline]
+        assert offline
+        assert any(
+            c.stats.get("cache.offline_ops") > 0 for c in offline
+        )
+
+
+class TestArbiterStall:
+    def test_stalls_counted_and_recovered(self):
+        machine = build_machine(ChaosConfig(arbiter_stall_rate=0.3))
+        machine.run()
+        assert machine.latest_value(COUNTER_ADDRESS) == EXPECTED
+        assert machine.stats.bag("bus").get("bus.stalled_cycles") > 0
+        assert machine.chaos.unresolved() == []
+
+
+class TestLedger:
+    def test_every_record_resolved_after_mixed_run(self):
+        machine = build_machine(MEDIUM, protocol="rwb")
+        machine.run()
+        assert machine.chaos.unresolved() == []
+        assert len(machine.chaos.records) == machine.stats.bag("chaos").get(
+            "chaos.injected"
+        )
+
+
+class TestLivelockDiagnostics:
+    def test_run_guard_raises_livelock_with_snapshot(self):
+        sink = ListSink()
+        machine = build_machine(MEDIUM, sink=sink)
+        with pytest.raises(LivelockError) as excinfo:
+            machine.run(max_cycles=5)
+        snapshot = excinfo.value.snapshot
+        assert snapshot["cycle"] >= 5
+        assert len(snapshot["pes"]) == PES
+        assert {"pe", "done", "waiting", "cache_offline", "pending_op"} <= set(
+            snapshot["pes"][0]
+        )
+        assert "bus_pending" in snapshot
+        assert "trace_tail" in snapshot  # sink enabled tracing

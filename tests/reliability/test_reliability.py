@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.common.types import WORD_MASK
 from repro.reliability.experiment import run_recoverability
 from repro.reliability.faults import FaultInjector
 from repro.reliability.scavenger import scavenge
@@ -52,6 +53,21 @@ class TestFaultInjector:
         assert len(injector.injected) == 1
         assert injector.injected[0].location == "memory"
 
+    def test_wide_mask_truncated_to_word(self):
+        machine = make_machine()
+        machine.write(0, 3, 7)
+        injector = FaultInjector(machine.machine, mask=(1 << 40) | 0xFF)
+        assert injector.mask == 0xFF
+        fault = injector.corrupt_memory(3)
+        assert fault.corrupted == 7 ^ 0xFF
+        assert 0 <= fault.corrupted <= WORD_MASK
+
+    def test_mask_with_no_in_word_bits_rejected(self):
+        """A mask that truncates to zero would be a silent no-op injector."""
+        machine = make_machine()
+        with pytest.raises(ConfigurationError):
+            FaultInjector(machine.machine, mask=1 << 40)
+
 
 class TestScavenger:
     def test_dirty_holder_wins(self):
@@ -100,6 +116,42 @@ class TestScavenger:
         machine.read(1, 3)
         outcome = scavenge(machine.machine, 3)
         assert outcome.unanimous
+
+    def test_all_replicas_corrupted_is_a_known_blind_spot(self):
+        """When every surviving copy agrees on the same wrong value the
+        scavenger must return it (unanimously wrong, never a crash) —
+        the documented limit of blind replication."""
+        machine = make_machine("rwb")
+        machine.write(0, 3, 5)
+        machine.read(1, 3)
+        machine.read(2, 3)
+        injector = FaultInjector(machine.machine)
+        for cache_index in range(3):
+            injector.corrupt_cache(cache_index, 3)
+        injector.corrupt_memory(3)
+        outcome = scavenge(machine.machine, 3)
+        assert outcome.recovered_value == 5 ^ injector.mask
+        assert outcome.unanimous
+
+    def test_even_split_tie_is_deterministic(self):
+        """A 2-vs-2 vote must resolve the same way on identical machines:
+        insertion order (lowest cache index first) breaks the tie."""
+
+        def build():
+            machine = make_machine("rwb")
+            machine.write(0, 3, 5)
+            machine.read(1, 3)
+            machine.read(2, 3)
+            injector = FaultInjector(machine.machine)
+            injector.corrupt_cache(2, 3)
+            injector.corrupt_memory(3)
+            return machine
+
+        first = scavenge(build().machine, 3, repair_memory=False)
+        second = scavenge(build().machine, 3, repair_memory=False)
+        assert first.recovered_value == second.recovered_value == 5
+        assert not first.unanimous
+        assert not first.dirty_copy_used
 
 
 class TestRecoverability:

@@ -1,0 +1,99 @@
+"""Tests for the chaos soak harness and its experiment target."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.reliability.soak import (
+    INTENSITIES,
+    WORKLOADS,
+    SoakReport,
+    run_chaos_soak,
+    run_soak_point,
+    schedule_config,
+)
+
+
+class TestScheduleConfig:
+    def test_cycles_through_tiers_with_distinct_seeds(self):
+        configs = [schedule_config(i, seed=1) for i in range(6)]
+        assert configs[0].drop_snoop_rate == INTENSITIES["light"].drop_snoop_rate
+        assert configs[2].drop_snoop_rate == INTENSITIES["heavy"].drop_snoop_rate
+        # Same tier, different schedule -> different fault stream.
+        assert configs[0].seed != configs[3].seed
+
+    def test_negative_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_config(-1, seed=0)
+
+
+class TestSoakPoint:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_soak_point("coffee-break", "rb", 0)
+
+    def test_point_is_deterministic(self):
+        a = run_soak_point("counter-faa", "rb", 2)
+        b = run_soak_point("counter-faa", "rb", 2)
+        assert a == b
+
+    def test_heavy_schedule_exercises_offline_path(self):
+        outcome = run_soak_point("counter-lock", "rwb", 2)  # tier: heavy
+        assert outcome.intensity == "heavy"
+        assert outcome.outcome == "completed"
+        assert outcome.offlined > 0
+        assert outcome.unresolved == 0
+
+
+class TestSoakCampaign:
+    def test_small_campaign_has_no_silent_corruption(self):
+        report = run_chaos_soak(
+            protocols=("rb", "rwb"),
+            workloads=("counter-faa", "producer-consumer"),
+            schedules=3,
+        )
+        assert isinstance(report, SoakReport)
+        assert len(report.outcomes) == 2 * 2 * 3
+        assert report.ok
+        assert report.silent_corruptions == []
+        assert report.total_injected > 0
+        assert "PASS" in report.summary()
+
+    def test_progress_callback_sees_every_run(self):
+        seen = []
+        run_chaos_soak(
+            protocols=("rb",), workloads=("counter-faa",), schedules=2,
+            progress=lambda done, total, outcome: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_chaos_soak(workloads=("nope",), schedules=1)
+        with pytest.raises(ConfigurationError):
+            run_chaos_soak(schedules=0)
+
+    def test_all_registered_workloads_buildable(self):
+        for name in WORKLOADS:
+            config, programs, verify = WORKLOADS[name]()
+            assert len(programs) == config.num_pes
+            assert callable(verify)
+
+
+class TestExperimentTarget:
+    def test_chaos_target_registered(self):
+        from repro.experiments.cli import TARGETS
+
+        assert "chaos" in TARGETS
+
+    def test_run_produces_ok_artifact(self):
+        from repro.experiments import chaos_soak
+
+        result = chaos_soak.run(
+            protocols=("rb",), workloads=("counter-faa",), schedules=2
+        )
+        assert result.ok
+        point = result.point("counter-faa/rb")
+        assert point.metrics["runs"] == 2
+        assert point.metrics["silent_corruptions"] == 0
+        assert result.derived["total_runs"] == 2
+        assert result.tables and result.tables[0].rows

@@ -12,6 +12,7 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.sweep import SweepPoint, run_sweep
+from repro.sweep.runner import backoff_delay
 
 
 def _ok_task(point):
@@ -64,6 +65,10 @@ class TestArguments:
     def test_bad_retries_rejected(self):
         with pytest.raises(ConfigurationError):
             run_sweep(_ok_task, _points("a"), retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_ok_task, _points("a"), backoff_base_seconds=-0.1)
 
     def test_empty_points(self):
         assert run_sweep(_ok_task, []) == []
@@ -165,3 +170,48 @@ def _crash_or_ok_task(point):
     if point.name == "dead":
         os._exit(1)
     return {"metrics": {"fine": True}}
+
+
+class TestBackoff:
+    def test_delay_is_deterministic(self):
+        assert backoff_delay(0.1, 1, "p") == backoff_delay(0.1, 1, "p")
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        base = 0.1
+        for attempts in (1, 2, 3):
+            nominal = base * 2 ** (attempts - 1)
+            delay = backoff_delay(base, attempts, "p")
+            assert 0.75 * nominal <= delay < 1.25 * nominal
+
+    def test_jitter_varies_by_point_and_attempt(self):
+        delays = {
+            backoff_delay(0.1, 1, "a"),
+            backoff_delay(0.1, 1, "b"),
+            backoff_delay(0.1, 2, "a") / 2,
+        }
+        assert len(delays) == 3
+
+    def test_zero_base_disables_backoff(self):
+        assert backoff_delay(0.0, 5, "p") == 0.0
+
+    def test_retry_waits_out_the_backoff(self, tmp_path):
+        point = SweepPoint(
+            name="flaky", params={"marker": str(tmp_path / "marker")}
+        )
+        start = time.perf_counter()
+        results = run_sweep(
+            _crash_once_task, [point], workers=2, retries=1,
+            backoff_base_seconds=0.3,
+        )
+        wall = time.perf_counter() - start
+        assert results[0].status == "ok"
+        assert results[0].attempts == 2
+        # First retry must have waited at least the jitter floor.
+        assert wall >= 0.75 * 0.3
+
+    def test_attempts_survive_into_serialized_result(self):
+        results = run_sweep(
+            _crash_task, _points("a"), workers=2, retries=1,
+            backoff_base_seconds=0.01,
+        )
+        assert results[0].as_dict()["attempts"] == 2

@@ -150,6 +150,52 @@ class TestDrain:
         assert not machine.bus.has_pending()
 
 
+class TestLivelockDiagnostics:
+    def test_run_guard_raises_livelock_error_with_snapshot(self):
+        from repro.common.errors import LivelockError
+
+        machine = Machine(MachineConfig(num_pes=1))
+        asm = Assembler()
+        asm.label("forever")
+        asm.jmp("forever")
+        machine.load_programs([asm.assemble()])
+        with pytest.raises(LivelockError) as excinfo:
+            machine.run(max_cycles=25)
+        snapshot = excinfo.value.snapshot
+        assert snapshot["cycle"] >= 25
+        assert snapshot["pes"][0]["done"] is False
+        assert snapshot["pes"][0]["cache_offline"] is False
+        assert snapshot["bus_pending"] == []
+        # No trace sink was attached, so no tail is captured.
+        assert "trace_tail" not in snapshot
+
+    def test_drain_guard_snapshot_lists_pending_transactions(self):
+        from repro.common.errors import LivelockError
+
+        machine = Machine(MachineConfig(num_pes=1))
+        machine.caches[0].cpu_read(5, lambda value: None)
+        with pytest.raises(LivelockError) as excinfo:
+            machine.drain_bus(max_cycles=0)
+        pending = excinfo.value.snapshot["bus_pending"]
+        assert pending
+        assert pending[0]["client"] == 0
+        assert "BR" in pending[0]["txn"]
+
+    def test_snapshot_includes_trace_tail_when_tracing(self):
+        from repro.common.errors import LivelockError
+        from repro.trace import ListSink
+
+        machine = Machine(MachineConfig(num_pes=1), trace_sink=ListSink())
+        machine.load_traces([[MemRef(0, AccessType.READ, 1)]])
+        machine.run()
+        machine.caches[0].cpu_read(9, lambda value: None)
+        with pytest.raises(LivelockError) as excinfo:
+            machine.drain_bus(max_cycles=0)
+        tail = excinfo.value.snapshot["trace_tail"]
+        assert tail
+        assert all(isinstance(line, str) for line in tail)
+
+
 class TestArbiterSeed:
     """Satellite bugfix: the random arbiter must consume the machine's
     seed, not a hard-wired 0."""

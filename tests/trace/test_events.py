@@ -11,9 +11,13 @@ from repro.trace.events import (
     BusGrant,
     BusInterrupt,
     BusNack,
+    CacheOfflined,
+    FaultDetected,
+    FaultInjected,
     LineTransition,
     MemoryLock,
     MemoryUnlock,
+    RecoveryAction,
     SyncOp,
     event_from_dict,
 )
@@ -82,6 +86,22 @@ EXAMPLES = [
         cycle=7, cache="cache1", primitive="ts", phase="success",
         address=17, value=1,
     ),
+    FaultInjected(
+        cycle=8, fault="corrupt-transfer", bus="bus0", target="client2",
+        address=17, detail="BR[17] by c2",
+    ),
+    FaultDetected(
+        cycle=8, fault="corrupt-transfer", mechanism="parity",
+        target="client2", address=17,
+    ),
+    RecoveryAction(
+        cycle=8, fault="corrupt-transfer", action="retry-backoff",
+        target="client2", address=17, attempt=1, detail="retry at cycle 9",
+    ),
+    CacheOfflined(
+        cycle=9, cache="cache2", flushed=1, invalidated=5,
+        reason="3 unrecovered snoop failures",
+    ),
 ]
 
 
@@ -121,6 +141,7 @@ class TestRegistry:
         assert set(EVENT_KINDS) == {
             "arbiter", "grant", "nack", "interrupt", "complete",
             "line", "mem-lock", "mem-unlock", "sync",
+            "fault-injected", "fault-detected", "recovery", "cache-offlined",
         }
 
     def test_kinds_are_unique_tags(self):
