@@ -20,6 +20,7 @@ Quickstart::
     print(machine.stats.bag("bus").as_dict())
 """
 
+from repro.checkpoint import MachineSnapshot, checkpoint_defaults
 from repro.common.types import AccessType, Address, DataClass, MemRef, Word
 from repro.hierarchy import HierarchicalConfig, HierarchicalMachine
 from repro.protocols import (
@@ -62,6 +63,7 @@ __all__ = [
     "ListSink",
     "Machine",
     "MachineConfig",
+    "MachineSnapshot",
     "MemRef",
     "OnlineCoherenceChecker",
     "RBProtocol",
@@ -76,6 +78,7 @@ __all__ = [
     "__version__",
     "available_protocols",
     "check_protocol",
+    "checkpoint_defaults",
     "make_protocol",
     "read_jsonl",
     "run_random_consistency_trial",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SnapshotError
 from repro.common.rng import DeterministicRng
 
 
@@ -60,6 +60,18 @@ class Arbiter(abc.ABC):
         if not requesters:
             raise ConfigurationError("arbiter called with no requesters")
 
+    def state_dict(self) -> dict:
+        """JSON-compatible fairness state (stateless policies: policy name only)."""
+        return {"policy": self.name}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; the policy must match."""
+        if state.get("policy") != self.name:
+            raise SnapshotError(
+                f"snapshot holds arbiter policy {state.get('policy')!r} "
+                f"but the machine uses {self.name!r}"
+            )
+
 
 class RoundRobinArbiter(Arbiter):
     """Fair rotation: the granted client becomes lowest priority next cycle."""
@@ -81,6 +93,13 @@ class RoundRobinArbiter(Arbiter):
 
     def rotation_state(self) -> int | None:
         return self._last_granted
+
+    def state_dict(self) -> dict:
+        return {"policy": self.name, "last_granted": self._last_granted}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._last_granted = state["last_granted"]
 
 
 class FixedPriorityArbiter(Arbiter):
@@ -109,6 +128,13 @@ class RandomArbiter(Arbiter):
     def choose(self, requesters: Sequence[int]) -> int:
         self._check(requesters)
         return self._rng.choose(list(requesters))
+
+    def state_dict(self) -> dict:
+        return {"policy": self.name, "rng": self._rng.getstate()}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._rng.setstate(state["rng"])
 
 
 _ARBITERS = {

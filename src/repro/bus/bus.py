@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.bus.arbiter import Arbiter, RoundRobinArbiter
 from repro.bus.interfaces import BusClient, BusNetwork
 from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
-from repro.common.errors import BusError
+from repro.common.errors import BusError, SnapshotError
 from repro.common.stats import CounterBag
 from repro.common.types import Word
 from repro.memory.main_memory import MainMemory
@@ -462,3 +462,42 @@ class SharedBus(BusNetwork):
             for client_id in sorted(self._queues)
             for position, txn in enumerate(self._queues[client_id])
         ]
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot: cycle, counters, queues, arbiter."""
+        return {
+            "name": self.name,
+            "cycle": self.cycle,
+            "stats": self._stats.as_dict(),
+            "arbiter": self.arbiter.state_dict(),
+            "queues": [
+                [client_id, [txn.to_dict() for txn in self._queues[client_id]]]
+                for client_id in sorted(self._queues)
+                if self._queues[client_id]
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; clients must be attached."""
+        if state["name"] != self.name:
+            raise SnapshotError(
+                f"snapshot is for bus {state['name']!r}, this is {self.name!r}"
+            )
+        self.cycle = state["cycle"]
+        self._stats.load_counts(state["stats"])
+        self.arbiter.load_state_dict(state["arbiter"])
+        for queue in self._queues.values():
+            queue.clear()
+        for client_id, txns in state["queues"]:
+            if client_id not in self._queues:
+                raise SnapshotError(
+                    f"snapshot queues transactions for unattached client "
+                    f"{client_id} on {self.name}"
+                )
+            self._queues[client_id].extend(
+                BusTransaction.from_dict(txn) for txn in txns
+            )

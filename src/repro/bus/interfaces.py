@@ -11,6 +11,7 @@ import abc
 from typing import Callable
 
 from repro.bus.transaction import BusTransaction, CompletedTransaction
+from repro.common.errors import SnapshotError
 from repro.common.stats import CounterBag
 from repro.common.types import Word
 
@@ -126,3 +127,20 @@ class BusNetwork(abc.ABC):
     @abc.abstractmethod
     def utilization(self) -> float:
         """Busy fraction of the fabric (mean across physical buses)."""
+
+    def state_dict(self) -> dict:
+        """JSON-compatible fabric state for :mod:`repro.checkpoint`.
+
+        Fabrics that do not implement checkpointing (e.g. the hierarchy
+        extension's cluster adapters) refuse loudly instead of silently
+        producing an incomplete snapshot.
+        """
+        raise SnapshotError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        raise SnapshotError(
+            f"{type(self).__name__} does not support checkpointing"
+        )

@@ -19,7 +19,7 @@ from repro.bus.arbiter import Arbiter, make_arbiter
 from repro.bus.bus import SharedBus
 from repro.bus.interfaces import BusClient, BusNetwork
 from repro.bus.transaction import BusTransaction, CompletedTransaction
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SnapshotError
 from repro.common.stats import CounterBag
 from repro.memory.main_memory import MainMemory
 from repro.trace.sink import Tracer
@@ -117,6 +117,19 @@ class InterleavedMultiBus(BusNetwork):
         return [
             entry for bus in self.buses for entry in bus.pending_snapshot()
         ]
+
+    def state_dict(self) -> dict:
+        """Per-bank snapshots in bank order."""
+        return {"buses": [bus.state_dict() for bus in self.buses]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["buses"]) != len(self.buses):
+            raise SnapshotError(
+                f"snapshot holds {len(state['buses'])} buses but the "
+                f"fabric has {len(self.buses)}"
+            )
+        for bus, bus_state in zip(self.buses, state["buses"]):
+            bus.load_state_dict(bus_state)
 
     # ------------------------------------------------------------------ #
     # reporting                                                           #

@@ -10,7 +10,6 @@ without writing, which is how a *failed* test-and-set ends its bus cycle.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
@@ -67,7 +66,42 @@ class BusOp(enum.Enum):
         )
 
 
-_txn_serial = itertools.count()
+class _SerialCounter:
+    """Process-wide transaction serial source.
+
+    Serials appear in trace events and snapshots, so checkpoint restore
+    must be able to rewind the counter — which ``itertools.count`` cannot
+    do.  The counter supports the iterator protocol so existing
+    ``next(_txn_serial)`` call sites are unchanged.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def __next__(self) -> int:
+        serial = self.value
+        self.value += 1
+        return serial
+
+
+_txn_serial = _SerialCounter()
+
+
+def txn_serial_state() -> int:
+    """The next serial the counter would hand out (for snapshots)."""
+    return _txn_serial.value
+
+
+def restore_txn_serial(value: int) -> None:
+    """Rewind (or advance) the serial counter to *value* (snapshot restore)."""
+    _txn_serial.value = int(value)
+
+
+def reset_txn_serial() -> None:
+    """Restart serial numbering at zero (test/replay isolation)."""
+    _txn_serial.value = 0
 
 
 @dataclass(slots=True)
@@ -104,6 +138,33 @@ class BusTransaction:
         data = f"={self.value}" if self.op.is_write_like else ""
         wb = " (wb)" if self.is_writeback else ""
         return f"{self.op.value}[{self.address}]{data} by c{self.originator}{wb}"
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible snapshot of this transaction."""
+        return {
+            "op": self.op.name,
+            "address": self.address,
+            "originator": self.originator,
+            "value": self.value,
+            "is_writeback": self.is_writeback,
+            "serial": self.serial,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "BusTransaction":
+        """Rebuild a transaction from :meth:`to_dict` output.
+
+        The stored serial is reused verbatim, so restoring does not burn
+        fresh serials from the process-wide counter.
+        """
+        return cls(
+            op=BusOp[state["op"]],
+            address=state["address"],
+            originator=state["originator"],
+            value=state["value"],
+            is_writeback=state["is_writeback"],
+            serial=state["serial"],
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -31,7 +31,7 @@ from repro.bus.transaction import BusOp, BusTransaction
 from repro.cache.line import CacheLine
 from repro.cache.mapping import PlacementPolicy
 from repro.cache.replacement import LruReplacement, ReplacementPolicy
-from repro.common.errors import CacheError
+from repro.common.errors import CacheError, SnapshotError
 from repro.common.stats import CounterBag
 from repro.common.types import Address, Word
 from repro.protocols.base import CoherenceProtocol, CpuReaction
@@ -83,6 +83,41 @@ class _PendingOp:
     awaiting_writeback: bool = False
     #: Serial of the issued demand transaction (for cancellation matching).
     demand_serial: int | None = None
+
+
+def _unbound_callback(_value: Word) -> None:
+    """Placeholder completion callback for a restored pending op.
+
+    A snapshot cannot serialize the original closure; the owning driver
+    must call :meth:`SnoopingCache.rebind_pending_callback` before the op
+    completes.  Firing the placeholder means restore wiring was skipped.
+    """
+    raise CacheError(
+        "restored pending operation completed before its callback was "
+        "rebound (rebind_pending_callback was never called)"
+    )
+
+
+def _reaction_to_dict(reaction: CpuReaction | None) -> dict | None:
+    if reaction is None:
+        return None
+    return {
+        "bus_op": reaction.bus_op.name if reaction.bus_op is not None else None,
+        "next_state": reaction.next_state.value,
+        "next_meta": reaction.next_meta,
+        "writes_value": reaction.writes_value,
+    }
+
+
+def _reaction_from_dict(state: dict | None) -> CpuReaction | None:
+    if state is None:
+        return None
+    return CpuReaction(
+        bus_op=BusOp[state["bus_op"]] if state["bus_op"] is not None else None,
+        next_state=LineState(state["next_state"]),
+        next_meta=state["next_meta"],
+        writes_value=state["writes_value"],
+    )
 
 
 class SnoopingCache(BusClient):
@@ -852,6 +887,104 @@ class SnoopingCache(BusClient):
             "awaiting_writeback": pending.awaiting_writeback,
             "demand_serial": pending.demand_serial,
         }
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of every mutable field.
+
+        The pending op's completion callback is a closure into the owning
+        driver and cannot be serialized; restore re-derives it via
+        :meth:`rebind_pending_callback` (the driver knows which consume
+        action its un-advanced program position implies).
+        """
+        pending = self._pending
+        return {
+            "name": self.name,
+            "offline": self.offline,
+            "client_id": self.client_id,
+            "stamp": self._stamp,
+            "last_completed_serial": self.last_completed_serial,
+            "ever_cached": sorted(self._ever_cached),
+            "lines": [line.state_dict() for line in self._lines],
+            "pending": None
+            if pending is None
+            else {
+                "kind": pending.kind.value,
+                "address": pending.address,
+                "value": pending.value,
+                "reaction": _reaction_to_dict(pending.reaction),
+                "ts_phase": pending.ts_phase,
+                "ts_old_value": pending.ts_old_value,
+                "awaiting_writeback": pending.awaiting_writeback,
+                "demand_serial": pending.demand_serial,
+            },
+            "writebacks": [
+                [serial, record.purpose.value, record.frame, record.address]
+                for serial, record in sorted(self._writebacks.items())
+            ],
+            "stats": self.stats.as_dict(),
+            "replacement": self.replacement.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place.
+
+        The pending op (if any) gets the :func:`_unbound_callback`
+        placeholder; the machine rebinds it to the restored driver.
+        """
+        if state["name"] != self.name:
+            raise SnapshotError(
+                f"snapshot is for cache {state['name']!r}, this is {self.name!r}"
+            )
+        if len(state["lines"]) != len(self._lines):
+            raise SnapshotError(
+                f"{self.name}: snapshot holds {len(state['lines'])} frames "
+                f"but this cache has {len(self._lines)}"
+            )
+        self.offline = state["offline"]
+        self.client_id = state["client_id"]
+        self._stamp = state["stamp"]
+        self.last_completed_serial = state["last_completed_serial"]
+        self._ever_cached = set(state["ever_cached"])
+        for line, line_state in zip(self._lines, state["lines"]):
+            line.load_state_dict(line_state)
+        pending = state["pending"]
+        if pending is None:
+            self._pending = None
+        else:
+            self._pending = _PendingOp(
+                kind=_Kind(pending["kind"]),
+                address=pending["address"],
+                callback=_unbound_callback,
+                value=pending["value"],
+                reaction=_reaction_from_dict(pending["reaction"]),
+                ts_phase=pending["ts_phase"],
+                ts_old_value=pending["ts_old_value"],
+                awaiting_writeback=pending["awaiting_writeback"],
+                demand_serial=pending["demand_serial"],
+            )
+        self._writebacks = {
+            int(serial): _PendingWriteback(
+                purpose=_WritebackPurpose(purpose), frame=frame, address=address
+            )
+            for serial, purpose, frame, address in state["writebacks"]
+        }
+        self.stats.load_counts(state["stats"])
+        self.replacement.load_state_dict(state["replacement"])
+
+    def pending_kind(self) -> str | None:
+        """The outstanding CPU op's kind (``None`` when the port is idle);
+        drivers use it to rebuild the matching completion callback."""
+        return self._pending.kind.value if self._pending is not None else None
+
+    def rebind_pending_callback(self, callback: CpuCallback) -> None:
+        """Attach a freshly built completion callback to the restored op."""
+        if self._pending is None:
+            raise CacheError(f"{self.name}: no pending operation to rebind")
+        self._pending.callback = callback
 
     # ------------------------------------------------------------------ #
     # helpers                                                             #

@@ -83,3 +83,26 @@ class CacheLine:
         if not self.occupied or self.state is LineState.INVALID:
             return f"{self.state}(-)"
         return f"{self.state}({self.value})"
+
+    def state_dict(self) -> dict:
+        """A JSON-compatible snapshot of the frame."""
+        return {
+            "address": self.address,
+            "state": self.state.value,
+            "value": self.value,
+            "meta": self.meta,
+            "last_used": self.last_used,
+            "installed_at": self.installed_at,
+            "invalidated_by_snoop": self.invalidated_by_snoop,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.address = state["address"]
+        self.state = LineState(state["state"])
+        self.value = state["value"]
+        self.meta = state["meta"]
+        self.last_used = state["last_used"]
+        self.installed_at = state["installed_at"]
+        self.invalidated_by_snoop = state["invalidated_by_snoop"]
+        self.check_consistent()

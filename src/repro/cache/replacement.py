@@ -11,7 +11,7 @@ import abc
 from typing import Sequence
 
 from repro.cache.line import CacheLine
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SnapshotError
 from repro.common.rng import DeterministicRng
 
 
@@ -31,6 +31,18 @@ class ReplacementPolicy(abc.ABC):
     def _check(self, candidates: Sequence[tuple[int, CacheLine]]) -> None:
         if not candidates:
             raise ConfigurationError("no candidate frames to choose a victim from")
+
+    def state_dict(self) -> dict:
+        """JSON-compatible policy state (stateless policies: name only)."""
+        return {"policy": self.name}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; the policy must match."""
+        if state.get("policy") != self.name:
+            raise SnapshotError(
+                f"snapshot holds replacement policy {state.get('policy')!r} "
+                f"but the cache uses {self.name!r}"
+            )
 
 
 class LruReplacement(ReplacementPolicy):
@@ -64,6 +76,13 @@ class RandomReplacement(ReplacementPolicy):
     def choose_victim(self, candidates: Sequence[tuple[int, CacheLine]]) -> int:
         self._check(candidates)
         return self._rng.choose([frame for frame, _ in candidates])
+
+    def state_dict(self) -> dict:
+        return {"policy": self.name, "rng": self._rng.getstate()}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._rng.setstate(state["rng"])
 
 
 _POLICIES = {

@@ -1,0 +1,36 @@
+"""Full-machine checkpointing: snapshot, crash-resume, replay, time-travel.
+
+The subsystem has four faces:
+
+* :mod:`repro.checkpoint.snapshot` — the versioned, integrity-hashed
+  on-disk format (:class:`MachineSnapshot`).
+* :mod:`repro.checkpoint.context` — process-wide checkpoint defaults the
+  sweep harness installs around tasks (crash-resume plumbing).
+* :mod:`repro.checkpoint.replay` — :func:`verify_resume` (checkpoint +
+  resume is bit-identical to a straight run) and
+  :func:`bisect_divergence` (first cycle two executions differ).
+* :mod:`repro.checkpoint.timetravel` — :class:`TimeTraveler` (jump a
+  finished run to any cycle) and :func:`machine_from_livelock`.
+
+This package must not import :mod:`repro.system.machine` at module level:
+the machine itself imports :mod:`repro.checkpoint.context`, which loads
+this ``__init__`` first.
+"""
+
+from repro.checkpoint.context import (
+    CheckpointDefaults,
+    checkpoint_defaults,
+    get_checkpoint_defaults,
+    set_checkpoint_defaults,
+)
+from repro.checkpoint.snapshot import SCHEMA_VERSION, MachineSnapshot, payload_digest
+
+__all__ = [
+    "CheckpointDefaults",
+    "MachineSnapshot",
+    "SCHEMA_VERSION",
+    "checkpoint_defaults",
+    "get_checkpoint_defaults",
+    "payload_digest",
+    "set_checkpoint_defaults",
+]

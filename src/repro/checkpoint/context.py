@@ -1,0 +1,64 @@
+"""Process-wide checkpoint defaults (mirrors :mod:`repro.trace.context`).
+
+The sweep harness runs task callables whose signatures it does not own, so
+checkpoint settings travel the same way trace settings do: a process-wide
+default that :class:`~repro.system.machine.Machine` consults when its
+config leaves the checkpoint fields unset.  Workers install per-point
+defaults around the task, and every machine the task builds picks them up.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointDefaults:
+    """Ambient checkpoint settings for machines built without explicit ones.
+
+    Attributes:
+        path: snapshot file for a single machine (``MachineConfig.
+            checkpoint_path`` wins when set).
+        every: snapshot period in cycles (0 disables).
+        resume: restore from ``path`` before the first step when the file
+            exists (crash-resume; a missing file is a fresh first attempt).
+    """
+
+    path: str | None = None
+    every: int = 0
+    resume: bool = False
+
+
+_DEFAULTS = CheckpointDefaults()
+
+
+def get_checkpoint_defaults() -> CheckpointDefaults:
+    """The currently installed process-wide checkpoint defaults."""
+    return _DEFAULTS
+
+
+def set_checkpoint_defaults(defaults: CheckpointDefaults) -> CheckpointDefaults:
+    """Install new defaults; returns the previous ones (for restoration)."""
+    global _DEFAULTS
+    previous = _DEFAULTS
+    _DEFAULTS = defaults
+    return previous
+
+
+@contextmanager
+def checkpoint_defaults(
+    path: str | None = None,
+    every: int = 0,
+    resume: bool = False,
+) -> Iterator[CheckpointDefaults]:
+    """Scoped defaults: install for the ``with`` body, then restore."""
+    installed = replace(
+        CheckpointDefaults(), path=path, every=every, resume=resume
+    )
+    previous = set_checkpoint_defaults(installed)
+    try:
+        yield installed
+    finally:
+        set_checkpoint_defaults(previous)

@@ -1,0 +1,280 @@
+"""Deterministic replay: prove checkpoint/restore changes nothing.
+
+Two verification primitives live here:
+
+* :func:`verify_resume` — run a machine straight to completion, then run
+  it again but checkpoint at cycle *k* and restore into a fresh machine;
+  assert the two executions are bit-identical (stats, the full trace-event
+  stream, final memory image and final cycle).  This is the property the
+  whole checkpoint subsystem exists to provide.
+
+* :func:`bisect_divergence` — given two machine factories that *should*
+  behave identically, find the first cycle where their state digests
+  differ.  Snapshot-stride digests narrow the search to one window, then
+  the two machines are restored at the last agreeing boundary and stepped
+  in lockstep, comparing :meth:`Machine.state_digest` per cycle.  The
+  report carries both trace tails around the divergence point.
+
+Both functions take machine *factories* — ``factory(trace_sink)`` must
+build a fresh, fully loaded machine wired to that sink — because a fair
+comparison needs each execution built from scratch with its own RNG
+streams and a reset transaction-serial counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bus.transaction import (
+    reset_txn_serial,
+    restore_txn_serial,
+    txn_serial_state,
+)
+from repro.system.machine import Machine
+from repro.trace.sink import ListSink, TraceSink, format_tail
+
+MachineFactory = Callable[[TraceSink], Machine]
+
+
+@dataclass(slots=True)
+class ResumeReport:
+    """Outcome of :func:`verify_resume`.
+
+    Attributes:
+        identical: the resumed execution matched the straight one on
+            every compared axis.
+        at_cycle: cycle the checkpoint was taken at (clamped to the run's
+            actual length if the machine went idle earlier).
+        straight_cycles: total cycles of the straight run.
+        resumed_cycles: total cycles of the checkpointed-and-resumed run.
+        mismatches: human-readable descriptions of every difference.
+    """
+
+    identical: bool
+    at_cycle: int
+    straight_cycles: int
+    resumed_cycles: int
+    mismatches: list[str] = field(default_factory=list)
+
+
+def _final_state(machine: Machine, sink: ListSink) -> dict:
+    return {
+        "cycle": machine.cycle,
+        "stats": machine.stats.as_dict(),
+        "memory": machine.memory.state_dict()["words"],
+        "events": [event.to_dict() for event in sink],
+    }
+
+
+def verify_resume(
+    factory: MachineFactory, at_cycle: int, max_cycles: int = 100_000
+) -> ResumeReport:
+    """Checkpoint at *at_cycle*, resume, and compare against a straight run.
+
+    Args:
+        factory: builds a fresh loaded machine feeding the given sink.
+        at_cycle: cycle to checkpoint at.  If the machine goes idle
+            earlier, the checkpoint is taken at idle (still a valid —
+            if trivial — resume).
+        max_cycles: livelock bound for each run.
+
+    Returns:
+        A :class:`ResumeReport`; ``report.identical`` is the assertion
+        payload, ``report.mismatches`` the diagnosis.
+    """
+    # Straight run.
+    reset_txn_serial()
+    straight_sink = ListSink()
+    straight = factory(straight_sink)
+    straight.run(max_cycles=max_cycles)
+    expected = _final_state(straight, straight_sink)
+
+    # Checkpointed run: step to the checkpoint, capture, restore, finish.
+    reset_txn_serial()
+    resumed_sink = ListSink()
+    first_leg = factory(resumed_sink)
+    taken_at = 0
+    while taken_at < at_cycle and not first_leg.idle:
+        first_leg.step()
+        taken_at += 1
+    snapshot = first_leg.checkpoint()
+    resumed = Machine.restore(snapshot, trace_sink=resumed_sink)
+    resumed.run(max_cycles=max_cycles)
+    actual = _final_state(resumed, resumed_sink)
+
+    mismatches: list[str] = []
+    if actual["cycle"] != expected["cycle"]:
+        mismatches.append(
+            f"final cycle differs: straight {expected['cycle']}, "
+            f"resumed {actual['cycle']}"
+        )
+    if actual["stats"] != expected["stats"]:
+        keys = {
+            key
+            for source in (expected["stats"], actual["stats"])
+            for key in source
+        }
+        for key in sorted(keys):
+            if expected["stats"].get(key) != actual["stats"].get(key):
+                mismatches.append(
+                    f"stats[{key!r}] differs: straight "
+                    f"{expected['stats'].get(key)}, resumed "
+                    f"{actual['stats'].get(key)}"
+                )
+    if actual["memory"] != expected["memory"]:
+        straight_words = dict(expected["memory"])
+        resumed_words = dict(actual["memory"])
+        for address in sorted(set(straight_words) | set(resumed_words)):
+            if straight_words.get(address) != resumed_words.get(address):
+                mismatches.append(
+                    f"memory[{address}] differs: straight "
+                    f"{straight_words.get(address)}, resumed "
+                    f"{resumed_words.get(address)}"
+                )
+    if actual["events"] != expected["events"]:
+        length = min(len(expected["events"]), len(actual["events"]))
+        for index in range(length):
+            if expected["events"][index] != actual["events"][index]:
+                mismatches.append(
+                    f"trace event {index} differs: straight "
+                    f"{expected['events'][index]}, resumed "
+                    f"{actual['events'][index]}"
+                )
+                break
+        else:
+            mismatches.append(
+                f"trace length differs: straight {len(expected['events'])} "
+                f"events, resumed {len(actual['events'])}"
+            )
+    return ResumeReport(
+        identical=not mismatches,
+        at_cycle=taken_at,
+        straight_cycles=expected["cycle"],
+        resumed_cycles=actual["cycle"],
+        mismatches=mismatches,
+    )
+
+
+@dataclass(slots=True)
+class DivergenceReport:
+    """Outcome of :func:`bisect_divergence` when the executions differ.
+
+    Attributes:
+        cycle: first cycle whose end-of-cycle state digests differ.
+        window_start: last snapshot boundary where the digests agreed
+            (the lockstep replay started there).
+        digest_a: machine A's state digest at the diverging cycle.
+        digest_b: machine B's state digest at the diverging cycle.
+        trace_tail_a: machine A's trace tail around the divergence.
+        trace_tail_b: machine B's trace tail around the divergence.
+    """
+
+    cycle: int
+    window_start: int
+    digest_a: str
+    digest_b: str
+    trace_tail_a: str
+    trace_tail_b: str
+
+    def describe(self) -> str:
+        """A multi-line report naming the cycle and embedding both tails."""
+        return (
+            f"executions diverge at cycle {self.cycle} "
+            f"(lockstep replay from cycle {self.window_start})\n"
+            f"digest A: {self.digest_a}\ndigest B: {self.digest_b}\n"
+            f"trace tail A:\n{self.trace_tail_a}\n"
+            f"trace tail B:\n{self.trace_tail_b}"
+        )
+
+
+class _Recording:
+    """One run's stride-boundary snapshots and digests."""
+
+    __slots__ = ("snapshots", "digests", "final_cycle", "final_digest")
+
+    def __init__(self, machine: Machine, max_cycles: int, stride: int) -> None:
+        self.snapshots = {0: machine.checkpoint()}
+        self.digests = {0: machine.state_digest()}
+        while not machine.idle and machine.cycle < max_cycles:
+            machine.step()
+            if machine.cycle % stride == 0:
+                self.snapshots[machine.cycle] = machine.checkpoint()
+                self.digests[machine.cycle] = machine.state_digest()
+        self.final_cycle = machine.cycle
+        self.final_digest = machine.state_digest()
+
+
+def bisect_divergence(
+    factory_a: MachineFactory,
+    factory_b: MachineFactory,
+    max_cycles: int = 10_000,
+    stride: int = 64,
+    tail_events: int = 16,
+) -> DivergenceReport | None:
+    """First cycle where two supposedly identical executions differ.
+
+    Returns ``None`` when the executions are digest-identical end to end.
+    Otherwise snapshot-stride digests locate the window containing the
+    first divergence, both machines are restored at the window's start and
+    stepped in lockstep (each with its own transaction-serial stream), and
+    the first cycle with differing digests is reported with both trace
+    tails.
+    """
+    reset_txn_serial()
+    recording_a = _Recording(factory_a(ListSink()), max_cycles, stride)
+    reset_txn_serial()
+    recording_b = _Recording(factory_b(ListSink()), max_cycles, stride)
+
+    shared = sorted(set(recording_a.digests) & set(recording_b.digests))
+    window_start = 0
+    diverged_boundary = None
+    for boundary in shared:
+        if recording_a.digests[boundary] != recording_b.digests[boundary]:
+            diverged_boundary = boundary
+            break
+        window_start = boundary
+    if diverged_boundary is None:
+        same_end = (
+            recording_a.final_cycle == recording_b.final_cycle
+            and recording_a.final_digest == recording_b.final_digest
+            and set(recording_a.digests) == set(recording_b.digests)
+        )
+        if same_end:
+            return None
+        # Boundaries all agree but the runs end differently: the
+        # divergence is after the last shared boundary.
+
+    sink_a = ListSink()
+    sink_b = ListSink()
+    machine_a = Machine.restore(recording_a.snapshots[window_start], sink_a)
+    machine_b = Machine.restore(recording_b.snapshots[window_start], sink_b)
+    # Each machine keeps its own serial stream, as if it ran alone; the
+    # counter is process-global, so swap it around each step.
+    serial_a = serial_b = txn_serial_state()
+    while machine_a.cycle < max_cycles or machine_b.cycle < max_cycles:
+        stepped = False
+        if not machine_a.idle and machine_a.cycle < max_cycles:
+            restore_txn_serial(serial_a)
+            machine_a.step()
+            serial_a = txn_serial_state()
+            stepped = True
+        if not machine_b.idle and machine_b.cycle < max_cycles:
+            restore_txn_serial(serial_b)
+            machine_b.step()
+            serial_b = txn_serial_state()
+            stepped = True
+        digest_a = machine_a.state_digest()
+        digest_b = machine_b.state_digest()
+        if digest_a != digest_b or machine_a.cycle != machine_b.cycle:
+            return DivergenceReport(
+                cycle=max(machine_a.cycle, machine_b.cycle),
+                window_start=window_start,
+                digest_a=digest_a,
+                digest_b=digest_b,
+                trace_tail_a=format_tail(sink_a, tail_events),
+                trace_tail_b=format_tail(sink_b, tail_events),
+            )
+        if not stepped:
+            break
+    return None

@@ -1,0 +1,191 @@
+"""The versioned, integrity-hashed full-machine snapshot format.
+
+A :class:`MachineSnapshot` is the whole product-machine configuration the
+Section-4 proof quantifies over, serialized: memory words, every cache's
+line array and protocol meta-state, PE registers / program position,
+bus-arbiter and pending-transaction state, the chaos fault ledger and the
+exact RNG stream states.  ``Machine.checkpoint()`` captures one;
+``Machine.restore()`` (or :meth:`MachineSnapshot.restore`) rebuilds a
+machine that continues bit-identically.
+
+On disk a snapshot is a JSON envelope::
+
+    {
+      "schema_version": 1,
+      "integrity": "sha256:<hex of canonical payload JSON>",
+      "encoding": "json" | "zlib",
+      "payload": {...} | "<base64 of zlib-compressed payload JSON>"
+    }
+
+The integrity hash is computed over the canonical (sorted-keys, compact)
+JSON of the payload, so tampering — or a truncated write — is caught at
+load time.  Writes are atomic (temp file + ``os.replace``), so a crash
+mid-write can never leave a half-written checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.common.errors import LivelockError, SnapshotError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.machine import Machine
+    from repro.trace.sink import TraceSink
+
+#: Version of the snapshot payload schema.  Bump on any incompatible
+#: change to what ``Machine.state_dict()`` emits.
+SCHEMA_VERSION = 1
+
+
+def payload_digest(payload: dict) -> str:
+    """``sha256:<hex>`` over the canonical JSON rendering of *payload*."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(slots=True)
+class MachineSnapshot:
+    """One captured machine state, save/load-able with integrity checking.
+
+    Attributes:
+        payload: the machine's full ``state_dict()`` (JSON-compatible).
+        schema_version: payload schema version this snapshot was taken
+            under.
+    """
+
+    payload: dict
+    schema_version: int = field(default=SCHEMA_VERSION)
+
+    @classmethod
+    def capture(cls, machine: "Machine") -> "MachineSnapshot":
+        """Snapshot *machine*'s complete state right now."""
+        return cls(payload=machine.state_dict())
+
+    @property
+    def cycle(self) -> int:
+        """The machine cycle the snapshot was taken at."""
+        return self.payload["cycle"]
+
+    def integrity(self) -> str:
+        """The payload's integrity hash (as stored in the envelope)."""
+        return payload_digest(self.payload)
+
+    def restore(self, trace_sink: "TraceSink | None" = None) -> "Machine":
+        """Build a fresh machine continuing from this snapshot.
+
+        See :meth:`repro.system.machine.Machine.restore` for the detached-
+        machine semantics (no file tracing, no periodic checkpointing).
+        """
+        from repro.system.machine import Machine
+
+        return Machine.restore(self, trace_sink=trace_sink)
+
+    @classmethod
+    def from_livelock(cls, error: LivelockError) -> "MachineSnapshot":
+        """The full-machine snapshot embedded in a livelock report.
+
+        ``Machine.livelock_snapshot`` embeds a complete ``state_dict``
+        under the ``"machine"`` key, so a wedged run can be restored and
+        time-travel-debugged straight from the exception.
+        """
+        payload = error.snapshot.get("machine")
+        if payload is None:
+            raise SnapshotError(
+                "livelock snapshot carries no machine state (raised by a "
+                "pre-checkpoint build or a non-checkpointable machine)"
+            )
+        return cls(payload=payload)
+
+    # ------------------------------------------------------------------ #
+    # serialization                                                       #
+    # ------------------------------------------------------------------ #
+
+    def to_json(self, compress: bool = False) -> str:
+        """The on-disk envelope as a JSON string."""
+        if compress:
+            raw = json.dumps(
+                self.payload, sort_keys=True, separators=(",", ":")
+            ).encode()
+            encoded: object = base64.b64encode(zlib.compress(raw)).decode()
+            encoding = "zlib"
+        else:
+            encoded = self.payload
+            encoding = "json"
+        return json.dumps(
+            {
+                "schema_version": self.schema_version,
+                "integrity": self.integrity(),
+                "encoding": encoding,
+                "payload": encoded,
+            }
+        )
+
+    def save(self, path: str | os.PathLike, compress: bool = False) -> Path:
+        """Atomically write the envelope to *path*; returns the path.
+
+        The parent directory is created if needed.  The write goes to a
+        temp file first and is moved into place with ``os.replace``, so a
+        crash mid-write leaves the previous checkpoint intact.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(self.to_json(compress=compress), encoding="utf-8")
+        os.replace(tmp, target)
+        return target
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "MachineSnapshot":
+        """Read and verify an envelope written by :meth:`save`.
+
+        Raises:
+            SnapshotError: the file is not a snapshot envelope, its
+                schema version is unknown, or its integrity hash does not
+                match the payload (tampering or truncation).
+        """
+        try:
+            envelope = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            raise SnapshotError(f"{path} is not a snapshot envelope")
+        version = envelope.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SnapshotError(
+                f"snapshot {path} has schema_version {version!r}; this "
+                f"build reads version {SCHEMA_VERSION}"
+            )
+        encoding = envelope.get("encoding", "json")
+        if encoding == "zlib":
+            try:
+                raw = zlib.decompress(base64.b64decode(envelope["payload"]))
+                payload = json.loads(raw)
+            except (ValueError, zlib.error, json.JSONDecodeError) as exc:
+                raise SnapshotError(
+                    f"snapshot {path}: corrupt compressed payload: {exc}"
+                ) from exc
+        elif encoding == "json":
+            payload = envelope["payload"]
+        else:
+            raise SnapshotError(
+                f"snapshot {path} uses unknown encoding {encoding!r}"
+            )
+        if not isinstance(payload, dict):
+            raise SnapshotError(f"snapshot {path}: payload is not an object")
+        stored = envelope.get("integrity")
+        actual = payload_digest(payload)
+        if stored != actual:
+            raise SnapshotError(
+                f"snapshot {path} failed its integrity check "
+                f"(stored {stored!r}, computed {actual!r}) — the file was "
+                "modified or truncated after it was written"
+            )
+        return cls(payload=payload, schema_version=version)

@@ -1,0 +1,122 @@
+"""Time-travel debugging: jump a finished run to any cycle and look around.
+
+A :class:`TimeTraveler` runs a machine to completion once, keeping a
+snapshot every *snapshot_every* cycles and the complete trace-event
+stream.  After that, any cycle of the execution is reachable: ``goto(k)``
+restores the nearest earlier snapshot and replays forward (deterministic,
+so the replayed machine is bit-identical to the original at cycle *k*),
+``step_back(n)`` walks the current position backwards, and ``window(k)``
+renders the trace events around a cycle — the "what was the machine doing
+right before it went wrong" primitive.
+
+Livelock reports embed a full machine snapshot, so a wedged run can be
+entered directly: :func:`machine_from_livelock` restores the machine at
+the wedge cycle, and the report's config can seed a fresh traveler for
+the cycles leading up to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bus.transaction import reset_txn_serial
+from repro.common.errors import LivelockError, SnapshotError
+from repro.system.machine import Machine
+from repro.trace.sink import ListSink, TraceSink, format_tail
+
+MachineFactory = Callable[[TraceSink], Machine]
+
+
+class TimeTraveler:
+    """Replay-based random access into one deterministic execution.
+
+    Args:
+        factory: builds a fresh, fully loaded machine feeding the given
+            trace sink (same contract as :mod:`repro.checkpoint.replay`).
+        snapshot_every: keep a restore point every N cycles; smaller means
+            faster ``goto`` at more memory.
+        max_cycles: livelock bound for the recording run.
+
+    Attributes:
+        final_cycle: the execution's total length in cycles.
+        position: the cycle the current :attr:`machine` is standing at.
+        machine: a machine bit-identical to the original at ``position``.
+    """
+
+    def __init__(
+        self,
+        factory: MachineFactory,
+        snapshot_every: int = 100,
+        max_cycles: int = 100_000,
+    ) -> None:
+        if snapshot_every < 1:
+            raise SnapshotError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        reset_txn_serial()
+        sink = ListSink()
+        machine = factory(sink)
+        self._snapshots = {0: machine.checkpoint()}
+        while not machine.idle and machine.cycle < max_cycles:
+            machine.step()
+            if machine.cycle % snapshot_every == 0:
+                self._snapshots[machine.cycle] = machine.checkpoint()
+        self.final_cycle = machine.cycle
+        #: Every trace event of the recorded execution, in order.
+        self.events = list(sink)
+        self.machine = machine
+        self.position = machine.cycle
+
+    def goto(self, cycle: int) -> Machine:
+        """Stand the traveler at *cycle*; returns the restored machine.
+
+        Restores the nearest snapshot at or before *cycle* and replays
+        forward — determinism makes the result bit-identical to the
+        original execution at that cycle.
+        """
+        target = max(0, min(cycle, self.final_cycle))
+        base = max(c for c in self._snapshots if c <= target)
+        machine = Machine.restore(self._snapshots[base])
+        while machine.cycle < target:
+            machine.step()
+        self.machine = machine
+        self.position = machine.cycle
+        return machine
+
+    def step_back(self, n: int = 1) -> Machine:
+        """Move *n* cycles backwards from the current position."""
+        return self.goto(self.position - n)
+
+    def window(self, cycle: int | None = None, radius: int = 8) -> list[str]:
+        """Described trace events within *radius* cycles of *cycle*
+        (default: the current position)."""
+        center = self.position if cycle is None else cycle
+        return [
+            event.describe()
+            for event in self.events
+            if abs(event.cycle - center) <= radius
+        ]
+
+    def format_window(self, cycle: int | None = None, radius: int = 8) -> str:
+        """:meth:`window` rendered as an indented block for reports."""
+        center = self.position if cycle is None else cycle
+        events = [
+            event
+            for event in self.events
+            if abs(event.cycle - center) <= radius
+        ]
+        return format_tail(events, limit=len(events) or 1)
+
+
+def machine_from_livelock(
+    error: LivelockError, trace_sink: TraceSink | None = None
+) -> Machine:
+    """Restore the wedged machine embedded in a livelock report.
+
+    The returned machine stands at the wedge cycle with the full stuck
+    configuration — pending CPU operations, queued bus transactions,
+    chaos ledger — ready for inspection or further stepping.
+    """
+    from repro.checkpoint.snapshot import MachineSnapshot
+
+    return MachineSnapshot.from_livelock(error).restore(trace_sink=trace_sink)

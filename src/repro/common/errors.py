@@ -53,6 +53,15 @@ class LivelockError(ReproError):
         self.snapshot: dict = snapshot or {}
 
 
+class SnapshotError(ReproError):
+    """A machine snapshot could not be captured, loaded or applied.
+
+    Raised for schema-version mismatches, integrity-hash failures,
+    RNG stream-layout mismatches, and attempts to restore a snapshot
+    into a machine whose shape differs from the one that produced it.
+    """
+
+
 class UnrecoverableFaultError(ReproError):
     """An injected fault exhausted its recovery budget.
 

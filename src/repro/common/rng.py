@@ -16,7 +16,7 @@ import itertools
 import random
 from typing import Sequence, TypeVar
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SnapshotError
 
 T = TypeVar("T")
 
@@ -93,6 +93,47 @@ class DeterministicRng:
     def split(self, *labels: object) -> "DeterministicRng":
         """A child generator with an independent stream."""
         return DeterministicRng(derive_seed(self.seed, *labels))
+
+    def getstate(self) -> dict:
+        """The exact generator state, as a JSON-compatible dict.
+
+        Captures the full Mersenne-Twister internal state (not just the
+        seed), so a restored stream continues with the *next* draw the
+        original would have produced — a re-seed would instead rewind the
+        stream to its beginning and silently break replay determinism.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return {
+            "seed": self.seed,
+            "version": version,
+            "internal": list(internal),
+            "gauss_next": gauss_next,
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        Raises:
+            SnapshotError: if *state* is structurally wrong or does not
+                match this generator's stream layout.  Restoring never
+                falls back to re-seeding: a layout mismatch means the
+                snapshot came from a differently shaped RNG tree, and
+                continuing would desynchronize every later draw.
+        """
+        if not isinstance(state, dict):
+            raise SnapshotError(f"RNG state must be a dict, got {type(state).__name__}")
+        try:
+            version = state["version"]
+            internal = tuple(state["internal"])
+            gauss_next = state["gauss_next"]
+            seed = state["seed"]
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(f"malformed RNG state: missing {exc}") from exc
+        try:
+            self._random.setstate((version, internal, gauss_next))
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(f"RNG stream-layout mismatch: {exc}") from exc
+        self.seed = seed
 
 
 @functools.lru_cache(maxsize=64)

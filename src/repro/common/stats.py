@@ -66,6 +66,15 @@ class CounterBag:
         """A plain-dict snapshot of the current counts."""
         return dict(self._counts)
 
+    def load_counts(self, counts: Mapping[str, int]) -> None:
+        """Replace every count with *counts* (snapshot restore).
+
+        This is the one sanctioned violation of monotonicity: restoring a
+        checkpoint rewinds the counters to the values they held when the
+        snapshot was taken.
+        """
+        self._counts = Counter({str(k): int(v) for k, v in counts.items()})
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self.items())
         return f"CounterBag({inner})"

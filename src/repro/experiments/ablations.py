@@ -560,6 +560,9 @@ def run(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Sweep the ablation registry; one sweep point per ablation.
 
@@ -591,6 +594,9 @@ def run(
         progress=progress,
         trace_dir=trace_dir,
         online_check=online_check,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     return harness.assemble(
         "ablations", sys.modules[__name__], results, provenance

@@ -81,6 +81,9 @@ def run(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Soak every (workload, protocol) pair under randomized fault schedules.
 
@@ -129,6 +132,9 @@ def run(
         progress=progress,
         trace_dir=trace_dir,
         online_check=online_check,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     total_runs = sum(r.metrics.get("runs", 0) for r in results)
     silent = sum(r.metrics.get("silent_corruptions", 0) for r in results)

@@ -71,16 +71,27 @@ def _run_target(
     multiple: bool,
     trace_dir: Path | None = None,
     online_check: bool = False,
+    checkpoint_dir: Path | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> bool:
     """Run one target, print its report, optionally write its artifact."""
     target_trace = None
     if trace_dir is not None:
         target_trace = str(trace_dir / name) if multiple else str(trace_dir)
+    target_checkpoint = None
+    if checkpoint_dir is not None and checkpoint_every > 0:
+        target_checkpoint = str(
+            checkpoint_dir / name if multiple else checkpoint_dir
+        )
     result = TARGETS[name].run(
         workers=workers,
         progress=_progress,
         trace_dir=target_trace,
         online_check=online_check,
+        checkpoint_dir=target_checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     if json_path is not None:
         target_path = _json_path_for(json_path, name, multiple)
@@ -140,10 +151,46 @@ def main(argv: list[str] | None = None) -> int:
             "with the offending trace tail"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "snapshot every machine to --checkpoint-dir every N cycles; "
+            "a retried sweep point then resumes from its latest snapshot "
+            "instead of restarting at cycle 0 (0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=Path("checkpoints"),
+        metavar="DIR",
+        help=(
+            "where per-point snapshot files live (default: checkpoints/; "
+            "'all' gets one subdirectory per target)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "keep snapshots from a previous interrupted run and resume "
+            "points from them (needs --checkpoint-every; without "
+            "--resume, stale snapshots are cleared before the sweep)"
+        ),
+    )
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.checkpoint_every < 0:
+        parser.error(
+            f"--checkpoint-every must be >= 0, got {args.checkpoint_every}"
+        )
+    if args.resume and args.checkpoint_every == 0:
+        parser.error("--resume needs --checkpoint-every N (N > 0)")
     if name == "list":
         width = max(len(target) for target in TARGETS)
         for target in sorted(TARGETS):
@@ -161,6 +208,9 @@ def main(argv: list[str] | None = None) -> int:
                     True,
                     trace_dir=args.trace,
                     online_check=args.online_check,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume,
                 )
                 and ok
             )
@@ -180,6 +230,9 @@ def main(argv: list[str] | None = None) -> int:
             False,
             trace_dir=args.trace,
             online_check=args.online_check,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
         else 1
     )

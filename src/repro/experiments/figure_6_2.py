@@ -201,6 +201,9 @@ def run(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> ExperimentResult:
     """The figure as a one-point sweep (see :func:`compute` for the
     domain-level result object)."""
@@ -216,6 +219,9 @@ def run(
         progress=progress,
         trace_dir=trace_dir,
         online_check=online_check,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     return harness.assemble(
         "figure-6-2", sys.modules[__name__], results, provenance

@@ -182,6 +182,9 @@ def run(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Evaluate the analytic model and (optionally) the simulation sweep.
 
@@ -229,6 +232,9 @@ def run(
         progress=progress,
         trace_dir=trace_dir,
         online_check=online_check,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     simulated = [
         _utilization_point(point.metrics, point.stats)

@@ -17,6 +17,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.checkpoint.context import checkpoint_defaults
 from repro.sweep.grid import SweepPoint, assign_seeds
 from repro.sweep.result import (
     DerivedTable,
@@ -61,6 +62,36 @@ class _TracedTask:
             return self.task(point)
 
 
+class _CheckpointedTask:
+    """A picklable task wrapper that scopes checkpoint defaults per point.
+
+    Same shape as :class:`_TracedTask`: experiment tasks build their
+    machines internally, so crash-resume plumbing travels through the
+    process-wide defaults in :mod:`repro.checkpoint.context`.  Every
+    machine a point builds checkpoints to ``<dir>/<point>.ckpt`` every
+    *every* cycles and — because ``resume`` is always on inside the
+    wrapper — a retried point (worker crash, scripted process-crash
+    fault) resumes from its latest snapshot instead of cycle 0.  The
+    first attempt finds no snapshot file and starts fresh.
+    """
+
+    def __init__(self, task: SweepTask, checkpoint_dir: str, every: int) -> None:
+        self.task = task
+        self.checkpoint_dir = checkpoint_dir
+        self.every = every
+
+    def path_for(self, point_name: str) -> str:
+        """The per-point snapshot file inside ``checkpoint_dir``."""
+        safe = point_name.replace("/", "-").replace("\\", "-")
+        return str(Path(self.checkpoint_dir) / f"{safe}.ckpt")
+
+    def __call__(self, point: SweepPoint) -> Any:
+        with checkpoint_defaults(
+            path=self.path_for(point.name), every=self.every, resume=True
+        ):
+            return self.task(point)
+
+
 @functools.lru_cache(maxsize=1)
 def git_describe() -> str:
     """``git describe`` of the source tree, or ``"unknown"``.
@@ -94,6 +125,9 @@ def execute(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> tuple[list[PointResult], Provenance]:
     """Seed, run and time one experiment's sweep.
 
@@ -106,10 +140,27 @@ def execute(
             trace to ``<trace_dir>/<point-name>.jsonl``.
         online_check: run the online coherence checker inside every
             machine the points build (a failed invariant fails the point).
+        checkpoint_dir: with ``checkpoint_every``, every machine a point
+            builds snapshots to ``<checkpoint_dir>/<point-name>.ckpt``,
+            and a retried point resumes from its latest snapshot instead
+            of restarting at cycle 0.
+        checkpoint_every: snapshot period in cycles (0 disables
+            checkpointing).
+        resume: keep snapshot files from a previous (interrupted) run and
+            resume points from them; off, stale snapshots are deleted
+            before the sweep starts so every point begins fresh.
     """
     seeded = assign_seeds(points, base_seed, name)
     if trace_dir is not None or online_check:
         task = _TracedTask(task, trace_dir, online_check)
+    if checkpoint_dir is not None and checkpoint_every > 0:
+        wrapped = _CheckpointedTask(task, checkpoint_dir, checkpoint_every)
+        if not resume:
+            for point in seeded:
+                base = Path(wrapped.path_for(point.name))
+                for stale in base.parent.glob(base.name + "*"):
+                    stale.unlink(missing_ok=True)
+        task = wrapped
     start = time.perf_counter()
     results = run_sweep(
         task,

@@ -150,6 +150,9 @@ def run(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Regenerate the table as a sweep, one point per (app, size) cell.
 
@@ -196,6 +199,9 @@ def run(
         progress=progress,
         trace_dir=trace_dir,
         online_check=online_check,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     by_name = {result.name: result for result in results}
     shape_violations: list[str] = []

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 
-from repro.common.errors import ConfigurationError, MemoryError_
+from repro.common.errors import ConfigurationError, MemoryError_, SnapshotError
 from repro.common.stats import CounterBag
 from repro.common.types import Address, Word, validate_address
 from repro.trace.events import MemoryLock, MemoryUnlock
@@ -210,3 +210,27 @@ class MainMemory:
             raise MemoryError_(
                 f"address {address} out of range for {self.size}-word memory"
             )
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                      #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot: words, lock holders, counters."""
+        return {
+            "size": self.size,
+            "words": sorted(self._words.items()),
+            "locks": sorted(self._locks.items()),
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        if state["size"] != self.size:
+            raise SnapshotError(
+                f"snapshot holds a {state['size']}-word memory but the "
+                f"machine has {self.size} words"
+            )
+        self._words = {int(a): int(v) for a, v in state["words"]}
+        self._locks = {int(r): int(c) for r, c in state["locks"]}
+        self.stats.load_counts(state["stats"])

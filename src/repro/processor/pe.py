@@ -11,10 +11,10 @@ from __future__ import annotations
 import abc
 
 from repro.cache.cache import SnoopingCache
-from repro.common.errors import ProgramError
+from repro.common.errors import ProgramError, SnapshotError
 from repro.common.stats import CounterBag
 from repro.common.types import Word
-from repro.processor.isa import Opcode
+from repro.processor.isa import Instruction, Opcode
 from repro.processor.program import Program
 
 
@@ -94,6 +94,54 @@ class Driver(abc.ABC):
             consume(old)
 
         self.cache.cpu_fetch_and_add(address, delta, finish)
+
+    # ------------------------- checkpointing --------------------------- #
+
+    def state_dict(self) -> dict:
+        """JSON-compatible driver state shared by every implementation."""
+        return {
+            "pe": self.pe_id,
+            "waiting": self._waiting,
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        if state["pe"] != self.pe_id:
+            raise SnapshotError(
+                f"snapshot is for PE {state['pe']}, this driver is PE {self.pe_id}"
+            )
+        self._waiting = state["waiting"]
+        self.stats.load_counts(state["stats"])
+
+    def resume_callback(self, kind: str):
+        """Rebuild the completion callback for a restored in-flight op.
+
+        The cache snapshot records *what kind* of CPU op is outstanding;
+        what happens on completion is the driver's business and could not
+        be serialized (it was a closure).  Because no driver advances its
+        position until the completion fires, the current position still
+        identifies the consume action exactly.
+        """
+        consume = self._resume_consumer(kind)
+
+        def finish(value: Word) -> None:
+            self._waiting = False
+            if consume is not None:
+                consume(value)
+
+        return finish
+
+    def _resume_consumer(self, kind: str):
+        """The consume action implied by the current (un-advanced)
+        position for an outstanding op of *kind*; ``None`` for fire-and-
+        forget ops.  Raises :class:`SnapshotError` on a kind the position
+        cannot produce.  Deliberately not abstract: driver subclasses
+        outside the checkpoint subsystem stay instantiable and only fail
+        if a resume is actually attempted."""
+        raise SnapshotError(
+            f"{type(self).__name__} does not support checkpoint resume"
+        )
 
 
 class ProcessingElement(Driver):
@@ -221,3 +269,77 @@ class ProcessingElement(Driver):
                 f"PE {self.pe_id}: register r{index} out of range "
                 f"(file size {len(self.regs)})"
             )
+
+    # ------------------------- checkpointing --------------------------- #
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            {
+                "kind": "program",
+                "regs": list(self.regs),
+                "pc": self.pc,
+                "halted": self.halted,
+                "program": {
+                    "instructions": [
+                        [instr.op.name, instr.a, instr.b, instr.c]
+                        for instr in self.program.instructions
+                    ],
+                    "labels": dict(self.program.labels),
+                },
+            }
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.regs = list(state["regs"])
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict, cache: SnoopingCache
+    ) -> "ProcessingElement":
+        """Rebuild a PE (program included) from :meth:`state_dict` output."""
+        program = Program(
+            instructions=tuple(
+                Instruction(op=Opcode[name], a=a, b=b, c=c)
+                for name, a, b, c in state["program"]["instructions"]
+            ),
+            labels={
+                str(label): int(pc)
+                for label, pc in state["program"]["labels"].items()
+            },
+        )
+        pe = cls(state["pe"], cache, program, num_regs=len(state["regs"]))
+        pe.load_state_dict(state)
+        return pe
+
+    def _resume_consumer(self, kind: str):
+        instr = self.program[self.pc]
+        op = instr.op
+        expected = {
+            "read": (Opcode.LOAD,),
+            "write": (Opcode.STORE,),
+            "ts": (Opcode.TS,),
+            "faa": (Opcode.FAA,),
+        }.get(kind)
+        if expected is None or op not in expected:
+            raise SnapshotError(
+                f"PE {self.pe_id}: cache has a pending {kind!r} op but "
+                f"pc={self.pc} points at {op.name}"
+            )
+        if op is Opcode.STORE:
+
+            def stored(_: Word) -> None:
+                self.pc += 1
+
+            return stored
+        dest = instr.a
+
+        def take(value: Word, dest: int = dest) -> None:
+            self._set_reg(dest, value)
+            self.pc += 1
+
+        return take

@@ -11,8 +11,8 @@ from collections import deque
 from typing import Iterable
 
 from repro.cache.cache import SnoopingCache
-from repro.common.errors import ProgramError
-from repro.common.types import AccessType, MemRef, Word
+from repro.common.errors import ProgramError, SnapshotError
+from repro.common.types import AccessType, DataClass, MemRef, Word
 from repro.processor.pe import Driver
 
 
@@ -65,3 +65,57 @@ class TraceDriver(Driver):
             self._test_and_set(ref.address, ref.value, self.ts_results.append)
         else:  # pragma: no cover - enum is closed
             raise ProgramError(f"unhandled access type {ref.access}")
+
+    # ------------------------- checkpointing --------------------------- #
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            {
+                "kind": "trace",
+                "refs": [
+                    [ref.access.name, ref.address, ref.value, ref.data_class.name]
+                    for ref in self._refs
+                ],
+                "ts_results": list(self.ts_results),
+            }
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._refs = deque(
+            MemRef(
+                pe=self.pe_id,
+                access=AccessType[access],
+                address=address,
+                value=value,
+                data_class=DataClass[data_class],
+            )
+            for access, address, value, data_class in state["refs"]
+        )
+        self.ts_results = list(state["ts_results"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict, cache: SnoopingCache) -> "TraceDriver":
+        """Rebuild a trace driver from :meth:`state_dict` output.
+
+        The in-flight reference (if any) was already popped when its op
+        was issued; only the not-yet-issued tail is restored, and the
+        completion callback is re-derived by :meth:`resume_callback`.
+        """
+        driver = cls(state["pe"], cache, [])
+        driver.load_state_dict(state)
+        return driver
+
+    def _resume_consumer(self, kind: str):
+        if kind == "read":
+            return lambda value: None
+        if kind == "write":
+            return None
+        if kind == "ts":
+            return self.ts_results.append
+        raise SnapshotError(
+            f"TraceDriver for PE {self.pe_id} cannot have a pending "
+            f"{kind!r} op (streams issue read/write/ts only)"
+        )

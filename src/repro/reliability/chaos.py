@@ -38,10 +38,16 @@ config takes no RNG draws and executes the exact pre-chaos paths.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from repro.common.errors import ConfigurationError, UnrecoverableFaultError
+from repro.common.errors import (
+    ConfigurationError,
+    SnapshotError,
+    UnrecoverableFaultError,
+)
 from repro.common.rng import DeterministicRng, derive_seed
 from repro.common.stats import CounterBag
 from repro.trace.events import (
@@ -57,13 +63,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.cache import SnoopingCache
     from repro.memory.main_memory import MainMemory
 
-#: The five injectable fault classes.
+#: The injectable fault classes.  ``process-crash`` is scripted-only (it
+#: has no rate: an abrupt process death cannot be drawn per cycle and
+#: recovered in-band — recovery is checkpoint restore on the next run).
 FAULT_KINDS = (
     "corrupt-transfer",
     "memory-read-error",
     "drop-snoop",
     "lose-invalidate",
     "arbiter-stall",
+    "process-crash",
 )
 
 @dataclass(frozen=True, slots=True)
@@ -302,7 +311,7 @@ class ChaosController:
             ):
                 del self._unfired[index]
                 return True
-        rate = self._rates[kind]
+        rate = self._rates.get(kind, 0.0)
         return rate > 0.0 and self._rngs[kind].chance(rate)
 
     def stall_grant(self, bus_name: str, cycle: int) -> bool:
@@ -541,6 +550,93 @@ class ChaosController:
         for record in self.records:
             if record.target == cache.name and record.resolution is None:
                 record.resolution = "offlined"
+
+    # ------------------------------------------------------------------ #
+    # process-crash path: die abruptly, recover via checkpoint restore    #
+    # ------------------------------------------------------------------ #
+
+    def crash_scheduled(self) -> bool:
+        """Whether any scripted process-crash fault is still unfired."""
+        return any(s.fault == "process-crash" for s in self._unfired)
+
+    def maybe_crash(self, cycle: int, checkpoint_path: str | None) -> None:
+        """Fire a due scripted process-crash, if its marker is not spent.
+
+        The crash models the whole simulator process dying mid-run — the
+        one fault no in-band mechanism can recover; recovery is resuming
+        from the latest on-disk checkpoint on the next attempt.  A marker
+        file beside the checkpoint records that the crash already fired,
+        so the resumed run sails past the scripted instant.  The marker
+        deliberately leaves no trace in stats or the ledger: the resumed
+        run must produce the artifact a crash-free run would.
+        """
+        for index, scripted in enumerate(self._unfired):
+            if scripted.fault != "process-crash" or scripted.cycle > cycle:
+                continue
+            marker = (
+                Path(f"{checkpoint_path}.crash-{scripted.cycle}")
+                if checkpoint_path
+                else None
+            )
+            if marker is not None and marker.exists():
+                del self._unfired[index]
+                return
+            if marker is not None:
+                marker.write_text(f"crashed at cycle {cycle}\n", encoding="utf-8")
+            # Abrupt death: no cleanup, no exception propagation, exactly
+            # like a SIGKILL'd worker.  Exit code 23 marks the deliberate
+            # crash for harness diagnostics.
+            os._exit(23)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot: ledger, RNG streams, retry state."""
+        index_of = {id(record): i for i, record in enumerate(self.records)}
+        return {
+            "stats": self.stats.as_dict(),
+            "records": [dataclasses.asdict(r) for r in self.records],
+            "rngs": {kind: rng.getstate() for kind, rng in self._rngs.items()},
+            "unfired": [s.to_dict() for s in self._unfired],
+            "attempts": sorted(self._attempts.items()),
+            "retry_at": [
+                [serial, retry_cycle, index_of[id(record)]]
+                for serial, (retry_cycle, record) in sorted(
+                    self._retry_at.items()
+                )
+            ],
+            "strikes": sorted(self._strikes.items()),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place.
+
+        Raises:
+            SnapshotError: the snapshot's per-kind RNG stream layout does
+                not match this controller's (e.g. a snapshot from a build
+                with different fault kinds); restoring would silently
+                desynchronize every later draw, so it is refused.
+        """
+        snapshot_streams = set(state["rngs"])
+        if snapshot_streams != set(self._rngs):
+            raise SnapshotError(
+                "chaos RNG stream-layout mismatch: snapshot has "
+                f"{sorted(snapshot_streams)}, controller has "
+                f"{sorted(self._rngs)}"
+            )
+        self.stats.load_counts(state["stats"])
+        self.records = [FaultRecord(**record) for record in state["records"]]
+        for kind, rng_state in state["rngs"].items():
+            self._rngs[kind].setstate(rng_state)
+        self._unfired = [ScriptedFault.from_dict(s) for s in state["unfired"]]
+        self._attempts = {int(s): int(n) for s, n in state["attempts"]}
+        self._retry_at = {
+            int(serial): (retry_cycle, self.records[record_index])
+            for serial, retry_cycle, record_index in state["retry_at"]
+        }
+        self._strikes = {int(c): int(n) for c, n in state["strikes"]}
 
     # ------------------------------------------------------------------ #
     # ledger and reporting                                                #

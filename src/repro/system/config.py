@@ -51,6 +51,15 @@ class MachineConfig:
             ``None`` — and a config whose ``enabled`` is false — builds a
             machine with no chaos controller at all: no RNG draws, no
             hook overhead, bit-identical behavior to a pre-chaos build.
+        checkpoint_every: write a full-machine snapshot to
+            ``checkpoint_path`` every N cycles (0, the default, disables
+            periodic checkpointing).  See :mod:`repro.checkpoint`.
+        checkpoint_path: where the periodic snapshot lives; also the file
+            consulted when ``checkpoint_resume`` is on.  Falls back to the
+            process-wide checkpoint defaults when ``None``.
+        checkpoint_resume: on construction, if ``checkpoint_path`` exists,
+            restore the machine from it before the first step (crash-
+            resume; a missing file means a fresh first attempt).
     """
 
     num_pes: int = 4
@@ -70,6 +79,9 @@ class MachineConfig:
     trace: str | None = None
     online_check: bool = False
     chaos: ChaosConfig | None = None
+    checkpoint_every: int = 0
+    checkpoint_path: str | None = None
+    checkpoint_resume: bool = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on structurally bad settings."""
@@ -99,6 +111,10 @@ class MachineConfig:
             )
         if self.chaos is not None:
             self.chaos.validate()
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "MachineConfig":
         """A validated copy with the given fields replaced.

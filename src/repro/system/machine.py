@@ -9,17 +9,25 @@ PE cycles, so every cache snoops each transaction before the next one.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.bus.arbiter import make_arbiter
 from repro.bus.bus import SharedBus
 from repro.bus.interfaces import BusNetwork
 from repro.bus.multibus import InterleavedMultiBus
-from repro.bus.transaction import CompletedTransaction
+from repro.bus.transaction import (
+    CompletedTransaction,
+    restore_txn_serial,
+    txn_serial_state,
+)
 from repro.cache.cache import SnoopingCache
 from repro.cache.mapping import DirectMapped, SetAssociative
 from repro.cache.replacement import make_replacement
-from repro.common.errors import ConfigurationError, LivelockError
+from repro.checkpoint.context import get_checkpoint_defaults
+from repro.common.errors import ConfigurationError, LivelockError, SnapshotError
 from repro.common.rng import derive_seed
 from repro.common.stats import StatSet
 from repro.common.types import Address, MemRef
@@ -33,6 +41,15 @@ from repro.system.config import MachineConfig
 from repro.trace.checker import OnlineCoherenceChecker
 from repro.trace.context import get_trace_defaults
 from repro.trace.sink import NULL_TRACER, JsonlSink, ListSink, Tracer, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checkpoint.snapshot import MachineSnapshot
+
+#: Config fields that may differ between a snapshot and the machine
+#: restoring it: they steer checkpoint/trace plumbing, not simulation.
+_RESTORE_NEUTRAL_FIELDS = frozenset(
+    {"checkpoint_every", "checkpoint_path", "checkpoint_resume", "trace"}
+)
 
 
 class Machine:
@@ -94,6 +111,28 @@ class Machine:
             self.chaos.bind(self.caches, self.memory)
             for bus in self.bus.physical_buses:
                 bus.chaos = self.chaos
+        ckpt = get_checkpoint_defaults()
+        #: Snapshot file for periodic checkpointing / crash-resume.
+        self.checkpoint_path = (
+            config.checkpoint_path
+            if config.checkpoint_path is not None
+            else ckpt.path
+        )
+        #: Snapshot period in cycles (0 disables periodic checkpointing).
+        self.checkpoint_every = config.checkpoint_every or ckpt.every
+        #: Cycle this machine resumed from, or ``None`` for a fresh run.
+        self.resumed_from: int | None = None
+        self._pending_resume = bool(
+            (config.checkpoint_resume or ckpt.resume)
+            and self.checkpoint_path is not None
+        )
+        self._crash_armed = self.chaos is not None and self.chaos.crash_scheduled()
+        if self._crash_armed and self.checkpoint_path is None:
+            raise ConfigurationError(
+                "a scripted process-crash fault needs a checkpoint_path to "
+                "recover from (set checkpoint_every/checkpoint_path, or use "
+                "the sweep harness's --checkpoint-every)"
+            )
         self.drivers: list[Driver] = []
         self.cycle = 0
         self.bus_log: list[CompletedTransaction] = []
@@ -181,6 +220,8 @@ class Machine:
             VerificationError: the online checker found a Section-4
                 invariant violated this cycle.
         """
+        if self._pending_resume:
+            self._consume_resume()
         self.cycle += 1
         self.tracer.cycle = self.cycle
         completed = self.bus.step_all()
@@ -191,6 +232,17 @@ class Machine:
                 driver.step()
         if self.checker is not None:
             self.checker.run_checks()
+        if self._crash_armed:
+            # Crash is checked BEFORE the periodic save so a fault at a
+            # checkpoint boundary loses that cycle's snapshot — the
+            # recovery path must cope with a stale checkpoint.
+            self.chaos.maybe_crash(self.cycle, self.checkpoint_path)
+        if (
+            self.checkpoint_every
+            and self.checkpoint_path is not None
+            and self.cycle % self.checkpoint_every == 0
+        ):
+            self.checkpoint().save(self.checkpoint_path)
         return completed
 
     @property
@@ -207,6 +259,9 @@ class Machine:
                 ``snapshot`` is :meth:`livelock_snapshot`.
         """
         start = self.cycle
+        if self._pending_resume:
+            self._consume_resume()
+            start = self.cycle
         while not self.idle:
             if self.cycle - start >= max_cycles:
                 raise LivelockError(
@@ -214,6 +269,7 @@ class Machine:
                     snapshot=self.livelock_snapshot(),
                 )
             self.step()
+        self._discard_checkpoint()
         return self.cycle - start
 
     def run_cycles(self, cycles: int) -> None:
@@ -267,11 +323,201 @@ class Machine:
             snapshot["trace_tail"] = [
                 event.describe() for event in self._tail_sink.tail(20)
             ]
+        try:
+            # Full machine state, so the wedged run can be restored and
+            # time-travel-debugged straight from the exception (see
+            # ``MachineSnapshot.from_livelock``).
+            snapshot["machine"] = self.state_dict()
+        except SnapshotError:
+            pass  # non-checkpointable fabric; keep the diagnostic fields
         return snapshot
 
     def close_trace(self) -> None:
         """Flush and close any file-backed trace sinks (idempotent)."""
         self.tracer.close()
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """The machine's complete dynamic state, JSON-compatible.
+
+        Everything :meth:`load_state_dict` needs to continue the run
+        bit-identically: memory words, every cache's lines and pending
+        protocol state, driver program positions and registers, bus
+        queues and arbiter state, the chaos ledger and all RNG streams.
+        ``bus_log`` is deliberately excluded (diagnostic, unbounded).
+
+        Raises:
+            SnapshotError: some component (e.g. a custom bus fabric)
+                does not support checkpointing.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "cycle": self.cycle,
+            "txn_serial": txn_serial_state(),
+            "memory": self.memory.state_dict(),
+            "bus": self.bus.state_dict(),
+            "caches": [cache.state_dict() for cache in self.caches],
+            "drivers": [driver.state_dict() for driver in self.drivers],
+            "chaos": self.chaos.state_dict() if self.chaos is not None else None,
+            "checker": (
+                self.checker.state_dict() if self.checker is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto this machine in place.
+
+        The machine must have been built from a compatible config (same
+        shape; only checkpoint/trace plumbing fields may differ).  Any
+        loaded drivers are replaced by the snapshot's.
+
+        Raises:
+            SnapshotError: config shapes differ, a component rejects its
+                state, or chaos presence does not match the snapshot.
+        """
+        self._check_compatible(state["config"])
+        restore_txn_serial(state["txn_serial"])
+        self.cycle = state["cycle"]
+        self.tracer.cycle = self.cycle
+        self.memory.load_state_dict(state["memory"])
+        self.bus.load_state_dict(state["bus"])
+        if len(state["caches"]) != len(self.caches):
+            raise SnapshotError(
+                f"snapshot has {len(state['caches'])} caches, machine has "
+                f"{len(self.caches)}"
+            )
+        for cache, cache_state in zip(self.caches, state["caches"]):
+            cache.load_state_dict(cache_state)
+        self.drivers = [self._driver_from_state(s) for s in state["drivers"]]
+        # A pending CPU operation was snapshotted without its completion
+        # callback (a closure); rebuild it from the driver, which can
+        # re-derive the consume action because its program position only
+        # advances when the completion actually fires.
+        for driver in self.drivers:
+            cache = self.caches[driver.pe_id]
+            kind = cache.pending_kind()
+            if kind is not None:
+                cache.rebind_pending_callback(driver.resume_callback(kind))
+        chaos_state = state.get("chaos")
+        if chaos_state is not None:
+            if self.chaos is None:
+                raise SnapshotError(
+                    "snapshot carries chaos state but this machine has no "
+                    "chaos controller"
+                )
+            self.chaos.load_state_dict(chaos_state)
+        elif self.chaos is not None:
+            raise SnapshotError(
+                "this machine has a chaos controller but the snapshot "
+                "carries no chaos state"
+            )
+        if self.checker is not None and state.get("checker") is not None:
+            self.checker.load_state_dict(state["checker"])
+        self.bus_log.clear()
+
+    def _check_compatible(self, config_state: dict) -> None:
+        ours = self.config.to_dict()
+        for key in sorted(set(ours) | set(config_state)):
+            if key in _RESTORE_NEUTRAL_FIELDS:
+                continue
+            if ours.get(key) != config_state.get(key):
+                raise SnapshotError(
+                    f"snapshot config differs on {key!r}: snapshot has "
+                    f"{config_state.get(key)!r}, machine has {ours.get(key)!r}"
+                )
+
+    def _driver_from_state(self, state: dict) -> Driver:
+        kind = state.get("kind")
+        cache = self.caches[state["pe"]]
+        if kind == "program":
+            return ProcessingElement.from_state_dict(state, cache)
+        if kind == "trace":
+            return TraceDriver.from_state_dict(state, cache)
+        raise SnapshotError(f"snapshot has unknown driver kind {kind!r}")
+
+    def checkpoint(self) -> "MachineSnapshot":
+        """Capture a :class:`~repro.checkpoint.MachineSnapshot` right now.
+
+        Take it at a cycle boundary (between :meth:`step` calls) — that is
+        where every component's state is self-consistent and where the
+        periodic checkpointer takes its own.
+        """
+        from repro.checkpoint.snapshot import MachineSnapshot
+
+        return MachineSnapshot.capture(self)
+
+    @classmethod
+    def restore(
+        cls, snapshot: "MachineSnapshot", trace_sink: TraceSink | None = None
+    ) -> "Machine":
+        """A fresh machine continuing bit-identically from *snapshot*.
+
+        The restored machine is *detached*: periodic checkpointing,
+        crash-resume and any scripted process-crash fault are disabled so
+        replay and time-travel debugging never clobber checkpoint files
+        or kill the debugging process.
+        """
+        config = MachineConfig.from_dict(snapshot.payload["config"])
+        config = config.with_overrides(
+            checkpoint_resume=False, checkpoint_every=0, trace=None
+        )
+        machine = cls(config, trace_sink=trace_sink)
+        machine._pending_resume = False
+        machine._crash_armed = False
+        machine.checkpoint_every = 0
+        machine.checkpoint_path = None
+        machine.load_state_dict(snapshot.payload)
+        return machine
+
+    def state_digest(self) -> str:
+        """A sha256 digest of the machine's dynamic state.
+
+        Static configuration and the process-global transaction serial
+        counter are excluded, so two machines built from the same config
+        and stepped identically produce equal digests cycle by cycle —
+        the divergence-bisection primitive.
+        """
+        payload = {
+            key: value
+            for key, value in self.state_dict().items()
+            if key not in ("config", "txn_serial")
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _consume_resume(self) -> None:
+        """Crash-resume: load the checkpoint file, if one exists.
+
+        Runs once, lazily, at the first :meth:`step`/:meth:`run` — after
+        the caller loaded its programs — so the snapshot's drivers replace
+        freshly loaded ones.  A missing file means a fresh first attempt.
+        """
+        self._pending_resume = False
+        path = self.checkpoint_path
+        if path is None or not os.path.exists(path):
+            return
+        from repro.checkpoint.snapshot import MachineSnapshot
+
+        snapshot = MachineSnapshot.load(path)
+        self.load_state_dict(snapshot.payload)
+        self.resumed_from = self.cycle
+        # Side file, never part of machine state: resume bookkeeping must
+        # not perturb stats or the fault ledger, or bit-identity with a
+        # straight run breaks.
+        with open(f"{path}.resume-log", "a", encoding="utf-8") as log:
+            log.write(f"resumed at cycle {self.cycle}\n")
+
+    def _discard_checkpoint(self) -> None:
+        """Drop the periodic checkpoint after a clean, complete run."""
+        if not (self.checkpoint_every and self.checkpoint_path):
+            return
+        try:
+            os.remove(self.checkpoint_path)
+        except FileNotFoundError:
+            pass
 
     # ------------------------------------------------------------------ #
     # observation                                                         #

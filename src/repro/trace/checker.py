@@ -116,6 +116,26 @@ class OnlineCoherenceChecker:
         """The shadow model's last written value for *address*, if any."""
         return self._expected.get(address)
 
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Shadow model and progress counter (the tail is diagnostics
+        only and ``_touched`` is empty at cycle boundaries, where
+        checkpoints are taken)."""
+        return {
+            "checked_cycles": self.checked_cycles,
+            "expected": sorted(self._expected.items()),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.checked_cycles = state["checked_cycles"]
+        self._expected = {int(a): int(v) for a, v in state["expected"]}
+        self._touched.clear()
+        self.tail.clear()
+
     def _check_address(self, machine: "Machine", address: int) -> None:
         holders = [
             (cache, line)

@@ -1,0 +1,159 @@
+"""Crash-resume end to end: a SIGKILLed sweep worker and a scripted
+process-crash fault both resume from the latest snapshot, not cycle 0,
+and produce artifacts identical to an uninterrupted run."""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.experiments import harness
+from repro.sweep.grid import SweepPoint
+
+from tests.checkpoint.workloads import make_factory
+
+#: Cycles the first attempt survives before SIGKILLing its own worker.
+#: With ``CHECKPOINT_EVERY`` below, the latest snapshot is at cycle 20.
+CRASH_AFTER_CYCLES = 25
+CHECKPOINT_EVERY = 10
+
+
+def _finish(machine) -> dict:
+    machine.run()
+    return {
+        "metrics": {
+            "cycles": machine.cycle,
+            "resumed_from": machine.resumed_from or 0,
+            "counter": machine.latest_value(1),
+        },
+        "stats": machine.stats.as_dict(),
+    }
+
+
+def crash_once_task(point: SweepPoint) -> dict:
+    """Sweep task: the first attempt of a 'crasher' point kills its own
+    worker process mid-run; the retry must resume from the snapshot."""
+    machine = make_factory()(None)
+    marker = Path(point.params["scratch"]) / f"{point.name}.attempted"
+    if point.params.get("crashes") and not marker.exists():
+        marker.write_text("first attempt\n", encoding="utf-8")
+        machine.run_cycles(CRASH_AFTER_CYCLES)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _finish(machine)
+
+
+@pytest.mark.slow
+def test_sigkilled_worker_resumes_from_snapshot(tmp_path):
+    checkpoint_dir = tmp_path / "checkpoints"
+    points = [
+        SweepPoint(name="crasher", params={"scratch": str(tmp_path), "crashes": True}),
+        SweepPoint(name="benign", params={"scratch": str(tmp_path)}),
+    ]
+    results, _ = harness.execute(
+        "crash-resume-smoke",
+        crash_once_task,
+        points,
+        base_seed=0,
+        workers=2,  # two points, two workers: the parallel (retrying) path
+        retries=1,
+        checkpoint_dir=str(checkpoint_dir),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    by_name = {result.name: result for result in results}
+
+    crasher = by_name["crasher"]
+    assert crasher.status == "ok", crasher.error
+    assert crasher.attempts == 2  # first attempt died, retry finished
+    # The retry resumed from the latest periodic snapshot, not cycle 0.
+    assert crasher.metrics["resumed_from"] == 20
+    resume_log = checkpoint_dir / "crasher.ckpt.resume-log"
+    assert resume_log.read_text().startswith("resumed at cycle 20")
+
+    benign = by_name["benign"]
+    assert benign.status == "ok" and benign.attempts == 1
+    assert benign.metrics["resumed_from"] == 0
+
+    # Seed-identical artifact: both points (resumed or not) match an
+    # uninterrupted in-process run exactly — stats, cycles, outcome.
+    reset_txn_serial()
+    reference = _finish(make_factory()(None))
+    for result in (crasher, benign):
+        assert result.metrics["cycles"] == reference["metrics"]["cycles"]
+        assert result.metrics["counter"] == reference["metrics"]["counter"]
+        assert result.stats == reference["stats"]
+
+    # Clean completion discarded the snapshots themselves.
+    assert not (checkpoint_dir / "crasher.ckpt").exists()
+    assert not (checkpoint_dir / "benign.ckpt").exists()
+
+
+_CRASH_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+
+from repro.reliability.chaos import ChaosConfig, ScriptedFault
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from tests.checkpoint.workloads import workload_programs
+
+chaos = ChaosConfig(scripted=(ScriptedFault(cycle=30, fault="process-crash"),))
+config = MachineConfig(
+    num_pes=2,
+    cache_lines=4,
+    memory_size=64,
+    seed=3,
+    chaos=chaos,
+    checkpoint_every=10,
+    checkpoint_path={ckpt!r},
+    checkpoint_resume=True,
+)
+machine = Machine(config)
+machine.load_programs(workload_programs("counter"))
+machine.run()
+print("DONE", machine.cycle, machine.latest_value(1), machine.resumed_from)
+"""
+
+
+@pytest.mark.slow
+def test_scripted_process_crash_fault_recovers_via_restore(tmp_path):
+    """The 'process-crash' chaos fault class: the process dies hard
+    (exit 23) at the scripted cycle; the next run restores from the
+    checkpoint and sails past the already-spent fault."""
+    root = Path(__file__).resolve().parents[2]
+    script = tmp_path / "crash_script.py"
+    ckpt = tmp_path / "machine.ckpt"
+    script.write_text(
+        _CRASH_SCRIPT.format(
+            src=str(root / "src"), root=str(root), ckpt=str(ckpt)
+        )
+    )
+
+    first = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True
+    )
+    assert first.returncode == 23, first.stderr
+    assert "DONE" not in first.stdout
+    assert ckpt.exists()  # snapshots at cycles 10 and 20 survived the crash
+    crash_marker = Path(str(ckpt) + ".crash-30")
+    assert crash_marker.exists()
+
+    second = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True
+    )
+    assert second.returncode == 0, second.stderr
+    done, cycles, counter, resumed_from = second.stdout.split()
+    assert done == "DONE"
+    assert resumed_from == "20"  # resumed from the snapshot, not cycle 0
+
+    # Same outcome as an uninterrupted run of the same workload (the
+    # scripted crash is the only fault, so execution is otherwise clean).
+    reset_txn_serial()
+    reference = make_factory()(None)
+    reference.run()
+    assert int(cycles) == reference.cycle
+    assert int(counter) == reference.latest_value(1)

@@ -1,0 +1,165 @@
+"""Machine state_dict/load_state_dict edge cases and the periodic
+checkpoint lifecycle (file creation, resume consumption, cleanup)."""
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.checkpoint.context import checkpoint_defaults
+from repro.common.errors import ConfigurationError, SnapshotError
+from repro.reliability.chaos import ChaosConfig, ScriptedFault
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+from tests.checkpoint.workloads import make_factory, workload_programs
+
+
+def machine_with_pending_op() -> Machine:
+    """A machine stopped at a cycle where CPU operations are in flight."""
+    reset_txn_serial()
+    machine = make_factory()(None)
+    machine.run_cycles(8)  # both PEs mid test-and-set at this point
+    assert any(cache.pending_kind() for cache in machine.caches), (
+        "expected an in-flight CPU operation at cycle 8"
+    )
+    return machine
+
+
+class TestMidFlightState:
+    def test_pending_op_serialized_and_rebound(self):
+        machine = machine_with_pending_op()
+        snapshot = machine.checkpoint()
+        machine.run()
+        # Restore AFTER the source finished: loading resets the process-
+        # global transaction-serial counter back to the snapshot's value.
+        restored = Machine.restore(snapshot)
+        restored.run()
+        assert restored.state_digest() == machine.state_digest()
+
+    def test_snapshot_is_an_isolated_copy(self):
+        """Stepping the source machine does not mutate a taken snapshot."""
+        machine = machine_with_pending_op()
+        snapshot = machine.checkpoint()
+        digest_before = snapshot.integrity()
+        machine.run()
+        assert snapshot.integrity() == digest_before
+
+    def test_restore_replaces_loaded_drivers(self):
+        machine = machine_with_pending_op()
+        snapshot = machine.checkpoint()
+        machine.run()
+        target = make_factory()(None)  # freshly loaded, cycle 0
+        target.load_state_dict(snapshot.payload)
+        assert target.cycle == snapshot.cycle
+        target.run()
+        assert target.state_digest() == machine.state_digest()
+
+
+class TestCompatibility:
+    def test_config_shape_mismatch_rejected(self):
+        snapshot = make_factory(seed=3)(None).checkpoint()
+        other = make_factory(seed=4)(None)
+        with pytest.raises(SnapshotError, match="seed"):
+            other.load_state_dict(snapshot.payload)
+
+    def test_checkpoint_fields_may_differ(self):
+        snapshot = make_factory()(None).checkpoint()
+        other = make_factory(checkpoint_every=50, checkpoint_path="x.ckpt")(
+            None
+        )
+        other.load_state_dict(snapshot.payload)  # does not raise
+
+    def test_chaos_presence_mismatch_rejected(self):
+        chaotic = make_factory(chaos=True)(None).checkpoint()
+        clean = make_factory(chaos=False)(None)
+        with pytest.raises(SnapshotError):
+            clean.load_state_dict(chaotic.payload)
+
+    def test_custom_fabrics_report_unsupported(self):
+        """A fabric that does not override state_dict inherits a default
+        that refuses checkpointing loudly instead of dropping state."""
+        from types import SimpleNamespace
+
+        from repro.bus.interfaces import BusNetwork
+
+        fabric = SimpleNamespace()
+        with pytest.raises(SnapshotError, match="does not support"):
+            BusNetwork.state_dict(fabric)
+        with pytest.raises(SnapshotError, match="does not support"):
+            BusNetwork.load_state_dict(fabric, {})
+
+
+class TestPeriodicCheckpointing:
+    def test_periodic_snapshot_written_and_cleaned_up(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        machine = make_factory(
+            checkpoint_every=5, checkpoint_path=str(path)
+        )(None)
+        machine.run_cycles(10)
+        assert path.exists()
+        machine.run()  # clean completion discards the checkpoint
+        assert not path.exists()
+
+    def test_resume_continues_from_snapshot_not_cycle_zero(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        reset_txn_serial()
+        first = make_factory(checkpoint_every=5, checkpoint_path=str(path))(
+            None
+        )
+        first.run_cycles(12)  # "crash" here; latest snapshot is cycle 10
+        assert path.exists()
+
+        second = make_factory(
+            checkpoint_every=5,
+            checkpoint_path=str(path),
+            checkpoint_resume=True,
+        )(None)
+        second.run()
+        assert second.resumed_from == 10
+        assert (tmp_path / "run.ckpt.resume-log").read_text().startswith(
+            "resumed at cycle 10"
+        )
+
+        # Bit-identical to an uninterrupted run.
+        reset_txn_serial()
+        straight = make_factory()(None)
+        straight.run()
+        assert second.state_digest() == straight.state_digest()
+        assert second.stats.as_dict() == straight.stats.as_dict()
+
+    def test_resume_with_missing_file_is_fresh_start(self, tmp_path):
+        machine = make_factory(
+            checkpoint_every=5,
+            checkpoint_path=str(tmp_path / "absent.ckpt"),
+            checkpoint_resume=True,
+        )(None)
+        machine.run()
+        assert machine.resumed_from is None
+
+    def test_context_defaults_reach_the_machine(self, tmp_path):
+        path = tmp_path / "ambient.ckpt"
+        with checkpoint_defaults(path=str(path), every=5):
+            machine = make_factory()(None)
+            machine.run_cycles(5)
+        assert path.exists()
+
+    def test_scripted_crash_without_path_rejected(self):
+        chaos = ChaosConfig(
+            scripted=(ScriptedFault(cycle=10, fault="process-crash"),)
+        )
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            Machine(MachineConfig(num_pes=2, chaos=chaos))
+
+
+class TestWorkloadSanity:
+    """The shared workloads actually contend (so the matrix means something)."""
+
+    def test_counter_reaches_total(self):
+        machine = make_factory(workload="counter")(None)
+        machine.run()
+        # latest_value follows a still-dirty cache line if one holds it.
+        assert machine.latest_value(1) == 8  # 2 PEs x 4 locked increments
+
+    def test_producer_consumer_hands_over_every_item(self):
+        machine = make_factory(workload="producer-consumer")(None)
+        machine.run()
+        assert machine.latest_value(4) == 7 + 14 + 21 + 28

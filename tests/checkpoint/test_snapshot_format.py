@@ -1,0 +1,146 @@
+"""The snapshot envelope: versioning, integrity, compression, RNG exactness."""
+
+import json
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.checkpoint.snapshot import SCHEMA_VERSION, MachineSnapshot, payload_digest
+from repro.common.errors import SnapshotError
+from repro.common.rng import DeterministicRng
+
+from tests.checkpoint.workloads import make_factory
+
+
+def snapshot_mid_run(cycles: int = 12) -> MachineSnapshot:
+    reset_txn_serial()
+    machine = make_factory()(None)
+    machine.run_cycles(cycles)
+    return machine.checkpoint()
+
+
+class TestEnvelope:
+    def test_save_load_round_trip(self, tmp_path):
+        snapshot = snapshot_mid_run()
+        path = tmp_path / "machine.ckpt"
+        snapshot.save(path)
+        loaded = MachineSnapshot.load(path)
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.cycle == snapshot.cycle
+        # JSON round-trips tuples as lists; canonical digests must agree.
+        assert loaded.integrity() == snapshot.integrity()
+
+    def test_compressed_round_trip(self, tmp_path):
+        snapshot = snapshot_mid_run()
+        plain = tmp_path / "plain.ckpt"
+        packed = tmp_path / "packed.ckpt"
+        snapshot.save(plain)
+        snapshot.save(packed, compress=True)
+        assert packed.stat().st_size < plain.stat().st_size
+        assert MachineSnapshot.load(packed).integrity() == snapshot.integrity()
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "machine.ckpt"
+        snapshot_mid_run().save(target)
+        assert target.exists()
+        assert not target.with_name(target.name + ".tmp").exists()
+
+    def test_envelope_carries_schema_version_and_hash(self, tmp_path):
+        path = tmp_path / "machine.ckpt"
+        snapshot_mid_run().save(path)
+        envelope = json.loads(path.read_text())
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["integrity"].startswith("sha256:")
+        assert envelope["encoding"] == "json"
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        path = tmp_path / "machine.ckpt"
+        snapshot_mid_run().save(path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["cycle"] += 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="integrity"):
+            MachineSnapshot.load(path)
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "machine.ckpt"
+        snapshot_mid_run().save(path)
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="schema_version"):
+            MachineSnapshot.load(path)
+
+    def test_unknown_encoding_rejected(self, tmp_path):
+        path = tmp_path / "machine.ckpt"
+        snapshot_mid_run().save(path)
+        envelope = json.loads(path.read_text())
+        envelope["encoding"] = "lz4"
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="encoding"):
+            MachineSnapshot.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "machine.ckpt"
+        snapshot_mid_run().save(path)
+        path.write_text(path.read_text()[:-40])
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.load(path)
+
+    def test_non_snapshot_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(SnapshotError, match="envelope"):
+            MachineSnapshot.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            MachineSnapshot.load(tmp_path / "absent.ckpt")
+
+    def test_digest_is_order_insensitive(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+
+
+class TestRngExactness:
+    """Satellite 6: exact getstate/setstate on the derived RNG streams."""
+
+    def test_state_round_trip_reproduces_stream(self):
+        rng = DeterministicRng(42)
+        [rng.uniform_int(0, 1000) for _ in range(10)]
+        state = rng.getstate()
+        expected = [rng.uniform_int(0, 1000) for _ in range(20)]
+        other = DeterministicRng(0)
+        other.setstate(state)
+        assert [other.uniform_int(0, 1000) for _ in range(20)] == expected
+        assert other.seed == 42
+
+    def test_derived_child_stream_state_round_trips(self):
+        parent = DeterministicRng(42)
+        child = parent.split("arbiter", 3)
+        child.chance(0.5)
+        state = child.getstate()
+        expected = [child.uniform_int(0, 99) for _ in range(10)]
+        other = DeterministicRng(0)
+        other.setstate(state)
+        assert [other.uniform_int(0, 99) for _ in range(10)] == expected
+
+    def test_state_survives_json(self):
+        rng = DeterministicRng(7)
+        rng.uniform_int(0, 100)
+        state = json.loads(json.dumps(rng.getstate()))
+        other = DeterministicRng(0)
+        other.setstate(state)
+        assert other.uniform_int(0, 100) == rng.uniform_int(0, 100)
+
+    def test_layout_mismatch_rejected_not_reseeded(self):
+        rng = DeterministicRng(7)
+        state = rng.getstate()
+        state["internal"] = state["internal"][:100]  # wrong tuple length
+        with pytest.raises(SnapshotError, match="stream-layout"):
+            DeterministicRng(0).setstate(state)
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(SnapshotError):
+            DeterministicRng(0).setstate({"seed": 1})
+        with pytest.raises(SnapshotError):
+            DeterministicRng(0).setstate("not-a-state")

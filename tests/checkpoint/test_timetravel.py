@@ -1,0 +1,104 @@
+"""Time-travel debugging: goto/step_back/window, and livelock re-entry."""
+
+import pytest
+
+from repro.checkpoint.snapshot import MachineSnapshot
+from repro.checkpoint.timetravel import TimeTraveler, machine_from_livelock
+from repro.common.errors import LivelockError, SnapshotError
+from repro.processor.program import Assembler
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+from tests.checkpoint.workloads import make_factory
+
+
+@pytest.fixture(scope="module")
+def traveler():
+    return TimeTraveler(make_factory(chaos=True), snapshot_every=10)
+
+
+class TestTimeTraveler:
+    def test_records_full_run(self, traveler):
+        assert traveler.final_cycle > 20
+        assert traveler.events
+        assert traveler.position == traveler.final_cycle
+
+    def test_goto_lands_exactly(self, traveler):
+        machine = traveler.goto(17)
+        assert machine.cycle == 17
+        assert traveler.position == 17
+
+    def test_goto_matches_straight_run_state(self, traveler):
+        """The replayed machine at cycle k is bit-identical to a fresh
+        run stepped k cycles."""
+        from repro.bus.transaction import reset_txn_serial
+
+        target = 23
+        replayed = traveler.goto(target)
+        reset_txn_serial()
+        fresh = make_factory(chaos=True)(None)
+        fresh.run_cycles(target)
+        assert replayed.state_digest() == fresh.state_digest()
+
+    def test_step_back_walks_backwards(self, traveler):
+        traveler.goto(20)
+        machine = traveler.step_back(6)
+        assert machine.cycle == 14
+        assert traveler.position == 14
+
+    def test_goto_clamps_to_run_bounds(self, traveler):
+        assert traveler.goto(-5).cycle == 0
+        assert traveler.goto(10**9).cycle == traveler.final_cycle
+
+    def test_window_selects_events_around_cycle(self, traveler):
+        window = traveler.window(cycle=15, radius=2)
+        assert window
+        assert all("cycle 1" in line for line in window)  # cycles 13..17
+
+    def test_format_window_renders_block(self, traveler):
+        block = traveler.format_window(cycle=15, radius=2)
+        assert "cycle" in block
+
+    def test_rejects_bad_snapshot_interval(self):
+        with pytest.raises(SnapshotError):
+            TimeTraveler(make_factory(), snapshot_every=0)
+
+
+def _wedged_machine() -> Machine:
+    """One PE spinning forever on a flag nobody sets."""
+    asm = Assembler()
+    asm.loadi(1, 40)
+    asm.label("spin")
+    asm.load(2, 1)
+    asm.beqz(2, "spin")
+    asm.halt()
+    machine = Machine(MachineConfig(num_pes=1, cache_lines=4, memory_size=64))
+    machine.load_programs([asm.assemble()])
+    return machine
+
+
+class TestLivelockEntry:
+    def test_livelock_report_restores_to_wedge_cycle(self):
+        machine = _wedged_machine()
+        with pytest.raises(LivelockError) as excinfo:
+            machine.run(max_cycles=60)
+        restored = machine_from_livelock(excinfo.value)
+        assert restored.cycle == 60
+        assert not restored.idle
+        # The wedge reproduces: the restored machine still cannot finish.
+        with pytest.raises(LivelockError):
+            restored.run(max_cycles=30)
+
+    def test_livelock_snapshot_round_trips_through_disk(self, tmp_path):
+        machine = _wedged_machine()
+        with pytest.raises(LivelockError) as excinfo:
+            machine.run(max_cycles=60)
+        snapshot = MachineSnapshot.from_livelock(excinfo.value)
+        path = tmp_path / "wedged.ckpt"
+        snapshot.save(path)
+        assert MachineSnapshot.load(path).restore().cycle == 60
+
+    def test_from_livelock_without_machine_state_rejected(self):
+        error = LivelockError("wedged", snapshot={"cycle": 3})
+        with pytest.raises(SnapshotError, match="no machine state"):
+            MachineSnapshot.from_livelock(error)

@@ -1,0 +1,139 @@
+"""Shared workloads and machine factories for the checkpoint tests.
+
+Two genuinely contended programs (a TTS-lock counter and a flag-based
+producer/consumer) exercised across every registered protocol, with and
+without chaos — the matrix ISSUE 4 requires bit-identical resume over.
+"""
+
+from __future__ import annotations
+
+from repro.processor.program import Assembler, Program
+from repro.reliability.chaos import ChaosConfig
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.trace.sink import TraceSink
+
+LOCK = 0
+COUNTER = 1
+FLAG = 2
+DATA = 3
+
+
+def tts_counter_program(iterations: int = 4) -> Program:
+    """Increment a shared counter under a test-test-and-set spin lock."""
+    asm = Assembler()
+    asm.loadi(1, LOCK)
+    asm.loadi(2, COUNTER)
+    asm.loadi(3, 1)  # value TS deposits into the lock word
+    asm.loadi(5, iterations)
+    asm.label("loop")
+    asm.label("spin")
+    asm.load(4, 1)  # TTS "test": spin in the cache while held
+    asm.bnez(4, "spin")
+    asm.ts(4, 1, 3)
+    asm.bnez(4, "spin")  # lost the race: back to testing
+    asm.load(6, 2)  # critical section: counter += 1
+    asm.addi(6, 6, 1)
+    asm.store(2, 6)
+    asm.loadi(4, 0)  # unlock
+    asm.store(1, 4)
+    asm.addi(5, 5, -1)
+    asm.bnez(5, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def producer_program(items: int = 4) -> Program:
+    """Write ``items`` values through a full/empty flag handshake."""
+    asm = Assembler()
+    asm.loadi(1, FLAG)
+    asm.loadi(2, DATA)
+    asm.loadi(5, items)
+    asm.loadi(6, 0)  # the running payload value
+    asm.label("produce")
+    asm.label("wait_empty")
+    asm.load(4, 1)
+    asm.bnez(4, "wait_empty")
+    asm.addi(6, 6, 7)  # next payload
+    asm.store(2, 6)
+    asm.loadi(4, 1)  # mark full
+    asm.store(1, 4)
+    asm.addi(5, 5, -1)
+    asm.bnez(5, "produce")
+    asm.halt()
+    return asm.assemble()
+
+
+def consumer_program(items: int = 4) -> Program:
+    """Read ``items`` values, accumulating them at a private address."""
+    asm = Assembler()
+    asm.loadi(1, FLAG)
+    asm.loadi(2, DATA)
+    asm.loadi(3, DATA + 1)  # accumulator address
+    asm.loadi(5, items)
+    asm.label("consume")
+    asm.label("wait_full")
+    asm.load(4, 1)
+    asm.beqz(4, "wait_full")
+    asm.load(6, 2)
+    asm.load(7, 3)  # accumulator += payload
+    asm.add(7, 7, 6)
+    asm.store(3, 7)
+    asm.loadi(4, 0)  # mark empty
+    asm.store(1, 4)
+    asm.addi(5, 5, -1)
+    asm.bnez(5, "consume")
+    asm.halt()
+    return asm.assemble()
+
+
+def chaos_schedule(seed: int = 7) -> ChaosConfig:
+    """A light but non-trivial fault schedule (every recoverable class)."""
+    return ChaosConfig(
+        corrupt_transfer_rate=0.01,
+        memory_read_error_rate=0.01,
+        drop_snoop_rate=0.01,
+        lose_invalidate_rate=0.01,
+        arbiter_stall_rate=0.01,
+        seed=seed,
+    )
+
+
+def workload_programs(workload: str) -> list[Program]:
+    """The two-PE program pair for one named workload."""
+    if workload == "counter":
+        return [tts_counter_program(), tts_counter_program()]
+    if workload == "producer-consumer":
+        return [producer_program(), consumer_program()]
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def make_factory(
+    protocol: str = "rb",
+    workload: str = "counter",
+    chaos: bool = False,
+    seed: int = 3,
+    **config_overrides,
+):
+    """A ``factory(trace_sink) -> Machine`` for replay/timetravel helpers.
+
+    A small cache (4 one-word frames) forces evictions and write-backs,
+    so snapshots cover replacement state, not just steady-state hits.
+    """
+
+    def factory(trace_sink: TraceSink | None = None) -> Machine:
+        settings = {
+            "num_pes": 2,
+            "protocol": protocol,
+            "cache_lines": 4,
+            "memory_size": 64,
+            "seed": seed,
+            "chaos": chaos_schedule() if chaos else None,
+            **config_overrides,
+        }
+        config = MachineConfig(**settings)
+        machine = Machine(config, trace_sink=trace_sink)
+        machine.load_programs(workload_programs(workload))
+        return machine
+
+    return factory

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.bus",
     "repro.cache",
+    "repro.checkpoint",
     "repro.common",
     "repro.experiments",
     "repro.hierarchy",
