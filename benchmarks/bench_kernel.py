@@ -1,0 +1,100 @@
+"""Benchmark: cycle-stepped vs event-scheduled kernel.
+
+Runs the shared harness in :mod:`repro.benchmarks.kernel` on a spin-heavy
+and a bus-saturated workload, printing cycles/sec for both kernel modes
+and the event-over-cycle speedup.
+
+Usage (from the repo root, ``PYTHONPATH=src``):
+
+* ``python benchmarks/bench_kernel.py`` — full run, rewrite the committed
+  ``BENCH_kernel.json`` with numbers from the current machine.
+* ``python benchmarks/bench_kernel.py --quick --check`` — CI smoke: small
+  workloads, compare speedup ratios against the committed baseline and
+  exit non-zero on a >30% regression or a digest divergence.
+
+Under pytest the same measurements run as a test that asserts the
+structural claims (digest equality, spin-workload speedup) without gating
+on host-dependent rates.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from conftest import print_once
+except ImportError:  # standalone baseline regeneration via __main__
+
+    def print_once(key: str, text: str) -> None:
+        print(text)
+
+
+from repro.benchmarks.kernel import (
+    compare_to_baseline,
+    render_report,
+    run_kernel_benchmark,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+#: CI gate: fail when a workload's speedup drops more than this fraction
+#: below the committed baseline's.
+REGRESSION_TOLERANCE = 0.30
+
+
+def test_kernel_speedup():
+    """The event kernel must match the cycle loop bit-for-bit and beat it
+    decisively on the spin-dominated workload (host-independent claims
+    only; the committed baseline holds the reference rates)."""
+    report = run_kernel_benchmark(quick=True)
+    print_once("kernel-speedup", render_report(report))
+    for name, entry in report["workloads"].items():
+        assert entry["digests_match"], f"{name}: kernel modes diverged"
+    assert report["workloads"]["tts-spin-lock"]["speedup"] >= 3.0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert set(baseline["workloads"]) == set(report["workloads"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of writing it",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_kernel_benchmark(quick=args.quick)
+    print(render_report(report))
+
+    if args.check:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = compare_to_baseline(
+            report, baseline, tolerance=REGRESSION_TOLERANCE
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"within {REGRESSION_TOLERANCE:.0%} of baseline speedups "
+            f"({BASELINE_PATH.name})"
+        )
+        return 0
+
+    if args.quick:
+        print("(--quick run: baseline not rewritten)")
+        return 0
+
+    BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

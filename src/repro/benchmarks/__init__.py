@@ -1,0 +1,18 @@
+"""Reusable benchmark harnesses (importable by the CLI and CI gates).
+
+The ``benchmarks/`` directory at the repo root holds the runnable
+scripts/pytest entries; this package holds the measurement logic they
+share with ``repro-experiment bench``.
+"""
+
+from repro.benchmarks.kernel import (
+    compare_to_baseline,
+    render_report,
+    run_kernel_benchmark,
+)
+
+__all__ = [
+    "compare_to_baseline",
+    "render_report",
+    "run_kernel_benchmark",
+]

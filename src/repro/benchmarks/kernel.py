@@ -1,0 +1,186 @@
+"""Cycle-stepped vs event-scheduled kernel benchmark.
+
+Measures the simulator's cycles/sec under both ``MachineConfig.kernel``
+modes on two deliberately opposite workloads:
+
+* ``tts-spin-lock`` — test-and-test-and-set contention with long critical
+  and think sections, the paper's Figure 5-1 shape.  Almost every cycle
+  is a cached spin read or a NOP, exactly the spans the event kernel
+  jumps over, so this is where the headline speedup lives.
+* ``faa-counter`` — back-to-back fetch-and-adds, bus-saturated with no
+  dead spans to skip.  This pins the kernel's worst case: the probe
+  overhead when there is nothing to gain.
+
+Every measurement also runs both modes to completion and records whether
+their :meth:`~repro.system.machine.Machine.state_digest` values agree, so
+the committed ``BENCH_kernel.json`` doubles as an equivalence witness.
+
+The regression gate compares *speedup ratios* (event over cycle), not raw
+cycles/sec: the ratio is a property of the code, not of whichever host ran
+the baseline, so CI can check it across machine generations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.bus.transaction import reset_txn_serial
+from repro.processor.program import Program
+from repro.sync.locks import build_lock_program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.counter import build_faa_counter_program
+
+#: Shared lock / counter word used by the benchmark programs.
+_LOCK_ADDRESS = 8
+
+#: Workload name -> (program factory, machine-shape overrides).
+_WORKLOADS: dict[str, Callable[[bool], list[Program]]] = {}
+
+
+def _tts_spin_programs(quick: bool) -> list[Program]:
+    rounds = 3 if quick else 8
+    return [
+        build_lock_program(
+            _LOCK_ADDRESS,
+            rounds=rounds,
+            use_tts=True,
+            critical_cycles=256,
+            think_cycles=64,
+        )
+        for _ in range(4)
+    ]
+
+
+def _faa_counter_programs(quick: bool) -> list[Program]:
+    increments = 100 if quick else 400
+    return [build_faa_counter_program(increments) for _ in range(4)]
+
+
+_WORKLOADS["tts-spin-lock"] = _tts_spin_programs
+_WORKLOADS["faa-counter"] = _faa_counter_programs
+
+
+def _build_machine(kernel: str, programs: list[Program]) -> Machine:
+    reset_txn_serial()
+    config = MachineConfig(
+        num_pes=4,
+        protocol="rwb",
+        cache_lines=16,
+        memory_size=64,
+        seed=11,
+        kernel=kernel,
+    )
+    machine = Machine(config)
+    machine.load_programs(programs)
+    return machine
+
+
+def _measure(
+    kernel: str, make_programs: Callable[[bool], list[Program]], quick: bool,
+    samples: int,
+) -> tuple[int, float, str]:
+    """Best-of-*samples* wall time for one full run in *kernel* mode.
+
+    Returns ``(cycles, best_seconds, final_digest)``; cycles and digest
+    are identical across samples by construction (deterministic machine).
+    """
+    best = float("inf")
+    cycles = 0
+    digest = ""
+    for _ in range(samples):
+        machine = _build_machine(kernel, make_programs(quick))
+        start = time.perf_counter()
+        cycles = machine.run(max_cycles=2_000_000)
+        best = min(best, time.perf_counter() - start)
+        digest = machine.state_digest()
+    return cycles, best, digest
+
+
+def run_kernel_benchmark(quick: bool = False) -> dict:
+    """Measure both kernel modes on every workload.
+
+    Args:
+        quick: shrink the workloads for CI smoke runs (same shapes,
+            fewer rounds).
+
+    Returns:
+        A JSON-compatible report::
+
+            {"quick": bool,
+             "workloads": {name: {"cycles": int,
+                                  "cycles_per_second": {"cycle": float,
+                                                        "event": float},
+                                  "speedup": float,
+                                  "digests_match": bool}}}
+    """
+    samples = 2 if quick else 3
+    workloads = {}
+    for name, make_programs in _WORKLOADS.items():
+        cycle_cycles, cycle_secs, cycle_digest = _measure(
+            "cycle", make_programs, quick, samples
+        )
+        event_cycles, event_secs, event_digest = _measure(
+            "event", make_programs, quick, samples
+        )
+        workloads[name] = {
+            "cycles": cycle_cycles,
+            "cycles_per_second": {
+                "cycle": round(cycle_cycles / cycle_secs, 1),
+                "event": round(event_cycles / event_secs, 1),
+            },
+            "speedup": round(cycle_secs / event_secs, 3),
+            "digests_match": (
+                cycle_digest == event_digest and cycle_cycles == event_cycles
+            ),
+        }
+    return {"quick": quick, "workloads": workloads}
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Regression check of *current* against a committed *baseline*.
+
+    Flags any workload whose event-over-cycle speedup fell more than
+    *tolerance* (fractional) below the baseline's, plus any digest
+    mismatch.  Raw cycles/sec is reported but never gated — it measures
+    the host, not the code.
+
+    Returns:
+        Human-readable failure strings; empty means the gate passes.
+    """
+    failures = []
+    for name, entry in baseline["workloads"].items():
+        got = current["workloads"].get(name)
+        if got is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if not got["digests_match"]:
+            failures.append(
+                f"{name}: event kernel digest diverged from cycle loop"
+            )
+        floor = entry["speedup"] * (1.0 - tolerance)
+        if got["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup regressed to {got['speedup']:.2f}x "
+                f"(baseline {entry['speedup']:.2f}x, floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def render_report(report: dict) -> str:
+    """A fixed-width table of one :func:`run_kernel_benchmark` result."""
+    lines = [
+        "workload         cycles   cycle-mode c/s   event-mode c/s"
+        "  speedup  digests",
+    ]
+    for name, entry in report["workloads"].items():
+        rates = entry["cycles_per_second"]
+        lines.append(
+            f"{name:<15}{entry['cycles']:>8}{rates['cycle']:>17.1f}"
+            f"{rates['event']:>17.1f}{entry['speedup']:>8.2f}x"
+            f"  {'match' if entry['digests_match'] else 'DIVERGED'}"
+        )
+    return "\n".join(lines)

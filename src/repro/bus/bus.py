@@ -26,7 +26,7 @@ from repro.bus.interfaces import BusClient, BusNetwork
 from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
 from repro.common.errors import BusError, SnapshotError
 from repro.common.stats import CounterBag
-from repro.common.types import Word
+from repro.common.types import NEVER_WAKE, Word
 from repro.memory.main_memory import MainMemory
 from repro.trace.events import (
     ArbiterDecision,
@@ -135,6 +135,59 @@ class SharedBus(BusNetwork):
     def step_all(self) -> list[CompletedTransaction]:
         done = self.step()
         return [done] if done is not None else []
+
+    def wake_eta(self) -> int:
+        """See :meth:`BusNetwork.wake_eta`.
+
+        Dead spans come in two flavours: an empty bus (no queued request
+        anywhere — dead until someone asks, :data:`NEVER_WAKE`) and a bus
+        whose every head-of-queue transaction sits in a chaos parity-retry
+        backoff window (dead until the earliest retry cycle).  Anything
+        else — any ready head — can be granted next cycle.
+        """
+        heads = [queue[0] for queue in self._queues.values() if queue]
+        if not heads:
+            return NEVER_WAKE
+        chaos = self.chaos
+        if chaos is None:
+            return 0
+        eta = NEVER_WAKE
+        for txn in heads:
+            retry_at = chaos.retry_cycle(txn.serial)
+            if retry_at is None:
+                return 0
+            # The next cycle is self.cycle + 1; the span of cycles where
+            # this head is still backing off ends at retry_at - 1.
+            head_eta = retry_at - self.cycle - 1
+            if head_eta <= 0:
+                return 0
+            eta = min(eta, head_eta)
+        return eta
+
+    def skip_cycles(self, count: int) -> None:
+        """Bulk-apply *count* dead cycles promised by :meth:`wake_eta`.
+
+        The idle flavour is a pure counter update.  The backoff flavour
+        replays the per-busy-cycle arbiter-stall draw cycle by cycle, so
+        the chaos RNG stream — and any stall faults it fires — stay
+        bit-identical to the stepped loop (a fired stall changes nothing
+        the span relies on: the grant was withheld either way).
+        """
+        if not any(self._queues.values()):
+            self.cycle += count
+            self.stats.add("bus.cycles", count)
+            self.stats.add("bus.idle_cycles", count)
+            return
+        chaos = self.chaos
+        for _ in range(count):
+            self.cycle += 1
+            self.trace.cycle = self.cycle
+            self.stats.add("bus.cycles")
+            if chaos is not None and chaos.stall_grant(self.name, self.cycle):
+                self.stats.add("bus.stalled_cycles")
+            else:
+                self.stats.add("bus.backoff_cycles")
+            self.stats.add("bus.busy_cycles")
 
     # ------------------------------------------------------------------ #
     # one bus cycle                                                       #

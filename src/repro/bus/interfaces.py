@@ -11,7 +11,7 @@ import abc
 from typing import Callable
 
 from repro.bus.transaction import BusTransaction, CompletedTransaction
-from repro.common.errors import SnapshotError
+from repro.common.errors import BusError, SnapshotError
 from repro.common.stats import CounterBag
 from repro.common.types import Word
 
@@ -93,6 +93,27 @@ class BusNetwork(abc.ABC):
     @abc.abstractmethod
     def has_pending(self) -> bool:
         """Whether any transaction is queued anywhere in the fabric."""
+
+    def wake_eta(self) -> int:
+        """Upcoming cycles this fabric is provably grant-free for.
+
+        ``0`` means the fabric may act on the very next cycle (the event
+        kernel must step it normally); a positive value promises the next
+        that-many cycles produce no grants, broadcasts or completions; and
+        :data:`~repro.common.types.NEVER_WAKE` means the fabric cannot act
+        until someone queues a new request.  The conservative default — a
+        fabric that never advertises dead cycles — keeps custom fabrics
+        (e.g. the hierarchy adapters) correct without any kernel support.
+        """
+        return 0
+
+    def skip_cycles(self, count: int) -> None:
+        """Bulk-apply *count* dead cycles previously promised by
+        :meth:`wake_eta`; must leave the fabric bit-identical to *count*
+        :meth:`step_all` calls."""
+        raise BusError(
+            f"{type(self).__name__} advertises no skippable cycles"
+        )
 
     @property
     @abc.abstractmethod

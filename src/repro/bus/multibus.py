@@ -21,6 +21,7 @@ from repro.bus.interfaces import BusClient, BusNetwork
 from repro.bus.transaction import BusTransaction, CompletedTransaction
 from repro.common.errors import ConfigurationError, SnapshotError
 from repro.common.stats import CounterBag
+from repro.common.types import NEVER_WAKE
 from repro.memory.main_memory import MainMemory
 from repro.trace.sink import Tracer
 
@@ -103,6 +104,33 @@ class InterleavedMultiBus(BusNetwork):
 
     def has_pending(self) -> bool:
         return any(bus.has_pending() for bus in self.buses)
+
+    def wake_eta(self) -> int:
+        """See :meth:`BusNetwork.wake_eta`.
+
+        The fabric is dead only while every bank is.  A skipped span is
+        allowed with at most one *pending* (backing-off) bank: with two or
+        more, each bank's cycle-by-cycle stall replay would emit its fault
+        events bank-grouped instead of cycle-interleaved, breaking trace
+        bit-identity — so that rare shape conservatively steps.
+        """
+        eta = NEVER_WAKE
+        pending_banks = 0
+        for bus in self.buses:
+            bank_eta = bus.wake_eta()
+            if bank_eta == 0:
+                return 0
+            if bank_eta != NEVER_WAKE:
+                pending_banks += 1
+                if pending_banks > 1:
+                    return 0
+            eta = min(eta, bank_eta)
+        return eta
+
+    def skip_cycles(self, count: int) -> None:
+        """Bulk-apply *count* dead cycles on every bank."""
+        for bus in self.buses:
+            bus.skip_cycles(count)
 
     @property
     def bus_count(self) -> int:

@@ -1033,6 +1033,58 @@ class SnoopingCache(BusClient):
             )
         )
 
+    # ------------------------------------------------------------------ #
+    # event-kernel spin support                                            #
+    # ------------------------------------------------------------------ #
+
+    def spin_read_probe(self, address: Address) -> Word | None:
+        """The value a CPU read of *address* would return, iff that read
+        is a pure local hit that provably changes nothing.
+
+        "Changes nothing" means: the protocol reacts with a local hit
+        whose next state, meta and value equal the line's current ones, so
+        repeating the read any number of times leaves the line — and
+        therefore every snoop decision anyone else could make — untouched.
+        Only the LRU stamp and hit counters move, and those are exactly
+        what :meth:`apply_spin_reads` bulk-applies.  Returns ``None`` when
+        the read would miss, go to the bus, or mutate the line; the event
+        kernel then steps the owning PE normally.
+        """
+        if self.offline or self._pending is not None or self._bus is None:
+            return None
+        found = self._lookup(address)
+        if found is None:
+            return None
+        line = found[1]
+        reaction = self.protocol.on_cpu_read(line.state, line.meta)
+        if not reaction.is_local_hit:
+            return None
+        if (
+            reaction.next_state is not line.state
+            or reaction.next_meta != line.meta
+            or reaction.writes_value
+        ):
+            return None
+        return line.value
+
+    def apply_spin_reads(self, address: Address, count: int) -> None:
+        """Bulk-apply *count* read hits vetted by :meth:`spin_read_probe`.
+
+        Reproduces exactly what *count* consecutive :meth:`cpu_read` hits
+        of *address* would do: the hit counters, the LRU stamp advance
+        (the line ends most recently used, as if touched on every read)
+        and the cleared completion serial.  No trace event is emitted —
+        the stepped loop emits none for a no-change hit either.
+        """
+        found = self._lookup(address)
+        if found is None:
+            raise CacheError(f"{self.name}: spin bulk-apply on an absent line")
+        self.stats.add("cache.reads", count)
+        self.stats.add("cache.read_hits", count)
+        self._stamp += count
+        found[1].last_used = self._stamp
+        self.last_completed_serial = None
+
     def _lookup(self, address: Address) -> tuple[int, CacheLine] | None:
         for frame in self.placement.frames_for(address):
             line = self._lines[frame]

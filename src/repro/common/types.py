@@ -29,6 +29,12 @@ WORD_BITS = 32
 #: All-ones bit pattern of one machine word.
 WORD_MASK = (1 << WORD_BITS) - 1
 
+#: Wake-ETA sentinel for the event-scheduled kernel: the component cannot
+#: act again without an external event (a bus completion, a fresh request,
+#: the end of the run).  A plain huge int so ``min()`` over mixed finite
+#: and never ETAs needs no special-casing.
+NEVER_WAKE = 1 << 62
+
 
 class AccessType(enum.Enum):
     """The kinds of references a processing element can make.

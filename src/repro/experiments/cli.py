@@ -5,12 +5,18 @@ prints the report.  Every target runs through the sweep engine, so
 ``--workers N`` fans the target's points across processes and ``--json
 PATH`` writes the structured :class:`~repro.sweep.result.ExperimentResult`
 artifact.  ``repro-experiment list`` enumerates the targets with their
-one-line descriptions.
+one-line descriptions; ``repro-experiment bench`` runs the performance
+benchmark suite and diffs it against the committed ``BENCH_*.json``
+baselines.  ``--profile PATH`` wraps any run in :mod:`cProfile`.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import contextlib
+import json
+import pstats
 import sys
 from pathlib import Path
 from types import ModuleType
@@ -64,6 +70,30 @@ def _json_path_for(base: Path, name: str, multiple: bool) -> Path:
     return base.with_name(f"{base.stem}.{name}{base.suffix or '.json'}")
 
 
+@contextlib.contextmanager
+def _profiled(profile_path: Path | None):
+    """Optionally wrap the body in :mod:`cProfile`.
+
+    Dumps raw stats to *profile_path* (loadable with ``pstats`` or
+    ``snakeviz``) and prints the top functions by cumulative time to
+    stderr.  With ``--workers`` > 1 only the coordinating process is
+    profiled; use one worker to profile the simulation itself.
+    """
+    if profile_path is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        print(f"wrote profile to {profile_path}", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(15)
+
+
 def _run_target(
     name: str,
     workers: int,
@@ -101,6 +131,50 @@ def _run_target(
     return result.ok
 
 
+def _run_bench(
+    quick: bool, write_baseline: bool, json_path: Path | None
+) -> int:
+    """The ``bench`` target: run the kernel benchmark suite and diff it
+    against the committed ``BENCH_kernel.json`` (or rewrite it)."""
+    from repro.benchmarks.kernel import (
+        compare_to_baseline,
+        render_report,
+        run_kernel_benchmark,
+    )
+
+    baseline_path = Path("BENCH_kernel.json")
+    report = run_kernel_benchmark(quick=quick)
+    print(render_report(report))
+    if json_path is not None:
+        json_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {json_path}", file=sys.stderr)
+    if write_baseline:
+        if quick:
+            print(
+                "refusing to write a --quick run as the baseline",
+                file=sys.stderr,
+            )
+            return 1
+        baseline_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {baseline_path}", file=sys.stderr)
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"no {baseline_path} here to diff against (run from the repo "
+            "root, or use --write-baseline to create one)",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    failures = compare_to_baseline(report, baseline)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"within tolerance of {baseline_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment by name; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -112,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help=f"one of: {', '.join(sorted(TARGETS))}, all, list",
+        help=f"one of: {', '.join(sorted(TARGETS))}, all, list, bench",
     )
     parser.add_argument(
         "--workers",
@@ -181,6 +255,30 @@ def main(argv: list[str] | None = None) -> int:
             "--resume, stale snapshots are cleared before the sweep)"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "profile the run with cProfile: dump raw stats to PATH and "
+            "print the top functions by cumulative time to stderr (with "
+            "--workers > 1 only the coordinating process is profiled)"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench only: shrink workloads for a fast smoke run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "bench only: rewrite the committed BENCH_kernel.json with "
+            "this run's numbers instead of diffing against it"
+        ),
+    )
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if args.workers < 1:
@@ -196,46 +294,54 @@ def main(argv: list[str] | None = None) -> int:
         for target in sorted(TARGETS):
             description = harness.description_of(TARGETS[target])
             print(f"{target:<{width}}  {description}")
+        print(f"{'bench':<{width}}  Kernel benchmark suite (BENCH_*.json)")
         return 0
+    if name == "bench":
+        with _profiled(args.profile):
+            return _run_bench(args.quick, args.write_baseline, args.json)
+    if args.quick or args.write_baseline:
+        parser.error("--quick/--write-baseline only apply to 'bench'")
     if name == "all":
         ok = True
-        for target in sorted(TARGETS):
-            ok = (
-                _run_target(
-                    target,
-                    args.workers,
-                    args.json,
-                    True,
-                    trace_dir=args.trace,
-                    online_check=args.online_check,
-                    checkpoint_dir=args.checkpoint_dir,
-                    checkpoint_every=args.checkpoint_every,
-                    resume=args.resume,
+        with _profiled(args.profile):
+            for target in sorted(TARGETS):
+                ok = (
+                    _run_target(
+                        target,
+                        args.workers,
+                        args.json,
+                        True,
+                        trace_dir=args.trace,
+                        online_check=args.online_check,
+                        checkpoint_dir=args.checkpoint_dir,
+                        checkpoint_every=args.checkpoint_every,
+                        resume=args.resume,
+                    )
+                    and ok
                 )
-                and ok
-            )
-            print()
+                print()
         return 0 if ok else 1
     if name not in TARGETS:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(sorted(TARGETS))}"
+            f"choose from {', '.join(sorted(TARGETS))}, all, list, bench"
         )
-    return (
-        0
-        if _run_target(
-            name,
-            args.workers,
-            args.json,
-            False,
-            trace_dir=args.trace,
-            online_check=args.online_check,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
+    with _profiled(args.profile):
+        return (
+            0
+            if _run_target(
+                name,
+                args.workers,
+                args.json,
+                False,
+                trace_dir=args.trace,
+                online_check=args.online_check,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+            )
+            else 1
         )
-        else 1
-    )
 
 
 if __name__ == "__main__":

@@ -13,9 +13,16 @@ import abc
 from repro.cache.cache import SnoopingCache
 from repro.common.errors import ProgramError, SnapshotError
 from repro.common.stats import CounterBag
-from repro.common.types import Word
+from repro.common.types import NEVER_WAKE, Word
 from repro.processor.isa import Instruction, Opcode
 from repro.processor.program import Program
+
+#: How many instructions the event-kernel probe simulates forward when
+#: proving a PE's upcoming cycles are bus-free.  Large enough to cover the
+#: repo's spin shapes (2-instruction TTS spins, 3-4 instruction flag-wait
+#: loops, their arrival transients); a loop that does not close within the
+#: window is simply treated as a finite dead run and re-probed later.
+_SPIN_SIM_LIMIT = 32
 
 
 class Driver(abc.ABC):
@@ -54,6 +61,51 @@ class Driver(abc.ABC):
             self.stats.add("pe.stall_cycles")
             return
         self._execute_one()
+
+    # ----------------------- event-kernel interface --------------------- #
+
+    def wake_eta(self) -> int:
+        """Upcoming cycles this driver is provably inert for.
+
+        ``0``: the driver may touch shared state (issue a bus request,
+        halt, fault) on its very next cycle — the kernel must step it.
+        A positive value promises that many next cycles change nothing
+        outside the driver's private state (registers, pc, LRU stamps,
+        counters).  :data:`~repro.common.types.NEVER_WAKE` promises the
+        driver stays inert until an external event: it is done, stalled
+        on an outstanding bus operation, or provably spinning in cache.
+        """
+        if self.done or self._waiting:
+            return NEVER_WAKE
+        return self._idle_eta()
+
+    def _idle_eta(self) -> int:
+        """Dead cycles a runnable driver has ahead (0 = none provable).
+
+        The base driver claims none; subclasses that can prove periods of
+        pure private computation override this together with
+        :meth:`_skip_active`.
+        """
+        return 0
+
+    def skip_cycles(self, count: int) -> None:
+        """Bulk-apply *count* cycles promised dead by :meth:`wake_eta`.
+
+        Must leave the driver bit-identical to *count* :meth:`step` calls
+        under the span's guarantee that no external event arrives.
+        """
+        if self.done:
+            return
+        self.stats.add("pe.cycles", count)
+        if self._waiting:
+            self.stats.add("pe.stall_cycles", count)
+            return
+        self._skip_active(count)
+
+    def _skip_active(self, count: int) -> None:
+        raise ProgramError(
+            f"{type(self).__name__} advertised dead cycles it cannot apply"
+        )
 
     # ----------------------- cache access helpers ---------------------- #
 
@@ -254,6 +306,164 @@ class ProcessingElement(Driver):
             self._fetch_and_add(self._reg(instr.b), self._reg(instr.c), added)
             return
         raise ProgramError(f"PE {self.pe_id}: unhandled opcode {op}")
+
+    # ----------------------- event-kernel probe ------------------------- #
+
+    def _idle_eta(self) -> int:
+        if self.pc >= len(self.program):
+            return 0  # the next step raises ProgramError; step it normally
+        if self.program[self.pc].op is Opcode.NOP:
+            return self._nop_run_length()
+        steps, cycle = self._dead_run()
+        return NEVER_WAKE if cycle is not None else steps
+
+    def _nop_run_length(self) -> int:
+        """Consecutive NOPs from the current pc (critical/think sections)."""
+        run = 0
+        limit = len(self.program)
+        program = self.program
+        while self.pc + run < limit and program[self.pc + run].op is Opcode.NOP:
+            run += 1
+        return run
+
+    def _dead_run(self) -> tuple[int, tuple[int, int | None, int] | None]:
+        """Prove a run of upcoming cycles is bus-free by simulating them.
+
+        Walks the program forward with a scratch register file, admitting
+        only instructions that touch nothing outside the PE: register ops,
+        branches, NOPs, and LOADs the cache vouches for as no-change local
+        hits (:meth:`SnoopingCache.spin_read_probe`).  The walk stops at
+        anything else — STORE/TS/FAA (bus), HALT (changes doneness, which
+        the machine's idle test must observe at the exact cycle), an
+        off-program pc or a bad register index (the real step must raise).
+
+        Returns ``(steps, cycle)``:
+
+        * ``cycle is None`` — the first *steps* cycles are dead, the next
+          one is not (or the probe window closed): a finite dead run.
+        * ``cycle = (period, spin_address, loads_per_period)`` — after
+          ``steps`` transient dead cycles the PE enters a state cycle of
+          ``period`` instructions it can never leave without an external
+          event (the classic TTS spin, a producer-consumer flag wait).
+          ``spin_address`` is the single address its LOADs hit (``None``
+          for a load-free loop); a loop reading several addresses is
+          demoted to a finite dead run — still skippable, but only via
+          the stepwise path that preserves per-line LRU interleaving.
+        """
+        program = self.program
+        program_len = len(program)
+        num_regs = len(self.regs)
+        regs = list(self.regs)
+        pos = self.pc
+        seen: dict[tuple[int, tuple[int, ...]], int] = {}
+        load_log: list[tuple[int, int]] = []  # (step index, address)
+        steps = 0
+        while steps < _SPIN_SIM_LIMIT:
+            key = (pos, tuple(regs))
+            first = seen.get(key)
+            if first is not None:
+                period_loads = [a for i, a in load_log if i >= first]
+                addresses = set(period_loads)
+                if len(addresses) > 1:
+                    return steps, None
+                return first, (
+                    steps - first,
+                    addresses.pop() if addresses else None,
+                    len(period_loads),
+                )
+            seen[key] = steps
+            if pos >= program_len:
+                return steps, None
+            instr = program[pos]
+            op = instr.op
+            if op is Opcode.NOP:
+                pos += 1
+            elif op is Opcode.LOADI:
+                if not 0 <= instr.a < num_regs:
+                    return steps, None
+                regs[instr.a] = instr.b
+                pos += 1
+            elif op is Opcode.MOV:
+                if not (0 <= instr.a < num_regs and 0 <= instr.b < num_regs):
+                    return steps, None
+                regs[instr.a] = regs[instr.b]
+                pos += 1
+            elif op in (Opcode.ADD, Opcode.SUB):
+                if not (
+                    0 <= instr.a < num_regs
+                    and 0 <= instr.b < num_regs
+                    and 0 <= instr.c < num_regs
+                ):
+                    return steps, None
+                if op is Opcode.ADD:
+                    regs[instr.a] = regs[instr.b] + regs[instr.c]
+                else:
+                    regs[instr.a] = regs[instr.b] - regs[instr.c]
+                pos += 1
+            elif op is Opcode.ADDI:
+                if not (0 <= instr.a < num_regs and 0 <= instr.b < num_regs):
+                    return steps, None
+                regs[instr.a] = regs[instr.b] + instr.c
+                pos += 1
+            elif op is Opcode.JMP:
+                pos = instr.c
+            elif op in (Opcode.BEQZ, Opcode.BNEZ):
+                if not 0 <= instr.a < num_regs:
+                    return steps, None
+                taken = (
+                    regs[instr.a] == 0
+                    if op is Opcode.BEQZ
+                    else regs[instr.a] != 0
+                )
+                pos = instr.c if taken else pos + 1
+            elif op is Opcode.LOAD:
+                if not (0 <= instr.a < num_regs and 0 <= instr.b < num_regs):
+                    return steps, None
+                address = regs[instr.b]
+                value = self.cache.spin_read_probe(address)
+                if value is None:
+                    return steps, None
+                load_log.append((steps, address))
+                regs[instr.a] = value
+                pos += 1
+            else:
+                return steps, None
+            steps += 1
+        return steps, None
+
+    def _skip_active(self, count: int) -> None:
+        instr = self.program[self.pc]
+        if instr.op is Opcode.NOP:
+            # count <= the NOP run length (kernel contract): pure advance.
+            self.stats.add("pe.instructions", count)
+            self.pc += count
+            return
+        transient, cycle = self._dead_run()
+        if cycle is None:
+            # Finite dead run: replay it through the real interpreter —
+            # each instruction was just proven side-effect-free beyond
+            # private state, so this is exact and still skips all the
+            # bus/checker/machine-loop work of those cycles.
+            for _ in range(count):
+                self._execute_one()
+            return
+        period, spin_address, loads_per_period = cycle
+        lead = min(count, transient)
+        for _ in range(lead):
+            self._execute_one()
+        count -= lead
+        full, remainder = divmod(count, period)
+        if full:
+            # Whole periods are state-neutral on registers and pc; only
+            # the counters and the spun-on line's LRU stamp advance.
+            self.stats.add("pe.instructions", full * period)
+            if loads_per_period:
+                self.stats.add("pe.loads", full * loads_per_period)
+                self.cache.apply_spin_reads(
+                    spin_address, full * loads_per_period
+                )
+        for _ in range(remainder):
+            self._execute_one()
 
     def _reg(self, index: int) -> int:
         self._check_reg(index)

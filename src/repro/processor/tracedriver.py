@@ -49,6 +49,13 @@ class TraceDriver(Driver):
         """References not yet issued."""
         return len(self._refs)
 
+    def _idle_eta(self) -> int:
+        """A runnable trace driver issues a memory reference every free
+        cycle — its stall reasons (waiting on the bus, stream drained) are
+        already wake conditions handled by the base driver, so it never
+        advertises extra dead cycles."""
+        return 0
+
     def _execute_one(self) -> None:
         if not self._refs:
             return

@@ -362,6 +362,17 @@ class ChaosController:
         entry = self._retry_at.get(serial)
         return entry is None or cycle >= entry[0]
 
+    def retry_cycle(self, serial: int) -> int | None:
+        """Earliest cycle transaction *serial* may retry, or ``None``.
+
+        ``None`` means the transaction is not in a backoff window at all
+        (it is ready whenever the arbiter picks it).  The event kernel uses
+        this to compute how long a bus whose every head-of-queue request is
+        backing off stays provably grant-free.
+        """
+        entry = self._retry_at.get(serial)
+        return None if entry is None else entry[0]
+
     def parity_failure(
         self, txn: "BusTransaction", fault: str, cycle: int, bus_name: str
     ) -> int:
@@ -558,6 +569,18 @@ class ChaosController:
     def crash_scheduled(self) -> bool:
         """Whether any scripted process-crash fault is still unfired."""
         return any(s.fault == "process-crash" for s in self._unfired)
+
+    def next_scripted_crash_cycle(self) -> int | None:
+        """Earliest unfired scripted process-crash cycle, or ``None``.
+
+        The event kernel caps any dead-cycle jump just short of this, so
+        the crash fires inside a normally stepped cycle exactly as it
+        would under the cycle-stepped loop.
+        """
+        cycles = [
+            s.cycle for s in self._unfired if s.fault == "process-crash"
+        ]
+        return min(cycles) if cycles else None
 
     def maybe_crash(self, cycle: int, checkpoint_path: str | None) -> None:
         """Fire a due scripted process-crash, if its marker is not spent.

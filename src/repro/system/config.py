@@ -35,6 +35,14 @@ class MachineConfig:
             instructions still serialize on the bus, so only non-memory
             work speeds up).
         lock_granularity: memory-lock coarseness for read-modify-write.
+        kernel: advance strategy for ``Machine.run``/``run_cycles``/
+            ``drain_bus``.  ``"event"`` (the default) lets the machine jump
+            over provably dead cycle spans (every driver spinning in cache,
+            NOPping or stalled, and the bus idle or backing off) in one
+            bulk update; ``"cycle"`` is the legacy loop stepping every
+            cycle.  The two are bit-identical — same digests, stats and
+            trace stream — the event kernel is purely faster (see the
+            README "Performance" section).
         seed: base seed for any stochastic component (random arbiter,
             random replacement).  Every stochastic sub-component derives
             its own stream from this via ``derive_seed``.
@@ -74,6 +82,7 @@ class MachineConfig:
     num_regs: int = 16
     instructions_per_cycle: int = 1
     lock_granularity: LockGranularity = LockGranularity.WORD
+    kernel: str = "event"
     seed: int = 0
     record_bus_log: bool = False
     trace: str | None = None
@@ -108,6 +117,10 @@ class MachineConfig:
             raise ConfigurationError(
                 f"need >= 1 instruction per cycle, got "
                 f"{self.instructions_per_cycle}"
+            )
+        if self.kernel not in ("cycle", "event"):
+            raise ConfigurationError(
+                f"kernel must be 'cycle' or 'event', got {self.kernel!r}"
             )
         if self.chaos is not None:
             self.chaos.validate()

@@ -1,0 +1,118 @@
+"""The event-scheduled advance strategy (``MachineConfig.kernel="event"``).
+
+The cycle-stepped loop pays full price for every cycle even when the whole
+machine is provably inert — every PE spinning on a cached lock word,
+NOPping through a critical section or stalled on the bus, and the bus
+itself idle or waiting out a chaos backoff window.  The paper's spin-heavy
+workloads (Figures 5-1..7-1) are dominated by exactly such spans.
+
+The kernel asks each component for a *wake ETA* — how many upcoming cycles
+it is provably dead for (``0`` = may act next cycle, ``NEVER_WAKE`` = dead
+until an external event) — and jumps time forward by the minimum in one
+bulk update instead of iterating.  The jump is exact, not approximate:
+
+* A dead span contains no bus grants, broadcasts or completions, so no
+  cache line, memory word or queue changes; every component's
+  classification therefore stays valid for the whole span (the span is
+  closed under its own assumptions).
+* Each component's ``skip_cycles`` applies precisely the per-cycle side
+  effects the stepped loop would have produced: stall/idle counters, LRU
+  stamps, spin-loop register/pc evolution, chaos RNG draws for backoff
+  cycles.  Digests, stats and the trace stream stay bit-identical.
+* Spans are capped so that every cycle with a scheduled observable side
+  effect — a periodic checkpoint boundary, a scripted process-crash —
+  is stepped normally by the ordinary :meth:`Machine.step`.
+* The online coherence checker is untouched: on dead cycles it has no
+  touched addresses and the stepped loop's per-cycle call is a no-op, so
+  not calling it over a span changes nothing.  The one shape where a
+  skipped cycle *can* emit events (chaos arbiter-stall draws during a
+  backoff span) is stepped normally whenever a checker is attached.
+
+The kernel is deliberately stateless: ETAs are recomputed from live
+component state at every decision, so nothing new enters the snapshot
+format and checkpoint/restore works unchanged in either mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.types import NEVER_WAKE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.machine import Machine
+
+
+class EventKernel:
+    """Computes and applies provably-dead cycle spans for one machine."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    def skippable_span(self, horizon: int) -> int:
+        """Length of the dead span starting next cycle, capped to *horizon*.
+
+        Returns 0 when any component may act next cycle (the caller must
+        step normally) or when the span would not beat plain stepping.
+        """
+        machine = self.machine
+        horizon = min(horizon, self._checkpoint_cap(), self._crash_cap())
+        if horizon <= 1:
+            return 0
+        span = self._fabric_eta()
+        if span == 0:
+            return 0
+        for driver in machine.drivers:
+            eta = driver.wake_eta()
+            if eta == 0:
+                return 0
+            if eta < span:
+                span = eta
+        span = min(span, horizon)
+        return span if span > 1 else 0
+
+    def skip(self, count: int) -> None:
+        """Jump *count* dead cycles in one bulk update."""
+        machine = self.machine
+        machine.cycle += count
+        machine.bus.skip_cycles(count)
+        for driver in machine.drivers:
+            driver.skip_cycles(count)
+        machine.tracer.cycle = machine.cycle
+
+    # ------------------------------------------------------------------ #
+    # ETA sources and span caps                                           #
+    # ------------------------------------------------------------------ #
+
+    def _fabric_eta(self) -> int:
+        machine = self.machine
+        eta = machine.bus.wake_eta()
+        if eta != NEVER_WAKE and machine.checker is not None:
+            # A pending (backing-off) bus can fire chaos stall events
+            # mid-span; the checker must see them at per-cycle
+            # granularity, so such spans are stepped when it is attached.
+            return 0
+        return eta
+
+    def _checkpoint_cap(self) -> int:
+        """Dead cycles allowed before the next periodic-checkpoint
+        boundary; the boundary cycle itself is stepped normally so
+        :meth:`Machine.step` writes the snapshot exactly as the stepped
+        loop would."""
+        machine = self.machine
+        every = machine.checkpoint_every
+        if not (every and machine.checkpoint_path is not None):
+            return NEVER_WAKE
+        boundary = (machine.cycle // every + 1) * every
+        return boundary - machine.cycle - 1
+
+    def _crash_cap(self) -> int:
+        """Dead cycles allowed before the earliest scripted process-crash
+        instant; the crash then fires inside a normally stepped cycle."""
+        machine = self.machine
+        if not machine._crash_armed or machine.chaos is None:
+            return NEVER_WAKE
+        crash = machine.chaos.next_scripted_crash_cycle()
+        if crash is None:
+            return NEVER_WAKE
+        return max(0, crash - machine.cycle - 1)

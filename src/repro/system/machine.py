@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.bus.arbiter import make_arbiter
 from repro.bus.bus import SharedBus
@@ -38,6 +38,7 @@ from repro.processor.tracedriver import TraceDriver
 from repro.protocols.registry import make_protocol
 from repro.reliability.chaos import ChaosController
 from repro.system.config import MachineConfig
+from repro.system.kernel import EventKernel
 from repro.trace.checker import OnlineCoherenceChecker
 from repro.trace.context import get_trace_defaults
 from repro.trace.sink import NULL_TRACER, JsonlSink, ListSink, Tracer, TraceSink
@@ -46,9 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.checkpoint.snapshot import MachineSnapshot
 
 #: Config fields that may differ between a snapshot and the machine
-#: restoring it: they steer checkpoint/trace plumbing, not simulation.
+#: restoring it: they steer checkpoint/trace plumbing or the advance
+#: strategy, not simulated behaviour (the event kernel is bit-identical
+#: to the cycle loop, so snapshots move freely between the two).
 _RESTORE_NEUTRAL_FIELDS = frozenset(
-    {"checkpoint_every", "checkpoint_path", "checkpoint_resume", "trace"}
+    {"checkpoint_every", "checkpoint_path", "checkpoint_resume", "trace", "kernel"}
 )
 
 
@@ -136,6 +139,13 @@ class Machine:
         self.drivers: list[Driver] = []
         self.cycle = 0
         self.bus_log: list[CompletedTransaction] = []
+        # The event kernel only understands the one-slot-per-cycle driver
+        # schedule; wider issue falls back to plain stepping.
+        self._kernel: EventKernel | None = (
+            EventKernel(self)
+            if config.kernel == "event" and config.instructions_per_cycle == 1
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # construction                                                        #
@@ -251,49 +261,87 @@ class Machine:
         drivers_done = all(driver.done for driver in self.drivers)
         return drivers_done and not self.bus.has_pending()
 
+    def _advance(
+        self,
+        budget: int,
+        stop: Callable[[], bool] | None,
+        livelock_msg: str | None,
+    ) -> int:
+        """Advance up to *budget* cycles; the single path behind
+        :meth:`run`, :meth:`run_cycles` and :meth:`drain_bus`.
+
+        Every cycle goes through :meth:`step` — or through an event-kernel
+        bulk skip that is bit-identical to the same number of steps — so
+        periodic checkpointing, crash-resume, chaos and tracing behave
+        uniformly no matter which entry point drives the machine.
+
+        Args:
+            budget: maximum cycles to advance.
+            stop: advance ends early once this returns true (checked
+                before each cycle); ``None`` runs the whole budget.
+            livelock_msg: if set, exhausting *budget* without *stop*
+                raises :class:`LivelockError` with this message instead
+                of returning.
+
+        Returns:
+            Cycles actually advanced.
+        """
+        used = 0
+        kernel = self._kernel
+        while True:
+            if stop is not None and stop():
+                return used
+            if used >= budget:
+                if livelock_msg is None:
+                    return used
+                raise LivelockError(
+                    livelock_msg, snapshot=self.livelock_snapshot()
+                )
+            if self._pending_resume:
+                self._consume_resume()
+                continue  # the loaded snapshot may already satisfy *stop*
+            if kernel is not None:
+                span = kernel.skippable_span(budget - used)
+                if span:
+                    kernel.skip(span)
+                    used += span
+                    continue
+            self.step()
+            used += 1
+
     def run(self, max_cycles: int = 1_000_000) -> int:
-        """Step until idle; returns cycles executed.
+        """Advance until idle; returns cycles executed.
 
         Raises:
             LivelockError: if *max_cycles* elapse first; the exception's
                 ``snapshot`` is :meth:`livelock_snapshot`.
         """
-        start = self.cycle
         if self._pending_resume:
             self._consume_resume()
-            start = self.cycle
-        while not self.idle:
-            if self.cycle - start >= max_cycles:
-                raise LivelockError(
-                    f"machine did not go idle within {max_cycles} cycles",
-                    snapshot=self.livelock_snapshot(),
-                )
-            self.step()
+        used = self._advance(
+            max_cycles,
+            lambda: self.idle,
+            f"machine did not go idle within {max_cycles} cycles",
+        )
         self._discard_checkpoint()
-        return self.cycle - start
+        return used
 
     def run_cycles(self, cycles: int) -> None:
-        """Step exactly *cycles* machine cycles (idle or not)."""
-        for _ in range(cycles):
-            self.step()
+        """Advance exactly *cycles* machine cycles (idle or not)."""
+        self._advance(cycles, None, None)
 
     def drain_bus(self, max_cycles: int = 100_000) -> int:
-        """Step until no bus transaction is queued; returns cycles used.
+        """Advance until no bus transaction is queued; returns cycles used.
 
         Raises:
             LivelockError: if *max_cycles* elapse with traffic still
                 queued; carries :meth:`livelock_snapshot`.
         """
-        used = 0
-        while self.bus.has_pending():
-            if used >= max_cycles:
-                raise LivelockError(
-                    f"bus did not drain within {max_cycles} cycles",
-                    snapshot=self.livelock_snapshot(),
-                )
-            self.step()
-            used += 1
-        return used
+        return self._advance(
+            max_cycles,
+            lambda: not self.bus.has_pending(),
+            f"bus did not drain within {max_cycles} cycles",
+        )
 
     def livelock_snapshot(self) -> dict:
         """Structured progress diagnostics for :class:`LivelockError`.

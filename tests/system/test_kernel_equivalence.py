@@ -1,0 +1,125 @@
+"""Bit-identity matrix: event-scheduled kernel vs the cycle-stepped loop.
+
+The event kernel's whole contract is that skipping dead cycle spans is an
+*optimization*, never a behaviour change.  This suite checks the strong
+form of that claim — identical final digests, identical per-component
+stats counters, identical trace event streams, identical cycle counts —
+over every protocol x workload x chaos combination.
+"""
+
+import json
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.reliability.chaos import ChaosConfig
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.trace.sink import ListSink
+from repro.workloads.counter import build_lock_counter_program
+from repro.workloads.producer_consumer import (
+    _consumer_program,
+    _producer_program,
+)
+from repro.workloads.systolic import _stage_program
+
+PROTOCOLS = ("rb", "rwb", "write-once", "write-through", "rwb-competitive")
+WORKLOADS = ("counter-lock", "producer-consumer", "systolic")
+
+
+def _programs_and_shape(workload: str):
+    """Small instances of the three paper workloads, sized so the matrix
+    stays fast while still exercising spins, handoffs and back-pressure."""
+    if workload == "counter-lock":
+        return (
+            [build_lock_counter_program(4) for _ in range(4)],
+            {"num_pes": 4, "cache_lines": 16, "memory_size": 64},
+        )
+    if workload == "producer-consumer":
+        data_base, flag, ack_base = 16, 0, 1
+        items, generations, consumers = 4, 2, 2
+        programs = [
+            _producer_program(
+                data_base, flag, ack_base, items, generations, consumers
+            )
+        ]
+        programs += [
+            _consumer_program(data_base, flag, ack_base + c, items, generations)
+            for c in range(consumers)
+        ]
+        return (
+            programs,
+            {
+                "num_pes": 1 + consumers,
+                "cache_lines": 32,
+                "memory_size": data_base + items + 16,
+            },
+        )
+    stages, items = 3, 4
+    cell_base, flag_base, ack_base = 0, stages + 2, 2 * (stages + 2)
+    programs = [
+        _stage_program(
+            stage,
+            items,
+            cell_base,
+            flag_base,
+            ack_base,
+            is_source=(stage == 0),
+            is_last=(stage == stages - 1),
+        )
+        for stage in range(stages)
+    ]
+    return (
+        programs,
+        {
+            "num_pes": stages,
+            "cache_lines": 32,
+            "memory_size": 3 * (stages + 2) + 8,
+        },
+    )
+
+
+def _chaos_schedule() -> ChaosConfig:
+    """Rates chosen to exercise every skip-adjacent chaos path: arbiter
+    stalls create backoff spans, transfer corruption creates retries."""
+    return ChaosConfig(
+        arbiter_stall_rate=0.05,
+        corrupt_transfer_rate=0.02,
+        seed=13,
+    )
+
+
+def _run(workload: str, protocol: str, chaos: bool, kernel: str):
+    reset_txn_serial()
+    programs, shape = _programs_and_shape(workload)
+    sink = ListSink()
+    config = MachineConfig(
+        protocol=protocol,
+        kernel=kernel,
+        chaos=_chaos_schedule() if chaos else None,
+        seed=5,
+        **shape,
+    )
+    machine = Machine(config, trace_sink=sink)
+    machine.load_programs(programs)
+    cycles = machine.run(max_cycles=500_000)
+    stats = {
+        group: dict(bag.items())
+        for group, bag in machine.stats.groups.items()
+    }
+    trace = [json.dumps(event.to_dict(), sort_keys=True) for event in sink]
+    return cycles, machine.state_digest(), stats, trace
+
+
+@pytest.mark.parametrize("chaos", (False, True), ids=("clean", "chaos"))
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_event_kernel_matches_cycle_loop(protocol, workload, chaos):
+    ran_cycles, digest, stats, trace = _run(workload, protocol, chaos, "cycle")
+    ev_cycles, ev_digest, ev_stats, ev_trace = _run(
+        workload, protocol, chaos, "event"
+    )
+    assert ev_cycles == ran_cycles
+    assert ev_digest == digest
+    assert ev_stats == stats
+    assert ev_trace == trace
