@@ -2,13 +2,15 @@
 restore microbenchmarks plus the simulator's cycles/sec under periodic
 checkpointing (``checkpoint_every`` = 0/100/1000).
 
-Run ``python benchmarks/bench_checkpoint.py`` to regenerate the committed
-``BENCH_baseline.json`` with numbers measured on the current machine.
+The measurement itself lives in :mod:`repro.benchmarks.checkpoint`, the
+same suite ``repro-experiment bench`` runs behind its regression gate;
+this file keeps the pytest-benchmark microbenchmarks and the baseline
+regeneration entry point.  Run ``python benchmarks/bench_checkpoint.py``
+to regenerate the committed ``BENCH_baseline.json`` with numbers
+measured on the current machine.
 """
 
 import json
-import tempfile
-import time
 from pathlib import Path
 
 try:
@@ -19,127 +21,39 @@ except ImportError:  # standalone baseline regeneration via __main__
         print(text)
 
 
+from repro.benchmarks.checkpoint import (
+    CHECKPOINT_PERIODS,
+    mid_run_machine,
+    render_report,
+    run_checkpoint_benchmark,
+)
 from repro.checkpoint.snapshot import MachineSnapshot
-from repro.processor.program import Assembler
-from repro.system.config import MachineConfig
 from repro.system.machine import Machine
 
 BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_baseline.json"
 
-#: Cycles simulated per cycles/sec sample; the spin-counter workload
-#: below stays busy well past this point.
-SAMPLE_CYCLES = 2_000
-CHECKPOINT_PERIODS = (0, 100, 1000)
-
-
-def _counter_program(iterations: int) -> "list":
-    """A TTS spin-lock counter: enough contention to keep caches, bus and
-    memory all active for the whole measurement window."""
-    asm = Assembler()
-    asm.loadi(1, 0)  # r1 = &lock
-    asm.loadi(2, 1)  # r2 = &counter
-    asm.loadi(3, 1)  # r3 = 1 (lock token)
-    asm.loadi(5, iterations)
-    asm.label("loop")
-    asm.label("spin")
-    asm.load(4, 1)
-    asm.bnez(4, "spin")
-    asm.ts(4, 1, 3)
-    asm.bnez(4, "spin")
-    asm.load(6, 2)
-    asm.addi(6, 6, 1)
-    asm.store(2, 6)
-    asm.loadi(4, 0)
-    asm.store(1, 4)
-    asm.addi(5, 5, -1)
-    asm.bnez(5, "loop")
-    asm.halt()
-    return asm.assemble()
-
-
-def _machine(**overrides) -> Machine:
-    settings = {
-        "num_pes": 4,
-        "protocol": "rb",
-        "cache_lines": 8,
-        "memory_size": 256,
-        "seed": 11,
-        **overrides,
-    }
-    machine = Machine(MachineConfig(**settings))
-    program = _counter_program(iterations=500)
-    machine.load_programs([program] * settings["num_pes"])
-    return machine
-
-
-def _mid_run_machine() -> Machine:
-    machine = _machine()
-    machine.run_cycles(100)
-    return machine
-
-
-def _cycles_per_second(checkpoint_every: int, samples: int = 3) -> float:
-    """Best of *samples* measurements (minimum wall time wins), so a
-    scheduler hiccup in one sample does not skew the rate."""
-    best = float("inf")
-    for _ in range(samples):
-        with tempfile.TemporaryDirectory() as scratch:
-            machine = _machine(
-                checkpoint_every=checkpoint_every,
-                checkpoint_path=(
-                    str(Path(scratch) / "bench.ckpt") if checkpoint_every else None
-                ),
-            )
-            machine.run_cycles(100)  # warm caches before timing
-            start = time.perf_counter()
-            machine.run_cycles(SAMPLE_CYCLES)
-            best = min(best, time.perf_counter() - start)
-    return SAMPLE_CYCLES / best
-
-
-def measure_baseline() -> dict:
-    """Cycles/sec for each checkpoint period, plus overhead vs. period 0."""
-    rates = {str(every): _cycles_per_second(every) for every in CHECKPOINT_PERIODS}
-    base = rates["0"]
-    return {
-        "workload": "4-PE TTS spin-counter, rb protocol",
-        "sample_cycles": SAMPLE_CYCLES,
-        "cycles_per_second": {k: round(v, 1) for k, v in rates.items()},
-        "overhead_vs_uncheckpointed": {
-            k: round(base / v - 1.0, 4) for k, v in rates.items()
-        },
-    }
-
-
-def _render(baseline: dict) -> str:
-    lines = ["checkpoint_every  cycles/sec  overhead"]
-    for key, rate in baseline["cycles_per_second"].items():
-        overhead = baseline["overhead_vs_uncheckpointed"][key]
-        lines.append(f"{key:>16}  {rate:>10.1f}  {overhead:>7.1%}")
-    return "\n".join(lines)
-
 
 def test_checkpoint_capture(benchmark):
-    machine = _mid_run_machine()
+    machine = mid_run_machine()
     snapshot = benchmark(machine.checkpoint)
     assert snapshot.cycle == machine.cycle
 
 
 def test_checkpoint_save(benchmark, tmp_path):
-    snapshot = _mid_run_machine().checkpoint()
+    snapshot = mid_run_machine().checkpoint()
     path = tmp_path / "bench.ckpt"
     benchmark(snapshot.save, path)
     assert path.exists()
 
 
 def test_checkpoint_load(benchmark, tmp_path):
-    path = _mid_run_machine().checkpoint().save(tmp_path / "bench.ckpt")
+    path = mid_run_machine().checkpoint().save(tmp_path / "bench.ckpt")
     loaded = benchmark(MachineSnapshot.load, path)
     assert loaded.cycle == 100
 
 
 def test_checkpoint_restore(benchmark):
-    snapshot = _mid_run_machine().checkpoint()
+    snapshot = mid_run_machine().checkpoint()
     restored = benchmark(Machine.restore, snapshot)
     assert restored.cycle == snapshot.cycle
 
@@ -148,8 +62,8 @@ def test_cycles_per_second_overhead():
     """Periodic checkpointing costs something but not everything: the
     committed baseline has the reference numbers; here we only assert the
     structural claim so CI stays robust to host speed."""
-    measured = measure_baseline()
-    print_once("checkpoint-overhead", _render(measured))
+    measured = run_checkpoint_benchmark(quick=True)
+    print_once("checkpoint-overhead", render_report(measured))
     rates = measured["cycles_per_second"]
     assert all(rate > 0 for rate in rates.values())
     # Checkpointing every 100 cycles must not be cheaper than every 1000.
@@ -162,7 +76,8 @@ def test_cycles_per_second_overhead():
 
 
 if __name__ == "__main__":
-    baseline = measure_baseline()
+    baseline = run_checkpoint_benchmark()
+    baseline.pop("quick", None)
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-    print(_render(baseline))
+    print(render_report(baseline))
     print(f"wrote {BASELINE_PATH}")

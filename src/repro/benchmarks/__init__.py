@@ -2,9 +2,15 @@
 
 The ``benchmarks/`` directory at the repo root holds the runnable
 scripts/pytest entries; this package holds the measurement logic they
-share with ``repro-experiment bench``.
+share with ``repro-experiment bench``: the kernel suite (gated on
+event-over-cycle speedup ratios against ``BENCH_kernel.json``) and the
+checkpoint suite (gated on snapshot overhead fractions against
+``BENCH_baseline.json``).  Suite-specific ``compare_to_baseline`` /
+``render_report`` live on the submodules; the top level re-exports the
+kernel names for backward compatibility plus both ``run_*`` entries.
 """
 
+from repro.benchmarks.checkpoint import run_checkpoint_benchmark
 from repro.benchmarks.kernel import (
     compare_to_baseline,
     render_report,
@@ -14,5 +20,6 @@ from repro.benchmarks.kernel import (
 __all__ = [
     "compare_to_baseline",
     "render_report",
+    "run_checkpoint_benchmark",
     "run_kernel_benchmark",
 ]

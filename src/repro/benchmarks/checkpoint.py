@@ -1,0 +1,184 @@
+"""Checkpoint-subsystem benchmark: cycles/sec under periodic snapshots.
+
+Measures the simulator's throughput with ``checkpoint_every`` = 0 / 100 /
+1000 on a contended 4-PE TTS spin-counter, reporting the overhead each
+period costs versus the uncheckpointed run.  ``repro-experiment bench``
+runs this suite next to the kernel one and diffs it against the committed
+``BENCH_baseline.json``.
+
+The regression gate compares *overhead fractions* (periodic-checkpoint
+cost relative to the same host's uncheckpointed rate), not raw
+cycles/sec: the fraction is a property of the snapshot code, not of
+whichever machine measured the baseline, so CI can check it across
+runner generations — the same host-independence rule the kernel gate
+uses for speedup ratios.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.processor.program import Assembler, Program
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+
+#: Cycles simulated per cycles/sec sample (full mode); the spin-counter
+#: workload below stays busy well past this point.
+SAMPLE_CYCLES = 2_000
+
+#: Snapshot periods measured (0 = checkpointing off, the reference rate).
+CHECKPOINT_PERIODS = (0, 100, 1000)
+
+#: Gate: a period's overhead fraction may exceed the committed
+#: baseline's by at most this much (absolute) before CI fails.
+OVERHEAD_TOLERANCE = 0.50
+
+
+def counter_program(iterations: int) -> Program:
+    """A TTS spin-lock counter: enough contention to keep caches, bus and
+    memory all active for the whole measurement window."""
+    asm = Assembler()
+    asm.loadi(1, 0)  # r1 = &lock
+    asm.loadi(2, 1)  # r2 = &counter
+    asm.loadi(3, 1)  # r3 = 1 (lock token)
+    asm.loadi(5, iterations)
+    asm.label("loop")
+    asm.label("spin")
+    asm.load(4, 1)
+    asm.bnez(4, "spin")
+    asm.ts(4, 1, 3)
+    asm.bnez(4, "spin")
+    asm.load(6, 2)
+    asm.addi(6, 6, 1)
+    asm.store(2, 6)
+    asm.loadi(4, 0)
+    asm.store(1, 4)
+    asm.addi(5, 5, -1)
+    asm.bnez(5, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def build_bench_machine(**overrides) -> Machine:
+    """The benchmark's 4-PE spin-counter machine, with config overrides."""
+    settings = {
+        "num_pes": 4,
+        "protocol": "rb",
+        "cache_lines": 8,
+        "memory_size": 256,
+        "seed": 11,
+        **overrides,
+    }
+    machine = Machine(MachineConfig(**settings))
+    program = counter_program(iterations=500)
+    machine.load_programs([program] * settings["num_pes"])
+    return machine
+
+
+def mid_run_machine() -> Machine:
+    """A machine 100 cycles in — the capture/save/load/restore subject."""
+    machine = build_bench_machine()
+    machine.run_cycles(100)
+    return machine
+
+
+def _cycles_per_second(
+    checkpoint_every: int, *, samples: int, sample_cycles: int
+) -> float:
+    """Best of *samples* measurements (minimum wall time wins), so a
+    scheduler hiccup in one sample does not skew the rate."""
+    best = float("inf")
+    for _ in range(samples):
+        with tempfile.TemporaryDirectory() as scratch:
+            machine = build_bench_machine(
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=(
+                    str(Path(scratch) / "bench.ckpt")
+                    if checkpoint_every
+                    else None
+                ),
+            )
+            machine.run_cycles(100)  # warm caches before timing
+            start = time.perf_counter()
+            machine.run_cycles(sample_cycles)
+            best = min(best, time.perf_counter() - start)
+    return sample_cycles / best
+
+
+def run_checkpoint_benchmark(quick: bool = False) -> dict:
+    """Cycles/sec for each checkpoint period, plus overhead vs. period 0.
+
+    Args:
+        quick: shrink the sample window for CI smoke runs (same
+            workload and periods, fewer cycles and samples).
+
+    Returns:
+        A JSON-compatible report::
+
+            {"quick": bool,
+             "workload": str,
+             "sample_cycles": int,
+             "cycles_per_second": {"0": float, "100": float, "1000": float},
+             "overhead_vs_uncheckpointed": {"0": 0.0, ...}}
+    """
+    samples = 2 if quick else 3
+    sample_cycles = 500 if quick else SAMPLE_CYCLES
+    rates = {
+        str(every): _cycles_per_second(
+            every, samples=samples, sample_cycles=sample_cycles
+        )
+        for every in CHECKPOINT_PERIODS
+    }
+    base = rates["0"]
+    return {
+        "quick": quick,
+        "workload": "4-PE TTS spin-counter, rb protocol",
+        "sample_cycles": sample_cycles,
+        "cycles_per_second": {k: round(v, 1) for k, v in rates.items()},
+        "overhead_vs_uncheckpointed": {
+            k: round(base / v - 1.0, 4) for k, v in rates.items()
+        },
+    }
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = OVERHEAD_TOLERANCE
+) -> list[str]:
+    """Regression check of *current* against a committed *baseline*.
+
+    Flags any checkpoint period whose overhead fraction exceeds the
+    baseline's by more than *tolerance* (absolute), plus structural
+    drift (missing periods).  Raw cycles/sec is reported but never
+    gated — it measures the host, not the code.
+
+    Returns:
+        Human-readable failure strings; empty means the gate passes.
+    """
+    failures = []
+    base_overheads = baseline["overhead_vs_uncheckpointed"]
+    got_overheads = current["overhead_vs_uncheckpointed"]
+    for period, base in base_overheads.items():
+        got = got_overheads.get(period)
+        if got is None:
+            failures.append(f"checkpoint_every={period}: missing from run")
+            continue
+        if period == "0":
+            continue  # the reference point, 0.0 by construction
+        ceiling = base + tolerance
+        if got > ceiling:
+            failures.append(
+                f"checkpoint_every={period}: overhead grew to {got:.1%} "
+                f"(baseline {base:.1%}, ceiling {ceiling:.1%})"
+            )
+    return failures
+
+
+def render_report(report: dict) -> str:
+    """A fixed-width table of one :func:`run_checkpoint_benchmark` run."""
+    lines = ["checkpoint_every  cycles/sec  overhead"]
+    for key, rate in report["cycles_per_second"].items():
+        overhead = report["overhead_vs_uncheckpointed"][key]
+        lines.append(f"{key:>16}  {rate:>10.1f}  {overhead:>7.1%}")
+    return "\n".join(lines)

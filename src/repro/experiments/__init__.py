@@ -22,11 +22,19 @@ plumbing.
                      lock granularity, reliability)
 ``extensions``       Section 8 research directions, built and measured
                      (hierarchy, reliability, systolic + fetch-and-add)
+``chaos_soak``       chaos soak: faults end recovered or declared, never
+                     silent
 ===================  =====================================================
+
+Every module registers an :class:`~repro.experiments.registry.
+ExperimentSpec` in :mod:`repro.experiments.registry` at import time; the
+CLI's target table and the job server's validation both read that
+registry instead of keeping their own name→module dicts.
 """
 
 from repro.experiments import (  # noqa: F401 — re-exported for discovery
     ablations,
+    chaos_soak,
     extensions,
     figure_3_1,
     figure_5_1,
@@ -35,11 +43,13 @@ from repro.experiments import (  # noqa: F401 — re-exported for discovery
     figure_6_3,
     figure_7_1,
     harness,
+    registry,
     table_1_1,
 )
 
 __all__ = [
     "ablations",
+    "chaos_soak",
     "extensions",
     "figure_3_1",
     "figure_5_1",
@@ -48,5 +58,6 @@ __all__ = [
     "figure_6_3",
     "figure_7_1",
     "harness",
+    "registry",
     "table_1_1",
 ]

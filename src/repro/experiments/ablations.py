@@ -32,6 +32,7 @@ from typing import Callable, Iterable
 from repro.analysis.tables import render_table
 from repro.common.errors import ConfigurationError
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import ExperimentResult
 from repro.sweep.runner import ProgressCallback
@@ -601,6 +602,10 @@ def run(
     return harness.assemble(
         "ablations", sys.modules[__name__], results, provenance
     )
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="ablations")
 
 
 def main() -> None:

@@ -16,6 +16,7 @@ import sys
 
 from repro.common.errors import ConfigurationError
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.reliability.soak import (
     ROW_HEADERS,
     WORKLOADS,
@@ -149,6 +150,10 @@ def run(
             "schedules_per_point": schedules,
         },
     )
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="chaos")
 
 
 def main() -> None:

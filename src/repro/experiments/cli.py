@@ -1,13 +1,23 @@
 """Command-line entry point: ``repro-experiment <name>``.
 
 Regenerates any table or figure of the paper (or the ablation suite) and
-prints the report.  Every target runs through the sweep engine, so
-``--workers N`` fans the target's points across processes and ``--json
-PATH`` writes the structured :class:`~repro.sweep.result.ExperimentResult`
-artifact.  ``repro-experiment list`` enumerates the targets with their
-one-line descriptions; ``repro-experiment bench`` runs the performance
-benchmark suite and diffs it against the committed ``BENCH_*.json``
+prints the report.  Targets come from the :mod:`~repro.experiments.registry`
+— the same :class:`~repro.experiments.registry.ExperimentSpec` table the
+job server validates submissions against, so the CLI and the service can
+never disagree about what exists.  Every target runs through the sweep
+engine, so ``--workers N`` fans the target's points across processes and
+``--json PATH`` writes the structured
+:class:`~repro.sweep.result.ExperimentResult` artifact.
+
+``repro-experiment list`` enumerates the targets with their one-line
+descriptions; ``repro-experiment bench`` runs the kernel *and* checkpoint
+benchmark suites and diffs both against the committed ``BENCH_*.json``
 baselines.  ``--profile PATH`` wraps any run in :mod:`cProfile`.
+
+The service verbs — ``serve``, ``submit``, ``status``, ``result``,
+``cancel``, ``jobs``, ``events`` — run or talk to the experiment job
+server (see ``README.md``, "Simulation as a service").  Every other
+first argument is an experiment target, exactly as before.
 """
 
 from __future__ import annotations
@@ -19,37 +29,165 @@ import json
 import pstats
 import sys
 from pathlib import Path
-from types import ModuleType
 
 from repro.analysis.report import render_experiment
-from repro.experiments import (
-    ablations,
-    chaos_soak,
-    extensions,
-    figure_3_1,
-    figure_5_1,
-    figure_6_1,
-    figure_6_2,
-    figure_6_3,
-    figure_7_1,
-    harness,
-    table_1_1,
-)
-from repro.sweep.result import PointResult
+from repro.experiments import registry
+from repro.sweep.result import ExperimentResult, PointResult
 
-#: Experiment targets: CLI name -> module exposing ``run(workers=...)``.
-TARGETS: dict[str, ModuleType] = {
-    "table-1-1": table_1_1,
-    "figure-3-1": figure_3_1,
-    "figure-5-1": figure_5_1,
-    "figure-6-1": figure_6_1,
-    "figure-6-2": figure_6_2,
-    "figure-6-3": figure_6_3,
-    "figure-7-1": figure_7_1,
-    "ablations": ablations,
-    "extensions": extensions,
-    "chaos": chaos_soak,
-}
+#: First arguments routed to the job-server sub-CLI instead of the
+#: experiment runner.
+SERVICE_COMMANDS = (
+    "serve",
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "jobs",
+    "events",
+)
+
+#: Default server address shared by every client verb.
+DEFAULT_SERVER = "http://127.0.0.1:8642"
+
+
+# --------------------------------------------------------------------- #
+# shared option groups                                                  #
+# --------------------------------------------------------------------- #
+# One builder per concern, applied uniformly: the experiment runner gets
+# all of them; service verbs reuse the pieces that make sense for them
+# (``submit`` shares the workers flag, ``result`` the artifact flag).
+
+
+def add_workers_option(parser: argparse.ArgumentParser) -> None:
+    """``--workers N`` — sweep parallelism (shared by run and submit)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default 1: fully in-process)",
+    )
+
+
+def add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """The sweep group: ``--workers`` and the ``--json`` artifact path."""
+    add_workers_option(parser)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the structured ExperimentResult artifact here ('all' "
+            "writes one file per target, name spliced before the suffix)"
+        ),
+    )
+
+
+def add_observability_options(parser: argparse.ArgumentParser) -> None:
+    """The observability group: ``--trace`` and ``--online-check``."""
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one JSONL trace file per sweep point into this "
+            "directory (see EXPERIMENTS.md, 'Trace JSONL schema'); 'all' "
+            "gets one subdirectory per target"
+        ),
+    )
+    parser.add_argument(
+        "--online-check",
+        action="store_true",
+        help=(
+            "run the online coherence checker inside every simulated "
+            "machine; a violated Section-4 invariant fails the point "
+            "with the offending trace tail"
+        ),
+    )
+
+
+def add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    """The checkpoint group: ``--checkpoint-every/-dir`` and ``--resume``."""
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "snapshot every machine to --checkpoint-dir every N cycles; "
+            "a retried sweep point then resumes from its latest snapshot "
+            "instead of restarting at cycle 0 (0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=Path("checkpoints"),
+        metavar="DIR",
+        help=(
+            "where per-point snapshot files live (default: checkpoints/; "
+            "'all' gets one subdirectory per target)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "keep snapshots from a previous interrupted run and resume "
+            "points from them (needs --checkpoint-every; without "
+            "--resume, stale snapshots are cleared before the sweep)"
+        ),
+    )
+
+
+def add_profile_option(parser: argparse.ArgumentParser) -> None:
+    """The profiling group: ``--profile PATH``."""
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "profile the run with cProfile: dump raw stats to PATH and "
+            "print the top functions by cumulative time to stderr (with "
+            "--workers > 1 only the coordinating process is profiled)"
+        ),
+    )
+
+
+def add_bench_options(parser: argparse.ArgumentParser) -> None:
+    """The benchmark group: ``--quick`` and ``--write-baseline``."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench only: shrink workloads for a fast smoke run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "bench only: rewrite the committed BENCH_kernel.json and "
+            "BENCH_baseline.json with this run's numbers instead of "
+            "diffing against them"
+        ),
+    )
+
+
+def add_server_option(parser: argparse.ArgumentParser) -> None:
+    """The client group: ``--server URL`` (every service client verb)."""
+    parser.add_argument(
+        "--server",
+        default=DEFAULT_SERVER,
+        metavar="URL",
+        help=f"job server base URL (default {DEFAULT_SERVER})",
+    )
+
+
+# --------------------------------------------------------------------- #
+# experiment runner                                                     #
+# --------------------------------------------------------------------- #
 
 
 def _progress(done: int, total: int, point: PointResult) -> None:
@@ -114,7 +252,7 @@ def _run_target(
         target_checkpoint = str(
             checkpoint_dir / name if multiple else checkpoint_dir
         )
-    result = TARGETS[name].run(
+    result = registry.get(name).run(
         workers=workers,
         progress=_progress,
         trace_dir=target_trace,
@@ -134,151 +272,92 @@ def _run_target(
 def _run_bench(
     quick: bool, write_baseline: bool, json_path: Path | None
 ) -> int:
-    """The ``bench`` target: run the kernel benchmark suite and diff it
-    against the committed ``BENCH_kernel.json`` (or rewrite it)."""
-    from repro.benchmarks.kernel import (
-        compare_to_baseline,
-        render_report,
-        run_kernel_benchmark,
-    )
+    """The ``bench`` target: run the kernel and checkpoint suites and
+    diff both against their committed baselines (or rewrite them)."""
+    from repro.benchmarks import checkpoint as checkpoint_bench
+    from repro.benchmarks import kernel as kernel_bench
 
-    baseline_path = Path("BENCH_kernel.json")
-    report = run_kernel_benchmark(quick=quick)
-    print(render_report(report))
-    if json_path is not None:
-        json_path.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {json_path}", file=sys.stderr)
-    if write_baseline:
-        if quick:
-            print(
-                "refusing to write a --quick run as the baseline",
-                file=sys.stderr,
-            )
-            return 1
-        baseline_path.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {baseline_path}", file=sys.stderr)
-        return 0
-    if not baseline_path.exists():
+    suites = [
+        (
+            "kernel",
+            kernel_bench.run_kernel_benchmark,
+            kernel_bench.render_report,
+            kernel_bench.compare_to_baseline,
+            Path("BENCH_kernel.json"),
+            False,
+        ),
+        (
+            "checkpoint",
+            checkpoint_bench.run_checkpoint_benchmark,
+            checkpoint_bench.render_report,
+            checkpoint_bench.compare_to_baseline,
+            Path("BENCH_baseline.json"),
+            True,  # the committed checkpoint baseline has no "quick" key
+        ),
+    ]
+    if write_baseline and quick:
         print(
-            f"no {baseline_path} here to diff against (run from the repo "
-            "root, or use --write-baseline to create one)",
+            "refusing to write a --quick run as the baseline",
             file=sys.stderr,
         )
         return 1
-    baseline = json.loads(baseline_path.read_text())
-    failures = compare_to_baseline(report, baseline)
-    for failure in failures:
-        print(f"REGRESSION: {failure}", file=sys.stderr)
-    if failures:
-        return 1
-    print(f"within tolerance of {baseline_path}")
-    return 0
+    reports: dict[str, dict] = {}
+    exit_code = 0
+    for name, run, render, compare, baseline_path, strip_quick in suites:
+        report = run(quick=quick)
+        reports[name] = report
+        print(f"== {name} ==")
+        print(render(report))
+        if write_baseline:
+            payload = dict(report)
+            if strip_quick:
+                payload.pop("quick", None)
+            baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {baseline_path}", file=sys.stderr)
+            continue
+        if not baseline_path.exists():
+            print(
+                f"no {baseline_path} here to diff against (run from the "
+                "repo root, or use --write-baseline to create one)",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        failures = compare(report, baseline)
+        for failure in failures:
+            print(f"REGRESSION [{name}]: {failure}", file=sys.stderr)
+        if failures:
+            exit_code = 1
+        else:
+            print(f"within tolerance of {baseline_path}")
+    if json_path is not None:
+        json_path.write_text(json.dumps(reports, indent=2) + "\n")
+        print(f"wrote {json_path}", file=sys.stderr)
+    return exit_code
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run one experiment by name; returns a process exit code."""
+def _experiment_main(argv: list[str] | None) -> int:
+    """The experiment-runner path (every non-service first argument)."""
+    names = registry.names()
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description=(
             "Regenerate a table or figure from Rudolph & Segall (1984). "
-            "Use 'all' for every target, 'list' to enumerate them."
+            "Use 'all' for every target, 'list' to enumerate them; "
+            "serve/submit/status/result/cancel/jobs/events talk to the "
+            "experiment job server."
         ),
     )
     parser.add_argument(
         "experiment",
-        help=f"one of: {', '.join(sorted(TARGETS))}, all, list, bench",
+        help=f"one of: {', '.join(names)}, all, list, bench",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for the sweep (default 1: fully in-process)",
-    )
-    parser.add_argument(
-        "--json",
-        type=Path,
-        default=None,
-        metavar="PATH",
-        help=(
-            "write the structured ExperimentResult artifact here ('all' "
-            "writes one file per target, name spliced before the suffix)"
-        ),
-    )
-    parser.add_argument(
-        "--trace",
-        type=Path,
-        default=None,
-        metavar="DIR",
-        help=(
-            "write one JSONL trace file per sweep point into this "
-            "directory (see EXPERIMENTS.md, 'Trace JSONL schema'); 'all' "
-            "gets one subdirectory per target"
-        ),
-    )
-    parser.add_argument(
-        "--online-check",
-        action="store_true",
-        help=(
-            "run the online coherence checker inside every simulated "
-            "machine; a violated Section-4 invariant fails the point "
-            "with the offending trace tail"
-        ),
-    )
-    parser.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=0,
-        metavar="N",
-        help=(
-            "snapshot every machine to --checkpoint-dir every N cycles; "
-            "a retried sweep point then resumes from its latest snapshot "
-            "instead of restarting at cycle 0 (0 disables)"
-        ),
-    )
-    parser.add_argument(
-        "--checkpoint-dir",
-        type=Path,
-        default=Path("checkpoints"),
-        metavar="DIR",
-        help=(
-            "where per-point snapshot files live (default: checkpoints/; "
-            "'all' gets one subdirectory per target)"
-        ),
-    )
-    parser.add_argument(
-        "--resume",
-        action="store_true",
-        help=(
-            "keep snapshots from a previous interrupted run and resume "
-            "points from them (needs --checkpoint-every; without "
-            "--resume, stale snapshots are cleared before the sweep)"
-        ),
-    )
-    parser.add_argument(
-        "--profile",
-        type=Path,
-        default=None,
-        metavar="PATH",
-        help=(
-            "profile the run with cProfile: dump raw stats to PATH and "
-            "print the top functions by cumulative time to stderr (with "
-            "--workers > 1 only the coordinating process is profiled)"
-        ),
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="bench only: shrink workloads for a fast smoke run",
-    )
-    parser.add_argument(
-        "--write-baseline",
-        action="store_true",
-        help=(
-            "bench only: rewrite the committed BENCH_kernel.json with "
-            "this run's numbers instead of diffing against it"
-        ),
-    )
+    add_sweep_options(parser)
+    add_observability_options(parser)
+    add_checkpoint_options(parser)
+    add_profile_option(parser)
+    add_bench_options(parser)
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if args.workers < 1:
@@ -290,11 +369,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.checkpoint_every == 0:
         parser.error("--resume needs --checkpoint-every N (N > 0)")
     if name == "list":
-        width = max(len(target) for target in TARGETS)
-        for target in sorted(TARGETS):
-            description = harness.description_of(TARGETS[target])
-            print(f"{target:<{width}}  {description}")
-        print(f"{'bench':<{width}}  Kernel benchmark suite (BENCH_*.json)")
+        width = max(len(target) for target in names)
+        for spec in registry.all_specs():
+            print(f"{spec.name:<{width}}  {spec.description}")
+        print(
+            f"{'bench':<{width}}  "
+            "Kernel + checkpoint benchmark suites (BENCH_*.json)"
+        )
         return 0
     if name == "bench":
         with _profiled(args.profile):
@@ -304,7 +385,7 @@ def main(argv: list[str] | None = None) -> int:
     if name == "all":
         ok = True
         with _profiled(args.profile):
-            for target in sorted(TARGETS):
+            for target in names:
                 ok = (
                     _run_target(
                         target,
@@ -321,10 +402,10 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print()
         return 0 if ok else 1
-    if name not in TARGETS:
+    if name not in names:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(sorted(TARGETS))}, all, list, bench"
+            f"choose from {', '.join(names)}, all, list, bench"
         )
     with _profiled(args.profile):
         return (
@@ -342,6 +423,227 @@ def main(argv: list[str] | None = None) -> int:
             )
             else 1
         )
+
+
+# --------------------------------------------------------------------- #
+# service verbs                                                         #
+# --------------------------------------------------------------------- #
+
+
+def _build_service_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run or talk to the experiment job server.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the job server (blocks until interrupted)"
+    )
+    serve.add_argument(
+        "--root",
+        type=Path,
+        default=Path("service-data"),
+        metavar="DIR",
+        help="durable queue directory (default: service-data/)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port; 0 picks a free one and prints it (default 8642)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=200,
+        metavar="N",
+        help=(
+            "server-injected snapshot period for every job, in cycles; "
+            "lets a killed server resume jobs mid-run (0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help=(
+            "import MODULE before serving so its register_module() call "
+            "adds extra experiments to the registry (repeatable)"
+        ),
+    )
+
+    submit = commands.add_parser(
+        "submit", help="queue one experiment job on the server"
+    )
+    submit.add_argument("experiment", help="registered experiment name")
+    submit.add_argument(
+        "--params",
+        default="{}",
+        metavar="JSON",
+        help="keyword arguments for the experiment's run(), as a JSON object",
+    )
+    add_workers_option(submit)
+    submit.add_argument(
+        "--rerun",
+        action="store_true",
+        help="reset an already-finished identical job and run it again",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its rendered report",
+    )
+    add_server_option(submit)
+
+    status = commands.add_parser("status", help="print one job's record")
+    status.add_argument("job_id")
+    add_server_option(status)
+
+    result = commands.add_parser(
+        "result", help="fetch and render a finished job's artifact"
+    )
+    result.add_argument("job_id")
+    result.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the raw ExperimentResult artifact here",
+    )
+    add_server_option(result)
+
+    cancel = commands.add_parser("cancel", help="request job cancellation")
+    cancel.add_argument("job_id")
+    add_server_option(cancel)
+
+    jobs = commands.add_parser("jobs", help="list every job on the server")
+    add_server_option(jobs)
+
+    events = commands.add_parser(
+        "events", help="print a job's event log as ndjson"
+    )
+    events.add_argument("job_id")
+    events.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep streaming live events until the job is terminal",
+    )
+    add_server_option(events)
+    return parser
+
+
+def _render_fetched_result(artifact: dict, json_path: Path | None) -> None:
+    if json_path is not None:
+        json_path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {json_path}", file=sys.stderr)
+    print(render_experiment(ExperimentResult.from_dict(artifact)))
+
+
+def _service_main(argv: list[str]) -> int:
+    """Dispatch one service verb; returns a process exit code."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = _build_service_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        from repro.service.server import serve
+
+        if args.checkpoint_every < 0:
+            parser.error(
+                f"--checkpoint-every must be >= 0, "
+                f"got {args.checkpoint_every}"
+            )
+        try:
+            serve(
+                args.root,
+                host=args.host,
+                port=args.port,
+                checkpoint_every=args.checkpoint_every,
+                load=tuple(args.load),
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    client = ServiceClient(args.server)
+    try:
+        if args.command == "submit":
+            try:
+                params = json.loads(args.params)
+            except json.JSONDecodeError as exc:
+                parser.error(f"--params is not valid JSON: {exc}")
+            if not isinstance(params, dict):
+                parser.error("--params must be a JSON object")
+            if args.workers != 1:
+                params["workers"] = args.workers
+            response = client.submit(
+                args.experiment, params, rerun=args.rerun
+            )
+            record = response["job"]
+            verb = "queued" if response["created"] else "already known"
+            print(
+                f"{record['id']} {verb} ({record['state']})",
+                file=sys.stderr,
+            )
+            print(record["id"])
+            if not args.wait:
+                return 0
+            final = client.wait(record["id"])
+            if final["state"] != "done":
+                print(
+                    f"job {final['id']} {final['state']}: "
+                    f"{final.get('error') or ''}".rstrip(),
+                    file=sys.stderr,
+                )
+                return 1
+            _render_fetched_result(client.result(final["id"]), None)
+            return 0 if final["ok"] else 1
+        if args.command == "status":
+            print(json.dumps(client.job(args.job_id), indent=2))
+            return 0
+        if args.command == "result":
+            _render_fetched_result(client.result(args.job_id), args.json)
+            return 0
+        if args.command == "cancel":
+            record = client.cancel(args.job_id)
+            print(f"{record['id']} {record['state']}")
+            return 0
+        if args.command == "jobs":
+            for record in client.jobs():
+                print(
+                    f"{record['id']}  {record['state']:<9}  "
+                    f"{record['experiment']}"
+                )
+            return 0
+        if args.command == "events":
+            for event in client.events(args.job_id, follow=args.follow):
+                print(json.dumps(event), flush=True)
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach {args.server} ({exc}); "
+            "is the server running? (repro-experiment serve)",
+            file=sys.stderr,
+        )
+        return 1
+    raise AssertionError(f"unhandled service command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment or service verb; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        return _service_main(argv)
+    return _experiment_main(argv)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.analysis.tables import render_table
 from repro.common.errors import ConfigurationError
 from repro.common.types import AccessType, MemRef
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import ExperimentResult
 from repro.sweep.runner import ProgressCallback
@@ -260,6 +261,10 @@ def run(
     return harness.assemble(
         "extensions", sys.modules[__name__], results, provenance
     )
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="extensions")
 
 
 def main() -> None:

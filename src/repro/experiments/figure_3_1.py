@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.tables import render_table
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import ExperimentResult
 from repro.sweep.runner import ProgressCallback
@@ -147,6 +148,10 @@ def render(result: Figure31Result) -> str:
         else "MISMATCHES:\n  " + "\n  ".join(result.mismatches)
     )
     return f"{table}\n\n{verdict}"
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="figure-3-1")
 
 
 def main() -> None:

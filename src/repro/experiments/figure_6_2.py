@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.tables import render_table
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import ExperimentResult
 from repro.sweep.runner import ProgressCallback
@@ -226,6 +227,10 @@ def run(
     return harness.assemble(
         "figure-6-2", sys.modules[__name__], results, provenance
     )
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="figure-6-2")
 
 
 def main() -> None:

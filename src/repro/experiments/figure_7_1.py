@@ -30,6 +30,7 @@ from repro.analysis.bandwidth import (
 )
 from repro.analysis.tables import render_table
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import DerivedTable, ExperimentResult
 from repro.sweep.runner import ProgressCallback
@@ -380,6 +381,10 @@ def render(result: Figure71Result) -> str:
     )
     sections.append(verdict)
     return "\n\n".join(sections)
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="figure-7-1")
 
 
 def main() -> None:

@@ -1,0 +1,283 @@
+"""The formal experiment registry: :class:`ExperimentSpec` and lookup.
+
+Before this module, "an experiment" was an implicit convention — any
+module under :mod:`repro.experiments` exposing ``run(workers=...)`` — and
+every consumer (the CLI's target table, docs, now the job server) kept
+its own hand-maintained name→module dict.  The registry makes the
+convention explicit: each experiment module registers one
+:class:`ExperimentSpec` (name, description, ``run``/``compute``
+callables, a parameter schema derived from ``run``'s signature) at import
+time, and consumers ask :func:`get`/:func:`all_specs` instead of
+maintaining tables.
+
+Importing :mod:`repro.experiments` (which the package ``__init__`` does
+for every built-in module) populates the registry; third-party or test
+experiments register the same way — define ``run(workers=...)`` in a
+module and call :func:`register_module` at its bottom (the job server's
+``serve --load`` flag imports such modules before serving).
+
+The legacy surface is untouched: ``module.run(workers=...)`` keeps
+working — a spec's ``run`` *is* the module's function, so
+``get(name).run(...)`` and ``module.run(...)`` are the same call.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.system.config import MachineConfig
+
+#: Parameters of ``run`` that never appear in a spec's schema: they are
+#: not JSON-carriable (callbacks) and are owned by the caller.
+_UNSCHEMAED_PARAMS = frozenset({"progress"})
+
+#: JSON type-tag -> accepted Python types, for :func:`validate_params`.
+#: ``bool`` is checked before ``int`` (it is an ``int`` subclass).
+_TYPE_CHECKS: dict[str, tuple[type, ...]] = {
+    "bool": (bool,),
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "list": (list, tuple),
+    "dict": (dict,),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """One registered experiment: the unit the CLI and job server serve.
+
+    Attributes:
+        name: the public target name (``repro-experiment <name>``, the
+            job server's ``"experiment"`` field).
+        description: one-line summary (the module docstring's first line).
+        module: dotted module path the spec was registered from.
+        run: the sweep entry point — ``run(workers=..., progress=...,
+            trace_dir=..., checkpoint_dir=..., ...)`` returning an
+            :class:`~repro.sweep.result.ExperimentResult`.
+        compute: the domain-level API (``compute(...) -> result object``)
+            when the module has one, else ``None``.
+        param_schema: ``{param: {"type": tag, "default": value}}`` for
+            every JSON-carriable keyword of ``run``, derived from its
+            signature (see :func:`schema_of`).  This is what the job
+            server validates submissions against.
+    """
+
+    name: str
+    description: str
+    module: str
+    run: Callable[..., Any]
+    compute: Callable[..., Any] | None = None
+    param_schema: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-compatible face of the spec (callables omitted) —
+        what ``GET /specs`` returns."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "module": self.module,
+            "param_schema": self.param_schema,
+        }
+
+
+#: The process-wide registry: name -> spec (insertion order preserved).
+_SPECS: dict[str, ExperimentSpec] = {}
+
+
+def _type_tag(value: Any) -> str:
+    """The schema type tag for a default value (``"any"`` when untyped)."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, (list, tuple)):
+        return "list"
+    if isinstance(value, Mapping):
+        return "dict"
+    return "any"
+
+
+def _json_default(value: Any) -> Any:
+    """A default value coerced to its JSON shape.
+
+    Tuples become lists; anything that still cannot be JSON-serialized
+    (rich domain objects some ``run()`` signatures default to) collapses
+    to ``None`` — the parameter stays submittable but is typed ``"any"``
+    and the schema stays a pure-JSON document.
+    """
+    if isinstance(value, tuple):
+        value = list(value)
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return None
+    return value
+
+
+def schema_of(run: Callable[..., Any]) -> dict[str, dict[str, Any]]:
+    """Derive a parameter schema from a ``run`` callable's signature.
+
+    Every positional-or-keyword and keyword-only parameter except the
+    non-JSON ones (:data:`_UNSCHEMAED_PARAMS`) becomes an entry
+    ``{"type": tag, "default": value}``; the type tag comes from the
+    default's Python type (``"any"`` for ``None``/untyped defaults).
+    """
+    schema: dict[str, dict[str, Any]] = {}
+    for parameter in inspect.signature(run).parameters.values():
+        if parameter.name in _UNSCHEMAED_PARAMS:
+            continue
+        if parameter.kind not in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            continue
+        default = (
+            None if parameter.default is inspect.Parameter.empty
+            else _json_default(parameter.default)
+        )
+        schema[parameter.name] = {
+            "type": _type_tag(default),
+            "default": default,
+        }
+    return schema
+
+
+def machine_param_schema() -> dict[str, dict[str, Any]]:
+    """The machine-configuration schema, derived from
+    ``MachineConfig().to_dict()`` — the shared vocabulary for specs whose
+    points build machines from config overrides."""
+    return {
+        key: {"type": _type_tag(value), "default": value}
+        for key, value in MachineConfig().to_dict().items()
+    }
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add *spec* to the registry.
+
+    Re-registering the same name from the same module is idempotent
+    (module reloads, repeated imports under pytest); the same name from a
+    *different* module is a conflict and raises
+    :class:`~repro.common.errors.ConfigurationError`.
+    """
+    existing = _SPECS.get(spec.name)
+    if existing is not None and existing.module != spec.module:
+        raise ConfigurationError(
+            f"experiment name {spec.name!r} already registered by "
+            f"{existing.module}; refusing to re-register from {spec.module}"
+        )
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def register_module(
+    module: ModuleType, *, name: str
+) -> ExperimentSpec:
+    """Register an experiment module the standard way.
+
+    Builds the spec from the module's surface — ``run`` (required),
+    ``compute`` (optional), the docstring's first line as description,
+    the schema from ``run``'s signature — and registers it.  Experiment
+    modules call this once at their bottom::
+
+        SPEC = register_module(sys.modules[__name__], name="figure-6-1")
+    """
+    run = getattr(module, "run", None)
+    if not callable(run):
+        raise ConfigurationError(
+            f"{module.__name__} has no callable run(workers=...) to register"
+        )
+    # Late import: harness sits beside the experiment modules that import
+    # this registry, so binding it at call time keeps import order free.
+    from repro.experiments.harness import description_of
+
+    return register(
+        ExperimentSpec(
+            name=name,
+            description=description_of(module),
+            module=module.__name__,
+            run=run,
+            compute=getattr(module, "compute", None),
+            param_schema=schema_of(run),
+        )
+    )
+
+
+def unregister(name: str) -> None:
+    """Remove *name* from the registry if present.
+
+    The built-ins never need this; it exists for plugin modules (loaded
+    via ``serve --load`` or imported by tests) whose registrations must
+    not outlive their scope — e.g. so ``repro-experiment all`` in the
+    same process still means "all built-ins" afterwards.
+    """
+    _SPECS.pop(name, None)
+
+
+def get(name: str) -> ExperimentSpec:
+    """The spec registered under *name*.
+
+    Raises:
+        KeyError: no such experiment; the message lists what exists.
+    """
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"no experiment named {name!r}; registered: "
+            f"{', '.join(sorted(_SPECS)) or '(none)'}"
+        ) from None
+
+
+def names() -> list[str]:
+    """Every registered experiment name, sorted."""
+    return sorted(_SPECS)
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, sorted by name."""
+    return [_SPECS[name] for name in names()]
+
+
+def validate_params(
+    spec: ExperimentSpec, params: Mapping[str, Any]
+) -> list[str]:
+    """Check submitted *params* against *spec*'s schema.
+
+    Returns human-readable problems (empty means valid): unknown
+    parameter names and values whose type contradicts the schema's tag
+    (``"any"``-tagged parameters accept anything).
+    """
+    problems: list[str] = []
+    for key, value in params.items():
+        entry = spec.param_schema.get(key)
+        if entry is None:
+            problems.append(
+                f"unknown parameter {key!r} for experiment {spec.name!r}; "
+                f"allowed: {', '.join(sorted(spec.param_schema))}"
+            )
+            continue
+        tag = entry["type"]
+        accepted = _TYPE_CHECKS.get(tag)
+        if accepted is None:  # "any"
+            continue
+        if tag != "bool" and isinstance(value, bool):
+            problems.append(
+                f"parameter {key!r} must be {tag}, got bool {value!r}"
+            )
+        elif not isinstance(value, accepted):
+            problems.append(
+                f"parameter {key!r} must be {tag}, "
+                f"got {type(value).__name__} {value!r}"
+            )
+    return problems

@@ -19,6 +19,7 @@ from typing import Any, Mapping
 
 from repro.analysis.tables import render_table
 from repro.experiments import harness
+from repro.experiments.registry import register_module
 from repro.sweep.grid import SweepPoint
 from repro.sweep.result import DerivedTable, ExperimentResult
 from repro.sweep.runner import ProgressCallback
@@ -337,6 +338,10 @@ def render(result: Table11Result) -> str:
         else "SHAPE VIOLATIONS:\n  " + "\n  ".join(result.shape_violations)
     )
     return f"{text}\n\n{verdict}"
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="table-1-1")
 
 
 def main() -> None:

@@ -1,0 +1,46 @@
+"""Simulation as a service: the async experiment job server.
+
+This package fronts the subsystems PRs 1–5 hardened (parallel sweeps,
+trace streaming, chaos, bit-identical checkpoint/resume, the event
+kernel) with a small, stdlib-only serving layer:
+
+* :mod:`repro.service.jobs` — the durable on-disk job queue:
+  deterministic job IDs, atomic state transitions, per-job event logs,
+  checkpoint directories and ``ExperimentResult`` artifacts.
+* :mod:`repro.service.server` — an ``asyncio`` HTTP/1.1 server
+  (handcoded, no web framework): clients POST experiment configs,
+  a scheduler drains the queue through the
+  :mod:`repro.experiments.registry`, and ``GET /jobs/<id>/events``
+  streams live per-point progress.
+* :mod:`repro.service.client` — the matching stdlib client
+  (``http.client``), used by ``repro-experiment submit/status/result/
+  cancel/jobs/events``.
+
+The production claim is checkpoint-backed preemption: every job runs
+with job-scoped snapshot directories (PR 4's envelope), so a server
+killed mid-campaign — deploy, crash, ``SIGKILL`` — requeues its running
+job on restart and resumes it from the latest snapshot, producing an
+``ExperimentResult`` bit-identical to an uninterrupted run.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+    job_id_for,
+)
+from repro.service.server import ExperimentServer, serve
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ExperimentServer",
+    "JobRecord",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "job_id_for",
+    "serve",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — shorthand for ``repro-experiment serve``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,168 @@
+"""Stdlib client for the experiment job server.
+
+``http.client`` only — the same no-new-dependencies rule as the server.
+Each call opens one connection (the server closes after every response),
+so the client object is cheap and thread-safe by construction.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Mapping
+from urllib.parse import urlparse
+
+
+class ServiceError(RuntimeError):
+    """An error response from the job server (status >= 400)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed calls onto the server's JSON API."""
+
+    def __init__(
+        self, base_url: str = "http://127.0.0.1:8642", timeout: float = 30.0
+    ) -> None:
+        parsed = urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// is supported, got {base_url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8642
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # plumbing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read().decode("utf-8")
+            data = json.loads(raw) if raw.strip() else {}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status,
+                    data.get("error", raw.strip() or "unknown error"),
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    # API                                                                 #
+    # ------------------------------------------------------------------ #
+
+    def healthy(self) -> bool:
+        """Whether the server answers ``GET /healthz``."""
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    def specs(self) -> dict[str, Any]:
+        """The registry listing plus the shared machine schema."""
+        return self._request("GET", "/specs")
+
+    def submit(
+        self,
+        experiment: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        rerun: bool = False,
+    ) -> dict[str, Any]:
+        """Submit a job; returns ``{"job": record, "created": bool}``."""
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "experiment": experiment,
+                "params": dict(params or {}),
+                "rerun": rerun,
+            },
+        )
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Every job record, in submission order."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """One job record."""
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's ``ExperimentResult`` artifact dict."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Request cancellation; returns the updated record."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def events(
+        self, job_id: str, *, follow: bool = False, timeout: float = 300.0
+    ) -> Iterator[dict[str, Any]]:
+        """Iterate the job's event log; ``follow=True`` streams live
+        until the job reaches a terminal state."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            suffix = "?follow=1" if follow else ""
+            connection.request("GET", f"/jobs/{job_id}/events{suffix}")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode("utf-8")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except json.JSONDecodeError:
+                    message = raw
+                raise ServiceError(response.status, message)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                if line.strip():
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final record.
+
+        Raises:
+            TimeoutError: the job was still live after *timeout* seconds.
+        """
+        from repro.service.jobs import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,358 @@
+"""The durable on-disk experiment job queue.
+
+Layout (everything under one *root* directory, safe to tar up or serve
+from a fresh checkout)::
+
+    <root>/serial                      next submission serial (FIFO order)
+    <root>/jobs/<id>/job.json          the JobRecord (atomic tmp+rename)
+    <root>/jobs/<id>/events.jsonl      append-only lifecycle/progress log
+    <root>/jobs/<id>/result.json       the ExperimentResult artifact
+    <root>/jobs/<id>/checkpoints/      job-scoped snapshot directory
+
+Job IDs are deterministic — a sha256 of the canonical JSON of
+``{"experiment", "params"}`` — so resubmitting the same spec is
+idempotent: the server returns the existing job instead of queueing a
+duplicate, and a client that crashed after submitting can recompute the
+ID it is waiting on.  See ``EXPERIMENTS.md``, "Job and queue JSON
+schema".
+
+The store itself is synchronous and single-writer (the server process);
+the asyncio layer calls into it from the scheduler thread and request
+handlers, which interleave but never run concurrently for mutations of
+the same job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.common.errors import ConfigurationError
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Parameters a submission may not set: the server owns them (they are
+#: wired to the job's own checkpoint directory and progress stream).
+RESERVED_PARAMS = frozenset(
+    {"progress", "checkpoint_dir", "checkpoint_every", "resume", "trace_dir"}
+)
+
+
+def canonical_spec(experiment: str, params: Mapping[str, Any]) -> str:
+    """The canonical JSON string a job ID is derived from."""
+    return json.dumps(
+        {"experiment": experiment, "params": dict(params)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def job_id_for(experiment: str, params: Mapping[str, Any]) -> str:
+    """The deterministic job ID for one (experiment, params) spec."""
+    digest = hashlib.sha256(
+        canonical_spec(experiment, params).encode("utf-8")
+    ).hexdigest()
+    return f"job-{digest[:12]}"
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One job's durable state (the ``job.json`` payload).
+
+    Attributes:
+        id: deterministic ID (see :func:`job_id_for`).
+        experiment: registered experiment name.
+        params: the submission's keyword arguments for ``spec.run``.
+        serial: FIFO submission order (monotonic per store).
+        state: one of :data:`JOB_STATES`.
+        attempts: ``spec.run`` invocations started (resume counts as a
+            new attempt; the checkpoint envelope makes it bit-identical).
+        preemptions: times the job was found ``running`` at server start
+            and requeued (the crash/deploy-survival counter).
+        cancel_requested: a client asked for cancellation; the scheduler
+            honors it at the next sweep-point boundary.
+        ok: the finished artifact's ``ok`` flag (``None`` until done).
+        error: traceback tail for ``failed`` jobs.
+        submitted_at/started_at/finished_at: wall-clock bookkeeping
+            (never part of any determinism contract).
+    """
+
+    id: str
+    experiment: str
+    params: dict[str, Any] = field(default_factory=dict)
+    serial: int = 0
+    state: str = "queued"
+    attempts: int = 0
+    preemptions: int = 0
+    cancel_requested: bool = False
+    ok: bool | None = None
+    error: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a state it never leaves."""
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobRecord":
+        """Rebuild from an :meth:`as_dict` snapshot."""
+        return cls(**dict(data))
+
+
+class JobStore:
+    """The on-disk queue: submit, claim, transition, record results."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # paths                                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def jobs_root(self) -> Path:
+        """The directory holding one subdirectory per job."""
+        return self.root / "jobs"
+
+    def job_dir(self, job_id: str) -> Path:
+        """One job's directory."""
+        return self.jobs_root / job_id
+
+    def record_path(self, job_id: str) -> Path:
+        """The job's ``job.json``."""
+        return self.job_dir(job_id) / "job.json"
+
+    def events_path(self, job_id: str) -> Path:
+        """The job's append-only ``events.jsonl``."""
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        """The job's ``ExperimentResult`` artifact."""
+        return self.job_dir(job_id) / "result.json"
+
+    def checkpoints_dir(self, job_id: str) -> Path:
+        """The job-scoped snapshot directory (PR 4 envelope files)."""
+        return self.job_dir(job_id) / "checkpoints"
+
+    # ------------------------------------------------------------------ #
+    # submission                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _next_serial(self) -> int:
+        path = self.root / "serial"
+        current = int(path.read_text()) if path.exists() else 0
+        path.write_text(str(current + 1))
+        return current + 1
+
+    def submit(
+        self,
+        experiment: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        rerun: bool = False,
+    ) -> tuple[JobRecord, bool]:
+        """Queue one job; returns ``(record, created)``.
+
+        Identical specs map to the same deterministic ID, so a resubmit
+        returns the existing job (``created=False``).  With *rerun* on a
+        terminal job, the job is reset to ``queued`` — same ID, artifact
+        and checkpoints cleared — and ``created`` is again False.
+        """
+        params = dict(params or {})
+        job_id = job_id_for(experiment, params)
+        existing = self.record_path(job_id)
+        if existing.exists():
+            record = self.get(job_id)
+            if rerun and record.terminal:
+                self.result_path(job_id).unlink(missing_ok=True)
+                for stale in self.checkpoints_dir(job_id).glob("*"):
+                    stale.unlink(missing_ok=True)
+                record.state = "queued"
+                record.attempts = 0
+                record.preemptions = 0
+                record.cancel_requested = False
+                record.ok = None
+                record.error = None
+                record.started_at = None
+                record.finished_at = None
+                self.update(record)
+                self.append_event(job_id, "resubmitted")
+            return record, False
+        record = JobRecord(
+            id=job_id,
+            experiment=experiment,
+            params=params,
+            serial=self._next_serial(),
+            submitted_at=time.time(),
+        )
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        self.checkpoints_dir(job_id).mkdir(exist_ok=True)
+        self.update(record)
+        self.append_event(job_id, "submitted", experiment=experiment)
+        return record, True
+
+    # ------------------------------------------------------------------ #
+    # reads                                                               #
+    # ------------------------------------------------------------------ #
+
+    def get(self, job_id: str) -> JobRecord:
+        """The record for *job_id* (raises ``KeyError`` when absent)."""
+        path = self.record_path(job_id)
+        if not path.exists():
+            raise KeyError(f"no job {job_id!r}")
+        return JobRecord.from_dict(json.loads(path.read_text()))
+
+    def list_jobs(self) -> list[JobRecord]:
+        """Every job, in submission (serial) order."""
+        records = []
+        if self.jobs_root.exists():
+            for entry in self.jobs_root.iterdir():
+                if (entry / "job.json").exists():
+                    records.append(self.get(entry.name))
+        return sorted(records, key=lambda record: (record.serial, record.id))
+
+    def read_events(self, job_id: str) -> list[dict[str, Any]]:
+        """Every event appended for *job_id* so far, in order."""
+        path = self.events_path(job_id)
+        if not path.exists():
+            return []
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def load_result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's ``ExperimentResult`` artifact dict."""
+        path = self.result_path(job_id)
+        if not path.exists():
+            raise KeyError(f"job {job_id!r} has no result artifact")
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------ #
+    # mutations                                                           #
+    # ------------------------------------------------------------------ #
+
+    def update(self, record: JobRecord) -> None:
+        """Persist *record* atomically (tmp file + rename)."""
+        path = self.record_path(record.id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record.as_dict(), indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def append_event(self, job_id: str, event: str, **data: Any) -> None:
+        """Append one event line to the job's ``events.jsonl``."""
+        payload = {"time": round(time.time(), 3), "event": event, **data}
+        with open(self.events_path(job_id), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+
+    def claim_next(self) -> JobRecord | None:
+        """The oldest queued job, transitioned to ``running``.
+
+        Queued jobs whose cancellation was requested are finalized as
+        ``cancelled`` on the way (they never run).  Returns ``None``
+        when the queue is empty.
+        """
+        for record in self.list_jobs():
+            if record.state != "queued":
+                continue
+            if record.cancel_requested:
+                self.finish(record.id, state="cancelled")
+                continue
+            record.state = "running"
+            record.attempts += 1
+            record.started_at = time.time()
+            self.update(record)
+            self.append_event(record.id, "started", attempt=record.attempts)
+            return record
+        return None
+
+    def finish(
+        self,
+        job_id: str,
+        *,
+        state: str,
+        ok: bool | None = None,
+        error: str | None = None,
+    ) -> JobRecord:
+        """Move a job into a terminal *state* and log the event."""
+        if state not in TERMINAL_STATES:
+            raise ConfigurationError(
+                f"finish() needs a terminal state, got {state!r}"
+            )
+        record = self.get(job_id)
+        record.state = state
+        record.ok = ok
+        record.error = error
+        record.finished_at = time.time()
+        self.update(record)
+        event_data: dict[str, Any] = {}
+        if ok is not None:
+            event_data["ok"] = ok
+        if error:
+            event_data["error"] = error.strip().splitlines()[-1]
+        self.append_event(job_id, state, **event_data)
+        return record
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Mark a job for cancellation.
+
+        A queued job is finalized immediately; a running one keeps the
+        flag and the scheduler stops it at the next sweep-point boundary.
+        Raises :class:`ConfigurationError` for terminal jobs.
+        """
+        record = self.get(job_id)
+        if record.terminal:
+            raise ConfigurationError(
+                f"job {job_id} is already {record.state}; nothing to cancel"
+            )
+        record.cancel_requested = True
+        self.update(record)
+        self.append_event(job_id, "cancel-requested")
+        if record.state == "queued":
+            record = self.finish(job_id, state="cancelled")
+        return record
+
+    def recover(self) -> list[str]:
+        """Server-start recovery: requeue jobs preempted by a crash.
+
+        Every job found ``running`` (the previous server died under it)
+        goes back to ``queued`` with its ``preemptions`` counter bumped —
+        its checkpoint directory survived, so the rerun resumes from the
+        latest snapshot instead of cycle 0.  A running job with a
+        pending cancel request is finalized as ``cancelled`` instead.
+        Returns the requeued job IDs.
+        """
+        requeued = []
+        for record in self.list_jobs():
+            if record.state != "running":
+                continue
+            if record.cancel_requested:
+                self.finish(record.id, state="cancelled")
+                continue
+            record.state = "queued"
+            record.preemptions += 1
+            self.update(record)
+            self.append_event(
+                record.id, "preempted", preemptions=record.preemptions
+            )
+            requeued.append(record.id)
+        return requeued

@@ -1,0 +1,460 @@
+"""The asyncio experiment job server (stdlib-only HTTP/1.1).
+
+One ``asyncio.start_server`` listener speaks just enough HTTP/1.1 for
+the job API (one request per connection, ``Connection: close``), and one
+scheduler task drains the durable queue: each claimed job runs
+``spec.run`` from the :mod:`repro.experiments.registry` in a worker
+thread, sharded across processes by the existing sweep runner when the
+job asks for ``workers > 1``.
+
+Endpoints::
+
+    GET  /healthz              liveness
+    GET  /specs                registry listing + machine schema
+    GET  /jobs                 every job record, submission order
+    POST /jobs                 submit {"experiment", "params", "rerun"?}
+    GET  /jobs/<id>            one job record
+    GET  /jobs/<id>/result     the ExperimentResult artifact (409 until
+                               the job is done)
+    GET  /jobs/<id>/events     the event log as ndjson; ``?follow=1``
+                               streams live until the job is terminal
+    POST /jobs/<id>/cancel     cancel queued (immediately) or running
+                               (at the next sweep-point boundary)
+
+Preemption contract: every job executes with a job-scoped checkpoint
+directory and ``resume=True``, so killing the whole server mid-job
+(deploy, crash, SIGKILL) loses nothing — on restart,
+:meth:`~repro.service.jobs.JobStore.recover` requeues the job and the
+rerun resumes each sweep point from its latest snapshot, bit-identical
+to an uninterrupted run (PR 4's envelope guarantee).
+
+Jobs run one at a time: the per-point trace/checkpoint scopes and the
+sweep preemption hook are process-wide, so serializing jobs is what
+keeps two campaigns from cross-contaminating each other's defaults.
+Parallelism lives *inside* a job (``params.workers``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import json
+import threading
+import traceback
+from typing import Any, Iterable
+
+from repro.bus.transaction import reset_txn_serial
+from repro.experiments import registry
+from repro.service.jobs import RESERVED_PARAMS, JobStore
+from repro.sweep.runner import preemption_scope
+
+#: Minimal reason phrases for the statuses the API uses.
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+#: Submissions larger than this are rejected outright.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class ExperimentServer:
+    """The serving layer: HTTP front end + queue-draining scheduler."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        checkpoint_every: int = 200,
+        poll_seconds: float = 0.05,
+    ) -> None:
+        """Args:
+        root: the job store directory (created if missing).
+        host/port: listen address; port 0 binds an ephemeral port
+            (read the bound one from :attr:`port` after :meth:`start`).
+        checkpoint_every: snapshot period (cycles) injected into every
+            job run — the preemption/resume granularity.  0 disables
+            checkpointing (jobs restart from cycle 0 after preemption,
+            still deterministic, just wasteful).
+        poll_seconds: scheduler idle poll interval.
+        """
+        self.store = JobStore(root)
+        self.host = host
+        self.port = port
+        self.checkpoint_every = checkpoint_every
+        self.poll_seconds = poll_seconds
+        self._server: asyncio.base_events.Server | None = None
+        self._scheduler_task: asyncio.Task | None = None
+        self._cancel_flags: dict[str, threading.Event] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Recover preempted jobs, bind the listener, start scheduling."""
+        for job_id in self.store.recover():
+            # Visibility only; the rerun happens via the normal queue.
+            self.store.append_event(job_id, "requeued-after-restart")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (KeyboardInterrupt/SIGTERM kills us —
+        that *is* the preemption story, not a failure mode)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and cancel the scheduler task."""
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------ #
+    # scheduler                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def _scheduler(self) -> None:
+        while True:
+            record = self.store.claim_next()
+            if record is None:
+                await asyncio.sleep(self.poll_seconds)
+                continue
+            cancel = threading.Event()
+            self._cancel_flags[record.id] = cancel
+            try:
+                await asyncio.to_thread(self._execute_job, record, cancel)
+            finally:
+                self._cancel_flags.pop(record.id, None)
+
+    def _execute_job(self, record, cancel: threading.Event) -> None:
+        """Run one claimed job to a terminal state (worker thread)."""
+        store = self.store
+        spec = registry.get(record.experiment)
+
+        def progress(done: int, total: int, point) -> None:
+            store.append_event(
+                record.id,
+                "point",
+                name=point.name,
+                status=point.status,
+                done=done,
+                total=total,
+                wall_seconds=round(point.wall_seconds, 6),
+            )
+
+        kwargs: dict[str, Any] = dict(record.params)
+        kwargs["progress"] = progress
+        if self.checkpoint_every > 0:
+            kwargs.update(
+                checkpoint_dir=str(store.checkpoints_dir(record.id)),
+                checkpoint_every=self.checkpoint_every,
+                resume=True,
+            )
+        # Per-job determinism: the transaction serial is process-global;
+        # resetting it makes an in-server run match a fresh-process run
+        # of the same spec (and a checkpoint restore brings its own).
+        reset_txn_serial()
+        try:
+            with preemption_scope(cancel.is_set):
+                result = spec.run(**kwargs)
+        except Exception:
+            store.finish(
+                record.id,
+                state="failed",
+                error=traceback.format_exc(limit=20),
+            )
+            return
+        if cancel.is_set() or store.get(record.id).cancel_requested:
+            store.finish(record.id, state="cancelled")
+            return
+        result.write_json(store.result_path(record.id))
+        store.finish(record.id, state="done", ok=result.ok)
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing                                                       #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            await self._route(writer, method, path, query, body)
+        except Exception:
+            try:
+                _send_json(
+                    writer,
+                    500,
+                    {"error": traceback.format_exc(limit=5)},
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, str, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ValueError(f"request body of {length} bytes is too large")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, body
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+    ) -> None:
+        parts = [part for part in path.split("/") if part]
+        if parts == ["healthz"] and method == "GET":
+            _send_json(writer, 200, {"ok": True})
+            return
+        if parts == ["specs"] and method == "GET":
+            _send_json(
+                writer,
+                200,
+                {
+                    "specs": [spec.as_dict() for spec in registry.all_specs()],
+                    "machine_schema": registry.machine_param_schema(),
+                },
+            )
+            return
+        if parts == ["jobs"] and method == "GET":
+            _send_json(
+                writer,
+                200,
+                {"jobs": [r.as_dict() for r in self.store.list_jobs()]},
+            )
+            return
+        if parts == ["jobs"] and method == "POST":
+            self._submit(writer, body)
+            return
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            try:
+                record = self.store.get(job_id)
+            except KeyError:
+                _send_json(writer, 404, {"error": f"no job {job_id!r}"})
+                return
+            if len(parts) == 2 and method == "GET":
+                _send_json(writer, 200, {"job": record.as_dict()})
+                return
+            if parts[2:] == ["result"] and method == "GET":
+                if record.state != "done":
+                    _send_json(
+                        writer,
+                        409,
+                        {
+                            "error": f"job {job_id} is {record.state}, "
+                            "no result yet",
+                            "job": record.as_dict(),
+                        },
+                    )
+                    return
+                _send_json(writer, 200, self.store.load_result(job_id))
+                return
+            if parts[2:] == ["events"] and method == "GET":
+                follow = "follow=1" in query.split("&")
+                await self._send_events(writer, job_id, follow)
+                return
+            if parts[2:] == ["cancel"] and method == "POST":
+                self._cancel(writer, job_id)
+                return
+        _send_json(
+            writer, 404 if method == "GET" else 405,
+            {"error": f"no route for {method} {path}"},
+        )
+
+    # ------------------------------------------------------------------ #
+    # handlers                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            _send_json(writer, 400, {"error": f"body is not JSON: {exc}"})
+            return
+        if not isinstance(payload, dict):
+            _send_json(writer, 400, {"error": "body must be a JSON object"})
+            return
+        experiment = payload.get("experiment")
+        params = payload.get("params") or {}
+        if not isinstance(experiment, str) or not experiment:
+            _send_json(
+                writer, 400,
+                {"error": "'experiment' must be a registered name"},
+            )
+            return
+        if not isinstance(params, dict):
+            _send_json(writer, 400, {"error": "'params' must be an object"})
+            return
+        try:
+            spec = registry.get(experiment)
+        except KeyError as exc:
+            _send_json(writer, 400, {"error": str(exc)})
+            return
+        reserved = sorted(set(params) & RESERVED_PARAMS)
+        if reserved:
+            _send_json(
+                writer,
+                400,
+                {
+                    "error": "server-managed parameter(s) "
+                    f"{', '.join(reserved)} may not be submitted"
+                },
+            )
+            return
+        problems = registry.validate_params(spec, params)
+        if problems:
+            _send_json(writer, 400, {"error": "; ".join(problems)})
+            return
+        record, created = self.store.submit(
+            experiment, params, rerun=bool(payload.get("rerun"))
+        )
+        _send_json(
+            writer,
+            201 if created else 200,
+            {"job": record.as_dict(), "created": created},
+        )
+
+    def _cancel(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        record = self.store.get(job_id)
+        if record.terminal:
+            _send_json(
+                writer,
+                409,
+                {
+                    "error": f"job {job_id} is already {record.state}",
+                    "job": record.as_dict(),
+                },
+            )
+            return
+        flag = self._cancel_flags.get(job_id)
+        if flag is not None:
+            flag.set()
+        record = self.store.request_cancel(job_id)
+        _send_json(writer, 200, {"job": record.as_dict()})
+
+    async def _send_events(
+        self, writer: asyncio.StreamWriter, job_id: str, follow: bool
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        path = self.store.events_path(job_id)
+        offset = 0
+        while True:
+            chunk = b""
+            if path.exists():
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            if chunk:
+                offset += len(chunk)
+                writer.write(chunk)
+                await writer.drain()
+            if not follow:
+                break
+            if self.store.get(job_id).terminal and not chunk:
+                break
+            await asyncio.sleep(0.1)
+
+
+def _send_json(
+    writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+) -> None:
+    """One complete JSON response (Content-Length, Connection: close)."""
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+
+
+async def _serve_async(server: ExperimentServer) -> None:
+    await server.start()
+    # The literal the CLI/tests parse for the bound (possibly ephemeral)
+    # port; everything else goes to stderr.
+    print(f"SERVING {server.host} {server.port}", flush=True)
+    await server.serve_forever()
+
+
+def serve(
+    root: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    checkpoint_every: int = 200,
+    load: Iterable[str] = (),
+) -> None:
+    """Run the job server in the foreground (``repro-experiment serve``).
+
+    Args:
+        root: job store directory.
+        host/port: listen address (port 0 = ephemeral; the bound port is
+            printed as ``SERVING <host> <port>`` on stdout).
+        checkpoint_every: snapshot period injected into every job.
+        load: extra modules to import before serving — each registers
+            its own :class:`~repro.experiments.registry.ExperimentSpec`
+            (the plugin path; also how tests install slow experiments).
+    """
+    for module_name in load:
+        importlib.import_module(module_name)
+    server = ExperimentServer(
+        root, host=host, port=port, checkpoint_every=checkpoint_every
+    )
+    try:
+        asyncio.run(_serve_async(server))
+    except KeyboardInterrupt:
+        pass

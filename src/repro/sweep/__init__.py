@@ -25,7 +25,11 @@ from repro.sweep.result import (
     Provenance,
     validate_artifact,
 )
-from repro.sweep.runner import run_sweep
+from repro.sweep.runner import (
+    preemption_requested,
+    preemption_scope,
+    run_sweep,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -36,6 +40,8 @@ __all__ = [
     "SweepPoint",
     "assign_seeds",
     "expand_grid",
+    "preemption_requested",
+    "preemption_scope",
     "run_sweep",
     "validate_artifact",
 ]

@@ -25,6 +25,7 @@ task must be a module-level callable so worker processes can import it.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import time
@@ -32,7 +33,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_seed
@@ -47,6 +48,49 @@ SweepTask = Callable[[SweepPoint], Mapping[str, Any]]
 
 #: Signature of the progress callback: (points finished, total, result).
 ProgressCallback = Callable[[int, int, PointResult], None]
+
+#: Process-wide preemption hook, installed by :func:`preemption_scope`.
+#: ``None`` means no preemption source; otherwise a zero-argument callable
+#: that returns True once the surrounding sweep should stop.
+_should_stop: Callable[[], bool] | None = None
+
+
+def preemption_requested() -> bool:
+    """Whether the installed preemption hook (if any) asks sweeps to stop.
+
+    Consulted by :func:`run_sweep` between points (serial) and between
+    scheduling rounds (parallel).  A sweep cannot interrupt a point that
+    is already executing in-process — preemption granularity is the
+    point; killing mid-point is the job of process-level preemption
+    (checkpoint-backed crash-resume).
+    """
+    hook = _should_stop
+    return hook is not None and bool(hook())
+
+
+@contextlib.contextmanager
+def preemption_scope(
+    should_stop: Callable[[], bool],
+) -> Iterator[None]:
+    """Install *should_stop* as the sweep preemption hook for the body.
+
+    Any :func:`run_sweep` running inside the scope polls the callable;
+    once it returns True, in-flight workers are terminated and every
+    unfinished point is recorded with status ``"skipped"`` instead of
+    running.  The experiment job server wraps each job's ``spec.run``
+    call in this scope with the job's cancel flag.
+
+    The hook is process-wide (it must reach sweeps whose call signatures
+    the harness does not own, exactly like trace/checkpoint defaults), so
+    scopes must not be nested across concurrently running sweeps.
+    """
+    global _should_stop
+    previous = _should_stop
+    _should_stop = should_stop
+    try:
+        yield
+    finally:
+        _should_stop = previous
 
 
 def run_sweep(
@@ -123,6 +167,19 @@ def _run_serial(
 ) -> list[PointResult]:
     results: list[PointResult] = []
     for point in points:
+        if preemption_requested():
+            result = _finish(
+                point,
+                "skipped",
+                None,
+                wall=0.0,
+                attempts=0,
+                error="preempted before start",
+            )
+            results.append(result)
+            if progress is not None:
+                progress(len(results), len(points), result)
+            continue
         start = time.perf_counter()
         try:
             payload = task(point)
@@ -258,6 +315,37 @@ def _run_parallel(
 
     try:
         while pending or running:
+            if preemption_requested():
+                for run in running.values():
+                    run.process.terminate()
+                    run.process.join()
+                    _close(run)
+                    record(
+                        run.index,
+                        _finish(
+                            run.point,
+                            "skipped",
+                            None,
+                            wall=time.perf_counter() - run.started,
+                            attempts=run.attempts,
+                            error="preempted while running",
+                        ),
+                    )
+                running.clear()
+                while pending:
+                    index, point, attempts, _ = pending.popleft()
+                    record(
+                        index,
+                        _finish(
+                            point,
+                            "skipped",
+                            None,
+                            wall=0.0,
+                            attempts=attempts,
+                            error="preempted before start",
+                        ),
+                    )
+                break
             while pending and len(running) < workers:
                 entry = pop_ready(time.perf_counter())
                 if entry is None:
@@ -292,6 +380,12 @@ def _run_parallel(
             wait_timeout = (
                 max(0.0, min(deadlines) - now) if deadlines else None
             )
+            if _should_stop is not None:
+                # A preemption source is installed: poll it promptly
+                # instead of blocking until a worker finishes.
+                wait_timeout = (
+                    0.1 if wait_timeout is None else min(wait_timeout, 0.1)
+                )
             if not running:
                 # Nothing in flight; just wait out the shortest backoff.
                 time.sleep(wait_timeout or 0.0)

@@ -81,9 +81,10 @@ class TestSoakCampaign:
 
 class TestExperimentTarget:
     def test_chaos_target_registered(self):
-        from repro.experiments.cli import TARGETS
+        from repro.experiments import chaos_soak, registry
 
-        assert "chaos" in TARGETS
+        spec = registry.get("chaos")
+        assert spec.run is chaos_soak.run
 
     def test_run_produces_ok_artifact(self):
         from repro.experiments import chaos_soak

@@ -1,0 +1,1 @@
+"""Tests for the experiment job server (repro.service)."""

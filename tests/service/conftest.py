@@ -1,0 +1,20 @@
+"""Registry hygiene for the service tests.
+
+Tests in this package import :mod:`tests.service.slow_experiment`, which
+registers its "slow-counter" spec in the process-wide experiment
+registry.  That must not leak into tests outside this package (the
+integration suite asserts ``repro-experiment all`` runs exactly the
+built-ins), so it is dropped again once this package's tests finish.
+The test modules also defer the import into test bodies — pytest imports
+test modules at collection time, before any fixture runs.
+"""
+
+import pytest
+
+from repro.experiments import registry
+
+
+@pytest.fixture(scope="package", autouse=True)
+def _unregister_plugin_specs():
+    yield
+    registry.unregister("slow-counter")

@@ -1,0 +1,139 @@
+"""Shared plumbing for the service tests: real-subprocess servers.
+
+The preemption guarantees under test are about a whole *process* dying
+(SIGKILL, deploys), so these tests run the server as an actual
+subprocess via the CLI — the same code path CI's service-smoke job and
+users exercise — rather than in-process asyncio.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Extra experiment modules every test server loads.
+SLOW_MODULE = "tests.service.slow_experiment"
+
+#: Per-process boot counter, so restarts on the same store root get their
+#: own log file (a shared one would replay the first boot's SERVING line).
+_BOOTS = itertools.count(1)
+
+
+class ServerProcess:
+    """One ``repro-experiment serve`` subprocess bound to a free port."""
+
+    def __init__(
+        self, proc: subprocess.Popen, port: int, log_path: Path
+    ) -> None:
+        self.proc = proc
+        self.port = port
+        self.log_path = log_path
+
+    @property
+    def url(self) -> str:
+        """The server's base URL."""
+        return f"http://127.0.0.1:{self.port}"
+
+    def sigkill(self) -> None:
+        """SIGKILL the server — the preemption event under test."""
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def stop(self) -> None:
+        """Terminate the server (no-op when already dead)."""
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+
+
+def start_server(
+    root: Path,
+    *,
+    checkpoint_every: int = 200,
+    load: tuple[str, ...] = (SLOW_MODULE,),
+    timeout: float = 60.0,
+) -> ServerProcess:
+    """Boot a server subprocess on an ephemeral port; wait until bound.
+
+    The bound port comes from the ``SERVING <host> <port>`` line the
+    server prints once its listener is up (stdout goes to a log file
+    next to *root* so nothing can block on a full pipe).
+    """
+    log_path = root.parent / f"{root.name}.server-{next(_BOOTS)}.log"
+    command = [
+        sys.executable,
+        "-m",
+        "repro.experiments.cli",
+        "serve",
+        "--root",
+        str(root),
+        "--port",
+        "0",
+        "--checkpoint-every",
+        str(checkpoint_every),
+    ]
+    for module in load:
+        command += ["--load", module]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    )
+    with open(log_path, "ab") as log:
+        proc = subprocess.Popen(
+            command,
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for line in log_path.read_text(errors="replace").splitlines():
+            if line.startswith("SERVING "):
+                return ServerProcess(proc, int(line.split()[2]), log_path)
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited with {proc.returncode} before binding:\n"
+                + log_path.read_text(errors="replace")
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(
+        "server never printed SERVING:\n"
+        + log_path.read_text(errors="replace")
+    )
+
+
+def canonical_artifact(data: Mapping[str, Any]) -> dict[str, Any]:
+    """An ExperimentResult dict with the documented nondeterminism
+    removed (provenance dropped, wall clocks zeroed) — what bit-identical
+    means across runs, hosts and resumes."""
+    clean = copy.deepcopy(dict(data))
+    clean.pop("provenance", None)
+    for point in clean.get("points", []):
+        point["wall_seconds"] = 0.0
+    return clean
+
+
+def wait_for(predicate, *, timeout: float, interval: float = 0.05, what=""):
+    """Poll *predicate* until it returns a truthy value, or fail."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise TimeoutError(f"timed out after {timeout:.0f}s waiting for {what}")

@@ -1,0 +1,89 @@
+"""Slow-counter: a deliberately long experiment for the service tests.
+
+Two PEs hammer a shared counter under a TTS spin lock for thousands of
+iterations — long enough (seconds) that the tests can SIGKILL the server
+mid-run with a checkpoint already on disk, restart it, and check the
+resumed result bit-for-bit against an uninterrupted reference run.  The
+server imports this module via ``serve --load tests.service.slow_experiment``
+(the same plugin path third-party experiments use).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import harness
+from repro.experiments.registry import register_module
+from repro.sweep.grid import SweepPoint
+from repro.sweep.result import ExperimentResult
+from repro.sweep.runner import ProgressCallback
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from tests.checkpoint.workloads import COUNTER, tts_counter_program
+
+#: Default spin-lock iterations per PE — a few seconds of wall clock.
+DEFAULT_ITERATIONS = 4000
+
+
+def _run_point(point: SweepPoint) -> dict[str, object]:
+    """One long contended run; metrics include the full state digest so
+    artifact equality implies machine-state equality."""
+    config = MachineConfig(
+        num_pes=2, cache_lines=4, memory_size=64, seed=3, kernel="cycle"
+    )
+    machine = Machine(config)
+    program = tts_counter_program(point.params["iterations"])
+    machine.load_programs([program, program])
+    machine.run(max_cycles=50_000_000)
+    return {
+        "metrics": {
+            # The absolute cycle counter, not run()'s executed-cycle
+            # count: a resumed run executes fewer cycles in-process but
+            # must land on the same final cycle.
+            "cycles": machine.cycle,
+            "counter": machine.latest_value(COUNTER),
+            "digest": machine.state_digest(),
+        },
+        "stats": machine.stats.as_dict(),
+    }
+
+
+def run(
+    workers: int = 1,
+    *,
+    iterations: int = DEFAULT_ITERATIONS,
+    timeout_seconds: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    online_check: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+) -> ExperimentResult:
+    """The slow counter as a one-point sweep."""
+    points = [
+        SweepPoint(name="slow-counter", params={"iterations": iterations})
+    ]
+    results, provenance = harness.execute(
+        "slow-counter",
+        _run_point,
+        points,
+        base_seed=0,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        progress=progress,
+        trace_dir=trace_dir,
+        online_check=online_check,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+    return harness.assemble(
+        "slow-counter", sys.modules[__name__], results, provenance
+    )
+
+
+#: This module's registry entry (see :mod:`repro.experiments.registry`).
+SPEC = register_module(sys.modules[__name__], name="slow-counter")

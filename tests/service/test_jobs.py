@@ -1,0 +1,183 @@
+"""The durable job store: IDs, lifecycle, recovery, events."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.service.jobs import JobStore, job_id_for
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "queue")
+
+
+class TestJobIds:
+    def test_deterministic(self):
+        a = job_id_for("figure-6-1", {"workers": 2})
+        b = job_id_for("figure-6-1", {"workers": 2})
+        assert a == b
+        assert a.startswith("job-") and len(a) == 16
+
+    def test_key_order_irrelevant(self):
+        assert job_id_for("x", {"a": 1, "b": 2}) == job_id_for(
+            "x", {"b": 2, "a": 1}
+        )
+
+    def test_params_change_the_id(self):
+        assert job_id_for("x", {"a": 1}) != job_id_for("x", {"a": 2})
+        assert job_id_for("x", {}) != job_id_for("y", {})
+
+
+class TestSubmit:
+    def test_submit_creates_queued_job(self, store):
+        record, created = store.submit("figure-6-1", {"workers": 1})
+        assert created
+        assert record.state == "queued"
+        assert record.id == job_id_for("figure-6-1", {"workers": 1})
+        assert store.record_path(record.id).exists()
+        assert store.checkpoints_dir(record.id).is_dir()
+
+    def test_resubmit_is_idempotent(self, store):
+        first, created_first = store.submit("figure-6-1", {})
+        again, created_again = store.submit("figure-6-1", {})
+        assert created_first and not created_again
+        assert again.id == first.id
+        assert again.serial == first.serial
+
+    def test_serials_are_fifo(self, store):
+        a, _ = store.submit("figure-6-1", {})
+        b, _ = store.submit("figure-6-2", {})
+        assert b.serial == a.serial + 1
+        assert [r.id for r in store.list_jobs()] == [a.id, b.id]
+
+    def test_rerun_resets_a_terminal_job(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        store.result_path(record.id).write_text("{}")
+        store.finish(record.id, state="done", ok=True)
+        reset, created = store.submit("figure-6-1", {}, rerun=True)
+        assert not created
+        assert reset.state == "queued"
+        assert reset.attempts == 0 and reset.ok is None
+        assert not store.result_path(record.id).exists()
+
+    def test_rerun_ignored_while_live(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        still, _ = store.submit("figure-6-1", {}, rerun=True)
+        assert still.state == "running"
+
+
+class TestLifecycle:
+    def test_claim_next_is_fifo_and_marks_running(self, store):
+        a, _ = store.submit("figure-6-1", {})
+        store.submit("figure-6-2", {})
+        claimed = store.claim_next()
+        assert claimed.id == a.id
+        assert claimed.state == "running" and claimed.attempts == 1
+        assert store.get(a.id).state == "running"
+
+    def test_claim_next_empty_queue(self, store):
+        assert store.claim_next() is None
+
+    def test_claim_skips_cancel_requested(self, store):
+        a, _ = store.submit("figure-6-1", {})
+        b, _ = store.submit("figure-6-2", {})
+        record = store.get(a.id)
+        record.cancel_requested = True
+        store.update(record)
+        claimed = store.claim_next()
+        assert claimed.id == b.id
+        assert store.get(a.id).state == "cancelled"
+
+    def test_finish_requires_terminal_state(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        with pytest.raises(ConfigurationError, match="terminal"):
+            store.finish(record.id, state="queued")
+
+    def test_finish_records_outcome(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        done = store.finish(record.id, state="done", ok=True)
+        assert done.terminal and done.ok is True
+        assert done.finished_at is not None
+
+    def test_cancel_queued_finalizes_immediately(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        cancelled = store.request_cancel(record.id)
+        assert cancelled.state == "cancelled"
+
+    def test_cancel_running_only_flags(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        flagged = store.request_cancel(record.id)
+        assert flagged.state == "running" and flagged.cancel_requested
+
+    def test_cancel_terminal_raises(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.request_cancel(record.id)
+        with pytest.raises(ConfigurationError, match="already cancelled"):
+            store.request_cancel(record.id)
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("job-000000000000")
+
+
+class TestRecovery:
+    def test_recover_requeues_running_jobs(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        requeued = JobStore(store.root).recover()
+        assert requeued == [record.id]
+        after = store.get(record.id)
+        assert after.state == "queued"
+        assert after.preemptions == 1
+        assert after.attempts == 1  # resume will be attempt 2
+
+    def test_recover_cancels_flagged_running_jobs(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        store.request_cancel(record.id)
+        assert JobStore(store.root).recover() == []
+        assert store.get(record.id).state == "cancelled"
+
+    def test_recover_leaves_others_alone(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        assert JobStore(store.root).recover() == []
+        assert store.get(record.id).state == "queued"
+
+
+class TestEventsAndResults:
+    def test_lifecycle_is_event_logged(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        store.finish(record.id, state="done", ok=True)
+        names = [event["event"] for event in store.read_events(record.id)]
+        assert names == ["submitted", "started", "done"]
+
+    def test_events_carry_data_and_time(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.append_event(record.id, "point", name="p0", done=1, total=3)
+        event = store.read_events(record.id)[-1]
+        assert event["name"] == "p0" and event["total"] == 3
+        assert event["time"] > 0
+
+    def test_result_round_trip(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        payload = {"name": "figure-6-1", "ok": True}
+        store.result_path(record.id).write_text(json.dumps(payload))
+        assert store.load_result(record.id) == payload
+
+    def test_missing_result_raises(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        with pytest.raises(KeyError, match="no result"):
+            store.load_result(record.id)
+
+    def test_record_json_round_trips(self, store):
+        record, _ = store.submit("figure-6-1", {"workers": 2})
+        raw = json.loads(store.record_path(record.id).read_text())
+        assert raw["params"] == {"workers": 2}
+        assert store.get(record.id).as_dict() == record.as_dict()

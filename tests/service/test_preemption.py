@@ -1,0 +1,97 @@
+"""The headline guarantee: SIGKILL the server mid-job, restart, and the
+resumed job's artifact — machine state digest included — is bit-identical
+to an uninterrupted run."""
+
+import json
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobStore
+from tests.service.helpers import canonical_artifact, start_server, wait_for
+
+pytestmark = pytest.mark.slow
+
+ITERATIONS = 4000
+
+
+class TestSigkillResume:
+    def test_killed_job_resumes_bit_identically(self, tmp_path):
+        root = tmp_path / "queue"
+        store = JobStore(root)
+
+        # --- boot, submit, and wait until the job is demonstrably
+        # mid-run: running state plus at least one snapshot on disk.
+        first = start_server(root, checkpoint_every=200)
+        try:
+            client = ServiceClient(first.url)
+            job_id = client.submit(
+                "slow-counter", {"iterations": ITERATIONS}
+            )["job"]["id"]
+            checkpoints = store.checkpoints_dir(job_id)
+            wait_for(
+                lambda: store.get(job_id).state == "running"
+                and list(checkpoints.glob("*.ckpt")),
+                timeout=60,
+                what="a running job with a snapshot on disk",
+            )
+        except BaseException:
+            first.stop()
+            raise
+
+        # --- SIGKILL: no cleanup handlers, no flushing, nothing graceful.
+        first.sigkill()
+        killed = json.loads(store.record_path(job_id).read_text())
+        assert killed["state"] == "running", "died with the job in flight"
+        assert list(checkpoints.glob("*.ckpt")), "snapshot survived the kill"
+
+        # --- restart on the same root: recover() requeues, the scheduler
+        # re-claims, and the checkpoint envelope resumes mid-point.
+        second = start_server(root, checkpoint_every=200)
+        try:
+            client = ServiceClient(second.url)
+            final = client.wait(job_id, timeout=300)
+            assert final["state"] == "done"
+            assert final["ok"] is True
+            assert final["preemptions"] == 1
+            assert final["attempts"] == 2
+
+            events = [e["event"] for e in client.events(job_id)]
+            assert "preempted" in events
+            assert "requeued-after-restart" in events
+            assert events.count("started") == 2
+
+            artifact = client.result(job_id)
+        finally:
+            second.stop()
+
+        # --- the resume actually happened mid-run (not a restart from
+        # cycle 0): the machine logged the cycle it resumed at.
+        resume_logs = list(checkpoints.glob("*.resume-log"))
+        assert resume_logs, "no resume-log: the job restarted from scratch"
+        entries = resume_logs[0].read_text().strip().splitlines()
+        resumed_cycle = int(entries[-1].rsplit(" ", 1)[1])
+        assert resumed_cycle > 0
+
+        # --- clean completion discards the snapshot, keeps the log.
+        assert not list(checkpoints.glob("*.ckpt"))
+
+        # --- bit-identical to an uninterrupted fresh-process run: same
+        # metrics, same stats, same final state digest.  Imported here,
+        # not at module top: importing slow_experiment registers its spec
+        # process-wide, and pytest imports test modules at *collection*
+        # time — a top-level import would leak the spec into every other
+        # test's registry (the cleanup fixture in conftest.py only runs
+        # after this package's tests).
+        from tests.service import slow_experiment
+
+        reset_txn_serial()
+        reference = slow_experiment.run(iterations=ITERATIONS)
+        assert canonical_artifact(artifact) == canonical_artifact(
+            reference.as_dict()
+        )
+        point = artifact["points"][0]
+        reference_point = reference.points[0]
+        assert point["metrics"]["digest"] == reference_point.metrics["digest"]
+        assert resumed_cycle < point["metrics"]["cycles"]

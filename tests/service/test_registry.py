@@ -1,0 +1,132 @@
+"""The ExperimentSpec registry: derivation, lookup, shim equivalence."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import figure_6_1, registry
+from repro.system.config import MachineConfig
+from tests.service.helpers import canonical_artifact
+
+BUILTIN_TARGETS = [
+    "table-1-1",
+    "figure-3-1",
+    "figure-5-1",
+    "figure-6-1",
+    "figure-6-2",
+    "figure-6-3",
+    "figure-7-1",
+    "ablations",
+    "extensions",
+    "chaos",
+]
+
+
+class TestRegistry:
+    def test_every_builtin_target_is_registered(self):
+        assert set(BUILTIN_TARGETS) <= set(registry.names())
+
+    def test_names_are_sorted(self):
+        assert registry.names() == sorted(registry.names())
+
+    def test_spec_run_is_the_module_function(self):
+        """The legacy surface and the registry are the same callable, so
+        ``module.run(...)`` shims cannot drift from ``get(name).run``."""
+        spec = registry.get("figure-6-1")
+        assert spec.run is figure_6_1.run
+        assert spec.compute is figure_6_1.compute
+        assert spec.module == "repro.experiments.figure_6_1"
+
+    def test_descriptions_are_nonempty(self):
+        for spec in registry.all_specs():
+            assert spec.description.strip(), spec.name
+
+    def test_get_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="figure-6-1"):
+            registry.get("figure-9-9")
+
+    def test_as_dict_is_json_shaped(self):
+        face = registry.get("figure-6-1").as_dict()
+        assert face["name"] == "figure-6-1"
+        assert "run" not in face and "compute" not in face
+        assert isinstance(face["param_schema"], dict)
+
+
+class TestSchemaDerivation:
+    def test_workers_derived_from_signature(self):
+        schema = registry.get("figure-6-1").param_schema
+        assert schema["workers"] == {"type": "int", "default": 1}
+
+    def test_progress_never_in_schema(self):
+        for spec in registry.all_specs():
+            assert "progress" not in spec.param_schema, spec.name
+
+    def test_checkpoint_params_present(self):
+        schema = registry.get("figure-6-1").param_schema
+        assert schema["checkpoint_every"]["type"] == "int"
+        assert schema["resume"]["type"] == "bool"
+
+    def test_machine_schema_matches_config(self):
+        schema = registry.machine_param_schema()
+        assert set(schema) == set(MachineConfig().to_dict())
+        assert schema["num_pes"]["type"] == "int"
+
+
+class TestRegistration:
+    def test_reregister_same_module_is_idempotent(self):
+        import sys
+
+        spec = registry.register_module(
+            sys.modules[figure_6_1.__name__], name="figure-6-1"
+        )
+        assert registry.get("figure-6-1") is spec
+
+    def test_cross_module_name_conflict_raises(self):
+        import sys
+
+        this = sys.modules[__name__]
+        this.run = figure_6_1.run  # a valid run() surface
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                registry.register_module(this, name="figure-6-1")
+        finally:
+            del this.run
+
+    def test_register_module_requires_run(self):
+        import sys
+
+        with pytest.raises(ConfigurationError, match="no callable run"):
+            registry.register_module(
+                sys.modules[__name__], name="not-an-experiment"
+            )
+
+
+class TestValidateParams:
+    def test_valid_params_pass(self):
+        spec = registry.get("figure-6-1")
+        assert registry.validate_params(spec, {"workers": 2}) == []
+
+    def test_unknown_param_flagged(self):
+        spec = registry.get("figure-6-1")
+        problems = registry.validate_params(spec, {"wrkrs": 2})
+        assert problems and "unknown parameter" in problems[0]
+
+    def test_type_mismatch_flagged(self):
+        spec = registry.get("figure-6-1")
+        problems = registry.validate_params(spec, {"workers": "two"})
+        assert problems and "must be int" in problems[0]
+
+    def test_bool_is_not_int(self):
+        spec = registry.get("figure-6-1")
+        problems = registry.validate_params(spec, {"workers": True})
+        assert problems and "got bool" in problems[0]
+
+
+class TestShimEquivalence:
+    def test_module_run_equals_registry_run(self):
+        """Behavioral check: the legacy shim and the registry path
+        produce canonically identical artifacts."""
+        via_module = figure_6_1.run()
+        via_registry = registry.get("figure-6-1").run()
+        assert canonical_artifact(via_module.as_dict()) == canonical_artifact(
+            via_registry.as_dict()
+        )

@@ -1,0 +1,140 @@
+"""End-to-end job server tests: a real subprocess speaking real HTTP."""
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.experiments import figure_6_1
+from repro.service.client import ServiceClient, ServiceError
+from repro.sweep import validate_artifact
+from tests.service.helpers import canonical_artifact, start_server
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    booted = start_server(tmp_path_factory.mktemp("service") / "queue")
+    yield booted
+    booted.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestRoundTrip:
+    def test_healthz(self, client):
+        assert client.healthy()
+
+    def test_specs_lists_registry_and_machine_schema(self, client):
+        listing = client.specs()
+        names = [spec["name"] for spec in listing["specs"]]
+        assert "figure-6-1" in names
+        assert "slow-counter" in names  # installed via serve --load
+        assert "num_pes" in listing["machine_schema"]
+
+    def test_submit_run_result(self, client):
+        response = client.submit("figure-6-1", {})
+        assert response["created"]
+        job_id = response["job"]["id"]
+
+        final = client.wait(job_id, timeout=120)
+        assert final["state"] == "done"
+        assert final["ok"] is True
+
+        artifact = client.result(job_id)
+        assert validate_artifact(artifact) == []
+        assert artifact["name"] == "figure-6-1"
+
+        reset_txn_serial()
+        reference = figure_6_1.run()
+        assert canonical_artifact(artifact) == canonical_artifact(
+            reference.as_dict()
+        )
+
+    def test_resubmit_returns_same_job(self, client):
+        first = client.submit("figure-6-1", {})
+        again = client.submit("figure-6-1", {})
+        assert again["job"]["id"] == first["job"]["id"]
+        assert not again["created"]
+
+    def test_events_cover_the_lifecycle(self, client):
+        job_id = client.submit("figure-6-1", {})["job"]["id"]
+        client.wait(job_id, timeout=120)
+        names = [event["event"] for event in client.events(job_id)]
+        assert names[0] == "submitted"
+        assert "started" in names
+        assert "point" in names
+        assert names[-1] == "done"
+
+    def test_follow_streams_to_terminal(self, client):
+        job_id = client.submit("figure-6-1", {})["job"]["id"]
+        client.wait(job_id, timeout=120)
+        streamed = list(client.events(job_id, follow=True, timeout=60))
+        assert streamed[-1]["event"] == "done"
+
+    def test_jobs_listing_includes_submissions(self, client):
+        job_id = client.submit("figure-6-1", {})["job"]["id"]
+        assert job_id in [record["id"] for record in client.jobs()]
+
+
+class TestValidation:
+    def test_unknown_experiment_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit("figure-9-9", {})
+        assert exc.value.status == 400
+        assert "figure-6-1" in exc.value.message  # lists what exists
+
+    def test_unknown_param_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit("figure-6-1", {"wrkrs": 2})
+        assert exc.value.status == 400
+        assert "unknown parameter" in exc.value.message
+
+    def test_type_mismatch_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit("figure-6-1", {"workers": "two"})
+        assert exc.value.status == 400
+
+    def test_reserved_params_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit("figure-6-1", {"checkpoint_dir": "/tmp/x"})
+        assert exc.value.status == 400
+        assert "server-managed" in exc.value.message
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.job("job-000000000000")
+        assert exc.value.status == 404
+
+    def test_result_before_done_is_409(self, client):
+        job_id = client.submit("slow-counter", {"iterations": 600})["job"][
+            "id"
+        ]
+        try:
+            with pytest.raises(ServiceError) as exc:
+                client.result(job_id)
+            assert exc.value.status == 409
+        finally:
+            client.wait(job_id, timeout=120)
+
+
+class TestCancel:
+    def test_cancel_queued_job_behind_a_running_one(self, client):
+        blocker = client.submit("slow-counter", {"iterations": 900})["job"]
+        victim = client.submit("figure-6-1", {"workers": 2})["job"]
+
+        cancelled = client.cancel(victim["id"])
+        assert cancelled["state"] in ("cancelled", "running")
+        final = client.wait(victim["id"], timeout=120)
+        assert final["state"] == "cancelled"
+        # The running job is untouched by its neighbor's cancellation.
+        assert client.wait(blocker["id"], timeout=120)["state"] == "done"
+
+    def test_cancel_terminal_job_is_409(self, client):
+        job_id = client.submit("figure-6-1", {})["job"]["id"]
+        client.wait(job_id, timeout=120)
+        with pytest.raises(ServiceError) as exc:
+            client.cancel(job_id)
+        assert exc.value.status == 409

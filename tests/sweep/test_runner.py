@@ -11,7 +11,12 @@ import time
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.sweep import SweepPoint, run_sweep
+from repro.sweep import (
+    SweepPoint,
+    preemption_requested,
+    preemption_scope,
+    run_sweep,
+)
 from repro.sweep.runner import backoff_delay
 
 
@@ -215,3 +220,59 @@ class TestBackoff:
             backoff_base_seconds=0.01,
         )
         assert results[0].as_dict()["attempts"] == 2
+
+
+class TestPreemption:
+    def test_no_scope_means_no_preemption(self):
+        assert not preemption_requested()
+        results = run_sweep(_ok_task, _points("a", "b"))
+        assert all(result.status == "ok" for result in results)
+
+    def test_serial_skips_points_after_stop(self):
+        stop = {"flag": False}
+
+        def progress(done, total, result):
+            stop["flag"] = True  # ask to stop after the first completion
+
+        with preemption_scope(lambda: stop["flag"]):
+            results = run_sweep(
+                _ok_task, _points("a", "b", "c"), progress=progress
+            )
+        assert results[0].status == "ok"
+        assert [r.status for r in results[1:]] == ["skipped", "skipped"]
+        assert results[1].error == "preempted before start"
+        assert results[1].attempts == 0
+
+    def test_immediate_stop_skips_everything(self):
+        with preemption_scope(lambda: True):
+            results = run_sweep(_ok_task, _points("a", "b"))
+        assert [r.status for r in results] == ["skipped", "skipped"]
+
+    def test_parallel_terminates_running_workers(self):
+        deadline = time.perf_counter() + 0.5
+
+        with preemption_scope(lambda: time.perf_counter() > deadline):
+            start = time.perf_counter()
+            results = run_sweep(_sleep_task, _points("a", "b"), workers=2)
+            wall = time.perf_counter() - start
+        statuses = {result.status for result in results}
+        assert statuses == {"skipped"}
+        assert "preempted while running" in {r.error for r in results}
+        assert wall < 30, "workers were terminated, not waited out"
+
+    def test_scope_restores_previous_hook(self):
+        with preemption_scope(lambda: True):
+            with preemption_scope(lambda: False):
+                assert not preemption_requested()
+            assert preemption_requested()
+        assert not preemption_requested()
+
+    def test_skipped_points_reach_progress(self):
+        seen = []
+        with preemption_scope(lambda: True):
+            run_sweep(
+                _ok_task,
+                _points("a", "b"),
+                progress=lambda done, total, r: seen.append(r.status),
+            )
+        assert seen == ["skipped", "skipped"]

@@ -16,6 +16,7 @@ import repro
 SUBPACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.benchmarks",
     "repro.bus",
     "repro.cache",
     "repro.checkpoint",
@@ -26,6 +27,7 @@ SUBPACKAGES = [
     "repro.processor",
     "repro.protocols",
     "repro.reliability",
+    "repro.service",
     "repro.sweep",
     "repro.sync",
     "repro.system",
