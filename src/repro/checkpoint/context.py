@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,3 +62,50 @@ def checkpoint_defaults(
         yield installed
     finally:
         set_checkpoint_defaults(previous)
+
+
+#: Process-wide in-point preemption hook.  ``None`` means no preemption
+#: source; otherwise a zero-argument callable that returns True once the
+#: current run should stop at its next checkpoint boundary.
+_PREEMPT_HOOK: Callable[[], bool] | None = None
+
+
+def preempt_requested() -> bool:
+    """Whether the installed hook (if any) asks runs to stop.
+
+    Consulted by :meth:`repro.system.machine.Machine.step` immediately
+    after each periodic snapshot write — the one instant where stopping
+    is free, because the snapshot just saved *is* the resume point.  A
+    true return there raises :class:`~repro.common.errors.PreemptedError`.
+    """
+    hook = _PREEMPT_HOOK
+    return hook is not None and bool(hook())
+
+
+def set_preempt_hook(
+    hook: Callable[[], bool] | None,
+) -> Callable[[], bool] | None:
+    """Install *hook* as the preemption source; returns the previous one."""
+    global _PREEMPT_HOOK
+    previous = _PREEMPT_HOOK
+    _PREEMPT_HOOK = hook
+    return previous
+
+
+@contextmanager
+def preempt_scope(should_stop: Callable[[], bool]) -> Iterator[None]:
+    """Install *should_stop* as the in-point preemption hook for the body.
+
+    The complement of :func:`repro.sweep.runner.preemption_scope`: that
+    one stops a sweep between points, this one stops a machine *inside* a
+    point, at the next checkpoint boundary (``checkpoint_every`` cycles
+    away at most).  The experiment job worker installs both around each
+    job with the same stop flag.  Process-wide for the same reason the
+    checkpoint defaults are — the hook must reach machines whose
+    constructors the harness does not own.
+    """
+    previous = set_preempt_hook(should_stop)
+    try:
+        yield
+    finally:
+        set_preempt_hook(previous)

@@ -62,6 +62,29 @@ class SnapshotError(ReproError):
     """
 
 
+class PreemptedError(BaseException):
+    """In-point preemption: a machine stopped at a checkpoint boundary.
+
+    Raised by :meth:`repro.system.machine.Machine.step` right after a
+    periodic snapshot is written, when the process-wide preemption hook
+    installed via :func:`repro.checkpoint.context.preempt_scope` reports
+    that the surrounding supervisor asked the run to stop.  The snapshot
+    on disk at that moment is the resume point, so a rerun with
+    ``resume=True`` continues bit-identically from the preempted cycle.
+
+    Deliberately derived from :class:`BaseException`, not
+    :class:`ReproError`: generic task-failure handling (the sweep
+    runner's per-point ``except Exception``, experiment error capture)
+    must not swallow it and record the point as "failed" — only the
+    supervising worker loop that installed the hook catches it.
+    """
+
+    def __init__(self, message: str, cycle: int | None = None) -> None:
+        super().__init__(message)
+        #: Machine cycle of the snapshot the run stopped on.
+        self.cycle = cycle
+
+
 class UnrecoverableFaultError(ReproError):
     """An injected fault exhausted its recovery budget.
 

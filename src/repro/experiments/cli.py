@@ -26,6 +26,7 @@ import argparse
 import cProfile
 import contextlib
 import json
+import os
 import pstats
 import sys
 from pathlib import Path
@@ -44,6 +45,7 @@ SERVICE_COMMANDS = (
     "cancel",
     "jobs",
     "events",
+    "gc",
 )
 
 #: Default server address shared by every client verb.
@@ -176,12 +178,22 @@ def add_bench_options(parser: argparse.ArgumentParser) -> None:
 
 
 def add_server_option(parser: argparse.ArgumentParser) -> None:
-    """The client group: ``--server URL`` (every service client verb)."""
+    """The client group: ``--server URL`` and ``--token`` (every
+    service client verb)."""
     parser.add_argument(
         "--server",
         default=DEFAULT_SERVER,
         metavar="URL",
         help=f"job server base URL (default {DEFAULT_SERVER})",
+    )
+    parser.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        metavar="TOKEN",
+        help=(
+            "bearer token for an auth-enabled server (default: the "
+            "REPRO_SERVICE_TOKEN environment variable)"
+        ),
     )
 
 
@@ -473,7 +485,84 @@ def _build_service_parser() -> argparse.ArgumentParser:
         metavar="MODULE",
         help=(
             "import MODULE before serving so its register_module() call "
-            "adds extra experiments to the registry (repeatable)"
+            "adds extra experiments to the registry (repeatable; worker "
+            "subprocesses import it too)"
+        ),
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker subprocesses running jobs concurrently — each job "
+            "gets its own interpreter, so trace/checkpoint/preemption "
+            "scopes stay job-local (default 1)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "live jobs (queued + running) past which new submissions "
+            "get 429 (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "require 'Authorization: Bearer TOKEN' on every endpoint "
+            "but /healthz (mandatory for non-loopback --host)"
+        ),
+    )
+    serve.add_argument(
+        "--auto-token",
+        action="store_true",
+        help=(
+            "generate a bearer token and print it once as 'TOKEN <...>' "
+            "before the SERVING line"
+        ),
+    )
+    serve.add_argument(
+        "--retain",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "keep at most N terminal jobs; older ones are GC'd at boot, "
+            "periodically, and on POST /gc (default: keep everything)"
+        ),
+    )
+    serve.add_argument(
+        "--retain-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="GC terminal jobs older than D days (default: keep everything)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "worker heartbeat age past which the watchdog declares it "
+            "wedged and SIGKILLs it (default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, how long the drain waits for workers to "
+            "stop at a checkpoint boundary before hard-killing them "
+            "(default 20)"
         ),
     )
 
@@ -534,6 +623,11 @@ def _build_service_parser() -> argparse.ArgumentParser:
         help="keep streaming live events until the job is terminal",
     )
     add_server_option(events)
+
+    gc = commands.add_parser(
+        "gc", help="sweep terminal jobs per the server's retention policy"
+    )
+    add_server_option(gc)
     return parser
 
 
@@ -552,6 +646,7 @@ def _service_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "serve":
+        from repro.common.errors import ConfigurationError
         from repro.service.server import serve
 
         if args.checkpoint_every < 0:
@@ -559,19 +654,37 @@ def _service_main(argv: list[str]) -> int:
                 f"--checkpoint-every must be >= 0, "
                 f"got {args.checkpoint_every}"
             )
+        if args.max_workers < 1:
+            parser.error(
+                f"--max-workers must be >= 1, got {args.max_workers}"
+            )
+        if args.queue_limit is not None and args.queue_limit < 1:
+            parser.error(
+                f"--queue-limit must be >= 1, got {args.queue_limit}"
+            )
         try:
-            serve(
+            return serve(
                 args.root,
                 host=args.host,
                 port=args.port,
                 checkpoint_every=args.checkpoint_every,
+                max_workers=args.max_workers,
+                queue_limit=args.queue_limit,
+                token=args.token,
+                auto_token=args.auto_token,
+                retain=args.retain,
+                retain_days=args.retain_days,
+                heartbeat_timeout=args.heartbeat_timeout,
+                drain_grace_seconds=args.drain_grace,
                 load=tuple(args.load),
             )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         except KeyboardInterrupt:
-            pass
-        return 0
+            return 0
 
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, token=args.token)
     try:
         if args.command == "submit":
             try:
@@ -624,6 +737,12 @@ def _service_main(argv: list[str]) -> int:
         if args.command == "events":
             for event in client.events(args.job_id, follow=args.follow):
                 print(json.dumps(event), flush=True)
+            return 0
+        if args.command == "gc":
+            removed = client.gc()
+            for job_id in removed:
+                print(job_id)
+            print(f"removed {len(removed)} job(s)", file=sys.stderr)
             return 0
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)

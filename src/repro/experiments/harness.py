@@ -122,6 +122,7 @@ def execute(
     workers: int = 1,
     timeout_seconds: float | None = None,
     retries: int = 1,
+    preempt_poll_seconds: float = 0.1,
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     online_check: bool = False,
@@ -136,6 +137,8 @@ def execute(
     results are independent of worker count and scheduling order.
 
     Args:
+        preempt_poll_seconds: preemption-hook poll interval for parallel
+            sweeps (see :func:`repro.sweep.runner.run_sweep`).
         trace_dir: when set, every machine a point builds appends its
             trace to ``<trace_dir>/<point-name>.jsonl``.
         online_check: run the online coherence checker inside every
@@ -168,6 +171,7 @@ def execute(
         workers=workers,
         timeout_seconds=timeout_seconds,
         retries=retries,
+        preempt_poll_seconds=preempt_poll_seconds,
         progress=progress,
     )
     provenance = Provenance(

@@ -9,18 +9,23 @@ kernel) with a small, stdlib-only serving layer:
   checkpoint directories and ``ExperimentResult`` artifacts.
 * :mod:`repro.service.server` — an ``asyncio`` HTTP/1.1 server
   (handcoded, no web framework): clients POST experiment configs,
-  a scheduler drains the queue through the
-  :mod:`repro.experiments.registry`, and ``GET /jobs/<id>/events``
+  a scheduler ticks the supervisor, and ``GET /jobs/<id>/events``
   streams live per-point progress.
+* :mod:`repro.service.supervisor` / :mod:`repro.service.worker` — the
+  supervised worker-process pool: each claimed job runs in its own
+  subprocess (job-local trace/checkpoint/preemption scopes, up to
+  ``--max-workers`` concurrently) under heartbeat watchdog, bounded
+  crash retry, in-point preemption and graceful drain.
 * :mod:`repro.service.client` — the matching stdlib client
   (``http.client``), used by ``repro-experiment submit/status/result/
-  cancel/jobs/events``.
+  cancel/jobs/events/gc``.
 
 The production claim is checkpoint-backed preemption: every job runs
-with job-scoped snapshot directories (PR 4's envelope), so a server
-killed mid-campaign — deploy, crash, ``SIGKILL`` — requeues its running
-job on restart and resumes it from the latest snapshot, producing an
-``ExperimentResult`` bit-identical to an uninterrupted run.
+with job-scoped snapshot directories (PR 4's envelope), so a worker —
+or the whole server — killed mid-campaign (deploy, crash, ``SIGKILL``)
+requeues its running jobs on restart and resumes them from the latest
+snapshot, producing an ``ExperimentResult`` bit-identical to an
+uninterrupted run.
 """
 
 from repro.service.client import ServiceClient, ServiceError
@@ -32,6 +37,7 @@ from repro.service.jobs import (
     job_id_for,
 )
 from repro.service.server import ExperimentServer, serve
+from repro.service.supervisor import Supervisor
 
 __all__ = [
     "JOB_STATES",
@@ -41,6 +47,7 @@ __all__ = [
     "JobStore",
     "ServiceClient",
     "ServiceError",
+    "Supervisor",
     "job_id_for",
     "serve",
 ]

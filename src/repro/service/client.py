@@ -27,7 +27,10 @@ class ServiceClient:
     """Typed calls onto the server's JSON API."""
 
     def __init__(
-        self, base_url: str = "http://127.0.0.1:8642", timeout: float = 30.0
+        self,
+        base_url: str = "http://127.0.0.1:8642",
+        timeout: float = 30.0,
+        token: str | None = None,
     ) -> None:
         parsed = urlparse(base_url)
         if parsed.scheme not in ("http", ""):
@@ -35,6 +38,12 @@ class ServiceClient:
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 8642
         self.timeout = timeout
+        self.token = token
+
+    def _auth_headers(self) -> dict[str, str]:
+        if self.token is None:
+            return {}
+        return {"Authorization": f"Bearer {self.token}"}
 
     # ------------------------------------------------------------------ #
     # plumbing                                                            #
@@ -51,7 +60,7 @@ class ServiceClient:
         )
         try:
             payload = None
-            headers = {}
+            headers = self._auth_headers()
             if body is not None:
                 payload = json.dumps(body)
                 headers["Content-Type"] = "application/json"
@@ -78,6 +87,16 @@ class ServiceClient:
             return bool(self._request("GET", "/healthz").get("ok"))
         except (OSError, ServiceError):
             return False
+
+    def health(self) -> dict[str, Any]:
+        """The full ``/healthz`` payload: draining flag, queue depth,
+        per-worker pid/liveness/heartbeat age."""
+        return self._request("GET", "/healthz")
+
+    def gc(self) -> list[str]:
+        """Sweep terminal jobs per the server's retention policy now;
+        returns the removed job ids."""
+        return self._request("POST", "/gc")["removed"]
 
     def specs(self) -> dict[str, Any]:
         """The registry listing plus the shared machine schema."""
@@ -127,7 +146,11 @@ class ServiceClient:
         )
         try:
             suffix = "?follow=1" if follow else ""
-            connection.request("GET", f"/jobs/{job_id}/events{suffix}")
+            connection.request(
+                "GET",
+                f"/jobs/{job_id}/events{suffix}",
+                headers=self._auth_headers(),
+            )
             response = connection.getresponse()
             if response.status >= 400:
                 raw = response.read().decode("utf-8")

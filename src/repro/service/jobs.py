@@ -7,6 +7,9 @@ from a fresh checkout)::
     <root>/jobs/<id>/job.json          the JobRecord (atomic tmp+rename)
     <root>/jobs/<id>/events.jsonl      append-only lifecycle/progress log
     <root>/jobs/<id>/result.json       the ExperimentResult artifact
+    <root>/jobs/<id>/outcome.json      the worker's terminal verdict
+    <root>/jobs/<id>/heartbeat         worker liveness (mtime = last beat)
+    <root>/jobs/<id>/worker.log        worker subprocess stdout/stderr
     <root>/jobs/<id>/checkpoints/      job-scoped snapshot directory
 
 Job IDs are deterministic — a sha256 of the canonical JSON of
@@ -16,10 +19,12 @@ duplicate, and a client that crashed after submitting can recompute the
 ID it is waiting on.  See ``EXPERIMENTS.md``, "Job and queue JSON
 schema".
 
-The store itself is synchronous and single-writer (the server process);
-the asyncio layer calls into it from the scheduler thread and request
-handlers, which interleave but never run concurrently for mutations of
-the same job.
+``job.json`` has exactly one writer — the server process (scheduler tick
+and request handlers interleave on the event loop, never concurrently).
+Worker subprocesses never touch it: they communicate through their own
+files (``outcome.json``, ``heartbeat``, ``result.json``, checkpoint
+snapshots) plus appends to ``events.jsonl`` (O_APPEND, one small line per
+write), so the record can never be torn or lost to a write race.
 """
 
 from __future__ import annotations
@@ -27,10 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Collection, Mapping
 
 from repro.common.errors import ConfigurationError
 
@@ -76,10 +82,20 @@ class JobRecord:
         state: one of :data:`JOB_STATES`.
         attempts: ``spec.run`` invocations started (resume counts as a
             new attempt; the checkpoint envelope makes it bit-identical).
-        preemptions: times the job was found ``running`` at server start
-            and requeued (the crash/deploy-survival counter).
-        cancel_requested: a client asked for cancellation; the scheduler
-            honors it at the next sweep-point boundary.
+        preemptions: times the job was deliberately stopped mid-run and
+            requeued — found ``running`` at server start (crash/deploy)
+            or preempted by a graceful drain.
+        crashes: times the job's worker died or wedged without reporting
+            an outcome; the supervisor retries with backoff until the
+            bound, then fails the job.
+        cancel_requested: a client asked for cancellation; the worker is
+            signalled and stops at the next checkpoint boundary (or
+            sweep-point boundary when checkpointing is off).
+        worker_pid: PID of the worker subprocess leasing the job while
+            ``running`` (``None`` otherwise) — the supervisor's lease
+            plus the failure-matrix tests' kill target.
+        preempt_latency_seconds: cancel-to-stopped latency the worker
+            measured for a preempted/cancelled run (``None`` otherwise).
         ok: the finished artifact's ``ok`` flag (``None`` until done).
         error: traceback tail for ``failed`` jobs.
         submitted_at/started_at/finished_at: wall-clock bookkeeping
@@ -93,7 +109,10 @@ class JobRecord:
     state: str = "queued"
     attempts: int = 0
     preemptions: int = 0
+    crashes: int = 0
     cancel_requested: bool = False
+    worker_pid: int | None = None
+    preempt_latency_seconds: float | None = None
     ok: bool | None = None
     error: str | None = None
     submitted_at: float = 0.0
@@ -151,6 +170,24 @@ class JobStore:
         """The job-scoped snapshot directory (PR 4 envelope files)."""
         return self.job_dir(job_id) / "checkpoints"
 
+    def outcome_path(self, job_id: str) -> Path:
+        """The worker's terminal verdict file (atomic tmp+rename).
+
+        Written exactly once, by the worker subprocess, as its last act:
+        ``{"state": "done"|"failed"|"preempted", ...}``.  The supervisor
+        reads it when reaping the worker and applies it to ``job.json``;
+        a dead worker with no outcome file crashed.
+        """
+        return self.job_dir(job_id) / "outcome.json"
+
+    def heartbeat_path(self, job_id: str) -> Path:
+        """The worker's liveness file (its mtime is the last beat)."""
+        return self.job_dir(job_id) / "heartbeat"
+
+    def worker_log_path(self, job_id: str) -> Path:
+        """The worker subprocess's stdout/stderr capture."""
+        return self.job_dir(job_id) / "worker.log"
+
     # ------------------------------------------------------------------ #
     # submission                                                          #
     # ------------------------------------------------------------------ #
@@ -182,12 +219,17 @@ class JobStore:
             record = self.get(job_id)
             if rerun and record.terminal:
                 self.result_path(job_id).unlink(missing_ok=True)
+                self.outcome_path(job_id).unlink(missing_ok=True)
+                self.heartbeat_path(job_id).unlink(missing_ok=True)
                 for stale in self.checkpoints_dir(job_id).glob("*"):
                     stale.unlink(missing_ok=True)
                 record.state = "queued"
                 record.attempts = 0
                 record.preemptions = 0
+                record.crashes = 0
                 record.cancel_requested = False
+                record.worker_pid = None
+                record.preempt_latency_seconds = None
                 record.ok = None
                 record.error = None
                 record.started_at = None
@@ -264,18 +306,22 @@ class JobStore:
         with open(self.events_path(job_id), "a", encoding="utf-8") as handle:
             handle.write(json.dumps(payload) + "\n")
 
-    def claim_next(self) -> JobRecord | None:
+    def claim_next(self, exclude: Collection[str] = ()) -> JobRecord | None:
         """The oldest queued job, transitioned to ``running``.
 
         Queued jobs whose cancellation was requested are finalized as
-        ``cancelled`` on the way (they never run).  Returns ``None``
-        when the queue is empty.
+        ``cancelled`` on the way (they never run).  Jobs named in
+        *exclude* are skipped without being touched — the supervisor
+        passes the set currently waiting out a crash-retry backoff.
+        Returns ``None`` when nothing is claimable.
         """
         for record in self.list_jobs():
             if record.state != "queued":
                 continue
             if record.cancel_requested:
                 self.finish(record.id, state="cancelled")
+                continue
+            if record.id in exclude:
                 continue
             record.state = "running"
             record.attempts += 1
@@ -285,6 +331,46 @@ class JobStore:
             return record
         return None
 
+    def assign_worker(self, job_id: str, pid: int | None) -> JobRecord:
+        """Record the PID of the worker subprocess leasing *job_id*."""
+        record = self.get(job_id)
+        record.worker_pid = pid
+        self.update(record)
+        return record
+
+    def requeue(self, job_id: str, *, crashed: bool) -> JobRecord:
+        """Put a ``running`` job back on the queue for another attempt.
+
+        ``crashed=False`` is a deliberate preemption (graceful drain, a
+        SIGTERMed worker that stopped at a checkpoint boundary): the
+        ``preemptions`` counter is bumped and the event is ``preempted``
+        — the same shape :meth:`recover` produces after a server death.
+        ``crashed=True`` is a worker that died or wedged without
+        reporting: ``crashes`` is bumped and the event is ``requeued``;
+        the supervisor bounds these and fails the job past its retry
+        budget.  Either way the rerun resumes from the job's latest
+        snapshot (the checkpoint directory is untouched).
+        """
+        record = self.get(job_id)
+        if record.state != "running":
+            raise ConfigurationError(
+                f"only running jobs can be requeued; {job_id} is "
+                f"{record.state}"
+            )
+        record.state = "queued"
+        record.worker_pid = None
+        if crashed:
+            record.crashes += 1
+            self.update(record)
+            self.append_event(job_id, "requeued", crashes=record.crashes)
+        else:
+            record.preemptions += 1
+            self.update(record)
+            self.append_event(
+                job_id, "preempted", preemptions=record.preemptions
+            )
+        return record
+
     def finish(
         self,
         job_id: str,
@@ -292,6 +378,7 @@ class JobStore:
         state: str,
         ok: bool | None = None,
         error: str | None = None,
+        preempt_latency_seconds: float | None = None,
     ) -> JobRecord:
         """Move a job into a terminal *state* and log the event."""
         if state not in TERMINAL_STATES:
@@ -302,6 +389,9 @@ class JobStore:
         record.state = state
         record.ok = ok
         record.error = error
+        record.worker_pid = None
+        if preempt_latency_seconds is not None:
+            record.preempt_latency_seconds = round(preempt_latency_seconds, 6)
         record.finished_at = time.time()
         self.update(record)
         event_data: dict[str, Any] = {}
@@ -309,6 +399,10 @@ class JobStore:
             event_data["ok"] = ok
         if error:
             event_data["error"] = error.strip().splitlines()[-1]
+        if preempt_latency_seconds is not None:
+            event_data["preempt_latency_seconds"] = (
+                record.preempt_latency_seconds
+            )
         self.append_event(job_id, state, **event_data)
         return record
 
@@ -348,11 +442,69 @@ class JobStore:
             if record.cancel_requested:
                 self.finish(record.id, state="cancelled")
                 continue
-            record.state = "queued"
-            record.preemptions += 1
-            self.update(record)
-            self.append_event(
-                record.id, "preempted", preemptions=record.preemptions
-            )
+            self.requeue(record.id, crashed=False)
             requeued.append(record.id)
         return requeued
+
+    # ------------------------------------------------------------------ #
+    # accounting and retention                                            #
+    # ------------------------------------------------------------------ #
+
+    def active_count(self) -> int:
+        """How many jobs are live (queued or running) — the queue depth
+        the server's backpressure limit bounds."""
+        return sum(1 for record in self.list_jobs() if not record.terminal)
+
+    def gc(
+        self,
+        retain: int | None = None,
+        retain_days: float | None = None,
+        *,
+        now: float | None = None,
+    ) -> list[str]:
+        """Garbage-collect terminal job directories, oldest first.
+
+        Two independent limits, both optional (``None`` = no limit from
+        that axis; with neither set nothing is removed):
+
+        * *retain*: keep at most this many terminal jobs (the newest by
+          ``finished_at``); older ones go.
+        * *retain_days*: remove terminal jobs that finished more than
+          this many days ago.
+
+        Live (queued/running) jobs are never touched.  Removal deletes
+        the whole job directory — record, events, artifact, checkpoints —
+        so the ID becomes submittable from scratch again.  Returns the
+        removed job IDs, oldest first.
+        """
+        if retain is not None and retain < 0:
+            raise ConfigurationError(f"retain must be >= 0, got {retain}")
+        if retain_days is not None and retain_days < 0:
+            raise ConfigurationError(
+                f"retain_days must be >= 0, got {retain_days}"
+            )
+        now = time.time() if now is None else now
+        terminal = sorted(
+            (record for record in self.list_jobs() if record.terminal),
+            key=lambda record: (
+                record.finished_at or record.submitted_at,
+                record.serial,
+            ),
+        )
+        doomed: list[JobRecord] = []
+        if retain is not None and len(terminal) > retain:
+            doomed.extend(terminal[: len(terminal) - retain])
+        if retain_days is not None:
+            cutoff = now - retain_days * 86400.0
+            doomed.extend(
+                record
+                for record in terminal
+                if (record.finished_at or record.submitted_at) < cutoff
+            )
+        removed: list[str] = []
+        for record in terminal:  # keep oldest-first order, dedupe
+            if record.id in removed or record not in doomed:
+                continue
+            shutil.rmtree(self.job_dir(record.id), ignore_errors=True)
+            removed.append(record.id)
+        return removed

@@ -2,60 +2,76 @@
 
 One ``asyncio.start_server`` listener speaks just enough HTTP/1.1 for
 the job API (one request per connection, ``Connection: close``), and one
-scheduler task drains the durable queue: each claimed job runs
-``spec.run`` from the :mod:`repro.experiments.registry` in a worker
-thread, sharded across processes by the existing sweep runner when the
-job asks for ``workers > 1``.
+scheduler task ticks the :class:`~repro.service.supervisor.Supervisor`:
+each claimed job runs in its **own worker subprocess**
+(:mod:`repro.service.worker`), up to ``--max-workers`` concurrently.
+Because every job gets a fresh interpreter, the process-wide
+trace/checkpoint/preemption scopes are job-local by construction — the
+reason the old in-process executor had to serialize jobs.
 
 Endpoints::
 
-    GET  /healthz              liveness
+    GET  /healthz              liveness + per-worker heartbeat status
+                               (always unauthenticated)
     GET  /specs                registry listing + machine schema
     GET  /jobs                 every job record, submission order
     POST /jobs                 submit {"experiment", "params", "rerun"?}
+                               (429 once the live queue hits --queue-limit)
     GET  /jobs/<id>            one job record
     GET  /jobs/<id>/result     the ExperimentResult artifact (409 until
                                the job is done)
     GET  /jobs/<id>/events     the event log as ndjson; ``?follow=1``
                                streams live until the job is terminal
     POST /jobs/<id>/cancel     cancel queued (immediately) or running
-                               (at the next sweep-point boundary)
+                               (SIGTERM -> the worker stops at its next
+                               checkpoint boundary, mid-point)
+    POST /gc                   sweep terminal jobs per the retention
+                               policy now; returns the removed ids
+
+Auth: with a bearer token configured, every endpoint except ``/healthz``
+requires ``Authorization: Bearer <token>`` (401 otherwise).  Serving on
+a loopback address without a token stays open; binding a non-loopback
+address without one refuses to start.
 
 Preemption contract: every job executes with a job-scoped checkpoint
-directory and ``resume=True``, so killing the whole server mid-job
-(deploy, crash, SIGKILL) loses nothing — on restart,
-:meth:`~repro.service.jobs.JobStore.recover` requeues the job and the
-rerun resumes each sweep point from its latest snapshot, bit-identical
-to an uninterrupted run (PR 4's envelope guarantee).
-
-Jobs run one at a time: the per-point trace/checkpoint scopes and the
-sweep preemption hook are process-wide, so serializing jobs is what
-keeps two campaigns from cross-contaminating each other's defaults.
-Parallelism lives *inside* a job (``params.workers``).
+directory and ``resume=True``, so killing a worker — or the whole
+server — mid-job loses nothing.  On restart,
+:meth:`~repro.service.jobs.JobStore.recover` requeues running jobs and
+the rerun resumes each sweep point from its latest snapshot,
+bit-identical to an uninterrupted run (PR 4's envelope guarantee).
+SIGTERM to the server triggers a **graceful drain** instead: stop
+claiming, preempt the workers at their next checkpoint boundary, and
+exit 0 unless a worker had to be hard-killed past the grace period.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
 import importlib
+import ipaddress
 import json
-import threading
+import secrets
+import signal
+import time
 import traceback
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
-from repro.bus.transaction import reset_txn_serial
+from repro.common.errors import ConfigurationError
 from repro.experiments import registry
-from repro.service.jobs import RESERVED_PARAMS, JobStore
-from repro.sweep.runner import preemption_scope
+from repro.service.jobs import RESERVED_PARAMS, JobStore, job_id_for
+from repro.service.supervisor import Supervisor
 
 #: Minimal reason phrases for the statuses the API uses.
 _REASONS = {
     200: "OK",
     201: "Created",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -63,8 +79,18 @@ _REASONS = {
 _MAX_BODY_BYTES = 1 << 20
 
 
+def _is_loopback(host: str) -> bool:
+    """True when *host* can only be reached from this machine."""
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False  # "", "0.0.0.0"-style wildcards, hostnames
+
+
 class ExperimentServer:
-    """The serving layer: HTTP front end + queue-draining scheduler."""
+    """The serving layer: HTTP front end + supervised worker pool."""
 
     def __init__(
         self,
@@ -74,6 +100,16 @@ class ExperimentServer:
         port: int = 8642,
         checkpoint_every: int = 200,
         poll_seconds: float = 0.05,
+        max_workers: int = 1,
+        queue_limit: int | None = None,
+        token: str | None = None,
+        retain: int | None = None,
+        retain_days: float | None = None,
+        retries: int = 2,
+        heartbeat_timeout: float = 30.0,
+        drain_grace_seconds: float = 20.0,
+        gc_interval_seconds: float = 300.0,
+        load: Iterable[str] = (),
     ) -> None:
         """Args:
         root: the job store directory (created if missing).
@@ -83,38 +119,80 @@ class ExperimentServer:
             job run — the preemption/resume granularity.  0 disables
             checkpointing (jobs restart from cycle 0 after preemption,
             still deterministic, just wasteful).
-        poll_seconds: scheduler idle poll interval.
+        poll_seconds: scheduler tick interval.
+        max_workers: worker subprocesses running jobs concurrently.
+        queue_limit: live jobs (queued + running) past which new
+            submissions get 429 (None: unbounded).  Resubmitting an
+            existing job id is always allowed — idempotent, adds no load.
+        token: bearer token every endpoint but /healthz then requires.
+            Mandatory when *host* is not a loopback address.
+        retain / retain_days: retention policy for terminal jobs,
+            enforced at boot, every *gc_interval_seconds*, and on
+            ``POST /gc`` (None/None: keep everything, /gc is a no-op).
+        retries: crash/wedge requeues per job before it fails outright.
+        heartbeat_timeout: worker heartbeat age past which the watchdog
+            SIGKILLs it as wedged.
+        drain_grace_seconds: how long a drain waits for workers to stop
+            at a checkpoint boundary before hard-killing them.
+        load: modules each worker subprocess imports before running
+            (plugin experiment specs; the server imports them too).
         """
+        if token is None and not _is_loopback(host):
+            raise ConfigurationError(
+                f"refusing to serve on non-loopback address {host!r} "
+                "without a bearer token (pass --token or --auto-token)"
+            )
         self.store = JobStore(root)
         self.host = host
         self.port = port
         self.checkpoint_every = checkpoint_every
         self.poll_seconds = poll_seconds
+        self.queue_limit = queue_limit
+        self.token = token
+        self.retain = retain
+        self.retain_days = retain_days
+        self.gc_interval_seconds = gc_interval_seconds
+        self.supervisor = Supervisor(
+            self.store,
+            max_workers=max_workers,
+            checkpoint_every=checkpoint_every,
+            load=load,
+            retries=retries,
+            heartbeat_timeout=heartbeat_timeout,
+            drain_grace_seconds=drain_grace_seconds,
+        )
         self._server: asyncio.base_events.Server | None = None
         self._scheduler_task: asyncio.Task | None = None
-        self._cancel_flags: dict[str, threading.Event] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #
     # ------------------------------------------------------------------ #
 
     async def start(self) -> None:
-        """Recover preempted jobs, bind the listener, start scheduling."""
+        """Recover preempted jobs, GC, bind the listener, start ticking."""
         for job_id in self.store.recover():
             # Visibility only; the rerun happens via the normal queue.
             self.store.append_event(job_id, "requeued-after-restart")
+        self._run_gc()  # boot-time sweep of the retention policy
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._scheduler_task = asyncio.ensure_future(self._scheduler())
 
-    async def serve_forever(self) -> None:
-        """Serve until cancelled (KeyboardInterrupt/SIGTERM kills us —
-        that *is* the preemption story, not a failure mode)."""
-        assert self._server is not None, "call start() first"
-        async with self._server:
-            await self._server.serve_forever()
+    async def drain(self) -> int:
+        """Graceful shutdown: preempt every worker, wait, report.
+
+        Stops claiming, SIGTERMs running workers (they stop at their
+        next checkpoint boundary and their jobs requeue for the next
+        boot), hard-kills stragglers after the grace period.  Returns
+        the process exit code: 0 for a clean drain, 1 if any worker had
+        to be hard-killed.
+        """
+        self.supervisor.begin_drain()
+        while not self.supervisor.drain_poll():
+            await asyncio.sleep(self.poll_seconds)
+        return 1 if self.supervisor.hard_killed else 0
 
     async def close(self) -> None:
         """Stop accepting connections and cancel the scheduler task."""
@@ -129,61 +207,19 @@ class ExperimentServer:
     # ------------------------------------------------------------------ #
 
     async def _scheduler(self) -> None:
+        next_gc = time.monotonic() + self.gc_interval_seconds
         while True:
-            record = self.store.claim_next()
-            if record is None:
-                await asyncio.sleep(self.poll_seconds)
-                continue
-            cancel = threading.Event()
-            self._cancel_flags[record.id] = cancel
-            try:
-                await asyncio.to_thread(self._execute_job, record, cancel)
-            finally:
-                self._cancel_flags.pop(record.id, None)
+            self.supervisor.poll()
+            if time.monotonic() >= next_gc:
+                self._run_gc()
+                next_gc = time.monotonic() + self.gc_interval_seconds
+            await asyncio.sleep(self.poll_seconds)
 
-    def _execute_job(self, record, cancel: threading.Event) -> None:
-        """Run one claimed job to a terminal state (worker thread)."""
-        store = self.store
-        spec = registry.get(record.experiment)
-
-        def progress(done: int, total: int, point) -> None:
-            store.append_event(
-                record.id,
-                "point",
-                name=point.name,
-                status=point.status,
-                done=done,
-                total=total,
-                wall_seconds=round(point.wall_seconds, 6),
-            )
-
-        kwargs: dict[str, Any] = dict(record.params)
-        kwargs["progress"] = progress
-        if self.checkpoint_every > 0:
-            kwargs.update(
-                checkpoint_dir=str(store.checkpoints_dir(record.id)),
-                checkpoint_every=self.checkpoint_every,
-                resume=True,
-            )
-        # Per-job determinism: the transaction serial is process-global;
-        # resetting it makes an in-server run match a fresh-process run
-        # of the same spec (and a checkpoint restore brings its own).
-        reset_txn_serial()
-        try:
-            with preemption_scope(cancel.is_set):
-                result = spec.run(**kwargs)
-        except Exception:
-            store.finish(
-                record.id,
-                state="failed",
-                error=traceback.format_exc(limit=20),
-            )
-            return
-        if cancel.is_set() or store.get(record.id).cancel_requested:
-            store.finish(record.id, state="cancelled")
-            return
-        result.write_json(store.result_path(record.id))
-        store.finish(record.id, state="done", ok=result.ok)
+    def _run_gc(self) -> list[str]:
+        """Apply the retention policy (no-op without one configured)."""
+        if self.retain is None and self.retain_days is None:
+            return []
+        return self.store.gc(retain=self.retain, retain_days=self.retain_days)
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing                                                       #
@@ -196,8 +232,8 @@ class ExperimentServer:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, query, body = request
-            await self._route(writer, method, path, query, body)
+            method, path, query, headers, body = request
+            await self._route(writer, method, path, query, headers, body)
         except Exception:
             try:
                 _send_json(
@@ -218,7 +254,7 @@ class ExperimentServer:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, str, bytes] | None:
+    ) -> tuple[str, str, str, dict[str, str], bytes] | None:
         request_line = await reader.readline()
         if not request_line.strip():
             return None
@@ -240,7 +276,16 @@ class ExperimentServer:
             raise ValueError(f"request body of {length} bytes is too large")
         body = await reader.readexactly(length) if length else b""
         path, _, query = target.partition("?")
-        return method.upper(), path, query, body
+        return method.upper(), path, query, headers, body
+
+    def _authorized(self, headers: Mapping[str, str]) -> bool:
+        if self.token is None:
+            return True
+        presented = headers.get("authorization", "")
+        expected = f"Bearer {self.token}"
+        return hmac.compare_digest(
+            presented.encode("utf-8"), expected.encode("utf-8")
+        )
 
     async def _route(
         self,
@@ -248,11 +293,30 @@ class ExperimentServer:
         method: str,
         path: str,
         query: str,
+        headers: Mapping[str, str],
         body: bytes,
     ) -> None:
         parts = [part for part in path.split("/") if part]
         if parts == ["healthz"] and method == "GET":
-            _send_json(writer, 200, {"ok": True})
+            # Always open: load balancers and humans get liveness
+            # without credentials, and it leaks nothing but job ids.
+            _send_json(
+                writer,
+                200,
+                {
+                    "ok": True,
+                    "draining": self.supervisor.draining,
+                    "active_jobs": self.store.active_count(),
+                    "max_workers": self.supervisor.max_workers,
+                    "workers": self.supervisor.worker_status(),
+                },
+            )
+            return
+        if not self._authorized(headers):
+            _send_json(
+                writer, 401,
+                {"error": "missing or invalid bearer token"},
+            )
             return
         if parts == ["specs"] and method == "GET":
             _send_json(
@@ -273,6 +337,9 @@ class ExperimentServer:
             return
         if parts == ["jobs"] and method == "POST":
             self._submit(writer, body)
+            return
+        if parts == ["gc"] and method == "POST":
+            _send_json(writer, 200, {"removed": self._run_gc()})
             return
         if len(parts) >= 2 and parts[0] == "jobs":
             job_id = parts[1]
@@ -354,6 +421,23 @@ class ExperimentServer:
         if problems:
             _send_json(writer, 400, {"error": "; ".join(problems)})
             return
+        if self.queue_limit is not None:
+            try:
+                self.store.get(job_id_for(experiment, params))
+                known = True  # resubmission: idempotent, never bounced
+            except KeyError:
+                known = False
+            if not known and self.store.active_count() >= self.queue_limit:
+                _send_json(
+                    writer,
+                    429,
+                    {
+                        "error": "job queue is full "
+                        f"({self.store.active_count()} live jobs, "
+                        f"limit {self.queue_limit}); retry later",
+                    },
+                )
+                return
         record, created = self.store.submit(
             experiment, params, rerun=bool(payload.get("rerun"))
         )
@@ -375,10 +459,11 @@ class ExperimentServer:
                 },
             )
             return
-        flag = self._cancel_flags.get(job_id)
-        if flag is not None:
-            flag.set()
         record = self.store.request_cancel(job_id)
+        if record.state == "running":
+            # SIGTERM the worker: it stops at its next checkpoint
+            # boundary (mid-point) and the reap finalizes the cancel.
+            self.supervisor.cancel(job_id)
         _send_json(writer, 200, {"job": record.as_dict()})
 
     async def _send_events(
@@ -422,12 +507,27 @@ def _send_json(
     writer.write(head + body)
 
 
-async def _serve_async(server: ExperimentServer) -> None:
+async def _serve_async(server: ExperimentServer, announce_token: bool) -> int:
+    loop = asyncio.get_running_loop()
+    drain_requested = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, drain_requested.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix loop: Ctrl-C falls back to KeyboardInterrupt
     await server.start()
+    if announce_token:
+        # Printed exactly once, before SERVING, so wrappers can capture
+        # it; it is never logged or persisted anywhere else.
+        print(f"TOKEN {server.token}", flush=True)
     # The literal the CLI/tests parse for the bound (possibly ephemeral)
     # port; everything else goes to stderr.
     print(f"SERVING {server.host} {server.port}", flush=True)
-    await server.serve_forever()
+    await drain_requested.wait()
+    print("DRAINING", flush=True)
+    code = await server.drain()
+    await server.close()
+    return code
 
 
 def serve(
@@ -436,8 +536,16 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8642,
     checkpoint_every: int = 200,
+    max_workers: int = 1,
+    queue_limit: int | None = None,
+    token: str | None = None,
+    auto_token: bool = False,
+    retain: int | None = None,
+    retain_days: float | None = None,
+    heartbeat_timeout: float = 30.0,
+    drain_grace_seconds: float = 20.0,
     load: Iterable[str] = (),
-) -> None:
+) -> int:
     """Run the job server in the foreground (``repro-experiment serve``).
 
     Args:
@@ -445,16 +553,40 @@ def serve(
         host/port: listen address (port 0 = ephemeral; the bound port is
             printed as ``SERVING <host> <port>`` on stdout).
         checkpoint_every: snapshot period injected into every job.
+        max_workers: worker subprocesses running jobs concurrently.
+        queue_limit: live-job bound past which POST /jobs returns 429.
+        token: bearer token to require (``--token``).
+        auto_token: generate a token and print it once as
+            ``TOKEN <value>`` before the ``SERVING`` line.
+        retain / retain_days: terminal-job retention policy.
+        heartbeat_timeout: wedged-worker watchdog threshold (seconds).
+        drain_grace_seconds: drain grace before hard-killing workers.
         load: extra modules to import before serving — each registers
             its own :class:`~repro.experiments.registry.ExperimentSpec`
             (the plugin path; also how tests install slow experiments).
+
+    Returns the process exit code: 0 for a clean run or drain, 1 if a
+    drain had to hard-kill a worker.
     """
     for module_name in load:
         importlib.import_module(module_name)
+    if auto_token and token is None:
+        token = secrets.token_urlsafe(24)
     server = ExperimentServer(
-        root, host=host, port=port, checkpoint_every=checkpoint_every
+        root,
+        host=host,
+        port=port,
+        checkpoint_every=checkpoint_every,
+        max_workers=max_workers,
+        queue_limit=queue_limit,
+        token=token,
+        retain=retain,
+        retain_days=retain_days,
+        heartbeat_timeout=heartbeat_timeout,
+        drain_grace_seconds=drain_grace_seconds,
+        load=load,
     )
     try:
-        asyncio.run(_serve_async(server))
+        return asyncio.run(_serve_async(server, auto_token))
     except KeyboardInterrupt:
-        pass
+        return 0

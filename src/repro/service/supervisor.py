@@ -1,0 +1,354 @@
+"""The supervised worker-process pool behind the experiment job server.
+
+The server's scheduler used to run jobs in a thread of its own process,
+one at a time, because the trace/checkpoint/preemption scopes are
+process-global.  The :class:`Supervisor` replaces that executor with a
+fleet of single-job **worker subprocesses** (:mod:`repro.service.worker`)
+— up to ``max_workers`` concurrently — and owns the robustness ladder
+around them:
+
+* **Leases**: a claimed job records its worker's PID; the worker's
+  heartbeat file proves liveness.
+* **Watchdog**: a worker that dies without writing ``outcome.json``
+  *crashed*; one whose heartbeat goes stale is *wedged* and is
+  SIGKILLed.  Both paths requeue the job with bounded retry, waiting
+  out the sweep runner's deterministic-jitter exponential backoff
+  first; past the bound the job fails with the worker's last exit code.
+* **In-point preemption**: cancellation SIGTERMs the worker, which
+  stops at its next checkpoint boundary (mid-point) and reports the
+  measured cancel-to-stopped latency.
+* **Graceful drain**: :meth:`begin_drain` stops claiming and SIGTERMs
+  every worker; :meth:`drain_poll` reaps them as they stop, hard-kills
+  stragglers after the grace period, and the server exits nonzero only
+  if a hard kill was needed.
+
+Everything here is synchronous and non-blocking (``Popen.poll``, file
+stats, signals); the server's asyncio scheduler calls :meth:`poll` on
+its tick.  ``job.json`` stays single-writer: workers report through
+their own files, and only this process applies outcomes to the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.service.jobs import JobRecord, JobStore
+from repro.sweep.runner import backoff_delay
+
+
+@dataclass(slots=True)
+class WorkerHandle:
+    """Bookkeeping for one live worker subprocess."""
+
+    job_id: str
+    process: subprocess.Popen
+    spawned_wall: float = field(default_factory=time.time)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+class Supervisor:
+    """Spawn, watch, preempt and reap single-job worker subprocesses."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        max_workers: int = 1,
+        checkpoint_every: int = 200,
+        load: Iterable[str] = (),
+        retries: int = 2,
+        backoff_base_seconds: float = 0.5,
+        heartbeat_seconds: float = 1.0,
+        heartbeat_timeout: float = 30.0,
+        drain_grace_seconds: float = 20.0,
+    ) -> None:
+        """Args:
+        store: the durable job queue.
+        max_workers: concurrent worker subprocesses (the pool width).
+        checkpoint_every: snapshot period injected into every job.
+        load: extra experiment modules each worker imports before
+            running (the server's ``--load`` plugins).
+        retries: crash/wedge requeues granted per job before it is
+            failed outright (deliberate preemptions are never counted).
+        backoff_base_seconds: first-retry delay for crash requeues,
+            scaled by the sweep runner's deterministic per-job jitter.
+        heartbeat_seconds: how often workers touch their heartbeat file.
+        heartbeat_timeout: heartbeat age past which a live worker is
+            declared wedged and SIGKILLed.
+        drain_grace_seconds: how long a drain waits for workers to stop
+            at a checkpoint boundary before hard-killing them.
+        """
+        self.store = store
+        self.max_workers = max(1, max_workers)
+        self.checkpoint_every = checkpoint_every
+        self.load = tuple(load)
+        self.retries = retries
+        self.backoff_base_seconds = backoff_base_seconds
+        self.heartbeat_seconds = heartbeat_seconds
+        self.heartbeat_timeout = heartbeat_timeout
+        self.drain_grace_seconds = drain_grace_seconds
+        #: job_id -> live worker handle.
+        self.workers: dict[str, WorkerHandle] = {}
+        #: job_id -> monotonic instant its crash-retry backoff ends.
+        self._not_before: dict[str, float] = {}
+        #: Jobs hard-killed during drain (nonzero exit signal).
+        self.hard_killed: list[str] = []
+        self.draining = False
+        self._drain_deadline: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # the supervision tick                                                #
+    # ------------------------------------------------------------------ #
+
+    def poll(self) -> None:
+        """One supervision tick: reap, watch, claim (unless draining)."""
+        self._reap()
+        self._watchdog()
+        if not self.draining:
+            self._claim()
+
+    # ------------------------------------------------------------------ #
+    # claiming and spawning                                               #
+    # ------------------------------------------------------------------ #
+
+    def _claim(self) -> None:
+        now = time.monotonic()
+        for job_id, ready_at in list(self._not_before.items()):
+            if ready_at <= now:
+                del self._not_before[job_id]
+        while len(self.workers) < self.max_workers:
+            record = self.store.claim_next(exclude=set(self._not_before))
+            if record is None:
+                return
+            self._spawn(record)
+
+    def _spawn(self, record: JobRecord) -> None:
+        store = self.store
+        store.heartbeat_path(record.id).unlink(missing_ok=True)
+        store.outcome_path(record.id).unlink(missing_ok=True)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service.worker",
+            "--root",
+            str(store.root),
+            "--job-id",
+            record.id,
+            "--checkpoint-every",
+            str(self.checkpoint_every),
+            "--heartbeat-seconds",
+            str(self.heartbeat_seconds),
+            "--supervisor-pid",
+            str(os.getpid()),
+        ]
+        for module_name in self.load:
+            command += ["--load", module_name]
+        with open(store.worker_log_path(record.id), "ab") as log:
+            process = subprocess.Popen(
+                command,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=self._worker_env(),
+            )
+        self.workers[record.id] = WorkerHandle(record.id, process)
+        store.assign_worker(record.id, process.pid)
+        store.append_event(record.id, "worker-spawned", pid=process.pid)
+
+    @staticmethod
+    def _worker_env() -> dict[str, str]:
+        """The worker's environment: inherit, but make sure the repro
+        package the supervisor runs is importable in the child even when
+        the server was launched without PYTHONPATH (installed via an
+        entry point, say)."""
+        env = dict(os.environ)
+        package_parent = str(Path(__file__).resolve().parents[2])
+        paths = env.get("PYTHONPATH", "")
+        if package_parent not in paths.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                f"{package_parent}{os.pathsep}{paths}" if paths
+                else package_parent
+            )
+        return env
+
+    # ------------------------------------------------------------------ #
+    # reaping and the watchdog                                            #
+    # ------------------------------------------------------------------ #
+
+    def _reap(self) -> None:
+        for job_id, handle in list(self.workers.items()):
+            if handle.alive:
+                continue
+            del self.workers[job_id]
+            self._apply_outcome(job_id, handle)
+
+    def _apply_outcome(self, job_id: str, handle: WorkerHandle) -> None:
+        store = self.store
+        outcome = self._read_outcome(job_id)
+        record = store.get(job_id)
+        if record.terminal:
+            return  # e.g. cancelled while the worker was being reaped
+        if outcome is None:
+            # Died without a verdict: crashed (or SIGKILLed by the
+            # watchdog / the failure-matrix tests — same recovery path).
+            exitcode = handle.process.returncode
+            store.append_event(
+                job_id, "worker-crashed", pid=handle.process.pid,
+                exitcode=exitcode,
+            )
+            if record.crashes + 1 > self.retries:
+                store.finish(
+                    job_id,
+                    state="failed",
+                    error=(
+                        f"worker crashed {record.crashes + 1} times "
+                        f"(last exit code {exitcode}); retry budget "
+                        f"({self.retries}) exhausted"
+                    ),
+                )
+                return
+            requeued = store.requeue(job_id, crashed=True)
+            delay = backoff_delay(
+                self.backoff_base_seconds, requeued.crashes, job_id
+            )
+            self._not_before[job_id] = time.monotonic() + delay
+            return
+        state = outcome.get("state")
+        if state == "done":
+            store.finish(job_id, state="done", ok=outcome.get("ok"))
+        elif state == "failed":
+            store.finish(job_id, state="failed", error=outcome.get("error"))
+        elif state == "preempted":
+            latency = outcome.get("preempt_latency_seconds")
+            if record.cancel_requested:
+                store.finish(
+                    job_id,
+                    state="cancelled",
+                    preempt_latency_seconds=latency,
+                )
+            else:
+                # Drain or orphan-stop: back on the queue, resume later.
+                requeued = store.requeue(job_id, crashed=False)
+                if latency is not None:
+                    requeued.preempt_latency_seconds = round(latency, 6)
+                    store.update(requeued)
+        else:
+            store.finish(
+                job_id,
+                state="failed",
+                error=f"worker reported an unknown outcome {state!r}",
+            )
+
+    def _read_outcome(self, job_id: str) -> dict[str, Any] | None:
+        path = self.store.outcome_path(job_id)
+        try:
+            return dict(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            return None
+
+    def _watchdog(self) -> None:
+        now = time.time()
+        for job_id, handle in list(self.workers.items()):
+            if not handle.alive:
+                continue  # reaped next tick
+            beat = self._last_heartbeat(job_id) or handle.spawned_wall
+            if now - beat <= self.heartbeat_timeout:
+                continue
+            self.store.append_event(
+                job_id,
+                "worker-wedged",
+                pid=handle.process.pid,
+                heartbeat_age_seconds=round(now - beat, 3),
+            )
+            handle.process.kill()  # reaped as a crash on a later tick
+
+    def _last_heartbeat(self, job_id: str) -> float | None:
+        try:
+            return self.store.heartbeat_path(job_id).stat().st_mtime
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # preemption: cancel and drain                                        #
+    # ------------------------------------------------------------------ #
+
+    def cancel(self, job_id: str) -> bool:
+        """SIGTERM the worker leasing *job_id* (no-op when not running).
+
+        The worker stops at its next checkpoint boundary; the reap then
+        sees ``cancel_requested`` on the record and finalizes the job as
+        ``cancelled`` with the measured preemption latency.
+        """
+        handle = self.workers.get(job_id)
+        if handle is None or not handle.alive:
+            return False
+        handle.process.terminate()
+        return True
+
+    def begin_drain(self) -> None:
+        """Stop claiming and ask every worker to stop (idempotent)."""
+        if self.draining:
+            return
+        self.draining = True
+        self._drain_deadline = time.monotonic() + self.drain_grace_seconds
+        for job_id, handle in self.workers.items():
+            self.store.append_event(
+                job_id, "drain-preempt", pid=handle.process.pid
+            )
+            if handle.alive:
+                handle.process.terminate()
+
+    def drain_poll(self) -> bool:
+        """One drain tick; True once every worker is reaped.
+
+        Past the grace deadline, still-live workers are SIGKILLed and
+        recorded in :attr:`hard_killed` — the server exits nonzero when
+        that list is non-empty, because a hard-killed worker may have
+        burned progress since its last checkpoint boundary (never
+        correctness: the snapshot on disk still resumes bit-identically).
+        """
+        self._reap()
+        if not self.workers:
+            return True
+        assert self._drain_deadline is not None
+        if time.monotonic() >= self._drain_deadline:
+            for job_id, handle in self.workers.items():
+                if not handle.alive or job_id in self.hard_killed:
+                    continue
+                self.store.append_event(
+                    job_id, "drain-hard-kill", pid=handle.process.pid
+                )
+                handle.process.kill()
+                self.hard_killed.append(job_id)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # liveness reporting                                                  #
+    # ------------------------------------------------------------------ #
+
+    def worker_status(self) -> list[dict[str, Any]]:
+        """Per-worker liveness for ``GET /healthz``."""
+        now = time.time()
+        status = []
+        for job_id, handle in self.workers.items():
+            beat = self._last_heartbeat(job_id)
+            status.append(
+                {
+                    "job_id": job_id,
+                    "pid": handle.process.pid,
+                    "alive": handle.alive,
+                    "heartbeat_age_seconds": (
+                        round(now - beat, 3) if beat is not None else None
+                    ),
+                }
+            )
+        return status

@@ -1,0 +1,231 @@
+"""Worker-subprocess entry point: run exactly one claimed job.
+
+The supervisor launches ``python -m repro.service.worker --root DIR
+--job-id ID ...`` for every claimed job, so each job gets a **fresh
+interpreter** — the process-wide trace/checkpoint/preemption scopes and
+the bus transaction serial are job-local by construction, and the run is
+byte-for-byte the same environment as the fresh-process reference runs
+the bit-identity tests compare against.
+
+The worker's contract with the supervisor is file-based (the worker
+never writes ``job.json`` — that file has exactly one writer, the
+server process):
+
+* ``heartbeat`` — touched every ``--heartbeat-seconds``; a stale mtime
+  means the worker is wedged and the watchdog may SIGKILL it.
+* ``events.jsonl`` — per-point progress appends (O_APPEND).
+* ``result.json`` — the ``ExperimentResult`` artifact, on completion.
+* ``outcome.json`` — the terminal verdict, written atomically as the
+  worker's last act: ``{"state": "done"|"failed"|"preempted", ...}``.
+  A dead worker with no outcome file *crashed*.
+
+Preemption: SIGTERM asks the worker to stop.  With checkpointing on
+(the server default) the machine raises
+:class:`~repro.common.errors.PreemptedError` at its next checkpoint
+boundary — **mid-point**, typically milliseconds later — and the
+snapshot written on that boundary is the exact resume point.  With
+checkpointing off, the sweep-level hook stops the run at the next point
+boundary instead.  Either way the worker reports ``"preempted"`` with
+the measured signal-to-stop latency and exits 0; requeue-vs-cancel is
+the supervisor's call.
+
+The worker also guards against orphanhood (its supervisor SIGKILLed):
+``PR_SET_PDEATHSIG`` delivers SIGTERM on parent death where available
+(Linux), and the heartbeat thread watches ``os.getppid()`` as a
+portable fallback — so an orphan stops at its next checkpoint boundary
+instead of racing the restarted server for the checkpoint files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from typing import Any
+
+from repro.bus.transaction import reset_txn_serial
+from repro.checkpoint.context import preempt_scope
+from repro.common.errors import PreemptedError
+from repro.experiments import registry
+from repro.service.jobs import JobStore
+from repro.sweep.runner import preemption_scope
+
+
+class _StopFlag:
+    """The worker's single preemption source: signal-safe, latency-aware."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.signaled_at: float | None = None
+
+    def trip(self) -> None:
+        """Request a stop (idempotent; first call stamps the clock)."""
+        if self.signaled_at is None:
+            self.signaled_at = time.monotonic()
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def latency(self) -> float | None:
+        """Seconds from the first stop request until now (None: no stop)."""
+        if self.signaled_at is None:
+            return None
+        return time.monotonic() - self.signaled_at
+
+
+def _set_pdeathsig() -> None:
+    """Ask Linux to SIGTERM this process when its parent dies."""
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGTERM, 0, 0, 0)
+    except (OSError, AttributeError, ValueError):
+        pass  # non-Linux: the getppid watch below covers orphanhood
+
+
+def _heartbeat_loop(
+    store: JobStore,
+    job_id: str,
+    stop: _StopFlag,
+    interval: float,
+    supervisor_pid: int | None,
+) -> None:
+    """Daemon thread: beat the heartbeat file, watch for orphanhood."""
+    path = store.heartbeat_path(job_id)
+    while True:
+        try:
+            path.write_text(f"{time.time():.3f}\n")
+        except OSError:
+            pass  # the job directory may be mid-GC on a cancelled job
+        if supervisor_pid is not None and os.getppid() != supervisor_pid:
+            stop.trip()  # orphaned: stop at the next checkpoint boundary
+        time.sleep(interval)
+
+
+def _write_outcome(store: JobStore, job_id: str, **outcome: Any) -> None:
+    """Atomically publish the worker's terminal verdict."""
+    path = store.outcome_path(job_id)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(outcome, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def run_job(
+    root: str,
+    job_id: str,
+    *,
+    checkpoint_every: int = 200,
+    heartbeat_seconds: float = 1.0,
+    supervisor_pid: int | None = None,
+) -> int:
+    """Execute one claimed job to an ``outcome.json``; returns exit code."""
+    stop = _StopFlag()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.trip())
+    # Ctrl-C at the server's terminal SIGINTs the whole foreground group;
+    # the orderly stop arrives as the supervisor's SIGTERM moments later.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _set_pdeathsig()
+
+    store = JobStore(root)
+    record = store.get(job_id)
+    spec = registry.get(record.experiment)
+
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(store, job_id, stop, heartbeat_seconds, supervisor_pid),
+        daemon=True,
+    ).start()
+
+    def progress(done: int, total: int, point) -> None:
+        store.append_event(
+            job_id,
+            "point",
+            name=point.name,
+            status=point.status,
+            done=done,
+            total=total,
+            wall_seconds=round(point.wall_seconds, 6),
+        )
+
+    kwargs: dict[str, Any] = dict(record.params)
+    kwargs["progress"] = progress
+    if checkpoint_every > 0:
+        kwargs.update(
+            checkpoint_dir=str(store.checkpoints_dir(job_id)),
+            checkpoint_every=checkpoint_every,
+            resume=True,
+        )
+    # Fresh interpreter or not, make the serial's starting state explicit:
+    # an in-service run must match a fresh-process run of the same spec.
+    reset_txn_serial()
+    try:
+        with preemption_scope(stop.is_set), preempt_scope(stop.is_set):
+            result = spec.run(**kwargs)
+    except PreemptedError as exc:
+        store.append_event(job_id, "preempted-mid-point", cycle=exc.cycle)
+        _write_outcome(
+            store,
+            job_id,
+            state="preempted",
+            preempt_latency_seconds=stop.latency(),
+        )
+        return 0
+    except Exception:
+        _write_outcome(
+            store,
+            job_id,
+            state="failed",
+            error=traceback.format_exc(limit=20),
+        )
+        return 0
+    if stop.is_set() and any(
+        point.status == "skipped" for point in result.points
+    ):
+        # Stopped at a sweep-point boundary: some points never ran, so
+        # this attempt's artifact is partial — requeue and resume instead.
+        _write_outcome(
+            store,
+            job_id,
+            state="preempted",
+            preempt_latency_seconds=stop.latency(),
+        )
+        return 0
+    result.write_json(store.result_path(job_id))
+    _write_outcome(store, job_id, state="done", ok=result.ok)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI shim the supervisor invokes (``python -m repro.service.worker``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-service-worker",
+        description="Run one claimed experiment job (supervisor-internal).",
+    )
+    parser.add_argument("--root", required=True)
+    parser.add_argument("--job-id", required=True)
+    parser.add_argument("--checkpoint-every", type=int, default=200)
+    parser.add_argument("--heartbeat-seconds", type=float, default=1.0)
+    parser.add_argument("--supervisor-pid", type=int, default=None)
+    parser.add_argument("--load", action="append", default=[])
+    args = parser.parse_args(argv)
+    for module_name in args.load:
+        importlib.import_module(module_name)
+    return run_job(
+        args.root,
+        args.job_id,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_seconds=args.heartbeat_seconds,
+        supervisor_pid=args.supervisor_pid,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,6 +101,7 @@ def run_sweep(
     timeout_seconds: float | None = None,
     retries: int = 1,
     backoff_base_seconds: float = 0.05,
+    preempt_poll_seconds: float = 0.1,
     progress: ProgressCallback | None = None,
 ) -> list[PointResult]:
     """Run *task* over every point; returns results in point order.
@@ -124,6 +125,10 @@ def run_sweep(
             ``[0.75, 1.25)`` derived from the point name, so simultaneous
             crashers fan out instead of re-launching in lockstep.  ``0``
             disables the backoff (retries relaunch immediately).
+        preempt_poll_seconds: how often a parallel sweep wakes up to poll
+            an installed preemption hook while workers are busy — the
+            worst-case extra latency between a cancel request and the
+            sweep starting to stop (default 0.1).
         progress: called after every point finishes (any status).
 
     Raises:
@@ -140,6 +145,10 @@ def run_sweep(
         raise ConfigurationError(
             f"backoff_base_seconds must be >= 0, got {backoff_base_seconds}"
         )
+    if preempt_poll_seconds <= 0:
+        raise ConfigurationError(
+            f"preempt_poll_seconds must be > 0, got {preempt_poll_seconds}"
+        )
     if not points:
         return []
     if workers == 1:
@@ -151,6 +160,7 @@ def run_sweep(
         timeout_seconds=timeout_seconds,
         retries=retries,
         backoff_base_seconds=backoff_base_seconds,
+        preempt_poll_seconds=preempt_poll_seconds,
         progress=progress,
     )
 
@@ -278,6 +288,7 @@ def _run_parallel(
     timeout_seconds: float | None,
     retries: int,
     backoff_base_seconds: float,
+    preempt_poll_seconds: float,
     progress: ProgressCallback | None,
 ) -> list[PointResult]:
     ctx = _context()
@@ -384,7 +395,9 @@ def _run_parallel(
                 # A preemption source is installed: poll it promptly
                 # instead of blocking until a worker finishes.
                 wait_timeout = (
-                    0.1 if wait_timeout is None else min(wait_timeout, 0.1)
+                    preempt_poll_seconds
+                    if wait_timeout is None
+                    else min(wait_timeout, preempt_poll_seconds)
                 )
             if not running:
                 # Nothing in flight; just wait out the shortest backoff.

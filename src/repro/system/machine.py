@@ -26,8 +26,13 @@ from repro.bus.transaction import (
 from repro.cache.cache import SnoopingCache
 from repro.cache.mapping import DirectMapped, SetAssociative
 from repro.cache.replacement import make_replacement
-from repro.checkpoint.context import get_checkpoint_defaults
-from repro.common.errors import ConfigurationError, LivelockError, SnapshotError
+from repro.checkpoint.context import get_checkpoint_defaults, preempt_requested
+from repro.common.errors import (
+    ConfigurationError,
+    LivelockError,
+    PreemptedError,
+    SnapshotError,
+)
 from repro.common.rng import derive_seed
 from repro.common.stats import StatSet
 from repro.common.types import Address, MemRef
@@ -253,6 +258,13 @@ class Machine:
             and self.cycle % self.checkpoint_every == 0
         ):
             self.checkpoint().save(self.checkpoint_path)
+            if preempt_requested():
+                # The snapshot just written is the resume point: a rerun
+                # with resume=True continues bit-identically from here.
+                raise PreemptedError(
+                    f"preempted at checkpoint boundary, cycle {self.cycle}",
+                    cycle=self.cycle,
+                )
         return completed
 
     @property

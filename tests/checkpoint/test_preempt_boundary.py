@@ -1,0 +1,82 @@
+"""In-point preemption at the Machine level.
+
+The service's worker subprocess relies on one mechanism: with a
+preemption hook installed, ``Machine.step`` raises
+:class:`PreemptedError` *right after* a periodic snapshot, so the file
+on disk at that instant is the resume point.  These tests pin the
+contract directly — boundary alignment, snapshot freshness, and
+bit-identical completion after resume — without the server in the loop.
+"""
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.checkpoint.context import preempt_scope
+from repro.checkpoint.snapshot import MachineSnapshot
+from repro.common.errors import PreemptedError
+
+from tests.checkpoint.workloads import make_factory
+
+CHECKPOINT_EVERY = 50
+
+
+def _factory(tmp_path, resume: bool = False):
+    return make_factory(
+        checkpoint_every=CHECKPOINT_EVERY,
+        checkpoint_path=str(tmp_path / "machine.ckpt"),
+        checkpoint_resume=resume,
+    )
+
+
+def _run_to_completion(machine) -> tuple[int, str]:
+    machine.run()
+    return machine.cycle, machine.state_digest()
+
+
+def test_preempt_raises_only_at_a_checkpoint_boundary(tmp_path):
+    machine = _factory(tmp_path)(None)
+    with preempt_scope(lambda: True):
+        with pytest.raises(PreemptedError) as exc:
+            machine.run()
+    assert exc.value.cycle == machine.cycle
+    assert machine.cycle % CHECKPOINT_EVERY == 0
+    # The snapshot written in the same step is the resume point.
+    snapshot = MachineSnapshot.load(tmp_path / "machine.ckpt")
+    assert snapshot.payload["cycle"] == machine.cycle
+
+
+def test_no_hook_means_no_preemption(tmp_path):
+    machine = _factory(tmp_path)(None)
+    machine.run()  # must not raise despite periodic snapshots
+
+
+def test_hook_checked_after_save_so_late_stop_still_runs_to_boundary(
+    tmp_path,
+):
+    """A hook that trips mid-interval must not stop the machine until
+    the *next* boundary — preemption is never finer than the period."""
+    machine = _factory(tmp_path)(None)
+    trip_at = CHECKPOINT_EVERY + 7  # strictly inside the second interval
+    with preempt_scope(lambda: machine.cycle >= trip_at):
+        with pytest.raises(PreemptedError) as exc:
+            machine.run()
+    assert exc.value.cycle == 2 * CHECKPOINT_EVERY
+
+
+def test_resume_after_preempt_is_bit_identical(tmp_path):
+    reference_dir = tmp_path / "reference"
+    reference_dir.mkdir()
+    reset_txn_serial()
+    reference = _run_to_completion(_factory(reference_dir)(None))
+
+    # Preempt once mid-run, then finish from the snapshot.
+    reset_txn_serial()
+    first = _factory(tmp_path)(None)
+    with preempt_scope(lambda: first.cycle >= CHECKPOINT_EVERY):
+        with pytest.raises(PreemptedError):
+            first.run()
+    resumed = _factory(tmp_path, resume=True)(None)
+    final = _run_to_completion(resumed)
+
+    assert resumed.resumed_from == CHECKPOINT_EVERY
+    assert final == reference

@@ -48,6 +48,22 @@ class ServerProcess:
         os.kill(self.proc.pid, signal.SIGKILL)
         self.proc.wait(timeout=30)
 
+    def sigterm(self) -> None:
+        """SIGTERM the server — starts a graceful drain (no wait)."""
+        os.kill(self.proc.pid, signal.SIGTERM)
+
+    def wait(self, timeout: float = 60.0) -> int:
+        """Wait for the server to exit; returns its exit code."""
+        return self.proc.wait(timeout=timeout)
+
+    @property
+    def token(self) -> str | None:
+        """The auto-generated bearer token, if the server printed one."""
+        for line in self.log_path.read_text(errors="replace").splitlines():
+            if line.startswith("TOKEN "):
+                return line.split(" ", 1)[1].strip()
+        return None
+
     def stop(self) -> None:
         """Terminate the server (no-op when already dead)."""
         if self.proc.poll() is None:
@@ -63,14 +79,19 @@ def start_server(
     root: Path,
     *,
     checkpoint_every: int = 200,
+    max_workers: int = 2,
     load: tuple[str, ...] = (SLOW_MODULE,),
     timeout: float = 60.0,
+    extra_args: tuple[str, ...] = (),
 ) -> ServerProcess:
     """Boot a server subprocess on an ephemeral port; wait until bound.
 
     The bound port comes from the ``SERVING <host> <port>`` line the
     server prints once its listener is up (stdout goes to a log file
-    next to *root* so nothing can block on a full pipe).
+    next to *root* so nothing can block on a full pipe).  Two workers by
+    default, so the suite exercises the supervised multi-worker pool;
+    *extra_args* passes through flags like ``--token`` or
+    ``--queue-limit``.
     """
     log_path = root.parent / f"{root.name}.server-{next(_BOOTS)}.log"
     command = [
@@ -84,6 +105,9 @@ def start_server(
         "0",
         "--checkpoint-every",
         str(checkpoint_every),
+        "--max-workers",
+        str(max_workers),
+        *extra_args,
     ]
     for module in load:
         command += ["--load", module]

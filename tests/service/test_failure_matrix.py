@@ -1,0 +1,336 @@
+"""The supervised-pool failure matrix, end-to-end on real subprocesses.
+
+Each scenario kills something different — a worker (SIGKILL), a wedged
+worker (SIGSTOP), the whole server (SIGTERM drain) — or leans on the
+protocol edges (mid-point cancel, queue backpressure, bearer auth,
+retention GC) and asserts the invariant that matters: jobs end in the
+right state, resumes are bit-identical, and the event log tells the
+true story.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobStore
+from tests.service.helpers import (
+    REPO_ROOT,
+    canonical_artifact,
+    start_server,
+    wait_for,
+)
+
+pytestmark = pytest.mark.slow
+
+ITERATIONS = 4000
+
+
+def _reference_artifact(iterations: int) -> dict:
+    """A fresh uninterrupted run of slow-counter, canonicalized."""
+    from tests.service import slow_experiment  # deferred: registers a spec
+
+    reset_txn_serial()
+    return canonical_artifact(slow_experiment.run(iterations=iterations).as_dict())
+
+
+class TestWorkerFailures:
+    """One shared two-worker server; scenarios kill its workers, never it."""
+
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        booted = start_server(
+            tmp_path_factory.mktemp("matrix") / "queue",
+            max_workers=2,
+            extra_args=("--heartbeat-timeout", "5"),
+        )
+        yield booted
+        booted.stop()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return ServiceClient(server.url)
+
+    @pytest.fixture(scope="class")
+    def store(self, server):
+        # The store root is what the server was booted on.
+        root = server.log_path.parent / "queue"
+        return JobStore(root)
+
+    def test_two_jobs_run_concurrently_with_independent_scopes(
+        self, client, store
+    ):
+        a = client.submit("slow-counter", {"iterations": 3000})["job"]["id"]
+        b = client.submit("slow-counter", {"iterations": 3001})["job"]["id"]
+        wait_for(
+            lambda: store.get(a).state == "running"
+            and store.get(b).state == "running",
+            timeout=60,
+            what="two jobs running at once",
+        )
+        # Distinct worker subprocesses = job-local scopes by construction.
+        pids = wait_for(
+            lambda: (store.get(a).worker_pid, store.get(b).worker_pid)
+            if store.get(a).worker_pid and store.get(b).worker_pid
+            else None,
+            timeout=30,
+            what="both worker leases recorded",
+        )
+        assert pids[0] != pids[1]
+        health = client.health()
+        assert health["max_workers"] == 2
+        assert len(health["workers"]) == 2
+        # Both finish correctly despite sharing the server: each job's
+        # artifact matches its own fresh-process reference run.
+        final_a = client.wait(a, timeout=300)
+        final_b = client.wait(b, timeout=300)
+        assert (final_a["state"], final_b["state"]) == ("done", "done")
+        assert canonical_artifact(client.result(a)) == _reference_artifact(3000)
+        assert canonical_artifact(client.result(b)) == _reference_artifact(3001)
+
+    def test_sigkilled_worker_requeues_and_resumes_bit_identically(
+        self, client, store
+    ):
+        job_id = client.submit("slow-counter", {"iterations": ITERATIONS})[
+            "job"
+        ]["id"]
+        checkpoints = store.checkpoints_dir(job_id)
+        pid = wait_for(
+            lambda: store.get(job_id).state == "running"
+            and list(checkpoints.glob("*.ckpt"))
+            and store.get(job_id).worker_pid,
+            timeout=60,
+            what="a running job with a snapshot and a lease",
+        )
+        os.kill(pid, signal.SIGKILL)
+
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done" and final["ok"] is True
+        assert final["crashes"] == 1
+        assert final["attempts"] == 2
+        events = [e["event"] for e in client.events(job_id)]
+        assert "worker-crashed" in events
+        assert "requeued" in events
+        assert events.count("started") == 2
+
+        # The rerun resumed mid-run, not from cycle 0 …
+        resume_logs = list(checkpoints.glob("*.resume-log"))
+        assert resume_logs, "no resume-log: the job restarted from scratch"
+        resumed_cycle = int(
+            resume_logs[0].read_text().strip().splitlines()[-1].rsplit(" ", 1)[1]
+        )
+        assert resumed_cycle > 0
+        # … and the artifact is still bit-identical to an uninterrupted
+        # fresh-process run (the PR-6 guarantee, now per worker).
+        assert canonical_artifact(client.result(job_id)) == (
+            _reference_artifact(ITERATIONS)
+        )
+
+    def test_wedged_worker_is_killed_by_the_watchdog(self, client, store):
+        job_id = client.submit("slow-counter", {"iterations": ITERATIONS + 1})[
+            "job"
+        ]["id"]
+        pid = wait_for(
+            lambda: store.get(job_id).state == "running"
+            and store.get(job_id).worker_pid,
+            timeout=60,
+            what="a running job with a lease",
+        )
+        # SIGSTOP freezes the worker *and* its heartbeat thread; the
+        # watchdog (5s timeout on this server) must SIGKILL and requeue.
+        os.kill(pid, signal.SIGSTOP)
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done" and final["ok"] is True
+        assert final["crashes"] == 1
+        events = [e["event"] for e in client.events(job_id)]
+        assert "worker-wedged" in events
+        assert "worker-crashed" in events  # the kill is reaped as a crash
+
+    def test_cancel_lands_mid_point_at_a_checkpoint_boundary(
+        self, client, store
+    ):
+        job_id = client.submit("slow-counter", {"iterations": ITERATIONS + 2})[
+            "job"
+        ]["id"]
+        checkpoints = store.checkpoints_dir(job_id)
+        wait_for(
+            lambda: store.get(job_id).state == "running"
+            and list(checkpoints.glob("*.ckpt")),
+            timeout=60,
+            what="a running job with a snapshot on disk",
+        )
+        client.cancel(job_id)
+        final = client.wait(job_id, timeout=60)
+        assert final["state"] == "cancelled"
+        # The stop landed *inside* the point (checkpoint boundary), not
+        # at its end: the surfaced latency is the cancel→stopped gap.
+        assert final["preempt_latency_seconds"] is not None
+        assert 0 <= final["preempt_latency_seconds"] < 30
+        events = [e["event"] for e in client.events(job_id)]
+        assert "preempted-mid-point" in events
+        # Strictly before point completion: the point never reported.
+        assert "point" not in events
+        with pytest.raises(ServiceError) as exc:
+            client.result(job_id)
+        assert exc.value.status == 409
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_and_restart_resumes_bit_identically(
+        self, tmp_path
+    ):
+        root = tmp_path / "queue"
+        store = JobStore(root)
+        first = start_server(root, max_workers=2)
+        try:
+            client = ServiceClient(first.url)
+            jobs = [
+                client.submit("slow-counter", {"iterations": n})["job"]["id"]
+                for n in (ITERATIONS, ITERATIONS + 1)
+            ]
+            wait_for(
+                lambda: all(store.get(j).state == "running" for j in jobs)
+                and all(
+                    list(store.checkpoints_dir(j).glob("*.ckpt"))
+                    for j in jobs
+                ),
+                timeout=60,
+                what="two running jobs with snapshots",
+            )
+        except BaseException:
+            first.stop()
+            raise
+
+        first.sigterm()
+        assert first.wait(60) == 0, "a clean drain exits 0"
+        for job_id in jobs:
+            record = store.get(job_id)
+            assert record.state == "queued", "drained jobs requeue"
+            assert record.preemptions == 1
+            events = [e["event"] for e in store.read_events(job_id)]
+            assert "drain-preempt" in events
+            assert "preempted-mid-point" in events
+            assert "drain-hard-kill" not in events
+
+        second = start_server(root, max_workers=2)
+        try:
+            client = ServiceClient(second.url)
+            for n, job_id in zip((ITERATIONS, ITERATIONS + 1), jobs):
+                final = client.wait(job_id, timeout=300)
+                assert final["state"] == "done" and final["ok"] is True
+                assert canonical_artifact(client.result(job_id)) == (
+                    _reference_artifact(n)
+                )
+        finally:
+            second.stop()
+
+
+class TestBackpressureAndRetention:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        booted = start_server(
+            tmp_path_factory.mktemp("bp") / "queue",
+            max_workers=1,
+            extra_args=("--queue-limit", "2", "--retain", "1"),
+        )
+        yield booted
+        booted.stop()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return ServiceClient(server.url)
+
+    def test_queue_full_is_429_but_resubmission_is_exempt(self, client):
+        first = client.submit("slow-counter", {"iterations": 2000})["job"]
+        second = client.submit("slow-counter", {"iterations": 2001})["job"]
+        with pytest.raises(ServiceError) as exc:
+            client.submit("slow-counter", {"iterations": 2002})
+        assert exc.value.status == 429
+        # Resubmitting a known job is idempotent — never bounced.
+        again = client.submit("slow-counter", {"iterations": 2001})
+        assert again["job"]["id"] == second["id"]
+        assert not again["created"]
+        client.wait(first["id"], timeout=300)
+        client.wait(second["id"], timeout=300)
+
+    def test_gc_endpoint_applies_the_retention_policy(self, client):
+        done = [
+            client.wait(
+                client.submit("slow-counter", {"iterations": n})["job"]["id"],
+                timeout=300,
+            )["id"]
+            for n in (2010, 2011)
+        ]
+        removed = client.gc()
+        # --retain 1: everything terminal but the newest job goes.
+        assert removed, "expected at least one GC victim"
+        remaining = [record["id"] for record in client.jobs()]
+        assert done[-1] in remaining
+        for job_id in removed:
+            assert job_id not in remaining
+
+
+class TestAuth:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        booted = start_server(
+            tmp_path_factory.mktemp("auth") / "queue",
+            extra_args=("--auto-token",),
+        )
+        yield booted
+        booted.stop()
+
+    def test_token_is_printed_once_at_boot(self, server):
+        assert server.token
+
+    def test_missing_token_is_401(self, server):
+        with pytest.raises(ServiceError) as exc:
+            ServiceClient(server.url).jobs()
+        assert exc.value.status == 401
+
+    def test_wrong_token_is_401(self, server):
+        with pytest.raises(ServiceError) as exc:
+            ServiceClient(server.url, token="not-the-token").jobs()
+        assert exc.value.status == 401
+
+    def test_healthz_stays_open(self, server):
+        assert ServiceClient(server.url).healthy()
+
+    def test_good_token_works_end_to_end(self, server):
+        client = ServiceClient(server.url, token=server.token)
+        job_id = client.submit("slow-counter", {"iterations": 600})["job"]["id"]
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        assert client.result(job_id)["ok"] is True
+
+    def test_non_loopback_without_token_refuses_to_start(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "serve",
+                "--root",
+                str(tmp_path / "queue"),
+                "--host",
+                "0.0.0.0",
+                "--port",
+                "0",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 2
+        assert "non-loopback" in proc.stderr
+        assert "SERVING" not in proc.stdout

@@ -181,3 +181,86 @@ class TestEventsAndResults:
         raw = json.loads(store.record_path(record.id).read_text())
         assert raw["params"] == {"workers": 2}
         assert store.get(record.id).as_dict() == record.as_dict()
+
+
+class TestRequeueAndLeases:
+    def test_requeue_crashed_bumps_crashes(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        back = store.requeue(record.id, crashed=True)
+        assert back.state == "queued"
+        assert back.crashes == 1 and back.preemptions == 0
+        assert store.read_events(record.id)[-1]["event"] == "requeued"
+
+    def test_requeue_preempted_bumps_preemptions(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        back = store.requeue(record.id, crashed=False)
+        assert back.crashes == 0 and back.preemptions == 1
+        assert store.read_events(record.id)[-1]["event"] == "preempted"
+
+    def test_requeue_needs_a_running_job(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        with pytest.raises(ConfigurationError, match="running"):
+            store.requeue(record.id, crashed=True)
+
+    def test_claim_next_skips_excluded(self, store):
+        a, _ = store.submit("figure-6-1", {})
+        b, _ = store.submit("figure-6-2", {})
+        claimed = store.claim_next(exclude={a.id})
+        assert claimed.id == b.id
+        assert store.get(a.id).state == "queued"  # untouched, not skipped-over
+
+    def test_assign_worker_records_lease(self, store):
+        record, _ = store.submit("figure-6-1", {})
+        store.claim_next()
+        assert store.assign_worker(record.id, 4242).worker_pid == 4242
+        done = store.finish(record.id, state="done", ok=True)
+        assert done.worker_pid is None  # the lease dies with the job
+
+    def test_active_count_tracks_live_jobs(self, store):
+        a, _ = store.submit("figure-6-1", {})
+        store.submit("figure-6-2", {})
+        assert store.active_count() == 2
+        store.claim_next()
+        assert store.active_count() == 2  # running still counts
+        store.finish(a.id, state="done", ok=True)
+        assert store.active_count() == 1
+
+
+class TestRetention:
+    def _finished(self, store, name, *, at):
+        record, _ = store.submit(name, {})
+        store.claim_next()
+        done = store.finish(record.id, state="done", ok=True)
+        done.finished_at = at
+        store.update(done)
+        return done.id
+
+    def test_retain_keeps_newest_terminal_jobs(self, store):
+        old = self._finished(store, "figure-6-1", at=1000.0)
+        new = self._finished(store, "figure-6-2", at=2000.0)
+        live, _ = store.submit("figure-6-3", {})
+        removed = store.gc(retain=1)
+        assert removed == [old]
+        assert not store.job_dir(old).exists()
+        assert store.get(new).state == "done"
+        assert store.get(live.id).state == "queued"  # live jobs never GC'd
+
+    def test_retain_days_cuts_by_age(self, store):
+        now = 100.0 * 86400
+        old = self._finished(store, "figure-6-1", at=now - 3 * 86400)
+        new = self._finished(store, "figure-6-2", at=now - 0.5 * 86400)
+        removed = store.gc(retain_days=1.0, now=now)
+        assert removed == [old]
+        assert store.get(new).state == "done"
+
+    def test_gc_without_policy_removes_nothing(self, store):
+        self._finished(store, "figure-6-1", at=1000.0)
+        assert store.gc() == []
+
+    def test_gc_rejects_negative_policy(self, store):
+        with pytest.raises(ConfigurationError):
+            store.gc(retain=-1)
+        with pytest.raises(ConfigurationError):
+            store.gc(retain_days=-0.5)

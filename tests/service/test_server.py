@@ -121,16 +121,22 @@ class TestValidation:
 
 
 class TestCancel:
-    def test_cancel_queued_job_behind_a_running_one(self, client):
-        blocker = client.submit("slow-counter", {"iterations": 900})["job"]
+    def test_cancel_queued_job_behind_running_ones(self, client):
+        # Two blockers: one per worker of the default two-worker pool,
+        # so the victim stays queued until the cancel lands.
+        blockers = [
+            client.submit("slow-counter", {"iterations": n})["job"]
+            for n in (900, 901)
+        ]
         victim = client.submit("figure-6-1", {"workers": 2})["job"]
 
         cancelled = client.cancel(victim["id"])
         assert cancelled["state"] in ("cancelled", "running")
         final = client.wait(victim["id"], timeout=120)
         assert final["state"] == "cancelled"
-        # The running job is untouched by its neighbor's cancellation.
-        assert client.wait(blocker["id"], timeout=120)["state"] == "done"
+        # The running jobs are untouched by their neighbor's cancellation.
+        for blocker in blockers:
+            assert client.wait(blocker["id"], timeout=120)["state"] == "done"
 
     def test_cancel_terminal_job_is_409(self, client):
         job_id = client.submit("figure-6-1", {})["job"]["id"]

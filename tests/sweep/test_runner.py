@@ -267,6 +267,21 @@ class TestPreemption:
             assert preemption_requested()
         assert not preemption_requested()
 
+    def test_preempt_poll_seconds_is_configurable(self):
+        deadline = time.perf_counter() + 0.3
+        with preemption_scope(lambda: time.perf_counter() > deadline):
+            results = run_sweep(
+                _sleep_task,
+                _points("a",),
+                workers=2,
+                preempt_poll_seconds=0.02,
+            )
+        assert [r.status for r in results] == ["skipped"]
+
+    def test_preempt_poll_seconds_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="preempt_poll_seconds"):
+            run_sweep(_ok_task, _points("a"), preempt_poll_seconds=0)
+
     def test_skipped_points_reach_progress(self):
         seen = []
         with preemption_scope(lambda: True):
