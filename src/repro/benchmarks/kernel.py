@@ -10,6 +10,10 @@ modes on two deliberately opposite workloads:
 * ``faa-counter`` — back-to-back fetch-and-adds, bus-saturated with no
   dead spans to skip.  This pins the kernel's worst case: the probe
   overhead when there is nothing to gain.
+* ``tardis-counter`` — the lock counter under the tardis timestamp
+  protocol on the directory fabric.  Tardis spins drain a lease instead
+  of parking in cache (``spin_probe_safe`` is off), so this measures the
+  event kernel over point-to-point traffic with few skippable spans.
 
 Every measurement also runs both modes to completion and records whether
 their :meth:`~repro.system.machine.Machine.state_digest` values agree, so
@@ -30,13 +34,16 @@ from repro.processor.program import Program
 from repro.sync.locks import build_lock_program
 from repro.system.config import MachineConfig
 from repro.system.machine import Machine
-from repro.workloads.counter import build_faa_counter_program
+from repro.workloads.counter import (
+    build_faa_counter_program,
+    build_lock_counter_program,
+)
 
 #: Shared lock / counter word used by the benchmark programs.
 _LOCK_ADDRESS = 8
 
-#: Workload name -> (program factory, machine-shape overrides).
-_WORKLOADS: dict[str, Callable[[bool], list[Program]]] = {}
+#: Workload name -> (program factory, protocol to run it under).
+_WORKLOADS: dict[str, tuple[Callable[[bool], list[Program]], str]] = {}
 
 
 def _tts_spin_programs(quick: bool) -> list[Program]:
@@ -58,15 +65,23 @@ def _faa_counter_programs(quick: bool) -> list[Program]:
     return [build_faa_counter_program(increments) for _ in range(4)]
 
 
-_WORKLOADS["tts-spin-lock"] = _tts_spin_programs
-_WORKLOADS["faa-counter"] = _faa_counter_programs
+def _tardis_counter_programs(quick: bool) -> list[Program]:
+    increments = 10 if quick else 40
+    return [build_lock_counter_program(increments) for _ in range(4)]
 
 
-def _build_machine(kernel: str, programs: list[Program]) -> Machine:
+_WORKLOADS["tts-spin-lock"] = (_tts_spin_programs, "rwb")
+_WORKLOADS["faa-counter"] = (_faa_counter_programs, "rwb")
+_WORKLOADS["tardis-counter"] = (_tardis_counter_programs, "tardis")
+
+
+def _build_machine(
+    kernel: str, programs: list[Program], protocol: str
+) -> Machine:
     reset_txn_serial()
     config = MachineConfig(
         num_pes=4,
-        protocol="rwb",
+        protocol=protocol,
         cache_lines=16,
         memory_size=64,
         seed=11,
@@ -79,7 +94,7 @@ def _build_machine(kernel: str, programs: list[Program]) -> Machine:
 
 def _measure(
     kernel: str, make_programs: Callable[[bool], list[Program]], quick: bool,
-    samples: int,
+    samples: int, protocol: str,
 ) -> tuple[int, float, str]:
     """Best-of-*samples* wall time for one full run in *kernel* mode.
 
@@ -90,7 +105,7 @@ def _measure(
     cycles = 0
     digest = ""
     for _ in range(samples):
-        machine = _build_machine(kernel, make_programs(quick))
+        machine = _build_machine(kernel, make_programs(quick), protocol)
         start = time.perf_counter()
         cycles = machine.run(max_cycles=2_000_000)
         best = min(best, time.perf_counter() - start)
@@ -117,12 +132,12 @@ def run_kernel_benchmark(quick: bool = False) -> dict:
     """
     samples = 2 if quick else 3
     workloads = {}
-    for name, make_programs in _WORKLOADS.items():
+    for name, (make_programs, protocol) in _WORKLOADS.items():
         cycle_cycles, cycle_secs, cycle_digest = _measure(
-            "cycle", make_programs, quick, samples
+            "cycle", make_programs, quick, samples, protocol
         )
         event_cycles, event_secs, event_digest = _measure(
-            "event", make_programs, quick, samples
+            "event", make_programs, quick, samples, protocol
         )
         workloads[name] = {
             "cycles": cycle_cycles,

@@ -14,6 +14,8 @@ Contents:
 * :mod:`repro.bus.bus` — the cycle-driven :class:`SharedBus`.
 * :mod:`repro.bus.multibus` — the address-interleaved multiple-bus extension
   of Section 7 / Figure 7-1.
+* :mod:`repro.bus.directory` — the broadcast-free point-to-point fabric used
+  by timestamp protocols (beyond the paper; see EXPERIMENTS.md).
 """
 
 from repro.bus.arbiter import (
@@ -24,6 +26,7 @@ from repro.bus.arbiter import (
     make_arbiter,
 )
 from repro.bus.bus import SharedBus
+from repro.bus.directory import DirectoryNetwork
 from repro.bus.interfaces import BusClient, BusNetwork
 from repro.bus.multibus import InterleavedMultiBus
 from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
@@ -35,6 +38,7 @@ __all__ = [
     "BusOp",
     "BusTransaction",
     "CompletedTransaction",
+    "DirectoryNetwork",
     "FixedPriorityArbiter",
     "InterleavedMultiBus",
     "RandomArbiter",

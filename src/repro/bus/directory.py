@@ -1,0 +1,432 @@
+"""Point-to-point directory fabric for broadcast-free protocols.
+
+The paper's shared bus is a broadcast medium: every cache snoops every
+transaction, which is exactly what caps processor count (Section 7's
+SBB >= m*x/h bandwidth model).  A timestamp protocol such as
+:class:`~repro.protocols.tardis.TardisProtocol` never broadcasts, so it
+can run on this fabric instead: every cache owns a private
+request/response channel to a memory-side controller that manages the
+per-word timestamp directory (wts, rts, owner).
+
+Modelled properties:
+
+* **Latency** — a request enqueued at cycle ``c`` is servable from cycle
+  ``c + latency`` (the channel flight + controller occupancy).
+* **Bandwidth scales with PE count** — each channel may complete one
+  request per cycle, *independently of the other channels*.  The shared
+  bus serves one transaction per cycle total; this fabric serves up to
+  one per cache.  That asymmetry is the whole scaling story the
+  ``scaling`` experiment measures.
+* **No broadcasts** — the controller answers only the requester.  When a
+  word is owned by another cache the controller performs an *owner
+  fetch*: it pulls the surrendered value straight out of the owner
+  (demoting it), writes it through to memory and only then answers.
+* **Atomicity** — read-with-lock / write-with-unlock use the same memory
+  word locks as the shared bus; a locked word NACKs conflicting
+  requests, which retry the next cycle.
+
+Counters use the ``bus.*`` names the rest of the repo aggregates
+(``bus.op.<op>`` feeds :meth:`Machine.total_bus_traffic`), plus
+directory-specific ``dir.*`` counters (owner fetches, lock NACKs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bus.interfaces import BusClient, BusNetwork
+from repro.bus.transaction import BusOp, BusTransaction, CompletedTransaction
+from repro.common.errors import BusError, ConfigurationError, SnapshotError
+from repro.common.stats import CounterBag
+from repro.common.types import NEVER_WAKE, Address
+from repro.memory.main_memory import MainMemory
+from repro.protocols.tardis import (
+    DEFAULT_LEASE_SPAN,
+    grant_lease,
+    write_timestamp,
+)
+from repro.trace.events import BusCompletion, LeaseGrant, OwnerFetch
+from repro.trace.sink import NULL_TRACER, Tracer
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One queued request: the transaction and its earliest service cycle."""
+
+    txn: BusTransaction
+    ready_at: int
+
+
+@dataclass(slots=True)
+class _DirLine:
+    """Timestamp directory state for one word.
+
+    ``wts``: write timestamp of the version memory (or the owner) holds.
+    ``rts``: largest lease end ever granted on the word (monotone).
+    ``owner``: client id holding the word exclusively, or ``None``.
+    """
+
+    wts: int = 0
+    rts: int = 0
+    owner: int | None = None
+
+
+class DirectoryNetwork(BusNetwork):
+    """Per-cache channels to one timestamp-managing memory controller.
+
+    Args:
+        memory: the shared memory behind the controller.
+        latency: channel + controller cycles before a request is
+            servable (>= 1 so intra-cycle reissues never short-circuit).
+        name: label used in trace events and diagnostics.
+        trace: shared tracer (LeaseGrant / OwnerFetch / BusCompletion).
+    """
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        latency: int = 1,
+        name: str = "dir",
+        trace: Tracer | None = None,
+    ) -> None:
+        if latency < 1:
+            raise ConfigurationError(
+                f"directory latency must be >= 1, got {latency}"
+            )
+        self.memory = memory
+        self.latency = latency
+        self.name = name
+        self.trace = trace if trace is not None else NULL_TRACER
+        self.cycle = 0
+        self._stats = CounterBag()
+        self._clients: dict[int, BusClient] = {}
+        self._queues: dict[int, deque[_Entry]] = {}
+        self._directory: dict[Address, _DirLine] = {}
+
+    # ------------------------------------------------------------------ #
+    # BusNetwork interface                                                #
+    # ------------------------------------------------------------------ #
+
+    def attach(self, client: BusClient) -> int:
+        client_id = client.client_id
+        if client_id < 0:
+            client_id = len(self._clients)
+            client.client_id = client_id
+        self._clients[client_id] = client
+        self._queues[client_id] = deque()
+        return client_id
+
+    def request(self, txn: BusTransaction) -> None:
+        queue = self._queues.get(txn.originator)
+        if queue is None:
+            raise BusError(
+                f"{self.name}: request from unattached client {txn.originator}"
+            )
+        queue.append(_Entry(txn=txn, ready_at=self.cycle + self.latency))
+        self._stats.add("bus.requests")
+
+    def cancel(
+        self, client_id: int, predicate: Callable[[BusTransaction], bool]
+    ) -> int:
+        queue = self._queues.get(client_id)
+        if queue is None:
+            return 0
+        kept = [entry for entry in queue if not predicate(entry.txn)]
+        cancelled = len(queue) - len(kept)
+        if cancelled:
+            queue.clear()
+            queue.extend(kept)
+            self._stats.add("bus.cancelled", cancelled)
+        return cancelled
+
+    def step_all(self) -> list[CompletedTransaction]:
+        """One cycle: serve every channel whose head request is ready.
+
+        Channels are independent — each may complete one request per
+        cycle, in client-id order (a deterministic stand-in for spatially
+        separate controllers).
+        """
+        self.cycle += 1
+        self._stats.add("bus.cycles")
+        completed: list[CompletedTransaction] = []
+        for client_id in sorted(self._queues):
+            queue = self._queues[client_id]
+            if not queue or queue[0].ready_at > self.cycle:
+                continue
+            entry = queue[0]
+            done = self._serve(entry)
+            if done is None:
+                # Memory-lock conflict: retry next cycle, stay queued.
+                entry.ready_at = self.cycle + 1
+                continue
+            queue.popleft()
+            completed.append(done)
+            self._stats.add(f"bus.ch{client_id}.served")
+        if completed:
+            self._stats.add("bus.busy_cycles")
+        else:
+            self._stats.add("bus.idle_cycles")
+        return completed
+
+    def has_pending(self) -> bool:
+        return any(self._queues.values())
+
+    def wake_eta(self) -> int:
+        """Dead cycles ahead: empty fabric sleeps forever; otherwise the
+        earliest head becomes servable ``min(ready_at) - cycle - 1``
+        cycles from now (0 = may serve on the very next step)."""
+        eta = NEVER_WAKE
+        for queue in self._queues.values():
+            if not queue:
+                continue
+            eta = min(eta, max(0, queue[0].ready_at - self.cycle - 1))
+            if eta == 0:
+                return 0
+        return eta
+
+    def skip_cycles(self, count: int) -> None:
+        """Bulk-apply *count* provably-idle cycles (no request servable).
+
+        No RNG and no per-cycle decisions exist on the idle path, so the
+        bulk update is bit-identical to stepping by construction.
+        """
+        self.cycle += count
+        self._stats.add("bus.cycles", count)
+        self._stats.add("bus.idle_cycles", count)
+
+    @property
+    def bus_count(self) -> int:
+        return 1
+
+    @property
+    def physical_buses(self) -> list:
+        """No snooping bus exists here; chaos and snoop-oriented tooling
+        see an empty list."""
+        return []
+
+    def pending_snapshot(self) -> list[dict[str, object]]:
+        return [
+            {
+                "channel": client_id,
+                "ready_at": entry.ready_at,
+                **entry.txn.to_dict(),
+            }
+            for client_id in sorted(self._queues)
+            for entry in self._queues[client_id]
+        ]
+
+    @property
+    def stats(self) -> CounterBag:
+        return self._stats
+
+    @property
+    def utilization(self) -> float:
+        """Mean channel busy fraction: served requests over channel-cycles.
+
+        The scaling experiment's crossover metric: on the shared bus the
+        equivalent ratio saturates at 1.0; here the denominator grows
+        with the PE count, so per-channel load stays low.
+        """
+        if self.cycle == 0 or not self._clients:
+            return 0.0
+        served = sum(
+            self._stats.get(f"bus.ch{client_id}.served")
+            for client_id in self._clients
+        )
+        return served / (self.cycle * len(self._clients))
+
+    # ------------------------------------------------------------------ #
+    # the controller                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _serve(self, entry: _Entry) -> CompletedTransaction | None:
+        """Serve one request fully; ``None`` on a memory-lock NACK."""
+        txn = entry.txn
+        if txn.op is BusOp.INVALIDATE:
+            raise BusError(
+                f"{self.name}: {txn} — invalidates cannot exist on a "
+                "broadcast-free fabric"
+            )
+        if txn.is_writeback:
+            return self._serve_writeback(txn)
+        if txn.op.needs_lock_check and self.memory.is_locked_against(
+            txn.address, txn.originator
+        ):
+            self._stats.add("dir.memory_locked")
+            return None
+        line = self._line(txn.address)
+        if line.owner is not None and line.owner != txn.originator:
+            self._fetch_owner(line, txn)
+        client = self._clients[txn.originator]
+        protocol = getattr(client, "protocol", None)
+        pts = getattr(protocol, "pts", 0)
+        span = getattr(protocol, "lease_span", DEFAULT_LEASE_SPAN)
+        if txn.op in (BusOp.READ, BusOp.READ_LOCK):
+            if txn.op is BusOp.READ_LOCK:
+                value = self.memory.read_lock(txn.address, txn.originator)
+            else:
+                value = self.memory.read(txn.address)
+            line.rts = grant_lease(line.wts, line.rts, pts, span)
+            self._grant(client, txn, line.wts, line.rts)
+        elif txn.op in (BusOp.WRITE, BusOp.WRITE_UNLOCK):
+            ts = write_timestamp(line.rts, pts)
+            if txn.op is BusOp.WRITE_UNLOCK:
+                self.memory.write_unlock(txn.address, txn.value, txn.originator)
+            else:
+                self.memory.write(txn.address, txn.value)
+            line.wts = ts
+            line.rts = ts
+            line.owner = txn.originator
+            value = txn.value
+            self._grant(client, txn, ts, ts)
+        elif txn.op is BusOp.UNLOCK:
+            self.memory.unlock(txn.address, txn.originator)
+            value = 0
+        else:  # pragma: no cover - every BusOp is handled above
+            raise BusError(f"{self.name}: cannot serve {txn}")
+        return self._complete(client, txn, value)
+
+    def _serve_writeback(self, txn: BusTransaction) -> CompletedTransaction:
+        """An eviction/flush write-back surrendered ownership voluntarily."""
+        line = self._line(txn.address)
+        if line.owner == txn.originator:
+            self.memory.write(txn.address, txn.value)
+            line.wts = max(line.wts, txn.meta)
+            line.rts = max(line.rts, txn.meta)
+            line.owner = None
+            self._stats.add("bus.writebacks")
+        else:
+            # The owner was already fetched (its queued write-back should
+            # have been cancelled); never let the stale value clobber
+            # newer data.
+            self._stats.add("dir.stale_writebacks")
+        return self._complete(self._clients[txn.originator], txn, txn.value)
+
+    def _fetch_owner(self, line: _DirLine, txn: BusTransaction) -> None:
+        """Pull the latest version out of the current owner and write it
+        through, demoting the owner to a leased readable copy."""
+        owner_id = line.owner
+        assert owner_id is not None
+        owner = self._clients[owner_id]
+        supply = owner.make_interrupt_writeback(txn)
+        self.memory.write(supply.address, supply.value)
+        line.wts = max(line.wts, supply.meta)
+        line.rts = max(line.rts, supply.meta)
+        line.owner = None
+        self._stats.add("dir.owner_fetches")
+        self._stats.add("bus.writebacks")
+        if self.trace.enabled:
+            self.trace.emit(
+                OwnerFetch(
+                    cycle=self.trace.cycle,
+                    bus=self.name,
+                    owner=owner_id,
+                    requester=txn.originator,
+                    address=txn.address,
+                    value=supply.value,
+                    wts=supply.meta,
+                )
+            )
+
+    def _grant(
+        self, client: BusClient, txn: BusTransaction, wts: int, rts: int
+    ) -> None:
+        protocol = getattr(client, "protocol", None)
+        if protocol is not None:
+            protocol.deliver_lease(wts, rts)
+        if self.trace.enabled:
+            self.trace.emit(
+                LeaseGrant(
+                    cycle=self.trace.cycle,
+                    bus=self.name,
+                    client=txn.originator,
+                    op=txn.op,
+                    address=txn.address,
+                    wts=wts,
+                    rts=rts,
+                )
+            )
+
+    def _complete(
+        self, client: BusClient, txn: BusTransaction, value: int
+    ) -> CompletedTransaction:
+        self._stats.add(f"bus.op.{txn.op.name.lower()}")
+        self._stats.add("dir.served")
+        client.transaction_complete(txn, value)
+        if self.trace.enabled:
+            self.trace.emit(
+                BusCompletion(
+                    cycle=self.trace.cycle,
+                    bus=self.name,
+                    client=txn.originator,
+                    op=txn.op,
+                    address=txn.address,
+                    value=value,
+                    serial=txn.serial,
+                    is_writeback=txn.is_writeback,
+                    interrupted_read=False,
+                )
+            )
+        return CompletedTransaction(
+            transaction=txn, value=value, cycle=self.cycle
+        )
+
+    def _line(self, address: Address) -> _DirLine:
+        line = self._directory.get(address)
+        if line is None:
+            line = _DirLine()
+            self._directory[address] = line
+        return line
+
+    # ------------------------------------------------------------------ #
+    # snapshots                                                           #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cycle": self.cycle,
+            "stats": self._stats.as_dict(),
+            "queues": [
+                [
+                    client_id,
+                    [
+                        [entry.txn.to_dict(), entry.ready_at]
+                        for entry in self._queues[client_id]
+                    ],
+                ]
+                for client_id in sorted(self._queues)
+            ],
+            "directory": [
+                [address, line.wts, line.rts, line.owner]
+                for address, line in sorted(self._directory.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["name"] != self.name:
+            raise SnapshotError(
+                f"snapshot is for fabric {state['name']!r}, "
+                f"this is {self.name!r}"
+            )
+        self.cycle = state["cycle"]
+        self._stats.load_counts(state["stats"])
+        for client_id, entries in state["queues"]:
+            if client_id not in self._queues:
+                raise SnapshotError(
+                    f"{self.name}: snapshot holds channel {client_id} but "
+                    "no such client is attached"
+                )
+            self._queues[client_id] = deque(
+                _Entry(
+                    txn=BusTransaction.from_dict(txn_state),
+                    ready_at=ready_at,
+                )
+                for txn_state, ready_at in entries
+            )
+        self._directory = {
+            address: _DirLine(wts=wts, rts=rts, owner=owner)
+            for address, wts, rts, owner in state["directory"]
+        }

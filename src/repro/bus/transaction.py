@@ -116,6 +116,9 @@ class BusTransaction:
         is_writeback: ``True`` for replacement write-backs and for the
             write-backs generated when an L-state cache interrupts a bus
             read; distinguished only for statistics.
+        meta: the line's protocol meta travelling with the transaction.
+            Snoop buses ignore it; the directory fabric reads a
+            surrendered write timestamp out of it on write-backs.
         serial: monotonically increasing issue id (diagnostics and stable
             ordering in tests).
     """
@@ -125,6 +128,7 @@ class BusTransaction:
     originator: int
     value: Word = 0
     is_writeback: bool = False
+    meta: int = 0
     serial: int = field(default_factory=lambda: next(_txn_serial))
 
     def __post_init__(self) -> None:
@@ -147,6 +151,7 @@ class BusTransaction:
             "originator": self.originator,
             "value": self.value,
             "is_writeback": self.is_writeback,
+            "meta": self.meta,
             "serial": self.serial,
         }
 
@@ -163,6 +168,7 @@ class BusTransaction:
             originator=state["originator"],
             value=state["value"],
             is_writeback=state["is_writeback"],
+            meta=state.get("meta", 0),
             serial=state["serial"],
         )
 

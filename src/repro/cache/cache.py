@@ -106,6 +106,7 @@ def _reaction_to_dict(reaction: CpuReaction | None) -> dict | None:
         "next_state": reaction.next_state.value,
         "next_meta": reaction.next_meta,
         "writes_value": reaction.writes_value,
+        "meta_from_response": reaction.meta_from_response,
     }
 
 
@@ -117,6 +118,7 @@ def _reaction_from_dict(state: dict | None) -> CpuReaction | None:
         next_state=LineState(state["next_state"]),
         next_meta=state["next_meta"],
         writes_value=state["writes_value"],
+        meta_from_response=state.get("meta_from_response", False),
     )
 
 
@@ -472,6 +474,7 @@ class SnoopingCache(BusClient):
             originator=self.client_id,
             value=line.value,
             is_writeback=True,
+            meta=line.meta,
         )
         self._writebacks[txn.serial] = _PendingWriteback(
             purpose=purpose, frame=frame, address=line.address
@@ -502,10 +505,11 @@ class SnoopingCache(BusClient):
             originator=self.client_id,
             value=line.value,
             is_writeback=True,
+            meta=line.meta,
         )
         before = line.state
-        line.state = self.protocol.state_after_supplying(line.state)
-        line.meta = 0
+        line.state = self.protocol.state_after_supplying(before)
+        line.meta = self.protocol.meta_after_supplying(before, line.meta)
         if self.trace.enabled:
             self._emit_line(txn.address, before, line, "interrupt-supply")
         self.stats.add("cache.supplies")
@@ -723,6 +727,9 @@ class SnoopingCache(BusClient):
                 )
             if pending.kind is _Kind.TS:
                 self.stats.add("cache.ts_success")
+            self.protocol.note_cpu_applied(
+                "ts-success", line.meta if line is not None else 0
+            )
         else:
             if self.trace.enabled:
                 self.trace.emit(
@@ -736,6 +743,9 @@ class SnoopingCache(BusClient):
                     )
                 )
             self.stats.add("cache.ts_fail")
+            self.protocol.note_cpu_applied(
+                "ts-fail", line.meta if line is not None else 0
+            )
         self._pending = None
         pending.callback(pending.ts_old_value)
 
@@ -772,8 +782,10 @@ class SnoopingCache(BusClient):
                 and self.protocol.needs_writeback(line.state)
             ):
                 before = line.state
-                line.state = self.protocol.state_after_supplying(line.state)
-                line.meta = 0
+                line.state = self.protocol.state_after_supplying(before)
+                line.meta = self.protocol.meta_after_supplying(
+                    before, line.meta
+                )
                 if self.trace.enabled:
                     self._emit_line(
                         record.address, before, line, "writeback-flush"
@@ -927,6 +939,7 @@ class SnoopingCache(BusClient):
             ],
             "stats": self.stats.as_dict(),
             "replacement": self.replacement.state_dict(),
+            "protocol": self.protocol.state_dict(),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -974,6 +987,8 @@ class SnoopingCache(BusClient):
         }
         self.stats.load_counts(state["stats"])
         self.replacement.load_state_dict(state["replacement"])
+        if state.get("protocol"):
+            self.protocol.load_state_dict(state["protocol"])
 
     def pending_kind(self) -> str | None:
         """The outstanding CPU op's kind (``None`` when the port is idle);
@@ -999,7 +1014,10 @@ class SnoopingCache(BusClient):
     ) -> None:
         before, before_meta = line.state, line.meta
         line.state = reaction.next_state
-        line.meta = reaction.next_meta
+        if reaction.meta_from_response:
+            line.meta = self.protocol.take_response_meta()
+        else:
+            line.meta = reaction.next_meta
         wrote = reaction.writes_value and value is not None
         if wrote:
             line.value = value
@@ -1007,6 +1025,7 @@ class SnoopingCache(BusClient):
             before is not line.state or before_meta != line.meta or wrote
         ):
             self._emit_line(line.address, before, line, cause)
+        self.protocol.note_cpu_applied(cause, line.meta)
 
     def _emit_line(
         self,
@@ -1051,6 +1070,10 @@ class SnoopingCache(BusClient):
         kernel then steps the owning PE normally.
         """
         if self.offline or self._pending is not None or self._bus is None:
+            return None
+        if not self.protocol.spin_probe_safe:
+            # Timestamp protocols advance pts on every hit; a bulk-applied
+            # spin would diverge from the stepped loop.
             return None
         found = self._lookup(address)
         if found is None:

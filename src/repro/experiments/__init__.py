@@ -17,6 +17,7 @@ plumbing.
 ``figure_6_2``       test-and-test-and-set under RB
 ``figure_6_3``       test-and-test-and-set under RWB
 ``figure_7_1``       shared-bus bandwidth: analytic model + simulation
+``scaling``          snoop-bus saturation vs tardis timestamp coherence
 ``ablations``        design-choice sweeps (k-threshold, F-reset policy,
                      read-broadcast, TS-vs-TTS, arbiters, shootout, F&A,
                      lock granularity, reliability)
@@ -44,6 +45,7 @@ from repro.experiments import (  # noqa: F401 — re-exported for discovery
     figure_7_1,
     harness,
     registry,
+    scaling,
     table_1_1,
 )
 
@@ -59,5 +61,6 @@ __all__ = [
     "figure_7_1",
     "harness",
     "registry",
+    "scaling",
     "table_1_1",
 ]

@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.analysis.report import render_experiment
 from repro.experiments import registry
+from repro.protocols.registry import available_protocols, protocol_info
 from repro.sweep.result import ExperimentResult, PointResult
 
 #: First arguments routed to the job-server sub-CLI instead of the
@@ -370,6 +371,14 @@ def _experiment_main(argv: list[str] | None) -> int:
     add_checkpoint_options(parser)
     add_profile_option(parser)
     add_bench_options(parser)
+    parser.add_argument(
+        "--protocols",
+        action="store_true",
+        help=(
+            "with 'list': also enumerate every registered coherence "
+            "protocol (state set, fabric, timestamp ordering)"
+        ),
+    )
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if args.workers < 1:
@@ -388,7 +397,29 @@ def _experiment_main(argv: list[str] | None) -> int:
             f"{'bench':<{width}}  "
             "Kernel + checkpoint benchmark suites (BENCH_*.json)"
         )
+        if args.protocols:
+            print()
+            print("Registered coherence protocols:")
+            infos = [
+                protocol_info(protocol)
+                for protocol in available_protocols()
+            ]
+            name_width = max(len(info["name"]) for info in infos)
+            for info in infos:
+                states = ", ".join(info["states"])
+                ordering = (
+                    "logical timestamps"
+                    if info["uses_timestamps"]
+                    else "bus order"
+                )
+                print(
+                    f"{info['name']:<{name_width}}  "
+                    f"states={{{states}}}  fabric={info['fabric']}  "
+                    f"ordering={ordering}"
+                )
         return 0
+    if args.protocols:
+        parser.error("--protocols only applies to 'list'")
     if name == "bench":
         with _profiled(args.profile):
             return _run_bench(args.quick, args.write_baseline, args.json)

@@ -36,12 +36,17 @@ class CpuReaction:
         next_state: line state once the operation completes.
         next_meta: new value of the per-line meta counter.
         writes_value: the CPU's value is deposited in the line (writes).
+        meta_from_response: the final meta is not known at issue time but
+            arrives with the fabric's response (directory protocols carry
+            the granted lease end here); the cache takes it from
+            :meth:`CoherenceProtocol.take_response_meta` when applying.
     """
 
     bus_op: BusOp | None
     next_state: LineState
     next_meta: int = 0
     writes_value: bool = False
+    meta_from_response: bool = False
 
     @property
     def is_local_hit(self) -> bool:
@@ -80,6 +85,24 @@ class CoherenceProtocol(abc.ABC):
     #: The line states this protocol can produce (for table rendering and
     #: model checking).  ``NOT_PRESENT`` is implicit and always allowed.
     states: tuple[LineState, ...] = ()
+
+    #: Which network fabric the protocol's transactions assume: ``"snoop"``
+    #: protocols rely on every cache observing every transaction (shared
+    #: bus, interleaved multi-bus); ``"directory"`` protocols talk
+    #: point-to-point to a memory-side controller and never broadcast.
+    fabric: str = "snoop"
+
+    #: Whether the protocol orders operations by logical timestamps (leases
+    #: in ``meta``, a per-instance program timestamp).  Timestamp protocols
+    #: serialize in timestamp order, not bus-grant order, and carry extra
+    #: per-instance state in :meth:`state_dict`.
+    uses_timestamps: bool = False
+
+    #: Whether a local read hit provably leaves the line *and* the protocol
+    #: instance unchanged, so the event kernel may bulk-apply spin reads.
+    #: Timestamp protocols advance their program timestamp on every hit and
+    #: must opt out.
+    spin_probe_safe: bool = True
 
     # ------------------------------------------------------------------ #
     # CPU side                                                            #
@@ -151,6 +174,48 @@ class CoherenceProtocol(abc.ABC):
         readable copy (Figure 6-1's all-R rows).
         """
         return LineState.READABLE, 0
+
+    # ------------------------------------------------------------------ #
+    # directory-fabric hooks (timestamp protocols)                        #
+    # ------------------------------------------------------------------ #
+
+    def meta_after_supplying(self, state: LineState, meta: int) -> int:
+        """New line meta after this cache supplied its dirty value.
+
+        Snoop protocols keep no meaning in meta past a supply; directory
+        protocols retain the surrendered lease here.
+        """
+        return 0
+
+    def deliver_lease(self, wts: int, rts: int) -> None:
+        """A directory response granted the lease ``[wts, rts]``.
+
+        Called by the fabric immediately before the matching completion;
+        default protocols never receive leases and ignore the call.
+        """
+
+    def take_response_meta(self) -> int:
+        """Consume the meta carried by the latest fabric response (used
+        when a reaction sets ``meta_from_response``)."""
+        return 0
+
+    def note_cpu_applied(self, cause: str, meta: int) -> None:
+        """One CPU operation was applied to a line (hit or completion).
+
+        ``cause`` is the cache's transition cause string (``cpu-read``,
+        ``cpu-write``, ``ts-success``, ``ts-fail``) and ``meta`` the line's
+        meta after the application.  Called exactly once per applied
+        operation — the only place a protocol instance may mutate
+        per-instance state such as a program timestamp.
+        """
+
+    def state_dict(self) -> dict:
+        """Per-instance mutable protocol state for snapshots (timestamp
+        protocols carry their program timestamp here)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
 
     # ------------------------------------------------------------------ #
     # introspection                                                       #

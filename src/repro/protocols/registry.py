@@ -13,6 +13,7 @@ from repro.protocols.base import CoherenceProtocol
 from repro.protocols.rb import RBProtocol
 from repro.protocols.rwb import RWBProtocol
 from repro.protocols.rwb_competitive import RWBCompetitiveProtocol
+from repro.protocols.tardis import TardisProtocol
 from repro.protocols.write_once import WriteOnceProtocol
 from repro.protocols.write_through import WriteThroughInvalidateProtocol
 
@@ -20,6 +21,7 @@ _FACTORIES: dict[str, Callable[..., CoherenceProtocol]] = {
     RBProtocol.name: RBProtocol,
     RWBProtocol.name: RWBProtocol,
     RWBCompetitiveProtocol.name: RWBCompetitiveProtocol,
+    TardisProtocol.name: TardisProtocol,
     WriteOnceProtocol.name: WriteOnceProtocol,
     WriteThroughInvalidateProtocol.name: WriteThroughInvalidateProtocol,
 }
@@ -48,6 +50,29 @@ def make_protocol(name: str, **options: Any) -> CoherenceProtocol:
 def available_protocols() -> list[str]:
     """Registered protocol names, sorted."""
     return sorted(_FACTORIES)
+
+
+def protocol_fabric(name: str) -> str:
+    """Which network fabric the protocol registered as *name* assumes
+    (``"snoop"`` or ``"directory"``) without building a full instance."""
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; choose from {available_protocols()}"
+        )
+    return getattr(_FACTORIES[name], "fabric", "snoop")
+
+
+def protocol_info(name: str) -> dict[str, Any]:
+    """Registry-derived description of one protocol: its state set, the
+    fabric it runs on, and whether it orders by logical timestamps."""
+    protocol = make_protocol(name)
+    return {
+        "name": name,
+        "states": [str(state) for state in protocol.states],
+        "fabric": protocol.fabric,
+        "uses_timestamps": protocol.uses_timestamps,
+        "description": protocol.describe(),
+    }
 
 
 def register_protocol(

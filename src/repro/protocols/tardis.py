@@ -1,0 +1,218 @@
+"""Tardis: logical-timestamp coherence without broadcasts (arXiv:1505.06459).
+
+Where the paper's RB/RWB schemes keep copies consistent by making every
+cache *watch the bus*, Tardis orders operations in **logical time** and
+needs no broadcast at all:
+
+* every line copy carries a **read lease**: the line's ``meta`` holds
+  ``rts``, the last logical timestamp at which the copy may be read;
+* every protocol instance (one per cache, the machine builds them
+  per-PE) carries a **program timestamp** ``pts`` — the logical time of
+  the last operation this PE committed;
+* a read hits locally while ``pts <= rts``; past the lease end it goes
+  back to the directory for a *renewal* (fresh data + extended lease) —
+  no invalidation ever crosses the fabric;
+* a write obtains **ownership** from the directory at a timestamp
+  strictly greater than every lease ever granted on the word, so a write
+  can never land inside someone's read lease (single-writer-per-lease);
+  subsequent writes by the owner hit locally at ``max(pts, meta + 1)``.
+
+Stale physical reads are *legal*: a copy whose lease predates the latest
+write may still be read — the read simply serializes before that write
+in logical time.  The result is sequential consistency ordered by
+``(timestamp, write-before-read)``, which is exactly what
+:mod:`repro.verify.serialization` checks for timestamp protocols.
+
+Liveness refinement: every applied read hit advances ``pts`` by one, so
+a lease yields a bounded number of hits before forcing a renewal.  A PE
+spinning on a flag therefore re-reads the directory every
+``lease_span``-ish hits and observes a foreign write without any
+invalidate — the bounded-staleness trick that makes spin loops terminate.
+
+The lease arithmetic lives here as module functions so the
+:class:`~repro.bus.directory.DirectoryNetwork` controller and the
+:mod:`repro.verify.timestamps` product machine provably use the same
+rules the protocol does.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError, ConfigurationError
+from repro.protocols.base import CoherenceProtocol, CpuReaction, SnoopReaction
+from repro.protocols.states import LineState
+
+_I = LineState.INVALID
+_R = LineState.READABLE
+_L = LineState.LOCAL
+_NP = LineState.NOT_PRESENT
+
+#: Default lease length in logical ticks.  Short enough that model
+#: checking stays small, long enough that a spin loop amortizes renewals.
+DEFAULT_LEASE_SPAN = 8
+
+
+def grant_lease(
+    dir_wts: int, dir_rts: int, requester_pts: int, lease_span: int
+) -> int:
+    """The lease end a directory grants a reader.
+
+    Never shrinks the outstanding lease (``dir_rts``), and always covers
+    the requester's next ``lease_span`` logical ticks past both its own
+    ``pts`` and the version's creation time ``dir_wts`` — so the fill
+    read at ``max(pts, wts)`` is always inside the granted lease.
+    """
+    return max(dir_rts, max(requester_pts, dir_wts) + lease_span)
+
+
+def write_timestamp(dir_rts: int, requester_pts: int) -> int:
+    """The timestamp a directory assigns a new write (= new ownership).
+
+    Strictly greater than every lease ever granted on the word
+    (``dir_rts`` is monotone and dominates them all), and at least the
+    writer's own program timestamp.
+    """
+    return max(dir_rts + 1, requester_pts)
+
+
+class TardisProtocol(CoherenceProtocol):
+    """Timestamp coherence over {I, R, L} with per-line leases in meta.
+
+    ``meta`` is ``rts`` — for an R copy the granted lease end, for the L
+    owner the timestamp of its last write (its self-lease).  The
+    per-instance fields:
+
+    Attributes:
+        lease_span: logical ticks added per lease grant/renewal.
+        pts: this PE's program timestamp (monotone).
+        last_commit_ts: logical timestamp of the last applied operation
+            (the serialization checker's ordering key).
+    """
+
+    name = "tardis"
+    states = (_I, _R, _L)
+    fabric = "directory"
+    uses_timestamps = True
+    spin_probe_safe = False
+
+    def __init__(self, lease_span: int = DEFAULT_LEASE_SPAN) -> None:
+        if lease_span < 1:
+            raise ConfigurationError(
+                f"lease_span must be >= 1, got {lease_span}"
+            )
+        self.lease_span = lease_span
+        self.pts = 0
+        self.last_commit_ts = 0
+        #: Lease rts delivered by the directory for the in-flight response
+        #: (consumed by the very next application; never survives a cycle).
+        self._response_meta: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # CPU side                                                            #
+    # ------------------------------------------------------------------ #
+
+    def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
+        if state is _L:
+            # The owner's copy is the latest version; always readable.
+            # The read commits at pts, so the self-lease must stretch to
+            # cover it — otherwise a foreign write could be assigned the
+            # very timestamp this read already committed at (the owner
+            # fetch hands rts to the directory, which grants writes only
+            # strictly past it).
+            return CpuReaction(
+                bus_op=None, next_state=_L, next_meta=max(meta, self.pts)
+            )
+        if state is _R and self.pts <= meta:
+            # Inside the lease: hit, stale-in-physical-time or not.
+            return CpuReaction(bus_op=None, next_state=_R, next_meta=meta)
+        # Expired lease, invalid or absent: renew from the directory.
+        return CpuReaction(
+            bus_op=BusOp.READ, next_state=_R, meta_from_response=True
+        )
+
+    def on_cpu_write(self, state: LineState, meta: int) -> CpuReaction:
+        if state is _L:
+            # Owner writes locally, past its previous version and its pts.
+            ts = max(self.pts, meta + 1)
+            return CpuReaction(
+                bus_op=None, next_state=_L, next_meta=ts, writes_value=True
+            )
+        # Obtain ownership (and the write timestamp) from the directory.
+        return CpuReaction(
+            bus_op=BusOp.WRITE,
+            next_state=_L,
+            writes_value=True,
+            meta_from_response=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # snoop side — there is none                                          #
+    # ------------------------------------------------------------------ #
+
+    def on_snoop(self, state: LineState, meta: int, op: BusOp) -> SnoopReaction:
+        raise CacheError(
+            f"{self.name}: snooped {op} — tardis is broadcast-free and "
+            "must run on a directory fabric"
+        )
+
+    # ------------------------------------------------------------------ #
+    # directory-fabric hooks                                              #
+    # ------------------------------------------------------------------ #
+
+    def meta_after_supplying(self, state: LineState, meta: int) -> int:
+        # The demoted owner keeps the self-lease [wts, wts]: its copy is
+        # the latest version, readable until someone writes past it.
+        return meta
+
+    def deliver_lease(self, wts: int, rts: int) -> None:
+        self._response_meta = rts
+        # Reading version wts orders this PE at or after wts; a granted
+        # write has wts == its assigned timestamp, so pts lands exactly.
+        self.pts = max(self.pts, wts)
+
+    def take_response_meta(self) -> int:
+        if self._response_meta is None:
+            raise CacheError(f"{self.name}: no lease response to consume")
+        rts = self._response_meta
+        self._response_meta = None
+        return rts
+
+    def state_after_ts_success(self) -> tuple[LineState, int]:
+        return _L, self.take_response_meta()
+
+    def state_after_ts_fail(self) -> tuple[LineState, int]:
+        return _R, self.take_response_meta()
+
+    def note_cpu_applied(self, cause: str, meta: int) -> None:
+        if cause in ("cpu-write", "ts-success"):
+            # meta is the write's assigned timestamp.
+            self.pts = max(self.pts, meta)
+            self.last_commit_ts = self.pts
+        else:
+            # Reads (and failed test-and-sets) commit at pts, then tick
+            # it forward — the bounded-staleness spin bump.
+            self.last_commit_ts = self.pts
+            self.pts += 1
+
+    # ------------------------------------------------------------------ #
+    # snapshots                                                           #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "pts": self.pts,
+            "last_commit_ts": self.last_commit_ts,
+            "response_meta": self._response_meta,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.pts = state["pts"]
+        self.last_commit_ts = state["last_commit_ts"]
+        self._response_meta = state["response_meta"]
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} timestamp protocol over states "
+            f"{{{', '.join(str(s) for s in self.states)}}} "
+            f"(lease_span={self.lease_span}, directory fabric)"
+        )

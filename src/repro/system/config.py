@@ -26,7 +26,11 @@ class MachineConfig:
         cache_ways: associativity; 1 gives the paper's direct-mapped cache.
         replacement: victim policy name for ``cache_ways > 1``.
         num_buses: physical buses in the interleaved fabric (Section 7);
-            1 gives the paper's base architecture.
+            1 gives the paper's base architecture.  Directory-fabric
+            protocols (e.g. ``"tardis"``) ignore snoop-bus interleaving
+            and require the default of 1.
+        directory_latency: request/response channel latency in cycles for
+            directory-fabric protocols (>= 1); snoop protocols ignore it.
         arbiter: bus arbitration policy name.
         memory_size: shared-memory size in words.
         num_regs: PE register-file size.
@@ -77,6 +81,7 @@ class MachineConfig:
     cache_ways: int = 1
     replacement: str = "lru"
     num_buses: int = 1
+    directory_latency: int = 1
     arbiter: str = "round-robin"
     memory_size: int = 65536
     num_regs: int = 16
@@ -107,6 +112,11 @@ class MachineConfig:
             )
         if self.num_buses < 1:
             raise ConfigurationError(f"need >= 1 bus, got {self.num_buses}")
+        if self.directory_latency < 1:
+            raise ConfigurationError(
+                f"directory_latency must be >= 1 cycle, got "
+                f"{self.directory_latency}"
+            )
         if self.memory_size < 1:
             raise ConfigurationError(
                 f"need >= 1 word of memory, got {self.memory_size}"

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.bus.arbiter import make_arbiter
 from repro.bus.bus import SharedBus
+from repro.bus.directory import DirectoryNetwork
 from repro.bus.interfaces import BusNetwork
 from repro.bus.multibus import InterleavedMultiBus
 from repro.bus.transaction import (
@@ -40,7 +41,7 @@ from repro.memory.main_memory import MainMemory
 from repro.processor.pe import Driver, ProcessingElement
 from repro.processor.program import Program
 from repro.processor.tracedriver import TraceDriver
-from repro.protocols.registry import make_protocol
+from repro.protocols.registry import make_protocol, protocol_fabric
 from repro.reliability.chaos import ChaosController
 from repro.system.config import MachineConfig
 from repro.system.kernel import EventKernel
@@ -157,6 +158,23 @@ class Machine:
     # ------------------------------------------------------------------ #
 
     def _build_bus(self, config: MachineConfig) -> BusNetwork:
+        if protocol_fabric(config.protocol) == "directory":
+            if config.num_buses != 1:
+                raise ConfigurationError(
+                    f"protocol {config.protocol!r} runs on the directory "
+                    f"fabric; num_buses={config.num_buses} interleaving "
+                    "applies only to snoop buses"
+                )
+            if config.chaos is not None and config.chaos.enabled:
+                raise ConfigurationError(
+                    f"protocol {config.protocol!r} runs on the directory "
+                    "fabric, which has no chaos/fault-injection model yet"
+                )
+            return DirectoryNetwork(
+                self.memory,
+                latency=config.directory_latency,
+                trace=self.tracer,
+            )
         if config.num_buses == 1:
             return SharedBus(
                 self.memory,

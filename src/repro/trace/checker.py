@@ -21,6 +21,14 @@ lines at the end of every machine cycle:
    replayed from the trace; a dropped dirty line or a clobbering
    write-back shows up here.
 
+For a timestamp protocol (tardis) the invariants change shape: read
+copies legitimately coexist with the owner and may be *physically* stale,
+as long as their lease ended before the latest write's logical timestamp
+(they serialize before it).  The checker then verifies single-owner,
+latest-value-exists, and that every fresher-leased copy — the owner
+included — equals the latest value; the configuration lemma does not
+apply.
+
 A violation raises :class:`~repro.common.errors.VerificationError` with
 the offending trace tail, so the exact bus-cycle sequence that produced
 the bad configuration is in the message.
@@ -67,6 +75,9 @@ class OnlineCoherenceChecker:
         self._touched: set[int] = set()
         #: Shadow model: address -> last architecturally written value.
         self._expected: dict[int, int] = {}
+        #: Timestamp protocols only: address -> logical timestamp of the
+        #: latest write (a stale copy is legal iff its lease ends first).
+        self._latest_ts: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # TraceSink face                                                      #
@@ -86,6 +97,11 @@ class OnlineCoherenceChecker:
         elif isinstance(event, LineTransition):
             if event.cause in _WRITE_CAUSES and event.value is not None:
                 self._expected[event.address] = event.value
+                # For timestamp protocols the writer's meta is the write's
+                # logical timestamp; meaningless (and unread) otherwise.
+                self._latest_ts[event.address] = max(
+                    self._latest_ts.get(event.address, 0), event.meta
+                )
 
     # ------------------------------------------------------------------ #
     # per-cycle verification                                              #
@@ -127,12 +143,16 @@ class OnlineCoherenceChecker:
         return {
             "checked_cycles": self.checked_cycles,
             "expected": sorted(self._expected.items()),
+            "latest_ts": sorted(self._latest_ts.items()),
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore :meth:`state_dict` output in place."""
         self.checked_cycles = state["checked_cycles"]
         self._expected = {int(a): int(v) for a, v in state["expected"]}
+        self._latest_ts = {
+            int(a): int(v) for a, v in state.get("latest_ts", [])
+        }
         self._touched.clear()
         self.tail.clear()
 
@@ -154,6 +174,11 @@ class OnlineCoherenceChecker:
                 machine,
                 f"caches {dirty} all hold dirty copies",
             )
+        if machine.caches and getattr(
+            machine.caches[0].protocol, "uses_timestamps", False
+        ):
+            self._check_timestamp_address(machine, address, holders)
+            return
         if dirty:
             broken = [
                 f"{cache.name}={line.state}"
@@ -194,6 +219,38 @@ class OnlineCoherenceChecker:
                 machine,
                 f"latest value is {latest} but {', '.join(stale)} "
                 "would satisfy a CPU read",
+            )
+        expected = self._expected.get(address)
+        if expected is not None and latest != expected:
+            self._fail(
+                "latest-value-exists",
+                address,
+                machine,
+                f"last written value {expected} is held nowhere "
+                f"(machine's latest is {latest})",
+            )
+
+    def _check_timestamp_address(
+        self, machine: "Machine", address: int, holders: list
+    ) -> None:
+        """Lease-aware invariants (the single-dirty check already ran)."""
+        latest = machine.latest_value(address)
+        frontier = self._latest_ts.get(address, 0)
+        stale = [
+            f"{cache.name}={line.state}({line.value},rts={line.meta})"
+            for cache, line in holders
+            if line.state.readable_locally
+            and line.value != latest
+            and line.meta >= frontier
+        ]
+        if stale:
+            self._fail(
+                "lease-frontier-freshness",
+                address,
+                machine,
+                f"latest value is {latest} (written at ts {frontier}) but "
+                f"{', '.join(stale)} hold stale copies whose leases reach "
+                "that timestamp",
             )
         expected = self._expected.get(address)
         if expected is not None and latest != expected:

@@ -164,6 +164,45 @@ class LineTransition(TraceEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class LeaseGrant(TraceEvent):
+    """The directory granted (or renewed) a timestamp lease.
+
+    ``op`` is the request that earned the lease (``BR``/``BRL`` for read
+    leases, ``BW``/``BWU`` for write ownership, where ``wts == rts``).
+    ``wts`` is the version's write timestamp, ``rts`` the granted lease
+    end (Tardis: the copy may be read while the reader's pts <= rts).
+    """
+
+    kind: ClassVar[str] = "lease"
+
+    bus: str
+    client: int
+    op: BusOp
+    address: int
+    wts: int
+    rts: int
+
+
+@dataclass(frozen=True, slots=True)
+class OwnerFetch(TraceEvent):
+    """The directory pulled the latest version out of the current owner.
+
+    The owner is demoted to a readable copy (keeping its self-lease), the
+    surrendered value is written through to memory and the surrendered
+    write timestamp (``wts``) becomes the directory's version timestamp.
+    """
+
+    kind: ClassVar[str] = "owner-fetch"
+
+    bus: str
+    owner: int
+    requester: int
+    address: int
+    value: int
+    wts: int
+
+
+@dataclass(frozen=True, slots=True)
 class MemoryLock(TraceEvent):
     """A read-with-lock reserved a memory region for one client."""
 
@@ -297,6 +336,8 @@ EVENT_KINDS: dict[str, type[TraceEvent]] = {
         BusInterrupt,
         BusCompletion,
         LineTransition,
+        LeaseGrant,
+        OwnerFetch,
         MemoryLock,
         MemoryUnlock,
         SyncOp,

@@ -14,6 +14,10 @@ simulator runs* and exhaustively explores it:
 * :mod:`repro.verify.serialization` — the proof's serial-execution-order
   construction applied to *simulated* traces: runs real machines on random
   workloads and checks every read returned the latest serialized write.
+* :mod:`repro.verify.timestamps` — the lease product machine for
+  broadcast-free timestamp protocols (Tardis): canonicalized bounded-window
+  exhaustive search proving single-writer-per-lease and lease-frontier
+  freshness.
 """
 
 from repro.verify.checker import VerificationReport, check_protocol
@@ -24,6 +28,12 @@ from repro.verify.serialization import (
     check_serializability,
     run_random_consistency_trial,
 )
+from repro.verify.timestamps import (
+    TimestampKernel,
+    TsCache,
+    TsState,
+    check_timestamp_protocol,
+)
 
 __all__ = [
     "AbstractCache",
@@ -31,8 +41,12 @@ __all__ = [
     "OpRecord",
     "SerializationReport",
     "SingleAddressKernel",
+    "TimestampKernel",
+    "TsCache",
+    "TsState",
     "VerificationReport",
     "check_protocol",
     "check_serializability",
+    "check_timestamp_protocol",
     "run_random_consistency_trial",
 ]

@@ -90,6 +90,19 @@ def check_protocol(
     """
     if num_caches < 1:
         raise ConfigurationError(f"need >= 1 cache, got {num_caches}")
+    if getattr(protocol, "uses_timestamps", False):
+        # Timestamp protocols have no snoop semantics; their proof
+        # obligations live in the lease product machine instead.
+        from repro.verify.timestamps import check_timestamp_protocol
+
+        return check_timestamp_protocol(
+            protocol,
+            num_caches=num_caches,
+            include_ts=include_ts,
+            include_evictions=include_evictions,
+            max_states=max_states,
+            max_violations=max_violations,
+        )
     kernel = SingleAddressKernel(protocol)
     report = VerificationReport(protocol.name, num_caches)
     actions = [a for a in ACTIONS if _enabled(a, include_ts, include_evictions)]

@@ -42,6 +42,9 @@ class OpRecord:
         phase: intra-cycle ordering — 0 for operations completed by the
             bus (which moves first within a machine cycle), 1 for local
             cache hits completed in the driver phase.
+        ts: logical commit timestamp, recorded only for timestamp
+            protocols (-1 otherwise).  When every record carries one,
+            the serial order is logical time, not physical time.
     """
 
     cycle: int
@@ -52,6 +55,7 @@ class OpRecord:
     wrote: bool
     written_value: Word = 0
     phase: int = 0
+    ts: int = -1
 
 
 @dataclass(slots=True)
@@ -109,22 +113,30 @@ class _RecordingDriver(Driver):
         def record(result: Word) -> None:
             # Synchronous completion => local hit in the driver phase.
             phase = 1 if self._issuing else 0
+            protocol = self.cache.protocol
+            # Timestamp protocols serialize in logical time: the commit
+            # timestamp the protocol noted while applying this very op.
+            ts = (
+                protocol.last_commit_ts
+                if getattr(protocol, "uses_timestamps", False)
+                else -1
+            )
             if access is AccessType.READ:
                 self._log.append(
                     OpRecord(self._machine.cycle, self.pe_id, access, address,
-                             value=result, wrote=False, phase=phase)
+                             value=result, wrote=False, phase=phase, ts=ts)
                 )
             elif access is AccessType.WRITE:
                 self._log.append(
                     OpRecord(self._machine.cycle, self.pe_id, access, address,
                              value=intended, wrote=True, written_value=intended,
-                             phase=phase)
+                             phase=phase, ts=ts)
                 )
             else:
                 self._log.append(
                     OpRecord(self._machine.cycle, self.pe_id, access, address,
                              value=result, wrote=(result == 0),
-                             written_value=intended, phase=phase)
+                             written_value=intended, phase=phase, ts=ts)
                 )
         return record
 
@@ -137,14 +149,29 @@ def check_serializability(records: list[OpRecord]) -> SerializationReport:
     (writes, misses, test-and-set) occupy the cycle the bus granted them;
     local hits occupy the cycle they executed; both orderings are
     sub-orderings of the construction in the paper.
+
+    When every record carries a logical commit timestamp (a timestamp
+    protocol ran), the serial order is logical time instead: a stale
+    physical read is correct precisely because it serializes *before*
+    the write that staled its copy, at a smaller timestamp.  A write's
+    timestamp exceeds every granted lease, so a cross-PE same-timestamp
+    write/read pair cannot exist; within one PE equal stamps are only
+    write-then-read, which ``wrote`` orders correctly.
     """
     report = SerializationReport(operations=len(records))
-    # Within one bus cycle, a single transaction completes; when it is a
-    # write, any reads it satisfied by broadcast absorption causally follow
-    # it, hence writes order before reads at equal (cycle, phase).
-    serial = sorted(
-        records, key=lambda r: (r.cycle, r.phase, 0 if r.wrote else 1, r.pe)
-    )
+    if records and all(r.ts >= 0 for r in records):
+        serial = sorted(
+            records,
+            key=lambda r: (r.ts, 0 if r.wrote else 1, r.pe, r.cycle, r.phase),
+        )
+    else:
+        # Within one bus cycle, a single transaction completes; when it is
+        # a write, any reads it satisfied by broadcast absorption causally
+        # follow it, hence writes order before reads at equal (cycle,
+        # phase).
+        serial = sorted(
+            records, key=lambda r: (r.cycle, r.phase, 0 if r.wrote else 1, r.pe)
+        )
     latest: dict[Address, Word] = {}
     for position, record in enumerate(serial):
         if record.access is not AccessType.WRITE:

@@ -1,0 +1,602 @@
+"""Exhaustive model checking for timestamp (Tardis-style) protocols.
+
+The Section 4 product machine assumes a broadcast bus: every transition is
+"one bus transaction + everyone snoops".  A timestamp protocol has no
+broadcasts, so its proof obligations are different — and in two places
+*weaker in physical time but exact in logical time*:
+
+1. **Single writer per lease** — a write is assigned a logical timestamp
+   strictly greater than every read lease ever granted on the word, so no
+   read lease ever spans a foreign write.  This is the timestamp analogue
+   of the Lemma's single-writer invariant.
+2. **Latest value at the lease frontier** — any copy whose lease end
+   (``rts``) is at or past the directory's version timestamp (``wts``)
+   holds the latest value.  Copies with older leases may be physically
+   stale, and reading them is *legal*: the read commits at ``pts <= rts <
+   wts``, i.e. logically before the write that made it stale.  The checker
+   verifies exactly that justification at every stale hit.
+
+The product state is: per cache ``(line state, rts, has_latest)`` plus its
+protocol instance's ``pts``, the directory word ``(wts, rts, owner)`` and
+the memory-latest bit.  Transitions drive the *production*
+:class:`~repro.protocols.tardis.TardisProtocol` tables and hooks (the
+instance's ``pts`` is loaded from the product state before every call) and
+the same :func:`~repro.protocols.tardis.grant_lease` /
+:func:`~repro.protocols.tardis.write_timestamp` arithmetic the
+:class:`~repro.bus.directory.DirectoryNetwork` controller uses — a bug in
+any of them is found here.
+
+Timestamps grow without bound, so reachable states are quotiented by the
+symmetries every transition preserves — the zone-normalization idea from
+timed-automata checking.  All timestamp arithmetic is ``max``, ``+ 1``,
+``+ lease_span`` and order comparison, which means a pairwise difference
+matters *exactly* up to ``lease_span + 1`` and only *categorically*
+("larger") beyond it.  Canonicalization therefore (a) raises inert
+lagging pts values to their floor, (b) compresses every gap between
+adjacent timestamps to at most ``lease_span + 1`` and rebases at zero,
+and (c) sorts the interchangeable caches.  The quotient is finite, so
+the breadth-first search is a complete proof, not a bounded window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError, VerificationError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.states import LineState
+from repro.protocols.tardis import grant_lease, write_timestamp
+from repro.verify.checker import VerificationReport
+
+_NP = LineState.NOT_PRESENT
+_R = LineState.READABLE
+_L = LineState.LOCAL
+
+#: Same action vocabulary as the snoop checker.
+ACTIONS = ("read", "write", "evict", "ts_success", "ts_fail")
+
+
+@dataclass(frozen=True, slots=True)
+class TsCache:
+    """One cache's abstract view: line state, lease end, freshness, pts."""
+
+    state: LineState = _NP
+    rts: int = 0
+    has_latest: bool = False
+    pts: int = 0
+
+    @property
+    def present(self) -> bool:
+        return self.state.is_present
+
+
+@dataclass(frozen=True, slots=True)
+class TsState:
+    """One product state: caches + the directory word + memory freshness."""
+
+    caches: tuple[TsCache, ...]
+    dir_wts: int = 0
+    dir_rts: int = 0
+    owner: int | None = None
+    memory_has_latest: bool = True
+
+    def replace_cache(self, index: int, cache: TsCache) -> "TsState":
+        """A copy of this state with cache *index* swapped for *cache*."""
+        caches = list(self.caches)
+        caches[index] = cache
+        return replace(self, caches=tuple(caches))
+
+    def describe(self) -> str:
+        """One-line rendering for violation messages."""
+        cells = ", ".join(
+            f"{c.state}{'*' if c.has_latest else ''}"
+            f"(rts={c.rts},pts={c.pts})"
+            for c in self.caches
+        )
+        mem = "mem*" if self.memory_has_latest else "mem"
+        own = f"own={self.owner}" if self.owner is not None else "no-owner"
+        return (
+            f"[{cells} | dir(wts={self.dir_wts},rts={self.dir_rts},{own}) "
+            f"| {mem}]"
+        )
+
+    def canonical(self, gap_cap: int) -> "TsState":
+        """Quotient by the three symmetries transitions preserve.
+
+        *Clamp*: a pts below ``min(dir_wts, rts)`` is inert — the hit
+        guard ``pts <= rts`` stays true, and both ``grant_lease``
+        (``max(pts, wts) + span``) and ``write_timestamp``
+        (``max(dir_rts + 1, pts)``) are dominated by a larger term —
+        so lagging pts values are raised to that floor (a simulation:
+        a concrete read hit below the floor maps to an abstract
+        stutter).  *Zone compression*: the arithmetic adds at most
+        ``lease_span``, so a pairwise difference is distinguishable
+        exactly up to ``gap_cap = lease_span + 1`` and only as "larger"
+        beyond it; every gap between adjacent timestamps is compressed
+        to at most ``gap_cap`` and the whole frame rebased at zero.
+        *Permutation*: the kernel drives one shared protocol instance
+        (pts is part of the product state), so caches are fully
+        interchangeable — sorting them (owner flag included, so twin
+        states differing only in *which* twin owns coincide) yields
+        another bisimilar state.  Together they make the reachable
+        quotient finite, with every timestamp below
+        ``(2 * num_caches + 1) * gap_cap``.
+        """
+        clamped = [
+            replace(
+                c,
+                pts=max(
+                    c.pts,
+                    min(self.dir_wts, c.rts) if c.present else self.dir_wts,
+                ),
+            )
+            for c in self.caches
+        ]
+        stamps = {self.dir_wts, self.dir_rts}
+        stamps.update(c.pts for c in clamped)
+        stamps.update(c.rts for c in clamped if c.present)
+        remap: dict[int, int] = {}
+        level = prev = 0
+        for value in sorted(stamps):
+            if remap:
+                level += min(value - prev, gap_cap)
+            remap[value] = level
+            prev = value
+        squeezed = [
+            replace(
+                c,
+                pts=remap[c.pts],
+                rts=remap[c.rts] if c.present else 0,
+            )
+            for c in clamped
+        ]
+        order = sorted(
+            range(len(squeezed)),
+            key=lambda i: (
+                squeezed[i].state.value,
+                squeezed[i].rts,
+                squeezed[i].has_latest,
+                squeezed[i].pts,
+                i == self.owner,
+            ),
+        )
+        owner = None if self.owner is None else order.index(self.owner)
+        return TsState(
+            caches=tuple(squeezed[i] for i in order),
+            dir_wts=remap[self.dir_wts],
+            dir_rts=remap[self.dir_rts],
+            owner=owner,
+            memory_has_latest=self.memory_has_latest,
+        )
+
+
+class TimestampKernel:
+    """Applies high-level actions to :class:`TsState` values.
+
+    Args:
+        protocol: a timestamp protocol instance; its tables and
+            directory-fabric hooks drive every transition.
+    """
+
+    def __init__(self, protocol: CoherenceProtocol) -> None:
+        if not getattr(protocol, "uses_timestamps", False):
+            raise ConfigurationError(
+                f"{protocol.name} is not a timestamp protocol"
+            )
+        self.protocol = protocol
+        self.lease_span = getattr(protocol, "lease_span", 1)
+        #: Differences are distinguishable exactly up to one lease span
+        #: (plus the +1 of a write); beyond that only "larger" matters.
+        self.gap_cap = self.lease_span + 1
+
+    def initial_state(self, num_caches: int) -> TsState:
+        """Everything not-present, all timestamps zero, memory fresh."""
+        return TsState(caches=tuple(TsCache() for _ in range(num_caches)))
+
+    def apply(self, state: TsState, action: str, index: int) -> TsState:
+        """Run *action* by cache *index*; returns the canonical successor.
+
+        Raises:
+            VerificationError: the action would observe unjustifiable
+                data or break a timestamp proof obligation.
+        """
+        if action == "read":
+            out = self._cpu_read(state, index)
+        elif action == "write":
+            out = self._cpu_write(state, index)
+        elif action == "evict":
+            out = self._evict(state, index)
+        elif action == "ts_success":
+            out = self._test_and_set(state, index, success=True)
+        elif action == "ts_fail":
+            out = self._test_and_set(state, index, success=False)
+        else:
+            raise VerificationError(f"unknown kernel action {action!r}")
+        return out.canonical(self.gap_cap)
+
+    # ------------------------------------------------------------------ #
+    # directory sub-steps                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _fetch_owner(self, state: TsState, requester: int) -> TsState:
+        """Demote a foreign owner and write its version through (the
+        controller's owner fetch)."""
+        if state.owner is None or state.owner == requester:
+            return state
+        owner = state.caches[state.owner]
+        if not owner.has_latest:
+            raise VerificationError(
+                f"owner {state.owner} surrendered a stale value in "
+                f"{state.describe()}"
+            )
+        demoted = replace(
+            owner,
+            state=self.protocol.state_after_supplying(owner.state),
+            rts=self.protocol.meta_after_supplying(owner.state, owner.rts),
+        )
+        state = state.replace_cache(state.owner, demoted)
+        return replace(
+            state,
+            dir_wts=max(state.dir_wts, owner.rts),
+            dir_rts=max(state.dir_rts, owner.rts),
+            owner=None,
+            memory_has_latest=True,
+        )
+
+    def _assert_write_outside_leases(
+        self, state: TsState, writer: int, ts: int, what: str
+    ) -> None:
+        """Proof obligation 1: no foreign read lease spans this write."""
+        for i, cache in enumerate(state.caches):
+            if i == writer or not cache.present:
+                continue
+            if cache.rts >= ts:
+                raise VerificationError(
+                    f"{what} by cache {writer} at ts={ts} lands inside "
+                    f"cache {i}'s lease (rts={cache.rts}) in "
+                    f"{state.describe()}"
+                )
+
+    def _sync_pts(self, state: TsState, index: int) -> None:
+        """Load the product state's pts into the protocol instance."""
+        self.protocol.pts = state.caches[index].pts
+
+    def _stale_others(self, state: TsState, writer: int) -> TsState:
+        """A new version was born at *writer*: every other copy is stale."""
+        return replace(
+            state,
+            caches=tuple(
+                replace(c, has_latest=(i == writer))
+                for i, c in enumerate(state.caches)
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # CPU read                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _cpu_read(self, state: TsState, index: int) -> TsState:
+        me = state.caches[index]
+        self._sync_pts(state, index)
+        reaction = self.protocol.on_cpu_read(me.state, me.rts)
+        if reaction.is_local_hit:
+            if not me.has_latest:
+                # Proof obligation 2 (stale-hit justification): the read
+                # commits at pts <= rts; it is legal iff it logically
+                # precedes the write that staled this copy (rts < wts).
+                if me.rts >= state.dir_wts:
+                    raise VerificationError(
+                        f"cache {index} read a stale copy whose lease "
+                        f"(rts={me.rts}) reaches the latest version "
+                        f"(wts={state.dir_wts}) in {state.describe()}"
+                    )
+                if me.pts > me.rts:
+                    raise VerificationError(
+                        f"cache {index} hit past its lease (pts={me.pts} > "
+                        f"rts={me.rts}) in {state.describe()}"
+                    )
+            # The applied hit bumps pts (bounded-staleness liveness); the
+            # owner's self-lease stretches over the commit (next_meta).
+            self.protocol.note_cpu_applied("cpu-read", reaction.next_meta)
+            commit = self.protocol.last_commit_ts
+            if me.has_latest and commit > reaction.next_meta:
+                # A fresh read must commit inside its copy's lease: the
+                # directory grants future writes only strictly past the
+                # rts it knows about, so a commit beyond the lease could
+                # collide with (or follow) a later write's timestamp.
+                raise VerificationError(
+                    f"cache {index} committed a fresh read at ts={commit} "
+                    f"beyond its lease (rts={reaction.next_meta}) in "
+                    f"{state.describe()}"
+                )
+            return state.replace_cache(
+                index,
+                replace(me, rts=reaction.next_meta, pts=self.protocol.pts),
+            )
+        # Renewal through the directory.
+        state = self._fetch_owner(state, index)
+        if not state.memory_has_latest:
+            raise VerificationError(
+                f"directory read by cache {index} fetched stale memory in "
+                f"{state.describe()}"
+            )
+        lease = grant_lease(
+            state.dir_wts, state.dir_rts, me.pts, self.lease_span
+        )
+        self.protocol.deliver_lease(state.dir_wts, lease)
+        rts = self.protocol.take_response_meta()
+        self.protocol.note_cpu_applied("cpu-read", rts)
+        me = TsCache(
+            state=reaction.next_state,
+            rts=rts,
+            has_latest=True,
+            pts=self.protocol.pts,
+        )
+        state = replace(state, dir_rts=lease)
+        return state.replace_cache(index, me)
+
+    # ------------------------------------------------------------------ #
+    # CPU write                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _cpu_write(self, state: TsState, index: int) -> TsState:
+        me = state.caches[index]
+        self._sync_pts(state, index)
+        reaction = self.protocol.on_cpu_write(me.state, me.rts)
+        if reaction.is_local_hit:
+            # The owner writes locally at next_meta = max(pts, rts + 1).
+            ts = reaction.next_meta
+            if state.owner != index:
+                raise VerificationError(
+                    f"cache {index} wrote locally without directory "
+                    f"ownership in {state.describe()}"
+                )
+            self._assert_write_outside_leases(state, index, ts, "local write")
+            state = self._stale_others(state, index)
+            self.protocol.note_cpu_applied("cpu-write", ts)
+            me = TsCache(
+                state=reaction.next_state,
+                rts=ts,
+                has_latest=True,
+                pts=self.protocol.pts,
+            )
+            state = replace(
+                state,
+                dir_wts=max(state.dir_wts, ts),
+                dir_rts=max(state.dir_rts, ts),
+                memory_has_latest=False,
+            )
+            return state.replace_cache(index, me)
+        # Ownership through the directory.
+        state = self._fetch_owner(state, index)
+        ts = write_timestamp(state.dir_rts, me.pts)
+        self._assert_write_outside_leases(state, index, ts, "directory write")
+        state = self._stale_others(state, index)
+        self.protocol.deliver_lease(ts, ts)
+        rts = self.protocol.take_response_meta()
+        self.protocol.note_cpu_applied("cpu-write", rts)
+        me = TsCache(
+            state=reaction.next_state,
+            rts=rts,
+            has_latest=True,
+            pts=self.protocol.pts,
+        )
+        # The controller writes the new value through, so memory holds the
+        # latest version too (until the owner's next local write).
+        state = replace(
+            state,
+            dir_wts=ts,
+            dir_rts=ts,
+            owner=index,
+            memory_has_latest=True,
+        )
+        return state.replace_cache(index, me)
+
+    # ------------------------------------------------------------------ #
+    # eviction                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _evict(self, state: TsState, index: int) -> TsState:
+        me = state.caches[index]
+        if not me.present:
+            return state
+        if self.protocol.needs_writeback(me.state):
+            if state.owner != index:
+                raise VerificationError(
+                    f"dirty line at cache {index} without directory "
+                    f"ownership in {state.describe()}"
+                )
+            state = replace(
+                state,
+                dir_wts=max(state.dir_wts, me.rts),
+                dir_rts=max(state.dir_rts, me.rts),
+                owner=None,
+                memory_has_latest=me.has_latest,
+            )
+        return state.replace_cache(index, replace(TsCache(), pts=me.pts))
+
+    # ------------------------------------------------------------------ #
+    # test-and-set                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _test_and_set(
+        self, state: TsState, index: int, success: bool
+    ) -> TsState:
+        me = state.caches[index]
+        self._sync_pts(state, index)
+        # Phase 0: the simulator flushes this cache's own dirty line
+        # before issuing the locked read.
+        if me.present and self.protocol.needs_writeback(me.state):
+            demoted = replace(
+                me,
+                state=self.protocol.state_after_supplying(me.state),
+                rts=self.protocol.meta_after_supplying(me.state, me.rts),
+            )
+            state = replace(
+                state,
+                dir_wts=max(state.dir_wts, me.rts),
+                dir_rts=max(state.dir_rts, me.rts),
+                owner=None,
+                memory_has_latest=me.has_latest,
+            )
+            state = state.replace_cache(index, demoted)
+            me = demoted
+        # Phase 1: read-with-lock at the directory.
+        state = self._fetch_owner(state, index)
+        if not state.memory_has_latest:
+            raise VerificationError(
+                f"read-with-lock by cache {index} fetched stale memory in "
+                f"{state.describe()}"
+            )
+        lease = grant_lease(
+            state.dir_wts, state.dir_rts, me.pts, self.lease_span
+        )
+        self.protocol.deliver_lease(state.dir_wts, lease)
+        fail_state, fail_rts = self.protocol.state_after_ts_fail()
+        state = replace(state, dir_rts=lease)
+        me = TsCache(
+            state=fail_state,
+            rts=fail_rts,
+            has_latest=True,
+            pts=self.protocol.pts,
+        )
+        state = state.replace_cache(index, me)
+        if not success:
+            self.protocol.note_cpu_applied("ts-fail", fail_rts)
+            return state.replace_cache(
+                index, replace(me, pts=self.protocol.pts)
+            )
+        # Phase 2: write-with-unlock — ownership at a fresh timestamp.
+        ts = write_timestamp(state.dir_rts, self.protocol.pts)
+        self._assert_write_outside_leases(state, index, ts, "test-and-set")
+        state = self._stale_others(state, index)
+        self.protocol.deliver_lease(ts, ts)
+        success_state, success_rts = self.protocol.state_after_ts_success()
+        self.protocol.note_cpu_applied("ts-success", success_rts)
+        me = TsCache(
+            state=success_state,
+            rts=success_rts,
+            has_latest=True,
+            pts=self.protocol.pts,
+        )
+        state = replace(
+            state,
+            dir_wts=ts,
+            dir_rts=ts,
+            owner=index,
+            memory_has_latest=True,
+        )
+        return state.replace_cache(index, me)
+
+
+def check_timestamp_protocol(
+    protocol: CoherenceProtocol,
+    num_caches: int = 3,
+    include_ts: bool = True,
+    include_evictions: bool = True,
+    max_states: int = 500_000,
+    max_violations: int = 10,
+) -> VerificationReport:
+    """Exhaustively explore the timestamp product machine.
+
+    Mirrors :func:`repro.verify.checker.check_protocol` for directory
+    protocols.  Zone canonicalization (see :meth:`TsState.canonical`)
+    makes the reachable quotient finite, so a run that does not hit
+    *max_states* is a complete proof over every reachable
+    configuration, not a bounded sample.
+    """
+    if num_caches < 1:
+        raise ConfigurationError(f"need >= 1 cache, got {num_caches}")
+    kernel = TimestampKernel(protocol)
+    report = VerificationReport(protocol.name, num_caches)
+    actions = [
+        a
+        for a in ACTIONS
+        if (include_ts or not a.startswith("ts_"))
+        and (include_evictions or a != "evict")
+    ]
+    initial = kernel.initial_state(num_caches).canonical(kernel.gap_cap)
+    seen: set[TsState] = {initial}
+    frontier: deque[TsState] = deque([initial])
+    _check_invariants(initial, report)
+    while frontier:
+        if len(seen) > max_states:
+            report.truncated = True
+            break
+        if len(report.violations) >= max_violations:
+            break
+        state = frontier.popleft()
+        for action in actions:
+            for index in range(num_caches):
+                report.transitions += 1
+                try:
+                    successor = kernel.apply(state, action, index)
+                except VerificationError as exc:
+                    report.violations.append(
+                        f"{action}({index}) from {state.describe()}: {exc}"
+                    )
+                    continue
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+                    _check_invariants(successor, report)
+    report.states_explored = len(seen)
+    return report
+
+
+def _check_invariants(state: TsState, report: VerificationReport) -> None:
+    # describe() is costly and violations are the exception: build the
+    # state label only when something is actually wrong.
+    class _Where:
+        def __str__(self) -> str:
+            return state.describe()
+
+    where = _Where()
+    dirty = [
+        i
+        for i, c in enumerate(state.caches)
+        if c.present and c.state.may_differ_from_memory
+    ]
+    if len(dirty) > 1:
+        report.violations.append(f"multiple owners {dirty} in {where}")
+    if dirty and state.owner != dirty[0]:
+        report.violations.append(
+            f"cache {dirty[0]} is dirty but the directory says owner="
+            f"{state.owner} in {where}"
+        )
+    if not dirty and state.owner is not None:
+        report.violations.append(
+            f"directory owner {state.owner} holds no dirty line in {where}"
+        )
+    for i in dirty:
+        if not state.caches[i].has_latest:
+            report.violations.append(
+                f"owner {i} does not hold the latest value in {where}"
+            )
+    if not dirty and not state.memory_has_latest:
+        report.violations.append(
+            f"no owner, yet memory is stale in {where}"
+        )
+    for i, c in enumerate(state.caches):
+        # Proof obligation 2 as a state invariant: a lease reaching the
+        # latest version timestamp guarantees freshness.
+        if c.present and c.rts >= state.dir_wts and not c.has_latest:
+            report.violations.append(
+                f"cache {i} lease rts={c.rts} covers wts={state.dir_wts} "
+                f"but its copy is stale in {where}"
+            )
+        if c.present and i != state.owner and c.rts > state.dir_rts:
+            report.violations.append(
+                f"cache {i} holds lease rts={c.rts} the directory never "
+                f"granted (dir rts={state.dir_rts}) in {where}"
+            )
+    if state.dir_wts > state.dir_rts:
+        report.violations.append(
+            f"directory wts={state.dir_wts} exceeds rts={state.dir_rts} "
+            f"in {where}"
+        )
+    if not state.memory_has_latest and not any(
+        c.present and c.has_latest for c in state.caches
+    ):
+        report.violations.append(f"latest value lost entirely in {where}")

@@ -124,6 +124,35 @@ def _consumer_program(
     return asm.assemble()
 
 
+def build_producer_consumer_programs(
+    items: int,
+    generations: int,
+    consumers: int,
+    data_base: int = 16,
+    flag: int = 0,
+    ack_base: int = 1,
+) -> list[Program]:
+    """The producer program plus one program per consumer.
+
+    Shared-word layout: ``flag`` holds the published generation,
+    ``ack_base + c`` is consumer *c*'s acknowledgement word, and
+    ``data_base .. data_base + items - 1`` is the rewritten block.
+    Programs load in PE order: producer first, then each consumer.
+    """
+    if items < 1 or generations < 1 or consumers < 1:
+        raise ConfigurationError("items, generations and consumers must be >= 1")
+    programs = [
+        _producer_program(data_base, flag, ack_base, items, generations, consumers)
+    ]
+    for consumer in range(consumers):
+        programs.append(
+            _consumer_program(
+                data_base, flag, ack_base + consumer, items, generations
+            )
+        )
+    return programs
+
+
 def run_producer_consumer(
     protocol: str,
     items: int = 16,
@@ -145,16 +174,12 @@ def run_producer_consumer(
         protocol_options: forwarded to the protocol factory.
         max_cycles: livelock guard.
     """
-    if items < 1 or generations < 1 or consumers < 1:
-        raise ConfigurationError("items, generations and consumers must be >= 1")
     if items + consumers + 1 >= cache_lines:
         raise ConfigurationError(
             "choose cache_lines > items + consumers + 1 so capacity misses "
             "do not pollute the coherence comparison"
         )
     data_base = 16
-    flag = 0
-    ack_base = 1
     config = MachineConfig(
         num_pes=1 + consumers,
         protocol=protocol,
@@ -163,14 +188,11 @@ def run_producer_consumer(
         memory_size=data_base + items + 16,
     )
     machine = Machine(config)
-    programs = [
-        _producer_program(data_base, flag, ack_base, items, generations, consumers)
-    ]
-    for consumer in range(consumers):
-        programs.append(
-            _consumer_program(data_base, flag, ack_base + consumer, items, generations)
+    machine.load_programs(
+        build_producer_consumer_programs(
+            items, generations, consumers, data_base=data_base
         )
-    machine.load_programs(programs)
+    )
     cycles = machine.run(max_cycles=max_cycles)
     bus = machine.stats.bag("bus")
     stats = machine.stats

@@ -6,7 +6,7 @@ final memory image."""
 import pytest
 
 from repro.checkpoint.replay import verify_resume
-from repro.protocols.registry import available_protocols
+from repro.protocols.registry import available_protocols, protocol_fabric
 
 from tests.checkpoint.workloads import make_factory
 
@@ -17,6 +17,8 @@ WORKLOADS = ("counter", "producer-consumer")
 @pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("chaos", [False, True], ids=["clean", "chaos"])
 def test_resume_is_bit_identical(protocol, workload, chaos):
+    if chaos and protocol_fabric(protocol) == "directory":
+        pytest.skip("the directory fabric has no chaos model")
     factory = make_factory(protocol=protocol, workload=workload, chaos=chaos)
     report = verify_resume(factory, at_cycle=40)
     assert report.identical, "\n".join(report.mismatches)

@@ -22,6 +22,20 @@ class TestCli:
             name, _, description = line.partition("  ")
             assert description.strip(), f"no description for {name!r}"
 
+    def test_list_protocols_flag(self, capsys):
+        assert main(["list", "--protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered coherence protocols:" in out
+        assert "tardis" in out
+        assert "fabric=directory" in out
+        assert "ordering=logical timestamps" in out
+        assert "fabric=snoop" in out
+
+    def test_protocols_flag_requires_list(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["figure-3-1", "--protocols"])
+        assert exc.value.code == 2
+
     def test_runs_a_figure(self, capsys):
         assert main(["figure-3-1"]) == 0
         out = capsys.readouterr().out

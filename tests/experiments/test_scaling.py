@@ -1,0 +1,40 @@
+"""Tests for the snoop-vs-timestamp scaling experiment."""
+
+from repro.experiments import registry, scaling
+
+
+class TestScaling:
+    def test_compute_runs_all_protocols_correctly(self):
+        result = scaling.compute(
+            widths=(2, 3), increments=2, items=4, generations=2
+        )
+        assert result.matches_paper, result.mismatches[:3]
+        # 2 workloads x 3 protocols x 2 widths.
+        assert len(result.rows) == 12
+        protocols = {protocol for _, protocol, *_ in result.rows}
+        assert protocols == {"rb", "rwb", "tardis"}
+
+    def test_tardis_fabric_load_stays_below_snoop(self):
+        """The crossover's precondition: at equal width, the directory
+        fabric's per-channel load is below the shared bus's."""
+        result = scaling.compute(
+            widths=(4,), increments=2, items=4, generations=2
+        )
+        loads = {
+            (workload, protocol): utilization
+            for workload, protocol, _, _, utilization, _ in result.rows
+        }
+        for workload in ("counter", "producer-consumer"):
+            assert loads[(workload, "tardis")] < loads[(workload, "rb")]
+
+    def test_render_includes_table_and_verdict(self):
+        result = scaling.compute(
+            widths=(2,), increments=2, items=4, generations=2
+        )
+        text = scaling.render(result)
+        assert "Fabric load" in text
+        assert "Workload correctness: OK" in text
+
+    def test_registered(self):
+        assert "scaling" in registry.names()
+        assert registry.get("scaling").description

@@ -107,8 +107,10 @@ class TestCliAll:
     @pytest.mark.slow
     def test_every_experiment_regenerates(self, capsys):
         from repro.experiments.cli import main
+        from repro.experiments.registry import names
 
         assert main(["all"]) == 0
         out = capsys.readouterr().out
-        assert out.count("Matches the paper / checks pass: YES") == 10
+        expected = len(names())
+        assert out.count("Matches the paper / checks pass: YES") == expected
         assert "MISMATCH" not in out

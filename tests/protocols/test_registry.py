@@ -22,6 +22,7 @@ class TestMakeProtocol:
             "rb",
             "rwb",
             "rwb-competitive",
+            "tardis",
             "write-once",
             "write-through",
         ]

@@ -1,0 +1,132 @@
+"""Unit tests for the Tardis timestamp protocol tables and hooks."""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.common.errors import CacheError, ConfigurationError
+from repro.protocols.registry import make_protocol, protocol_info
+from repro.protocols.states import LineState
+from repro.protocols.tardis import (
+    DEFAULT_LEASE_SPAN,
+    TardisProtocol,
+    grant_lease,
+    write_timestamp,
+)
+
+_I = LineState.INVALID
+_R = LineState.READABLE
+_L = LineState.LOCAL
+_NP = LineState.NOT_PRESENT
+
+
+class TestLeaseArithmetic:
+    def test_grant_never_shrinks_outstanding_lease(self):
+        assert grant_lease(0, 50, 0, 8) == 50
+
+    def test_grant_covers_requester_past_version(self):
+        # max(pts, wts) + span dominates a small dir_rts.
+        assert grant_lease(10, 12, 20, 8) == 28
+        assert grant_lease(10, 12, 0, 8) == 18
+
+    def test_write_timestamp_exceeds_every_lease(self):
+        assert write_timestamp(50, 0) == 51
+        assert write_timestamp(50, 60) == 60
+
+    def test_lease_span_validated(self):
+        with pytest.raises(ConfigurationError):
+            TardisProtocol(lease_span=0)
+
+
+class TestCpuReactions:
+    def test_owner_read_always_hits_and_stretches_self_lease(self):
+        p = TardisProtocol()
+        p.pts = 7
+        reaction = p.on_cpu_read(_L, 3)
+        assert reaction.is_local_hit
+        assert reaction.next_state is _L
+        assert reaction.next_meta == 7  # max(meta, pts)
+
+    def test_read_hits_inside_lease_only(self):
+        p = TardisProtocol()
+        p.pts = 5
+        hit = p.on_cpu_read(_R, 5)
+        assert hit.is_local_hit and hit.next_meta == 5
+        miss = p.on_cpu_read(_R, 4)
+        assert miss.bus_op is BusOp.READ
+        assert miss.meta_from_response
+
+    def test_read_miss_renews_from_directory(self):
+        p = TardisProtocol()
+        for state in (_I, _NP):
+            reaction = p.on_cpu_read(state, 0)
+            assert reaction.bus_op is BusOp.READ
+            assert reaction.next_state is _R
+
+    def test_owner_write_hits_past_previous_version(self):
+        p = TardisProtocol()
+        p.pts = 2
+        reaction = p.on_cpu_write(_L, 9)
+        assert reaction.is_local_hit
+        assert reaction.next_meta == 10  # max(pts, meta + 1)
+        assert reaction.writes_value
+
+    def test_write_miss_demands_ownership(self):
+        p = TardisProtocol()
+        for state in (_I, _R, _NP):
+            reaction = p.on_cpu_write(state, 3)
+            assert reaction.bus_op is BusOp.WRITE
+            assert reaction.next_state is _L
+            assert reaction.meta_from_response
+
+
+class TestFabric:
+    def test_snooping_is_a_protocol_error(self):
+        with pytest.raises(CacheError):
+            TardisProtocol().on_snoop(_R, 0, BusOp.WRITE)
+
+    def test_lease_delivery_and_consumption(self):
+        p = TardisProtocol()
+        p.deliver_lease(wts=4, rts=12)
+        assert p.pts == 4  # reading version wts orders the PE at wts
+        assert p.take_response_meta() == 12
+        with pytest.raises(CacheError):
+            p.take_response_meta()
+
+    def test_ts_outcomes_consume_the_lease(self):
+        p = TardisProtocol()
+        p.deliver_lease(wts=6, rts=6)
+        assert p.state_after_ts_success() == (_L, 6)
+        p.deliver_lease(wts=2, rts=9)
+        assert p.state_after_ts_fail() == (_R, 9)
+
+    def test_note_cpu_applied_orders_commits(self):
+        p = TardisProtocol()
+        p.note_cpu_applied("cpu-write", 5)
+        assert p.pts == 5 and p.last_commit_ts == 5
+        p.note_cpu_applied("cpu-read", 5)
+        # Reads commit at pts, then tick forward (bounded staleness).
+        assert p.last_commit_ts == 5 and p.pts == 6
+
+
+class TestRegistry:
+    def test_factory_and_options(self):
+        p = make_protocol("tardis", lease_span=3)
+        assert isinstance(p, TardisProtocol)
+        assert p.lease_span == 3
+        assert make_protocol("tardis").lease_span == DEFAULT_LEASE_SPAN
+
+    def test_protocol_info_reports_directory_fabric(self):
+        info = protocol_info("tardis")
+        assert info["fabric"] == "directory"
+        assert info["uses_timestamps"] is True
+        assert info["states"] == ["I", "R", "L"]
+
+    def test_state_dict_round_trip(self):
+        p = TardisProtocol()
+        p.deliver_lease(wts=3, rts=11)
+        p.note_cpu_applied("cpu-read", 11)
+        q = TardisProtocol()
+        q.load_state_dict(p.state_dict())
+        assert q.pts == p.pts
+        assert q.last_commit_ts == p.last_commit_ts
+        assert q.take_response_meta() == 11

@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.bus.transaction import reset_txn_serial
+from repro.protocols.registry import protocol_fabric
 from repro.reliability.chaos import ChaosConfig
 from repro.system.config import MachineConfig
 from repro.system.machine import Machine
@@ -23,7 +24,9 @@ from repro.workloads.producer_consumer import (
 )
 from repro.workloads.systolic import _stage_program
 
-PROTOCOLS = ("rb", "rwb", "write-once", "write-through", "rwb-competitive")
+PROTOCOLS = (
+    "rb", "rwb", "write-once", "write-through", "rwb-competitive", "tardis"
+)
 WORKLOADS = ("counter-lock", "producer-consumer", "systolic")
 
 
@@ -115,6 +118,8 @@ def _run(workload: str, protocol: str, chaos: bool, kernel: str):
 @pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_event_kernel_matches_cycle_loop(protocol, workload, chaos):
+    if chaos and protocol_fabric(protocol) == "directory":
+        pytest.skip("directory fabric has no chaos/fault-injection model")
     ran_cycles, digest, stats, trace = _run(workload, protocol, chaos, "cycle")
     ev_cycles, ev_digest, ev_stats, ev_trace = _run(
         workload, protocol, chaos, "event"

@@ -14,9 +14,11 @@ from repro.trace.events import (
     CacheOfflined,
     FaultDetected,
     FaultInjected,
+    LeaseGrant,
     LineTransition,
     MemoryLock,
     MemoryUnlock,
+    OwnerFetch,
     RecoveryAction,
     SyncOp,
     event_from_dict,
@@ -80,6 +82,14 @@ EXAMPLES = [
         value=9,
         meta=0,
     ),
+    LeaseGrant(
+        cycle=6, bus="dir0", client=1, op=BusOp.READ, address=17,
+        wts=4, rts=12,
+    ),
+    OwnerFetch(
+        cycle=6, bus="dir0", owner=0, requester=1, address=17,
+        value=9, wts=4,
+    ),
     MemoryLock(cycle=6, address=17, region=17, client=1),
     MemoryUnlock(cycle=7, address=17, region=17, client=1, wrote=True, value=1),
     SyncOp(
@@ -140,7 +150,7 @@ class TestRegistry:
     def test_every_event_kind_registered(self):
         assert set(EVENT_KINDS) == {
             "arbiter", "grant", "nack", "interrupt", "complete",
-            "line", "mem-lock", "mem-unlock", "sync",
+            "line", "lease", "owner-fetch", "mem-lock", "mem-unlock", "sync",
             "fault-injected", "fault-detected", "recovery", "cache-offlined",
         }
 

@@ -97,6 +97,37 @@ class TestRandomTrials:
         report = run_random_consistency_trial("rwb", num_buses=2, seed=5)
         assert report.ok, report.violations[:3]
 
+    @pytest.mark.parametrize("fetch", [False, True], ids=["no-fetch", "fetch"])
+    def test_write_once_fetch_variants_are_consistent(self, fetch):
+        """Both write-miss policies of write-once must serialize: the
+        fetch-first variant exercises the read-then-write double grab."""
+        report = run_random_consistency_trial(
+            "write-once",
+            protocol_options={"fetch_on_write_miss": fetch},
+            seed=7,
+        )
+        assert report.ok, report.violations[:3]
+        assert report.reads_checked > 0
+
+    @pytest.mark.parametrize("protocol", ["write-once", "write-through"])
+    def test_event_only_multibus_trial_is_consistent(self, protocol):
+        """Section 7 interleaving under the event-only schemes."""
+        report = run_random_consistency_trial(protocol, num_buses=2, seed=11)
+        assert report.ok, report.violations[:3]
+
+    @pytest.mark.parametrize("protocol", ["write-once", "write-through"])
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_event_only_extra_seeds_are_consistent(self, protocol, seed):
+        report = run_random_consistency_trial(protocol, seed=seed)
+        assert report.ok, report.violations[:3]
+
+    def test_tardis_trial_serializes_in_logical_time(self):
+        """Tardis records commit timestamps, so the serial order is
+        logical time — stale physical reads must still check out."""
+        report = run_random_consistency_trial("tardis", seed=13)
+        assert report.ok, report.violations[:3]
+        assert report.reads_checked > 0
+
     def test_k1_rwb_trial_is_consistent(self):
         """The configuration that exposed the stale-write-back race."""
         report = run_random_consistency_trial(

@@ -1,0 +1,163 @@
+"""Timestamp product-machine tests: the lease proof obligations, the zone
+quotient's exhaustiveness, and fault injection showing the checker catches
+every class of timestamp-protocol bug."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.base import CpuReaction
+from repro.protocols.rb import RBProtocol
+from repro.protocols.states import LineState
+from repro.protocols.tardis import TardisProtocol
+from repro.verify.checker import check_protocol
+from repro.verify.timestamps import (
+    TimestampKernel,
+    TsCache,
+    TsState,
+    check_timestamp_protocol,
+)
+
+_R = LineState.READABLE
+_L = LineState.LOCAL
+
+
+class TestExhaustiveProof:
+    def test_three_caches_short_lease_pass_exhaustive(self):
+        """The full product machine over 3 caches: reads, writes,
+        evictions and both test-and-set outcomes.  Not truncated, so the
+        zone quotient makes this a complete proof."""
+        report = check_timestamp_protocol(
+            TardisProtocol(lease_span=1), num_caches=3
+        )
+        assert report.ok, report.violations[:3]
+        assert not report.truncated
+        assert report.states_explored > 1000
+
+    def test_two_caches_default_lease_pass_exhaustive(self):
+        report = check_timestamp_protocol(TardisProtocol(), num_caches=2)
+        assert report.ok, report.violations[:3]
+        assert not report.truncated
+
+    def test_check_protocol_dispatches_timestamp_protocols(self):
+        """The snoop checker's entry point routes tardis to the lease
+        product machine — one `check_protocol` call covers the registry."""
+        report = check_protocol(TardisProtocol(lease_span=1), num_caches=2)
+        assert report.ok, report.violations[:3]
+        assert report.protocol_name == "tardis"
+
+
+class TestKnobs:
+    def test_rejects_zero_caches(self):
+        with pytest.raises(ConfigurationError):
+            check_timestamp_protocol(TardisProtocol(), num_caches=0)
+
+    def test_rejects_snoop_protocols(self):
+        with pytest.raises(ConfigurationError):
+            TimestampKernel(RBProtocol())
+
+    def test_truncation_reported(self):
+        report = check_timestamp_protocol(
+            TardisProtocol(), num_caches=2, max_states=5
+        )
+        assert report.truncated
+        assert not report.ok
+
+    def test_without_ts_or_evictions(self):
+        report = check_timestamp_protocol(
+            TardisProtocol(lease_span=1), num_caches=2,
+            include_ts=False, include_evictions=False,
+        )
+        assert report.ok, report.violations[:3]
+
+
+class TestCanonicalization:
+    def test_gap_compression_bounds_timestamps(self):
+        """Arbitrarily large gaps collapse to the cap, rebased at zero."""
+        kernel = TimestampKernel(TardisProtocol(lease_span=2))
+        state = TsState(
+            caches=(
+                TsCache(state=_R, rts=1_000_000, has_latest=True, pts=3),
+            ),
+            dir_wts=500_000,
+            dir_rts=1_000_000,
+        )
+        canonical = state.canonical(kernel.gap_cap)
+        assert canonical.dir_wts <= 2 * kernel.gap_cap
+        assert canonical.caches[0].rts <= 3 * kernel.gap_cap
+
+    def test_permutation_sorting_merges_twin_states(self):
+        kernel = TimestampKernel(TardisProtocol(lease_span=1))
+        a = kernel.initial_state(2)
+        left = kernel.apply(a, "read", 0)
+        right = kernel.apply(a, "read", 1)
+        assert left == right
+
+
+# --------------------------------------------------------------------- #
+# fault injection: every class of timestamp-protocol bug must be caught  #
+# --------------------------------------------------------------------- #
+
+
+class NoSelfLeaseTardis(TardisProtocol):
+    """Broken: an owner read hit does not stretch the self-lease, so the
+    commit timestamp escapes the rts the directory will hand to the next
+    writer (the bug class the serialization trials first exposed)."""
+
+    name = "tardis-no-self-lease"
+
+    def on_cpu_read(self, state, meta):
+        if state is _L:
+            return CpuReaction(bus_op=None, next_state=_L, next_meta=meta)
+        return super().on_cpu_read(state, meta)
+
+
+class HitPastLeaseTardis(TardisProtocol):
+    """Broken: a Readable copy keeps hitting after its lease expired."""
+
+    name = "tardis-hit-past-lease"
+
+    def on_cpu_read(self, state, meta):
+        if state is _R:
+            return CpuReaction(bus_op=None, next_state=_R, next_meta=meta)
+        return super().on_cpu_read(state, meta)
+
+
+class LocalWriteFromRTardis(TardisProtocol):
+    """Broken: writes locally from R without obtaining ownership."""
+
+    name = "tardis-write-from-r"
+
+    def on_cpu_write(self, state, meta):
+        if state is _R:
+            return CpuReaction(
+                bus_op=None,
+                next_state=_L,
+                next_meta=max(self.pts, meta + 1),
+                writes_value=True,
+            )
+        return super().on_cpu_write(state, meta)
+
+
+class InflatedSupplyTardis(TardisProtocol):
+    """Broken: a demoted owner keeps a lease the directory never saw."""
+
+    name = "tardis-inflated-supply"
+
+    def meta_after_supplying(self, state, meta):
+        return meta + 100
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        NoSelfLeaseTardis(lease_span=2),
+        HitPastLeaseTardis(lease_span=2),
+        LocalWriteFromRTardis(lease_span=2),
+        InflatedSupplyTardis(lease_span=2),
+    ],
+    ids=lambda p: p.name,
+)
+def test_fault_injection_catches_broken_timestamp_protocols(broken):
+    report = check_timestamp_protocol(broken, num_caches=2)
+    assert not report.ok
+    assert report.violations
