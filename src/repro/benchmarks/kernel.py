@@ -14,9 +14,17 @@ modes on two deliberately opposite workloads:
   protocol on the directory fabric.  Tardis spins drain a lease instead
   of parking in cache (``spin_probe_safe`` is off), so this measures the
   event kernel over point-to-point traffic with few skippable spans.
+* ``fleet-faa-32`` — the same bus-saturated fetch-and-add counter as a
+  32-lane :class:`~repro.system.fleet.FleetMachine` batch versus 32
+  sequential scalar runs.  The ratio here is aggregate simulated
+  cycles/sec (one process stepping 32 machines in struct-of-arrays
+  lockstep against stepping them one after another) and carries a hard
+  floor of :data:`_FLEET_SPEEDUP_FLOOR` in addition to the usual
+  baseline-relative tolerance.
 
 Every measurement also runs both modes to completion and records whether
-their :meth:`~repro.system.machine.Machine.state_digest` values agree, so
+their :meth:`~repro.system.machine.Machine.state_digest` values agree
+(for the fleet case: every lane against its dedicated scalar run), so
 the committed ``BENCH_kernel.json`` doubles as an equivalence witness.
 
 The regression gate compares *speedup ratios* (event over cycle), not raw
@@ -33,6 +41,7 @@ from repro.bus.transaction import reset_txn_serial
 from repro.processor.program import Program
 from repro.sync.locks import build_lock_program
 from repro.system.config import MachineConfig
+from repro.system.fleet import FleetMachine
 from repro.system.machine import Machine
 from repro.workloads.counter import (
     build_faa_counter_program,
@@ -41,6 +50,14 @@ from repro.workloads.counter import (
 
 #: Shared lock / counter word used by the benchmark programs.
 _LOCK_ADDRESS = 8
+
+#: Lanes in the fleet benchmark batch.
+_FLEET_LANES = 32
+
+#: Hard aggregate-throughput floor for the fleet case: stepping 32
+#: machines in lockstep must beat 32 sequential scalar runs by at least
+#: this factor, independent of what the committed baseline says.
+_FLEET_SPEEDUP_FLOOR = 3.0
 
 #: Workload name -> (program factory, protocol to run it under).
 _WORKLOADS: dict[str, tuple[Callable[[bool], list[Program]], str]] = {}
@@ -113,6 +130,84 @@ def _measure(
     return cycles, best, digest
 
 
+def _fleet_configs() -> list[MachineConfig]:
+    return [
+        MachineConfig(
+            num_pes=4,
+            protocol="rwb",
+            cache_lines=16,
+            memory_size=64,
+            seed=lane,
+            kernel="fleet",
+        )
+        for lane in range(_FLEET_LANES)
+    ]
+
+
+def _measure_fleet(quick: bool, samples: int) -> dict:
+    """The 32-lane fleet batch vs 32 sequential scalar runs.
+
+    Both modes simulate the identical work — ``_FLEET_LANES`` independent
+    fetch-and-add counter machines — so the ratio of aggregate simulated
+    cycles/sec isolates the struct-of-arrays dispatch win.  Scalar runs
+    reset the transaction-serial counter before each machine, the same
+    origin every fleet lane counts from, so per-lane digests must agree
+    exactly.
+    """
+    increments = 100 if quick else 400
+    programs = [build_faa_counter_program(increments) for _ in range(4)]
+    configs = _fleet_configs()
+
+    scalar_secs = float("inf")
+    scalar_cycles = 0
+    scalar_digests: list[str] = []
+    for _ in range(samples):
+        machines = []
+        for config in configs:
+            machine = Machine(config)
+            machine.load_programs(programs)
+            machines.append(machine)
+        total = 0.0
+        scalar_cycles = 0
+        scalar_digests = []
+        for machine in machines:
+            reset_txn_serial()
+            start = time.perf_counter()
+            scalar_cycles += machine.run(max_cycles=2_000_000)
+            total += time.perf_counter() - start
+            scalar_digests.append(machine.state_digest())
+        scalar_secs = min(scalar_secs, total)
+
+    fleet_secs = float("inf")
+    fleet_cycles = 0
+    fleet_digests: list[str] = []
+    for _ in range(samples):
+        fleet = FleetMachine(configs, [programs] * _FLEET_LANES)
+        start = time.perf_counter()
+        fleet.run(max_cycles=2_000_000)
+        fleet_secs = min(fleet_secs, time.perf_counter() - start)
+        fleet_cycles = sum(
+            fleet.lane_cycles(lane) for lane in range(_FLEET_LANES)
+        )
+        fleet_digests = [
+            fleet.state_digest(lane) for lane in range(_FLEET_LANES)
+        ]
+
+    return {
+        "cycles": scalar_cycles,
+        "lanes": _FLEET_LANES,
+        "modes": ["scalar", "fleet"],
+        "cycles_per_second": {
+            "scalar": round(scalar_cycles / scalar_secs, 1),
+            "fleet": round(fleet_cycles / fleet_secs, 1),
+        },
+        "speedup": round(scalar_secs / fleet_secs, 3),
+        "digests_match": (
+            fleet_digests == scalar_digests and fleet_cycles == scalar_cycles
+        ),
+    }
+
+
 def run_kernel_benchmark(quick: bool = False) -> dict:
     """Measure both kernel modes on every workload.
 
@@ -129,6 +224,10 @@ def run_kernel_benchmark(quick: bool = False) -> dict:
                                                         "event": float},
                                   "speedup": float,
                                   "digests_match": bool}}}
+
+        The ``fleet-faa-32`` entry instead carries ``modes:
+        ["scalar", "fleet"]`` (matching its ``cycles_per_second`` keys)
+        plus ``lanes``; ``cycles`` there is the aggregate over lanes.
     """
     samples = 2 if quick else 3
     workloads = {}
@@ -150,6 +249,7 @@ def run_kernel_benchmark(quick: bool = False) -> dict:
                 cycle_digest == event_digest and cycle_cycles == event_cycles
             ),
         }
+    workloads["fleet-faa-32"] = _measure_fleet(quick, samples)
     return {"quick": quick, "workloads": workloads}
 
 
@@ -182,20 +282,33 @@ def compare_to_baseline(
                 f"{name}: speedup regressed to {got['speedup']:.2f}x "
                 f"(baseline {entry['speedup']:.2f}x, floor {floor:.2f}x)"
             )
+        if (
+            "fleet" in got.get("modes", [])
+            and not current.get("quick")
+            and got["speedup"] < _FLEET_SPEEDUP_FLOOR
+        ):
+            # Quick runs shrink the workload to ~1/4, so per-dispatch
+            # overhead amortizes worse; the hard floor is a property of
+            # the full-size batch, quick runs keep the relative gate.
+            failures.append(
+                f"{name}: {got['speedup']:.2f}x is below the hard "
+                f"{_FLEET_SPEEDUP_FLOOR:.1f}x fleet-throughput floor"
+            )
     return failures
 
 
 def render_report(report: dict) -> str:
     """A fixed-width table of one :func:`run_kernel_benchmark` result."""
     lines = [
-        "workload         cycles   cycle-mode c/s   event-mode c/s"
+        "workload         cycles    base-mode c/s    fast-mode c/s"
         "  speedup  digests",
     ]
     for name, entry in report["workloads"].items():
+        base, fast = entry.get("modes", ("cycle", "event"))
         rates = entry["cycles_per_second"]
         lines.append(
-            f"{name:<15}{entry['cycles']:>8}{rates['cycle']:>17.1f}"
-            f"{rates['event']:>17.1f}{entry['speedup']:>8.2f}x"
+            f"{name:<15}{entry['cycles']:>8}{rates[base]:>17.1f}"
+            f"{rates[fast]:>17.1f}{entry['speedup']:>8.2f}x"
             f"  {'match' if entry['digests_match'] else 'DIVERGED'}"
         )
     return "\n".join(lines)

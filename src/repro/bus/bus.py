@@ -68,6 +68,10 @@ class SharedBus(BusNetwork):
         self.cycle = 0
         self._clients: dict[int, BusClient] = {}
         self._queues: dict[int, deque[BusTransaction]] = {}
+        #: Total queued transactions across all clients, maintained at
+        #: every queue mutation so :meth:`has_pending` / :meth:`wake_eta`
+        #: are O(1) — the event kernel probes both every cycle.
+        self._pending_total = 0
         self._next_client_id = 0
         #: Live fault-injection controller; ``None`` (the default) keeps
         #: every chaos hook on its zero-cost branch.
@@ -102,6 +106,7 @@ class SharedBus(BusNetwork):
                 f"transaction from unattached client {txn.originator}: {txn}"
             )
         self._queues[txn.originator].append(txn)
+        self._pending_total += 1
         self.stats.add("bus.requests")
 
     def cancel(
@@ -123,10 +128,11 @@ class SharedBus(BusNetwork):
             self.stats.add("bus.cancelled", cancelled)
         queue.clear()
         queue.extend(kept)
+        self._pending_total -= cancelled
         return cancelled
 
     def has_pending(self) -> bool:
-        return any(self._queues.values())
+        return self._pending_total > 0
 
     @property
     def bus_count(self) -> int:
@@ -145,12 +151,14 @@ class SharedBus(BusNetwork):
         backoff window (dead until the earliest retry cycle).  Anything
         else — any ready head — can be granted next cycle.
         """
-        heads = [queue[0] for queue in self._queues.values() if queue]
-        if not heads:
+        if self._pending_total == 0:
             return NEVER_WAKE
         chaos = self.chaos
         if chaos is None:
+            # Fast path for the chaos-free common case: any queued head is
+            # grantable next cycle, no need to materialize the head list.
             return 0
+        heads = [queue[0] for queue in self._queues.values() if queue]
         eta = NEVER_WAKE
         for txn in heads:
             retry_at = chaos.retry_cycle(txn.serial)
@@ -173,7 +181,7 @@ class SharedBus(BusNetwork):
         bit-identical to the stepped loop (a fired stall changes nothing
         the span relies on: the grant was withheld either way).
         """
-        if not any(self._queues.values()):
+        if self._pending_total == 0:
             self.cycle += count
             self.stats.add("bus.cycles", count)
             self.stats.add("bus.idle_cycles", count)
@@ -316,6 +324,7 @@ class SharedBus(BusNetwork):
             completed = self._run_interrupt_writeback(txn, interrupter)
         else:
             self._queues[granted_id].popleft()
+            self._pending_total -= 1
             completed = self._execute(txn)
 
         self.stats.add("bus.busy_cycles")
@@ -554,3 +563,4 @@ class SharedBus(BusNetwork):
             self._queues[client_id].extend(
                 BusTransaction.from_dict(txn) for txn in txns
             )
+        self._pending_total = sum(len(queue) for queue in self._queues.values())

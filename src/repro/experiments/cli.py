@@ -412,10 +412,11 @@ def _experiment_main(argv: list[str] | None) -> int:
                     if info["uses_timestamps"]
                     else "bus order"
                 )
+                kernels = "/".join(info["kernels"])
                 print(
                     f"{info['name']:<{name_width}}  "
                     f"states={{{states}}}  fabric={info['fabric']}  "
-                    f"ordering={ordering}"
+                    f"ordering={ordering}  kernels={kernels}"
                 )
         return 0
     if args.protocols:

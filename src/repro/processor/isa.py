@@ -62,6 +62,11 @@ class Opcode(enum.Enum):
         return self in (Opcode.LOAD, Opcode.STORE, Opcode.TS, Opcode.FAA)
 
     @property
+    def code(self) -> int:
+        """This opcode's dense integer code for struct-of-arrays storage."""
+        return OPCODE_CODES[self]
+
+    @property
     def is_branch(self) -> bool:
         """Whether this opcode may redirect control flow."""
         return self in (Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP)
@@ -87,3 +92,69 @@ class Instruction:
 
     def __str__(self) -> str:
         return f"{self.op.value} a={self.a} b={self.b} c={self.c}"
+
+
+#: Stable dense codes for packing opcodes into numpy int arrays (the fleet
+#: kernel dispatches instruction batches grouped by this code).  The order
+#: is part of the fleet kernel's dispatch table — append, never reorder.
+CODE_OPCODES: tuple[Opcode, ...] = (
+    Opcode.LOADI,
+    Opcode.MOV,
+    Opcode.ADD,
+    Opcode.ADDI,
+    Opcode.SUB,
+    Opcode.LOAD,
+    Opcode.STORE,
+    Opcode.TS,
+    Opcode.FAA,
+    Opcode.BEQZ,
+    Opcode.BNEZ,
+    Opcode.JMP,
+    Opcode.NOP,
+    Opcode.HALT,
+)
+
+OPCODE_CODES: dict[Opcode, int] = {
+    op: code for code, op in enumerate(CODE_OPCODES)
+}
+
+
+def encode_instructions(
+    instructions: "tuple[Instruction, ...]", num_regs: int
+) -> list[tuple[int, int, int, int]]:
+    """Encode *instructions* as ``(opcode_code, a, b, c)`` rows for
+    struct-of-arrays storage, validating register fields eagerly.
+
+    The scalar PE validates register indices lazily, at execution; the
+    fleet kernel cannot afford a per-lane bounds check inside vectorized
+    dispatch, so programs are vetted up front.  A program that would only
+    fault on an *unreachable* bad instruction is therefore rejected here —
+    callers fall back to the scalar machine for those.
+
+    Raises:
+        ProgramError: a register field is out of range for *num_regs*.
+    """
+    register_fields: dict[Opcode, tuple[str, ...]] = {
+        Opcode.LOADI: ("a",),
+        Opcode.MOV: ("a", "b"),
+        Opcode.ADD: ("a", "b", "c"),
+        Opcode.ADDI: ("a", "b"),
+        Opcode.SUB: ("a", "b", "c"),
+        Opcode.LOAD: ("a", "b"),
+        Opcode.STORE: ("a", "b"),
+        Opcode.TS: ("a", "b", "c"),
+        Opcode.FAA: ("a", "b", "c"),
+        Opcode.BEQZ: ("a",),
+        Opcode.BNEZ: ("a",),
+    }
+    rows = []
+    for index, instr in enumerate(instructions):
+        for field_name in register_fields.get(instr.op, ()):
+            reg = getattr(instr, field_name)
+            if not 0 <= reg < num_regs:
+                raise ProgramError(
+                    f"instruction {index} ({instr}) names register {reg} "
+                    f"outside the {num_regs}-register file"
+                )
+        rows.append((instr.op.code, instr.a, instr.b, instr.c))
+    return rows

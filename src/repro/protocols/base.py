@@ -98,6 +98,13 @@ class CoherenceProtocol(abc.ABC):
     #: per-instance state in :meth:`state_dict`.
     uses_timestamps: bool = False
 
+    #: Whether :mod:`repro.system.fleet` has vectorized transition tables
+    #: for this protocol.  Fleet-capable protocols must be pure functions
+    #: of ``(state, meta)`` with an empty :meth:`state_dict` — any
+    #: per-instance mutable state (timestamps, adaptive counters)
+    #: disqualifies the protocol from lockstep batching.
+    fleet_capable: bool = False
+
     #: Whether a local read hit provably leaves the line *and* the protocol
     #: instance unchanged, so the event kernel may bulk-apply spin reads.
     #: Timestamp protocols advance their program timestamp on every hit and

@@ -38,6 +38,7 @@ class RBProtocol(CoherenceProtocol):
 
     name = "rb"
     states = (_I, _R, _L)
+    fleet_capable = True
 
     def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
         """R and L hit locally; I (and a missing line) generate a bus read

@@ -62,14 +62,33 @@ def protocol_fabric(name: str) -> str:
     return getattr(_FACTORIES[name], "fabric", "snoop")
 
 
+def protocol_kernels(name: str) -> list[str]:
+    """Which ``MachineConfig.kernel`` modes can run protocol *name*.
+
+    Every protocol runs under the ``cycle`` and (bit-identical) ``event``
+    kernels; only ``fleet_capable`` protocols additionally vectorize under
+    the struct-of-arrays ``fleet`` kernel.
+    """
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; choose from {available_protocols()}"
+        )
+    kernels = ["cycle", "event"]
+    if getattr(_FACTORIES[name], "fleet_capable", False):
+        kernels.append("fleet")
+    return kernels
+
+
 def protocol_info(name: str) -> dict[str, Any]:
     """Registry-derived description of one protocol: its state set, the
-    fabric it runs on, and whether it orders by logical timestamps."""
+    fabric it runs on, the kernels that can step it, and whether it orders
+    by logical timestamps."""
     protocol = make_protocol(name)
     return {
         "name": name,
         "states": [str(state) for state in protocol.states],
         "fabric": protocol.fabric,
+        "kernels": protocol_kernels(name),
         "uses_timestamps": protocol.uses_timestamps,
         "description": protocol.describe(),
     }

@@ -50,6 +50,7 @@ class RWBProtocol(CoherenceProtocol):
 
     name = "rwb"
     states = (_I, _R, _F, _L)
+    fleet_capable = True
 
     def __init__(
         self,

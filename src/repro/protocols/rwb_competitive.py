@@ -47,6 +47,11 @@ class RWBCompetitiveProtocol(RWBProtocol):
 
     name = "rwb-competitive"
 
+    #: The absorbed-update run counts per snoop (meta increments toward
+    #: ``update_limit``), which the fleet kernel's two-point probed
+    #: transition tables cannot represent; scalar/event kernels only.
+    fleet_capable = False
+
     def __init__(
         self,
         update_limit: int = 3,

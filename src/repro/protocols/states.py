@@ -64,3 +64,27 @@ class LineState(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+    @property
+    def code(self) -> int:
+        """This state's dense integer code for struct-of-arrays storage."""
+        return STATE_CODES[self]
+
+
+#: Stable dense codes for packing :class:`LineState` into numpy int arrays
+#: (the fleet kernel stores one int8 per line frame).  The order is part of
+#: the fleet kernel's transition tables — append, never reorder.
+CODE_STATES: tuple[LineState, ...] = (
+    LineState.NOT_PRESENT,
+    LineState.INVALID,
+    LineState.READABLE,
+    LineState.LOCAL,
+    LineState.FIRST_WRITE,
+    LineState.VALID,
+    LineState.RESERVED,
+    LineState.DIRTY,
+)
+
+STATE_CODES: dict[LineState, int] = {
+    state: code for code, state in enumerate(CODE_STATES)
+}

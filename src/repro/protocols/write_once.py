@@ -40,6 +40,7 @@ class WriteOnceProtocol(CoherenceProtocol):
 
     name = "write-once"
     states = (_I, _V, _RSV, _D)
+    fleet_capable = True
 
     def __init__(self, fetch_on_write_miss: bool = False) -> None:
         self.fetch_on_write_miss = fetch_on_write_miss

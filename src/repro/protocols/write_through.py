@@ -24,6 +24,7 @@ class WriteThroughInvalidateProtocol(CoherenceProtocol):
 
     name = "write-through"
     states = (_I, _V)
+    fleet_capable = True
 
     def on_cpu_read(self, state: LineState, meta: int) -> CpuReaction:
         """V hits; a miss fills into V."""

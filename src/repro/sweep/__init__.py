@@ -10,12 +10,23 @@ across worker processes and returns machine-checkable artifacts:
 * :mod:`repro.sweep.runner` — :func:`run_sweep`: process fan-out,
   per-point timeout, bounded crashed-worker retry, live progress, and
   serial/parallel result parity.
+* :mod:`repro.sweep.fleet` — :func:`run_fleet_sweep`: packs compatible
+  grid points into struct-of-arrays :class:`~repro.system.fleet.
+  FleetMachine` batches stepped in lockstep by one process, falling back
+  to the scalar machine for chaos/trace/checkpoint-enabled points.
 * :mod:`repro.sweep.result` — the :class:`ExperimentResult` artifact
   schema (points + derived tables + provenance) that every
   ``repro.experiments.*.run()`` returns and ``repro-experiment --json``
   serializes.
 """
 
+from repro.sweep.fleet import (
+    FleetPlan,
+    FleetPointResult,
+    batch_shape_key,
+    plan_fleet_batches,
+    run_fleet_sweep,
+)
 from repro.sweep.grid import SweepPoint, assign_seeds, expand_grid
 from repro.sweep.result import (
     SCHEMA_VERSION,
@@ -35,13 +46,18 @@ __all__ = [
     "SCHEMA_VERSION",
     "DerivedTable",
     "ExperimentResult",
+    "FleetPlan",
+    "FleetPointResult",
     "PointResult",
     "Provenance",
     "SweepPoint",
     "assign_seeds",
+    "batch_shape_key",
     "expand_grid",
+    "plan_fleet_batches",
     "preemption_requested",
     "preemption_scope",
+    "run_fleet_sweep",
     "run_sweep",
     "validate_artifact",
 ]

@@ -1,0 +1,179 @@
+"""Pack compatible sweep points into lockstep fleet batches.
+
+The process-parallel runner (:mod:`repro.sweep.runner`) scales with CPU
+count; the fleet kernel (:mod:`repro.system.fleet`) scales with how many
+independent machines one process can step per python dispatch.  This
+module is the bridge: given a list of sweep points, it groups every
+fleet-eligible configuration that shares a machine *shape* (see
+:data:`repro.system.fleet.SHAPE_FIELDS`) into one
+:class:`~repro.system.fleet.FleetMachine` batch and runs each batch in
+lockstep, while every other point — chaos, tracing, checkpointing,
+multi-bus, stochastic arbitration, or a protocol without a fleet table —
+falls back to an ordinary scalar :class:`~repro.system.machine.Machine`.
+
+Results are scalar-faithful by construction: each lane reports the same
+``state_digest()``, cycle count and statistics a dedicated scalar run
+would (each scalar comparison run starts from a reset transaction-serial
+counter, which is also what a fresh sweep worker process observes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.bus.transaction import reset_txn_serial
+from repro.common.errors import ConfigurationError
+from repro.processor.program import Program
+from repro.sweep.grid import SweepPoint
+from repro.system.config import MachineConfig
+from repro.system.fleet import SHAPE_FIELDS, FleetMachine, fleet_eligible
+from repro.system.machine import Machine
+
+
+@dataclass(slots=True)
+class FleetPlan:
+    """How a list of sweep points will execute.
+
+    Attributes:
+        batches: lists of point indices; each list shares one machine
+            shape and runs as one :class:`FleetMachine`.
+        scalar: point indices that run on the scalar machine, with the
+            reason each one fell back (keyed by index).
+    """
+
+    batches: list[list[int]] = field(default_factory=list)
+    scalar: dict[int, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class FleetPointResult:
+    """One sweep point's outcome, identical between fleet and scalar.
+
+    Attributes:
+        name: the sweep point's name.
+        cycles: machine cycles until idle.
+        digest: final ``state_digest()``.
+        stats: grouped counters (``FleetMachine.stats_for`` shape).
+        via: ``"fleet"`` or ``"scalar"``.
+    """
+
+    name: str
+    cycles: int
+    digest: str
+    stats: dict[str, Any]
+    via: str
+
+
+def batch_shape_key(config: MachineConfig) -> tuple:
+    """The hashable machine shape a fleet batch must share."""
+    return tuple(
+        str(getattr(config, name)) for name in SHAPE_FIELDS
+    )
+
+
+def plan_fleet_batches(points: Sequence[SweepPoint]) -> FleetPlan:
+    """Group *points* into fleet batches, recording scalar fallbacks.
+
+    A point joins a batch when its config passes
+    :func:`~repro.system.fleet.fleet_eligible`; points whose configs
+    match on every :data:`SHAPE_FIELDS` entry share a batch (protocol,
+    protocol options, seed and replacement policy may differ per lane).
+    Points with no config at all fall back with reason ``"no config"``.
+    """
+    plan = FleetPlan()
+    groups: dict[tuple, list[int]] = {}
+    for index, point in enumerate(points):
+        if point.config is None:
+            plan.scalar[index] = "no config"
+            continue
+        ok, reason = fleet_eligible(point.config)
+        if not ok:
+            plan.scalar[index] = reason
+            continue
+        groups.setdefault(batch_shape_key(point.config), []).append(index)
+    plan.batches = list(groups.values())
+    return plan
+
+
+def run_fleet_sweep(
+    points: Sequence[SweepPoint],
+    programs: Mapping[str, Sequence[Program]] | Sequence[Sequence[Program]],
+    *,
+    max_cycles: int = 1_000_000,
+) -> list[FleetPointResult]:
+    """Run every point, batching compatible ones through the fleet kernel.
+
+    Args:
+        points: the sweep points (each needs a config).
+        programs: per-point program lists — either a mapping from point
+            name or a sequence aligned with *points*.
+        max_cycles: livelock guard applied to each batch and each scalar
+            fallback run.
+
+    Returns:
+        One :class:`FleetPointResult` per point, in point order.
+
+    Raises:
+        ConfigurationError: a point has no program list.
+        LivelockError: a batch lane or scalar run failed to go idle.
+    """
+    resolved: list[Sequence[Program]] = []
+    for index, point in enumerate(points):
+        if isinstance(programs, Mapping):
+            if point.name not in programs:
+                raise ConfigurationError(
+                    f"no programs for sweep point {point.name!r}"
+                )
+            resolved.append(programs[point.name])
+        else:
+            if index >= len(programs):
+                raise ConfigurationError(
+                    f"no programs for sweep point {point.name!r}"
+                )
+            resolved.append(programs[index])
+
+    plan = plan_fleet_batches(points)
+    results: dict[int, FleetPointResult] = {}
+    for batch in plan.batches:
+        fleet = FleetMachine(
+            [points[i].config for i in batch],
+            [resolved[i] for i in batch],
+        )
+        fleet.run(max_cycles=max_cycles)
+        for lane, index in enumerate(batch):
+            results[index] = FleetPointResult(
+                name=points[index].name,
+                cycles=fleet.lane_cycles(lane),
+                digest=fleet.state_digest(lane),
+                stats=fleet.stats_for(lane),
+                via="fleet",
+            )
+    for index in plan.scalar:
+        point = points[index]
+        if point.config is None:
+            raise ConfigurationError(
+                f"sweep point {point.name!r} carries no config to run"
+            )
+        reset_txn_serial()
+        machine = Machine(point.config)
+        machine.load_programs(list(resolved[index]))
+        cycles = machine.run(max_cycles=max_cycles)
+        results[index] = FleetPointResult(
+            name=point.name,
+            cycles=cycles,
+            digest=machine.state_digest(),
+            stats=_scalar_stats(machine),
+            via="scalar",
+        )
+    return [results[index] for index in range(len(points))]
+
+
+def _scalar_stats(machine: Machine) -> dict[str, Any]:
+    """Scalar counters in the ``FleetMachine.stats_for`` grouping."""
+    return {
+        "bus": machine.bus.stats.as_dict(),
+        "memory": machine.memory.stats.as_dict(),
+        "caches": [cache.stats.as_dict() for cache in machine.caches],
+        "pes": [driver.stats.as_dict() for driver in machine.drivers],
+    }

@@ -46,7 +46,11 @@ class MachineConfig:
             bulk update; ``"cycle"`` is the legacy loop stepping every
             cycle.  The two are bit-identical — same digests, stats and
             trace stream — the event kernel is purely faster (see the
-            README "Performance" section).
+            README "Performance" section).  ``"fleet"`` marks the config
+            for struct-of-arrays lockstep batching (many independent
+            machines stepped by one process; see
+            :mod:`repro.system.fleet`); a solo :class:`Machine` built from
+            a fleet config simply runs event-scheduled.
         seed: base seed for any stochastic component (random arbiter,
             random replacement).  Every stochastic sub-component derives
             its own stream from this via ``derive_seed``.
@@ -128,9 +132,10 @@ class MachineConfig:
                 f"need >= 1 instruction per cycle, got "
                 f"{self.instructions_per_cycle}"
             )
-        if self.kernel not in ("cycle", "event"):
+        if self.kernel not in ("cycle", "event", "fleet"):
             raise ConfigurationError(
-                f"kernel must be 'cycle' or 'event', got {self.kernel!r}"
+                f"kernel must be 'cycle', 'event' or 'fleet', "
+                f"got {self.kernel!r}"
             )
         if self.chaos is not None:
             self.chaos.validate()

@@ -1,0 +1,1761 @@
+"""Struct-of-arrays lockstep fleet kernel (``MachineConfig.kernel="fleet"``).
+
+A parameter sweep runs hundreds of *independent* machines that differ only
+in protocol options and seeds.  Stepping them one ``Machine`` at a time
+pays the full python interpreter price per machine per cycle.  This module
+packs N such machines ("lanes") into one :class:`FleetMachine` whose whole
+dynamic state lives in numpy arrays indexed ``[lane]``, ``[lane, client]``
+or ``[lane, client, frame]``, and advances every lane by one bus cycle per
+vectorized step — one set of numpy dispatches amortized over the fleet.
+
+The fleet is an *exact* reimplementation, not an approximation: for every
+lane, per-cycle state evolution, statistics, bus-transaction serial
+numbering and the exported snapshot are bit-identical to a dedicated
+scalar :class:`~repro.system.machine.Machine` run (``state_digest()``
+equality is enforced by the tier-1 equivalence matrix in
+``tests/system/test_fleet_equivalence.py``).  The scalar machine stays the
+semantic oracle; the fleet is gated on matching it.
+
+Vectorization strategy
+----------------------
+
+* **Hot, regular paths are table-driven.**  Protocol reactions are pure
+  functions of ``(state, meta, op-class)``; at construction the fleet
+  probes each lane's protocol instance once per state (meta 0 and meta 5,
+  to distinguish "meta preserved" from "meta reset") and stores dense
+  ``(lane, state)`` transition tables.  Snoop application, read/write hit
+  handling, demand completions and the grant loop are all numpy gathers
+  over these tables.
+* **Rare, irregular paths drop to python per event.**  Interrupted reads,
+  write-back cancellation/resolution, fill-before-write retries and miss
+  issue (install/evict) run as per-event python mirroring the scalar code
+  path exactly.  Each such event costs a bus round-trip anyway, so the
+  python overhead is amortized over many vectorized cycles.
+* **Serial numbers are per-lane counters.**  A scalar run (after
+  ``reset_txn_serial``) draws serials process-globally in a deterministic
+  order; each fleet lane keeps its own ``serial_next`` and draws in the
+  same within-lane order (broadcast-side draws in ascending client order
+  before originator completion draws; driver-phase draws in PE order), so
+  per-lane serials — which appear in snapshots and digests — match.
+
+The fleet envelope (enforced by :func:`fleet_eligible`): a fleet-capable
+snoop protocol (rb / rwb / write-once / write-through), one bus, one-way
+(direct-mapped) caches, round-robin or fixed-priority arbitration, one
+instruction per cycle, :class:`~repro.processor.pe.ProcessingElement`
+drivers, and no chaos / trace / online-check / checkpoint machinery.
+Protocol options and seeds may differ per lane; the machine *shape*
+(PEs, lines, memory words, registers, arbiter, lock granularity) must
+match across the batch.  Values are carried as int64 (the scalar machine
+carries unbounded python ints; workloads in this repo stay far inside
+int64 range).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bus.transaction import BusOp
+from repro.cache.replacement import make_replacement
+from repro.common.errors import (
+    CacheError,
+    ConfigurationError,
+    LivelockError,
+    ProgramError,
+    ReproError,
+)
+from repro.common.rng import derive_seed
+from repro.memory.main_memory import LockGranularity
+from repro.processor.isa import Opcode, encode_instructions
+from repro.processor.program import Program
+from repro.protocols.registry import make_protocol, protocol_kernels
+from repro.protocols.states import CODE_STATES, LineState
+from repro.system.config import MachineConfig
+
+
+class FleetError(ReproError):
+    """The fleet kernel hit a state outside its proven envelope."""
+
+
+# --------------------------------------------------------------------- #
+# dense codes                                                            #
+# --------------------------------------------------------------------- #
+
+#: Bus-op order is part of the fleet's dispatch tables — append only.
+BUS_OPS: tuple[BusOp, ...] = (
+    BusOp.READ,
+    BusOp.WRITE,
+    BusOp.INVALIDATE,
+    BusOp.READ_LOCK,
+    BusOp.WRITE_UNLOCK,
+    BusOp.UNLOCK,
+)
+BUSOP_CODES = {op: code for code, op in enumerate(BUS_OPS)}
+
+_OP_READ, _OP_WRITE, _OP_INVALIDATE, _OP_READ_LOCK, _OP_WRITE_UNLOCK, _OP_UNLOCK = (
+    range(6)
+)
+_OP_IS_READ_LIKE = np.array([op.is_read_like for op in BUS_OPS])
+_OP_IS_WRITE_LIKE = np.array([op.is_write_like for op in BUS_OPS])
+_OP_NEEDS_LOCK = np.array([op.needs_lock_check for op in BUS_OPS])
+#: Snoop dispatch class per bus op: 0 = read-like, 1 = write-like,
+#: 2 = invalidate, 3 = not snooped (UNLOCK).
+_SNOOP_CLASS = np.array([0, 1, 2, 0, 1, 3])
+_SNOOP_REP_OP = (BusOp.READ, BusOp.WRITE, BusOp.INVALIDATE)
+_OP_STAT = (
+    "bus.op.read",
+    "bus.op.write",
+    "bus.op.invalidate",
+    "bus.op.read_lock",
+    "bus.op.write_unlock",
+    "bus.op.unlock",
+)
+
+_NSTATES = len(CODE_STATES)
+_READABLE = np.array([state.readable_locally for state in CODE_STATES])
+_STATE_INVALID = LineState.INVALID.code
+
+# Opcode codes (see repro.processor.isa.CODE_OPCODES).
+_OC = {op: op.code for op in Opcode}
+
+# Pending-op kind codes (scalar cache's _Kind, densely packed; 0 = idle).
+_K_NONE, _K_READ, _K_WRITE, _K_TS, _K_FAA = range(5)
+_KIND_NAMES = {_K_READ: "read", _K_WRITE: "write", _K_TS: "ts", _K_FAA: "faa"}
+
+# Write-back purposes (scalar cache's _WritebackPurpose).
+_WB_FLUSH, _WB_EVICT = 0, 1
+_WB_NAMES = {_WB_FLUSH: "flush", _WB_EVICT: "evict"}
+
+#: Protocol families with a closed-form cpu-write-miss reaction.
+_FAMILY = {"rb": 0, "rwb": 1, "write-once": 2, "write-through": 3}
+
+_BUS_STAT_KEYS = (
+    "bus.requests",
+    "bus.cycles",
+    "bus.idle_cycles",
+    "bus.busy_cycles",
+    "bus.nacks",
+    "bus.cancelled",
+    "bus.interrupted_reads",
+    "bus.writebacks",
+) + _OP_STAT
+_MEM_STAT_KEYS = (
+    "memory.reads",
+    "memory.writes",
+    "memory.read_locks",
+    "memory.unlocks",
+)
+_CACHE_STAT_KEYS = (
+    "cache.reads",
+    "cache.read_hits",
+    "cache.read_misses",
+    "cache.read_miss_coherence",
+    "cache.read_miss_replacement",
+    "cache.read_miss_compulsory",
+    "cache.writes",
+    "cache.write_local_hits",
+    "cache.write_bus",
+    "cache.ts_attempts",
+    "cache.faa_attempts",
+    "cache.ts_success",
+    "cache.ts_fail",
+    "cache.writebacks",
+    "cache.evictions",
+    "cache.supplies",
+    "cache.absorbed_reads",
+    "cache.absorbed_writes",
+    "cache.invalidations",
+    "cache.early_read_completions",
+)
+_PE_STAT_KEYS = (
+    "pe.cycles",
+    "pe.stall_cycles",
+    "pe.instructions",
+    "pe.loads",
+    "pe.stores",
+    "pe.ts",
+    "pe.faa",
+)
+
+#: Config fields that must be identical across a fleet batch (the machine
+#: *shape*); everything else — protocol, its options, seed, replacement
+#: policy name — may vary per lane.
+SHAPE_FIELDS = (
+    "num_pes",
+    "cache_lines",
+    "cache_ways",
+    "num_buses",
+    "arbiter",
+    "memory_size",
+    "num_regs",
+    "instructions_per_cycle",
+    "lock_granularity",
+)
+
+
+def fleet_eligible(config: MachineConfig) -> tuple[bool, str]:
+    """Whether *config* fits the fleet envelope; ``(False, why)`` if not.
+
+    Eligibility is structural only — it does not inspect the programs
+    (:func:`~repro.processor.isa.encode_instructions` vets those, raising
+    ``ProgramError`` on register fields the vectorized dispatch cannot
+    bounds-check lazily).
+    """
+    try:
+        kernels = protocol_kernels(config.protocol)
+    except ConfigurationError:
+        return False, f"unknown protocol {config.protocol!r}"
+    if "fleet" not in kernels:
+        return False, f"protocol {config.protocol!r} is not fleet-capable"
+    if config.protocol not in _FAMILY:
+        return False, f"no fleet write-miss table for {config.protocol!r}"
+    if config.num_buses != 1:
+        return False, "fleet needs the single-bus fabric"
+    if config.cache_ways != 1:
+        return False, "fleet supports direct-mapped caches only"
+    if config.arbiter not in ("round-robin", "fixed-priority"):
+        return False, f"arbiter {config.arbiter!r} is stochastic or unknown"
+    if config.instructions_per_cycle != 1:
+        return False, "fleet steps one instruction per cycle"
+    if config.chaos is not None and config.chaos.enabled:
+        return False, "chaos injection needs the scalar machine"
+    if config.trace is not None:
+        return False, "file tracing needs the scalar machine"
+    if config.online_check:
+        return False, "the online checker needs the scalar machine"
+    if config.record_bus_log:
+        return False, "bus-log recording needs the scalar machine"
+    if config.checkpoint_every or config.checkpoint_resume:
+        return False, "checkpointing needs the scalar machine"
+    return True, "ok"
+
+# --------------------------------------------------------------------- #
+# protocol table probing                                                 #
+# --------------------------------------------------------------------- #
+
+
+def _probe_meta(meta0: int, meta5: int, where: str) -> bool:
+    """True when the reaction preserves the incoming meta, False when it
+    resets it to a constant 0; anything else is outside the envelope."""
+    if meta5 == 5 and meta0 == 0:
+        return True
+    if meta0 == 0 and meta5 == 0:
+        return False
+    raise FleetError(
+        f"{where}: meta rule (0->{meta0}, 5->{meta5}) is neither "
+        "'preserve' nor 'reset to 0'"
+    )
+
+
+class _Tables:
+    """Dense per-(lane, state) protocol transition tables."""
+
+    def __init__(self, protocols: Sequence[Any], configs) -> None:
+        n = len(protocols)
+        shape = (n, _NSTATES)
+        # Snoop reactions per class (read/write/invalidate).
+        self.sn_ok = np.zeros((3,) + shape, dtype=bool)
+        self.sn_next = np.zeros((3,) + shape, dtype=np.int8)
+        self.sn_keep = np.zeros((3,) + shape, dtype=bool)
+        self.sn_absorb = np.zeros((3,) + shape, dtype=bool)
+        # CPU read: hits and the miss demand reaction.
+        self.rd_ok = np.zeros(shape, dtype=bool)
+        self.rd_hit = np.zeros(shape, dtype=bool)
+        self.rd_hit_state = np.zeros(shape, dtype=np.int8)
+        self.rd_hit_keep = np.zeros(shape, dtype=bool)
+        self.rdm_op = np.full(shape, -1, dtype=np.int8)
+        self.rdm_state = np.zeros(shape, dtype=np.int8)
+        self.rdm_meta = np.zeros(shape, dtype=np.int64)
+        # CPU write hits (misses use the per-family closed form).
+        self.wr_ok = np.zeros(shape, dtype=bool)
+        self.wr_hit = np.zeros(shape, dtype=bool)
+        self.wr_hit_state = np.zeros(shape, dtype=np.int8)
+        self.wr_hit_keep = np.zeros(shape, dtype=bool)
+        # Predicates and supply transitions.
+        self.intr = np.zeros(shape, dtype=bool)
+        self.wb = np.zeros(shape, dtype=bool)
+        self.supply = np.zeros(shape, dtype=np.int8)
+        # Test-and-set outcome states.
+        self.ts_fail_state = np.zeros(n, dtype=np.int8)
+        self.ts_fail_meta = np.zeros(n, dtype=np.int64)
+        self.ts_succ_state = np.zeros(n, dtype=np.int8)
+        self.ts_succ_meta = np.zeros(n, dtype=np.int64)
+        # Per-family write-miss parameters.
+        self.family = np.zeros(n, dtype=np.int8)
+        self.rwb_k = np.ones(n, dtype=np.int64)
+        self.wo_fetch = np.zeros(n, dtype=bool)
+
+        for lane, proto in enumerate(protocols):
+            self.family[lane] = _FAMILY[configs[lane].protocol]
+            self.rwb_k[lane] = getattr(proto, "local_promotion_writes", 1)
+            self.wo_fetch[lane] = getattr(proto, "fetch_on_write_miss", False)
+            fs, fm = proto.state_after_ts_fail()
+            ss, sm = proto.state_after_ts_success()
+            self.ts_fail_state[lane], self.ts_fail_meta[lane] = fs.code, fm
+            self.ts_succ_state[lane], self.ts_succ_meta[lane] = ss.code, sm
+            for code, state in enumerate(CODE_STATES):
+                self.intr[lane, code] = proto.interrupts_bus_read(state)
+                self.wb[lane, code] = proto.needs_writeback(state)
+                if self.intr[lane, code] or self.wb[lane, code]:
+                    after = proto.state_after_supplying(state)
+                    self.supply[lane, code] = after.code
+                    if proto.meta_after_supplying(state, 5) != 0:
+                        raise FleetError(
+                            f"lane {lane}: state_after_supplying must "
+                            "reset meta to 0 for the fleet kernel"
+                        )
+                else:
+                    self.supply[lane, code] = code
+                for cls, op in enumerate(_SNOOP_REP_OP):
+                    try:
+                        r0 = proto.on_snoop(state, 0, op)
+                        r5 = proto.on_snoop(state, 5, op)
+                    except CacheError:
+                        continue
+                    if r0.next_state is not r5.next_state:
+                        raise FleetError(
+                            f"lane {lane}: snoop next-state depends on meta"
+                        )
+                    self.sn_ok[cls, lane, code] = True
+                    self.sn_next[cls, lane, code] = r0.next_state.code
+                    self.sn_keep[cls, lane, code] = _probe_meta(
+                        r0.next_meta, r5.next_meta, f"lane {lane} snoop"
+                    )
+                    self.sn_absorb[cls, lane, code] = r0.absorb_value
+                try:
+                    r0 = proto.on_cpu_read(state, 0)
+                    r5 = proto.on_cpu_read(state, 5)
+                except CacheError:
+                    r0 = r5 = None
+                if r0 is not None and r5 is not None:
+                    if (r0.bus_op is None) != (r5.bus_op is None) or (
+                        r0.next_state is not r5.next_state
+                    ):
+                        raise FleetError(
+                            f"lane {lane}: cpu-read reaction depends on meta"
+                        )
+                    if r0.meta_from_response:
+                        raise FleetError(
+                            f"lane {lane}: meta_from_response is a "
+                            "directory-fabric feature"
+                        )
+                    self.rd_ok[lane, code] = True
+                    if r0.bus_op is None:
+                        self.rd_hit[lane, code] = True
+                        self.rd_hit_state[lane, code] = r0.next_state.code
+                        self.rd_hit_keep[lane, code] = _probe_meta(
+                            r0.next_meta, r5.next_meta, f"lane {lane} read-hit"
+                        )
+                    else:
+                        if r0.next_meta != r5.next_meta or r0.writes_value:
+                            raise FleetError(
+                                f"lane {lane}: unsupported read-miss reaction"
+                            )
+                        self.rdm_op[lane, code] = BUSOP_CODES[r0.bus_op]
+                        self.rdm_state[lane, code] = r0.next_state.code
+                        self.rdm_meta[lane, code] = r0.next_meta
+                try:
+                    w0 = proto.on_cpu_write(state, 0)
+                    w5 = proto.on_cpu_write(state, 5)
+                except CacheError:
+                    w0 = w5 = None
+                if w0 is not None and w5 is not None:
+                    self.wr_ok[lane, code] = True
+                    if w0.bus_op is None:
+                        if w5.bus_op is not None or (
+                            w0.next_state is not w5.next_state
+                        ) or not w0.writes_value:
+                            raise FleetError(
+                                f"lane {lane}: unsupported write-hit reaction"
+                            )
+                        self.wr_hit[lane, code] = True
+                        self.wr_hit_state[lane, code] = w0.next_state.code
+                        self.wr_hit_keep[lane, code] = _probe_meta(
+                            w0.next_meta, w5.next_meta, f"lane {lane} write-hit"
+                        )
+
+# --------------------------------------------------------------------- #
+# the fleet machine                                                      #
+# --------------------------------------------------------------------- #
+
+
+class FleetMachine:
+    """N independent machines stepped in lockstep from one process.
+
+    Args:
+        configs: one validated, fleet-eligible :class:`MachineConfig` per
+            lane; shapes (see :data:`SHAPE_FIELDS`) must match.
+        programs: one program list per lane (``num_pes`` programs each).
+
+    Raises:
+        ConfigurationError: empty batch, mismatched shapes, ineligible
+            lane, or program-count mismatch.
+        ProgramError: a program names a register outside the file (the
+            fleet vets registers eagerly; see ``encode_instructions``).
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[MachineConfig],
+        programs: Sequence[Sequence[Program]],
+    ) -> None:
+        if not configs:
+            raise ConfigurationError("fleet needs at least one lane")
+        if len(programs) != len(configs):
+            raise ConfigurationError(
+                f"got {len(programs)} program lists for {len(configs)} lanes"
+            )
+        base = configs[0]
+        for lane, config in enumerate(configs):
+            config.validate()
+            ok, reason = fleet_eligible(config)
+            if not ok:
+                raise ConfigurationError(f"lane {lane}: {reason}")
+            for fname in SHAPE_FIELDS:
+                if getattr(config, fname) != getattr(base, fname):
+                    raise ConfigurationError(
+                        f"lane {lane}: {fname} differs from lane 0 "
+                        f"({getattr(config, fname)!r} vs "
+                        f"{getattr(base, fname)!r})"
+                    )
+            if len(programs[lane]) != config.num_pes:
+                raise ConfigurationError(
+                    f"lane {lane}: got {len(programs[lane])} programs for "
+                    f"{config.num_pes} PEs"
+                )
+        self.configs = list(configs)
+        self._programs = [list(lane_programs) for lane_programs in programs]
+        n = self.num_lanes = len(configs)
+        c = self.num_clients = base.num_pes
+        lines = self.num_lines = base.cache_lines
+        m = self.memory_size = base.memory_size
+        regs = self.num_regs = base.num_regs
+        self._rr = base.arbiter == "round-robin"
+        self._granularity = base.lock_granularity
+        self._module_words = 256  # MainMemory's default module size
+        self._protocols = [
+            make_protocol(cfg.protocol, **cfg.protocol_options)
+            for cfg in configs
+        ]
+        self.tables = _Tables(self._protocols, self.configs)
+
+        # Encoded programs, padded to the fleet-wide maximum length.
+        encoded = [
+            [encode_instructions(p.instructions, regs) for p in lane_programs]
+            for lane_programs in self._programs
+        ]
+        plen = max(
+            (len(rows) for lane in encoded for rows in lane), default=0
+        )
+        plen = max(plen, 1)
+        self.prog_op = np.full((n, c, plen), _OC[Opcode.HALT], dtype=np.int64)
+        self.prog_a = np.zeros((n, c, plen), dtype=np.int64)
+        self.prog_b = np.zeros((n, c, plen), dtype=np.int64)
+        self.prog_c = np.zeros((n, c, plen), dtype=np.int64)
+        self.prog_len = np.zeros((n, c), dtype=np.int64)
+        for ln, lane_rows in enumerate(encoded):
+            for cl, rows in enumerate(lane_rows):
+                self.prog_len[ln, cl] = len(rows)
+                for pc, (op, a, b, cc) in enumerate(rows):
+                    self.prog_op[ln, cl, pc] = op
+                    self.prog_a[ln, cl, pc] = a
+                    self.prog_b[ln, cl, pc] = b
+                    self.prog_c[ln, cl, pc] = cc
+
+        # --- machine-wide state ---------------------------------------- #
+        self.lane_cycle = np.zeros(n, dtype=np.int64)
+        self.serial_next = np.zeros(n, dtype=np.int64)
+        self.active = np.ones(n, dtype=bool)
+        self.last_granted = np.full(n, -1, dtype=np.int64)  # round-robin
+
+        # --- memory ----------------------------------------------------- #
+        self.mem_val = np.zeros((n, m), dtype=np.int64)
+        self.mem_written = np.zeros((n, m), dtype=bool)
+        #: region currently locked by (lane, client); -1 = none.  Scalar
+        #: memory maps region -> holder; each client holds at most one
+        #: region (one read-modify-write outstanding), so the transpose
+        #: is exact.
+        self.lock_region = np.full((n, c), -1, dtype=np.int64)
+
+        # --- cache lines ------------------------------------------------ #
+        self.line_addr = np.full((n, c, lines), -1, dtype=np.int64)
+        self.line_state = np.zeros((n, c, lines), dtype=np.int8)
+        self.line_value = np.zeros((n, c, lines), dtype=np.int64)
+        self.line_meta = np.zeros((n, c, lines), dtype=np.int64)
+        self.line_last_used = np.zeros((n, c, lines), dtype=np.int64)
+        self.line_installed_at = np.zeros((n, c, lines), dtype=np.int64)
+        self.line_inval = np.zeros((n, c, lines), dtype=bool)
+        self.stamp = np.zeros((n, c), dtype=np.int64)
+        self.last_serial = np.full((n, c), -1, dtype=np.int64)
+        self._ever_cached = [[set() for _ in range(c)] for _ in range(n)]
+
+        # --- pending CPU op (one per cache, like the scalar machine) ---- #
+        self.p_kind = np.zeros((n, c), dtype=np.int8)
+        self.p_addr = np.zeros((n, c), dtype=np.int64)
+        self.p_value = np.zeros((n, c), dtype=np.int64)
+        self.p_dest = np.zeros((n, c), dtype=np.int64)
+        self.p_ts_phase = np.zeros((n, c), dtype=np.int64)
+        self.p_ts_old = np.zeros((n, c), dtype=np.int64)
+        self.p_await = np.zeros((n, c), dtype=bool)
+        self.p_demand = np.full((n, c), -1, dtype=np.int64)
+        self.p_r_op = np.full((n, c), -1, dtype=np.int8)
+        self.p_r_state = np.zeros((n, c), dtype=np.int8)
+        self.p_r_meta = np.zeros((n, c), dtype=np.int64)
+        self.p_r_writes = np.zeros((n, c), dtype=bool)
+
+        # --- single-slot write-back record ------------------------------ #
+        self.wb_present = np.zeros((n, c), dtype=bool)
+        self.wb_serial = np.zeros((n, c), dtype=np.int64)
+        self.wb_purpose = np.zeros((n, c), dtype=np.int8)
+        self.wb_frame = np.zeros((n, c), dtype=np.int64)
+        self.wb_addr = np.zeros((n, c), dtype=np.int64)
+
+        # --- single-slot bus queue (one txn per client; see module doc) - #
+        self.q_present = np.zeros((n, c), dtype=bool)
+        self.q_op = np.zeros((n, c), dtype=np.int8)
+        self.q_addr = np.zeros((n, c), dtype=np.int64)
+        self.q_value = np.zeros((n, c), dtype=np.int64)
+        self.q_wb = np.zeros((n, c), dtype=bool)
+        self.q_meta = np.zeros((n, c), dtype=np.int64)
+        self.q_serial = np.zeros((n, c), dtype=np.int64)
+
+        # --- PEs --------------------------------------------------------- #
+        self.regs = np.zeros((n, c, regs), dtype=np.int64)
+        self.pc = np.zeros((n, c), dtype=np.int64)
+        self.halted = np.zeros((n, c), dtype=bool)
+
+        # --- statistics -------------------------------------------------- #
+        self.bus_stats = {k: np.zeros(n, dtype=np.int64) for k in _BUS_STAT_KEYS}
+        self.mem_stats = {k: np.zeros(n, dtype=np.int64) for k in _MEM_STAT_KEYS}
+        self.cache_stats = {
+            k: np.zeros((n, c), dtype=np.int64) for k in _CACHE_STAT_KEYS
+        }
+        self.pe_stats = {
+            k: np.zeros((n, c), dtype=np.int64) for k in _PE_STAT_KEYS
+        }
+        self._ids = np.arange(c)
+
+    # ------------------------------------------------------------------ #
+    # execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Advance every lane until it goes idle; returns lockstep cycles.
+
+        Mirrors ``Machine.run``: a lane's idleness is checked *before*
+        each cycle, and a lane that has gone idle stops accumulating
+        cycles and statistics while the rest of the fleet runs on.
+
+        Raises:
+            LivelockError: some lane failed to go idle within
+                *max_cycles*; the exception's snapshot names the lanes.
+        """
+        used = 0
+        while True:
+            idle = self.halted.all(axis=1) & ~self.q_present.any(axis=1)
+            self.active &= ~idle
+            if not self.active.any():
+                return used
+            if used >= max_cycles:
+                stuck = [int(lane) for lane in np.flatnonzero(self.active)]
+                raise LivelockError(
+                    f"fleet: {len(stuck)} lane(s) did not go idle within "
+                    f"{max_cycles} cycles",
+                    snapshot={"lanes": stuck},
+                )
+            self._step()
+            used += 1
+
+    def _step(self) -> None:
+        act = self.active
+        self.lane_cycle[act] += 1
+        self.bus_stats["bus.cycles"][act] += 1
+        self._bus_phase(act)
+        self._driver_phase(act)
+
+    # ------------------------------------------------------------------ #
+    # bus phase                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _region_of(self, addr):
+        if self._granularity is LockGranularity.ALL:
+            return np.zeros_like(addr)
+        if self._granularity is LockGranularity.MODULE:
+            return addr // self._module_words
+        return addr
+
+    def _bus_phase(self, act: np.ndarray) -> None:
+        hasreq = self.q_present.any(axis=1)
+        idle = act & ~hasreq
+        if idle.any():
+            self.bus_stats["bus.idle_cycles"][idle] += 1
+        lanes = np.flatnonzero(act & hasreq)
+        if lanes.size == 0:
+            return
+        ids = self._ids
+        nb = lanes.size
+        nc = ids.size
+        # The scalar grant loop tries requesters in priority order,
+        # dropping each NACKed candidate and re-choosing, until a grant
+        # or no requesters remain.  Both NACK conditions — a foreign
+        # memory-lock holder, and an interrupter that is itself behind a
+        # lock — depend only on per-candidate state that cannot change
+        # during arbitration, so the loop collapses into closed form:
+        # evaluate every requester as a candidate at once, then grant the
+        # lowest-ranked one that would not NACK.  Candidates ranked below
+        # the grant are exactly the ones the loop would have tried and
+        # refused; higher-ranked ones are never tried.
+        req = self.q_present[lanes]
+        addr_all = self.q_addr[lanes]
+        op_all = self.q_op[lanes]
+        region_all = self._region_of(addr_all)
+        lockreg = self.lock_region[lanes]
+        neq = ids[:, None] != ids[None, :]
+        # (lane, candidate, other): does `other` hold a conflicting lock?
+        conflict = (
+            (lockreg[:, None, :] == region_all[:, :, None]) & neq[None, :, :]
+        )
+        locked_all = _OP_NEEDS_LOCK[op_all] & conflict.any(axis=2)
+        # Interrupter per candidate: a foreign L/D holder of the line.
+        frame_all = addr_all % self.num_lines
+        la_all = self.line_addr[
+            lanes[:, None, None], ids[None, None, :], frame_all[:, :, None]
+        ]
+        st_all = self.line_state[
+            lanes[:, None, None], ids[None, None, :], frame_all[:, :, None]
+        ]
+        wants_all = (
+            _OP_IS_READ_LIKE[op_all][:, :, None]
+            & ~locked_all[:, :, None]
+            & (la_all == addr_all[:, :, None])
+            & self.tables.intr[lanes[:, None, None], st_all]
+            & neq[None, :, :]
+        )
+        nwants = wants_all.sum(axis=2)
+        has_int = nwants >= 1
+        intc_all = wants_all.argmax(axis=2)
+        int_conflict = (
+            (lockreg[:, None, :] == region_all[:, :, None])
+            & (ids[None, None, :] != intc_all[:, :, None])
+        )
+        int_locked_all = has_int & int_conflict.any(axis=2)
+        nack_all = locked_all | int_locked_all
+        if self._rr:
+            # Round-robin try order: last_granted+1, ..., wrapping back.
+            rank = (ids[None, :] - self.last_granted[lanes, None] - 1) % nc
+        else:
+            rank = np.broadcast_to(ids[None, :], req.shape)
+        erank = np.where(req & ~nack_all, rank, nc + 1)
+        gmin = erank.min(axis=1)
+        got = gmin <= nc
+        granted = np.where(got, erank.argmin(axis=1), -1)
+        tried_nack = req & (rank < np.where(got, gmin, nc + 1)[:, None])
+        nnacks = tried_nack.sum(axis=1)
+        self.bus_stats["bus.nacks"][lanes] += nnacks
+        tried = tried_nack.copy()
+        gotrows = np.flatnonzero(got)
+        tried[gotrows, granted[gotrows]] = True
+        if (nwants[tried] > 1).any():
+            bad = lanes[(tried & (nwants > 1)).any(axis=1)][0]
+            raise FleetError(
+                f"lane {bad}: multiple caches want to interrupt a read "
+                "— the single-Local invariant is broken"
+            )
+        if self._rr:
+            self.last_granted[lanes[gotrows]] = granted[gotrows]
+        intr = np.full(nb, -1, dtype=np.int64)
+        intr[gotrows] = np.where(
+            has_int[gotrows, granted[gotrows]],
+            intc_all[gotrows, granted[gotrows]],
+            -1,
+        )
+        # Lanes whose every requester was refused: busy cycle, nothing else.
+        self.bus_stats["bus.busy_cycles"][lanes] += 1
+        got = granted >= 0
+        if not got.any():
+            return
+        int_rows = np.flatnonzero(got & (intr >= 0))
+        for row in int_rows:
+            self._interrupt_lane(
+                int(lanes[row]), int(granted[row]), int(intr[row])
+            )
+        exec_rows = np.flatnonzero(got & (intr < 0))
+        if exec_rows.size:
+            self._execute_lanes(lanes[exec_rows], granted[exec_rows])
+
+    def _gather_lines(self, lanes, addr, array):
+        """Per-client values of *array* at each lane's frame for *addr*."""
+        frame = addr % self.num_lines
+        return array[lanes[:, None], self._ids[None, :], frame[:, None]]
+
+    def _execute_lanes(self, ln: np.ndarray, orig: np.ndarray) -> None:
+        """Pop and execute one granted transaction per lane (vectorized)."""
+        t_op = self.q_op[ln, orig]
+        t_addr = self.q_addr[ln, orig]
+        t_val = self.q_value[ln, orig]
+        t_wb = self.q_wb[ln, orig]
+        t_serial = self.q_serial[ln, orig]
+        self.q_present[ln, orig] = False
+        if (t_addr < 0).any() or (t_addr >= self.memory_size).any():
+            raise FleetError("bus transaction address out of memory range")
+
+        # Memory data phase.
+        b_value = np.zeros_like(t_val)
+        region = self._region_of(t_addr)
+        m_read = t_op == _OP_READ
+        if m_read.any():
+            self.mem_stats["memory.reads"][ln[m_read]] += 1
+            b_value[m_read] = self.mem_val[ln[m_read], t_addr[m_read]]
+        m_rl = t_op == _OP_READ_LOCK
+        if m_rl.any():
+            self.lock_region[ln[m_rl], orig[m_rl]] = region[m_rl]
+            self.mem_stats["memory.read_locks"][ln[m_rl]] += 1
+            self.mem_stats["memory.reads"][ln[m_rl]] += 1
+            b_value[m_rl] = self.mem_val[ln[m_rl], t_addr[m_rl]]
+        m_wu = t_op == _OP_WRITE_UNLOCK
+        m_ul = t_op == _OP_UNLOCK
+        rel = m_wu | m_ul
+        if rel.any():
+            if (self.lock_region[ln[rel], orig[rel]] != region[rel]).any():
+                raise FleetError("unlock by a client that holds no such lock")
+            self.lock_region[ln[rel], orig[rel]] = -1
+            self.mem_stats["memory.unlocks"][ln[rel]] += 1
+        m_w = (t_op == _OP_WRITE) | m_wu
+        if m_w.any():
+            self.mem_stats["memory.writes"][ln[m_w]] += 1
+            self.mem_val[ln[m_w], t_addr[m_w]] = t_val[m_w]
+            self.mem_written[ln[m_w], t_addr[m_w]] = True
+            b_value[m_w] = t_val[m_w]
+
+        # Bus op statistics (cycle/busy counted by the caller).
+        for code in np.unique(t_op):
+            sel = t_op == code
+            self.bus_stats[_OP_STAT[code]][ln[sel]] += 1
+        if t_wb.any():
+            self.bus_stats["bus.writebacks"][ln[t_wb]] += 1
+
+        # Broadcast: every other client snoops (UNLOCK is not snooped).
+        bc = np.flatnonzero(t_op != _OP_UNLOCK)
+        if bc.size:
+            self._broadcast(
+                ln[bc], orig[bc], t_op[bc], t_addr[bc], b_value[bc]
+            )
+
+        # Originator completions.
+        wbrows = np.flatnonzero(t_wb)
+        for row in wbrows:
+            self._writeback_complete(
+                int(ln[row]), int(orig[row]), int(t_serial[row])
+            )
+        drows = np.flatnonzero(~t_wb)
+        if drows.size:
+            self._demand_complete(
+                ln[drows], orig[drows], t_op[drows], t_addr[drows],
+                t_val[drows], b_value[drows], t_serial[drows]
+            )
+
+    def _broadcast(self, ln, orig, t_op, t_addr, b_value) -> None:
+        """Apply one completed transaction to every snooping cache."""
+        ids = self._ids
+        frame = t_addr % self.num_lines
+        la = self._gather_lines(ln, t_addr, self.line_addr)
+        st = self._gather_lines(ln, t_addr, self.line_state)
+        matched = (la == t_addr[:, None]) & (ids[None, :] != orig[:, None])
+        if not matched.any():
+            return
+        cls = _SNOOP_CLASS[t_op]
+        tab = self.tables
+        cls2 = cls[:, None]
+        lane2 = ln[:, None]
+        if (matched & ~tab.sn_ok[cls2, lane2, st]).any():
+            raise FleetError("snooped transaction rejected by the protocol")
+        nxt = tab.sn_next[cls2, lane2, st]
+        keep = tab.sn_keep[cls2, lane2, st]
+        absorb = matched & tab.sn_absorb[cls2, lane2, st]
+        meta = self._gather_lines(ln, t_addr, self.line_meta)
+        val = self._gather_lines(ln, t_addr, self.line_value)
+        inval = self._gather_lines(ln, t_addr, self.line_inval)
+        new_st = np.where(matched, nxt, st)
+        new_meta = np.where(matched & ~keep, 0, meta)
+        new_val = np.where(absorb, b_value[:, None], val)
+        invalidated = matched & _READABLE[st] & (new_st == _STATE_INVALID)
+        new_inval = inval | invalidated
+        fr2 = frame[:, None]
+        self.line_state[lane2, ids[None, :], fr2] = new_st
+        self.line_meta[lane2, ids[None, :], fr2] = new_meta
+        self.line_value[lane2, ids[None, :], fr2] = new_val
+        self.line_inval[lane2, ids[None, :], fr2] = new_inval
+        read_like = _OP_IS_READ_LIKE[t_op][:, None]
+        ar = absorb & read_like
+        if ar.any():
+            r, cc = np.nonzero(ar)
+            self.cache_stats["cache.absorbed_reads"][ln[r], cc] += 1
+        aw = absorb & ~read_like
+        if aw.any():
+            r, cc = np.nonzero(aw)
+            self.cache_stats["cache.absorbed_writes"][ln[r], cc] += 1
+        if invalidated.any():
+            r, cc = np.nonzero(invalidated)
+            self.cache_stats["cache.invalidations"][ln[r], cc] += 1
+        # A snoop that demoted a dirty line makes any queued write-back of
+        # the address stale (scalar _cancel_redundant_writebacks)...
+        wbp = self.wb_present[ln]
+        if wbp.any():
+            cancelwb = (
+                matched
+                & ~tab.wb[lane2, new_st]
+                & wbp
+                & (self.wb_addr[ln[:, None], ids[None, :]] == t_addr[:, None])
+            )
+            for r, cc in zip(*np.nonzero(cancelwb)):
+                self._cancel_redundant_writebacks(int(ln[r]), int(cc),
+                                                  int(t_addr[r]))
+        # ...and a broadcast that leaves the line readable may satisfy a
+        # queued demand read early (scalar _maybe_complete_read_early).
+        pk = self.p_kind[ln]
+        if (pk == _K_READ).any():
+            early = (
+                matched
+                & (pk == _K_READ)
+                & (self.p_addr[ln[:, None], ids[None, :]] == t_addr[:, None])
+                & ~self.p_await[ln[:, None], ids[None, :]]
+                & (self.p_demand[ln[:, None], ids[None, :]] >= 0)
+                & _READABLE[new_st]
+            )
+            for r, cc in zip(*np.nonzero(early)):
+                self._maybe_complete_read_early(int(ln[r]), int(cc),
+                                                int(t_addr[r]))
+
+    # ------------------------------------------------------------------ #
+    # demand completions                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _demand_complete(
+        self, ln, orig, t_op, t_addr, t_val, b_value, t_serial
+    ) -> None:
+        """Originator-side completion of one demand transaction per lane."""
+        if (self.p_kind[ln, orig] == _K_NONE).any() or (
+            self.p_demand[ln, orig] != t_serial
+        ).any():
+            raise FleetError(
+                "bus completion for a transaction the cache no longer expects"
+            )
+        self.last_serial[ln, orig] = t_serial
+        frame = t_addr % self.num_lines
+        if (self.line_addr[ln, orig, frame] != t_addr).any():
+            raise FleetError("pending operation's cache line vanished")
+        kind = self.p_kind[ln, orig]
+        phase = self.p_ts_phase[ln, orig]
+        # Every completion path touches the line before applying state.
+        self.stamp[ln, orig] += 1
+        self.line_last_used[ln, orig, frame] = self.stamp[ln, orig]
+
+        tsk = (kind == _K_TS) | (kind == _K_FAA)
+        p1 = tsk & (phase == 1)
+        if p1.any():
+            if (t_op[p1] != _OP_READ_LOCK).any():
+                raise FleetError("ts/faa phase 1 completed by a non-READ_LOCK")
+            l1, c1, f1 = ln[p1], orig[p1], frame[p1]
+            v1 = b_value[p1]
+            self.p_ts_old[l1, c1] = v1
+            self.line_value[l1, c1, f1] = v1
+            self.line_state[l1, c1, f1] = self.tables.ts_fail_state[l1]
+            self.line_meta[l1, c1, f1] = self.tables.ts_fail_meta[l1]
+            self.p_ts_phase[l1, c1] = 2
+            is_faa = kind[p1] == _K_FAA
+            succ = is_faa | (v1 == 0)
+            pend = self.p_value[l1, c1]
+            fop = np.where(succ, _OP_WRITE_UNLOCK, _OP_UNLOCK)
+            fval = np.where(is_faa, v1 + pend, np.where(succ, pend, 0))
+            serial = self.serial_next[l1].copy()
+            self.serial_next[l1] += 1
+            self.p_demand[l1, c1] = serial
+            # The follow-up re-uses the queue slot the phase-1 pop freed.
+            self.q_present[l1, c1] = True
+            self.q_op[l1, c1] = fop
+            self.q_addr[l1, c1] = t_addr[p1]
+            self.q_value[l1, c1] = fval
+            self.q_wb[l1, c1] = False
+            self.q_meta[l1, c1] = 0
+            self.q_serial[l1, c1] = serial
+            self.bus_stats["bus.requests"][l1] += 1
+
+        p2 = tsk & (phase == 2)
+        if p2.any():
+            l2, c2, f2 = ln[p2], orig[p2], frame[p2]
+            wu = t_op[p2] == _OP_WRITE_UNLOCK
+            if (~wu & (t_op[p2] != _OP_UNLOCK)).any():
+                raise FleetError("ts/faa phase 2 completed by an unexpected op")
+            if wu.any():
+                sl, sc, sf = l2[wu], c2[wu], f2[wu]
+                self.line_state[sl, sc, sf] = self.tables.ts_succ_state[sl]
+                self.line_meta[sl, sc, sf] = self.tables.ts_succ_meta[sl]
+                self.line_value[sl, sc, sf] = t_val[p2][wu]
+                won = wu & (kind[p2] == _K_TS)
+                if won.any():
+                    self.cache_stats["cache.ts_success"][l2[won], c2[won]] += 1
+            if (~wu).any():
+                self.cache_stats["cache.ts_fail"][l2[~wu], c2[~wu]] += 1
+            dest = self.p_dest[l2, c2]
+            old = self.p_ts_old[l2, c2]
+            self._clear_pending_rows(l2, c2)
+            self.regs[l2, c2, dest] = old
+            self.pc[l2, c2] += 1
+
+        rd = kind == _K_READ
+        if rd.any():
+            lr, cr, fr = ln[rd], orig[rd], frame[rd]
+            self.line_value[lr, cr, fr] = b_value[rd]
+            self.line_state[lr, cr, fr] = self.p_r_state[lr, cr]
+            self.line_meta[lr, cr, fr] = self.p_r_meta[lr, cr]
+            dest = self.p_dest[lr, cr]
+            self._clear_pending_rows(lr, cr)
+            self.regs[lr, cr, dest] = b_value[rd]
+            self.pc[lr, cr] += 1
+
+        wr = kind == _K_WRITE
+        if wr.any():
+            # A READ demand that does not write the store's value is the
+            # fetch-on-write-miss fill: retry the write against the filled
+            # line (scalar fill-before-write path, python per event).
+            fill = wr & (t_op == _OP_READ) & ~self.p_r_writes[ln, orig]
+            norm = wr & ~fill
+            if norm.any():
+                lw, cw, fw = ln[norm], orig[norm], frame[norm]
+                self.line_state[lw, cw, fw] = self.p_r_state[lw, cw]
+                self.line_meta[lw, cw, fw] = self.p_r_meta[lw, cw]
+                writes = self.p_r_writes[lw, cw]
+                self.line_value[lw, cw, fw] = np.where(
+                    writes, self.p_value[lw, cw], self.line_value[lw, cw, fw]
+                )
+                self._clear_pending_rows(lw, cw)
+                self.pc[lw, cw] += 1
+            for row in np.flatnonzero(fill):
+                self._fill_before_write(
+                    int(ln[row]), int(orig[row]), int(frame[row]),
+                    int(b_value[row]),
+                )
+
+    def _fill_before_write(self, n: int, c: int, f: int, bval: int) -> None:
+        self.line_value[n, c, f] = bval
+        self.line_state[n, c, f] = self.p_r_state[n, c]
+        self.line_meta[n, c, f] = self.p_r_meta[n, c]
+        state = CODE_STATES[int(self.line_state[n, c, f])]
+        retry = self._protocols[n].on_cpu_write(
+            state, int(self.line_meta[n, c, f])
+        )
+        if retry.bus_op is None:
+            self.line_state[n, c, f] = retry.next_state.code
+            self.line_meta[n, c, f] = retry.next_meta
+            if retry.writes_value:
+                self.line_value[n, c, f] = self.p_value[n, c]
+            self._clear_pending(n, c)
+            self.pc[n, c] += 1
+        else:
+            self.p_r_op[n, c] = BUSOP_CODES[retry.bus_op]
+            self.p_r_state[n, c] = retry.next_state.code
+            self.p_r_meta[n, c] = retry.next_meta
+            self.p_r_writes[n, c] = retry.writes_value
+            self._issue_demand(n, c)
+
+    def _clear_pending_rows(self, l, c) -> None:
+        self.p_kind[l, c] = _K_NONE
+        self.p_demand[l, c] = -1
+        self.p_await[l, c] = False
+        self.p_ts_phase[l, c] = 0
+
+    def _clear_pending(self, n: int, c: int) -> None:
+        self.p_kind[n, c] = _K_NONE
+        self.p_demand[n, c] = -1
+        self.p_await[n, c] = False
+        self.p_ts_phase[n, c] = 0
+
+    # ------------------------------------------------------------------ #
+    # rare-event python paths (mirror the scalar cache exactly)           #
+    # ------------------------------------------------------------------ #
+
+    def _draw_serial(self, n: int) -> int:
+        serial = int(self.serial_next[n])
+        self.serial_next[n] += 1
+        return serial
+
+    def _enqueue(
+        self, n, c, op, addr, value, is_wb, meta, serial
+    ) -> None:
+        if self.q_present[n, c]:
+            raise FleetError(
+                f"lane {n} cache{c}: second outstanding bus transaction"
+            )
+        self.q_present[n, c] = True
+        self.q_op[n, c] = op
+        self.q_addr[n, c] = addr
+        self.q_value[n, c] = value
+        self.q_wb[n, c] = is_wb
+        self.q_meta[n, c] = meta
+        self.q_serial[n, c] = serial
+        self.bus_stats["bus.requests"][n] += 1
+
+    def _touch(self, n: int, c: int, f: int) -> None:
+        self.stamp[n, c] += 1
+        self.line_last_used[n, c, f] = self.stamp[n, c]
+
+    def _install(self, n: int, c: int, f: int, addr: int) -> None:
+        self.stamp[n, c] += 1
+        self.line_addr[n, c, f] = addr
+        self.line_state[n, c, f] = _STATE_INVALID
+        self.line_value[n, c, f] = 0
+        self.line_meta[n, c, f] = 0
+        self.line_last_used[n, c, f] = self.stamp[n, c]
+        self.line_installed_at[n, c, f] = self.stamp[n, c]
+        self.line_inval[n, c, f] = False
+        self._ever_cached[n][c].add(addr)
+
+    def _issue_demand(self, n: int, c: int) -> None:
+        self.p_await[n, c] = False
+        kind = int(self.p_kind[n, c])
+        if kind in (_K_TS, _K_FAA):
+            self.p_ts_phase[n, c] = 1
+            op, value = _OP_READ_LOCK, 0
+        else:
+            op = int(self.p_r_op[n, c])
+            value = int(self.p_value[n, c]) if _OP_IS_WRITE_LIKE[op] else 0
+        serial = self._draw_serial(n)
+        self.p_demand[n, c] = serial
+        self._enqueue(n, c, op, int(self.p_addr[n, c]), value, False, 0, serial)
+
+    def _start_miss(self, n: int, c: int) -> None:
+        addr = int(self.p_addr[n, c])
+        f = addr % self.num_lines
+        held = int(self.line_addr[n, c, f])
+        if held == addr:
+            self._issue_demand(n, c)
+            return
+        if held < 0:
+            self._install(n, c, f, addr)
+            self._issue_demand(n, c)
+            return
+        self.cache_stats["cache.evictions"][n, c] += 1
+        if self.tables.wb[n, self.line_state[n, c, f]]:
+            self._queue_writeback(n, c, f, _WB_EVICT)
+            self.p_await[n, c] = True
+            return
+        # Clean victim: release + install (install overwrites every field
+        # release would clear, so the two collapse).
+        self._install(n, c, f, addr)
+        self._issue_demand(n, c)
+
+    def _queue_writeback(self, n: int, c: int, f: int, purpose: int) -> None:
+        if self.wb_present[n, c]:
+            raise FleetError(
+                f"lane {n} cache{c}: second outstanding write-back"
+            )
+        addr = int(self.line_addr[n, c, f])
+        serial = self._draw_serial(n)
+        self._enqueue(
+            n, c, _OP_WRITE, addr, int(self.line_value[n, c, f]), True,
+            int(self.line_meta[n, c, f]), serial,
+        )
+        self.wb_present[n, c] = True
+        self.wb_serial[n, c] = serial
+        self.wb_purpose[n, c] = purpose
+        self.wb_frame[n, c] = f
+        self.wb_addr[n, c] = addr
+        self.cache_stats["cache.writebacks"][n, c] += 1
+
+    def _cancel_redundant_writebacks(self, n: int, c: int, addr: int) -> None:
+        if not (self.wb_present[n, c] and self.wb_addr[n, c] == addr):
+            return
+        if not (
+            self.q_present[n, c]
+            and self.q_serial[n, c] == self.wb_serial[n, c]
+        ):
+            return
+        self.q_present[n, c] = False
+        self.bus_stats["bus.cancelled"][n] += 1
+        self.wb_present[n, c] = False
+        self._resolve_writeback(
+            n, c, int(self.wb_purpose[n, c]), int(self.wb_frame[n, c]),
+            addr, flushed_by_interrupt=True,
+        )
+
+    def _resolve_writeback(
+        self, n, c, purpose, frame, addr, flushed_by_interrupt
+    ) -> None:
+        if purpose == _WB_FLUSH:
+            if (
+                not flushed_by_interrupt
+                and self.line_addr[n, c, frame] == addr
+                and self.tables.wb[n, self.line_state[n, c, frame]]
+            ):
+                st = self.line_state[n, c, frame]
+                self.line_state[n, c, frame] = self.tables.supply[n, st]
+                self.line_meta[n, c, frame] = 0
+            if self.p_kind[n, c] != _K_NONE and self.p_await[n, c]:
+                self._issue_demand(n, c)
+        else:  # EVICT: the victim leaves regardless of who flushed it
+            self._install(n, c, frame, int(self.p_addr[n, c]))
+            self._issue_demand(n, c)
+
+    def _writeback_complete(self, n: int, c: int, serial: int) -> None:
+        if not (self.wb_present[n, c] and self.wb_serial[n, c] == serial):
+            return  # already cancelled/resolved (or an interrupt supply)
+        self.wb_present[n, c] = False
+        self._resolve_writeback(
+            n, c, int(self.wb_purpose[n, c]), int(self.wb_frame[n, c]),
+            int(self.wb_addr[n, c]), flushed_by_interrupt=False,
+        )
+
+    def _maybe_complete_read_early(self, n: int, c: int, addr: int) -> None:
+        if (
+            self.p_kind[n, c] != _K_READ
+            or self.p_addr[n, c] != addr
+            or self.p_await[n, c]
+            or self.p_demand[n, c] < 0
+        ):
+            return
+        f = addr % self.num_lines
+        if self.line_addr[n, c, f] != addr or not _READABLE[
+            self.line_state[n, c, f]
+        ]:
+            return
+        if not (
+            self.q_present[n, c]
+            and self.q_serial[n, c] == self.p_demand[n, c]
+        ):
+            return
+        self.q_present[n, c] = False
+        self.bus_stats["bus.cancelled"][n] += 1
+        self.cache_stats["cache.early_read_completions"][n, c] += 1
+        self._touch(n, c, f)
+        dest = int(self.p_dest[n, c])
+        value = int(self.line_value[n, c, f])
+        self._clear_pending(n, c)
+        self.last_serial[n, c] = -1
+        self.regs[n, c, dest] = value
+        self.pc[n, c] += 1
+
+    def _snoop_one(self, n: int, c: int, op: int, addr: int, value: int) -> None:
+        """One cache observes one transaction (python mirror of the scalar
+        ``observe_transaction``, used on the interrupt path)."""
+        f = addr % self.num_lines
+        if self.line_addr[n, c, f] != addr:
+            return
+        st = int(self.line_state[n, c, f])
+        cls = int(_SNOOP_CLASS[op])
+        tab = self.tables
+        if not tab.sn_ok[cls, n, st]:
+            raise FleetError("snooped transaction rejected by the protocol")
+        nxt = int(tab.sn_next[cls, n, st])
+        self.line_state[n, c, f] = nxt
+        if not tab.sn_keep[cls, n, st]:
+            self.line_meta[n, c, f] = 0
+        if tab.sn_absorb[cls, n, st]:
+            self.line_value[n, c, f] = value
+            key = (
+                "cache.absorbed_reads"
+                if _OP_IS_READ_LIKE[op]
+                else "cache.absorbed_writes"
+            )
+            self.cache_stats[key][n, c] += 1
+        if _READABLE[st] and nxt == _STATE_INVALID:
+            self.cache_stats["cache.invalidations"][n, c] += 1
+            self.line_inval[n, c, f] = True
+        if not tab.wb[n, nxt]:
+            self._cancel_redundant_writebacks(n, c, addr)
+        self._maybe_complete_read_early(n, c, addr)
+
+    def _interrupt_lane(self, n: int, orig: int, ic: int) -> None:
+        """Cache *ic* supplies a dirty line instead of memory serving the
+        read; the killed read stays queued for a later cycle (scalar
+        ``_run_interrupt_writeback``)."""
+        addr = int(self.q_addr[n, orig])
+        f = addr % self.num_lines
+        # make_interrupt_writeback: the supply transaction's serial is
+        # drawn before the supplier's own state changes.
+        wserial = self._draw_serial(n)
+        wvalue = int(self.line_value[n, ic, f])
+        st = int(self.line_state[n, ic, f])
+        self.line_state[n, ic, f] = self.tables.supply[n, st]
+        self.line_meta[n, ic, f] = 0
+        self.cache_stats["cache.supplies"][n, ic] += 1
+        self._cancel_redundant_writebacks(n, ic, addr)
+        self.bus_stats["bus.interrupted_reads"][n] += 1
+        self.mem_stats["memory.writes"][n] += 1
+        self.mem_val[n, addr] = wvalue
+        self.mem_written[n, addr] = True
+        for c in range(self.num_clients):
+            if c != ic:
+                self._snoop_one(n, c, _OP_WRITE, addr, wvalue)
+        # transaction_complete on the supplier: no write-back record was
+        # ever filed for the supply serial, so this is a guaranteed no-op;
+        # kept for parity with the scalar call sequence.
+        self._writeback_complete(n, ic, wserial)
+        self.bus_stats["bus.op.write"][n] += 1
+        self.bus_stats["bus.writebacks"][n] += 1
+
+    # ------------------------------------------------------------------ #
+    # driver phase                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _driver_phase(self, act: np.ndarray) -> None:
+        live = act[:, None] & ~self.halted
+        if not live.any():
+            return
+        lv, cv = np.nonzero(live)
+        self.pe_stats["pe.cycles"][lv, cv] += 1
+        waiting = self.p_kind != _K_NONE
+        stalled = live & waiting
+        if stalled.any():
+            sl, sc = np.nonzero(stalled)
+            self.pe_stats["pe.stall_cycles"][sl, sc] += 1
+        ex = live & ~waiting
+        if not ex.any():
+            return
+        eln, ecl = np.nonzero(ex)
+        pc = self.pc[eln, ecl]
+        oob = pc >= self.prog_len[eln, ecl]
+        if oob.any():
+            row = np.flatnonzero(oob)[0]
+            raise ProgramError(
+                f"lane {eln[row]} PE {ecl[row]}: pc {pc[row]} outside the "
+                f"{self.prog_len[eln[row], ecl[row]]}-instruction program"
+            )
+        op = self.prog_op[eln, ecl, pc]
+        fa = self.prog_a[eln, ecl, pc]
+        fb = self.prog_b[eln, ecl, pc]
+        fc = self.prog_c[eln, ecl, pc]
+        self.pe_stats["pe.instructions"][eln, ecl] += 1
+        oc = _OC
+        present = set(np.unique(op).tolist())
+        issues: list[tuple[int, int, int]] = []
+
+        if oc[Opcode.HALT] in present:
+            m = op == oc[Opcode.HALT]
+            self.halted[eln[m], ecl[m]] = True
+        if oc[Opcode.NOP] in present:
+            m = op == oc[Opcode.NOP]
+            self.pc[eln[m], ecl[m]] += 1
+        if oc[Opcode.LOADI] in present:
+            m = op == oc[Opcode.LOADI]
+            l, c = eln[m], ecl[m]
+            self.regs[l, c, fa[m]] = fb[m]
+            self.pc[l, c] += 1
+        if oc[Opcode.MOV] in present:
+            m = op == oc[Opcode.MOV]
+            l, c = eln[m], ecl[m]
+            self.regs[l, c, fa[m]] = self.regs[l, c, fb[m]]
+            self.pc[l, c] += 1
+        if oc[Opcode.ADD] in present:
+            m = op == oc[Opcode.ADD]
+            l, c = eln[m], ecl[m]
+            self.regs[l, c, fa[m]] = (
+                self.regs[l, c, fb[m]] + self.regs[l, c, fc[m]]
+            )
+            self.pc[l, c] += 1
+        if oc[Opcode.ADDI] in present:
+            m = op == oc[Opcode.ADDI]
+            l, c = eln[m], ecl[m]
+            self.regs[l, c, fa[m]] = self.regs[l, c, fb[m]] + fc[m]
+            self.pc[l, c] += 1
+        if oc[Opcode.SUB] in present:
+            m = op == oc[Opcode.SUB]
+            l, c = eln[m], ecl[m]
+            self.regs[l, c, fa[m]] = (
+                self.regs[l, c, fb[m]] - self.regs[l, c, fc[m]]
+            )
+            self.pc[l, c] += 1
+        if oc[Opcode.JMP] in present:
+            m = op == oc[Opcode.JMP]
+            self.pc[eln[m], ecl[m]] = fc[m]
+        if oc[Opcode.BEQZ] in present:
+            m = op == oc[Opcode.BEQZ]
+            l, c = eln[m], ecl[m]
+            taken = self.regs[l, c, fa[m]] == 0
+            self.pc[l, c] = np.where(taken, fc[m], self.pc[l, c] + 1)
+        if oc[Opcode.BNEZ] in present:
+            m = op == oc[Opcode.BNEZ]
+            l, c = eln[m], ecl[m]
+            taken = self.regs[l, c, fa[m]] != 0
+            self.pc[l, c] = np.where(taken, fc[m], self.pc[l, c] + 1)
+
+        if oc[Opcode.LOAD] in present:
+            m = op == oc[Opcode.LOAD]
+            l, c = eln[m], ecl[m]
+            self.pe_stats["pe.loads"][l, c] += 1
+            self._cpu_read(l, c, self.regs[l, c, fb[m]], fa[m], issues)
+        if oc[Opcode.STORE] in present:
+            m = op == oc[Opcode.STORE]
+            l, c = eln[m], ecl[m]
+            self.pe_stats["pe.stores"][l, c] += 1
+            self._cpu_write(l, c, self.regs[l, c, fa[m]],
+                            self.regs[l, c, fb[m]], issues)
+        if oc[Opcode.TS] in present:
+            m = op == oc[Opcode.TS]
+            l, c = eln[m], ecl[m]
+            self.pe_stats["pe.ts"][l, c] += 1
+            self._cpu_rmw(l, c, _K_TS, self.regs[l, c, fb[m]],
+                          self.regs[l, c, fc[m]], fa[m], issues)
+        if oc[Opcode.FAA] in present:
+            m = op == oc[Opcode.FAA]
+            l, c = eln[m], ecl[m]
+            self.pe_stats["pe.faa"][l, c] += 1
+            self._cpu_rmw(l, c, _K_FAA, self.regs[l, c, fb[m]],
+                          self.regs[l, c, fc[m]], fa[m], issues)
+
+        # Misses draw serials; the scalar drivers run in PE order within a
+        # lane, so issue in (lane, client) order across all op groups.
+        self._flush_issues(issues)
+
+    def _flush_issues(self, issues: list[tuple[int, int, int]]) -> None:
+        """Apply the queued miss/flush issues in (lane, client) order.
+
+        The common shape — the frame already holds the missed address, so
+        the pending op just reissues its demand — is vectorized: each
+        sorted row draws exactly one serial and serial streams are
+        per-lane, so the draw a row would make in the scalar loop is
+        ``serial_next[lane] + (row's rank within its lane)``.  Any lane
+        with a rare row (true miss, eviction, flush-before-RMW) falls
+        back to the per-event helpers for all of its rows, keeping the
+        intra-lane draw order trivially scalar-identical.
+        """
+        if not issues:
+            return
+        issues.sort()
+        if len(issues) < 8:
+            for n, c, action in issues:
+                if action == 0:
+                    self._start_miss(n, c)
+                else:
+                    f = int(self.p_addr[n, c]) % self.num_lines
+                    self._queue_writeback(n, c, f, _WB_FLUSH)
+                    self.p_await[n, c] = True
+            return
+        arr = np.asarray(issues, dtype=np.int64)
+        n, c, action = arr[:, 0], arr[:, 1], arr[:, 2]
+        addr = self.p_addr[n, c]
+        frame = addr % self.num_lines
+        fast = (action == 0) & (self.line_addr[n, c, frame] == addr)
+        slow_rows = np.flatnonzero(np.isin(n, n[~fast]))
+        for i in slow_rows:
+            nn, cc = int(n[i]), int(c[i])
+            if action[i] == 0:
+                self._start_miss(nn, cc)
+            else:
+                f = int(self.p_addr[nn, cc]) % self.num_lines
+                self._queue_writeback(nn, cc, f, _WB_FLUSH)
+                self.p_await[nn, cc] = True
+        keep = np.ones(n.size, dtype=bool)
+        keep[slow_rows] = False
+        rows = np.flatnonzero(keep)
+        if rows.size == 0:
+            return
+        fn, fc_ = n[rows], c[rows]
+        uniq, inv, counts = np.unique(
+            fn, return_inverse=True, return_counts=True
+        )
+        first = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        serial = self.serial_next[fn] + (np.arange(fn.size) - first[inv])
+        self.serial_next[uniq] += counts
+        kind = self.p_kind[fn, fc_]
+        is_rmw = (kind == _K_TS) | (kind == _K_FAA)
+        rmw = np.flatnonzero(is_rmw)
+        self.p_ts_phase[fn[rmw], fc_[rmw]] = 1
+        op = np.where(is_rmw, _OP_READ_LOCK, self.p_r_op[fn, fc_])
+        value = np.where(
+            _OP_IS_WRITE_LIKE[op] & ~is_rmw, self.p_value[fn, fc_], 0
+        )
+        if self.q_present[fn, fc_].any():
+            bad = np.flatnonzero(self.q_present[fn, fc_])[0]
+            raise FleetError(
+                f"lane {fn[bad]} cache{fc_[bad]}: second outstanding bus "
+                "transaction"
+            )
+        self.p_await[fn, fc_] = False
+        self.p_demand[fn, fc_] = serial
+        self.q_present[fn, fc_] = True
+        self.q_op[fn, fc_] = op
+        self.q_addr[fn, fc_] = addr[rows]
+        self.q_value[fn, fc_] = value
+        self.q_wb[fn, fc_] = False
+        self.q_meta[fn, fc_] = 0
+        self.q_serial[fn, fc_] = serial
+        np.add.at(self.bus_stats["bus.requests"], fn, 1)
+
+    def _check_addr(self, addr: np.ndarray, what: str) -> None:
+        if (addr < 0).any() or (addr >= self.memory_size).any():
+            raise FleetError(
+                f"{what} address outside the {self.memory_size}-word memory"
+            )
+
+    def _cpu_read(self, l, c, addr, dest, issues) -> None:
+        self._check_addr(addr, "LOAD")
+        self.cache_stats["cache.reads"][l, c] += 1
+        f = addr % self.num_lines
+        matched = self.line_addr[l, c, f] == addr
+        st = self.line_state[l, c, f]
+        eff = np.where(matched, st, 0)  # NP where the frame holds elsewhere
+        if (~self.tables.rd_ok[l, eff]).any():
+            raise FleetError("cpu read rejected by the protocol")
+        hit = matched & self.tables.rd_hit[l, eff]
+        if hit.any():
+            lh, ch, fh = l[hit], c[hit], f[hit]
+            sth = st[hit]
+            self.stamp[lh, ch] += 1
+            self.line_last_used[lh, ch, fh] = self.stamp[lh, ch]
+            self.line_state[lh, ch, fh] = self.tables.rd_hit_state[lh, sth]
+            self.line_meta[lh, ch, fh] = np.where(
+                self.tables.rd_hit_keep[lh, sth],
+                self.line_meta[lh, ch, fh], 0,
+            )
+            self.cache_stats["cache.read_hits"][lh, ch] += 1
+            self.last_serial[lh, ch] = -1
+            self.regs[lh, ch, dest[hit]] = self.line_value[lh, ch, fh]
+            self.pc[lh, ch] += 1
+        miss = ~hit
+        if not miss.any():
+            return
+        lm, cm = l[miss], c[miss]
+        self.cache_stats["cache.read_misses"][lm, cm] += 1
+        mm = matched[miss]
+        if mm.any():
+            self.cache_stats["cache.read_miss_coherence"][lm[mm], cm[mm]] += 1
+        madr = addr[miss]
+        for row in np.flatnonzero(~mm):
+            n, cc = int(lm[row]), int(cm[row])
+            key = (
+                "cache.read_miss_replacement"
+                if int(madr[row]) in self._ever_cached[n][cc]
+                else "cache.read_miss_compulsory"
+            )
+            self.cache_stats[key][n, cc] += 1
+        effm = eff[miss]
+        self.p_kind[lm, cm] = _K_READ
+        self.p_addr[lm, cm] = madr
+        self.p_value[lm, cm] = 0
+        self.p_dest[lm, cm] = dest[miss]
+        self.p_await[lm, cm] = False
+        self.p_ts_phase[lm, cm] = 0
+        self.p_ts_old[lm, cm] = 0
+        self.p_r_op[lm, cm] = self.tables.rdm_op[lm, effm]
+        self.p_r_state[lm, cm] = self.tables.rdm_state[lm, effm]
+        self.p_r_meta[lm, cm] = self.tables.rdm_meta[lm, effm]
+        self.p_r_writes[lm, cm] = False
+        issues.extend(
+            (int(n), int(cc), 0) for n, cc in zip(lm, cm)
+        )
+
+    def _cpu_write(self, l, c, addr, value, issues) -> None:
+        self._check_addr(addr, "STORE")
+        self.cache_stats["cache.writes"][l, c] += 1
+        f = addr % self.num_lines
+        matched = self.line_addr[l, c, f] == addr
+        st = self.line_state[l, c, f]
+        eff = np.where(matched, st, 0)
+        if (~self.tables.wr_ok[l, eff]).any():
+            raise FleetError("cpu write rejected by the protocol")
+        hit = matched & self.tables.wr_hit[l, eff]
+        if hit.any():
+            lh, ch, fh = l[hit], c[hit], f[hit]
+            sth = st[hit]
+            self.stamp[lh, ch] += 1
+            self.line_last_used[lh, ch, fh] = self.stamp[lh, ch]
+            self.line_state[lh, ch, fh] = self.tables.wr_hit_state[lh, sth]
+            self.line_meta[lh, ch, fh] = np.where(
+                self.tables.wr_hit_keep[lh, sth],
+                self.line_meta[lh, ch, fh], 0,
+            )
+            self.line_value[lh, ch, fh] = value[hit]
+            self.cache_stats["cache.write_local_hits"][lh, ch] += 1
+            self.last_serial[lh, ch] = -1
+            self.pc[lh, ch] += 1
+        miss = ~hit
+        if not miss.any():
+            return
+        lm, cm = l[miss], c[miss]
+        self.cache_stats["cache.write_bus"][lm, cm] += 1
+        effm = eff[miss]
+        metam = np.where(
+            matched[miss], self.line_meta[lm, cm, f[miss]], 0
+        )
+        fam = self.tables.family[lm]
+        k = lm.size
+        rop = np.full(k, _OP_WRITE, dtype=np.int8)
+        rst = np.zeros(k, dtype=np.int8)
+        rmeta = np.zeros(k, dtype=np.int64)
+        rwrites = np.ones(k, dtype=bool)
+        sel = fam == 0  # rb: every bus write installs Local
+        rst[sel] = LineState.LOCAL.code
+        sel = fam == 1  # rwb: count first-writes, promote at k
+        if sel.any():
+            run = np.where(effm[sel] == LineState.FIRST_WRITE.code,
+                           metam[sel] + 1, 1)
+            promote = run >= self.tables.rwb_k[lm[sel]]
+            rop[sel] = np.where(promote, _OP_INVALIDATE, _OP_WRITE)
+            rst[sel] = np.where(promote, LineState.LOCAL.code,
+                                LineState.FIRST_WRITE.code)
+            rmeta[sel] = np.where(promote, 0, run)
+        sel = fam == 2  # write-once
+        if sel.any():
+            is_valid = effm[sel] == LineState.VALID.code
+            fetch = self.tables.wo_fetch[lm[sel]]
+            rop[sel] = np.where(
+                is_valid, _OP_WRITE,
+                np.where(fetch, _OP_READ, _OP_WRITE),
+            )
+            rst[sel] = np.where(
+                is_valid, LineState.RESERVED.code,
+                np.where(fetch, LineState.VALID.code,
+                         LineState.RESERVED.code),
+            )
+            rwrites[sel] = np.where(is_valid, True, ~fetch)
+        sel = fam == 3  # write-through: every write goes to the bus
+        rst[sel] = LineState.VALID.code
+        self.p_kind[lm, cm] = _K_WRITE
+        self.p_addr[lm, cm] = addr[miss]
+        self.p_value[lm, cm] = value[miss]
+        self.p_dest[lm, cm] = 0
+        self.p_await[lm, cm] = False
+        self.p_ts_phase[lm, cm] = 0
+        self.p_ts_old[lm, cm] = 0
+        self.p_r_op[lm, cm] = rop
+        self.p_r_state[lm, cm] = rst
+        self.p_r_meta[lm, cm] = rmeta
+        self.p_r_writes[lm, cm] = rwrites
+        issues.extend(
+            (int(n), int(cc), 0) for n, cc in zip(lm, cm)
+        )
+
+    def _cpu_rmw(self, l, c, kind, addr, value, dest, issues) -> None:
+        name = "TS" if kind == _K_TS else "FAA"
+        self._check_addr(addr, name)
+        key = "cache.ts_attempts" if kind == _K_TS else "cache.faa_attempts"
+        self.cache_stats[key][l, c] += 1
+        f = addr % self.num_lines
+        matched = self.line_addr[l, c, f] == addr
+        self.p_kind[l, c] = kind
+        self.p_addr[l, c] = addr
+        self.p_value[l, c] = value
+        self.p_dest[l, c] = dest
+        self.p_await[l, c] = False
+        self.p_ts_phase[l, c] = 0
+        self.p_ts_old[l, c] = 0
+        # A dirty local copy must reach memory before the locked read.
+        flush = matched & self.tables.wb[l, self.line_state[l, c, f]]
+        issues.extend(
+            (int(n), int(cc), 1 if fl else 0)
+            for n, cc, fl in zip(l, c, flush)
+        )
+
+    # ------------------------------------------------------------------ #
+    # export: scalar-identical snapshots                                  #
+    # ------------------------------------------------------------------ #
+
+    def _stats_dict(self, bag: dict, *index) -> dict:
+        """One lane's counters in scalar ``CounterBag.as_dict`` form.
+
+        Scalar counters exist once incremented (every add is positive), so
+        zero entries are omitted.
+        """
+        return {
+            key: int(values[index])
+            for key, values in bag.items()
+            if values[index]
+        }
+
+    def _memory_dict(self, n: int) -> dict:
+        written = np.flatnonzero(self.mem_written[n])
+        locks = sorted(
+            (int(self.lock_region[n, c]), int(c))
+            for c in range(self.num_clients)
+            if self.lock_region[n, c] >= 0
+        )
+        return {
+            "size": self.memory_size,
+            "words": [
+                (int(a), int(self.mem_val[n, a])) for a in written
+            ],
+            "locks": locks,
+            "stats": self._stats_dict(self.mem_stats, n),
+        }
+
+    def _txn_dict(self, n: int, c: int) -> dict:
+        return {
+            "op": BUS_OPS[int(self.q_op[n, c])].name,
+            "address": int(self.q_addr[n, c]),
+            "originator": int(c),
+            "value": int(self.q_value[n, c]),
+            "is_writeback": bool(self.q_wb[n, c]),
+            "meta": int(self.q_meta[n, c]),
+            "serial": int(self.q_serial[n, c]),
+        }
+
+    def _bus_dict(self, n: int) -> dict:
+        if self._rr:
+            arbiter = {
+                "policy": "round-robin",
+                "last_granted": int(self.last_granted[n]),
+            }
+        else:
+            arbiter = {"policy": "fixed-priority"}
+        return {
+            "name": "bus0",
+            "cycle": int(self.lane_cycle[n]),
+            "stats": self._stats_dict(self.bus_stats, n),
+            "arbiter": arbiter,
+            "queues": [
+                [int(c), [self._txn_dict(n, c)]]
+                for c in range(self.num_clients)
+                if self.q_present[n, c]
+            ],
+        }
+
+    def _pending_dict(self, n: int, c: int) -> dict | None:
+        kind = int(self.p_kind[n, c])
+        if kind == _K_NONE:
+            return None
+        if kind in (_K_TS, _K_FAA):
+            reaction = None
+        else:
+            reaction = {
+                "bus_op": BUS_OPS[int(self.p_r_op[n, c])].name,
+                "next_state": CODE_STATES[int(self.p_r_state[n, c])].value,
+                "next_meta": int(self.p_r_meta[n, c]),
+                "writes_value": bool(self.p_r_writes[n, c]),
+                "meta_from_response": False,
+            }
+        demand = int(self.p_demand[n, c])
+        return {
+            "kind": _KIND_NAMES[kind],
+            "address": int(self.p_addr[n, c]),
+            "value": int(self.p_value[n, c]),
+            "reaction": reaction,
+            "ts_phase": int(self.p_ts_phase[n, c]),
+            "ts_old_value": int(self.p_ts_old[n, c]),
+            "awaiting_writeback": bool(self.p_await[n, c]),
+            "demand_serial": None if demand < 0 else demand,
+        }
+
+    def _cache_dict(self, n: int, c: int) -> dict:
+        cfg = self.configs[n]
+        lines = []
+        for f in range(self.num_lines):
+            addr = int(self.line_addr[n, c, f])
+            lines.append(
+                {
+                    "address": None if addr < 0 else addr,
+                    "state": CODE_STATES[int(self.line_state[n, c, f])].value,
+                    "value": int(self.line_value[n, c, f]),
+                    "meta": int(self.line_meta[n, c, f]),
+                    "last_used": int(self.line_last_used[n, c, f]),
+                    "installed_at": int(self.line_installed_at[n, c, f]),
+                    "invalidated_by_snoop": bool(self.line_inval[n, c, f]),
+                }
+            )
+        last = int(self.last_serial[n, c])
+        writebacks = []
+        if self.wb_present[n, c]:
+            writebacks.append(
+                [
+                    int(self.wb_serial[n, c]),
+                    _WB_NAMES[int(self.wb_purpose[n, c])],
+                    int(self.wb_frame[n, c]),
+                    int(self.wb_addr[n, c]),
+                ]
+            )
+        replacement = make_replacement(
+            cfg.replacement, seed=derive_seed(cfg.seed, "replacement", c)
+        )
+        return {
+            "name": f"cache{c}",
+            "offline": False,
+            "client_id": int(c),
+            "stamp": int(self.stamp[n, c]),
+            "last_completed_serial": None if last < 0 else last,
+            "ever_cached": sorted(self._ever_cached[n][c]),
+            "lines": lines,
+            "pending": self._pending_dict(n, c),
+            "writebacks": writebacks,
+            "stats": self._stats_dict(self.cache_stats, n, c),
+            "replacement": replacement.state_dict(),
+            "protocol": self._protocols[n].state_dict(),
+        }
+
+    def _driver_dict(self, n: int, c: int) -> dict:
+        program = self._programs[n][c]
+        return {
+            "pe": int(c),
+            "waiting": bool(self.p_kind[n, c] != _K_NONE),
+            "stats": self._stats_dict(self.pe_stats, n, c),
+            "kind": "program",
+            "regs": [int(v) for v in self.regs[n, c]],
+            "pc": int(self.pc[n, c]),
+            "halted": bool(self.halted[n, c]),
+            "program": {
+                "instructions": [
+                    [instr.op.name, instr.a, instr.b, instr.c]
+                    for instr in program.instructions
+                ],
+                "labels": dict(program.labels),
+            },
+        }
+
+    def state_dict_for(self, lane: int) -> dict:
+        """Lane *lane*'s state in exactly the scalar ``Machine.state_dict``
+        format (loadable by ``Machine.load_state_dict``)."""
+        return {
+            "config": self.configs[lane].to_dict(),
+            "cycle": int(self.lane_cycle[lane]),
+            "txn_serial": int(self.serial_next[lane]),
+            "memory": self._memory_dict(lane),
+            "bus": self._bus_dict(lane),
+            "caches": [
+                self._cache_dict(lane, c) for c in range(self.num_clients)
+            ],
+            "drivers": [
+                self._driver_dict(lane, c) for c in range(self.num_clients)
+            ],
+            "chaos": None,
+            "checker": None,
+        }
+
+    def state_digest(self, lane: int) -> str:
+        """Lane *lane*'s dynamic-state digest (scalar ``state_digest``)."""
+        payload = {
+            key: value
+            for key, value in self.state_dict_for(lane).items()
+            if key not in ("config", "txn_serial")
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def stats_for(self, lane: int) -> dict:
+        """Lane *lane*'s counters, grouped like the scalar components."""
+        return {
+            "bus": self._stats_dict(self.bus_stats, lane),
+            "memory": self._stats_dict(self.mem_stats, lane),
+            "caches": [
+                self._stats_dict(self.cache_stats, lane, c)
+                for c in range(self.num_clients)
+            ],
+            "pes": [
+                self._stats_dict(self.pe_stats, lane, c)
+                for c in range(self.num_clients)
+            ],
+        }
+
+    def lane_cycles(self, lane: int) -> int:
+        """Cycles lane *lane* ran before going idle."""
+        return int(self.lane_cycle[lane])
+
+    def to_machine(self, lane: int):
+        """Materialize lane *lane* as a scalar :class:`Machine` (continuing
+        the run from the fleet's current state)."""
+        from repro.system.machine import Machine
+
+        machine = Machine(self.configs[lane])
+        machine.load_programs(self._programs[lane])
+        machine.load_state_dict(self.state_dict_for(lane))
+        return machine

@@ -28,9 +28,15 @@ bulk update instead of iterating.  The jump is exact, not approximate:
   skipped cycle *can* emit events (chaos arbiter-stall draws during a
   backoff span) is stepped normally whenever a checker is attached.
 
-The kernel is deliberately stateless: ETAs are recomputed from live
-component state at every decision, so nothing new enters the snapshot
-format and checkpoint/restore works unchanged in either mode.
+The kernel keeps no state that enters the snapshot format — the one piece
+of memory it holds between decisions is a pure cache: drivers whose last
+ETA was :data:`NEVER_WAKE` (dead until an external event) are remembered
+and not re-probed until a bus completion — the only external event that
+can wake them — invalidates the cache.  On bus-saturated workloads this,
+together with the bus's O(1) ``wake_eta`` fast path, keeps the per-cycle
+probe overhead near zero even though no cycle is ever skippable.
+Checkpoint/restore works unchanged in either mode (the machine drops the
+cache on every restore).
 """
 
 from __future__ import annotations
@@ -48,6 +54,20 @@ class EventKernel:
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
+        #: Driver indices whose last ETA was :data:`NEVER_WAKE`.  A driver
+        #: that is dead "until an external event" stays dead until a bus
+        #: completion fires a callback into it (directly, or indirectly by
+        #: changing a cache line its spin loop reads), so the verdict is
+        #: cached and the machine calls :meth:`invalidate_etas` on every
+        #: cycle that completed a transaction.  Never populated while
+        #: chaos is attached — fault recovery can mutate cache lines on
+        #: paths this invalidation rule does not see.
+        self._inert: set[int] = set()
+
+    def invalidate_etas(self) -> None:
+        """Drop every cached ETA verdict (after a completion or restore)."""
+        if self._inert:
+            self._inert.clear()
 
     def skippable_span(self, horizon: int) -> int:
         """Length of the dead span starting next cycle, capped to *horizon*.
@@ -62,10 +82,18 @@ class EventKernel:
         span = self._fabric_eta()
         if span == 0:
             return 0
-        for driver in machine.drivers:
+        cacheable = machine.chaos is None
+        inert = self._inert
+        for index, driver in enumerate(machine.drivers):
+            if index in inert:
+                continue
             eta = driver.wake_eta()
             if eta == 0:
                 return 0
+            if eta == NEVER_WAKE:
+                if cacheable:
+                    inert.add(index)
+                continue
             if eta < span:
                 span = eta
         span = min(span, horizon)

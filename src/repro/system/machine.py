@@ -146,10 +146,14 @@ class Machine:
         self.cycle = 0
         self.bus_log: list[CompletedTransaction] = []
         # The event kernel only understands the one-slot-per-cycle driver
-        # schedule; wider issue falls back to plain stepping.
+        # schedule; wider issue falls back to plain stepping.  A "fleet"
+        # config on a solo Machine also runs event-scheduled: lockstep
+        # batching lives in repro.system.fleet and only applies when many
+        # lanes are stepped together (FleetMachine).
         self._kernel: EventKernel | None = (
             EventKernel(self)
-            if config.kernel == "event" and config.instructions_per_cycle == 1
+            if config.kernel in ("event", "fleet")
+            and config.instructions_per_cycle == 1
             else None
         )
 
@@ -258,6 +262,11 @@ class Machine:
         self.cycle += 1
         self.tracer.cycle = self.cycle
         completed = self.bus.step_all()
+        if completed and self._kernel is not None:
+            # A completion is the external event that can wake a driver the
+            # kernel has classified dead-forever (directly via its callback,
+            # or by rewriting a cache line its spin loop reads).
+            self._kernel.invalidate_etas()
         if self.config.record_bus_log:
             self.bus_log.extend(completed)
         for _ in range(self.config.instructions_per_cycle):
@@ -494,6 +503,8 @@ class Machine:
             )
         if self.checker is not None and state.get("checker") is not None:
             self.checker.load_state_dict(state["checker"])
+        if self._kernel is not None:
+            self._kernel.invalidate_etas()
         self.bus_log.clear()
 
     def _check_compatible(self, config_state: dict) -> None:

@@ -1,0 +1,258 @@
+"""Bit-identity matrix: fleet kernel lanes vs independent scalar runs.
+
+The fleet kernel's contract is the same as the event kernel's, one level
+up: stepping N machines in struct-of-arrays lockstep is an *optimization*,
+never a behaviour change.  The strong form checked here — every lane of a
+:class:`FleetMachine` batch reports the identical ``state_digest()``,
+cycle count and per-component stats that a dedicated scalar run of that
+lane's config would — over every fleet protocol x workload x fleet size,
+plus the rare paths (dirty-line read interrupts, writeback cancellation,
+per-lane protocol-option variation) and the sweep-layer batching bridge.
+"""
+
+import pytest
+
+from repro.bus.transaction import reset_txn_serial
+from repro.common.errors import ConfigurationError
+from repro.processor.program import Assembler
+from repro.sweep.fleet import plan_fleet_batches, run_fleet_sweep
+from repro.sweep.grid import SweepPoint
+from repro.system.config import MachineConfig
+from repro.system.fleet import FleetMachine, fleet_eligible
+from repro.system.kernel import EventKernel
+from repro.system.machine import Machine
+from repro.workloads.counter import build_lock_counter_program
+from repro.workloads.producer_consumer import build_producer_consumer_programs
+
+FLEET_PROTOCOLS = ("rb", "rwb", "write-once", "write-through")
+WORKLOADS = ("counter-lock", "producer-consumer")
+FLEET_SIZES = (1, 4, 32)
+
+
+def _programs_and_shape(workload: str):
+    """Small instances sized so the 32-lane cases stay fast while still
+    exercising lock spins, handoffs and snoop traffic."""
+    if workload == "counter-lock":
+        return (
+            [build_lock_counter_program(3) for _ in range(4)],
+            {"num_pes": 4, "cache_lines": 16, "memory_size": 64},
+        )
+    return (
+        build_producer_consumer_programs(items=3, generations=2, consumers=2),
+        {"num_pes": 3, "cache_lines": 32, "memory_size": 64},
+    )
+
+
+def _scalar_run(config: MachineConfig, programs):
+    """One dedicated scalar machine, from a fresh transaction-serial
+    counter — the same origin every fleet lane counts from."""
+    reset_txn_serial()
+    machine = Machine(config.with_overrides(kernel="cycle"))
+    machine.load_programs(list(programs))
+    cycles = machine.run(max_cycles=200_000)
+    stats = {
+        "bus": machine.bus.stats.as_dict(),
+        "memory": machine.memory.stats.as_dict(),
+        "caches": [cache.stats.as_dict() for cache in machine.caches],
+        "pes": [driver.stats.as_dict() for driver in machine.drivers],
+    }
+    return cycles, machine.state_digest(), stats
+
+
+def _assert_lanes_match_scalar(configs, programs_per_lane):
+    fleet = FleetMachine(configs, programs_per_lane)
+    fleet.run(max_cycles=200_000)
+    for lane, config in enumerate(configs):
+        cycles, digest, stats = _scalar_run(config, programs_per_lane[lane])
+        assert fleet.lane_cycles(lane) == cycles, f"lane {lane} cycles"
+        assert fleet.state_digest(lane) == digest, f"lane {lane} digest"
+        assert fleet.stats_for(lane) == stats, f"lane {lane} stats"
+    return fleet
+
+
+@pytest.mark.parametrize("size", FLEET_SIZES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("protocol", FLEET_PROTOCOLS)
+def test_fleet_lanes_match_scalar_runs(protocol, workload, size):
+    programs, shape = _programs_and_shape(workload)
+    configs = [
+        MachineConfig(protocol=protocol, kernel="fleet", seed=lane, **shape)
+        for lane in range(size)
+    ]
+    _assert_lanes_match_scalar(configs, [programs] * size)
+
+
+def test_mixed_protocols_share_one_batch():
+    """Protocol, options and seed vary per lane; only the shape is shared."""
+    programs, shape = _programs_and_shape("counter-lock")
+    configs = [
+        MachineConfig(protocol=protocol, seed=3 + lane, **shape)
+        for lane, protocol in enumerate(FLEET_PROTOCOLS)
+    ]
+    _assert_lanes_match_scalar(configs, [programs] * len(configs))
+
+
+def test_per_lane_protocol_options_vary():
+    """RWB promotion thresholds and write-once fetch policy differ by
+    lane inside a single batch."""
+    programs, shape = _programs_and_shape("counter-lock")
+    configs = [
+        MachineConfig(
+            protocol="rwb",
+            protocol_options={"local_promotion_writes": 1},
+            **shape,
+        ),
+        MachineConfig(
+            protocol="rwb",
+            protocol_options={"local_promotion_writes": 3},
+            **shape,
+        ),
+        MachineConfig(
+            protocol="write-once",
+            protocol_options={"fetch_on_write_miss": True},
+            **shape,
+        ),
+        MachineConfig(
+            protocol="write-once",
+            protocol_options={"fetch_on_write_miss": False},
+            **shape,
+        ),
+    ]
+    fleet = _assert_lanes_match_scalar(configs, [programs] * len(configs))
+    # The option must actually change behaviour or the test proves nothing.
+    assert fleet.state_digest(0) != fleet.state_digest(1)
+
+
+def _writer_program():
+    """Three stores reach the dirty/local state, then a conflicting store
+    (same direct-mapped frame in a 4-line cache) forces a dirty eviction."""
+    asm = Assembler()
+    asm.loadi(1, 0).loadi(2, 7)
+    asm.store(1, 2).store(1, 2).store(1, 2)
+    asm.loadi(3, 4).store(3, 2)
+    return asm.halt().assemble()
+
+
+def _reader_program():
+    """Staggered read of the word the writer holds dirty — lands while
+    the dirty copy exists, interrupting the memory read mid-flight."""
+    asm = Assembler()
+    asm.nops(4)
+    asm.loadi(1, 0).load(2, 1)
+    return asm.halt().assemble()
+
+
+@pytest.mark.parametrize("protocol", ("rb", "rwb", "write-once"))
+def test_dirty_interrupt_paths_match_scalar(protocol):
+    """Read-interrupt supply, writeback cancellation and dirty eviction —
+    the per-event fallback paths — stay bit-identical."""
+    configs = [
+        MachineConfig(
+            num_pes=2, protocol=protocol, cache_lines=4, memory_size=64,
+            seed=lane,
+        )
+        for lane in range(3)
+    ]
+    programs = [_writer_program(), _reader_program()]
+    fleet = _assert_lanes_match_scalar(configs, [programs] * 3)
+    stats = fleet.stats_for(0)
+    assert stats["bus"]["bus.interrupted_reads"] >= 1
+    assert stats["bus"]["bus.writebacks"] >= 1
+
+
+class TestFleetConfig:
+    def test_fleet_kernel_validates(self):
+        config = MachineConfig(kernel="fleet")
+        config.validate()
+
+    def test_solo_machine_from_fleet_config_runs_event_scheduled(self):
+        machine = Machine(
+            MachineConfig(kernel="fleet", cache_lines=16, memory_size=64)
+        )
+        assert isinstance(machine._kernel, EventKernel)
+        machine.load_programs(
+            [build_lock_counter_program(2) for _ in range(4)]
+        )
+        assert machine.run(max_cycles=200_000) > 0
+
+    def test_shape_mismatch_rejected(self):
+        programs, shape = _programs_and_shape("counter-lock")
+        small = dict(shape, cache_lines=8)
+        with pytest.raises(ConfigurationError):
+            FleetMachine(
+                [MachineConfig(**shape), MachineConfig(**small)],
+                [programs, programs],
+            )
+
+    def test_ineligible_config_rejected(self):
+        ok, reason = fleet_eligible(MachineConfig(protocol="tardis"))
+        assert not ok and "fleet" in reason
+        ok, reason = fleet_eligible(MachineConfig(cache_ways=2, cache_lines=64))
+        assert not ok
+        ok, reason = fleet_eligible(MachineConfig(record_bus_log=True))
+        assert not ok
+        ok, _ = fleet_eligible(MachineConfig())
+        assert ok
+
+
+class TestSweepBridge:
+    def _points(self):
+        programs, shape = _programs_and_shape("counter-lock")
+        points, programs_by_name = [], {}
+        for index, protocol in enumerate(FLEET_PROTOCOLS):
+            name = f"fleet-{protocol}"
+            points.append(
+                SweepPoint(
+                    name=name,
+                    config=MachineConfig(protocol=protocol, seed=index, **shape),
+                    params={},
+                    seed=index,
+                )
+            )
+            programs_by_name[name] = programs
+        other_shape = dict(shape, num_pes=2)
+        points.append(
+            SweepPoint(
+                name="other-shape",
+                config=MachineConfig(**other_shape),
+                params={},
+                seed=7,
+            )
+        )
+        programs_by_name["other-shape"] = programs[:2]
+        points.append(
+            SweepPoint(
+                name="scalar-only",
+                config=MachineConfig(record_bus_log=True, **shape),
+                params={},
+                seed=8,
+            )
+        )
+        programs_by_name["scalar-only"] = programs
+        return points, programs_by_name
+
+    def test_plan_groups_by_shape_and_records_fallbacks(self):
+        points, _ = self._points()
+        plan = plan_fleet_batches(points)
+        assert sorted(len(batch) for batch in plan.batches) == [1, 4]
+        assert list(plan.scalar) == [5]
+        assert "scalar" in plan.scalar[5]
+
+    def test_run_fleet_sweep_matches_dedicated_scalar_runs(self):
+        points, programs_by_name = self._points()
+        results = run_fleet_sweep(points, programs_by_name)
+        assert [r.via for r in results] == ["fleet"] * 5 + ["scalar"]
+        for point, result in zip(points, results):
+            cycles, digest, stats = _scalar_run(
+                point.config, programs_by_name[point.name]
+            )
+            assert result.name == point.name
+            assert result.cycles == cycles
+            assert result.digest == digest
+            assert result.stats == stats
+
+    def test_missing_programs_rejected(self):
+        points, programs_by_name = self._points()
+        del programs_by_name["scalar-only"]
+        with pytest.raises(ConfigurationError):
+            run_fleet_sweep(points, programs_by_name)
